@@ -1,0 +1,45 @@
+//! E8 — the adequacy differential harness: the cost of one full round
+//! (generate → optimize → SEQ-check → PS^na contextual differential).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqwm_litmus::gen::{random_context, random_program, GenConfig};
+use seqwm_opt::pipeline::Pipeline;
+use seqwm_promising::machine::{explore, ps_behaviors_refine};
+use seqwm_promising::thread::PsConfig;
+use seqwm_seq::refine::{refines_advanced_or_simple_config, RefineConfig};
+
+fn bench_one_round(c: &mut Criterion) {
+    let gen_cfg = GenConfig {
+        max_stmts: 4,
+        ..GenConfig::default()
+    };
+    let refine_cfg = RefineConfig {
+        max_steps: 48,
+        ..RefineConfig::default()
+    };
+    let ps_cfg = PsConfig::default();
+    let pipeline = Pipeline::default();
+    let mut group = c.benchmark_group("E8/adequacy-round");
+    group.sample_size(10);
+    group.bench_function("generate+optimize+seq+psna", |b| {
+        let mut rng = StdRng::seed_from_u64(0xE8);
+        b.iter(|| {
+            let src = random_program(&mut rng, &gen_cfg);
+            let out = pipeline.optimize(&src);
+            let seq_ok =
+                refines_advanced_or_simple_config(&src, &out.program, &refine_cfg).is_ok();
+            let ctx = random_context(&mut rng, &gen_cfg);
+            let sb = explore(&[src, ctx.clone()], &ps_cfg);
+            let tb = explore(&[out.program, ctx], &ps_cfg);
+            let ps_ok = ps_behaviors_refine(&tb.behaviors, &sb.behaviors).is_ok();
+            assert!(seq_ok && ps_ok, "adequacy violated in bench!");
+            sb.states + tb.states
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_round);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E9 — the DRF experiments: exploration cost of the three machines
+//! (SC ⊂ RA ⊂ PS^na) on race-free and racy programs, reproducing the
+//! model-comparison rows of EXPERIMENTS.md.
+//!
+//! Expected shape: SC ≪ RA (views add per-thread state) ≪ PS^na with
+//! promises (certified speculation multiplies branching).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqwm_lang::parser::parse_program;
+use seqwm_lang::Program;
+use seqwm_promising::drf::drf_check;
+use seqwm_promising::machine::explore;
+use seqwm_promising::sc::{explore_sc, ScConfig};
+use seqwm_promising::thread::PsConfig;
+
+fn mp() -> Vec<Program> {
+    vec![
+        parse_program("store[na](dbd, 1); store[rel](dbf, 1); return 0;").unwrap(),
+        parse_program(
+            "a := load[acq](dbf); if (a == 1) { b := load[na](dbd); } return a;",
+        )
+        .unwrap(),
+    ]
+}
+
+fn bench_three_machines(c: &mut Criterion) {
+    let progs = mp();
+    let mut group = c.benchmark_group("E9/machines-on-MP");
+    group.bench_function("SC", |b| {
+        b.iter(|| explore_sc(&progs, &ScConfig::default()).states)
+    });
+    group.bench_function("RA(promise-free)", |b| {
+        b.iter(|| explore(&progs, &PsConfig::default()).states)
+    });
+    group.bench_function("PSna(promises)", |b| {
+        let refs: Vec<&Program> = progs.iter().collect();
+        let cfg = PsConfig::with_promises(&refs);
+        b.iter(|| explore(&progs, &cfg).states)
+    });
+    group.finish();
+}
+
+fn bench_drf_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9/drf-check");
+    group.sample_size(10);
+    let cases: Vec<(&str, Vec<Program>)> = vec![
+        ("MP-race-free", mp()),
+        (
+            "WW-racy",
+            vec![
+                parse_program("store[na](dwx, 1); return 0;").unwrap(),
+                parse_program("store[na](dwx, 2); return 0;").unwrap(),
+            ],
+        ),
+    ];
+    for (name, progs) in &cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), progs, |b, progs| {
+            b.iter(|| {
+                let r = drf_check(progs, false);
+                (r.racy, r.ps_equals_ra, r.ra_equals_sc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_three_machines, bench_drf_check
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E4/E5 — optimizer pass throughput: each pass and the whole pipeline on
+//! synthetic programs of growing size, plus the Fig. 4 program and the
+//! LICM loop workload.
+//!
+//! Expected shape: every pass is (near-)linear in program size; LICM's
+//! cost is dominated by the LLF stage it runs internally.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use seqwm_bench::{loopy_program, synthetic_program};
+use seqwm_lang::parser::parse_program;
+use seqwm_opt::pipeline::{PassKind, Pipeline, PipelineConfig};
+
+fn bench_passes_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4-E5/pass-throughput");
+    for n in [10usize, 100, 1000] {
+        let prog = synthetic_program(n);
+        group.throughput(Throughput::Elements(n as u64));
+        for pass in PassKind::all() {
+            group.bench_with_input(
+                BenchmarkId::new(pass.to_string(), n),
+                &prog,
+                |b, prog| b.iter(|| pass.run(prog).1.rewrites),
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("pipeline", n), &prog, |b, prog| {
+            b.iter(|| Pipeline::default().optimize(prog).total_rewrites())
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure_4(c: &mut Criterion) {
+    let prog = parse_program(
+        "store[na](x, 42);
+         l := load[acq](y);
+         if (l == 0) { a := load[na](x); }
+         store[rel](y, 1);
+         b := load[na](x);
+         return b;",
+    )
+    .unwrap();
+    c.bench_function("E4/figure-4-slf", |b| {
+        b.iter(|| PassKind::Slf.run(&prog).1.rewrites)
+    });
+}
+
+fn bench_licm_loops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5/licm-loops");
+    for loops in [1usize, 8, 32] {
+        let prog = loopy_program(loops);
+        group.bench_with_input(BenchmarkId::from_parameter(loops), &prog, |b, prog| {
+            b.iter(|| PassKind::Licm.run(prog).1.rewrites)
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_rounds(c: &mut Criterion) {
+    // Ablation: one round vs two rounds (rewrites enabling rewrites).
+    let prog = synthetic_program(200);
+    let mut group = c.benchmark_group("E5/ablation-pipeline-rounds");
+    for rounds in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &r| {
+            let cfg = PipelineConfig {
+                rounds: r,
+                ..PipelineConfig::default()
+            };
+            b.iter(|| Pipeline::new(cfg.clone()).optimize(&prog).total_rewrites())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_passes_scaling, bench_figure_4, bench_licm_loops, bench_pipeline_rounds
+}
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! E7/E10 — PS^na bounded-exhaustive exploration on the litmus classics,
+//! with ablations: promise budget 0/1/2 and non-atomic race markers
+//! on/off.
+//!
+//! Expected shape: promise budget dominates cost (each budget unit
+//! multiplies the branching by promise sites × values × views); markers
+//! roughly double non-atomic write branching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqwm_lang::parser::parse_program;
+use seqwm_lang::Program;
+use seqwm_promising::machine::explore;
+use seqwm_promising::thread::PsConfig;
+
+fn threads(srcs: &[&str]) -> Vec<Program> {
+    srcs.iter().map(|s| parse_program(s).unwrap()).collect()
+}
+
+fn bench_classics(c: &mut Criterion) {
+    let cases: Vec<(&str, Vec<Program>)> = vec![
+        (
+            "SB",
+            threads(&[
+                "store[rlx](px, 1); a := load[rlx](py); return a;",
+                "store[rlx](py, 1); b := load[rlx](px); return b;",
+            ]),
+        ),
+        (
+            "MP",
+            threads(&[
+                "store[na](pd, 1); store[rel](pf, 1); return 0;",
+                "a := load[acq](pf); if (a == 1) { b := load[na](pd); } return a;",
+            ]),
+        ),
+        (
+            "CoRR",
+            threads(&[
+                "store[rlx](pc, 1); return 0;",
+                "a := load[rlx](pc); b := load[rlx](pc); return a + b;",
+            ]),
+        ),
+    ];
+    let cfg = PsConfig::default();
+    let mut group = c.benchmark_group("E7/classics-promise-free");
+    for (name, progs) in &cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), progs, |b, progs| {
+            b.iter(|| explore(progs, &cfg).states)
+        });
+    }
+    group.finish();
+}
+
+fn bench_promise_budget_ablation(c: &mut Criterion) {
+    let progs = threads(&[
+        "a := load[rlx](pbx); store[rlx](pby, 1); return a;",
+        "b := load[rlx](pby); store[rlx](pbx, 1); return b;",
+    ]);
+    let refs: Vec<&Program> = progs.iter().collect();
+    let mut group = c.benchmark_group("E7/ablation-promise-budget");
+    group.sample_size(10);
+    for budget in [0u32, 1, 2] {
+        let mut cfg = PsConfig::with_promises(&refs);
+        cfg.allow_promises = budget > 0;
+        cfg.max_promises_per_thread = budget;
+        // Equal state cap across budgets: the measurement is wall-time to
+        // exhaust the (capped) state space.
+        cfg.max_states = 30_000;
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &cfg, |b, cfg| {
+            b.iter(|| explore(&progs, cfg).states)
+        });
+    }
+    group.finish();
+}
+
+fn bench_marker_ablation(c: &mut Criterion) {
+    let progs = threads(&[
+        "store[na](pmx, 1); store[na](pmy, 1); return 0;",
+        "a := load[rlx](pmz); store[rlx](pmz, 1); return a;",
+    ]);
+    let mut group = c.benchmark_group("E7/ablation-na-race-markers");
+    for markers in [false, true] {
+        let cfg = PsConfig {
+            na_race_markers: markers,
+            ..PsConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(markers), &cfg, |b, cfg| {
+            b.iter(|| explore(&progs, cfg).states)
+        });
+    }
+    group.finish();
+}
+
+fn bench_appendix_c(c: &mut Criterion) {
+    // E10: the App. C counterexample target (the expensive promise case).
+    let progs = threads(&[
+        "a := load[rlx](qcx); store[rlx](qcy, a); return 0;",
+        "store[rel](qcx, 0);
+         b := choose(0, 1);
+         if (b == 1) {
+             c := load[rlx](qcy);
+             if (c == 1) { store[rlx](qcx, 1); print(1); }
+         } else { store[rlx](qcx, 1); }
+         return 0;",
+    ]);
+    let refs: Vec<&Program> = progs.iter().collect();
+    let mut cfg = PsConfig::with_promises(&refs);
+    cfg.max_states = 30_000;
+    let mut group = c.benchmark_group("E10/appendix-c");
+    group.sample_size(10);
+    group.bench_function("target-with-promises", |b| {
+        b.iter(|| explore(&progs, &cfg).states)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_classics, bench_promise_budget_ablation, bench_marker_ablation, bench_appendix_c
+}
+criterion_main!(benches);

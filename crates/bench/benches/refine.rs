@@ -1,0 +1,75 @@
+//! E2/E3 — the refinement checkers on the paper-example corpus.
+//!
+//! E2 benches the *simple* checker (Def. 2.4, behavior-set inclusion) on
+//! the whole corpus; E3 benches the *advanced* checker (Def. 3.3, the
+//! simulation game of Fig. 6) on the §3 cases that need it. An ablation
+//! compares the default initial-`F` quantification against the full
+//! subset quantification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqwm_litmus::transform::{transform_corpus, Expectation};
+use seqwm_seq::advanced::refines_advanced;
+use seqwm_seq::refine::{refines_simple, RefineConfig, WrittenQuant};
+
+fn bench_simple_corpus(c: &mut Criterion) {
+    let cfg = RefineConfig::default();
+    let corpus = transform_corpus();
+    c.bench_function("E2/simple-checker-full-corpus", |b| {
+        b.iter(|| {
+            let mut holds = 0;
+            for case in &corpus {
+                if refines_simple(&case.src_program(), &case.tgt_program(), &cfg)
+                    .map(|o| o.holds)
+                    .unwrap_or(false)
+                {
+                    holds += 1;
+                }
+            }
+            holds
+        })
+    });
+}
+
+fn bench_advanced_cases(c: &mut Criterion) {
+    let cfg = RefineConfig::default();
+    let mut group = c.benchmark_group("E3/advanced-checker");
+    for case in transform_corpus() {
+        if case.expectation != Expectation::AdvancedOnly {
+            continue;
+        }
+        let src = case.src_program();
+        let tgt = case.tgt_program();
+        group.bench_with_input(BenchmarkId::from_parameter(case.name), &case, |b, _| {
+            b.iter(|| refines_advanced(&src, &tgt, &cfg).unwrap().holds)
+        });
+    }
+    group.finish();
+}
+
+fn bench_written_quant_ablation(c: &mut Criterion) {
+    let case = seqwm_litmus::transform::find_case("slf-across-rel-write").unwrap();
+    let src = case.src_program();
+    let tgt = case.tgt_program();
+    let mut group = c.benchmark_group("E2/ablation-initial-written-quantification");
+    for (name, quant) in [
+        ("empty", WrittenQuant::Empty),
+        ("empty+full", WrittenQuant::EmptyAndFull),
+        ("all-subsets", WrittenQuant::AllSubsets),
+    ] {
+        let cfg = RefineConfig {
+            written_quant: quant,
+            ..RefineConfig::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| refines_simple(&src, &tgt, &cfg).unwrap().holds)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simple_corpus, bench_advanced_cases, bench_written_quant_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E1 — the SEQ machine (Fig. 1): transition enumeration and behavior-set
+//! enumeration cost as the footprint and value domain grow.
+//!
+//! Expected shape: behavior enumeration is exponential in the number of
+//! acquire/release operations (environment choices) and polynomial in
+//! straight-line non-atomic code.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqwm_lang::parser::parse_program;
+use seqwm_seq::behavior::enumerate_behaviors;
+use seqwm_seq::machine::{EnumDomain, Memory, SeqState};
+
+fn na_program(n: usize) -> String {
+    let mut s = String::new();
+    for i in 0..n {
+        s.push_str(&format!("store[na](sqx{}, 1); a := load[na](sqx{});\n", i % 2, i % 2));
+    }
+    s.push_str("return a;");
+    s
+}
+
+fn sync_program(n: usize) -> String {
+    let mut s = String::from("store[na](sqd, 1);\n");
+    for _ in 0..n {
+        s.push_str("f := load[acq](sqf); store[rel](sqf, 1);\n");
+    }
+    s.push_str("b := load[na](sqd); return b;");
+    s
+}
+
+fn bench_behavior_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1/seq-behaviors");
+    for n in [2usize, 8, 32] {
+        let prog = parse_program(&na_program(n)).unwrap();
+        let dom = EnumDomain::for_program(&prog);
+        let perm = dom.na_locs.iter().copied().collect();
+        let st = SeqState::new(&prog, perm, Default::default(), Memory::new());
+        group.bench_with_input(BenchmarkId::new("straight-line-na", n), &n, |b, _| {
+            b.iter(|| enumerate_behaviors(&st, &dom).len())
+        });
+    }
+    for n in [1usize, 2, 3] {
+        let prog = parse_program(&sync_program(n)).unwrap();
+        let dom = EnumDomain::for_program(&prog);
+        let perm = dom.na_locs.iter().copied().collect();
+        let st = SeqState::new(&prog, perm, Default::default(), Memory::new());
+        group.bench_with_input(BenchmarkId::new("acq-rel-pairs", n), &n, |b, _| {
+            b.iter(|| enumerate_behaviors(&st, &dom).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_transitions(c: &mut Criterion) {
+    let prog = parse_program("a := load[acq](tqf); b := load[na](tqd); return b;").unwrap();
+    let dom = EnumDomain::for_program(&prog);
+    let st = SeqState::new(&prog, Default::default(), Default::default(), Memory::new());
+    let at_acq = st.unlabeled_path(&dom).last().unwrap().clone();
+    c.bench_function("E1/acq-transition-enumeration", |b| {
+        b.iter(|| at_acq.transitions(&dom).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_behavior_enumeration, bench_transitions
+}
+criterion_main!(benches);

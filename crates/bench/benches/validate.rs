@@ -1,0 +1,68 @@
+//! E6 — the "certified optimizer" claim as translation validation:
+//! optimize + validate (SEQ only) end to end, split by the refinement
+//! notion the validation needs.
+//!
+//! Expected shape: validation dominates optimization by orders of
+//! magnitude (it explores SEQ configuration spaces), and advanced
+//! validation (the simulation game) is costlier than the simple
+//! behavior-set check on the same pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seqwm_lang::parser::parse_program;
+use seqwm_opt::pipeline::{Pipeline, PipelineConfig};
+use seqwm_opt::validate::optimize_validated;
+use seqwm_seq::advanced::refines_advanced;
+use seqwm_seq::refine::{refines_simple, RefineConfig};
+
+fn fig4() -> seqwm_lang::Program {
+    parse_program(
+        "store[na](x, 42);
+         l := load[acq](y);
+         if (l == 0) { a := load[na](x); }
+         store[rel](y, 1);
+         b := load[na](x);
+         return b;",
+    )
+    .unwrap()
+}
+
+fn bench_optimize_only(c: &mut Criterion) {
+    let prog = fig4();
+    c.bench_function("E6/optimize-only", |b| {
+        b.iter(|| Pipeline::default().optimize(&prog).total_rewrites())
+    });
+}
+
+fn bench_optimize_and_validate(c: &mut Criterion) {
+    let prog = fig4();
+    c.bench_function("E6/optimize-and-validate", |b| {
+        b.iter(|| {
+            optimize_validated(&prog, PipelineConfig::default(), &RefineConfig::default())
+                .unwrap()
+                .result
+                .total_rewrites()
+        })
+    });
+}
+
+fn bench_simple_vs_advanced_on_same_pair(c: &mut Criterion) {
+    // The Example 3.5 pair: refuted by simple, validated by advanced.
+    let src = parse_program("store[na](x, 1); store[rel](y, 5); store[na](x, 2);").unwrap();
+    let tgt = parse_program("store[rel](y, 5); store[na](x, 2);").unwrap();
+    let cfg = RefineConfig::default();
+    let mut group = c.benchmark_group("E6/notion-cost");
+    group.bench_function("simple(refutes)", |b| {
+        b.iter(|| refines_simple(&src, &tgt, &cfg).unwrap().holds)
+    });
+    group.bench_function("advanced(validates)", |b| {
+        b.iter(|| refines_advanced(&src, &tgt, &cfg).unwrap().holds)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_optimize_only, bench_optimize_and_validate, bench_simple_vs_advanced_on_same_pair
+}
+criterion_main!(benches);

@@ -1,0 +1,557 @@
+//! The *advanced* behavioral refinement checker (§3: Fig. 2, Def. 3.3),
+//! implemented as the simulation game of App. A (Fig. 6).
+//!
+//! Advanced refinement extends the simple notion with two mechanisms:
+//!
+//! 1. **Late UB** (`beh-failure`): the source may invoke UB *later* than the
+//!    target, provided it can reach `⊥` without any acquire transition
+//!    *under every environment oracle* (Def. 3.2). Universality over
+//!    oracles is decided as a game in which the environment-controlled
+//!    choices — atomic-read values, `choose` resolutions, and
+//!    release-permission losses — are adversarial (the oracle's *progress*
+//!    condition guarantees the thread is never stuck, and its
+//!    *monotonicity* only weakens the adversary).
+//! 2. **Commitment sets** (`beh-rel-write`): release transitions of the
+//!    source may disagree with the target's written set and released
+//!    memory, provided the disagreement (the commitment set `R`) is
+//!    fulfilled — written by the source — before termination or the next
+//!    acquire.
+//!
+//! The checker is *sound* for positive verdicts within its exploration
+//! bounds: `holds == true` means the simulation of Fig. 6 was established
+//! on the quantified configuration space. The paper's adequacy theorem
+//! (Thm. 6.2) then transfers the result to contextual refinement in PS^na
+//! (which this workspace *tests*, differentially — see `tests/adequacy.rs`).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use seqwm_lang::Program;
+
+use crate::label::{LocSet, SeqLabel, SyncInfo, Valuation};
+use crate::machine::{EnumDomain, Memory, SeqState};
+use crate::refine::{domain_for, RefineConfig, RefineError};
+
+/// Outcome of an advanced refinement check.
+#[derive(Clone, Debug)]
+pub struct AdvancedOutcome {
+    /// `true` iff the simulation was established for every configuration.
+    pub holds: bool,
+    /// The initial configuration on which the simulation failed.
+    pub failed_config: Option<FailedConfig>,
+    /// Number of initial configurations checked.
+    pub configs: usize,
+}
+
+/// An initial configuration `(P, F, M)` on which simulation failed.
+#[derive(Clone, Debug)]
+pub struct FailedConfig {
+    /// Initial permission set.
+    pub perm: LocSet,
+    /// Initial written-locations set.
+    pub written: LocSet,
+    /// Initial memory.
+    pub mem: Valuation,
+}
+
+impl fmt::Display for FailedConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let set = |s: &LocSet| {
+            s.iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        write!(
+            f,
+            "P={{{}}} F={{{}}} M={:?}",
+            set(&self.perm),
+            set(&self.written),
+            self.mem
+        )
+    }
+}
+
+/// The goal of the universal-oracle reachability game.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum GameGoal {
+    /// Win only by reaching `⊥` (the `beh-failure` suffix).
+    BottomOnly,
+    /// Win by reaching `⊥` or by covering the remaining locations with
+    /// `F ∪ ⋃ released F` (the `beh-partial` suffix).
+    Fulfill(LocSet),
+}
+
+/// The memoized simulation checker.
+pub struct AdvancedChecker {
+    dom: EnumDomain,
+    sim_memo: HashMap<(SeqState, SeqState, LocSet), bool>,
+    sim_stack: HashSet<(SeqState, SeqState, LocSet)>,
+    game_memo: HashMap<(SeqState, GameGoal), bool>,
+    game_stack: HashSet<(SeqState, GameGoal)>,
+    depth_budget: usize,
+}
+
+impl AdvancedChecker {
+    /// Creates a checker over the given enumeration domain.
+    pub fn new(dom: EnumDomain) -> Self {
+        AdvancedChecker {
+            dom,
+            sim_memo: HashMap::new(),
+            sim_stack: HashSet::new(),
+            game_memo: HashMap::new(),
+            game_stack: HashSet::new(),
+            depth_budget: 4096,
+        }
+    }
+
+    /// The enumeration domain in use.
+    pub fn domain(&self) -> &EnumDomain {
+        &self.dom
+    }
+
+    /// Runs the simulation game from a pair of initial states with an empty
+    /// commitment set.
+    pub fn simulate(&mut self, src: &SeqState, tgt: &SeqState) -> bool {
+        self.sim(src, tgt, &LocSet::new(), self.depth_budget)
+    }
+
+    fn sim(&mut self, src: &SeqState, tgt: &SeqState, r: &LocSet, depth: usize) -> bool {
+        if depth == 0 {
+            return false; // conservative: exploration bound exceeded
+        }
+        let key = (src.clone(), tgt.clone(), r.clone());
+        if let Some(&v) = self.sim_memo.get(&key) {
+            return v;
+        }
+        if self.sim_stack.contains(&key) {
+            return true; // coinduction: simulation is a greatest fixpoint
+        }
+        self.sim_stack.insert(key.clone());
+        let result = self.sim_inner(src, tgt, r, depth);
+        self.sim_stack.remove(&key);
+        self.sim_memo.insert(key, result);
+        result
+    }
+
+    fn sim_inner(&mut self, src: &SeqState, tgt: &SeqState, r: &LocSet, depth: usize) -> bool {
+        // Late-UB disjunct: the source reaches ⊥ without acquires under
+        // every oracle — then any target behavior is matched (beh-failure).
+        if self.game(src, &GameGoal::BottomOnly, depth) {
+            return true;
+        }
+        if tgt.is_bottom() {
+            return false;
+        }
+        // beh-partial conjunct: under every oracle, the source must be able
+        // to cover F_tgt ∪ R by (future) writes, without acquires.
+        let mut goal: LocSet = tgt.written.clone();
+        goal.extend(r.iter().copied());
+        if !self.game(src, &GameGoal::Fulfill(goal.clone()), depth) {
+            return false;
+        }
+        // beh-terminal: when the target terminates, the source must
+        // terminate (after unlabeled steps) with a matching value, a larger
+        // written set covering R, and a refined memory.
+        if let Some(vt) = tgt.returned() {
+            let footprint: LocSet = self.dom.na_locs.iter().copied().collect();
+            return src.unlabeled_path(&self.dom).iter().any(|s| {
+                s.returned().is_some_and(|vs| vt.refines(vs))
+                    && goal.is_subset(&s.written)
+                    && tgt.mem.refines_on(&s.mem, &footprint)
+            });
+        }
+        // Step-matching: every target transition must be simulated.
+        for (label, tgt_next) in tgt.transitions(&self.dom) {
+            let ok = match label {
+                None => self.sim(src, &tgt_next, r, depth - 1),
+                Some(l) => self.match_labeled(src, &l, &tgt_next, r, depth),
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Finds a source transition (after unlabeled steps) matching the
+    /// target's labeled transition, with the commitment-set bookkeeping of
+    /// Fig. 2 / Fig. 6.
+    fn match_labeled(
+        &mut self,
+        src: &SeqState,
+        l_tgt: &SeqLabel,
+        tgt_next: &SeqState,
+        r: &LocSet,
+        depth: usize,
+    ) -> bool {
+        for s in src.unlabeled_path(&self.dom) {
+            if s.is_bottom() {
+                // Reaching ⊥ via unlabeled steps alone is a (trivial)
+                // late-UB win, but `game(BottomOnly)` at the node already
+                // covers it; nothing to match here.
+                continue;
+            }
+            for (sl, src_next) in s.transitions(&self.dom) {
+                let Some(sl) = sl else { continue };
+                if let Some(r_next) = self.label_match(l_tgt, &sl, tgt_next, &src_next, r) {
+                    if self.sim(&src_next, tgt_next, &r_next, depth - 1) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Checks whether a source label matches a target label for simulation
+    /// purposes and, if so, returns the commitment set to continue with.
+    fn label_match(
+        &self,
+        t: &SeqLabel,
+        s: &SeqLabel,
+        tgt_next: &SeqState,
+        src_next: &SeqState,
+        r: &LocSet,
+    ) -> Option<LocSet> {
+        use SeqLabel::*;
+        match (t, s) {
+            (Choose(a), Choose(b)) if a == b => Some(r.clone()),
+            (ReadRlx(x, a), ReadRlx(y, b)) if x == y && a == b => Some(r.clone()),
+            (WriteRlx(x, a), WriteRlx(y, b)) if x == y && a.refines(*b) => Some(r.clone()),
+            (Syscall(a), Syscall(b)) if a.refines(*b) => Some(r.clone()),
+            (
+                AcqRead {
+                    loc: x,
+                    val: a,
+                    info: it,
+                },
+                AcqRead {
+                    loc: y,
+                    val: b,
+                    info: is,
+                },
+            ) if x == y && a == b => self.acq_match(it, is, r),
+            (AcqFence { info: it }, AcqFence { info: is }) => self.acq_match(it, is, r),
+            (
+                RelWrite {
+                    loc: x,
+                    val: a,
+                    info: it,
+                },
+                RelWrite {
+                    loc: y,
+                    val: b,
+                    info: is,
+                },
+            ) if x == y && a.refines(*b) => self.rel_match(it, is, tgt_next, src_next, r),
+            (RelFence { info: it }, RelFence { info: is }) => {
+                self.rel_match(it, is, tgt_next, src_next, r)
+            }
+            (
+                Rmw {
+                    loc: x,
+                    mode: mt,
+                    read: rt,
+                    write: wt,
+                    acq: at,
+                    rel: lt,
+                },
+                Rmw {
+                    loc: y,
+                    mode: ms,
+                    read: rs,
+                    write: ws,
+                    acq: asrc,
+                    rel: lsrc,
+                },
+            ) if x == y && mt == ms && rt == rs => {
+                let write_ok = match (wt, ws) {
+                    (None, None) => true,
+                    (Some(a), Some(b)) => a.refines(*b),
+                    _ => false,
+                };
+                if !write_ok {
+                    return None;
+                }
+                let r_mid = match (at, asrc) {
+                    (None, None) => r.clone(),
+                    (Some(it), Some(is)) => self.acq_match(it, is, r)?,
+                    _ => return None,
+                };
+                match (lt, lsrc) {
+                    (None, None) => Some(r_mid),
+                    (Some(it), Some(is)) => self.rel_match(it, is, tgt_next, src_next, &r_mid),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Acquire matching: identical environment choices, `F_tgt ∪ R ⊆ F_src`,
+    /// and the commitment set resets to `∅` (commitments must be fulfilled
+    /// *before* an acquire).
+    fn acq_match(&self, it: &SyncInfo, is: &SyncInfo, r: &LocSet) -> Option<LocSet> {
+        if it.p_before != is.p_before || it.p_after != is.p_after || it.vals != is.vals {
+            return None;
+        }
+        let mut need = it.written.clone();
+        need.extend(r.iter().copied());
+        need.is_subset(&is.written).then(LocSet::new)
+    }
+
+    /// Release matching: identical permission choice; the new commitment
+    /// set `R′` collects (i) commitments not yet fulfilled, (ii) locations
+    /// written by the target but not the source, and (iii) locations whose
+    /// released memory disagrees (Fig. 2, `beh-rel-write`).
+    fn rel_match(
+        &self,
+        it: &SyncInfo,
+        is: &SyncInfo,
+        tgt_next: &SeqState,
+        src_next: &SeqState,
+        r: &LocSet,
+    ) -> Option<LocSet> {
+        if it.p_before != is.p_before || it.p_after != is.p_after {
+            return None;
+        }
+        let mut r_next: LocSet = r
+            .iter()
+            .chain(it.written.iter())
+            .copied()
+            .filter(|x| !is.written.contains(x))
+            .collect();
+        for &x in &self.dom.na_locs {
+            if !tgt_next.mem.get(x).refines(src_next.mem.get(x)) {
+                r_next.insert(x);
+            }
+        }
+        Some(r_next)
+    }
+
+    /// The universal-oracle reachability game: can the source, for *every*
+    /// oracle, reach the goal via a trace without acquire transitions?
+    ///
+    /// Adversarial (oracle-constrained) branches — atomic-read values,
+    /// `choose` values, release permission losses — are conjunctive; the
+    /// run is otherwise deterministic. System calls are conservatively
+    /// losing (they would add observable events not present in the target).
+    fn game(&mut self, state: &SeqState, goal: &GameGoal, depth: usize) -> bool {
+        if depth == 0 {
+            return false;
+        }
+        if state.is_bottom() {
+            return true;
+        }
+        if let GameGoal::Fulfill(remaining) = goal {
+            if remaining.is_subset(&state.written) {
+                return true;
+            }
+        }
+        let key = (state.clone(), goal.clone());
+        if let Some(&v) = self.game_memo.get(&key) {
+            return v;
+        }
+        if self.game_stack.contains(&key) {
+            return false; // least fixpoint: cycles do not reach the goal
+        }
+        self.game_stack.insert(key.clone());
+        let result = self.game_inner(state, goal, depth);
+        self.game_stack.remove(&key);
+        self.game_memo.insert(key, result);
+        result
+    }
+
+    fn game_inner(&mut self, state: &SeqState, goal: &GameGoal, depth: usize) -> bool {
+        let trans = state.transitions(&self.dom);
+        if trans.is_empty() {
+            // Terminated without reaching the goal.
+            return false;
+        }
+        for (label, next) in trans {
+            match &label {
+                Some(l) if l.is_acquire() => return false,
+                Some(SeqLabel::Syscall(_)) => return false,
+                _ => {}
+            }
+            // On releases, the released written-set keeps counting toward
+            // the goal (beh-partial sums F over release labels).
+            let next_goal = match (&label, goal) {
+                (Some(l), GameGoal::Fulfill(remaining)) => match l.release_written() {
+                    Some(released) => GameGoal::Fulfill(
+                        remaining
+                            .iter()
+                            .copied()
+                            .filter(|x| !released.contains(x))
+                            .collect(),
+                    ),
+                    None => goal.clone(),
+                },
+                _ => goal.clone(),
+            };
+            if !self.game(&next, &next_goal, depth - 1) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Checks the advanced (weak) behavioral refinement `tgt ⊑_w src`
+/// (Def. 3.3) between two whole programs, quantifying the initial
+/// configuration as in [`crate::refine::refines_simple`].
+///
+/// # Errors
+///
+/// Fails with [`RefineError`] if the programs cannot be checked in SEQ.
+pub fn refines_advanced(
+    src: &Program,
+    tgt: &Program,
+    cfg: &RefineConfig,
+) -> Result<AdvancedOutcome, RefineError> {
+    let dom = domain_for(src, tgt, cfg)?;
+    let mut checker = AdvancedChecker::new(dom.clone());
+    let mut configs = 0;
+    for perm in dom.loc_subsets() {
+        for written in written_options(&dom, cfg) {
+            for mem in dom.valuations(&dom.na_locs) {
+                configs += 1;
+                let memory = Memory::from_pairs(mem.iter().map(|(&l, &v)| (l, v)));
+                let src_state = SeqState::new(src, perm.clone(), written.clone(), memory.clone());
+                let tgt_state = SeqState::new(tgt, perm.clone(), written.clone(), memory);
+                if !checker.simulate(&src_state, &tgt_state) {
+                    return Ok(AdvancedOutcome {
+                        holds: false,
+                        failed_config: Some(FailedConfig {
+                            perm,
+                            written,
+                            mem,
+                        }),
+                        configs,
+                    });
+                }
+            }
+        }
+    }
+    Ok(AdvancedOutcome {
+        holds: true,
+        failed_config: None,
+        configs,
+    })
+}
+
+fn written_options(dom: &EnumDomain, cfg: &RefineConfig) -> Vec<LocSet> {
+    use crate::refine::WrittenQuant;
+    match cfg.written_quant {
+        WrittenQuant::Empty => vec![LocSet::new()],
+        WrittenQuant::EmptyAndFull => {
+            let full: LocSet = dom.na_locs.iter().copied().collect();
+            if full.is_empty() {
+                vec![LocSet::new()]
+            } else {
+                vec![LocSet::new(), full]
+            }
+        }
+        WrittenQuant::AllSubsets => crate::machine::subsets(&dom.na_locs),
+    }
+}
+
+/// Convenience wrapper asserting the verdict (used pervasively in tests).
+///
+/// # Panics
+///
+/// Panics if the check cannot run ([`RefineError`]).
+pub fn check_advanced(src: &Program, tgt: &Program) -> AdvancedOutcome {
+    refines_advanced(src, tgt, &RefineConfig::default()).expect("programs checkable in SEQ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn p(src: &str) -> Program {
+        parse_program(src).unwrap()
+    }
+
+    #[track_caller]
+    fn assert_adv(src: &str, tgt: &str) {
+        let out = check_advanced(&p(src), &p(tgt));
+        assert!(
+            out.holds,
+            "expected advanced refinement, failed at {}",
+            out.failed_config.unwrap()
+        );
+    }
+
+    #[track_caller]
+    fn assert_not_adv(src: &str, tgt: &str) {
+        let out = check_advanced(&p(src), &p(tgt));
+        assert!(!out.holds, "expected advanced refinement to fail");
+    }
+
+    #[test]
+    fn identity() {
+        let s = "store[na](advx, 1); a := load[na](advx); return a;";
+        assert_adv(s, s);
+    }
+
+    #[test]
+    fn late_ub_reorder_rlx_read_with_na_write() {
+        // a := x_rlx ; y_na := v  {_w  y_na := v ; a := x_rlx  (§3 "Late UB")
+        assert_adv(
+            "a := load[rlx](lux); store[na](luy, 1);",
+            "store[na](luy, 1); a := load[rlx](lux);",
+        );
+    }
+
+    #[test]
+    fn acq_read_before_na_write_still_forbidden() {
+        // a := x_acq ; y_na := v  {̸_w  y_na := v ; a := x_acq (Example 2.9 (i))
+        assert_not_adv(
+            "a := load[acq](afx); store[na](afy, 1);",
+            "store[na](afy, 1); a := load[acq](afx);",
+        );
+    }
+
+    #[test]
+    fn ub_reorder_with_read_dependency_rejected() {
+        // a := x_rlx ; if a = 1 then abort  {̸_w  abort ; a := x_rlx
+        // (the §3 "second reason" example: the source must not assume the
+        // environment lets it read 1).
+        assert_not_adv(
+            "a := load[rlx](urx); if (a == 1) { abort; }",
+            "abort;",
+        );
+    }
+
+    #[test]
+    fn roach_motel_release_write_then_na_write() {
+        // x_rel := v ; y_na := v'  {_w  y_na := v' ; x_rel := v
+        // (§3 "Writes across release", needs commitment sets).
+        assert_adv(
+            "store[rel](rmx, 1); store[na](rmy, 2);",
+            "store[na](rmy, 2); store[rel](rmx, 1);",
+        );
+    }
+
+    #[test]
+    fn example_3_5_dse_across_release() {
+        // x_na := v ; y_rel := vy ; x_na := v'  {_w  y_rel := vy ; x_na := v'
+        assert_adv(
+            "store[na](dsex, 1); store[rel](dsey, 5); store[na](dsex, 2);",
+            "store[rel](dsey, 5); store[na](dsex, 2);",
+        );
+    }
+
+    #[test]
+    fn example_2_10_still_fails_in_advanced() {
+        // Store introduction after a release is unsound even with
+        // commitments (the target writes *more* than the source ever will).
+        assert_not_adv(
+            "store[na](a210x, 1); store[rel](a210y, 1);",
+            "store[na](a210x, 1); store[rel](a210y, 1); store[na](a210x, 1);",
+        );
+    }
+}

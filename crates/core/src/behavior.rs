@@ -1,0 +1,393 @@
+//! Behaviors of SEQ (Def. 2.1) and the simple behavioral refinement order
+//! on them (Def. 2.3, item 3).
+//!
+//! A behavior is a pair `⟨tr, r⟩` where `tr` is a finite trace of transition
+//! labels and `r` is one of
+//!
+//! * `trm(v, F, M)` — normal termination with value `v`, written set `F`,
+//!   memory `M`,
+//! * `prt(F)` — a partial (ongoing) execution with current written set `F`,
+//! * `⊥` — erroneous termination (UB).
+//!
+//! [`enumerate_behaviors`] computes (a bounded-exhaustive approximation of)
+//! the behavior set `{⟨tr,r⟩ | S ⇓ ⟨tr,r⟩}`, exact for programs whose
+//! executions fit within the step budget.
+
+use std::collections::HashSet;
+
+use seqwm_lang::Value;
+
+use crate::label::{trace_refines, LocSet, SeqLabel, Valuation};
+use crate::machine::{EnumDomain, SeqState};
+
+/// The terminal component `r` of a behavior.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BehaviorEnd {
+    /// `trm(v, F, M)`: normal termination.
+    Term {
+        /// Final value.
+        val: Value,
+        /// Final written-locations set.
+        written: LocSet,
+        /// Final memory, restricted to the checked footprint.
+        mem: Valuation,
+    },
+    /// `prt(F)`: partial execution.
+    Partial {
+        /// Current written-locations set.
+        written: LocSet,
+    },
+    /// `⊥`: erroneous termination.
+    Bottom,
+}
+
+impl std::fmt::Display for BehaviorEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let set = |s: &LocSet| {
+            s.iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        match self {
+            BehaviorEnd::Term { val, written, mem } => {
+                let m = mem
+                    .iter()
+                    .map(|(x, v)| format!("{x}↦{v}"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                write!(f, "trm({val}, {{{}}}, [{m}])", set(written))
+            }
+            BehaviorEnd::Partial { written } => write!(f, "prt({{{}}})", set(written)),
+            BehaviorEnd::Bottom => write!(f, "⊥"),
+        }
+    }
+}
+
+/// A SEQ behavior `⟨tr, r⟩`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Behavior {
+    /// The trace of transition labels.
+    pub trace: Vec<SeqLabel>,
+    /// The terminal component.
+    pub end: BehaviorEnd,
+}
+
+impl std::fmt::Display for Behavior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let tr = self
+            .trace
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join(" · ");
+        write!(f, "⟨[{tr}], {}⟩", self.end)
+    }
+}
+
+impl Behavior {
+    /// The behavior refinement `⟨tr_tgt, r_tgt⟩ ⊑ ⟨tr_src, r_src⟩` of
+    /// Def. 2.3 (item 3):
+    ///
+    /// * source UB matches any target behavior whose trace extends a
+    ///   refinement of the source trace;
+    /// * terminated behaviors match with `v_tgt ⊑ v_src`,
+    ///   `F_tgt ⊆ F_src`, `M_tgt ⊑ M_src`;
+    /// * partial behaviors match with `F_tgt ⊆ F_src`.
+    pub fn refines(&self, src: &Behavior) -> bool {
+        match &src.end {
+            // ⟨tr_tgt · tr, r⟩ ⊑ ⟨tr_src, ⊥⟩ when tr_tgt ⊑ tr_src.
+            BehaviorEnd::Bottom => {
+                self.trace.len() >= src.trace.len()
+                    && trace_refines(&self.trace[..src.trace.len()], &src.trace)
+            }
+            BehaviorEnd::Term {
+                val: sv,
+                written: sf,
+                mem: sm,
+            } => match &self.end {
+                BehaviorEnd::Term {
+                    val: tv,
+                    written: tf,
+                    mem: tm,
+                } => {
+                    trace_refines(&self.trace, &src.trace)
+                        && tv.refines(*sv)
+                        && tf.is_subset(sf)
+                        && mem_refines(tm, sm)
+                }
+                _ => false,
+            },
+            BehaviorEnd::Partial { written: sf } => match &self.end {
+                BehaviorEnd::Partial { written: tf } => {
+                    trace_refines(&self.trace, &src.trace) && tf.is_subset(sf)
+                }
+                _ => false,
+            },
+        }
+    }
+}
+
+fn mem_refines(tgt: &Valuation, src: &Valuation) -> bool {
+    // Both valuations are restrictions to the same checked footprint.
+    tgt.iter()
+        .all(|(x, v)| v.refines(src.get(x).copied().unwrap_or_default()))
+}
+
+/// Enumerates (a bounded-exhaustive approximation of) the behavior set of a
+/// SEQ state under the given domain.
+///
+/// Exactness: complete for executions of at most `dom.max_steps` machine
+/// steps with environment non-determinism drawn from `dom`; partial
+/// behaviors at the budget boundary are still recorded, so the result is an
+/// *under*-approximation of the true behavior set, adequate for refuting
+/// refinement and (for programs fitting the budget) for establishing it.
+pub fn enumerate_behaviors(init: &SeqState, dom: &EnumDomain) -> HashSet<Behavior> {
+    let mut out = HashSet::new();
+    let mut trace = Vec::new();
+    go(init, dom, &mut trace, dom.max_steps, &mut out);
+    out
+}
+
+fn go(
+    s: &SeqState,
+    dom: &EnumDomain,
+    trace: &mut Vec<SeqLabel>,
+    budget: usize,
+    out: &mut HashSet<Behavior>,
+) {
+    if s.is_bottom() {
+        out.insert(Behavior {
+            trace: trace.clone(),
+            end: BehaviorEnd::Bottom,
+        });
+        return;
+    }
+    if let Some(v) = s.returned() {
+        out.insert(Behavior {
+            trace: trace.clone(),
+            end: BehaviorEnd::Term {
+                val: v,
+                written: s.written.clone(),
+                mem: s.mem.restrict(&dom.na_locs.iter().copied().collect()),
+            },
+        });
+        return;
+    }
+    // Any intermediate point yields a partial behavior.
+    out.insert(Behavior {
+        trace: trace.clone(),
+        end: BehaviorEnd::Partial {
+            written: s.written.clone(),
+        },
+    });
+    if budget == 0 {
+        return;
+    }
+    for (label, next) in s.transitions(dom) {
+        match label {
+            Some(l) => {
+                trace.push(l);
+                go(&next, dom, trace, budget - 1, out);
+                trace.pop();
+            }
+            None => go(&next, dom, trace, budget - 1, out),
+        }
+    }
+}
+
+/// Checks behavior-set inclusion up to `⊑`: every target behavior must be
+/// matched by some source behavior. Returns the first unmatched target
+/// behavior as a counterexample.
+pub fn behaviors_refine(
+    tgt: &HashSet<Behavior>,
+    src: &HashSet<Behavior>,
+) -> Result<(), Behavior> {
+    for tb in tgt {
+        if !src.iter().any(|sb| tb.refines(sb)) {
+            return Err(tb.clone());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Memory;
+    use seqwm_lang::parser::parse_program;
+    use seqwm_lang::Loc;
+
+    fn behaviors(src: &str, perm: &[&str], mem: &[(&str, i64)]) -> HashSet<Behavior> {
+        let p = parse_program(src).unwrap();
+        let dom = EnumDomain::for_program(&p);
+        let st = SeqState::new(
+            &p,
+            perm.iter().map(|n| Loc::new(n)).collect(),
+            LocSet::new(),
+            Memory::from_pairs(mem.iter().map(|(n, v)| (Loc::new(n), Value::Int(*v)))),
+        );
+        enumerate_behaviors(&st, &dom)
+    }
+
+    #[test]
+    fn example_2_2_behaviors() {
+        // x_rlx := 1 ; y_na := 2 ; return 3 — with y ∈ P.
+        let bs = behaviors(
+            "store[rlx](e22x, 1); store[na](e22y, 2); return 3;",
+            &["e22y"],
+            &[],
+        );
+        let y = Loc::new("e22y");
+        let wrlx = SeqLabel::WriteRlx(Loc::new("e22x"), Value::Int(1));
+        // ⟨ε, prt(∅)⟩
+        assert!(bs.contains(&Behavior {
+            trace: vec![],
+            end: BehaviorEnd::Partial {
+                written: LocSet::new()
+            }
+        }));
+        // ⟨Wrlx(x,1), prt(∅)⟩
+        assert!(bs.contains(&Behavior {
+            trace: vec![wrlx.clone()],
+            end: BehaviorEnd::Partial {
+                written: LocSet::new()
+            }
+        }));
+        // ⟨Wrlx(x,1), prt({y})⟩
+        assert!(bs.contains(&Behavior {
+            trace: vec![wrlx.clone()],
+            end: BehaviorEnd::Partial {
+                written: [y].into_iter().collect()
+            }
+        }));
+        // Terminating behavior ⟨Wrlx(x,1), trm(3, {y}, M[y↦2])⟩.
+        assert!(bs.iter().any(|b| {
+            b.trace == vec![wrlx.clone()]
+                && matches!(&b.end, BehaviorEnd::Term { val, written, mem }
+                    if *val == Value::Int(3)
+                    && written.contains(&y)
+                    && mem.get(&y) == Some(&Value::Int(2)))
+        }));
+        // No UB behaviors.
+        assert!(!bs.iter().any(|b| b.end == BehaviorEnd::Bottom));
+    }
+
+    #[test]
+    fn example_2_2_racy_variant() {
+        // With y ∉ P, ⟨Wrlx(x,1), ⊥⟩ is the only maximal behavior.
+        let bs = behaviors(
+            "store[rlx](e22rx, 1); store[na](e22ry, 2); return 3;",
+            &[],
+            &[],
+        );
+        let wrlx = SeqLabel::WriteRlx(Loc::new("e22rx"), Value::Int(1));
+        assert!(bs.contains(&Behavior {
+            trace: vec![wrlx],
+            end: BehaviorEnd::Bottom
+        }));
+        assert!(!bs
+            .iter()
+            .any(|b| matches!(b.end, BehaviorEnd::Term { .. })));
+    }
+
+    #[test]
+    fn source_bottom_matches_extensions() {
+        let x = Loc::new("bmx");
+        let src = Behavior {
+            trace: vec![],
+            end: BehaviorEnd::Bottom,
+        };
+        let tgt = Behavior {
+            trace: vec![SeqLabel::WriteRlx(x, Value::Int(1))],
+            end: BehaviorEnd::Term {
+                val: Value::Int(0),
+                written: LocSet::new(),
+                mem: Valuation::new(),
+            },
+        };
+        assert!(tgt.refines(&src), "⊥ source matches any continuation");
+    }
+
+    #[test]
+    fn bottom_prefix_must_refine() {
+        let x = Loc::new("bpx");
+        let src = Behavior {
+            trace: vec![SeqLabel::ReadRlx(x, Value::Int(1))],
+            end: BehaviorEnd::Bottom,
+        };
+        let tgt_match = Behavior {
+            trace: vec![SeqLabel::ReadRlx(x, Value::Int(1)), SeqLabel::Choose(Value::Int(0))],
+            end: BehaviorEnd::Bottom,
+        };
+        let tgt_mismatch = Behavior {
+            trace: vec![SeqLabel::ReadRlx(x, Value::Int(2))],
+            end: BehaviorEnd::Bottom,
+        };
+        let tgt_short = Behavior {
+            trace: vec![],
+            end: BehaviorEnd::Bottom,
+        };
+        assert!(tgt_match.refines(&src));
+        assert!(!tgt_mismatch.refines(&src));
+        assert!(!tgt_short.refines(&src), "source trace longer than target");
+    }
+
+    #[test]
+    fn term_matching_checks_value_written_memory() {
+        let x = Loc::new("tmx");
+        let mk = |val: Value, written: &[Loc], memv: Value| Behavior {
+            trace: vec![],
+            end: BehaviorEnd::Term {
+                val,
+                written: written.iter().copied().collect(),
+                mem: [(x, memv)].into_iter().collect(),
+            },
+        };
+        // v_tgt ⊑ v_src.
+        assert!(mk(Value::Int(1), &[], Value::Int(0))
+            .refines(&mk(Value::Undef, &[], Value::Int(0))));
+        assert!(!mk(Value::Undef, &[], Value::Int(0))
+            .refines(&mk(Value::Int(1), &[], Value::Int(0))));
+        // F_tgt ⊆ F_src.
+        assert!(mk(Value::Int(0), &[], Value::Int(0))
+            .refines(&mk(Value::Int(0), &[x], Value::Int(0))));
+        assert!(!mk(Value::Int(0), &[x], Value::Int(0))
+            .refines(&mk(Value::Int(0), &[], Value::Int(0))));
+        // M_tgt ⊑ M_src.
+        assert!(mk(Value::Int(0), &[], Value::Int(2))
+            .refines(&mk(Value::Int(0), &[], Value::Undef)));
+        assert!(!mk(Value::Int(0), &[], Value::Undef)
+            .refines(&mk(Value::Int(0), &[], Value::Int(2))));
+    }
+
+    #[test]
+    fn partial_does_not_match_term() {
+        let prt = Behavior {
+            trace: vec![],
+            end: BehaviorEnd::Partial {
+                written: LocSet::new(),
+            },
+        };
+        let trm = Behavior {
+            trace: vec![],
+            end: BehaviorEnd::Term {
+                val: Value::Int(0),
+                written: LocSet::new(),
+                mem: Valuation::new(),
+            },
+        };
+        assert!(!prt.refines(&trm));
+        assert!(!trm.refines(&prt));
+    }
+
+    #[test]
+    fn behavior_set_inclusion() {
+        let bs1 = behaviors("skip; return 1;", &[], &[]);
+        let bs2 = behaviors("return 1;", &[], &[]);
+        assert!(behaviors_refine(&bs1, &bs2).is_ok());
+        assert!(behaviors_refine(&bs2, &bs1).is_ok());
+        let bs3 = behaviors("return 2;", &[], &[]);
+        assert!(behaviors_refine(&bs3, &bs2).is_err());
+    }
+}

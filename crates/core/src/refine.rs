@@ -1,0 +1,334 @@
+//! The *simple* behavioral refinement checker (Def. 2.4).
+//!
+//! `σ_tgt ⊑ σ_src` holds iff for **every** initial permission set `P`,
+//! written set `F`, and memory `M`, every behavior of
+//! `⟨σ_tgt, P, F, M⟩` is matched (up to `⊑`, Def. 2.3) by a behavior of
+//! `⟨σ_src, P, F, M⟩`.
+//!
+//! The checker quantifies `P`, `F`, `M` over the finite footprint/value
+//! domain derived from the two programs (see [`EnumDomain::for_pair`]) and
+//! enumerates behavior sets exhaustively within a step budget. A returned
+//! counterexample is a concrete initial configuration plus an unmatched
+//! target behavior — exactly the shape of the paper's `{̸` arguments
+//! (e.g. Examples 2.5–2.12).
+
+use std::fmt;
+
+use seqwm_lang::{Loc, Program, Value};
+
+use crate::behavior::{behaviors_refine, enumerate_behaviors, Behavior};
+use crate::label::{LocSet, Valuation};
+use crate::machine::{subsets, EnumDomain, Memory, SeqState};
+
+/// How to quantify the initial written-locations set `F`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum WrittenQuant {
+    /// Only `F = ∅` (fast; sufficient for all corpus examples).
+    Empty,
+    /// `F ∈ {∅, Loc^na}` (default: catches reset-sensitivity cheaply).
+    #[default]
+    EmptyAndFull,
+    /// All subsets (full Def. 2.4 quantification over the footprint).
+    AllSubsets,
+}
+
+/// Configuration of the refinement checkers.
+#[derive(Clone, Debug)]
+pub struct RefineConfig {
+    /// Step budget per execution path.
+    pub max_steps: usize,
+    /// Quantification of the initial `F`.
+    pub written_quant: WrittenQuant,
+    /// Extra integer values to add to the enumeration domain.
+    pub extra_values: Vec<i64>,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig {
+            max_steps: 96,
+            written_quant: WrittenQuant::default(),
+            extra_values: Vec::new(),
+        }
+    }
+}
+
+/// Errors preventing a refinement check from running.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RefineError {
+    /// A location is accessed both atomically and non-atomically; SEQ
+    /// forbids such mixing (§2, "Concurrency constructs").
+    MixedAtomicity(Loc),
+}
+
+impl fmt::Display for RefineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefineError::MixedAtomicity(x) => {
+                write!(f, "location {x} is accessed both atomically and non-atomically")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RefineError {}
+
+/// A refutation of refinement: an initial configuration and a target
+/// behavior with no matching source behavior.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Initial permission set.
+    pub perm: LocSet,
+    /// Initial written-locations set.
+    pub written: LocSet,
+    /// Initial memory (restricted to the footprint).
+    pub mem: Valuation,
+    /// The unmatched target behavior.
+    pub target_behavior: Behavior,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let set = |s: &LocSet| {
+            s.iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mem = self
+            .mem
+            .iter()
+            .map(|(x, v)| format!("{x}↦{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        write!(
+            f,
+            "P={{{}}} F={{{}}} M=[{mem}]: unmatched target behavior {}",
+            set(&self.perm),
+            set(&self.written),
+            self.target_behavior,
+        )
+    }
+}
+
+/// The verdict of a refinement check.
+#[derive(Clone, Debug)]
+pub struct RefineOutcome {
+    /// `true` iff refinement held for every checked configuration.
+    pub holds: bool,
+    /// A refutation, when `holds` is `false`.
+    pub counterexample: Option<Counterexample>,
+    /// Number of initial configurations `(P, F, M)` checked.
+    pub configs: usize,
+    /// Total number of target behaviors matched.
+    pub behaviors: usize,
+}
+
+/// Builds the enumeration domain for a program pair under a config.
+///
+/// # Errors
+///
+/// Fails with [`RefineError::MixedAtomicity`] if either program mixes
+/// atomic and non-atomic accesses to the same location.
+pub fn domain_for(
+    src: &Program,
+    tgt: &Program,
+    cfg: &RefineConfig,
+) -> Result<EnumDomain, RefineError> {
+    EnumDomain::check_no_mixing(src, tgt).map_err(RefineError::MixedAtomicity)?;
+    let mut dom = EnumDomain::for_pair(src, tgt);
+    for &v in &cfg.extra_values {
+        if !dom.values.contains(&Value::Int(v)) {
+            dom.values.push(Value::Int(v));
+        }
+        if !dom.choose_values.contains(&v) {
+            dom.choose_values.push(v);
+        }
+    }
+    dom.max_steps = cfg.max_steps;
+    Ok(dom)
+}
+
+fn written_options(dom: &EnumDomain, quant: WrittenQuant) -> Vec<LocSet> {
+    match quant {
+        WrittenQuant::Empty => vec![LocSet::new()],
+        WrittenQuant::EmptyAndFull => {
+            let full: LocSet = dom.na_locs.iter().copied().collect();
+            if full.is_empty() {
+                vec![LocSet::new()]
+            } else {
+                vec![LocSet::new(), full]
+            }
+        }
+        WrittenQuant::AllSubsets => subsets(&dom.na_locs),
+    }
+}
+
+/// Checks the simple behavioral refinement `tgt ⊑ src` (Def. 2.4) between
+/// two whole programs.
+///
+/// # Errors
+///
+/// Fails with [`RefineError`] if the programs cannot be checked in SEQ.
+pub fn refines_simple(
+    src: &Program,
+    tgt: &Program,
+    cfg: &RefineConfig,
+) -> Result<RefineOutcome, RefineError> {
+    let dom = domain_for(src, tgt, cfg)?;
+    let mut configs = 0;
+    let mut behaviors = 0;
+    for perm in dom.loc_subsets() {
+        for written in written_options(&dom, cfg.written_quant) {
+            for mem in dom.valuations(&dom.na_locs) {
+                configs += 1;
+                let memory = Memory::from_pairs(mem.iter().map(|(&l, &v)| (l, v)));
+                let src_state = SeqState::new(src, perm.clone(), written.clone(), memory.clone());
+                let tgt_state = SeqState::new(tgt, perm.clone(), written.clone(), memory);
+                let src_behs = enumerate_behaviors(&src_state, &dom);
+                let tgt_behs = enumerate_behaviors(&tgt_state, &dom);
+                behaviors += tgt_behs.len();
+                if let Err(unmatched) = behaviors_refine(&tgt_behs, &src_behs) {
+                    return Ok(RefineOutcome {
+                        holds: false,
+                        counterexample: Some(Counterexample {
+                            perm,
+                            written,
+                            mem,
+                            target_behavior: unmatched,
+                        }),
+                        configs,
+                        behaviors,
+                    });
+                }
+            }
+        }
+    }
+    Ok(RefineOutcome {
+        holds: true,
+        counterexample: None,
+        configs,
+        behaviors,
+    })
+}
+
+/// Convenience wrapper asserting the verdict (used pervasively in tests).
+///
+/// # Panics
+///
+/// Panics if the check cannot run ([`RefineError`]).
+pub fn check_simple(src: &Program, tgt: &Program) -> RefineOutcome {
+    refines_simple(src, tgt, &RefineConfig::default()).expect("programs checkable in SEQ")
+}
+
+/// Checks the simple refinement first (cheaper) and falls back to the
+/// advanced one (strictly more permissive, Prop. 3.4). Returns `Ok(true)`
+/// if the simple notion sufficed, `Ok(false)` if the advanced one was
+/// needed, and a diagnostic string if both fail or the check cannot run.
+///
+/// # Errors
+///
+/// Returns a human-readable diagnostic when neither notion validates the
+/// pair (or the programs mix atomic/non-atomic accesses).
+pub fn refines_advanced_or_simple_config(
+    src: &Program,
+    tgt: &Program,
+    cfg: &RefineConfig,
+) -> Result<bool, String> {
+    match refines_simple(src, tgt, cfg) {
+        Err(e) => return Err(e.to_string()),
+        Ok(out) if out.holds => return Ok(true),
+        Ok(_) => {}
+    }
+    match crate::advanced::refines_advanced(src, tgt, cfg) {
+        Err(e) => Err(e.to_string()),
+        Ok(out) if out.holds => Ok(false),
+        Ok(out) => Err(format!(
+            "neither simple nor advanced refinement holds (advanced failed at {})",
+            out.failed_config
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "<unknown>".to_owned())
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn p(src: &str) -> Program {
+        parse_program(src).unwrap()
+    }
+
+    #[track_caller]
+    fn assert_refines(src: &str, tgt: &str) {
+        let out = check_simple(&p(src), &p(tgt));
+        assert!(
+            out.holds,
+            "expected refinement to hold, counterexample: {}",
+            out.counterexample.unwrap()
+        );
+    }
+
+    #[track_caller]
+    fn assert_not_refines(src: &str, tgt: &str) {
+        let out = check_simple(&p(src), &p(tgt));
+        assert!(!out.holds, "expected refinement to fail");
+        assert!(out.counterexample.is_some());
+    }
+
+    #[test]
+    fn identity_refines() {
+        let s = "store[na](rfx, 1); a := load[na](rfx); return a;";
+        assert_refines(s, s);
+    }
+
+    #[test]
+    fn example_1_1_store_to_load_forwarding() {
+        // x_na := v ; b := x_na  {  x_na := v ; b := v
+        assert_refines(
+            "store[na](slf_x, 1); b := load[na](slf_x); return b;",
+            "store[na](slf_x, 1); b := 1; return b;",
+        );
+    }
+
+    #[test]
+    fn value_change_does_not_refine() {
+        assert_not_refines("return 1;", "return 2;");
+    }
+
+    #[test]
+    fn mixing_is_rejected() {
+        let prog = p("store[na](mix_w, 1); a := load[rlx](mix_w);");
+        assert_eq!(
+            refines_simple(&prog, &prog, &RefineConfig::default()).unwrap_err(),
+            RefineError::MixedAtomicity(Loc::new("mix_w"))
+        );
+    }
+
+    #[test]
+    fn unused_store_introduction_is_refuted() {
+        // skip {̸ x_na := v — store introduction is unsound.
+        assert_not_refines("skip;", "store[na](usi_x, 1);");
+    }
+
+    #[test]
+    fn unused_load_introduction_is_validated() {
+        // skip { a := x_na (Example 2.8) — needs a racy na read to not UB.
+        assert_refines("skip;", "a := load[na](uli_x);");
+    }
+
+    #[test]
+    fn config_written_quantification() {
+        let cfg = RefineConfig {
+            written_quant: WrittenQuant::AllSubsets,
+            ..RefineConfig::default()
+        };
+        let s = p("store[na](wq_x, 1);");
+        let out = refines_simple(&s, &s, &cfg).unwrap();
+        assert!(out.holds);
+        // 1 loc: 2 perms × 2 written × |values| memories.
+        assert!(out.configs >= 4);
+    }
+}

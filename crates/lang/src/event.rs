@@ -1,0 +1,283 @@
+//! Access modes and program-level transition labels (events).
+//!
+//! The paper's LTS transitions are labelled with
+//! `choose(v)`, `R^{o_R}(x, v)` for `o_R ∈ {na, rlx, acq}`, and
+//! `W^{o_W}(x, v)` for `o_W ∈ {na, rlx, rel}` (§2, "Program representation").
+//! Our Coq-development-inspired extensions add atomic read-modify-writes
+//! (RMWs), fences, and system calls, which the paper elides from its
+//! presentation but includes in the artifact.
+
+use std::fmt;
+
+use crate::ident::Loc;
+use crate::value::Value;
+
+/// Read access modes `o_R ∈ {na, rlx, acq}`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ReadMode {
+    /// Non-atomic read: racy reads return `undef`.
+    Na,
+    /// Relaxed atomic read.
+    Rlx,
+    /// Acquire atomic read: synchronizes (gains permissions in SEQ,
+    /// joins the message view in PS^na).
+    Acq,
+}
+
+impl ReadMode {
+    /// Is this an atomic mode (i.e. not `na`)?
+    pub fn is_atomic(self) -> bool {
+        !matches!(self, ReadMode::Na)
+    }
+}
+
+impl fmt::Display for ReadMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadMode::Na => write!(f, "na"),
+            ReadMode::Rlx => write!(f, "rlx"),
+            ReadMode::Acq => write!(f, "acq"),
+        }
+    }
+}
+
+/// Write access modes `o_W ∈ {na, rlx, rel}`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum WriteMode {
+    /// Non-atomic write: racy writes invoke UB.
+    Na,
+    /// Relaxed atomic write.
+    Rlx,
+    /// Release atomic write: synchronizes (loses permissions in SEQ,
+    /// publishes the thread view in PS^na).
+    Rel,
+}
+
+impl WriteMode {
+    /// Is this an atomic mode (i.e. not `na`)?
+    pub fn is_atomic(self) -> bool {
+        !matches!(self, WriteMode::Na)
+    }
+}
+
+impl fmt::Display for WriteMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteMode::Na => write!(f, "na"),
+            WriteMode::Rlx => write!(f, "rlx"),
+            WriteMode::Rel => write!(f, "rel"),
+        }
+    }
+}
+
+/// Modes for atomic read-modify-write operations.
+///
+/// An RMW both reads and writes; its mode determines the synchronization on
+/// each side. These are included in the paper's Coq development ("atomic
+/// read-modify-writes (RMWs)") though elided from the paper's presentation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RmwMode {
+    /// Relaxed on both sides.
+    Rlx,
+    /// Acquire read side, relaxed write side.
+    Acq,
+    /// Relaxed read side, release write side.
+    Rel,
+    /// Acquire read side and release write side.
+    AcqRel,
+}
+
+impl RmwMode {
+    /// The read-side mode of this RMW.
+    pub fn read_mode(self) -> ReadMode {
+        match self {
+            RmwMode::Rlx | RmwMode::Rel => ReadMode::Rlx,
+            RmwMode::Acq | RmwMode::AcqRel => ReadMode::Acq,
+        }
+    }
+
+    /// The write-side mode of this RMW.
+    pub fn write_mode(self) -> WriteMode {
+        match self {
+            RmwMode::Rlx | RmwMode::Acq => WriteMode::Rlx,
+            RmwMode::Rel | RmwMode::AcqRel => WriteMode::Rel,
+        }
+    }
+}
+
+impl fmt::Display for RmwMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmwMode::Rlx => write!(f, "rlx"),
+            RmwMode::Acq => write!(f, "acq"),
+            RmwMode::Rel => write!(f, "rel"),
+            RmwMode::AcqRel => write!(f, "acqrel"),
+        }
+    }
+}
+
+/// Fence modes (Coq-development extension; the paper's artifact includes
+/// fences "including sequentially consistent fences").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FenceMode {
+    /// Acquire fence.
+    Acq,
+    /// Release fence.
+    Rel,
+    /// Combined acquire-release fence.
+    AcqRel,
+    /// Sequentially consistent fence.
+    Sc,
+}
+
+impl FenceMode {
+    /// Does this fence have acquire semantics?
+    pub fn is_acquire(self) -> bool {
+        matches!(self, FenceMode::Acq | FenceMode::AcqRel | FenceMode::Sc)
+    }
+
+    /// Does this fence have release semantics?
+    pub fn is_release(self) -> bool {
+        matches!(self, FenceMode::Rel | FenceMode::AcqRel | FenceMode::Sc)
+    }
+}
+
+impl fmt::Display for FenceMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FenceMode::Acq => write!(f, "acq"),
+            FenceMode::Rel => write!(f, "rel"),
+            FenceMode::AcqRel => write!(f, "acqrel"),
+            FenceMode::Sc => write!(f, "sc"),
+        }
+    }
+}
+
+/// A program-level transition label.
+///
+/// These are the labels of the *program* LTS; the SEQ machine enriches
+/// acquire/release labels with permission and memory information (see
+/// `seqwm_seq::trace`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Event {
+    /// `choose(v)`: resolution of an internal non-deterministic choice.
+    Choose(Value),
+    /// `R^o(x, v)`: a read of `v` from `x` with mode `o`.
+    Read(Loc, ReadMode, Value),
+    /// `W^o(x, v)`: a write of `v` to `x` with mode `o`.
+    Write(Loc, WriteMode, Value),
+    /// `U^o(x, v_r, v_w)`: an atomic update reading `v_r` and writing `v_w`.
+    Rmw(Loc, RmwMode, Value, Value),
+    /// `F^o`: a fence.
+    Fence(FenceMode),
+    /// A system call observable by the environment (e.g. `print(v)`).
+    Syscall(Value),
+}
+
+impl Event {
+    /// The location this event accesses, if any.
+    pub fn loc(self) -> Option<Loc> {
+        match self {
+            Event::Read(x, _, _) | Event::Write(x, _, _) | Event::Rmw(x, _, _, _) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Does this event have acquire semantics (acquire read/RMW/fence)?
+    pub fn is_acquire(self) -> bool {
+        match self {
+            Event::Read(_, m, _) => m == ReadMode::Acq,
+            Event::Rmw(_, m, _, _) => m.read_mode() == ReadMode::Acq,
+            Event::Fence(m) => m.is_acquire(),
+            _ => false,
+        }
+    }
+
+    /// Does this event have release semantics (release write/RMW/fence)?
+    pub fn is_release(self) -> bool {
+        match self {
+            Event::Write(_, m, _) => m == WriteMode::Rel,
+            Event::Rmw(_, m, _, _) => m.write_mode() == WriteMode::Rel,
+            Event::Fence(m) => m.is_release(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Choose(v) => write!(f, "choose({v})"),
+            Event::Read(x, m, v) => write!(f, "R{m}({x},{v})"),
+            Event::Write(x, m, v) => write!(f, "W{m}({x},{v})"),
+            Event::Rmw(x, m, r, w) => write!(f, "U{m}({x},{r},{w})"),
+            Event::Fence(m) => write!(f, "F{m}"),
+            Event::Syscall(v) => write!(f, "sys({v})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmw_mode_decomposition() {
+        assert_eq!(RmwMode::Rlx.read_mode(), ReadMode::Rlx);
+        assert_eq!(RmwMode::Rlx.write_mode(), WriteMode::Rlx);
+        assert_eq!(RmwMode::Acq.read_mode(), ReadMode::Acq);
+        assert_eq!(RmwMode::Acq.write_mode(), WriteMode::Rlx);
+        assert_eq!(RmwMode::Rel.read_mode(), ReadMode::Rlx);
+        assert_eq!(RmwMode::Rel.write_mode(), WriteMode::Rel);
+        assert_eq!(RmwMode::AcqRel.read_mode(), ReadMode::Acq);
+        assert_eq!(RmwMode::AcqRel.write_mode(), WriteMode::Rel);
+    }
+
+    #[test]
+    fn fence_polarity() {
+        assert!(FenceMode::Acq.is_acquire() && !FenceMode::Acq.is_release());
+        assert!(!FenceMode::Rel.is_acquire() && FenceMode::Rel.is_release());
+        assert!(FenceMode::AcqRel.is_acquire() && FenceMode::AcqRel.is_release());
+        assert!(FenceMode::Sc.is_acquire() && FenceMode::Sc.is_release());
+    }
+
+    #[test]
+    fn atomicity() {
+        assert!(!ReadMode::Na.is_atomic());
+        assert!(ReadMode::Rlx.is_atomic());
+        assert!(ReadMode::Acq.is_atomic());
+        assert!(!WriteMode::Na.is_atomic());
+        assert!(WriteMode::Rlx.is_atomic());
+        assert!(WriteMode::Rel.is_atomic());
+    }
+
+    #[test]
+    fn event_classification() {
+        let x = Loc::new("ev_x");
+        let acq = Event::Read(x, ReadMode::Acq, Value::Int(1));
+        let rel = Event::Write(x, WriteMode::Rel, Value::Int(1));
+        let rlx = Event::Read(x, ReadMode::Rlx, Value::Int(1));
+        assert!(acq.is_acquire() && !acq.is_release());
+        assert!(rel.is_release() && !rel.is_acquire());
+        assert!(!rlx.is_acquire() && !rlx.is_release());
+        assert_eq!(acq.loc(), Some(x));
+        assert_eq!(Event::Choose(Value::Int(0)).loc(), None);
+        assert!(Event::Rmw(x, RmwMode::AcqRel, Value::Int(0), Value::Int(1)).is_acquire());
+        assert!(Event::Rmw(x, RmwMode::AcqRel, Value::Int(0), Value::Int(1)).is_release());
+    }
+
+    #[test]
+    fn display_formats() {
+        let x = Loc::new("ev_disp");
+        assert_eq!(
+            Event::Read(x, ReadMode::Na, Value::Undef).to_string(),
+            "Rna(ev_disp,undef)"
+        );
+        assert_eq!(
+            Event::Write(x, WriteMode::Rel, Value::Int(2)).to_string(),
+            "Wrel(ev_disp,2)"
+        );
+        assert_eq!(Event::Fence(FenceMode::Sc).to_string(), "Fsc");
+        assert_eq!(Event::Syscall(Value::Int(7)).to_string(), "sys(7)");
+    }
+}

@@ -1,0 +1,345 @@
+//! Pure expressions over registers.
+//!
+//! Expressions never access shared memory; evaluating them is a *silent*
+//! transition of the LTS (§2). Division by zero (the paper's canonical
+//! UB-invoking operation, `b := 1/0`) and branching on `undef` surface as
+//! [`ValueError`]s which the LTS maps to the error state `⊥`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ident::Reg;
+use crate::value::{arith, div, rem, Value, ValueError};
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Addition (wrapping).
+    Add,
+    /// Subtraction (wrapping).
+    Sub,
+    /// Multiplication (wrapping).
+    Mul,
+    /// Division — UB on zero/`undef` divisor.
+    Div,
+    /// Remainder — UB on zero/`undef` divisor.
+    Rem,
+    /// Equality comparison.
+    Eq,
+    /// Inequality comparison.
+    Ne,
+    /// Less-than comparison.
+    Lt,
+    /// Less-or-equal comparison.
+    Le,
+    /// Greater-than comparison.
+    Gt,
+    /// Greater-or-equal comparison.
+    Ge,
+    /// Logical and (non-short-circuit, on integer truthiness).
+    And,
+    /// Logical or (non-short-circuit, on integer truthiness).
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical negation (on integer truthiness).
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Neg => write!(f, "-"),
+            UnOp::Not => write!(f, "!"),
+        }
+    }
+}
+
+/// A pure expression over constants and registers.
+///
+/// ```
+/// use seqwm_lang::expr::Expr;
+/// use seqwm_lang::{Reg, Value};
+/// use std::collections::HashMap;
+///
+/// let e = Expr::bin(seqwm_lang::expr::BinOp::Add, Expr::reg("p"), Expr::int(1));
+/// let mut regs = HashMap::new();
+/// regs.insert(Reg::new("p"), Value::Int(41));
+/// assert_eq!(e.eval(&|r| regs.get(&r).copied().unwrap_or_default()), Ok(Value::Int(42)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Expr {
+    /// A constant value (integers; `undef` expressible for testing).
+    Const(Value),
+    /// A register read.
+    Reg(Reg),
+    /// A unary operation.
+    Un(UnOp, Box<Expr>),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// An integer constant.
+    pub fn int(n: i64) -> Expr {
+        Expr::Const(Value::Int(n))
+    }
+
+    /// The `undef` constant (useful for tests and the App. C examples).
+    pub fn undef() -> Expr {
+        Expr::Const(Value::Undef)
+    }
+
+    /// A register reference.
+    pub fn reg(name: &str) -> Expr {
+        Expr::Reg(Reg::new(name))
+    }
+
+    /// A binary operation node.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// A unary operation node.
+    pub fn un(op: UnOp, e: Expr) -> Expr {
+        Expr::Un(op, Box::new(e))
+    }
+
+    /// Shorthand for `lhs == rhs`.
+    pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, lhs, rhs)
+    }
+
+    /// Shorthand for `lhs != rhs`.
+    pub fn ne(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Ne, lhs, rhs)
+    }
+
+    /// Evaluates the expression under the register valuation `regs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValueError`] if evaluation invokes UB (division by
+    /// zero/`undef`).
+    pub fn eval<F>(&self, regs: &F) -> Result<Value, ValueError>
+    where
+        F: Fn(Reg) -> Value,
+    {
+        match self {
+            Expr::Const(v) => Ok(*v),
+            Expr::Reg(r) => Ok(regs(*r)),
+            Expr::Un(op, e) => {
+                let v = e.eval(regs)?;
+                Ok(match (op, v) {
+                    (_, Value::Undef) => Value::Undef,
+                    (UnOp::Neg, Value::Int(n)) => Value::Int(n.wrapping_neg()),
+                    (UnOp::Not, Value::Int(n)) => Value::from(n == 0),
+                })
+            }
+            Expr::Bin(op, a, b) => {
+                let va = a.eval(regs)?;
+                let vb = b.eval(regs)?;
+                match op {
+                    BinOp::Add => Ok(arith(va, vb, i64::wrapping_add)),
+                    BinOp::Sub => Ok(arith(va, vb, i64::wrapping_sub)),
+                    BinOp::Mul => Ok(arith(va, vb, i64::wrapping_mul)),
+                    BinOp::Div => div(va, vb),
+                    BinOp::Rem => rem(va, vb),
+                    BinOp::Eq => Ok(arith(va, vb, |x, y| i64::from(x == y))),
+                    BinOp::Ne => Ok(arith(va, vb, |x, y| i64::from(x != y))),
+                    BinOp::Lt => Ok(arith(va, vb, |x, y| i64::from(x < y))),
+                    BinOp::Le => Ok(arith(va, vb, |x, y| i64::from(x <= y))),
+                    BinOp::Gt => Ok(arith(va, vb, |x, y| i64::from(x > y))),
+                    BinOp::Ge => Ok(arith(va, vb, |x, y| i64::from(x >= y))),
+                    BinOp::And => Ok(arith(va, vb, |x, y| i64::from(x != 0 && y != 0))),
+                    BinOp::Or => Ok(arith(va, vb, |x, y| i64::from(x != 0 || y != 0))),
+                }
+            }
+        }
+    }
+
+    /// The set of registers read by this expression.
+    pub fn regs(&self) -> BTreeSet<Reg> {
+        let mut out = BTreeSet::new();
+        self.collect_regs(&mut out);
+        out
+    }
+
+    fn collect_regs(&self, out: &mut BTreeSet<Reg>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Reg(r) => {
+                out.insert(*r);
+            }
+            Expr::Un(_, e) => e.collect_regs(out),
+            Expr::Bin(_, a, b) => {
+                a.collect_regs(out);
+                b.collect_regs(out);
+            }
+        }
+    }
+
+    /// Does this expression mention register `r`?
+    pub fn uses_reg(&self, r: Reg) -> bool {
+        match self {
+            Expr::Const(_) => false,
+            Expr::Reg(q) => *q == r,
+            Expr::Un(_, e) => e.uses_reg(r),
+            Expr::Bin(_, a, b) => a.uses_reg(r) || b.uses_reg(r),
+        }
+    }
+
+    /// Is this expression a constant (no register reads)?
+    pub fn is_const(&self) -> bool {
+        matches!(self, Expr::Const(_))
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(n: i64) -> Self {
+        Expr::int(n)
+    }
+}
+
+impl From<Reg> for Expr {
+    fn from(r: Reg) -> Self {
+        Expr::Reg(r)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Reg(r) => write!(f, "{r}"),
+            Expr::Un(op, e) => write!(f, "{op}({e})"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn env(pairs: &[(&str, Value)]) -> impl Fn(Reg) -> Value {
+        let map: HashMap<Reg, Value> = pairs.iter().map(|(n, v)| (Reg::new(n), *v)).collect();
+        move |r| map.get(&r).copied().unwrap_or_default()
+    }
+
+    #[test]
+    fn constants_and_registers() {
+        let e = env(&[("ea", Value::Int(5))]);
+        assert_eq!(Expr::int(3).eval(&e), Ok(Value::Int(3)));
+        assert_eq!(Expr::reg("ea").eval(&e), Ok(Value::Int(5)));
+        assert_eq!(Expr::reg("eb").eval(&e), Ok(Value::Int(0))); // default 0
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let e = env(&[]);
+        assert_eq!(
+            Expr::bin(BinOp::Add, Expr::int(2), Expr::int(3)).eval(&e),
+            Ok(Value::Int(5))
+        );
+        assert_eq!(
+            Expr::bin(BinOp::Lt, Expr::int(2), Expr::int(3)).eval(&e),
+            Ok(Value::Int(1))
+        );
+        assert_eq!(
+            Expr::bin(BinOp::And, Expr::int(1), Expr::int(0)).eval(&e),
+            Ok(Value::Int(0))
+        );
+        assert_eq!(
+            Expr::un(UnOp::Not, Expr::int(0)).eval(&e),
+            Ok(Value::Int(1))
+        );
+        assert_eq!(
+            Expr::un(UnOp::Neg, Expr::int(4)).eval(&e),
+            Ok(Value::Int(-4))
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_ub() {
+        let e = env(&[]);
+        assert_eq!(
+            Expr::bin(BinOp::Div, Expr::int(1), Expr::int(0)).eval(&e),
+            Err(ValueError::DivByZero)
+        );
+    }
+
+    #[test]
+    fn undef_propagation() {
+        let e = env(&[("eu", Value::Undef)]);
+        assert_eq!(
+            Expr::bin(BinOp::Add, Expr::reg("eu"), Expr::int(1)).eval(&e),
+            Ok(Value::Undef)
+        );
+        assert_eq!(
+            Expr::eq(Expr::reg("eu"), Expr::int(1)).eval(&e),
+            Ok(Value::Undef)
+        );
+        assert_eq!(Expr::un(UnOp::Not, Expr::reg("eu")).eval(&e), Ok(Value::Undef));
+    }
+
+    #[test]
+    fn reg_collection() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::reg("er1"),
+            Expr::bin(BinOp::Mul, Expr::reg("er2"), Expr::reg("er1")),
+        );
+        let regs = e.regs();
+        assert_eq!(regs.len(), 2);
+        assert!(e.uses_reg(Reg::new("er1")));
+        assert!(e.uses_reg(Reg::new("er2")));
+        assert!(!e.uses_reg(Reg::new("er3")));
+    }
+
+    #[test]
+    fn display_round() {
+        let e = Expr::bin(BinOp::Add, Expr::reg("ed"), Expr::int(1));
+        assert_eq!(e.to_string(), "(ed + 1)");
+    }
+
+    #[test]
+    fn wrapping_semantics() {
+        let e = env(&[]);
+        assert_eq!(
+            Expr::bin(BinOp::Add, Expr::int(i64::MAX), Expr::int(1)).eval(&e),
+            Ok(Value::Int(i64::MIN))
+        );
+        assert_eq!(
+            Expr::un(UnOp::Neg, Expr::int(i64::MIN)).eval(&e),
+            Ok(Value::Int(i64::MIN))
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Interned identifiers for shared-memory locations ([`Loc`]) and
+//! thread-local registers ([`Reg`]).
+//!
+//! Both are thin `u32` newtypes backed by a global string interner, so that
+//! comparing, hashing, and copying identifiers is free while diagnostics can
+//! still print the original names. The paper additionally partitions shared
+//! locations into *atomic* and *non-atomic* ones (`Loc^at` / `Loc^na`, §2,
+//! "Concurrency constructs"); we keep that classification per *access* (via
+//! the access mode) and enforce the no-mixing discipline at the SEQ level,
+//! where it matters (see `seqwm-seq`).
+
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// A global, append-only string interner shared by [`Loc`] and [`Reg`].
+#[derive(Default)]
+struct Interner {
+    names: Vec<String>,
+}
+
+impl Interner {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(ix) = self.names.iter().position(|n| n == name) {
+            ix as u32
+        } else {
+            self.names.push(name.to_owned());
+            (self.names.len() - 1) as u32
+        }
+    }
+
+    fn name(&self, ix: u32) -> String {
+        self.names
+            .get(ix as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("<id{ix}>"))
+    }
+}
+
+fn loc_interner() -> &'static Mutex<Interner> {
+    static I: OnceLock<Mutex<Interner>> = OnceLock::new();
+    I.get_or_init(|| Mutex::new(Interner::default()))
+}
+
+fn reg_interner() -> &'static Mutex<Interner> {
+    static I: OnceLock<Mutex<Interner>> = OnceLock::new();
+    I.get_or_init(|| Mutex::new(Interner::default()))
+}
+
+/// A shared-memory location (`x`, `y`, … in the paper).
+///
+/// ```
+/// use seqwm_lang::Loc;
+/// let x = Loc::new("x");
+/// assert_eq!(x, Loc::new("x"));
+/// assert_ne!(x, Loc::new("y"));
+/// assert_eq!(x.name(), "x");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc(u32);
+
+impl Loc {
+    /// Interns `name` and returns the corresponding location.
+    pub fn new(name: &str) -> Self {
+        Loc(loc_interner().lock().unwrap().intern(name))
+    }
+
+    /// The raw interner index (stable for the lifetime of the process).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The original source name of this location.
+    pub fn name(self) -> String {
+        loc_interner().lock().unwrap().name(self.0)
+    }
+}
+
+impl fmt::Debug for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Loc({})", self.name())
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl From<&str> for Loc {
+    fn from(name: &str) -> Self {
+        Loc::new(name)
+    }
+}
+
+/// A thread-local register (`a`, `b`, `r`, … in the paper).
+///
+/// ```
+/// use seqwm_lang::Reg;
+/// let a = Reg::new("a");
+/// assert_eq!(a, Reg::new("a"));
+/// assert_eq!(a.name(), "a");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u32);
+
+impl Reg {
+    /// Interns `name` and returns the corresponding register.
+    pub fn new(name: &str) -> Self {
+        Reg(reg_interner().lock().unwrap().intern(name))
+    }
+
+    /// The raw interner index (stable for the lifetime of the process).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The original source name of this register.
+    pub fn name(self) -> String {
+        reg_interner().lock().unwrap().name(self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg({})", self.name())
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl From<&str> for Reg {
+    fn from(name: &str) -> Self {
+        Reg::new(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_interning_is_stable() {
+        let a = Loc::new("alpha");
+        let b = Loc::new("beta");
+        let a2 = Loc::new("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), a2.index());
+        assert_eq!(a.name(), "alpha");
+        assert_eq!(b.name(), "beta");
+    }
+
+    #[test]
+    fn reg_and_loc_namespaces_are_independent() {
+        let l = Loc::new("zz_shared");
+        let r = Reg::new("zz_shared");
+        // Identical names in distinct namespaces must not interfere.
+        assert_eq!(l.name(), r.name());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        let l = Loc::new("flag");
+        assert_eq!(format!("{l}"), "flag");
+        let r = Reg::new("tmp");
+        assert_eq!(format!("{r}"), "tmp");
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_tagged() {
+        assert_eq!(format!("{:?}", Loc::new("d1")), "Loc(d1)");
+        assert_eq!(format!("{:?}", Reg::new("d2")), "Reg(d2)");
+    }
+
+    #[test]
+    fn from_str_conversions() {
+        let l: Loc = "convloc".into();
+        assert_eq!(l, Loc::new("convloc"));
+        let r: Reg = "convreg".into();
+        assert_eq!(r, Reg::new("convreg"));
+    }
+}

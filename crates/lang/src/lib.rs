@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! # seqwm-lang
+//!
+//! The `WHILE` toy concurrent language of *Sequential Reasoning for Optimizing
+//! Compilers under Weak Memory Concurrency* (Cho, Lee, Lee, Hur, Lahav;
+//! PLDI 2022), together with its reading as a labeled transition system (LTS).
+//!
+//! The paper (§2, "Program representation") deliberately abstracts the
+//! programming language as an LTS whose transitions are labelled with the
+//! action performed:
+//!
+//! * silent transitions (conditionals, register assignments),
+//! * `choose(v)` transitions resolving internal non-determinism,
+//! * `R^o(x, v)` reads with mode `o ∈ {na, rlx, acq}`,
+//! * `W^o(x, v)` writes with mode `o ∈ {na, rlx, rel}`,
+//!
+//! terminating either in `return(v)` or in the error state `⊥` (undefined
+//! behaviour). This crate provides a concrete such language — abstract syntax
+//! ([`stmt::Stmt`], [`expr::Expr`]), a hand-written parser ([`parser`]), a
+//! pretty-printer, and the LTS itself ([`lts::ProgState`]) — used by every
+//! other crate in the workspace:
+//!
+//! * `seqwm-seq` runs programs on the sequential permission machine **SEQ**,
+//! * `seqwm-promising` runs them on the promising semantics **PS^na**,
+//! * `seqwm-opt` analyses and transforms them.
+//!
+//! Values ([`value::Value`]) include the distinguished `undef` used for racy
+//! non-atomic reads; branching on `undef` invokes UB (Remark 1 of the paper),
+//! and `freeze` resolves `undef` to a non-deterministically chosen defined
+//! value, surfaced as a `choose(v)` transition.
+//!
+//! ## Example
+//!
+//! ```
+//! use seqwm_lang::parser::parse_program;
+//! use seqwm_lang::lts::{ProgState, Step};
+//!
+//! let prog = parse_program("store[na](x, 1); r := load[na](x); return r;")?;
+//! let mut st = ProgState::new(&prog);
+//! // After administrative silent steps, the first visible action is a
+//! // non-atomic write of 1 to x:
+//! loop {
+//!     match st.step() {
+//!         Step::Silent(next) => st = next,
+//!         Step::Write { val, .. } => break assert_eq!(val.as_int(), Some(1)),
+//!         other => panic!("unexpected step {other:?}"),
+//!     }
+//! }
+//! # Ok::<(), seqwm_lang::parser::ParseError>(())
+//! ```
+
+pub mod event;
+pub mod expr;
+pub mod ident;
+pub mod lts;
+pub mod parser;
+pub mod stmt;
+pub mod value;
+
+pub use event::{Event, FenceMode, ReadMode, RmwMode, WriteMode};
+pub use expr::Expr;
+pub use ident::{Loc, Reg};
+pub use lts::{ChoiceSet, ProgState, RegFile, RmwResolution, Step};
+pub use stmt::{Program, Stmt};
+pub use value::Value;

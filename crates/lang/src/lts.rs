@@ -1,0 +1,790 @@
+//! The labeled-transition-system reading of programs (§2, "Program
+//! representation in the paper").
+//!
+//! A program state [`ProgState`] packages the continuation (a stack of
+//! statements still to run) with the local register file. The machine
+//! driving the program calls [`ProgState::step`], which returns the unique
+//! enabled [`Step`]:
+//!
+//! * value-*supplying* steps ([`Step::Silent`], [`Step::Write`], …) carry
+//!   the successor state directly, whereas
+//! * value-*demanding* steps ([`Step::Read`], [`Step::Rmw`],
+//!   [`Step::Choose`]) are resumed by the machine via
+//!   [`ProgState::resume_read`] / [`ProgState::resume_rmw`] /
+//!   [`ProgState::resume_choose`], which supply the environment-chosen
+//!   value.
+//!
+//! This structure makes every `ProgState` *deterministic* in the sense of
+//! Def. 6.1 of the paper: distinct transitions from the same state differ
+//! only in the read/chosen value. [`ProgState::check_deterministic`] is
+//! kept as an executable witness of that property.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::event::{FenceMode, ReadMode, RmwMode, WriteMode};
+use crate::ident::{Loc, Reg};
+use crate::stmt::{Program, Stmt};
+use crate::value::{Value, ValueError};
+
+/// A register file: total map from registers to values, defaulting to `0`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct RegFile {
+    map: BTreeMap<Reg, Value>,
+}
+
+impl RegFile {
+    /// An empty register file (all registers read as `0`).
+    pub fn new() -> Self {
+        RegFile::default()
+    }
+
+    /// Reads register `r` (default `0`).
+    pub fn get(&self, r: Reg) -> Value {
+        self.map.get(&r).copied().unwrap_or_default()
+    }
+
+    /// Writes register `r`.
+    pub fn set(&mut self, r: Reg, v: Value) {
+        self.map.insert(r, v);
+    }
+
+    /// Iterates over explicitly written registers.
+    pub fn iter(&self) -> impl Iterator<Item = (Reg, Value)> + '_ {
+        self.map.iter().map(|(r, v)| (*r, *v))
+    }
+}
+
+impl fmt::Display for RegFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (r, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Run status of a program state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Status {
+    /// Still executing.
+    Running,
+    /// Terminated normally: `return(v)`.
+    Returned(Value),
+    /// The error state `⊥` (undefined behaviour).
+    Failed,
+}
+
+/// The set of values offered by a `choose(v)` transition.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ChoiceSet {
+    /// An explicit finite set (from `r := choose(v1, .., vn)`).
+    Explicit(Vec<Value>),
+    /// Any *defined* value (from `freeze` of `undef`); the machine picks
+    /// from its configured value domain.
+    AnyDefined,
+}
+
+impl ChoiceSet {
+    /// Is `v` a legal resolution of this choice?
+    pub fn admits(&self, v: Value) -> bool {
+        match self {
+            ChoiceSet::Explicit(vs) => vs.contains(&v),
+            ChoiceSet::AnyDefined => !v.is_undef(),
+        }
+    }
+
+    /// Enumerates the choices, using `domain` for [`ChoiceSet::AnyDefined`].
+    pub fn enumerate(&self, domain: &[i64]) -> Vec<Value> {
+        match self {
+            ChoiceSet::Explicit(vs) => vs.clone(),
+            ChoiceSet::AnyDefined => domain.iter().map(|&n| Value::Int(n)).collect(),
+        }
+    }
+}
+
+/// The unique enabled transition of a program state.
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// Normal termination with final value `v` (`σ = return(v)`).
+    Terminated(Value),
+    /// The program is at `⊥` (undefined behaviour).
+    Fail,
+    /// A silent step (`σ → σ'`): local computation, control flow.
+    Silent(ProgState),
+    /// A `choose(v)` step; resume with [`ProgState::resume_choose`].
+    Choose(ChoiceSet),
+    /// A read request `R^o(x, ·)`; resume with [`ProgState::resume_read`].
+    Read {
+        /// Location read.
+        loc: Loc,
+        /// Read access mode.
+        mode: ReadMode,
+    },
+    /// A write `W^o(x, v)`, with the successor state attached.
+    Write {
+        /// Location written.
+        loc: Loc,
+        /// Write access mode.
+        mode: WriteMode,
+        /// Value written.
+        val: Value,
+        /// Successor program state.
+        next: ProgState,
+    },
+    /// An atomic update request `U^o(x, ·)`; resume with
+    /// [`ProgState::resume_rmw`].
+    Rmw {
+        /// Location updated.
+        loc: Loc,
+        /// RMW access mode.
+        mode: RmwMode,
+    },
+    /// A fence, with the successor state attached.
+    Fence {
+        /// Fence mode.
+        mode: FenceMode,
+        /// Successor program state.
+        next: ProgState,
+    },
+    /// An observable system call (`print`), with the successor attached.
+    Syscall {
+        /// Value printed.
+        val: Value,
+        /// Successor program state.
+        next: ProgState,
+    },
+}
+
+/// Resolution of an RMW once the machine supplies the read value.
+#[derive(Clone, Debug)]
+pub struct RmwResolution {
+    /// The value to write, or `None` if the update does not write
+    /// (a failed CAS behaves as a plain read).
+    pub write: Option<Value>,
+    /// Successor program state.
+    pub next: ProgState,
+}
+
+/// A program state `σ`: continuation stack + register file + status.
+///
+/// Cheap to clone (statements are shared via [`Arc`]); `Eq`/`Hash` are
+/// structural, enabling memoized state-space exploration.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ProgState {
+    /// Continuation stack; the *last* element is the next statement.
+    cont: Vec<Arc<Stmt>>,
+    regs: RegFile,
+    status: Status,
+}
+
+impl ProgState {
+    /// Initial state of a program with a fresh register file.
+    pub fn new(prog: &Program) -> Self {
+        Self::with_regs(prog, RegFile::new())
+    }
+
+    /// Initial state with the given register file.
+    pub fn with_regs(prog: &Program, regs: RegFile) -> Self {
+        ProgState {
+            cont: vec![Arc::new(prog.body.clone())],
+            regs,
+            status: Status::Running,
+        }
+    }
+
+    /// Initial state from a bare statement.
+    pub fn from_stmt(stmt: Stmt) -> Self {
+        ProgState {
+            cont: vec![Arc::new(stmt)],
+            regs: RegFile::new(),
+            status: Status::Running,
+        }
+    }
+
+    /// The dedicated error state `⊥`.
+    pub fn bottom() -> Self {
+        ProgState {
+            cont: Vec::new(),
+            regs: RegFile::new(),
+            status: Status::Failed,
+        }
+    }
+
+    /// The register file of this state.
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// Returns a state that first runs `stmt` and then continues as `self`.
+    ///
+    /// Used by machines to decompose composite operations (e.g. an
+    /// `acqrel` fence into a release part followed by an acquire part).
+    pub fn prefixed(&self, stmt: Stmt) -> ProgState {
+        let mut s = self.clone();
+        if s.status == Status::Running {
+            s.cont.push(Arc::new(stmt));
+        }
+        s
+    }
+
+    /// Is this the error state `⊥`?
+    pub fn is_failed(&self) -> bool {
+        self.status == Status::Failed
+    }
+
+    /// The set of locations the remaining program may still write to
+    /// (syntactic over-approximation). Machines use this to prune doomed
+    /// promise candidates: a promise on a location the thread can never
+    /// write is never certifiable.
+    pub fn may_write_locs(&self) -> std::collections::BTreeSet<Loc> {
+        let mut out = std::collections::BTreeSet::new();
+        for stmt in &self.cont {
+            stmt.visit(&mut |s| match s {
+                Stmt::Store(x, _, _) => {
+                    out.insert(*x);
+                }
+                Stmt::Cas { loc, .. } | Stmt::Fadd { loc, .. } => {
+                    out.insert(*loc);
+                }
+                _ => {}
+            });
+        }
+        out
+    }
+
+    /// Has the program terminated normally?
+    ///
+    /// Note: a running state with an exhausted continuation is *not yet*
+    /// terminated — it takes one more silent step into the implicit
+    /// `return 0` state. This mirrors the paper's interaction-tree
+    /// representation, where a `Tau` node always separates the last event
+    /// from the `Ret` leaf; the intermediate state generates a partial
+    /// behavior, on which several of the paper's refinement claims rely
+    /// (e.g. the introduction direction of Example 2.6).
+    pub fn returned(&self) -> Option<Value> {
+        match self.status {
+            Status::Returned(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn eval(&self, e: &crate::expr::Expr) -> Result<Value, ValueError> {
+        let regs = &self.regs;
+        e.eval(&|r| regs.get(r))
+    }
+
+    fn popped(&self) -> ProgState {
+        let mut s = self.clone();
+        s.cont.pop();
+        s
+    }
+
+    fn failed(&self) -> ProgState {
+        let mut s = self.clone();
+        s.status = Status::Failed;
+        s.cont.clear();
+        s
+    }
+
+    fn popped_set(&self, r: Reg, v: Value) -> ProgState {
+        let mut s = self.popped();
+        s.regs.set(r, v);
+        s
+    }
+
+    /// Computes the unique enabled transition of this state.
+    ///
+    /// Value-demanding transitions ([`Step::Read`], [`Step::Rmw`],
+    /// [`Step::Choose`]) must be completed with the corresponding
+    /// `resume_*` method on the *same* state.
+    pub fn step(&self) -> Step {
+        match self.status {
+            Status::Failed => return Step::Fail,
+            Status::Returned(v) => return Step::Terminated(v),
+            Status::Running => {}
+        }
+        let Some(top) = self.cont.last() else {
+            // Fell off the end of the program: one silent step into the
+            // implicit `return 0` (see `returned` for why this is not an
+            // immediate termination).
+            let mut s = self.clone();
+            s.status = Status::Returned(Value::ZERO);
+            return Step::Silent(s);
+        };
+        match &**top {
+            Stmt::Skip => Step::Silent(self.popped()),
+            Stmt::Assign(r, e) => match self.eval(e) {
+                Ok(v) => Step::Silent(self.popped_set(*r, v)),
+                Err(_) => Step::Silent(self.failed()),
+            },
+            Stmt::Load(_, x, m) => Step::Read { loc: *x, mode: *m },
+            Stmt::Store(x, m, e) => match self.eval(e) {
+                Ok(v) => Step::Write {
+                    loc: *x,
+                    mode: *m,
+                    val: v,
+                    next: self.popped(),
+                },
+                Err(_) => Step::Silent(self.failed()),
+            },
+            Stmt::Choose(_, vs) => {
+                Step::Choose(ChoiceSet::Explicit(vs.iter().map(|&n| Value::Int(n)).collect()))
+            }
+            Stmt::Freeze(r, e) => match self.eval(e) {
+                Ok(Value::Int(n)) => Step::Silent(self.popped_set(*r, Value::Int(n))),
+                Ok(Value::Undef) => Step::Choose(ChoiceSet::AnyDefined),
+                Err(_) => Step::Silent(self.failed()),
+            },
+            Stmt::Cas { loc, mode, .. } => Step::Rmw {
+                loc: *loc,
+                mode: *mode,
+            },
+            Stmt::Fadd { loc, mode, .. } => Step::Rmw {
+                loc: *loc,
+                mode: *mode,
+            },
+            Stmt::Fence(m) => Step::Fence {
+                mode: *m,
+                next: self.popped(),
+            },
+            Stmt::Seq(a, b) => {
+                let mut s = self.popped();
+                s.cont.push(Arc::new((**b).clone()));
+                s.cont.push(Arc::new((**a).clone()));
+                Step::Silent(s)
+            }
+            Stmt::If(e, a, b) => match self.eval(e).map(Value::truthiness) {
+                Ok(Some(true)) => {
+                    let mut s = self.popped();
+                    s.cont.push(Arc::new((**a).clone()));
+                    Step::Silent(s)
+                }
+                Ok(Some(false)) => {
+                    let mut s = self.popped();
+                    s.cont.push(Arc::new((**b).clone()));
+                    Step::Silent(s)
+                }
+                // Branching on undef invokes UB (Remark 1).
+                Ok(None) | Err(_) => Step::Silent(self.failed()),
+            },
+            Stmt::While(e, body) => match self.eval(e).map(Value::truthiness) {
+                Ok(Some(true)) => {
+                    let again = Arc::clone(top);
+                    let mut s = self.popped();
+                    s.cont.push(again);
+                    s.cont.push(Arc::new((**body).clone()));
+                    Step::Silent(s)
+                }
+                Ok(Some(false)) => Step::Silent(self.popped()),
+                Ok(None) | Err(_) => Step::Silent(self.failed()),
+            },
+            Stmt::Print(e) => match self.eval(e) {
+                Ok(v) => Step::Syscall {
+                    val: v,
+                    next: self.popped(),
+                },
+                Err(_) => Step::Silent(self.failed()),
+            },
+            Stmt::Abort => Step::Silent(self.failed()),
+            Stmt::Return(e) => match self.eval(e) {
+                Ok(v) => {
+                    let mut s = self.popped();
+                    s.cont.clear();
+                    s.status = Status::Returned(v);
+                    Step::Silent(s)
+                }
+                Err(_) => Step::Silent(self.failed()),
+            },
+        }
+    }
+
+    /// Completes a [`Step::Read`] by supplying the value read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current statement is not a load.
+    pub fn resume_read(&self, v: Value) -> ProgState {
+        match self.cont.last().map(|s| &**s) {
+            Some(Stmt::Load(r, _, _)) => self.popped_set(*r, v),
+            other => panic!("resume_read on non-load statement: {other:?}"),
+        }
+    }
+
+    /// Completes a [`Step::Choose`] by supplying the chosen value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current statement is not a `choose`/`freeze`, or if the
+    /// supplied value is not admitted by the choice set.
+    pub fn resume_choose(&self, v: Value) -> ProgState {
+        match self.cont.last().map(|s| &**s) {
+            Some(Stmt::Choose(r, vs)) => {
+                assert!(
+                    vs.contains(&v.as_int().expect("choose of a defined value")),
+                    "value {v} not in choose set"
+                );
+                self.popped_set(*r, v)
+            }
+            Some(Stmt::Freeze(r, _)) => {
+                assert!(!v.is_undef(), "freeze must resolve to a defined value");
+                self.popped_set(*r, v)
+            }
+            other => panic!("resume_choose on non-choice statement: {other:?}"),
+        }
+    }
+
+    /// Completes a [`Step::Rmw`] by supplying the value read; returns the
+    /// value to write (if any) and the successor state.
+    ///
+    /// A CAS whose comparison involves `undef` invokes UB (comparison on
+    /// `undef` is a branch on `undef`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current statement is not an RMW.
+    pub fn resume_rmw(&self, read: Value) -> RmwResolution {
+        match self.cont.last().map(|s| &**s) {
+            Some(Stmt::Cas {
+                dst,
+                expected,
+                new,
+                ..
+            }) => {
+                let (exp, newv) = match (self.eval(expected), self.eval(new)) {
+                    (Ok(e), Ok(n)) => (e, n),
+                    _ => {
+                        return RmwResolution {
+                            write: None,
+                            next: self.failed(),
+                        }
+                    }
+                };
+                match (read, exp) {
+                    (Value::Int(r), Value::Int(e)) => RmwResolution {
+                        write: (r == e).then_some(newv),
+                        next: self.popped_set(*dst, read),
+                    },
+                    // Comparison on undef = branch on undef = UB.
+                    _ => RmwResolution {
+                        write: None,
+                        next: self.failed(),
+                    },
+                }
+            }
+            Some(Stmt::Fadd { dst, operand, .. }) => match self.eval(operand) {
+                Ok(op) => RmwResolution {
+                    write: Some(crate::value::arith(read, op, i64::wrapping_add)),
+                    next: self.popped_set(*dst, read),
+                },
+                Err(_) => RmwResolution {
+                    write: None,
+                    next: self.failed(),
+                },
+            },
+            other => panic!("resume_rmw on non-RMW statement: {other:?}"),
+        }
+    }
+
+    /// Executable witness of Def. 6.1 (determinism): every state offers
+    /// exactly one kind of transition, parameterized only by read/chosen
+    /// values. Returns `true` unconditionally for states of this LTS; kept
+    /// as a structural check used in tests.
+    pub fn check_deterministic(&self) -> bool {
+        // By construction `step` is a function of the state, so two
+        // transitions from the same state can only be two instantiations of
+        // the same Read/Choose/Rmw step with different values — exactly the
+        // cases (ii)/(iii) of Def. 6.1.
+        true
+    }
+}
+
+impl fmt::Display for ProgState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.status {
+            Status::Failed => write!(f, "⊥"),
+            Status::Returned(v) => write!(f, "return({v})"),
+            Status::Running => {
+                write!(f, "⟨{} stmts, regs={}⟩", self.cont.len(), self.regs)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn run_silent(mut st: ProgState) -> ProgState {
+        loop {
+            match st.step() {
+                Step::Silent(next) => st = next,
+                _ => return st,
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_execution() {
+        let prog = Program::new(Stmt::block([
+            Stmt::Assign(Reg::new("la"), Expr::int(1)),
+            Stmt::Assign(
+                Reg::new("lb"),
+                Expr::bin(crate::expr::BinOp::Add, Expr::reg("la"), Expr::int(2)),
+            ),
+            Stmt::Return(Expr::reg("lb")),
+        ]));
+        let st = run_silent(ProgState::new(&prog));
+        match st.step() {
+            Step::Terminated(v) => assert_eq!(v, Value::Int(3)),
+            other => panic!("expected termination, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implicit_return_zero() {
+        let st = run_silent(ProgState::from_stmt(Stmt::Skip));
+        match st.step() {
+            Step::Terminated(v) => assert_eq!(v, Value::ZERO),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_and_resume() {
+        let x = Loc::new("lx");
+        let st = run_silent(ProgState::from_stmt(Stmt::block([
+            Stmt::Load(Reg::new("lr"), x, ReadMode::Acq),
+            Stmt::Return(Expr::reg("lr")),
+        ])));
+        match st.step() {
+            Step::Read { loc, mode } => {
+                assert_eq!(loc, x);
+                assert_eq!(mode, ReadMode::Acq);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let st = run_silent(st.resume_read(Value::Int(7)));
+        match st.step() {
+            Step::Terminated(v) => assert_eq!(v, Value::Int(7)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_carries_value() {
+        let x = Loc::new("lsx");
+        let st = run_silent(ProgState::from_stmt(Stmt::Store(
+            x,
+            WriteMode::Rel,
+            Expr::int(9),
+        )));
+        match st.step() {
+            Step::Write {
+                loc,
+                mode,
+                val,
+                next,
+            } => {
+                assert_eq!(loc, x);
+                assert_eq!(mode, WriteMode::Rel);
+                assert_eq!(val, Value::Int(9));
+                let done = run_silent(next);
+                assert!(matches!(done.step(), Step::Terminated(Value::Int(0))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_on_undef_is_ub() {
+        let st = run_silent(ProgState::from_stmt(Stmt::block([
+            Stmt::Assign(Reg::new("lu"), Expr::undef()),
+            Stmt::If(
+                Expr::eq(Expr::reg("lu"), Expr::int(1)),
+                Box::new(Stmt::Skip),
+                Box::new(Stmt::Skip),
+            ),
+        ])));
+        assert!(matches!(st.step(), Step::Fail));
+        assert!(st.is_failed());
+    }
+
+    #[test]
+    fn freeze_defined_is_silent_freeze_undef_chooses() {
+        let st = run_silent(ProgState::from_stmt(Stmt::block([
+            Stmt::Freeze(Reg::new("lf"), Expr::int(5)),
+            Stmt::Return(Expr::reg("lf")),
+        ])));
+        assert!(matches!(st.step(), Step::Terminated(Value::Int(5))));
+
+        let st = run_silent(ProgState::from_stmt(Stmt::block([
+            Stmt::Assign(Reg::new("lg"), Expr::undef()),
+            Stmt::Freeze(Reg::new("lh"), Expr::reg("lg")),
+            Stmt::Return(Expr::reg("lh")),
+        ])));
+        match st.step() {
+            Step::Choose(ChoiceSet::AnyDefined) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let st = run_silent(st.resume_choose(Value::Int(3)));
+        assert!(matches!(st.step(), Step::Terminated(Value::Int(3))));
+    }
+
+    #[test]
+    fn explicit_choose() {
+        let st = run_silent(ProgState::from_stmt(Stmt::block([
+            Stmt::Choose(Reg::new("lc"), vec![1, 2]),
+            Stmt::Return(Expr::reg("lc")),
+        ])));
+        match st.step() {
+            Step::Choose(ChoiceSet::Explicit(vs)) => {
+                assert_eq!(vs, vec![Value::Int(1), Value::Int(2)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let st = run_silent(st.resume_choose(Value::Int(2)));
+        assert!(matches!(st.step(), Step::Terminated(Value::Int(2))));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in choose set")]
+    fn choose_rejects_foreign_value() {
+        let st = run_silent(ProgState::from_stmt(Stmt::Choose(Reg::new("lcx"), vec![1])));
+        let _ = st.resume_choose(Value::Int(9));
+    }
+
+    #[test]
+    fn while_loop_iterates() {
+        // i := 3; acc := 0; while i > 0 { acc := acc + i; i := i - 1 }; return acc
+        use crate::expr::BinOp;
+        let prog = Stmt::block([
+            Stmt::Assign(Reg::new("li"), Expr::int(3)),
+            Stmt::Assign(Reg::new("lacc"), Expr::int(0)),
+            Stmt::While(
+                Expr::bin(BinOp::Gt, Expr::reg("li"), Expr::int(0)),
+                Box::new(Stmt::block([
+                    Stmt::Assign(
+                        Reg::new("lacc"),
+                        Expr::bin(BinOp::Add, Expr::reg("lacc"), Expr::reg("li")),
+                    ),
+                    Stmt::Assign(
+                        Reg::new("li"),
+                        Expr::bin(BinOp::Sub, Expr::reg("li"), Expr::int(1)),
+                    ),
+                ])),
+            ),
+            Stmt::Return(Expr::reg("lacc")),
+        ]);
+        let st = run_silent(ProgState::from_stmt(prog));
+        assert!(matches!(st.step(), Step::Terminated(Value::Int(6))));
+    }
+
+    #[test]
+    fn division_by_zero_fails() {
+        let st = run_silent(ProgState::from_stmt(Stmt::Assign(
+            Reg::new("ld"),
+            Expr::bin(crate::expr::BinOp::Div, Expr::int(1), Expr::int(0)),
+        )));
+        assert!(st.is_failed());
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let x = Loc::new("lcas");
+        let mk = || {
+            run_silent(ProgState::from_stmt(Stmt::block([
+                Stmt::Cas {
+                    dst: Reg::new("lo"),
+                    loc: x,
+                    expected: Expr::int(0),
+                    new: Expr::int(1),
+                    mode: RmwMode::AcqRel,
+                },
+                Stmt::Return(Expr::reg("lo")),
+            ])))
+        };
+        let st = mk();
+        assert!(matches!(st.step(), Step::Rmw { .. }));
+        // Success: read 0, writes 1.
+        let res = st.resume_rmw(Value::Int(0));
+        assert_eq!(res.write, Some(Value::Int(1)));
+        let done = run_silent(res.next);
+        assert!(matches!(done.step(), Step::Terminated(Value::Int(0))));
+        // Failure: read 5, no write.
+        let res = mk().resume_rmw(Value::Int(5));
+        assert_eq!(res.write, None);
+        let done = run_silent(res.next);
+        assert!(matches!(done.step(), Step::Terminated(Value::Int(5))));
+        // Undef comparison: UB.
+        let res = mk().resume_rmw(Value::Undef);
+        assert!(res.next.is_failed());
+    }
+
+    #[test]
+    fn fadd_adds_and_propagates_undef() {
+        let x = Loc::new("lfadd");
+        let st = run_silent(ProgState::from_stmt(Stmt::Fadd {
+            dst: Reg::new("lfd"),
+            loc: x,
+            operand: Expr::int(2),
+            mode: RmwMode::Rlx,
+        }));
+        let res = st.resume_rmw(Value::Int(40));
+        assert_eq!(res.write, Some(Value::Int(42)));
+        let res = st.resume_rmw(Value::Undef);
+        assert_eq!(res.write, Some(Value::Undef));
+    }
+
+    #[test]
+    fn syscall_and_fence() {
+        let st = run_silent(ProgState::from_stmt(Stmt::block([
+            Stmt::Print(Expr::int(4)),
+            Stmt::Fence(FenceMode::Sc),
+        ])));
+        match st.step() {
+            Step::Syscall { val, next } => {
+                assert_eq!(val, Value::Int(4));
+                let st = run_silent(next);
+                match st.step() {
+                    Step::Fence { mode, .. } => assert_eq!(mode, FenceMode::Sc),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_reaches_bottom() {
+        let st = run_silent(ProgState::from_stmt(Stmt::Abort));
+        assert!(st.is_failed());
+        assert_eq!(st, ProgState::bottom());
+    }
+
+    #[test]
+    fn states_are_hashable_and_deduplicate() {
+        use std::collections::HashSet;
+        let p = Program::new(Stmt::block([
+            Stmt::Assign(Reg::new("lha"), Expr::int(1)),
+            Stmt::Return(Expr::reg("lha")),
+        ]));
+        let s1 = ProgState::new(&p);
+        let s2 = ProgState::new(&p);
+        let mut set = HashSet::new();
+        set.insert(s1);
+        assert!(set.contains(&s2));
+    }
+
+    #[test]
+    fn determinism_witness() {
+        let p = Program::new(Stmt::Skip);
+        assert!(ProgState::new(&p).check_deterministic());
+    }
+}

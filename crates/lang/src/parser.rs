@@ -1,0 +1,875 @@
+//! A hand-written lexer and recursive-descent parser for the `WHILE`
+//! concrete syntax.
+//!
+//! The syntax is designed to be unambiguous about the register/location
+//! distinction: shared-memory accesses always go through the
+//! `load[mode](x)` / `store[mode](x, e)` / `cas[mode](x, e, e)` /
+//! `fadd[mode](x, e)` forms, everything else is register-level.
+//!
+//! ```
+//! use seqwm_lang::parser::parse_program;
+//! let prog = parse_program(
+//!     "store[na](x, 42);
+//!      l := load[acq](y);
+//!      if (l == 0) { a := load[na](x); } else { skip; }
+//!      store[rel](y, 1);
+//!      b := load[na](x);
+//!      return b;",
+//! )?;
+//! assert_eq!(prog.locs().len(), 2);
+//! # Ok::<(), seqwm_lang::parser::ParseError>(())
+//! ```
+//!
+//! The pretty-printer ([`crate::stmt::Stmt`]'s `Display`) emits exactly this
+//! syntax, and round-tripping is tested.
+
+use std::fmt;
+
+use crate::event::{FenceMode, ReadMode, RmwMode, WriteMode};
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::ident::{Loc, Reg};
+use crate::stmt::{Program, Stmt};
+use crate::value::Value;
+
+/// A parse error with 1-based line/column information.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Assign, // :=
+    Semi,
+    Comma,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    EqEq,
+    NotEq,
+    Le,
+    Ge,
+    Lt,
+    Gt,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    AndAnd,
+    OrOr,
+    Bang,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(n) => write!(f, "integer `{n}`"),
+            Tok::Assign => write!(f, "`:=`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::NotEq => write!(f, "`!=`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::AndAnd => write!(f, "`&&`"),
+            Tok::OrOr => write!(f, "`||`"),
+            Tok::Bang => write!(f, "`!`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                // Line comments: `//`
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<Spanned>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                out.push(Spanned {
+                    tok: Tok::Eof,
+                    line,
+                    col,
+                });
+                return Ok(out);
+            };
+            let tok = match c {
+                b';' => {
+                    self.bump();
+                    Tok::Semi
+                }
+                b',' => {
+                    self.bump();
+                    Tok::Comma
+                }
+                b'(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                b')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                b'{' => {
+                    self.bump();
+                    Tok::LBrace
+                }
+                b'}' => {
+                    self.bump();
+                    Tok::RBrace
+                }
+                b'[' => {
+                    self.bump();
+                    Tok::LBracket
+                }
+                b']' => {
+                    self.bump();
+                    Tok::RBracket
+                }
+                b'+' => {
+                    self.bump();
+                    Tok::Plus
+                }
+                b'-' => {
+                    self.bump();
+                    Tok::Minus
+                }
+                b'*' => {
+                    self.bump();
+                    Tok::Star
+                }
+                b'/' => {
+                    self.bump();
+                    Tok::Slash
+                }
+                b'%' => {
+                    self.bump();
+                    Tok::Percent
+                }
+                b':' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Assign
+                    } else {
+                        return Err(self.err("expected `=` after `:`"));
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::EqEq
+                    } else {
+                        return Err(self.err("expected `==` (use `:=` for assignment)"));
+                    }
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::NotEq
+                    } else {
+                        Tok::Bang
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Le
+                    } else {
+                        Tok::Lt
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Ge
+                    } else {
+                        Tok::Gt
+                    }
+                }
+                b'&' => {
+                    self.bump();
+                    if self.peek() == Some(b'&') {
+                        self.bump();
+                        Tok::AndAnd
+                    } else {
+                        return Err(self.err("expected `&&`"));
+                    }
+                }
+                b'|' => {
+                    self.bump();
+                    if self.peek() == Some(b'|') {
+                        self.bump();
+                        Tok::OrOr
+                    } else {
+                        return Err(self.err("expected `||`"));
+                    }
+                }
+                b'0'..=b'9' => {
+                    let mut n: i64 = 0;
+                    while let Some(d) = self.peek() {
+                        if d.is_ascii_digit() {
+                            n = n
+                                .checked_mul(10)
+                                .and_then(|n| n.checked_add(i64::from(d - b'0')))
+                                .ok_or_else(|| self.err("integer literal overflows i64"))?;
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    Tok::Int(n)
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let start = self.pos;
+                    while let Some(d) = self.peek() {
+                        if d.is_ascii_alphanumeric() || d == b'_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let s = std::str::from_utf8(&self.src[start..self.pos])
+                        .expect("ascii ident")
+                        .to_owned();
+                    Tok::Ident(s)
+                }
+                other => {
+                    return Err(self.err(format!("unexpected character `{}`", other as char)))
+                }
+            };
+            out.push(Spanned { tok, line, col });
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> ParseError {
+        let sp = &self.toks[self.pos];
+        ParseError {
+            message: message.into(),
+            line: sp.line,
+            col: sp.col,
+        }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        if self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {t}, found {}", self.peek())))
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err_here(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn read_mode(&mut self) -> Result<ReadMode, ParseError> {
+        self.expect(&Tok::LBracket)?;
+        let name = self.eat_ident()?;
+        let mode = match name.as_str() {
+            "na" => ReadMode::Na,
+            "rlx" => ReadMode::Rlx,
+            "acq" => ReadMode::Acq,
+            other => return Err(self.err_here(format!("unknown read mode `{other}`"))),
+        };
+        self.expect(&Tok::RBracket)?;
+        Ok(mode)
+    }
+
+    fn write_mode(&mut self) -> Result<WriteMode, ParseError> {
+        self.expect(&Tok::LBracket)?;
+        let name = self.eat_ident()?;
+        let mode = match name.as_str() {
+            "na" => WriteMode::Na,
+            "rlx" => WriteMode::Rlx,
+            "rel" => WriteMode::Rel,
+            other => return Err(self.err_here(format!("unknown write mode `{other}`"))),
+        };
+        self.expect(&Tok::RBracket)?;
+        Ok(mode)
+    }
+
+    fn rmw_mode(&mut self) -> Result<RmwMode, ParseError> {
+        self.expect(&Tok::LBracket)?;
+        let name = self.eat_ident()?;
+        let mode = match name.as_str() {
+            "rlx" => RmwMode::Rlx,
+            "acq" => RmwMode::Acq,
+            "rel" => RmwMode::Rel,
+            "acqrel" => RmwMode::AcqRel,
+            other => return Err(self.err_here(format!("unknown RMW mode `{other}`"))),
+        };
+        self.expect(&Tok::RBracket)?;
+        Ok(mode)
+    }
+
+    fn fence_mode(&mut self) -> Result<FenceMode, ParseError> {
+        self.expect(&Tok::LBracket)?;
+        let name = self.eat_ident()?;
+        let mode = match name.as_str() {
+            "acq" => FenceMode::Acq,
+            "rel" => FenceMode::Rel,
+            "acqrel" => FenceMode::AcqRel,
+            "sc" => FenceMode::Sc,
+            other => return Err(self.err_here(format!("unknown fence mode `{other}`"))),
+        };
+        self.expect(&Tok::RBracket)?;
+        Ok(mode)
+    }
+
+    fn block(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(Stmt::block(stmts))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(kw) => match kw.as_str() {
+                "skip" => {
+                    self.bump();
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::Skip)
+                }
+                "abort" => {
+                    self.bump();
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::Abort)
+                }
+                "return" => {
+                    self.bump();
+                    let e = self.expr()?;
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::Return(e))
+                }
+                "print" => {
+                    self.bump();
+                    self.expect(&Tok::LParen)?;
+                    let e = self.expr()?;
+                    self.expect(&Tok::RParen)?;
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::Print(e))
+                }
+                "fence" => {
+                    self.bump();
+                    let m = self.fence_mode()?;
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::Fence(m))
+                }
+                "store" => {
+                    self.bump();
+                    let m = self.write_mode()?;
+                    self.expect(&Tok::LParen)?;
+                    let loc = Loc::new(&self.eat_ident()?);
+                    self.expect(&Tok::Comma)?;
+                    let e = self.expr()?;
+                    self.expect(&Tok::RParen)?;
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::Store(loc, m, e))
+                }
+                "if" => {
+                    self.bump();
+                    let cond = self.expr()?;
+                    let then = self.block()?;
+                    let els = if matches!(self.peek(), Tok::Ident(s) if s == "else") {
+                        self.bump();
+                        self.block()?
+                    } else {
+                        Stmt::Skip
+                    };
+                    Ok(Stmt::If(cond, Box::new(then), Box::new(els)))
+                }
+                "while" => {
+                    self.bump();
+                    let cond = self.expr()?;
+                    let body = self.block()?;
+                    Ok(Stmt::While(cond, Box::new(body)))
+                }
+                _ => {
+                    // Register assignment forms: `r := rhs ;`
+                    let reg = Reg::new(&self.eat_ident()?);
+                    self.expect(&Tok::Assign)?;
+                    let s = self.assign_rhs(reg)?;
+                    self.expect(&Tok::Semi)?;
+                    Ok(s)
+                }
+            },
+            other => Err(self.err_here(format!("expected a statement, found {other}"))),
+        }
+    }
+
+    fn assign_rhs(&mut self, reg: Reg) -> Result<Stmt, ParseError> {
+        if let Tok::Ident(kw) = self.peek().clone() {
+            match kw.as_str() {
+                "load" => {
+                    self.bump();
+                    let m = self.read_mode()?;
+                    self.expect(&Tok::LParen)?;
+                    let loc = Loc::new(&self.eat_ident()?);
+                    self.expect(&Tok::RParen)?;
+                    return Ok(Stmt::Load(reg, loc, m));
+                }
+                "cas" => {
+                    self.bump();
+                    let m = self.rmw_mode()?;
+                    self.expect(&Tok::LParen)?;
+                    let loc = Loc::new(&self.eat_ident()?);
+                    self.expect(&Tok::Comma)?;
+                    let expected = self.expr()?;
+                    self.expect(&Tok::Comma)?;
+                    let new = self.expr()?;
+                    self.expect(&Tok::RParen)?;
+                    return Ok(Stmt::Cas {
+                        dst: reg,
+                        loc,
+                        expected,
+                        new,
+                        mode: m,
+                    });
+                }
+                "fadd" => {
+                    self.bump();
+                    let m = self.rmw_mode()?;
+                    self.expect(&Tok::LParen)?;
+                    let loc = Loc::new(&self.eat_ident()?);
+                    self.expect(&Tok::Comma)?;
+                    let operand = self.expr()?;
+                    self.expect(&Tok::RParen)?;
+                    return Ok(Stmt::Fadd {
+                        dst: reg,
+                        loc,
+                        operand,
+                        mode: m,
+                    });
+                }
+                "choose" => {
+                    self.bump();
+                    self.expect(&Tok::LParen)?;
+                    let mut vals = Vec::new();
+                    loop {
+                        let neg = if self.peek() == &Tok::Minus {
+                            self.bump();
+                            true
+                        } else {
+                            false
+                        };
+                        match self.bump() {
+                            Tok::Int(n) => vals.push(if neg { -n } else { n }),
+                            other => {
+                                return Err(
+                                    self.err_here(format!("expected integer in choose, found {other}"))
+                                )
+                            }
+                        }
+                        if self.peek() == &Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    return Ok(Stmt::Choose(reg, vals));
+                }
+                "freeze" => {
+                    self.bump();
+                    self.expect(&Tok::LParen)?;
+                    let e = self.expr()?;
+                    self.expect(&Tok::RParen)?;
+                    return Ok(Stmt::Freeze(reg, e));
+                }
+                _ => {}
+            }
+        }
+        Ok(Stmt::Assign(reg, self.expr()?))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.and_expr()?;
+        while self.peek() == &Tok::OrOr {
+            self.bump();
+            e = Expr::bin(BinOp::Or, e, self.and_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.cmp_expr()?;
+        while self.peek() == &Tok::AndAnd {
+            self.bump();
+            e = Expr::bin(BinOp::And, e, self.cmp_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let e = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::EqEq => BinOp::Eq,
+            Tok::NotEq => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(e),
+        };
+        self.bump();
+        Ok(Expr::bin(op, e, self.add_expr()?))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(e),
+            };
+            self.bump();
+            e = Expr::bin(op, e, self.mul_expr()?);
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => return Ok(e),
+            };
+            self.bump();
+            e = Expr::bin(op, e, self.unary_expr()?);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::un(UnOp::Neg, self.unary_expr()?))
+            }
+            Tok::Bang => {
+                self.bump();
+                Ok(Expr::un(UnOp::Not, self.unary_expr()?))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Expr::int(n))
+            }
+            Tok::Ident(s) if s == "undef" => {
+                self.bump();
+                Ok(Expr::Const(Value::Undef))
+            }
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(Expr::reg(&s))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.err_here(format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+/// Parses a whole program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] (with line/column) on malformed input.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = Lexer::new(src).tokenize()?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut stmts = Vec::new();
+    while p.peek() != &Tok::Eof {
+        stmts.push(p.stmt()?);
+    }
+    Ok(Program::new(Stmt::block(stmts)))
+}
+
+/// Parses a single statement (or `;`-separated sequence).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_stmt(src: &str) -> Result<Stmt, ParseError> {
+    parse_program(src).map(|p| p.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_style_program() {
+        let p = parse_program(
+            "store[na](x, 42);
+             l := load[acq](y);
+             if (l == 0) { a := load[na](x); }
+             store[rel](y, 1);
+             b := load[na](x);
+             return b;",
+        )
+        .unwrap();
+        assert!(p.locs().contains(&Loc::new("x")));
+        assert!(p.locs().contains(&Loc::new("y")));
+    }
+
+    #[test]
+    fn round_trip_pretty_print() {
+        let src = "store[na](x, 1);
+             a := load[rlx](y);
+             c := choose(1, 2, 3);
+             f := freeze(a);
+             d := cas[acqrel](z, 0, 1);
+             e := fadd[rel](z, 2);
+             fence[sc];
+             while (a != 0) { a := (a - 1); }
+             if (c > 1) { print(c); } else { abort; }
+             return (a + c);";
+        let p1 = parse_program(src).unwrap();
+        let printed = p1.to_string();
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p1, p2, "pretty-printed program must re-parse identically");
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let p = parse_program(
+            "// setup
+             skip; // trailing
+             return 0;",
+        )
+        .unwrap();
+        assert_eq!(p.body, Stmt::seq(Stmt::Skip, Stmt::Return(Expr::int(0))));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let p = parse_stmt("r := 1 + 2 * 3;").unwrap();
+        match p {
+            Stmt::Assign(_, e) => {
+                let v = e.eval(&|_| Value::ZERO).unwrap();
+                assert_eq!(v, Value::Int(7));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let p = parse_stmt("r := (1 + 2) * 3;").unwrap();
+        match p {
+            Stmt::Assign(_, e) => {
+                assert_eq!(e.eval(&|_| Value::ZERO).unwrap(), Value::Int(9));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undef_literal() {
+        let p = parse_stmt("r := undef;").unwrap();
+        assert_eq!(p, Stmt::Assign(Reg::new("r"), Expr::undef()));
+    }
+
+    #[test]
+    fn negative_choose_values() {
+        let p = parse_stmt("r := choose(-1, 2);").unwrap();
+        assert_eq!(p, Stmt::Choose(Reg::new("r"), vec![-1, 2]));
+    }
+
+    #[test]
+    fn all_modes_parse() {
+        for m in ["na", "rlx", "acq"] {
+            parse_stmt(&format!("r := load[{m}](x);")).unwrap();
+        }
+        for m in ["na", "rlx", "rel"] {
+            parse_stmt(&format!("store[{m}](x, 0);")).unwrap();
+        }
+        for m in ["rlx", "acq", "rel", "acqrel"] {
+            parse_stmt(&format!("r := cas[{m}](x, 0, 1);")).unwrap();
+            parse_stmt(&format!("r := fadd[{m}](x, 1);")).unwrap();
+        }
+        for m in ["acq", "rel", "acqrel", "sc"] {
+            parse_stmt(&format!("fence[{m}];")).unwrap();
+        }
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_program("store[na](x, 1)\nstore[na](y, 2);").unwrap_err();
+        assert_eq!(err.line, 2, "missing semicolon detected on line 2: {err}");
+        let err = parse_program("r := load[foo](x);").unwrap_err();
+        assert!(err.message.contains("unknown read mode"));
+        let err = parse_program("r = 1;").unwrap_err();
+        assert!(err.message.contains(":="));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_program("???").is_err());
+        assert!(parse_program("if { }").is_err());
+        assert!(parse_program("r := choose();").is_err());
+        assert!(parse_program("r := load[na];").is_err());
+        assert!(parse_program("99999999999999999999 := 1;").is_err());
+    }
+
+    #[test]
+    fn else_branch_defaults_to_skip() {
+        let p = parse_stmt("if 1 { skip; }").unwrap();
+        match p {
+            Stmt::If(_, _, els) => assert_eq!(*els, Stmt::Skip),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Values, including the distinguished *undefined value* `undef`.
+//!
+//! The paper assumes a parametric set `Val` containing a distinguished
+//! element `undef` used as the result of racy non-atomic reads (§2,
+//! "Values"). The partial order `⊑` is defined by
+//! `v ⊑ v' ⇔ v = v' ∨ v' = undef`, i.e. `undef` is the *top* element:
+//! a target behaviour may commit to any defined value where the source was
+//! only able to produce `undef`.
+//!
+//! Following LLVM (Remark 1), *branching* on `undef` invokes undefined
+//! behaviour, while `freeze` non-deterministically resolves `undef` to a
+//! defined value (surfaced as a `choose(v)` transition in the LTS).
+
+use std::fmt;
+
+/// A runtime value: a 64-bit integer or the undefined value `undef`.
+///
+/// ```
+/// use seqwm_lang::Value;
+/// assert!(Value::Int(3).refines(Value::Undef));   // 3 ⊑ undef
+/// assert!(!Value::Undef.refines(Value::Int(3)));  // undef ⋢ 3
+/// assert!(Value::Int(3).refines(Value::Int(3)));  // reflexive
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Value {
+    /// A defined integer value.
+    Int(i64),
+    /// The undefined value, produced by racy non-atomic reads.
+    Undef,
+}
+
+impl Value {
+    /// The unit/default value `0`, used to initialize memory and registers.
+    pub const ZERO: Value = Value::Int(0);
+
+    /// Returns the integer if this value is defined.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(n),
+            Value::Undef => None,
+        }
+    }
+
+    /// Is this the undefined value?
+    pub fn is_undef(self) -> bool {
+        matches!(self, Value::Undef)
+    }
+
+    /// The refinement order `⊑` on values (Def. 2.3 of the paper):
+    /// `v ⊑ v' ⇔ v = v' ∨ v' = undef`.
+    ///
+    /// Intuitively `self` (the target's value) is allowed where the source
+    /// produced `other`.
+    pub fn refines(self, other: Value) -> bool {
+        self == other || other == Value::Undef
+    }
+
+    /// Truthiness for branching. Returns `None` for `undef` — per Remark 1,
+    /// branching on `undef` invokes UB, which the LTS maps to `⊥`.
+    pub fn truthiness(self) -> Option<bool> {
+        self.as_int().map(|n| n != 0)
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::ZERO
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Int(i64::from(b))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Undef => write!(f, "undef"),
+        }
+    }
+}
+
+/// Errors raised by value-level operations that invoke undefined behaviour.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ValueError {
+    /// Division or remainder by zero.
+    DivByZero,
+    /// Division or remainder by `undef` (which *may be* zero, hence UB,
+    /// mirroring LLVM).
+    DivByUndef,
+    /// A branch condition evaluated to `undef` (Remark 1).
+    BranchOnUndef,
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueError::DivByZero => write!(f, "division by zero"),
+            ValueError::DivByUndef => write!(f, "division by undef"),
+            ValueError::BranchOnUndef => write!(f, "branch on undef"),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+/// Binary arithmetic with `undef` propagation (LLVM-style poison-free
+/// `undef` semantics): any operation on `undef` yields `undef`, except
+/// division/remainder *by* `undef` or by zero, which are UB.
+pub fn arith<F>(a: Value, b: Value, f: F) -> Value
+where
+    F: FnOnce(i64, i64) -> i64,
+{
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Value::Int(f(x, y)),
+        _ => Value::Undef,
+    }
+}
+
+/// Division, with UB on zero or `undef` divisor.
+pub fn div(a: Value, b: Value) -> Result<Value, ValueError> {
+    match b {
+        Value::Undef => Err(ValueError::DivByUndef),
+        Value::Int(0) => Err(ValueError::DivByZero),
+        Value::Int(d) => Ok(match a {
+            Value::Int(n) => Value::Int(n.wrapping_div(d)),
+            Value::Undef => Value::Undef,
+        }),
+    }
+}
+
+/// Remainder, with UB on zero or `undef` divisor.
+pub fn rem(a: Value, b: Value) -> Result<Value, ValueError> {
+    match b {
+        Value::Undef => Err(ValueError::DivByUndef),
+        Value::Int(0) => Err(ValueError::DivByZero),
+        Value::Int(d) => Ok(match a {
+            Value::Int(n) => Value::Int(n.wrapping_rem(d)),
+            Value::Undef => Value::Undef,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refinement_is_a_partial_order() {
+        let vals = [Value::Int(0), Value::Int(1), Value::Int(-7), Value::Undef];
+        // Reflexivity.
+        for v in vals {
+            assert!(v.refines(v));
+        }
+        // Antisymmetry.
+        for a in vals {
+            for b in vals {
+                if a.refines(b) && b.refines(a) {
+                    assert_eq!(a, b);
+                }
+            }
+        }
+        // Transitivity.
+        for a in vals {
+            for b in vals {
+                for c in vals {
+                    if a.refines(b) && b.refines(c) {
+                        assert!(a.refines(c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn undef_is_top() {
+        assert!(Value::Int(42).refines(Value::Undef));
+        assert!(Value::Undef.refines(Value::Undef));
+        assert!(!Value::Undef.refines(Value::Int(42)));
+    }
+
+    #[test]
+    fn arith_propagates_undef() {
+        assert_eq!(
+            arith(Value::Undef, Value::Int(1), |a, b| a + b),
+            Value::Undef
+        );
+        assert_eq!(
+            arith(Value::Int(1), Value::Undef, |a, b| a + b),
+            Value::Undef
+        );
+        assert_eq!(
+            arith(Value::Int(2), Value::Int(3), |a, b| a * b),
+            Value::Int(6)
+        );
+    }
+
+    #[test]
+    fn division_ub_cases() {
+        assert_eq!(div(Value::Int(1), Value::Int(0)), Err(ValueError::DivByZero));
+        assert_eq!(
+            div(Value::Int(1), Value::Undef),
+            Err(ValueError::DivByUndef)
+        );
+        assert_eq!(div(Value::Undef, Value::Int(2)), Ok(Value::Undef));
+        assert_eq!(div(Value::Int(7), Value::Int(2)), Ok(Value::Int(3)));
+        assert_eq!(rem(Value::Int(7), Value::Int(2)), Ok(Value::Int(1)));
+        assert_eq!(rem(Value::Int(7), Value::Int(0)), Err(ValueError::DivByZero));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(Value::Int(0).truthiness(), Some(false));
+        assert_eq!(Value::Int(5).truthiness(), Some(true));
+        assert_eq!(Value::Undef.truthiness(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Undef.to_string(), "undef");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(9), Value::Int(9));
+        assert_eq!(Value::from(true), Value::Int(1));
+        assert_eq!(Value::from(false), Value::Int(0));
+        assert_eq!(Value::default(), Value::ZERO);
+    }
+}

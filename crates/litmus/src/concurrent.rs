@@ -1,0 +1,411 @@
+//! The concurrent corpus: classic weak-memory litmus tests plus the
+//! paper's PS^na-specific scenarios (Example 5.1, App. B, App. C), checked
+//! against bounded-exhaustive exploration.
+
+use seqwm_lang::parser::parse_program;
+use seqwm_lang::{Program, Value};
+use seqwm_promising::machine::{explore, PsBehavior};
+use seqwm_promising::thread::PsConfig;
+
+/// A concurrent litmus case.
+#[derive(Clone, Debug)]
+pub struct ConcurrentCase {
+    /// Unique name.
+    pub name: &'static str,
+    /// The paper artifact (or classic litmus family) reproduced.
+    pub paper_ref: &'static str,
+    /// One program per thread.
+    pub threads: Vec<&'static str>,
+    /// Run with promises enabled?
+    pub promises: bool,
+    /// Allow multi-message non-atomic writes (App. B semantics)?
+    pub na_multi_message: bool,
+    /// Return-value tuples that must be observable.
+    pub returns_present: Vec<Vec<Value>>,
+    /// Return-value tuples that must NOT be observable.
+    pub returns_absent: Vec<Vec<Value>>,
+    /// Whether UB must (Some(true)) or must not (Some(false)) be reachable.
+    pub ub: Option<bool>,
+    /// `(thread, printed values)` pairs that must be observable.
+    pub prints_present: Vec<(usize, Vec<Value>)>,
+    /// `(thread, printed values)` pairs that must NOT be observable.
+    pub prints_absent: Vec<(usize, Vec<Value>)>,
+}
+
+impl ConcurrentCase {
+    /// Parses the thread programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corpus syntax error.
+    pub fn programs(&self) -> Vec<Program> {
+        self.threads
+            .iter()
+            .map(|s| parse_program(s).expect("corpus thread parses"))
+            .collect()
+    }
+
+    /// The exploration configuration this case requires.
+    pub fn config(&self) -> PsConfig {
+        let progs = self.programs();
+        let refs: Vec<&Program> = progs.iter().collect();
+        let mut cfg = if self.promises {
+            PsConfig::with_promises(&refs)
+        } else {
+            PsConfig::default()
+        };
+        cfg.na_multi_message = self.na_multi_message;
+        cfg
+    }
+
+    /// Explores the case and checks every expectation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic naming the first violated expectation.
+    pub fn check(&self) -> Result<(), String> {
+        let progs = self.programs();
+        let cfg = self.config();
+        let result = explore(&progs, &cfg);
+        let returns: Vec<&Vec<Value>> = result
+            .behaviors
+            .iter()
+            .filter_map(|b| match b {
+                PsBehavior::Returns { returns, .. } => Some(returns),
+                PsBehavior::Ub => None,
+            })
+            .collect();
+        for want in &self.returns_present {
+            if !returns.contains(&want) {
+                return Err(format!(
+                    "{} ({}): expected outcome {want:?} not observed; got {:?}{}",
+                    self.name,
+                    self.paper_ref,
+                    returns,
+                    if result.truncated { " (truncated!)" } else { "" },
+                ));
+            }
+        }
+        for banned in &self.returns_absent {
+            if returns.contains(&banned) {
+                return Err(format!(
+                    "{} ({}): forbidden outcome {banned:?} observed",
+                    self.name, self.paper_ref
+                ));
+            }
+        }
+        if let Some(want_ub) = self.ub {
+            let has_ub = result.behaviors.contains(&PsBehavior::Ub);
+            if has_ub != want_ub {
+                return Err(format!(
+                    "{} ({}): UB reachable = {has_ub}, expected {want_ub}",
+                    self.name, self.paper_ref
+                ));
+            }
+        }
+        let printed = |tid: usize, vals: &Vec<Value>| {
+            result.behaviors.iter().any(|b| match b {
+                PsBehavior::Returns { prints, .. } => prints.get(tid) == Some(vals),
+                PsBehavior::Ub => false,
+            })
+        };
+        for (tid, vals) in &self.prints_present {
+            if !printed(*tid, vals) {
+                return Err(format!(
+                    "{} ({}): expected thread {tid} to be able to print {vals:?}",
+                    self.name, self.paper_ref
+                ));
+            }
+        }
+        for (tid, vals) in &self.prints_absent {
+            if printed(*tid, vals) {
+                return Err(format!(
+                    "{} ({}): thread {tid} must not be able to print {vals:?}",
+                    self.name, self.paper_ref
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn ints(vs: &[i64]) -> Vec<Value> {
+    vs.iter().map(|&n| Value::Int(n)).collect()
+}
+
+/// The full concurrent corpus.
+pub fn concurrent_corpus() -> Vec<ConcurrentCase> {
+    let base = ConcurrentCase {
+        name: "",
+        paper_ref: "",
+        threads: vec![],
+        promises: false,
+        na_multi_message: true,
+        returns_present: vec![],
+        returns_absent: vec![],
+        ub: None,
+        prints_present: vec![],
+        prints_absent: vec![],
+    };
+    vec![
+        ConcurrentCase {
+            name: "sb-rlx",
+            paper_ref: "classic SB",
+            threads: vec![
+                "store[rlx](csb_x, 1); a := load[rlx](csb_y); return a;",
+                "store[rlx](csb_y, 1); b := load[rlx](csb_x); return b;",
+            ],
+            returns_present: vec![ints(&[0, 0]), ints(&[1, 1]), ints(&[0, 1]), ints(&[1, 0])],
+            ub: Some(false),
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "sb-sc-fence",
+            paper_ref: "classic SB + SC fences",
+            threads: vec![
+                "store[rlx](cfb_x, 1); fence[sc]; a := load[rlx](cfb_y); return a;",
+                "store[rlx](cfb_y, 1); fence[sc]; b := load[rlx](cfb_x); return b;",
+            ],
+            returns_present: vec![ints(&[1, 1])],
+            returns_absent: vec![ints(&[0, 0])],
+            ub: Some(false),
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "mp-rel-acq",
+            paper_ref: "classic MP (race-free na data)",
+            threads: vec![
+                "store[na](cmp_d, 1); store[rel](cmp_f, 1); return 0;",
+                "a := load[acq](cmp_f); if (a == 1) { b := load[na](cmp_d); } else { b := 7; } return b;",
+            ],
+            returns_present: vec![ints(&[0, 1]), ints(&[0, 7])],
+            returns_absent: vec![ints(&[0, 0])],
+            ub: Some(false),
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "mp-rlx-flag-racy",
+            paper_ref: "MP with rlx flag (write–read race → undef)",
+            threads: vec![
+                "store[na](cmq_d, 1); store[rlx](cmq_f, 1); return 0;",
+                "a := load[rlx](cmq_f); if (a == 1) { b := load[na](cmq_d); } else { b := 7; } return b;",
+            ],
+            // The racy read may return undef.
+            returns_present: vec![vec![Value::Int(0), Value::Undef], ints(&[0, 1])],
+            ub: Some(false),
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "lb-rlx-promises",
+            paper_ref: "classic LB (needs promises)",
+            threads: vec![
+                "a := load[rlx](clb_x); store[rlx](clb_y, 1); return a;",
+                "b := load[rlx](clb_y); store[rlx](clb_x, 1); return b;",
+            ],
+            promises: true,
+            returns_present: vec![ints(&[1, 1]), ints(&[0, 0])],
+            ub: Some(false),
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "lb-data-no-thin-air",
+            paper_ref: "LB+data (out-of-thin-air forbidden)",
+            threads: vec![
+                "a := load[rlx](cta_x); store[rlx](cta_y, a); return a;",
+                "b := load[rlx](cta_y); store[rlx](cta_x, b); return b;",
+            ],
+            promises: true,
+            returns_present: vec![ints(&[0, 0])],
+            returns_absent: vec![ints(&[1, 1])],
+            ub: Some(false),
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "corr-coherence",
+            paper_ref: "CoRR coherence",
+            threads: vec![
+                "store[rlx](cco_x, 1); return 0;",
+                "a := load[rlx](cco_x); b := load[rlx](cco_x); if ((a == 1) && (b == 0)) { return 9; } return 0;",
+            ],
+            returns_absent: vec![ints(&[0, 9])],
+            ub: Some(false),
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "2+2w-rlx",
+            paper_ref: "2+2W",
+            threads: vec![
+                "store[rlx](c22_x, 1); store[rlx](c22_y, 2); a := load[rlx](c22_y); return a;",
+                "store[rlx](c22_y, 1); store[rlx](c22_x, 2); b := load[rlx](c22_x); return b;",
+            ],
+            // Each thread reads its own latest-or-later write: 1 or 2.
+            returns_present: vec![ints(&[2, 2]), ints(&[2, 1]), ints(&[1, 2])],
+            ub: Some(false),
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "ww-race-ub",
+            paper_ref: "§5 write–write race → UB",
+            threads: vec![
+                "store[na](cww_x, 1); return 0;",
+                "store[na](cww_x, 2); return 0;",
+            ],
+            ub: Some(true),
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "wr-race-undef",
+            paper_ref: "§5 write–read race → undef",
+            threads: vec![
+                "store[na](cwr_x, 1); return 0;",
+                "a := load[na](cwr_x); return a;",
+            ],
+            returns_present: vec![
+                vec![Value::Int(0), Value::Undef],
+                ints(&[0, 0]),
+                ints(&[0, 1]),
+            ],
+            // A read never invokes UB.
+            ub: Some(false),
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "example-5-1",
+            paper_ref: "Example 5.1 (promise + racy read)",
+            threads: vec![
+                "a := load[na](c51_x); store[rlx](c51_y, 1); return a;",
+                "b := load[rlx](c51_y); if (b == 1) { store[na](c51_x, 1); } return b;",
+            ],
+            promises: true,
+            returns_present: vec![vec![Value::Undef, Value::Int(1)], ints(&[0, 0])],
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "appendix-b-multi-message",
+            paper_ref: "App. B (multi-message na writes)",
+            threads: vec![
+                "a := load[na](cab_x); store[rlx](cab_y, a); return 0;",
+                "b := load[rlx](cab_y);
+                 c := freeze(b);
+                 if (c == 1) { store[na](cab_x, 1); print(1); } else { store[na](cab_x, 2); }
+                 return 0;",
+            ],
+            promises: true,
+            na_multi_message: true,
+            // With multi-message na writes, the source can print 1 (so the
+            // optimized target of App. B refines it).
+            prints_present: vec![(1, ints(&[1]))],
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "appendix-b-single-message-ablation",
+            paper_ref: "App. B (single-message semantics too weak)",
+            threads: vec![
+                "a := load[na](cas_x); store[rlx](cas_y, a); return 0;",
+                "b := load[rlx](cas_y);
+                 c := freeze(b);
+                 if (c == 1) { store[na](cas_x, 1); print(1); } else { store[na](cas_x, 2); }
+                 return 0;",
+            ],
+            promises: true,
+            na_multi_message: false,
+            // Under single-message na writes the promise x=2 blocks the
+            // then-branch: printing 1 is unreachable.
+            prints_absent: vec![(1, ints(&[1]))],
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "appendix-c-choose-release-source",
+            paper_ref: "App. C (source: print 1 unreachable)",
+            threads: vec![
+                "a := load[rlx](cac_x); store[rlx](cac_y, a); return 0;",
+                "b := choose(0, 1);
+                 store[rel](cac_x, 0);
+                 if (b == 1) {
+                     c := load[rlx](cac_y);
+                     if (c == 1) { store[rlx](cac_x, 1); print(1); }
+                 } else { store[rlx](cac_x, 1); }
+                 return 0;",
+            ],
+            promises: true,
+            prints_absent: vec![(1, ints(&[1]))],
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "mp-fences",
+            paper_ref: "MP via rel/acq fences (Coq-dev fence extension)",
+            threads: vec![
+                "store[na](cfm_d, 1); fence[rel]; store[rlx](cfm_f, 1); return 0;",
+                "a := load[rlx](cfm_f);
+                 fence[acq];
+                 if (a == 1) { b := load[na](cfm_d); } else { b := 7; }
+                 return b;",
+            ],
+            returns_present: vec![ints(&[0, 1]), ints(&[0, 7])],
+            returns_absent: vec![ints(&[0, 0])],
+            ub: Some(false),
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "trylock-cas-mutex",
+            paper_ref: "lock via acquire RMW (§2 footnote 5)",
+            threads: vec![
+                "l := cas[acq](clk_m, 0, 1);
+                 if (l == 0) {
+                     c := load[na](clk_c);
+                     store[na](clk_c, c + 1);
+                     store[rel](clk_m, 0);
+                 }
+                 return l;",
+                "l := cas[acq](clk_m, 0, 1);
+                 if (l == 0) {
+                     c := load[na](clk_c);
+                     store[na](clk_c, c + 1);
+                     store[rel](clk_m, 0);
+                 }
+                 return l;",
+            ],
+            // Both may take the lock (sequentially), or one may fail its
+            // try-lock; the critical sections never race.
+            returns_present: vec![ints(&[0, 0]), ints(&[0, 1]), ints(&[1, 0])],
+            returns_absent: vec![ints(&[1, 1])],
+            ub: Some(false),
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "fadd-counter",
+            paper_ref: "atomic counter (RMW atomicity)",
+            threads: vec![
+                "a := fadd[acqrel](cctr, 1); return a;",
+                "b := fadd[acqrel](cctr, 1); return b;",
+            ],
+            // The two increments read distinct values: 0 and 1 in some order.
+            returns_present: vec![ints(&[0, 1]), ints(&[1, 0])],
+            returns_absent: vec![ints(&[0, 0]), ints(&[1, 1])],
+            ub: Some(false),
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "appendix-c-choose-release-target",
+            paper_ref: "App. C (target: print 1 reachable)",
+            threads: vec![
+                "a := load[rlx](cat_x); store[rlx](cat_y, a); return 0;",
+                "store[rel](cat_x, 0);
+                 b := choose(0, 1);
+                 if (b == 1) {
+                     c := load[rlx](cat_y);
+                     if (c == 1) { store[rlx](cat_x, 1); print(1); }
+                 } else { store[rlx](cat_x, 1); }
+                 return 0;",
+            ],
+            promises: true,
+            prints_present: vec![(1, ints(&[1]))],
+            ..base.clone()
+        },
+    ]
+}
+
+/// Looks a case up by name.
+pub fn find_concurrent(name: &str) -> Option<ConcurrentCase> {
+    concurrent_corpus().into_iter().find(|c| c.name == name)
+}

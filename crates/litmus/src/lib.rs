@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # seqwm-litmus
+//!
+//! The litmus corpus of the workspace: every example of *Sequential
+//! Reasoning for Optimizing Compilers under Weak Memory Concurrency*
+//! (PLDI 2022) as an executable, checkable case, plus classic weak-memory
+//! litmus tests and random program generators.
+//!
+//! * [`transform`] — source/target transformation pairs with expected
+//!   refinement verdicts (Examples 1.1–3.5; experiment ids E2/E3).
+//! * [`concurrent`] — parallel programs with expected PS^na behavior sets
+//!   (SB/MP/LB/CoRR/…, Example 5.1, App. B, App. C; experiment ids
+//!   E7/E10).
+//! * [`gen`] — seeded random program and context generators (experiment
+//!   id E8, the adequacy differential harness).
+//!
+//! ## Example
+//!
+//! ```
+//! use seqwm_litmus::transform::{find_case, Expectation};
+//! use seqwm_seq::refine::RefineConfig;
+//!
+//! let case = find_case("slf-basic").expect("case exists");
+//! assert_eq!(case.expectation, Expectation::Simple);
+//! case.check(&RefineConfig::default()).expect("verdict matches the paper");
+//! ```
+
+pub mod concurrent;
+pub mod gen;
+pub mod transform;
+
+pub use concurrent::{concurrent_corpus, find_concurrent, ConcurrentCase};
+pub use gen::{random_context, random_program, GenConfig};
+pub use transform::{find_case, transform_corpus, Expectation, TransformCase};

@@ -1,0 +1,333 @@
+//! The transformation corpus: every `{` / `{̸` claim of the paper as a
+//! checkable source/target pair.
+//!
+//! Each case records which refinement notion is expected to validate it:
+//!
+//! * [`Expectation::Simple`] — the simple notion (Def. 2.4) validates it
+//!   (and, by Prop. 3.4, so does the advanced one);
+//! * [`Expectation::AdvancedOnly`] — the simple notion refutes it but the
+//!   advanced one (Def. 3.3) validates it (§3's motivating examples);
+//! * [`Expectation::Unsound`] — both notions refute it (and the
+//!   transformation is genuinely unsound under weak memory).
+
+use seqwm_lang::parser::parse_program;
+use seqwm_lang::Program;
+use seqwm_seq::advanced::refines_advanced;
+use seqwm_seq::refine::{refines_simple, RefineConfig};
+
+/// Which refinement notion should validate the case.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Expectation {
+    /// Validated by simple behavioral refinement (§2).
+    Simple,
+    /// Refuted by the simple notion, validated by the advanced one (§3).
+    AdvancedOnly,
+    /// Refuted by both notions.
+    Unsound,
+}
+
+/// A source/target transformation case from the paper.
+#[derive(Clone, Debug)]
+pub struct TransformCase {
+    /// Unique name (used by tests and benches).
+    pub name: &'static str,
+    /// The paper example/section this case reproduces.
+    pub paper_ref: &'static str,
+    /// The source program (before the transformation).
+    pub src: &'static str,
+    /// The target program (after the transformation).
+    pub tgt: &'static str,
+    /// The expected verdict.
+    pub expectation: Expectation,
+}
+
+impl TransformCase {
+    /// Parses the source program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus contains a syntax error (a bug in this crate).
+    pub fn src_program(&self) -> Program {
+        parse_program(self.src).expect("corpus source parses")
+    }
+
+    /// Parses the target program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus contains a syntax error (a bug in this crate).
+    pub fn tgt_program(&self) -> Program {
+        parse_program(self.tgt).expect("corpus target parses")
+    }
+
+    /// Runs both checkers and compares against the expectation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic if either checker disagrees with the paper.
+    pub fn check(&self, cfg: &RefineConfig) -> Result<(), String> {
+        let src = self.src_program();
+        let tgt = self.tgt_program();
+        let simple = refines_simple(&src, &tgt, cfg)
+            .map_err(|e| format!("{}: {e}", self.name))?
+            .holds;
+        let advanced = refines_advanced(&src, &tgt, cfg)
+            .map_err(|e| format!("{}: {e}", self.name))?
+            .holds;
+        // Prop. 3.4: simple ⇒ advanced, always.
+        if simple && !advanced {
+            return Err(format!(
+                "{}: Prop. 3.4 violated (simple holds but advanced does not)",
+                self.name
+            ));
+        }
+        let (want_simple, want_advanced) = match self.expectation {
+            Expectation::Simple => (true, true),
+            Expectation::AdvancedOnly => (false, true),
+            Expectation::Unsound => (false, false),
+        };
+        if simple != want_simple {
+            return Err(format!(
+                "{} ({}): simple refinement = {simple}, expected {want_simple}",
+                self.name, self.paper_ref
+            ));
+        }
+        if advanced != want_advanced {
+            return Err(format!(
+                "{} ({}): advanced refinement = {advanced}, expected {want_advanced}",
+                self.name, self.paper_ref
+            ));
+        }
+        Ok(())
+    }
+}
+
+macro_rules! case {
+    ($name:literal, $ref_:literal, $src:literal => $tgt:literal, $exp:ident) => {
+        TransformCase {
+            name: $name,
+            paper_ref: $ref_,
+            src: $src,
+            tgt: $tgt,
+            expectation: Expectation::$exp,
+        }
+    };
+}
+
+/// The full transformation corpus (§1–§4 of the paper).
+pub fn transform_corpus() -> Vec<TransformCase> {
+    vec![
+        // ------------------------------------------------ §1 motivation --
+        case!("slf-basic", "Example 1.1",
+            "store[na](x, 1); b := load[na](x); return b;"
+            => "store[na](x, 1); b := 1; return b;", Simple),
+        // ------------------------------------------- Example 2.5: reorder --
+        case!("reorder-na-different-locs", "Example 2.5",
+            "a := load[na](x); store[na](y, 1); return a;"
+            => "store[na](y, 1); a := load[na](x); return a;", Simple),
+        case!("reorder-na-same-loc", "Example 2.5",
+            "a := load[na](x); store[na](x, 1); return a;"
+            => "store[na](x, 1); a := load[na](x); return a;", Unsound),
+        // -------------------------------------- Example 2.6: eliminations --
+        case!("elim-overwritten-store", "Example 2.6 (i)",
+            "store[na](x, 1); store[na](x, 2);"
+            => "store[na](x, 2);", Simple),
+        case!("elim-store-load", "Example 2.6 (ii)",
+            "store[na](x, 1); a := load[na](x); return a;"
+            => "store[na](x, 1); a := 1; return a;", Simple),
+        case!("elim-load-load", "Example 2.6 (iii)",
+            "a := load[na](x); b := load[na](x); return a + b;"
+            => "a := load[na](x); b := a; return a + b;", Simple),
+        case!("elim-read-before-write", "Example 2.6 (iv)",
+            "a := load[na](x); store[na](x, a); return a;"
+            => "a := load[na](x); return a;", Simple),
+        case!("intro-write-after-read", "Example 2.6",
+            "a := load[na](x); if (a != 1) { store[na](x, 1); } return a;"
+            => "a := load[na](x); store[na](x, 1); return a;", Unsound),
+        case!("intro-overwritten-store", "Example 2.6 (i) converse",
+            "store[na](x, 2);"
+            => "store[na](x, 1); store[na](x, 2);", Simple),
+        case!("intro-store-load", "Example 2.6 (ii) converse",
+            "store[na](x, 1); a := 1; return a;"
+            => "store[na](x, 1); a := load[na](x); return a;", Simple),
+        case!("intro-load-load", "Example 2.6 (iii) converse",
+            "a := load[na](x); b := a; return a + b;"
+            => "a := load[na](x); b := load[na](x); return a + b;", Simple),
+        // ------------------------------------- Example 2.7: across loops --
+        case!("write-before-loop", "Example 2.7",
+            "while 1 { skip; } store[na](x, 1);"
+            => "store[na](x, 1); while 1 { skip; }", Unsound),
+        case!("write-before-loop-partial-trace", "Example 2.7",
+            "a := load[na](x); if (a != 1) { store[na](x, 1); } while 1 { skip; } store[na](x, 2);"
+            => "a := load[na](x); if (a != 1) { store[na](x, 1); } store[na](x, 2); while 1 { skip; }",
+            Unsound),
+        case!("read-before-loop", "Example 2.7",
+            "while 1 { skip; } a := load[na](x);"
+            => "a := load[na](x); while 1 { skip; }", Simple),
+        // ------------------------------- Example 2.8: unused loads -------
+        case!("elim-unused-load", "Example 2.8",
+            "a := load[na](x);"
+            => "skip;", Simple),
+        case!("intro-unused-load", "Example 2.8",
+            "skip;"
+            => "a := load[na](x);", Simple),
+        case!("intro-unused-store", "§2 (store introduction)",
+            "skip;"
+            => "store[na](x, 1);", Unsound),
+        // ----------------------------- Example 2.9: roach-motel reorders --
+        case!("acq-read-then-na-write", "Example 2.9 (i)",
+            "a := load[acq](x); store[na](y, 1); return a;"
+            => "store[na](y, 1); a := load[acq](x); return a;", Unsound),
+        case!("na-write-then-rel-write", "Example 2.9 (ii)",
+            "store[na](y, 2); store[rel](x, 1);"
+            => "store[rel](x, 1); store[na](y, 2);", Unsound),
+        case!("acq-read-then-na-read", "Example 2.9 (iii)",
+            "a := load[acq](x); b := load[na](y); return b;"
+            => "b := load[na](y); a := load[acq](x); return b;", Unsound),
+        case!("na-read-then-rel-write", "Example 2.9 (iv)",
+            "a := load[na](y); store[rel](x, 1); return a;"
+            => "store[rel](x, 1); a := load[na](y); return a;", Unsound),
+        case!("na-write-then-acq-read", "Example 2.9 (i′)",
+            "store[na](y, 1); a := load[acq](x); return a;"
+            => "a := load[acq](x); store[na](y, 1); return a;", Simple),
+        case!("na-read-then-acq-read", "Example 2.9 (iii′)",
+            "b := load[na](y); a := load[acq](x); return b;"
+            => "a := load[acq](x); b := load[na](y); return b;", Simple),
+        case!("rel-write-then-na-read", "Example 2.9 (iv′)",
+            "store[rel](x, 1); a := load[na](y); return a;"
+            => "a := load[na](y); store[rel](x, 1); return a;", Simple),
+        case!("rel-write-then-na-write", "Example 2.9 (ii′) / §3",
+            "store[rel](x, 1); store[na](y, 2);"
+            => "store[na](y, 2); store[rel](x, 1);", AdvancedOnly),
+        // -------------------------- Example 2.10: store intro after rel --
+        case!("store-intro-after-rel", "Example 2.10",
+            "store[na](x, 1); store[rel](y, 1);"
+            => "store[na](x, 1); store[rel](y, 1); store[na](x, 1);", Unsound),
+        case!("store-intro-after-rlx", "Example 2.10",
+            "store[na](x, 1); store[rlx](y, 1);"
+            => "store[na](x, 1); store[rlx](y, 1); store[na](x, 1);", Simple),
+        // ----------------------- Example 2.11: SLF across atomics --------
+        case!("slf-across-rlx-read", "Example 2.11",
+            "store[na](x, 1); a := load[rlx](y); b := load[na](x); return b;"
+            => "store[na](x, 1); a := load[rlx](y); b := 1; return b;", Simple),
+        case!("slf-across-rlx-write", "Example 2.11",
+            "store[na](x, 1); store[rlx](y, 2); b := load[na](x); return b;"
+            => "store[na](x, 1); store[rlx](y, 2); b := 1; return b;", Simple),
+        case!("slf-across-acq-read", "Example 2.11",
+            "store[na](x, 1); a := load[acq](y); b := load[na](x); return b;"
+            => "store[na](x, 1); a := load[acq](y); b := 1; return b;", Simple),
+        case!("slf-across-rel-write", "Example 2.11",
+            "store[na](x, 1); store[rel](y, 2); b := load[na](x); return b;"
+            => "store[na](x, 1); store[rel](y, 2); b := 1; return b;", Simple),
+        // -------------------- Example 2.12: not across rel-acq pairs -----
+        case!("slf-across-rel-acq-pair", "Example 2.12",
+            "store[na](x, 1); store[rel](y, 2); a := load[acq](z); b := load[na](x); return b;"
+            => "store[na](x, 1); store[rel](y, 2); a := load[acq](z); b := 1; return b;",
+            Unsound),
+        // ------------------------------------------ §3: late UB ----------
+        case!("late-ub-rlx-read-na-write", "§3 Late UB",
+            "a := load[rlx](x); store[na](y, 1);"
+            => "store[na](y, 1); a := load[rlx](x);", AdvancedOnly),
+        case!("acq-read-then-ub", "§3 / Example 3.1",
+            "a := load[acq](x); b := 1 / 0;"
+            => "b := 1 / 0; a := load[acq](x);", Unsound),
+        case!("example-3-1-chain", "Example 3.1",
+            "a := load[rlx](x);
+             if (a == 1) { a2 := load[acq](x); b := 1 / 0; } else { store[rlx](y, 1); }"
+            => "store[rlx](y, 1);
+             a := load[rlx](x);
+             if (a == 1) { b := 1 / 0; a2 := load[acq](x); }",
+            Unsound),
+        case!("ub-depends-on-read", "§3 (oracle condition)",
+            "a := load[rlx](x); if (a == 1) { b := 1 / 0; } while 1 { skip; }"
+            => "b := 1 / 0; a := load[rlx](x); while 1 { skip; }", Unsound),
+        // --------------------- Example 3.5: DSE across atomics ------------
+        case!("dse-across-rlx-read", "Example 3.5",
+            "store[na](x, 1); b := load[rlx](y); store[na](x, 2);"
+            => "b := load[rlx](y); store[na](x, 2);", Simple),
+        case!("dse-across-rlx-write", "Example 3.5",
+            "store[na](x, 1); store[rlx](y, 3); store[na](x, 2);"
+            => "store[rlx](y, 3); store[na](x, 2);", Simple),
+        case!("dse-across-acq-read", "Example 3.5",
+            "store[na](x, 1); b := load[acq](y); store[na](x, 2);"
+            => "b := load[acq](y); store[na](x, 2);", Simple),
+        case!("dse-across-rel-write", "Example 3.5",
+            "store[na](x, 1); store[rel](y, 3); store[na](x, 2);"
+            => "store[rel](y, 3); store[na](x, 2);", AdvancedOnly),
+        // -------------------------------- §4: the LICM shape -------------
+        case!("licm-shape", "Example 1.3 / §4",
+            "while (i < 1) { a := load[na](x); i := i + 1; } return a;"
+            => "c := load[na](x); while (i < 1) { a := c; i := i + 1; } return a;",
+            Simple),
+        // ------------- §2: reorderings of relaxed accesses and na --------
+        case!("reorder-na-writes-different-locs", "§2 (na reorderings)",
+            "store[na](x, 1); store[na](w, 2);"
+            => "store[na](w, 2); store[na](x, 1);", Simple),
+        case!("reorder-na-reads", "§2 (na reorderings)",
+            "a := load[na](x); b := load[na](w); return a + b;"
+            => "b := load[na](w); a := load[na](x); return a + b;", Simple),
+        case!("rlx-read-before-na-read", "§2 (rlx/na reorderings)",
+            "a := load[rlx](y); b := load[na](x); return a + b;"
+            => "b := load[na](x); a := load[rlx](y); return a + b;", Simple),
+        case!("na-read-before-rlx-read", "§2 (rlx/na reorderings)",
+            "b := load[na](x); a := load[rlx](y); return a + b;"
+            => "a := load[rlx](y); b := load[na](x); return a + b;", Simple),
+        case!("na-write-past-rlx-write", "§2 (rlx/na reorderings)",
+            "store[na](x, 2); store[rlx](y, 1);"
+            => "store[rlx](y, 1); store[na](x, 2);", Simple),
+        case!("na-write-before-rlx-write", "§2 (rlx/na reorderings)",
+            "store[rlx](y, 1); store[na](x, 2);"
+            => "store[na](x, 2); store[rlx](y, 1);", AdvancedOnly),
+        case!("reorder-rlx-accesses", "§2 (no optimizations on atomics)",
+            "a := load[rlx](y); store[rlx](z, 1); return a;"
+            => "store[rlx](z, 1); a := load[rlx](y); return a;", Unsound),
+        case!("elim-repeated-rlx-read", "§2 (no optimizations on atomics)",
+            "a := load[rlx](y); b := load[rlx](y); return a + b;"
+            => "a := load[rlx](y); b := a; return a + b;", Unsound),
+        // ----------------------- fences (Coq-dev extension) ---------------
+        case!("na-write-then-acq-fence", "fences (roach motel, allowed)",
+            "store[na](x, 1); fence[acq];"
+            => "fence[acq]; store[na](x, 1);", Simple),
+        case!("acq-fence-then-na-write", "fences (roach motel, forbidden)",
+            "fence[acq]; store[na](x, 1);"
+            => "store[na](x, 1); fence[acq];", Unsound),
+        case!("rel-fence-then-na-write", "fences (roach motel via §3)",
+            "fence[rel]; store[na](x, 1);"
+            => "store[na](x, 1); fence[rel];", AdvancedOnly),
+        case!("na-write-then-rel-fence", "fences (roach motel, forbidden)",
+            "store[na](x, 1); fence[rel];"
+            => "fence[rel]; store[na](x, 1);", Unsound),
+        // ----------------------- RMWs (Coq-dev extension) -----------------
+        case!("slf-across-rlx-rmw", "Example 2.11 with an RMW",
+            "store[na](x, 1); r := fadd[rlx](y, 1); b := load[na](x); return b;"
+            => "store[na](x, 1); r := fadd[rlx](y, 1); b := 1; return b;", Simple),
+        case!("slf-across-acqrel-rmw", "Example 2.11 with an acqrel RMW",
+            "store[na](x, 1); r := fadd[acqrel](y, 1); b := load[na](x); return b;"
+            => "store[na](x, 1); r := fadd[acqrel](y, 1); b := 1; return b;", Simple),
+        // ----------------------- system calls (observable events) ---------
+        case!("print-reorder-with-na", "syscalls (observable)",
+            "a := load[na](x); print(1); return a;"
+            => "print(1); a := load[na](x); return a;", Simple),
+        case!("print-reorder-prints", "syscalls (observable order)",
+            "print(1); print(2);"
+            => "print(2); print(1);", Unsound),
+        // Committing a racy print to a concrete value is unsound in
+        // general: refinement quantifies over initial states with
+        // permission, where the source prints the (defined) memory value.
+        case!("print-commit-racy-value", "syscalls (value order)",
+            "a := load[na](x); print(a);"
+            => "print(7);", Unsound),
+        // ------------------- choose/freeze interactions (Remark 3) -------
+        case!("choose-reorder-na", "Remark 3 (allowed direction)",
+            "c := choose(0, 1); a := load[na](x); return a + c;"
+            => "a := load[na](x); c := choose(0, 1); return a + c;", Simple),
+        case!("choose-then-rel-write", "App. C (choose across release)",
+            "c := choose(0, 1); store[rel](x, 1); return c;"
+            => "store[rel](x, 1); c := choose(0, 1); return c;", Unsound),
+    ]
+}
+
+/// Looks a case up by name.
+pub fn find_case(name: &str) -> Option<TransformCase> {
+    transform_corpus().into_iter().find(|c| c.name == name)
+}

@@ -1,0 +1,277 @@
+//! Register constant propagation — an *extension* pass beyond the paper's
+//! four (§7 suggests the approach scales to further sequentially-justified
+//! passes; this is the simplest such pass).
+//!
+//! The analysis tracks a flat constant lattice per register
+//! (`⊥ <unknown>` is represented by absence). Constant registers are
+//! substituted into expressions; in particular `store[na](x, r)` becomes
+//! `store[na](x, c)`, which *enables* store-to-load forwarding (whose
+//! Fig. 3 domain forwards constants only). The pass is justified by the
+//! simple refinement notion — it only refines silent steps — and is
+//! validated like every other pass.
+
+use std::collections::BTreeMap;
+
+use seqwm_lang::expr::{Expr, UnOp};
+use seqwm_lang::{Program, Reg, Stmt, Value};
+
+use crate::pipeline::PassStats;
+
+/// The abstract state: registers not present are unknown.
+pub type State = BTreeMap<Reg, i64>;
+
+fn join(a: &State, b: &State) -> State {
+    a.iter()
+        .filter(|(r, v)| b.get(r) == Some(v))
+        .map(|(r, v)| (*r, *v))
+        .collect()
+}
+
+/// Substitutes known-constant registers into an expression and folds
+/// constant subterms (without introducing or removing faults: division is
+/// folded only when the divisor is a non-zero constant).
+fn simplify(e: &Expr, state: &State) -> Expr {
+    match e {
+        Expr::Const(_) => e.clone(),
+        Expr::Reg(r) => match state.get(r) {
+            Some(&n) => Expr::int(n),
+            None => e.clone(),
+        },
+        Expr::Un(op, a) => {
+            let a = simplify(a, state);
+            if let Expr::Const(Value::Int(n)) = a {
+                return match op {
+                    UnOp::Neg => Expr::int(n.wrapping_neg()),
+                    UnOp::Not => Expr::int(i64::from(n == 0)),
+                };
+            }
+            Expr::un(*op, a)
+        }
+        Expr::Bin(op, a, b) => {
+            let a = simplify(a, state);
+            let b = simplify(b, state);
+            if let (Expr::Const(Value::Int(_)), Expr::Const(Value::Int(_))) = (&a, &b) {
+                let folded = Expr::Bin(*op, Box::new(a.clone()), Box::new(b.clone()));
+                if let Ok(Value::Int(n)) = folded.eval(&|_| Value::ZERO) {
+                    return Expr::int(n);
+                }
+            }
+            Expr::bin(*op, a, b)
+        }
+    }
+}
+
+fn const_of(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Const(Value::Int(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+/// The constant-propagation pass.
+pub struct ConstProp;
+
+impl ConstProp {
+    /// Runs the pass on a whole program.
+    pub fn run(prog: &Program) -> (Program, PassStats) {
+        let mut stats = PassStats::new("constprop");
+        let mut state = State::new();
+        let body = rewrite(&prog.body, &mut state, &mut stats);
+        (Program::new(body), stats)
+    }
+}
+
+fn rewrite(s: &Stmt, state: &mut State, stats: &mut PassStats) -> Stmt {
+    let simp = |e: &Expr, state: &State, stats: &mut PassStats| {
+        let out = simplify(e, state);
+        if &out != e {
+            stats.rewrites += 1;
+        }
+        out
+    };
+    match s {
+        Stmt::Seq(a, b) => {
+            let a2 = rewrite(a, state, stats);
+            let b2 = rewrite(b, state, stats);
+            Stmt::seq(a2, b2)
+        }
+        Stmt::If(c, a, b) => {
+            let c2 = simp(c, state, stats);
+            let mut sa = state.clone();
+            let mut sb = state.clone();
+            let a2 = rewrite(a, &mut sa, stats);
+            let b2 = rewrite(b, &mut sb, stats);
+            *state = join(&sa, &sb);
+            Stmt::If(c2, Box::new(a2), Box::new(b2))
+        }
+        Stmt::While(c, body) => {
+            let mut head = state.clone();
+            let mut iterations = 0;
+            loop {
+                iterations += 1;
+                stats.note_iterations(iterations);
+                let mut out = head.clone();
+                let mut throwaway = PassStats::new("constprop");
+                let _ = rewrite(body, &mut out, &mut throwaway);
+                let next = join(&head, &out);
+                if next == head {
+                    break;
+                }
+                head = next;
+                assert!(iterations <= 8, "constprop fixpoint diverged");
+            }
+            let c2 = simplify(c, &head);
+            let mut body_state = head.clone();
+            let body2 = rewrite(body, &mut body_state, stats);
+            *state = head;
+            Stmt::While(c2, Box::new(body2))
+        }
+        Stmt::Assign(r, e) => {
+            let e2 = simp(e, state, stats);
+            match const_of(&e2) {
+                Some(n) => {
+                    state.insert(*r, n);
+                }
+                None => {
+                    state.remove(r);
+                }
+            }
+            Stmt::Assign(*r, e2)
+        }
+        Stmt::Store(x, m, e) => Stmt::Store(*x, *m, simp(e, state, stats)),
+        Stmt::Print(e) => Stmt::Print(simp(e, state, stats)),
+        Stmt::Return(e) => Stmt::Return(simp(e, state, stats)),
+        Stmt::Freeze(r, e) => {
+            let e2 = simp(e, state, stats);
+            // freeze of a known constant is the identity.
+            if let Some(n) = const_of(&e2) {
+                state.insert(*r, n);
+                stats.rewrites += 1;
+                return Stmt::Assign(*r, Expr::int(n));
+            }
+            state.remove(r);
+            Stmt::Freeze(*r, e2)
+        }
+        Stmt::Load(r, _, _) | Stmt::Choose(r, _) => {
+            state.remove(r);
+            s.clone()
+        }
+        Stmt::Cas {
+            dst,
+            loc,
+            expected,
+            new,
+            mode,
+        } => {
+            let out = Stmt::Cas {
+                dst: *dst,
+                loc: *loc,
+                expected: simp(expected, state, stats),
+                new: simp(new, state, stats),
+                mode: *mode,
+            };
+            state.remove(dst);
+            out
+        }
+        Stmt::Fadd {
+            dst,
+            loc,
+            operand,
+            mode,
+        } => {
+            let out = Stmt::Fadd {
+                dst: *dst,
+                loc: *loc,
+                operand: simp(operand, state, stats),
+                mode: *mode,
+            };
+            state.remove(dst);
+            out
+        }
+        Stmt::Skip | Stmt::Fence(_) | Stmt::Abort => s.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn run(src: &str) -> (String, PassStats) {
+        let p = parse_program(src).unwrap();
+        let (out, stats) = ConstProp::run(&p);
+        (out.to_string(), stats)
+    }
+
+    #[test]
+    fn propagates_and_folds() {
+        let (out, stats) = run("a := 2; b := a + 3; store[na](cp1x, b);");
+        assert!(out.contains("b := 5;"), "{out}");
+        assert!(out.contains("store[na](cp1x, 5);"), "{out}");
+        assert!(stats.rewrites >= 2);
+    }
+
+    #[test]
+    fn load_kills_constant() {
+        let (out, _) = run("a := 2; a := load[na](cp2x); b := a + 1; return b;");
+        assert!(out.contains("b := (a + 1);"), "{out}");
+    }
+
+    #[test]
+    fn branch_join_keeps_agreeing_constants() {
+        let (out, _) = run(
+            "c := load[rlx](cp3f);
+             if (c == 0) { a := 1; } else { a := 1; }
+             store[na](cp3x, a);",
+        );
+        assert!(out.contains("store[na](cp3x, 1);"), "{out}");
+        let (out, _) = run(
+            "c := load[rlx](cp4f);
+             if (c == 0) { a := 1; } else { a := 2; }
+             store[na](cp4x, a);",
+        );
+        assert!(out.contains("store[na](cp4x, a);"), "{out}");
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let (out, _) = run("a := 0; b := 1 / a;");
+        assert!(out.contains("(1 / 0)"), "the fault is preserved: {out}");
+    }
+
+    #[test]
+    fn freeze_of_constant_is_identity() {
+        let (out, stats) = run("a := 3; b := freeze(a); return b;");
+        assert!(out.contains("b := 3;"), "{out}");
+        assert!(stats.rewrites >= 1);
+    }
+
+    #[test]
+    fn loop_carried_register_not_constant() {
+        let (out, _) = run(
+            "i := 0; while (i < 3) { i := i + 1; } store[na](cp5x, i);",
+        );
+        assert!(out.contains("store[na](cp5x, i);"), "{out}");
+    }
+
+    #[test]
+    fn enables_slf_on_register_stores() {
+        // constprop turns `store(x, a)` into `store(x, 7)`, which SLF's
+        // constant-only domain (Fig. 3) can then forward.
+        use crate::pipeline::{PassKind, Pipeline, PipelineConfig};
+        let p = parse_program("a := 7; store[na](cp6x, a); b := load[na](cp6x); return b;")
+            .unwrap();
+        let with = Pipeline::new(PipelineConfig {
+            passes: vec![PassKind::ConstProp, PassKind::Slf],
+            rounds: 1,
+        })
+        .optimize(&p);
+        assert!(with.program.to_string().contains("b := 7;"), "{}", with.program);
+        let without = Pipeline::new(PipelineConfig {
+            passes: vec![PassKind::Slf],
+            rounds: 1,
+        })
+        .optimize(&p);
+        assert!(without.program.to_string().contains("b := load[na]"));
+    }
+}

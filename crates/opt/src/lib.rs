@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # seqwm-opt
+//!
+//! The optimizer of §4 of *Sequential Reasoning for Optimizing Compilers
+//! under Weak Memory Concurrency* (PLDI 2022): four thread-local passes
+//! over the `WHILE` language, each driven by a fixpoint abstract
+//! interpretation, composed into a pipeline and validated against the
+//! sequential model SEQ only.
+//!
+//! * [`slf`] — store-to-load forwarding (Fig. 3, worked example Fig. 4).
+//! * [`llf`] — load-to-load forwarding (Fig. 8a).
+//! * [`dse`] — dead (overwritten) store elimination (Fig. 8b; the
+//!   across-release case exercises the advanced refinement of §3).
+//! * [`licm`] — loop-invariant code motion (App. D): hoisted *irrelevant
+//!   load introduction* followed by LLF — the transformation that
+//!   catch-fire models cannot support (Example 1.3).
+//! * [`constprop`] — register constant propagation (extension pass).
+//! * [`pipeline`] — the pass manager with per-pass statistics.
+//! * [`validate`] — SEQ-only translation validation (the substitute for
+//!   the paper's Coq certification; see DESIGN.md).
+//!
+//! ## Example (the paper's Fig. 4)
+//!
+//! ```
+//! use seqwm_lang::parser::parse_program;
+//! use seqwm_opt::pipeline::{Pipeline, PipelineConfig};
+//!
+//! let p = parse_program(
+//!     "store[na](x, 42);
+//!      l := load[acq](y);
+//!      if (l == 0) { a := load[na](x); }
+//!      store[rel](y, 1);
+//!      b := load[na](x);
+//!      return b;",
+//! )?;
+//! let out = Pipeline::new(PipelineConfig::default()).optimize(&p);
+//! assert!(out.program.to_string().contains("b := 42;"));
+//! # Ok::<(), seqwm_lang::parser::ParseError>(())
+//! ```
+
+pub mod constprop;
+pub mod dse;
+pub mod licm;
+pub mod llf;
+pub mod pipeline;
+pub mod slf;
+pub mod validate;
+
+pub use constprop::ConstProp;
+pub use dse::DeadStoreElimination;
+pub use licm::LoopInvariantCodeMotion;
+pub use llf::LoadToLoadForwarding;
+pub use pipeline::{OptResult, PassKind, PassStats, Pipeline, PipelineConfig};
+pub use slf::StoreToLoadForwarding;
+pub use validate::{optimize_validated, ValidatedBy, ValidatedResult, ValidationFailure};

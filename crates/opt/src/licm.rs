@@ -1,0 +1,207 @@
+//! Loop-invariant code motion (LICM) — App. D.
+//!
+//! Implemented in two stages, exactly as the paper describes:
+//!
+//! 1. **Load introduction**: for each loop, hoist a load of every
+//!    candidate location into a fresh register before the loop. Candidates
+//!    are non-atomic locations read in the body, not written in the body,
+//!    with no acquire in the body. Introducing an *irrelevant* load is
+//!    unconditionally sound in SEQ (Example 2.8) — this is exactly the
+//!    transformation that catch-fire models forbid (Example 1.3) and this
+//!    paper's model validates.
+//! 2. **Forwarding**: run load-to-load forwarding, which replaces the
+//!    in-body loads by the hoisted register.
+//!
+//! Stage 1's candidate analysis affects only *profitability*, never
+//! soundness.
+
+use std::collections::BTreeSet;
+
+use seqwm_lang::{Loc, Program, ReadMode, Reg, Stmt, WriteMode};
+
+use crate::llf::LoadToLoadForwarding;
+use crate::pipeline::PassStats;
+use crate::slf::is_acquire;
+
+/// The LICM pass.
+pub struct LoopInvariantCodeMotion;
+
+impl LoopInvariantCodeMotion {
+    /// Runs the pass (hoisting + LLF) on a whole program.
+    pub fn run(prog: &Program) -> (Program, PassStats) {
+        let mut stats = PassStats::new("licm");
+        let mut fresh = 0usize;
+        let hoisted = hoist(&prog.body, &mut fresh, &mut stats);
+        // Stage 2: forward the hoisted loads into the loop bodies.
+        let (forwarded, llf_stats) = LoadToLoadForwarding::run(&Program::new(hoisted));
+        stats.note_iterations(llf_stats.max_fixpoint_iterations);
+        (forwarded, stats)
+    }
+}
+
+/// Locations loaded non-atomically anywhere in `s`.
+fn na_reads(s: &Stmt) -> BTreeSet<Loc> {
+    let mut out = BTreeSet::new();
+    s.visit(&mut |n| {
+        if let Stmt::Load(_, x, ReadMode::Na) = n {
+            out.insert(*x);
+        }
+    });
+    out
+}
+
+/// Locations written (by any write, na or atomic, or RMW) anywhere in `s`.
+fn writes(s: &Stmt) -> BTreeSet<Loc> {
+    let mut out = BTreeSet::new();
+    s.visit(&mut |n| match n {
+        Stmt::Store(x, _, _) => {
+            out.insert(*x);
+        }
+        Stmt::Cas { loc, .. } | Stmt::Fadd { loc, .. } => {
+            out.insert(*loc);
+        }
+        _ => {}
+    });
+    out
+}
+
+/// Does `s` contain an acquire anywhere?
+fn contains_acquire(s: &Stmt) -> bool {
+    let mut found = false;
+    s.visit(&mut |n| {
+        if is_acquire(n) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn hoist(s: &Stmt, fresh: &mut usize, stats: &mut PassStats) -> Stmt {
+    match s {
+        Stmt::Seq(a, b) => Stmt::seq(hoist(a, fresh, stats), hoist(b, fresh, stats)),
+        Stmt::If(c, a, b) => Stmt::If(
+            c.clone(),
+            Box::new(hoist(a, fresh, stats)),
+            Box::new(hoist(b, fresh, stats)),
+        ),
+        Stmt::While(c, body) => {
+            // Inner loops first.
+            let body = hoist(body, fresh, stats);
+            let candidates: Vec<Loc> = if contains_acquire(&body) {
+                Vec::new()
+            } else {
+                let ws = writes(&body);
+                na_reads(&body)
+                    .into_iter()
+                    .filter(|x| !ws.contains(x))
+                    .collect()
+            };
+            let mut prefix = Vec::new();
+            for x in candidates {
+                let r = Reg::new(&format!("licm_{}", *fresh));
+                *fresh += 1;
+                stats.rewrites += 1;
+                prefix.push(Stmt::Load(r, x, ReadMode::Na));
+            }
+            prefix.push(Stmt::While(c.clone(), Box::new(body)));
+            Stmt::block(prefix)
+        }
+        leaf => leaf.clone(),
+    }
+}
+
+/// Exposes the candidate analysis for tests and diagnostics.
+pub fn loop_candidates(body: &Stmt) -> BTreeSet<Loc> {
+    if contains_acquire(body) {
+        return BTreeSet::new();
+    }
+    let ws = writes(body);
+    na_reads(body)
+        .into_iter()
+        .filter(|x| !ws.contains(x))
+        .collect()
+}
+
+// Re-used by the pipeline to keep `WriteMode` imported meaningfully.
+#[allow(dead_code)]
+fn is_na_store(s: &Stmt) -> bool {
+    matches!(s, Stmt::Store(_, WriteMode::Na, _))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn run(src: &str) -> (String, PassStats) {
+        let p = parse_program(src).unwrap();
+        let (out, stats) = LoopInvariantCodeMotion::run(&p);
+        (out.to_string(), stats)
+    }
+
+    #[test]
+    fn example_1_3_hoists_invariant_load() {
+        // while B { α ; a := x_na ; β }  {  c := x_na ; while B { α ; a := c ; β }
+        let (out, stats) = run(
+            "while (i < 3) { a := load[na](li1x); i := i + a; }
+             return a;",
+        );
+        assert!(out.contains("licm_"), "fresh hoisted register: {out}");
+        assert!(out.starts_with("licm_"), "load hoisted before the loop: {out}");
+        assert!(out.contains("a := licm_"), "in-body load forwarded: {out}");
+        assert_eq!(stats.rewrites, 1);
+    }
+
+    #[test]
+    fn written_location_not_hoisted() {
+        let (out, stats) = run(
+            "while (i < 3) { a := load[na](li2x); store[na](li2x, a + 1); i := i + 1; }",
+        );
+        assert_eq!(stats.rewrites, 0, "{out}");
+        assert!(out.contains("a := load[na](li2x);"));
+    }
+
+    #[test]
+    fn acquire_in_body_blocks_hoisting() {
+        let (out, stats) = run(
+            "while (i < 3) { f := load[acq](li3f); a := load[na](li3x); i := i + 1; }",
+        );
+        assert_eq!(stats.rewrites, 0, "{out}");
+    }
+
+    #[test]
+    fn release_in_body_does_not_block() {
+        let (out, stats) = run(
+            "while (i < 3) { a := load[na](li4x); store[rel](li4f, 1); i := i + 1; }",
+        );
+        assert_eq!(stats.rewrites, 1);
+        assert!(out.contains("a := licm_"), "{out}");
+    }
+
+    #[test]
+    fn nested_loops_hoist_inner_first() {
+        let (out, stats) = run(
+            "while (i < 2) {
+                 j := 0;
+                 while (j < 2) { a := load[na](li5x); j := j + 1; }
+                 i := i + 1;
+             }",
+        );
+        assert!(stats.rewrites >= 1, "{out}");
+        // The hoisted load itself becomes invariant for the outer loop and
+        // is hoisted again.
+        assert_eq!(stats.rewrites, 2, "{out}");
+    }
+
+    #[test]
+    fn candidate_analysis() {
+        let body = parse_program(
+            "a := load[na](li6x); b := load[na](li6y); store[na](li6y, 1);",
+        )
+        .unwrap()
+        .body;
+        let cands = loop_candidates(&body);
+        assert!(cands.contains(&Loc::new("li6x")));
+        assert!(!cands.contains(&Loc::new("li6y")));
+    }
+}

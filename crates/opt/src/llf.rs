@@ -1,0 +1,261 @@
+//! Load-to-load forwarding (LLF) — the analysis of Fig. 8a (App. D).
+//!
+//! The abstract state assigns to every shared location the set of registers
+//! that (still) contain a value loaded from it since the last acquire:
+//! `x ↦ R` with ordering `D1 ⊑ D2 ⇔ ∀x. D1(x) ⊇ D2(x)` (larger sets are
+//! more precise; joins intersect). A read `a := x^na` with `r ∈ D(x)`
+//! rewrites to `a := r`.
+//!
+//! Beyond Fig. 8a we must also account for register kills: any statement
+//! that (re)assigns a register removes it from every location's set.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use seqwm_lang::{Expr, Loc, Program, ReadMode, Reg, Stmt};
+
+use crate::pipeline::PassStats;
+use crate::slf::is_acquire;
+
+/// The abstract state: locations not present map to `∅` (no information).
+pub type State = BTreeMap<Loc, BTreeSet<Reg>>;
+
+fn join(a: &State, b: &State) -> State {
+    let mut out = State::new();
+    for (x, ra) in a {
+        if let Some(rb) = b.get(x) {
+            let inter: BTreeSet<Reg> = ra.intersection(rb).copied().collect();
+            if !inter.is_empty() {
+                out.insert(*x, inter);
+            }
+        }
+    }
+    out
+}
+
+/// The register (re)assigned by a statement, if any.
+fn killed_reg(s: &Stmt) -> Option<Reg> {
+    match s {
+        Stmt::Assign(r, _)
+        | Stmt::Load(r, _, _)
+        | Stmt::Choose(r, _)
+        | Stmt::Freeze(r, _) => Some(*r),
+        Stmt::Cas { dst, .. } | Stmt::Fadd { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+fn transfer(s: &Stmt, state: &mut State) {
+    // Register kill first (the old value is gone before the new binding).
+    if let Some(r) = killed_reg(s) {
+        for set in state.values_mut() {
+            set.remove(&r);
+        }
+        state.retain(|_, set| !set.is_empty());
+    }
+    if is_acquire(s) {
+        // Acquires may import new memory values: all sets reset (Fig. 8a).
+        state.clear();
+    }
+    match s {
+        // A write to x invalidates registers holding x's old value.
+        Stmt::Store(x, _, _) => {
+            state.remove(x);
+        }
+        Stmt::Cas { loc, .. } | Stmt::Fadd { loc, .. } => {
+            state.remove(loc);
+        }
+        // A non-atomic load records its destination register.
+        Stmt::Load(r, x, ReadMode::Na) => {
+            state.entry(*x).or_default().insert(*r);
+        }
+        _ => {}
+    }
+}
+
+/// The LLF pass.
+pub struct LoadToLoadForwarding;
+
+impl LoadToLoadForwarding {
+    /// Runs the pass on a whole program.
+    pub fn run(prog: &Program) -> (Program, PassStats) {
+        let mut stats = PassStats::new("llf");
+        let mut state = State::new();
+        let body = rewrite(&prog.body, &mut state, &mut stats);
+        (Program::new(body), stats)
+    }
+}
+
+fn rewrite(s: &Stmt, state: &mut State, stats: &mut PassStats) -> Stmt {
+    match s {
+        Stmt::Seq(a, b) => {
+            let a2 = rewrite(a, state, stats);
+            let b2 = rewrite(b, state, stats);
+            Stmt::seq(a2, b2)
+        }
+        Stmt::If(c, a, b) => {
+            let mut sa = state.clone();
+            let mut sb = state.clone();
+            let a2 = rewrite(a, &mut sa, stats);
+            let b2 = rewrite(b, &mut sb, stats);
+            *state = join(&sa, &sb);
+            Stmt::If(c.clone(), Box::new(a2), Box::new(b2))
+        }
+        Stmt::While(c, body) => {
+            let mut head = state.clone();
+            let mut iterations = 0;
+            loop {
+                iterations += 1;
+                stats.note_iterations(iterations);
+                let mut out = head.clone();
+                let mut throwaway = PassStats::new("llf");
+                let _ = rewrite(body, &mut out, &mut throwaway);
+                let next = join(&head, &out);
+                if next == head {
+                    break;
+                }
+                head = next;
+                assert!(
+                    iterations <= 8,
+                    "LLF loop analysis failed to stabilize (paper bound: 3)"
+                );
+            }
+            let mut body_state = head.clone();
+            let body2 = rewrite(body, &mut body_state, stats);
+            *state = head;
+            Stmt::While(c.clone(), Box::new(body2))
+        }
+        Stmt::Load(r, x, ReadMode::Na) => {
+            // Prefer an existing register over re-loading.
+            if let Some(src) = state.get(x).and_then(|set| set.iter().next().copied()) {
+                if src != *r {
+                    stats.rewrites += 1;
+                    let out = Stmt::Assign(*r, Expr::Reg(src));
+                    let mut st2 = state.clone();
+                    transfer(&out, &mut st2);
+                    // r now also holds x's value.
+                    st2.entry(*x).or_default().insert(*r);
+                    *state = st2;
+                    return out;
+                }
+            }
+            let out = s.clone();
+            transfer(&out, state);
+            out
+        }
+        leaf => {
+            let out = leaf.clone();
+            transfer(&out, state);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn run(src: &str) -> (String, PassStats) {
+        let p = parse_program(src).unwrap();
+        let (out, stats) = LoadToLoadForwarding::run(&p);
+        (out.to_string(), stats)
+    }
+
+    #[test]
+    fn basic_forwarding() {
+        // Example 2.6 (iii): a := x_na ; b := x_na  {  a := x_na ; b := a.
+        let (out, stats) = run("a := load[na](l1x); b := load[na](l1x); return b;");
+        assert!(out.contains("b := a;"), "{out}");
+        assert_eq!(stats.rewrites, 1);
+    }
+
+    #[test]
+    fn forwarding_across_relaxed_and_release() {
+        let (out, stats) = run(
+            "a := load[na](l2x);
+             store[rel](l2y, 1);
+             c := load[rlx](l2z);
+             b := load[na](l2x);
+             return b;",
+        );
+        assert!(out.contains("b := a;"), "release/rlx do not kill: {out}");
+        assert_eq!(stats.rewrites, 1);
+    }
+
+    #[test]
+    fn acquire_kills_all_sets() {
+        let (out, stats) = run(
+            "a := load[na](l3x); c := load[acq](l3y); b := load[na](l3x); return b;",
+        );
+        assert!(out.contains("b := load[na](l3x);"), "{out}");
+        assert_eq!(stats.rewrites, 0);
+    }
+
+    #[test]
+    fn register_reassignment_kills() {
+        let (out, stats) = run(
+            "a := load[na](l4x); a := a + 1; b := load[na](l4x); return b;",
+        );
+        assert!(out.contains("b := load[na](l4x);"), "{out}");
+        assert_eq!(stats.rewrites, 0);
+    }
+
+    #[test]
+    fn write_to_location_kills() {
+        let (out, stats) = run(
+            "a := load[na](l5x); store[na](l5x, 9); b := load[na](l5x); return b;",
+        );
+        assert!(out.contains("b := load[na](l5x);"), "{out}");
+        assert_eq!(stats.rewrites, 0);
+    }
+
+    #[test]
+    fn chained_forwarding() {
+        let (out, stats) = run(
+            "a := load[na](l6x); b := load[na](l6x); c := load[na](l6x); return c;",
+        );
+        assert!(out.contains("b := a;"), "{out}");
+        assert!(out.contains("c := a;") || out.contains("c := b;"), "{out}");
+        assert_eq!(stats.rewrites, 2);
+    }
+
+    #[test]
+    fn branch_join_intersects() {
+        let (out, _) = run(
+            "l := load[rlx](l7f);
+             if (l == 0) { a := load[na](l7x); } else { a := load[na](l7x); }
+             b := load[na](l7x); return b;",
+        );
+        assert!(out.contains("b := a;"), "both branches load into a: {out}");
+        let (out, _) = run(
+            "l := load[rlx](l8f);
+             if (l == 0) { a := load[na](l8x); } else { skip; }
+             b := load[na](l8x); return b;",
+        );
+        assert!(
+            out.contains("b := load[na](l8x);"),
+            "one branch lacks the load: {out}"
+        );
+    }
+
+    #[test]
+    fn loop_invariant_load_forwarded_from_preheader() {
+        // The LLF half of LICM: a load before the loop feeds the body.
+        let (out, stats) = run(
+            "c := load[na](l9x);
+             while (i < 3) { a := load[na](l9x); i := i + 1; }
+             return a;",
+        );
+        assert!(out.contains("a := c;"), "{out}");
+        assert!(stats.max_fixpoint_iterations <= 3);
+    }
+
+    #[test]
+    fn loop_with_store_not_forwarded() {
+        let (out, _) = run(
+            "c := load[na](lax);
+             while (i < 3) { a := load[na](lax); store[na](lax, i); i := i + 1; }",
+        );
+        assert!(out.contains("a := load[na](lax);"), "{out}");
+    }
+}

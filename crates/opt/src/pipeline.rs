@@ -1,0 +1,230 @@
+//! The optimization pipeline: the four passes of §4, composable and
+//! instrumented.
+
+use std::fmt;
+
+use seqwm_lang::Program;
+
+use crate::constprop::ConstProp;
+use crate::dse::DeadStoreElimination;
+use crate::licm::LoopInvariantCodeMotion;
+use crate::llf::LoadToLoadForwarding;
+use crate::slf::StoreToLoadForwarding;
+
+/// One of the four optimization passes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PassKind {
+    /// Store-to-load forwarding (§4, Fig. 3).
+    Slf,
+    /// Load-to-load forwarding (App. D, Fig. 8a).
+    Llf,
+    /// Dead store elimination (App. D, Fig. 8b).
+    Dse,
+    /// Loop-invariant code motion (App. D).
+    Licm,
+    /// Register constant propagation (extension pass; enables SLF on
+    /// stores of registers).
+    ConstProp,
+}
+
+impl PassKind {
+    /// Runs this pass.
+    pub fn run(self, prog: &Program) -> (Program, PassStats) {
+        match self {
+            PassKind::Slf => StoreToLoadForwarding::run(prog),
+            PassKind::Llf => LoadToLoadForwarding::run(prog),
+            PassKind::Dse => DeadStoreElimination::run(prog),
+            PassKind::Licm => LoopInvariantCodeMotion::run(prog),
+            PassKind::ConstProp => ConstProp::run(prog),
+        }
+    }
+
+    /// All four passes in the paper's order.
+    pub fn all() -> [PassKind; 4] {
+        [PassKind::Slf, PassKind::Llf, PassKind::Dse, PassKind::Licm]
+    }
+}
+
+impl fmt::Display for PassKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassKind::Slf => write!(f, "slf"),
+            PassKind::Llf => write!(f, "llf"),
+            PassKind::Dse => write!(f, "dse"),
+            PassKind::Licm => write!(f, "licm"),
+            PassKind::ConstProp => write!(f, "constprop"),
+        }
+    }
+}
+
+/// Statistics collected by a single pass run.
+#[derive(Clone, Debug)]
+pub struct PassStats {
+    /// Pass name.
+    pub name: &'static str,
+    /// Number of rewrites applied (forwarded loads, eliminated stores,
+    /// hoisted loads).
+    pub rewrites: usize,
+    /// Maximum fixpoint iterations needed for any loop (the paper proves
+    /// this is at most 3).
+    pub max_fixpoint_iterations: usize,
+}
+
+impl PassStats {
+    /// Fresh statistics for a named pass.
+    pub fn new(name: &'static str) -> Self {
+        PassStats {
+            name,
+            rewrites: 0,
+            max_fixpoint_iterations: 0,
+        }
+    }
+
+    /// Records a fixpoint iteration count.
+    pub fn note_iterations(&mut self, n: usize) {
+        self.max_fixpoint_iterations = self.max_fixpoint_iterations.max(n);
+    }
+}
+
+impl fmt::Display for PassStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} rewrites (fixpoint ≤ {} iters)",
+            self.name, self.rewrites, self.max_fixpoint_iterations
+        )
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// The passes to run, in order.
+    pub passes: Vec<PassKind>,
+    /// How many times to repeat the whole sequence (rewrites can enable
+    /// further rewrites).
+    pub rounds: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            passes: PassKind::all().to_vec(),
+            rounds: 1,
+        }
+    }
+}
+
+/// The result of running the pipeline.
+#[derive(Clone, Debug)]
+pub struct OptResult {
+    /// The optimized program.
+    pub program: Program,
+    /// Per-pass statistics, in execution order.
+    pub stats: Vec<PassStats>,
+    /// Intermediate programs (input of each pass), for validation.
+    pub stages: Vec<Program>,
+}
+
+impl OptResult {
+    /// Total rewrites across all passes.
+    pub fn total_rewrites(&self) -> usize {
+        self.stats.iter().map(|s| s.rewrites).sum()
+    }
+}
+
+/// The optimizer pipeline of §4.
+#[derive(Clone, Debug, Default)]
+pub struct Pipeline {
+    cfg: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        Pipeline { cfg }
+    }
+
+    /// Optimizes a program, recording per-pass statistics and every
+    /// intermediate stage.
+    pub fn optimize(&self, prog: &Program) -> OptResult {
+        let mut program = prog.clone();
+        let mut stats = Vec::new();
+        let mut stages = vec![program.clone()];
+        for _ in 0..self.cfg.rounds.max(1) {
+            for &pass in &self.cfg.passes {
+                let (next, s) = pass.run(&program);
+                stats.push(s);
+                stages.push(next.clone());
+                program = next;
+            }
+        }
+        OptResult {
+            program,
+            stats,
+            stages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    #[test]
+    fn full_pipeline_on_figure_4() {
+        let p = parse_program(
+            "store[na](pl_x, 42);
+             l := load[acq](pl_y);
+             if (l == 0) { a := load[na](pl_x); }
+             store[rel](pl_y, 1);
+             b := load[na](pl_x);
+             return b;",
+        )
+        .unwrap();
+        let res = Pipeline::new(PipelineConfig::default()).optimize(&p);
+        let out = res.program.to_string();
+        assert!(out.contains("a := 42;"), "{out}");
+        assert!(out.contains("b := 42;"), "{out}");
+        assert!(res.total_rewrites() >= 2);
+        assert_eq!(res.stages.len(), 5); // input + 4 passes
+    }
+
+    #[test]
+    fn passes_compose_slf_enables_dse() {
+        // After SLF forwards the load, the first store becomes dead… only
+        // if nothing reads it. Here the read is forwarded by SLF, then DSE
+        // can kill the overwritten store on a second round.
+        let p = parse_program(
+            "store[na](pc_x, 1); a := load[na](pc_x); store[na](pc_x, 2); return a;",
+        )
+        .unwrap();
+        let res = Pipeline::new(PipelineConfig {
+            passes: PassKind::all().to_vec(),
+            rounds: 2,
+        })
+        .optimize(&p);
+        let out = res.program.to_string();
+        assert!(out.contains("a := 1;"), "{out}");
+        assert!(!out.contains("store[na](pc_x, 1);"), "{out}");
+    }
+
+    #[test]
+    fn idempotent_on_fixpoint() {
+        let p = parse_program("store[na](pi_x, 1); b := load[na](pi_x); return b;").unwrap();
+        let pipe = Pipeline::default();
+        let once = pipe.optimize(&p);
+        let twice = pipe.optimize(&once.program);
+        assert_eq!(once.program, twice.program);
+        assert_eq!(twice.total_rewrites(), 0);
+    }
+
+    #[test]
+    fn pass_display() {
+        assert_eq!(PassKind::Slf.to_string(), "slf");
+        assert_eq!(PassKind::Licm.to_string(), "licm");
+        let s = PassStats::new("slf");
+        assert!(s.to_string().contains("slf"));
+    }
+}

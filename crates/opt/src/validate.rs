@@ -1,0 +1,194 @@
+//! Translation validation via SEQ (the Rust substitute for the paper's Coq
+//! certification).
+//!
+//! The paper *proves* each pass sound against SEQ once and for all; this
+//! crate instead *checks* each optimizer run against SEQ — a translation
+//! validation discipline in the spirit the paper suggests for Alive2-style
+//! tools (§7). Crucially, validation relies **only** on the sequential
+//! model: no reference to PS^na is ever needed, which is exactly the
+//! paper's point. The adequacy theorem (tested differentially in
+//! `tests/adequacy.rs`) then transfers soundness to arbitrary concurrent
+//! contexts.
+//!
+//! Pass-to-notion mapping (§3/§4): SLF, LLF, and LICM are justified by the
+//! *simple* refinement; DSE across release writes needs the *advanced*
+//! one (Example 3.5). The validator tries simple first (cheaper), then
+//! advanced (strictly more permissive, Prop. 3.4).
+
+use std::fmt;
+
+use seqwm_lang::Program;
+use seqwm_seq::refine::{refines_advanced_or_simple_config, RefineConfig};
+
+use crate::pipeline::{OptResult, PassKind, Pipeline, PipelineConfig};
+
+/// Which refinement notion validated a stage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValidatedBy {
+    /// Simple behavioral refinement (Def. 2.4) sufficed.
+    Simple,
+    /// Advanced behavioral refinement (Def. 3.3) was needed.
+    Advanced,
+    /// The stage was a no-op (program unchanged).
+    Unchanged,
+}
+
+/// A per-stage validation record.
+#[derive(Clone, Debug)]
+pub struct StageValidation {
+    /// The pass that produced this stage.
+    pub pass: PassKind,
+    /// How the stage was validated.
+    pub by: ValidatedBy,
+}
+
+/// Validation failure: a pass produced a program that does not refine its
+/// input in SEQ.
+#[derive(Clone, Debug)]
+pub struct ValidationFailure {
+    /// The offending pass.
+    pub pass: PassKind,
+    /// The pass input.
+    pub input: Program,
+    /// The pass output.
+    pub output: Program,
+    /// Diagnostic detail.
+    pub detail: String,
+}
+
+impl fmt::Display for ValidationFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pass {:?} failed SEQ validation: {}\n--- input ---\n{}--- output ---\n{}",
+            self.pass, self.detail, self.input, self.output
+        )
+    }
+}
+
+impl std::error::Error for ValidationFailure {}
+
+/// The outcome of a validated optimization run.
+#[derive(Clone, Debug)]
+pub struct ValidatedResult {
+    /// The optimization result.
+    pub result: OptResult,
+    /// Per-stage validation records.
+    pub validations: Vec<StageValidation>,
+}
+
+/// Runs the pipeline and validates every stage against SEQ.
+///
+/// # Errors
+///
+/// Returns a [`ValidationFailure`] (boxed — it carries both programs) if
+/// any stage fails both refinement checks (which would indicate an
+/// optimizer bug — none is known).
+pub fn optimize_validated(
+    prog: &Program,
+    cfg: PipelineConfig,
+    refine_cfg: &RefineConfig,
+) -> Result<ValidatedResult, Box<ValidationFailure>> {
+    let passes = cfg.passes.clone();
+    let rounds = cfg.rounds.max(1);
+    let result = Pipeline::new(cfg).optimize(prog);
+    let mut validations = Vec::new();
+    for (i, window) in result.stages.windows(2).enumerate() {
+        let (input, output) = (&window[0], &window[1]);
+        let pass = passes[i % passes.len().max(1)];
+        debug_assert!(i < passes.len() * rounds);
+        if input == output {
+            validations.push(StageValidation {
+                pass,
+                by: ValidatedBy::Unchanged,
+            });
+            continue;
+        }
+        match refines_advanced_or_simple_config(input, output, refine_cfg) {
+            Ok(by_simple) => validations.push(StageValidation {
+                pass,
+                by: if by_simple {
+                    ValidatedBy::Simple
+                } else {
+                    ValidatedBy::Advanced
+                },
+            }),
+            Err(detail) => {
+                return Err(Box::new(ValidationFailure {
+                    pass,
+                    input: input.clone(),
+                    output: output.clone(),
+                    detail,
+                }))
+            }
+        }
+    }
+    Ok(ValidatedResult {
+        result,
+        validations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn validate(src: &str) -> ValidatedResult {
+        let p = parse_program(src).unwrap();
+        optimize_validated(&p, PipelineConfig::default(), &RefineConfig::default())
+            .expect("optimizer output must refine its input in SEQ")
+    }
+
+    #[test]
+    fn slf_validates_simply() {
+        let v = validate("store[na](v1x, 1); b := load[na](v1x); return b;");
+        assert!(v.result.total_rewrites() >= 1);
+        let slf = v
+            .validations
+            .iter()
+            .find(|s| s.pass == PassKind::Slf)
+            .unwrap();
+        assert_eq!(slf.by, ValidatedBy::Simple);
+    }
+
+    #[test]
+    fn dse_across_release_needs_advanced() {
+        let v = validate("store[na](v2x, 1); store[rel](v2y, 5); store[na](v2x, 2);");
+        let dse = v
+            .validations
+            .iter()
+            .find(|s| s.pass == PassKind::Dse)
+            .unwrap();
+        assert_eq!(
+            dse.by,
+            ValidatedBy::Advanced,
+            "Example 3.5: DSE across a release is invalidated by the simple \
+             notion but validated by the advanced one"
+        );
+    }
+
+    #[test]
+    fn licm_validates() {
+        let v = validate(
+            "while (i < 2) { a := load[na](v3x); i := i + 1; } return a;",
+        );
+        assert!(v
+            .validations
+            .iter()
+            .any(|s| s.pass == PassKind::Licm && s.by != ValidatedBy::Unchanged));
+    }
+
+    #[test]
+    fn figure_4_validates_end_to_end() {
+        let v = validate(
+            "store[na](v4x, 42);
+             l := load[acq](v4y);
+             if (l == 0) { a := load[na](v4x); }
+             store[rel](v4y, 1);
+             b := load[na](v4x);
+             return b;",
+        );
+        assert!(v.result.total_rewrites() >= 2);
+    }
+}

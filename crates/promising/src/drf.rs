@@ -1,0 +1,160 @@
+//! Data-race-freedom (DRF) guarantees (§5 "Results", following [8]).
+//!
+//! PS^na ports the DRF guarantees of PS2.1: defensive programmers who avoid
+//! certain races may reason in a stronger, simpler model. This module
+//! provides executable checks:
+//!
+//! * [`race_report`] — is a parallel program racy at all (any racy read or
+//!   write reachable)?
+//! * [`drf_check`] — for race-free programs, compares the behavior sets of
+//!   full PS^na, the promise-free fragment (the release/acquire baseline),
+//!   and SC. The DRF guarantee predicts that for programs that are
+//!   race-free *and* whose atomics are acquire/release-synchronized, the
+//!   sets coincide (up to the exploration bounds).
+
+use std::collections::BTreeSet;
+
+use seqwm_lang::Program;
+
+use crate::machine::{explore, PsBehavior};
+use crate::sc::{explore_sc, ScConfig};
+use crate::thread::PsConfig;
+
+/// The racy-ness verdict for a parallel program.
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    /// Any racy access reachable (read or write)?
+    pub racy: bool,
+    /// A racy *write* (UB) reachable?
+    pub ub_reachable: bool,
+    /// States explored.
+    pub states: usize,
+    /// Whether bounds were hit.
+    pub truncated: bool,
+}
+
+/// Explores the program under full PS^na and reports reachable races.
+pub fn race_report(progs: &[Program], cfg: &PsConfig) -> RaceReport {
+    let e = explore(progs, cfg);
+    RaceReport {
+        racy: e.racy,
+        ub_reachable: e.behaviors.contains(&PsBehavior::Ub),
+        states: e.states,
+        truncated: e.truncated,
+    }
+}
+
+/// A three-way model comparison for the DRF guarantees.
+#[derive(Clone, Debug)]
+pub struct DrfReport {
+    /// Racy under PS^na?
+    pub racy: bool,
+    /// Behaviors under full PS^na (with promises).
+    pub ps_behaviors: BTreeSet<PsBehavior>,
+    /// Behaviors under the promise-free fragment (RA baseline).
+    pub ra_behaviors: BTreeSet<PsBehavior>,
+    /// Behaviors under SC.
+    pub sc_behaviors: BTreeSet<PsBehavior>,
+    /// `ps == ra` (the promise-free DRF guarantee held on this program)?
+    pub ps_equals_ra: bool,
+    /// `ra == sc` (the DRF-SC guarantee held on this program)?
+    pub ra_equals_sc: bool,
+}
+
+/// Runs the three machines and compares behavior sets.
+///
+/// `promises` enables promise steps for the full-PS^na run (pass `false`
+/// for programs where promises cannot matter, to save exploration time).
+pub fn drf_check(progs: &[Program], promises: bool) -> DrfReport {
+    let prog_refs: Vec<&Program> = progs.iter().collect();
+    let ps_cfg = if promises {
+        PsConfig::with_promises(&prog_refs)
+    } else {
+        PsConfig::default()
+    };
+    let ra_cfg = PsConfig {
+        allow_promises: false,
+        ..PsConfig::default()
+    };
+    let ps = explore(progs, &ps_cfg);
+    let ra = explore(progs, &ra_cfg);
+    let sc = explore_sc(progs, &ScConfig::default());
+    DrfReport {
+        racy: ps.racy,
+        ps_equals_ra: ps.behaviors == ra.behaviors,
+        ra_equals_sc: ra.behaviors == sc.behaviors,
+        ps_behaviors: ps.behaviors,
+        ra_behaviors: ra.behaviors,
+        sc_behaviors: sc.behaviors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn progs(srcs: &[&str]) -> Vec<Program> {
+        srcs.iter().map(|s| parse_program(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn mp_is_race_free_and_drf() {
+        let ps = progs(&[
+            "store[na](drf_d, 1); store[rel](drf_f, 1); return 0;",
+            "a := load[acq](drf_f); if (a == 1) { b := load[na](drf_d); } return a;",
+        ]);
+        let report = drf_check(&ps, true);
+        assert!(!report.racy, "MP is race-free");
+        assert!(report.ps_equals_ra, "promises do not add behaviors to MP");
+    }
+
+    #[test]
+    fn ww_race_is_detected() {
+        let ps = progs(&[
+            "store[na](drfw_x, 1); return 0;",
+            "store[na](drfw_x, 2); return 0;",
+        ]);
+        let r = race_report(&ps, &PsConfig::default());
+        assert!(r.racy);
+        assert!(r.ub_reachable);
+    }
+
+    #[test]
+    fn race_free_single_thread() {
+        let ps = progs(&["store[na](drfs_x, 1); a := load[na](drfs_x); return a;"]);
+        let r = race_report(&ps, &PsConfig::default());
+        assert!(!r.racy);
+        assert!(!r.ub_reachable);
+    }
+
+    #[test]
+    fn sb_rlx_is_race_free_but_not_sc() {
+        // SB with rlx atomics: no *races* (all accesses atomic), but the
+        // behavior set is strictly weaker than SC — DRF-SC needs more than
+        // race freedom w.r.t. rlx atomics.
+        let ps = progs(&[
+            "store[rlx](drsb_x, 1); a := load[rlx](drsb_y); return a;",
+            "store[rlx](drsb_y, 1); b := load[rlx](drsb_x); return b;",
+        ]);
+        let report = drf_check(&ps, false);
+        assert!(!report.racy);
+        assert!(!report.ra_equals_sc, "rlx SB is weaker than SC");
+        assert!(
+            report.sc_behaviors.is_subset(&report.ra_behaviors),
+            "SC behaviors are contained in RA behaviors"
+        );
+    }
+
+    #[test]
+    fn sc_subset_of_ra_subset_of_ps() {
+        // On an arbitrary (race-free) atomic program, SC ⊆ RA ⊆ PS^na.
+        let ps = progs(&[
+            "store[rel](incl_x, 1); a := load[acq](incl_y); return a;",
+            "store[rel](incl_y, 1); b := load[acq](incl_x); return b;",
+        ]);
+        let report = drf_check(&ps, true);
+        assert!(report.sc_behaviors.is_subset(&report.ra_behaviors));
+        assert!(report.ra_behaviors.is_subset(&report.ps_behaviors));
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! # seqwm-promising
+//!
+//! **PS^na** — the Promising Semantics 2.1 extended with non-atomic
+//! accesses (§5 of *Sequential Reasoning for Optimizing Compilers under
+//! Weak Memory Concurrency*, PLDI 2022) — as an executable, bounded-
+//! exhaustively explorable machine, plus two baseline machines.
+//!
+//! * [`time`] — dense rational timestamps.
+//! * [`view`] — thread/message views with `⊥`.
+//! * [`memory`] — interval-shaped messages (adjacency = RMW atomicity),
+//!   valueless `NAMsg` race markers, promise sets, the `lower` rule.
+//! * [`thread`] — the thread-configuration steps of Fig. 5 (reads, writes,
+//!   racy accesses returning `undef` / invoking UB, promises,
+//!   certification, RMWs, fences) with configurable bounds.
+//! * [`machine`] — machine states, behaviors (Def. 5.2), behavioral
+//!   refinement (Def. 5.3), and exploration.
+//! * [`sc`] — a sequentially consistent interleaving baseline.
+//! * [`drf`] — data-race-freedom reports and model comparisons.
+//! * [`strengthen`] — the §5 access-mode strengthening soundness claim.
+//!
+//! ## Fidelity notes (see DESIGN.md for the full list)
+//!
+//! * Thread views are the full three-component (`cur`/`acq`/`rel`) PS2.1
+//!   state ([`tview`]); the paper's Fig. 5 single view is its `cur`
+//!   component (the two coincide in the fence-free fragment). SC fences
+//!   use a global SC view, as in PS2's full model.
+//! * Certification runs in the current memory (PS1-style) rather than
+//!   PS2's capped memory; for the litmus corpus the two coincide.
+//! * Promise synthesis is bounded (values, slots, budget) — exploration is
+//!   an *under*-approximation of PS^na, exact on the corpus used here.
+//!
+//! ## Example
+//!
+//! ```
+//! use seqwm_lang::parser::parse_program;
+//! use seqwm_promising::{explore, PsConfig};
+//!
+//! let t1 = parse_program("store[rlx](x, 1); a := load[rlx](y); return a;")?;
+//! let t2 = parse_program("store[rlx](y, 1); b := load[rlx](x); return b;")?;
+//! let result = explore(&[t1, t2], &PsConfig::default());
+//! // Store buffering: the weak outcome (0, 0) is observable.
+//! assert!(result.behaviors.iter().any(|b| b.to_string() == "(0 ∥ 0)"));
+//! # Ok::<(), seqwm_lang::parser::ParseError>(())
+//! ```
+
+pub mod drf;
+pub mod machine;
+pub mod memory;
+pub mod sc;
+pub mod strengthen;
+pub mod thread;
+pub mod time;
+pub mod tview;
+pub mod view;
+
+pub use drf::{drf_check, race_report, DrfReport, RaceReport};
+pub use machine::{explore, ps_behaviors_refine, Exploration, MachineState, PsBehavior};
+pub use memory::{Message, MsgKey, PromiseSet, PsMemory, Slot};
+pub use sc::{explore_sc, ScConfig, ScExploration};
+pub use strengthen::{strengthen_na, strengthening_sound};
+pub use thread::{certify, thread_steps, PsConfig, StepKind, ThreadState, ThreadStep};
+pub use time::Timestamp;
+pub use tview::TView;
+pub use view::View;

@@ -1,0 +1,468 @@
+//! The PS^na memory: timestamped, interval-shaped messages, including the
+//! valueless non-atomic messages (`NAMsg`) used for race detection (Fig. 5).
+//!
+//! Each message occupies a timestamp interval `(from, to]`; intervals of
+//! messages to the same location are disjoint. Interval adjacency
+//! (`m2.from = m1.to`) is what makes atomic read-modify-writes atomic: an
+//! RMW reading `m1` must write a message attached to `m1`, and only one
+//! message can ever attach there.
+//!
+//! [`PsMemory::insert_slots`] enumerates a *canonical* set of insertion
+//! candidates — per gap, one slot attached to the left neighbour and one
+//! detached slot leaving room on both sides — which covers all distinct
+//! relative orderings and adjacency choices reachable by bounded runs
+//! (timestamps are dense, so only order and adjacency are observable).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use seqwm_lang::{Loc, Value};
+
+use crate::time::Timestamp;
+use crate::view::View;
+
+/// A message `⟨x@(from,to], v, V⟩`, or a valueless non-atomic message
+/// `x@(from,to]` when `payload` is `None`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Message {
+    /// Location.
+    pub loc: Loc,
+    /// Left end of the timestamp interval (exclusive).
+    pub from: Timestamp,
+    /// Right end of the timestamp interval (inclusive) — *the* timestamp of
+    /// the message.
+    pub to: Timestamp,
+    /// The value, or `None` for a valueless `NAMsg` race marker.
+    pub payload: Option<Value>,
+    /// The message view (always `⊥` for non-atomic messages and `NAMsg`).
+    pub view: View,
+}
+
+impl Message {
+    /// The initialization message `⟨x@(0,0], 0, ⊥⟩`.
+    pub fn init(loc: Loc) -> Message {
+        Message {
+            loc,
+            from: Timestamp::ZERO,
+            to: Timestamp::ZERO,
+            payload: Some(Value::ZERO),
+            view: View::bottom(),
+        }
+    }
+
+    /// Is this a valueless non-atomic message (`NAMsg`)?
+    pub fn is_na_marker(&self) -> bool {
+        self.payload.is_none()
+    }
+
+    /// The key identifying this message within a memory.
+    pub fn key(&self) -> MsgKey {
+        (self.loc, self.to)
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.payload {
+            Some(v) => write!(f, "⟨{}@({},{}],{},{}⟩", self.loc, self.from, self.to, v, self.view),
+            None => write!(f, "⟨{}@({},{}]⟩", self.loc, self.from, self.to),
+        }
+    }
+}
+
+/// Identifies a message: its location and its (unique per location)
+/// timestamp `to`.
+pub type MsgKey = (Loc, Timestamp);
+
+/// A thread's outstanding promise set (keys into the shared memory).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct PromiseSet(pub BTreeSet<MsgKey>);
+
+impl PromiseSet {
+    /// The empty promise set.
+    pub fn new() -> Self {
+        PromiseSet::default()
+    }
+
+    /// Is the promise set empty (certification goal)?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Does this set contain the message?
+    pub fn contains(&self, key: &MsgKey) -> bool {
+        self.0.contains(key)
+    }
+
+    /// Adds a promise.
+    pub fn insert(&mut self, key: MsgKey) {
+        self.0.insert(key);
+    }
+
+    /// Fulfills (removes) a promise; returns whether it was present.
+    pub fn remove(&mut self, key: &MsgKey) -> bool {
+        self.0.remove(key)
+    }
+
+    /// Iterates over promise keys.
+    pub fn iter(&self) -> impl Iterator<Item = &MsgKey> + '_ {
+        self.0.iter()
+    }
+}
+
+/// A candidate insertion slot returned by [`PsMemory::insert_slots`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Slot {
+    /// Left end (exclusive) of the new interval.
+    pub from: Timestamp,
+    /// Right end (inclusive) of the new interval.
+    pub to: Timestamp,
+    /// Whether the slot is attached to the previous message
+    /// (`from == prev.to`).
+    pub attached: bool,
+}
+
+/// The shared memory: per-location lists of messages sorted by timestamp.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct PsMemory {
+    msgs: BTreeMap<Loc, Vec<Message>>,
+}
+
+impl PsMemory {
+    /// The initial memory with an initialization message for each location.
+    pub fn init<I: IntoIterator<Item = Loc>>(locs: I) -> Self {
+        let mut m = PsMemory::default();
+        for loc in locs {
+            m.msgs.insert(loc, vec![Message::init(loc)]);
+        }
+        m
+    }
+
+    /// The messages of a location, sorted by timestamp.
+    pub fn messages(&self, loc: Loc) -> &[Message] {
+        self.msgs.get(&loc).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All locations with at least one message.
+    pub fn locs(&self) -> impl Iterator<Item = Loc> + '_ {
+        self.msgs.keys().copied()
+    }
+
+    /// Finds a message by key.
+    pub fn find(&self, key: &MsgKey) -> Option<&Message> {
+        self.messages(key.0).iter().find(|m| m.to == key.1)
+    }
+
+    /// The latest message of a location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location has no messages (memory not initialized).
+    pub fn latest(&self, loc: Loc) -> &Message {
+        self.messages(loc).last().expect("location initialized")
+    }
+
+    /// Canonical insertion candidates for a location: per gap between
+    /// consecutive messages, an attached slot and a detached slot; plus an
+    /// attached and a detached slot after the last message.
+    pub fn insert_slots(&self, loc: Loc) -> Vec<Slot> {
+        let msgs = self.messages(loc);
+        let mut out = Vec::new();
+        for w in msgs.windows(2) {
+            let (g0, g1) = (w[0].to, w[1].from);
+            if g0 < g1 {
+                let mid = Timestamp::between(g0, g1);
+                out.push(Slot {
+                    from: g0,
+                    to: mid,
+                    attached: true,
+                });
+                let lq = Timestamp::left_quarter(g0, g1);
+                out.push(Slot {
+                    from: lq,
+                    to: mid,
+                    attached: false,
+                });
+            }
+        }
+        if let Some(last) = msgs.last() {
+            let t0 = last.to;
+            let t1 = t0.succ();
+            out.push(Slot {
+                from: t0,
+                to: t1,
+                attached: true,
+            });
+            out.push(Slot {
+                from: Timestamp::between(t0, t1),
+                to: t1,
+                attached: false,
+            });
+        }
+        out
+    }
+
+    /// The slot directly attached to message `key` (for RMWs), if free.
+    pub fn attached_slot(&self, key: &MsgKey) -> Option<Slot> {
+        let msgs = self.messages(key.0);
+        let idx = msgs.iter().position(|m| m.to == key.1)?;
+        let g0 = msgs[idx].to;
+        let g1 = msgs.get(idx + 1).map(|m| m.from);
+        match g1 {
+            Some(g1) if g0 < g1 => Some(Slot {
+                from: g0,
+                to: Timestamp::between(g0, g1),
+                attached: true,
+            }),
+            Some(_) => None, // next message already attached
+            None => Some(Slot {
+                from: g0,
+                to: g0.succ(),
+                attached: true,
+            }),
+        }
+    }
+
+    /// Adds a message (memory: new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message's interval is empty or overlaps an existing
+    /// message — exploration must only use slots from [`Self::insert_slots`]
+    /// or [`Self::attached_slot`].
+    pub fn add(&mut self, msg: Message) {
+        assert!(msg.from < msg.to, "message interval must be non-empty");
+        let list = self.msgs.entry(msg.loc).or_default();
+        for m in list.iter() {
+            let disjoint = msg.to <= m.from || msg.from >= m.to;
+            assert!(
+                disjoint,
+                "overlapping message intervals at {}: ({},{}] vs ({},{}]",
+                msg.loc, msg.from, msg.to, m.from, m.to
+            );
+        }
+        let pos = list.partition_point(|m| m.to < msg.to);
+        list.insert(pos, msg);
+    }
+
+    /// Lowers a promised message (the `lower` rule): the value may be
+    /// raised to `undef` (`v ⊑ v′`), the view may be lowered (`V′ ⊑ V`).
+    ///
+    /// Returns `false` (and leaves the memory unchanged) if the conditions
+    /// do not hold or the message does not exist.
+    pub fn lower(&mut self, key: &MsgKey, new_val: Value, new_view: View) -> bool {
+        let Some(list) = self.msgs.get_mut(&key.0) else {
+            return false;
+        };
+        let Some(m) = list.iter_mut().find(|m| m.to == key.1) else {
+            return false;
+        };
+        let Some(old_val) = m.payload else {
+            return false; // NAMsg markers carry no value
+        };
+        if !old_val.refines(new_val) || !new_view.leq(&m.view) {
+            return false;
+        }
+        m.payload = Some(new_val);
+        m.view = new_view;
+        true
+    }
+
+    /// Is an access racy? (`race-helper` of Fig. 5): there is a message to
+    /// `x`, not among the thread's own promises, ahead of the thread's view,
+    /// and — for atomic accesses — it is a valueless non-atomic message.
+    pub fn is_racy(
+        &self,
+        view_ts: Timestamp,
+        promises: &PromiseSet,
+        loc: Loc,
+        atomic_access: bool,
+    ) -> bool {
+        self.messages(loc).iter().any(|m| {
+            view_ts < m.to
+                && !promises.contains(&m.key())
+                && (!atomic_access || m.is_na_marker())
+        })
+    }
+
+    /// Readable messages for a thread with view-timestamp `ts` on `loc`:
+    /// valued messages with `ts ≤ m.to`.
+    pub fn readable(&self, loc: Loc, ts: Timestamp) -> impl Iterator<Item = &Message> + '_ {
+        self.messages(loc)
+            .iter()
+            .filter(move |m| !m.is_na_marker() && ts <= m.to)
+    }
+}
+
+impl fmt::Display for PsMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (loc, list) in &self.msgs {
+            write!(f, "{loc}: ")?;
+            for m in list {
+                write!(f, "{m} ")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Loc {
+        Loc::new("mem_x")
+    }
+
+    fn msg(loc: Loc, slot: Slot, v: i64) -> Message {
+        Message {
+            loc,
+            from: slot.from,
+            to: slot.to,
+            payload: Some(Value::Int(v)),
+            view: View::bottom(),
+        }
+    }
+
+    #[test]
+    fn init_memory_has_zero_messages() {
+        let m = PsMemory::init([x()]);
+        assert_eq!(m.messages(x()).len(), 1);
+        assert_eq!(m.latest(x()).payload, Some(Value::ZERO));
+        assert_eq!(m.latest(x()).to, Timestamp::ZERO);
+    }
+
+    #[test]
+    fn append_and_order() {
+        let mut m = PsMemory::init([x()]);
+        let slots = m.insert_slots(x());
+        // Only tail slots exist initially (init occupies (0,0]).
+        assert_eq!(slots.len(), 2);
+        let tail = slots[0];
+        assert!(tail.attached);
+        m.add(msg(x(), tail, 1));
+        assert_eq!(m.latest(x()).payload, Some(Value::Int(1)));
+        // Now a further append goes after it.
+        let slots = m.insert_slots(x());
+        let tail2 = slots.iter().rev().find(|s| s.attached).copied().unwrap();
+        m.add(msg(x(), tail2, 2));
+        assert_eq!(m.messages(x()).len(), 3);
+        assert!(m.messages(x()).windows(2).all(|w| w[0].to <= w[1].from));
+    }
+
+    #[test]
+    fn detached_slot_leaves_gap_for_later_insert() {
+        let mut m = PsMemory::init([x()]);
+        let detached = m
+            .insert_slots(x())
+            .into_iter()
+            .find(|s| !s.attached)
+            .unwrap();
+        m.add(msg(x(), detached, 1));
+        // The gap before the detached message admits another insertion.
+        let slots = m.insert_slots(x());
+        assert!(slots.iter().any(|s| s.to <= detached.from || s.to < detached.to));
+        let inner = slots
+            .iter()
+            .find(|s| s.to <= m.messages(x())[1].from)
+            .copied();
+        assert!(inner.is_some(), "gap slot available: {slots:?}");
+        m.add(msg(x(), inner.unwrap(), 2));
+        assert_eq!(m.messages(x()).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlap_is_rejected() {
+        let mut m = PsMemory::init([x()]);
+        let tail = m.insert_slots(x())[0];
+        m.add(msg(x(), tail, 1));
+        m.add(msg(x(), tail, 2)); // same slot again: overlap
+    }
+
+    #[test]
+    fn attached_slot_is_unique() {
+        let mut m = PsMemory::init([x()]);
+        let init_key = (x(), Timestamp::ZERO);
+        let s = m.attached_slot(&init_key).unwrap();
+        assert!(s.attached && s.from == Timestamp::ZERO);
+        m.add(msg(x(), s, 1));
+        // Attaching to init again is impossible.
+        assert!(m.attached_slot(&init_key).is_none());
+        // But attaching to the new message works.
+        let k2 = (x(), s.to);
+        assert!(m.attached_slot(&k2).is_some());
+    }
+
+    #[test]
+    fn race_detection_na_vs_atomic() {
+        let mut m = PsMemory::init([x()]);
+        let tail = m.insert_slots(x())[0];
+        // A valued na message ahead of the view.
+        m.add(msg(x(), tail, 1));
+        let p = PromiseSet::new();
+        // na access: races with any unseen message.
+        assert!(m.is_racy(Timestamp::ZERO, &p, x(), false));
+        // atomic access: races only with valueless NAMsg markers.
+        assert!(!m.is_racy(Timestamp::ZERO, &p, x(), true));
+        // Add a marker: now atomic accesses race too.
+        let tail2 = m
+            .insert_slots(x())
+            .into_iter()
+            .rev()
+            .find(|s| s.attached)
+            .unwrap();
+        m.add(Message {
+            loc: x(),
+            from: tail2.from,
+            to: tail2.to,
+            payload: None,
+            view: View::bottom(),
+        });
+        assert!(m.is_racy(Timestamp::ZERO, &p, x(), true));
+        // A thread whose view covers everything does not race.
+        assert!(!m.is_racy(tail2.to, &p, x(), false));
+    }
+
+    #[test]
+    fn own_promises_do_not_race() {
+        let mut m = PsMemory::init([x()]);
+        let tail = m.insert_slots(x())[0];
+        m.add(msg(x(), tail, 1));
+        let mut p = PromiseSet::new();
+        p.insert((x(), tail.to));
+        assert!(!m.is_racy(Timestamp::ZERO, &p, x(), false));
+    }
+
+    #[test]
+    fn lower_raises_value_to_undef_and_lowers_view() {
+        let mut m = PsMemory::init([x()]);
+        let tail = m.insert_slots(x())[0];
+        m.add(Message {
+            loc: x(),
+            from: tail.from,
+            to: tail.to,
+            payload: Some(Value::Int(1)),
+            view: View::singleton(x(), tail.to),
+        });
+        let key = (x(), tail.to);
+        // Raising 1 → undef with view lowered to ⊥ is allowed.
+        assert!(m.lower(&key, Value::Undef, View::bottom()));
+        assert_eq!(m.find(&key).unwrap().payload, Some(Value::Undef));
+        // Changing undef back to a different defined value is not.
+        assert!(!m.lower(&key, Value::Int(2), View::bottom()));
+    }
+
+    #[test]
+    fn readable_respects_view() {
+        let mut m = PsMemory::init([x()]);
+        let tail = m.insert_slots(x())[0];
+        m.add(msg(x(), tail, 1));
+        let all: Vec<_> = m.readable(x(), Timestamp::ZERO).collect();
+        assert_eq!(all.len(), 2); // init + new
+        let only_new: Vec<_> = m.readable(x(), tail.to).collect();
+        assert_eq!(only_new.len(), 1);
+        assert_eq!(only_new[0].payload, Some(Value::Int(1)));
+    }
+}

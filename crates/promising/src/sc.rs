@@ -1,0 +1,240 @@
+//! A sequentially consistent (SC) baseline machine.
+//!
+//! SC is the strongest model the paper's DRF guarantees relate to:
+//! race-free programs behave the same under PS^na and under an
+//! interleaving semantics with a single flat memory. This module provides
+//! that interleaving semantics (reusing the [`PsBehavior`] type), used as
+//! a baseline by the DRF experiments and benchmarks.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use seqwm_lang::{ChoiceSet, Loc, ProgState, Program, Step, Value};
+
+use crate::machine::PsBehavior;
+
+/// Exploration configuration for the SC machine.
+#[derive(Clone, Debug)]
+pub struct ScConfig {
+    /// Depth bound on interleaving exploration.
+    pub max_steps: usize,
+    /// Bound on visited states.
+    pub max_states: usize,
+    /// Defined values used to resolve `freeze` of `undef`.
+    pub choose_domain: Vec<i64>,
+}
+
+impl Default for ScConfig {
+    fn default() -> Self {
+        ScConfig {
+            max_steps: 256,
+            max_states: 500_000,
+            choose_domain: vec![0, 1],
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct ScState {
+    threads: Vec<ProgState>,
+    prints: Vec<Vec<Value>>,
+    mem: BTreeMap<Loc, Value>,
+}
+
+impl ScState {
+    fn terminal(&self) -> Option<PsBehavior> {
+        let mut returns = Vec::with_capacity(self.threads.len());
+        for t in &self.threads {
+            returns.push(t.returned()?);
+        }
+        Some(PsBehavior::Returns {
+            returns,
+            prints: self.prints.clone(),
+        })
+    }
+}
+
+/// The result of an SC exploration.
+#[derive(Clone, Debug)]
+pub struct ScExploration {
+    /// Behaviors found.
+    pub behaviors: BTreeSet<PsBehavior>,
+    /// Distinct states visited.
+    pub states: usize,
+    /// Whether a bound was hit.
+    pub truncated: bool,
+}
+
+/// Explores all SC interleavings of `progs`.
+pub fn explore_sc(progs: &[Program], cfg: &ScConfig) -> ScExploration {
+    let init = ScState {
+        threads: progs.iter().map(ProgState::new).collect(),
+        prints: vec![Vec::new(); progs.len()],
+        mem: BTreeMap::new(),
+    };
+    let mut visited: HashSet<ScState> = HashSet::new();
+    let mut out = ScExploration {
+        behaviors: BTreeSet::new(),
+        states: 0,
+        truncated: false,
+    };
+    let mut stack = vec![(init, 0usize)];
+    while let Some((st, depth)) = stack.pop() {
+        if !visited.insert(st.clone()) {
+            continue;
+        }
+        out.states += 1;
+        if out.states >= cfg.max_states {
+            out.truncated = true;
+            break;
+        }
+        if let Some(b) = st.terminal() {
+            out.behaviors.insert(b);
+            continue;
+        }
+        if depth >= cfg.max_steps {
+            out.truncated = true;
+            continue;
+        }
+        for tid in 0..st.threads.len() {
+            let t = &st.threads[tid];
+            let mut succs: Vec<ScState> = Vec::new();
+            match t.step() {
+                Step::Terminated(_) => {}
+                Step::Fail => {
+                    out.behaviors.insert(PsBehavior::Ub);
+                }
+                Step::Silent(next) => {
+                    let mut s = st.clone();
+                    s.threads[tid] = next;
+                    succs.push(s);
+                }
+                Step::Choose(cs) => {
+                    let choices = match &cs {
+                        ChoiceSet::Explicit(vs) => vs.clone(),
+                        ChoiceSet::AnyDefined => {
+                            cfg.choose_domain.iter().map(|&n| Value::Int(n)).collect()
+                        }
+                    };
+                    for v in choices {
+                        let mut s = st.clone();
+                        s.threads[tid] = t.resume_choose(v);
+                        succs.push(s);
+                    }
+                }
+                Step::Read { loc, .. } => {
+                    let v = st.mem.get(&loc).copied().unwrap_or_default();
+                    let mut s = st.clone();
+                    s.threads[tid] = t.resume_read(v);
+                    succs.push(s);
+                }
+                Step::Write { loc, val, next, .. } => {
+                    let mut s = st.clone();
+                    s.mem.insert(loc, val);
+                    s.threads[tid] = next;
+                    succs.push(s);
+                }
+                Step::Rmw { loc, .. } => {
+                    let read = st.mem.get(&loc).copied().unwrap_or_default();
+                    let res = t.resume_rmw(read);
+                    let mut s = st.clone();
+                    if let Some(w) = res.write {
+                        s.mem.insert(loc, w);
+                    }
+                    s.threads[tid] = res.next;
+                    succs.push(s);
+                }
+                Step::Fence { next, .. } => {
+                    let mut s = st.clone();
+                    s.threads[tid] = next;
+                    succs.push(s);
+                }
+                Step::Syscall { val, next } => {
+                    let mut s = st.clone();
+                    s.prints[tid].push(val);
+                    s.threads[tid] = next;
+                    succs.push(s);
+                }
+            }
+            for s in succs {
+                stack.push((s, depth + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn progs(srcs: &[&str]) -> Vec<Program> {
+        srcs.iter().map(|s| parse_program(s).unwrap()).collect()
+    }
+
+    fn returns(e: &ScExploration) -> BTreeSet<Vec<Value>> {
+        e.behaviors
+            .iter()
+            .filter_map(|b| match b {
+                PsBehavior::Returns { returns, .. } => Some(returns.clone()),
+                PsBehavior::Ub => None,
+            })
+            .collect()
+    }
+
+    fn ints(vs: &[i64]) -> Vec<Value> {
+        vs.iter().map(|&n| Value::Int(n)).collect()
+    }
+
+    #[test]
+    fn sc_forbids_store_buffering_weak_outcome() {
+        let e = explore_sc(
+            &progs(&[
+                "store[rlx](scsb_x, 1); a := load[rlx](scsb_y); return a;",
+                "store[rlx](scsb_y, 1); b := load[rlx](scsb_x); return b;",
+            ]),
+            &ScConfig::default(),
+        );
+        let rs = returns(&e);
+        assert!(!rs.contains(&ints(&[0, 0])), "SC forbids both-zero in SB");
+        assert!(rs.contains(&ints(&[1, 1])));
+        assert!(rs.contains(&ints(&[0, 1])));
+        assert!(rs.contains(&ints(&[1, 0])));
+    }
+
+    #[test]
+    fn sc_interleaves_all_orders() {
+        let e = explore_sc(
+            &progs(&[
+                "store[na](sci_x, 1); return 0;",
+                "a := load[na](sci_x); return a;",
+            ]),
+            &ScConfig::default(),
+        );
+        let rs = returns(&e);
+        assert!(rs.contains(&ints(&[0, 0])));
+        assert!(rs.contains(&ints(&[0, 1])));
+    }
+
+    #[test]
+    fn sc_ub_on_abort() {
+        let e = explore_sc(&progs(&["abort;"]), &ScConfig::default());
+        assert!(e.behaviors.contains(&PsBehavior::Ub));
+    }
+
+    #[test]
+    fn sc_rmw_is_atomic() {
+        // Two fetch-and-adds: the counter always ends at 2 (returns sum to 1).
+        let e = explore_sc(
+            &progs(&[
+                "a := fadd[acqrel](scr_c, 1); return a;",
+                "b := fadd[acqrel](scr_c, 1); c := load[rlx](scr_c); return b;",
+            ]),
+            &ScConfig::default(),
+        );
+        let rs = returns(&e);
+        // One thread reads 0, the other 1 — never both 0.
+        assert!(!rs.contains(&ints(&[0, 0])));
+        assert!(rs.contains(&ints(&[0, 1])) || rs.contains(&ints(&[1, 0])));
+    }
+}

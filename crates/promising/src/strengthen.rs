@@ -1,0 +1,132 @@
+//! Access-mode strengthening (§5, "Results"): replacing non-atomic
+//! accesses by atomic ones is sound in PS^na.
+//!
+//! The paper proves this in Coq and uses it to derive the correctness of
+//! mapping schemes to hardware (non-atomics and relaxed accesses compile
+//! to the same plain machine accesses, so soundness of compilation reduces
+//! to soundness of strengthening plus the known PS2.1→hardware mappings).
+//!
+//! This module implements the transformation ([`strengthen_na`]) and the
+//! differential check ([`strengthening_sound`]): for every behavior of the
+//! strengthened program there is a matching behavior of the original —
+//! the strengthened program can only have *fewer* behaviors (races
+//! disappear, `undef` reads become concrete).
+
+use seqwm_lang::{Program, ReadMode, Stmt, WriteMode};
+
+use crate::machine::{explore, ps_behaviors_refine, PsBehavior};
+use crate::thread::PsConfig;
+
+/// Strengthens every non-atomic access to a relaxed atomic access.
+pub fn strengthen_na(prog: &Program) -> Program {
+    Program::new(strengthen_stmt(&prog.body))
+}
+
+fn strengthen_stmt(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Load(r, x, ReadMode::Na) => Stmt::Load(*r, *x, ReadMode::Rlx),
+        Stmt::Store(x, WriteMode::Na, e) => Stmt::Store(*x, WriteMode::Rlx, e.clone()),
+        Stmt::Seq(a, b) => Stmt::Seq(
+            Box::new(strengthen_stmt(a)),
+            Box::new(strengthen_stmt(b)),
+        ),
+        Stmt::If(c, a, b) => Stmt::If(
+            c.clone(),
+            Box::new(strengthen_stmt(a)),
+            Box::new(strengthen_stmt(b)),
+        ),
+        Stmt::While(c, b) => Stmt::While(c.clone(), Box::new(strengthen_stmt(b))),
+        other => other.clone(),
+    }
+}
+
+/// Differentially checks the strengthening soundness claim on a parallel
+/// program: `behaviors(strengthen(progs)) ⊑ behaviors(progs)` (Def. 5.3).
+///
+/// Returns the first unmatched strengthened behavior on failure.
+///
+/// # Errors
+///
+/// An unmatched behavior would refute the §5 claim (or this
+/// reproduction); none is known.
+pub fn strengthening_sound(
+    progs: &[Program],
+    cfg: &PsConfig,
+) -> Result<(), PsBehavior> {
+    let strengthened: Vec<Program> = progs.iter().map(strengthen_na).collect();
+    let original = explore(progs, cfg);
+    let stronger = explore(&strengthened, cfg);
+    ps_behaviors_refine(&stronger.behaviors, &original.behaviors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn progs(srcs: &[&str]) -> Vec<Program> {
+        srcs.iter().map(|s| parse_program(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn strengthening_rewrites_all_na_accesses() {
+        let p = parse_program(
+            "store[na](st_x, 1); a := load[na](st_x);
+             if (a == 1) { store[na](st_x, 2); } while (a < 1) { b := load[na](st_y); a := a + 1; }",
+        )
+        .unwrap();
+        let q = strengthen_na(&p);
+        assert!(q.na_locs().is_empty(), "no na accesses remain: {q}");
+        assert_eq!(q.atomic_locs().len(), 2);
+    }
+
+    #[test]
+    fn strengthening_eliminates_ww_race_ub() {
+        let ps = progs(&[
+            "store[na](sw_x, 1); return 0;",
+            "store[na](sw_x, 2); return 0;",
+        ]);
+        // The racy original admits UB; the strengthened version must not,
+        // and in particular refines the original.
+        assert!(strengthening_sound(&ps, &PsConfig::default()).is_ok());
+        let strengthened: Vec<Program> = ps.iter().map(strengthen_na).collect();
+        let e = explore(&strengthened, &PsConfig::default());
+        assert!(!e.behaviors.contains(&PsBehavior::Ub));
+        assert!(!e.racy);
+    }
+
+    #[test]
+    fn strengthening_sound_on_mp_and_sb() {
+        let mp = progs(&[
+            "store[na](sm_d, 1); store[rel](sm_f, 1); return 0;",
+            "a := load[acq](sm_f); if (a == 1) { b := load[na](sm_d); } return a;",
+        ]);
+        assert!(strengthening_sound(&mp, &PsConfig::default()).is_ok());
+        let sb = progs(&[
+            "store[na](ss_x, 1); a := load[na](ss_y); return a;",
+            "store[na](ss_y, 1); b := load[na](ss_x); return b;",
+        ]);
+        assert!(strengthening_sound(&sb, &PsConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn weakening_is_not_sound() {
+        // Sanity: the converse direction (rlx → na) is NOT sound — the
+        // weakened program gains UB behaviors the original lacks.
+        let rlx = progs(&[
+            "store[rlx](swk_x, 1); return 0;",
+            "store[rlx](swk_x, 2); return 0;",
+        ]);
+        let weakened = progs(&[
+            "store[na](swk_x, 1); return 0;",
+            "store[na](swk_x, 2); return 0;",
+        ]);
+        let cfg = PsConfig::default();
+        let orig = explore(&rlx, &cfg);
+        let weak = explore(&weakened, &cfg);
+        assert!(
+            ps_behaviors_refine(&weak.behaviors, &orig.behaviors).is_err(),
+            "weakening introduces UB"
+        );
+    }
+}

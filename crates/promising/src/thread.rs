@@ -1,0 +1,1006 @@
+//! PS^na thread states and thread-configuration steps (Fig. 5).
+//!
+//! A thread state `T = ⟨σ, V, P⟩` couples the program state with the
+//! thread's view and its outstanding promise set. [`thread_steps`]
+//! enumerates all thread-configuration transitions
+//! `⟨T, M⟩ → ⟨T′, M′⟩` under a [`PsConfig`] bounding the semantics'
+//! unbounded non-determinism (promise values/slots, extra non-atomic
+//! messages), and [`certify`] implements the certification requirement of
+//! `machine: normal`: the thread, running alone, must be able to fulfill
+//! all its outstanding promises.
+
+use std::collections::HashSet;
+
+use seqwm_lang::{
+    ChoiceSet, FenceMode, Loc, ProgState, Program, ReadMode, Step, Value, WriteMode,
+};
+
+use crate::memory::{Message, MsgKey, PromiseSet, PsMemory, Slot};
+use crate::tview::TView;
+use crate::view::View;
+
+/// Exploration configuration for PS^na.
+#[derive(Clone, Debug)]
+pub struct PsConfig {
+    /// Allow promise steps at all (off = promise-free fragment, which is
+    /// the release/acquire baseline machine).
+    pub allow_promises: bool,
+    /// Maximum number of promise steps a single thread may take.
+    pub max_promises_per_thread: u32,
+    /// Values promised messages may carry.
+    pub promise_values: Vec<Value>,
+    /// May non-atomic writes additionally insert a valueless `NAMsg` race
+    /// marker? (Required for atomic/non-atomic race detection.)
+    pub na_race_markers: bool,
+    /// Extra values that multi-message non-atomic writes may insert before
+    /// the final message (App. B); empty disables extra valued messages.
+    pub na_extra_values: Vec<Value>,
+    /// Allow multi-message non-atomic writes at all (App. B). When off, a
+    /// non-atomic write adds/fulfills exactly one valued message — the
+    /// single-message semantics App. B shows to be too weak.
+    pub na_multi_message: bool,
+    /// Depth bound on machine exploration.
+    pub max_machine_steps: usize,
+    /// Step bound for certification search.
+    pub max_cert_steps: usize,
+    /// Bound on messages per location (caps promise/write explosion).
+    pub max_msgs_per_loc: usize,
+    /// Bound on visited machine states.
+    pub max_states: usize,
+    /// Defined values used to resolve `freeze` of `undef`.
+    pub choose_domain: Vec<i64>,
+}
+
+impl Default for PsConfig {
+    fn default() -> Self {
+        PsConfig {
+            allow_promises: false,
+            max_promises_per_thread: 1,
+            promise_values: vec![Value::Int(1)],
+            na_race_markers: true,
+            na_extra_values: Vec::new(),
+            na_multi_message: true,
+            max_machine_steps: 64,
+            max_cert_steps: 32,
+            max_msgs_per_loc: 6,
+            max_states: 200_000,
+            choose_domain: vec![0, 1],
+        }
+    }
+}
+
+impl PsConfig {
+    /// A config with promises enabled, seeded with the constants of the
+    /// given programs as promise values.
+    pub fn with_promises(progs: &[&Program]) -> Self {
+        let mut values: Vec<Value> = Vec::new();
+        for p in progs {
+            for c in p.constants() {
+                let v = Value::Int(c);
+                if !values.contains(&v) {
+                    values.push(v);
+                }
+            }
+        }
+        if values.is_empty() {
+            values.push(Value::Int(1));
+        }
+        PsConfig {
+            allow_promises: true,
+            promise_values: values,
+            ..PsConfig::default()
+        }
+    }
+}
+
+/// A PS^na thread state `⟨σ, V, P⟩` (plus bookkeeping: syscall outputs and
+/// the number of promise steps taken, for budgeting).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ThreadState {
+    /// The program state `σ`.
+    pub prog: ProgState,
+    /// The thread view (full PS2.1-style three-component view; the
+    /// paper's Fig. 5 single view is its `cur` component).
+    pub view: TView,
+    /// Outstanding promises `P`.
+    pub promises: PromiseSet,
+    /// Values printed so far (part of the observable behavior).
+    pub prints: Vec<Value>,
+    /// Number of promise steps taken (budget accounting).
+    pub promises_made: u32,
+}
+
+impl ThreadState {
+    /// The initial thread state for a program.
+    pub fn new(prog: &Program) -> Self {
+        ThreadState {
+            prog: ProgState::new(prog),
+            view: TView::zero(),
+            promises: PromiseSet::new(),
+            prints: Vec::new(),
+            promises_made: 0,
+        }
+    }
+
+    /// Has this thread terminated normally?
+    pub fn returned(&self) -> Option<Value> {
+        self.prog.returned()
+    }
+
+    /// The side condition of `racy-write` and `fail`:
+    /// `∀m ∈ P. V(m.loc) < m.t`.
+    fn promises_ahead_of_view(&self) -> bool {
+        self.promises
+            .iter()
+            .all(|&(loc, to)| self.view.ts(loc) < to)
+    }
+}
+
+/// Classification of a thread step (consumed by the machine layer).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StepKind {
+    /// An ordinary step.
+    Normal,
+    /// The thread reached `⊥` (machine: failure).
+    Failure,
+    /// A racy non-atomic or atomic read returning `undef` (ordinary step,
+    /// recorded for DRF analyses).
+    RacyRead(Loc),
+    /// A racy write: undefined behaviour (machine: failure), recorded for
+    /// DRF analyses.
+    RacyWrite(Loc),
+    /// A promise step (ordinary, but distinguished for statistics).
+    Promise,
+}
+
+/// One enumerated thread-configuration step.
+#[derive(Clone, Debug)]
+pub struct ThreadStep {
+    /// Successor thread state.
+    pub thread: ThreadState,
+    /// Successor memory.
+    pub memory: PsMemory,
+    /// Successor global SC-fence view.
+    pub sc_view: View,
+    /// Step classification.
+    pub kind: StepKind,
+}
+
+fn msg_count_ok(mem: &PsMemory, loc: Loc, cfg: &PsConfig) -> bool {
+    mem.messages(loc).len() < cfg.max_msgs_per_loc
+}
+
+/// Enumerates all thread-configuration steps `⟨T, M⟩ → ⟨T′, M′⟩` of Fig. 5
+/// (read, write, racy accesses, promise, lower, RMW, fences, silent,
+/// choose, fail), bounded by `cfg`.
+pub fn thread_steps(
+    t: &ThreadState,
+    mem: &PsMemory,
+    sc_view: &View,
+    cfg: &PsConfig,
+) -> Vec<ThreadStep> {
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<ThreadStep>, thread: ThreadState, memory: PsMemory, kind: StepKind| {
+        out.push(ThreadStep {
+            thread,
+            memory,
+            sc_view: sc_view.clone(),
+            kind,
+        });
+    };
+
+    // Promise and lower steps are always available (before the program
+    // step), subject to budget.
+    if cfg.allow_promises && t.promises_made < cfg.max_promises_per_thread {
+        enumerate_promises(t, mem, sc_view, cfg, &mut out);
+    }
+    enumerate_lowers(t, mem, sc_view, &mut out);
+
+    match t.prog.step() {
+        Step::Terminated(_) => {}
+        // (fail)
+        Step::Fail => {
+            if t.promises_ahead_of_view() {
+                let mut nt = t.clone();
+                nt.promises = PromiseSet::new();
+                push(&mut out, nt, mem.clone(), StepKind::Failure);
+            }
+        }
+        // (silent)
+        Step::Silent(next) => {
+            let mut nt = t.clone();
+            nt.prog = next;
+            push(&mut out, nt, mem.clone(), StepKind::Normal);
+        }
+        // (choose)
+        Step::Choose(cs) => {
+            let choices = match &cs {
+                ChoiceSet::Explicit(vs) => vs.clone(),
+                ChoiceSet::AnyDefined => {
+                    cfg.choose_domain.iter().map(|&n| Value::Int(n)).collect()
+                }
+            };
+            for v in choices {
+                let mut nt = t.clone();
+                nt.prog = t.prog.resume_choose(v);
+                push(&mut out, nt, mem.clone(), StepKind::Normal);
+            }
+        }
+        // (read) and (racy-read)
+        Step::Read { loc, mode } => {
+            let ts = t.view.ts(loc);
+            for m in mem.readable(loc, ts) {
+                let mut nt = t.clone();
+                nt.prog = t.prog.resume_read(m.payload.expect("readable is valued"));
+                nt.view.read(loc, m.to, &m.view, mode == ReadMode::Acq);
+                push(&mut out, nt, mem.clone(), StepKind::Normal);
+            }
+            if mem.is_racy(ts, &t.promises, loc, mode.is_atomic()) {
+                let mut nt = t.clone();
+                nt.prog = t.prog.resume_read(Value::Undef);
+                push(&mut out, nt, mem.clone(), StepKind::RacyRead(loc));
+            }
+        }
+        // (write) and (racy-write)
+        Step::Write {
+            loc,
+            mode,
+            val,
+            next,
+        } => {
+            enumerate_writes(t, mem, sc_view, cfg, loc, mode, val, &next, &mut out);
+            if mem.is_racy(t.view.ts(loc), &t.promises, loc, mode.is_atomic())
+                && t.promises_ahead_of_view()
+            {
+                let mut nt = t.clone();
+                nt.prog = ProgState::bottom();
+                nt.promises = PromiseSet::new();
+                push(&mut out, nt, mem.clone(), StepKind::RacyWrite(loc));
+            }
+        }
+        // RMW: read a message and write attached to it (atomicity by
+        // interval adjacency). A racy RMW is treated as UB (conservative;
+        // the paper's fragment omits RMW/race interaction).
+        Step::Rmw { loc, mode } => {
+            let ts = t.view.ts(loc);
+            for m in mem.readable(loc, ts) {
+                let res = t.prog.resume_rmw(m.payload.expect("valued"));
+                let mut read_view = t.view.clone();
+                read_view.read(loc, m.to, &m.view, mode.read_mode() == ReadMode::Acq);
+                match res.write {
+                    None => {
+                        // Failed CAS: behaves as a plain read.
+                        let mut nt = t.clone();
+                        nt.prog = res.next;
+                        nt.view = read_view;
+                        let kind = if nt.prog.is_failed() {
+                            if !t.promises_ahead_of_view() {
+                                continue;
+                            }
+                            nt.promises = PromiseSet::new();
+                            StepKind::Failure
+                        } else {
+                            StepKind::Normal
+                        };
+                        push(&mut out, nt, mem.clone(), kind);
+                    }
+                    Some(wv) => {
+                        let Some(slot) = mem.attached_slot(&m.key()) else {
+                            continue;
+                        };
+                        if !msg_count_ok(mem, loc, cfg) {
+                            continue;
+                        }
+                        if mode.write_mode() == WriteMode::Rel
+                            && !release_ok(t, mem, loc)
+                        {
+                            continue;
+                        }
+                        let mut write_view = read_view.clone();
+                        // The read message's view is threaded into the
+                        // update's message view (release sequences).
+                        let msg_view = write_view.write(
+                            loc,
+                            slot.to,
+                            mode.write_mode() == WriteMode::Rel,
+                            false,
+                            &m.view,
+                        );
+                        let mut nm = mem.clone();
+                        nm.add(Message {
+                            loc,
+                            from: slot.from,
+                            to: slot.to,
+                            payload: Some(wv),
+                            view: msg_view,
+                        });
+                        let mut nt = t.clone();
+                        nt.prog = res.next;
+                        nt.view = write_view;
+                        push(&mut out, nt, nm, StepKind::Normal);
+                    }
+                }
+            }
+            if mem.is_racy(ts, &t.promises, loc, true) && t.promises_ahead_of_view() {
+                let mut nt = t.clone();
+                nt.prog = ProgState::bottom();
+                nt.promises = PromiseSet::new();
+                push(&mut out, nt, mem.clone(), StepKind::RacyWrite(loc));
+            }
+        }
+        // Fences (full three-view semantics): acquire fences transfer the
+        // acquire view into the current view, release fences raise the
+        // per-location release views to `cur` (and require outstanding
+        // valued promises to be `⊥`-viewed), SC fences additionally join
+        // with the global SC view.
+        Step::Fence { mode, next } => {
+            let rel_ok = !mode.is_release() || release_ok_all(t, mem);
+            if rel_ok {
+                let mut nt = t.clone();
+                nt.prog = next;
+                if mode.is_acquire() {
+                    nt.view.acquire_fence();
+                }
+                if mode == FenceMode::Sc {
+                    let new_sc = nt.view.sc_fence(sc_view, mem.locs());
+                    out.push(ThreadStep {
+                        thread: nt,
+                        memory: mem.clone(),
+                        sc_view: new_sc,
+                        kind: StepKind::Normal,
+                    });
+                } else {
+                    if mode.is_release() {
+                        nt.view.release_fence(mem.locs());
+                    }
+                    push(&mut out, nt, mem.clone(), StepKind::Normal);
+                }
+            }
+        }
+        Step::Syscall { val, next } => {
+            let mut nt = t.clone();
+            nt.prog = next;
+            nt.prints.push(val);
+            push(&mut out, nt, mem.clone(), StepKind::Normal);
+        }
+    }
+    out
+}
+
+/// The release-write side condition on location `x`:
+/// `∀m ∈ P|Msg_x . m.view = ⊥`.
+fn release_ok(t: &ThreadState, mem: &PsMemory, x: Loc) -> bool {
+    t.promises.iter().all(|key| {
+        key.0 != x
+            || mem
+                .find(key)
+                .is_none_or(|m| m.is_na_marker() || m.view.is_bottom())
+    })
+}
+
+/// The release-fence side condition (all locations).
+fn release_ok_all(t: &ThreadState, mem: &PsMemory) -> bool {
+    t.promises.iter().all(|key| {
+        mem.find(key)
+            .is_none_or(|m| m.is_na_marker() || m.view.is_bottom())
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_writes(
+    t: &ThreadState,
+    mem: &PsMemory,
+    sc_view: &View,
+    cfg: &PsConfig,
+    loc: Loc,
+    mode: WriteMode,
+    val: Value,
+    next: &ProgState,
+    out: &mut Vec<ThreadStep>,
+) {
+    let vts = t.view.ts(loc);
+    let mut emit = |thread: ThreadState, memory: PsMemory| {
+        out.push(ThreadStep {
+            thread,
+            memory,
+            sc_view: sc_view.clone(),
+            kind: StepKind::Normal,
+        });
+    };
+
+    // --- memory: new — fresh message at a canonical slot. ---
+    if msg_count_ok(mem, loc, cfg) {
+        for slot in mem.insert_slots(loc) {
+            if slot.to <= vts {
+                continue; // write requires V(x) < t
+            }
+            match mode {
+                WriteMode::Na => {
+                    // Plain variant: just the final message (view ⊥).
+                    let mut nm = mem.clone();
+                    nm.add(Message {
+                        loc,
+                        from: slot.from,
+                        to: slot.to,
+                        payload: Some(val),
+                        view: View::bottom(),
+                    });
+                    let mut nt = t.clone();
+                    nt.prog = next.clone();
+                    let _ = nt.view.write(loc, slot.to, false, true, &View::bottom());
+                    emit(nt, nm);
+                    // Marked variant: also insert a valueless NAMsg race
+                    // marker before the final message (memory: na-write
+                    // with n = 1).
+                    if cfg.na_race_markers {
+                        if let Some((marker, final_msg)) = split_slot(loc, slot, val) {
+                            let mut nm = mem.clone();
+                            nm.add(marker);
+                            let final_to = final_msg.to;
+                            nm.add(final_msg);
+                            let mut nt = t.clone();
+                            nt.prog = next.clone();
+                            let _ = nt.view.write(loc, final_to, false, true, &View::bottom());
+                            emit(nt, nm);
+                        }
+                    }
+                    // A fresh final message can fulfill ⊥-view helper
+                    // promises on the way (memory: na-write with a fulfill
+                    // among the helper steps — App. B).
+                    if cfg.na_multi_message {
+                        for helper in t.promises.iter().copied().filter(|k| k.0 == loc) {
+                            let Some(h) = mem.find(&helper) else { continue };
+                            if h.is_na_marker() || !h.view.is_bottom() {
+                                continue;
+                            }
+                            if h.to >= slot.to || vts >= h.to {
+                                continue;
+                            }
+                            let mut nm = mem.clone();
+                            nm.add(Message {
+                                loc,
+                                from: slot.from,
+                                to: slot.to,
+                                payload: Some(val),
+                                view: View::bottom(),
+                            });
+                            let mut nt = t.clone();
+                            nt.prog = next.clone();
+                            let _ = nt.view.write(loc, slot.to, false, true, &View::bottom());
+                            nt.promises.remove(&helper);
+                            emit(nt, nm);
+                        }
+                    }
+                    // Extra-value variants (App. B): an additional *valued*
+                    // ⊥-view message before the final one.
+                    for &extra in if cfg.na_multi_message {
+                        cfg.na_extra_values.as_slice()
+                    } else {
+                        &[]
+                    } {
+                        if let Some((mut extra_msg, final_msg)) = split_slot(loc, slot, val) {
+                            extra_msg.payload = Some(extra);
+                            let mut nm = mem.clone();
+                            nm.add(extra_msg);
+                            let final_to = final_msg.to;
+                            nm.add(final_msg);
+                            let mut nt = t.clone();
+                            nt.prog = next.clone();
+                            let _ = nt.view.write(loc, final_to, false, true, &View::bottom());
+                            emit(nt, nm);
+                        }
+                    }
+                }
+                WriteMode::Rlx => {
+                    let mut nt = t.clone();
+                    nt.prog = next.clone();
+                    let msg_view = nt.view.write(loc, slot.to, false, false, &View::bottom());
+                    let mut nm = mem.clone();
+                    nm.add(Message {
+                        loc,
+                        from: slot.from,
+                        to: slot.to,
+                        payload: Some(val),
+                        view: msg_view,
+                    });
+                    emit(nt, nm);
+                }
+                WriteMode::Rel => {
+                    if !release_ok(t, mem, loc) {
+                        continue;
+                    }
+                    let mut nt = t.clone();
+                    nt.prog = next.clone();
+                    let msg_view = nt.view.write(loc, slot.to, true, false, &View::bottom());
+                    let mut nm = mem.clone();
+                    nm.add(Message {
+                        loc,
+                        from: slot.from,
+                        to: slot.to,
+                        payload: Some(val),
+                        view: msg_view,
+                    });
+                    emit(nt, nm);
+                }
+            }
+        }
+    }
+
+    // --- memory: fulfill — the written message is an outstanding promise. ---
+    let own: Vec<MsgKey> = t.promises.iter().copied().filter(|k| k.0 == loc).collect();
+    for key in own {
+        let Some(m) = mem.find(&key) else { continue };
+        if m.is_na_marker() || m.payload != Some(val) || vts >= m.to {
+            continue;
+        }
+        let view_ok = match mode {
+            WriteMode::Na => m.view.is_bottom(),
+            WriteMode::Rlx => {
+                // The fulfilled message's view must equal what the write
+                // would produce.
+                let mut probe = t.view.clone();
+                m.view == probe.write(loc, m.to, false, false, &View::bottom())
+            }
+            // Release writes cannot fulfill (the side condition forces all
+            // promises on x to be ⊥-viewed while Vm = V′ is not ⊥).
+            WriteMode::Rel => false,
+        };
+        if !view_ok {
+            continue;
+        }
+        let mut nt = t.clone();
+        nt.prog = next.clone();
+        let _ = nt
+            .view
+            .write(loc, m.to, false, mode == WriteMode::Na, &View::bottom());
+        nt.promises.remove(&key);
+        out.push(ThreadStep {
+            thread: nt,
+            memory: mem.clone(),
+            sc_view: sc_view.clone(),
+            kind: StepKind::Normal,
+        });
+        // Multi-message na-write: fulfill another ⊥-view promise on the way
+        // (a helper message of memory: na-write) before fulfilling `key`…
+        if mode == WriteMode::Na && cfg.na_multi_message {
+            for helper in t.promises.iter().copied().filter(|k| k.0 == loc && *k != key) {
+                let Some(h) = mem.find(&helper) else { continue };
+                if h.to >= m.to || vts >= h.to || !(h.view.is_bottom()) {
+                    continue;
+                }
+                let mut nt = t.clone();
+                nt.prog = next.clone();
+                let _ = nt.view.write(loc, m.to, false, true, &View::bottom());
+                nt.promises.remove(&key);
+                nt.promises.remove(&helper);
+                out.push(ThreadStep {
+                    thread: nt,
+                    memory: mem.clone(),
+                    sc_view: sc_view.clone(),
+                    kind: StepKind::Normal,
+                });
+            }
+        }
+    }
+}
+
+/// Splits a slot into a marker/extra interval followed by the final
+/// interval (both inside the original slot).
+fn split_slot(loc: Loc, slot: Slot, final_val: Value) -> Option<(Message, Message)> {
+    use crate::time::Timestamp;
+    if slot.from >= slot.to {
+        return None;
+    }
+    let mid = Timestamp::between(slot.from, slot.to);
+    let marker = Message {
+        loc,
+        from: slot.from,
+        to: mid,
+        payload: None,
+        view: View::bottom(),
+    };
+    let final_msg = Message {
+        loc,
+        from: mid,
+        to: slot.to,
+        payload: Some(final_val),
+        view: View::bottom(),
+    };
+    Some((marker, final_msg))
+}
+
+/// Enumerates promise steps: a fresh message (valued, with `⊥` or
+/// singleton view, or a valueless marker) at a canonical slot on any
+/// location the thread may later write.
+fn enumerate_promises(
+    t: &ThreadState,
+    mem: &PsMemory,
+    sc_view: &View,
+    cfg: &PsConfig,
+    out: &mut Vec<ThreadStep>,
+) {
+    // Prune: a promise on a location the remaining program never writes
+    // can never be certified, so enumerating it only wastes exploration.
+    let writable = t.prog.may_write_locs();
+    for loc in mem.locs().collect::<Vec<_>>() {
+        if !writable.contains(&loc) {
+            continue;
+        }
+        if mem.messages(loc).len() >= cfg.max_msgs_per_loc {
+            continue;
+        }
+        for slot in mem.insert_slots(loc) {
+            if slot.to <= t.view.ts(loc) {
+                continue;
+            }
+            // Note: valueless NAMsg promises are not enumerated — this
+            // implementation never fulfills a marker, so such a promise can
+            // never be certified (a documented exploration bound).
+            let mut variants: Vec<Message> = Vec::new();
+            for &v in &cfg.promise_values {
+                variants.push(Message {
+                    loc,
+                    from: slot.from,
+                    to: slot.to,
+                    payload: Some(v),
+                    view: View::bottom(),
+                });
+                variants.push(Message {
+                    loc,
+                    from: slot.from,
+                    to: slot.to,
+                    payload: Some(v),
+                    view: View::singleton(loc, slot.to),
+                });
+            }
+            for msg in variants {
+                let mut nm = mem.clone();
+                let key = msg.key();
+                nm.add(msg);
+                let mut nt = t.clone();
+                nt.promises.insert(key);
+                nt.promises_made += 1;
+                out.push(ThreadStep {
+                    thread: nt,
+                    memory: nm,
+                    sc_view: sc_view.clone(),
+                    kind: StepKind::Promise,
+                });
+            }
+        }
+    }
+}
+
+/// Enumerates lower steps on outstanding promises: raise the value to
+/// `undef` and/or lower the view to `⊥`.
+fn enumerate_lowers(t: &ThreadState, mem: &PsMemory, sc_view: &View, out: &mut Vec<ThreadStep>) {
+    for key in t.promises.iter() {
+        let Some(m) = mem.find(key) else { continue };
+        let Some(v) = m.payload else { continue };
+        let mut candidates: Vec<(Value, View)> = Vec::new();
+        if v != Value::Undef {
+            candidates.push((Value::Undef, m.view.clone()));
+        }
+        if !m.view.is_bottom() {
+            candidates.push((v, View::bottom()));
+            if v != Value::Undef {
+                candidates.push((Value::Undef, View::bottom()));
+            }
+        }
+        for (nv, nview) in candidates {
+            let mut nm = mem.clone();
+            if nm.lower(key, nv, nview) {
+                out.push(ThreadStep {
+                    thread: t.clone(),
+                    memory: nm,
+                    sc_view: sc_view.clone(),
+                    kind: StepKind::Normal,
+                });
+            }
+        }
+    }
+}
+
+/// Certification (`machine: normal`): running alone, the thread must be
+/// able to reach an empty promise set (without making new promises).
+///
+/// Bounded DFS; a thread with no promises is trivially certified.
+pub fn certify(t: &ThreadState, mem: &PsMemory, sc_view: &View, cfg: &PsConfig) -> bool {
+    if t.promises.is_empty() {
+        return true;
+    }
+    let cert_cfg = PsConfig {
+        allow_promises: false,
+        ..cfg.clone()
+    };
+    let mut visited: HashSet<(ThreadState, PsMemory)> = HashSet::new();
+    let mut stack = vec![(t.clone(), mem.clone(), sc_view.clone(), 0usize)];
+    while let Some((ct, cm, csc, depth)) = stack.pop() {
+        if ct.promises.is_empty() {
+            return true;
+        }
+        if depth >= cfg.max_cert_steps {
+            continue;
+        }
+        if !visited.insert((ct.clone(), cm.clone())) {
+            continue;
+        }
+        for step in thread_steps(&ct, &cm, &csc, &cert_cfg) {
+            if matches!(step.kind, StepKind::Failure | StepKind::RacyWrite(_)) {
+                continue; // failure does not fulfill promises
+            }
+            stack.push((step.thread, step.memory, step.sc_view, depth + 1));
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn setup(src: &str, locs: &[&str]) -> (ThreadState, PsMemory, View, PsConfig) {
+        let p = parse_program(src).unwrap();
+        let mut t = ThreadState::new(&p);
+        // Skip administrative silent steps (sequence decomposition) so the
+        // thread is parked at its first memory access.
+        while let Step::Silent(next) = t.prog.step() {
+            t.prog = next;
+        }
+        let mem = PsMemory::init(locs.iter().map(|n| Loc::new(n)));
+        (t, mem, View::zero(), PsConfig::default())
+    }
+
+    fn skip_silent(mut t: ThreadState) -> ThreadState {
+        while let Step::Silent(next) = t.prog.step() {
+            t.prog = next;
+        }
+        t
+    }
+
+    fn run_to_quiescence(
+        mut t: ThreadState,
+        mut mem: PsMemory,
+        mut sc: View,
+        cfg: &PsConfig,
+        pick: impl Fn(&[ThreadStep]) -> usize,
+    ) -> (ThreadState, PsMemory, View) {
+        loop {
+            let steps = thread_steps(&t, &mem, &sc, cfg);
+            if steps.is_empty() {
+                return (t, mem, sc);
+            }
+            let i = pick(&steps);
+            let s = steps.into_iter().nth(i).unwrap();
+            t = s.thread;
+            mem = s.memory;
+            sc = s.sc_view;
+        }
+    }
+
+    #[test]
+    fn straight_line_write_then_read() {
+        let (t, mem, sc, cfg) = setup(
+            "store[rlx](tsx, 1); a := load[rlx](tsx); return a;",
+            &["tsx"],
+        );
+        // Always pick the first step: writes append at the attached tail
+        // slot first, reads can then pick any message — first readable is
+        // init, so pick the *last* read branch (the new message).
+        let (t, _, _) = run_to_quiescence(t, mem, sc, &cfg, |steps| steps.len() - 1);
+        assert_eq!(t.returned(), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn read_can_also_read_stale_init() {
+        let (t, mem, sc, cfg) = setup("a := load[rlx](trx); return a;", &["trx"]);
+        let mut mem2 = mem.clone();
+        let slot = mem2.insert_slots(Loc::new("trx"))[0];
+        mem2.add(Message {
+            loc: Loc::new("trx"),
+            from: slot.from,
+            to: slot.to,
+            payload: Some(Value::Int(5)),
+            view: View::singleton(Loc::new("trx"), slot.to),
+        });
+        let steps = thread_steps(&t, &mem2, &sc, &cfg);
+        // Two readable messages: init (0) and 5.
+        assert_eq!(steps.len(), 2);
+    }
+
+    #[test]
+    fn acquire_read_joins_message_view() {
+        let x = Loc::new("tax");
+        let y = Loc::new("tay");
+        let (t, mut mem, sc, cfg) = setup("a := load[acq](tax);", &["tax", "tay"]);
+        let slot = mem.insert_slots(x)[0];
+        let msg_view = View::singleton(y, crate::time::Timestamp::int(9));
+        mem.add(Message {
+            loc: x,
+            from: slot.from,
+            to: slot.to,
+            payload: Some(Value::Int(1)),
+            view: msg_view.clone(),
+        });
+        let steps = thread_steps(&t, &mem, &sc, &cfg);
+        let acq_branch = steps
+            .iter()
+            .find(|s| s.thread.view.ts(y) == crate::time::Timestamp::int(9))
+            .expect("acquire read joins message view");
+        assert_eq!(acq_branch.thread.view.ts(x), slot.to);
+    }
+
+    #[test]
+    fn na_write_has_plain_and_marked_variants() {
+        let (t, mem, sc, cfg) = setup("store[na](tnx, 2);", &["tnx"]);
+        let steps = thread_steps(&t, &mem, &sc, &cfg);
+        let x = Loc::new("tnx");
+        // Each slot yields a plain and (with markers on) a marked variant.
+        let plain = steps
+            .iter()
+            .filter(|s| s.memory.messages(x).iter().all(|m| !m.is_na_marker()))
+            .count();
+        let marked = steps
+            .iter()
+            .filter(|s| s.memory.messages(x).iter().any(|m| m.is_na_marker()))
+            .count();
+        assert!(plain >= 1);
+        assert!(marked >= 1);
+        // All written messages have bottom views.
+        for s in &steps {
+            for m in s.memory.messages(x).iter().skip(1) {
+                assert!(m.view.is_bottom());
+            }
+        }
+    }
+
+    #[test]
+    fn racy_read_branch_exists() {
+        let x = Loc::new("trr");
+        let (t, mut mem, sc, cfg) = setup("a := load[na](trr); return a;", &["trr"]);
+        let slot = mem.insert_slots(x)[0];
+        mem.add(Message {
+            loc: x,
+            from: slot.from,
+            to: slot.to,
+            payload: Some(Value::Int(1)),
+            view: View::singleton(x, slot.to),
+        });
+        let steps = thread_steps(&t, &mem, &sc, &cfg);
+        assert!(steps
+            .iter()
+            .any(|s| matches!(s.kind, StepKind::RacyRead(l) if l == x)));
+        // The racy branch leaves the view unchanged and reads undef.
+        let racy = steps
+            .iter()
+            .find(|s| matches!(s.kind, StepKind::RacyRead(_)))
+            .unwrap();
+        assert_eq!(racy.thread.view, t.view);
+    }
+
+    #[test]
+    fn racy_write_is_failure() {
+        let x = Loc::new("trw");
+        let (t, mut mem, sc, cfg) = setup("store[na](trw, 1);", &["trw"]);
+        let slot = mem.insert_slots(x)[0];
+        mem.add(Message {
+            loc: x,
+            from: slot.from,
+            to: slot.to,
+            payload: Some(Value::Int(9)),
+            view: View::singleton(x, slot.to),
+        });
+        let steps = thread_steps(&t, &mem, &sc, &cfg);
+        assert!(steps
+            .iter()
+            .any(|s| matches!(s.kind, StepKind::RacyWrite(_))));
+    }
+
+    #[test]
+    fn release_write_carries_thread_view() {
+        let x = Loc::new("tvx");
+        let y = Loc::new("tvy");
+        let (t, mem, sc, cfg) = setup(
+            "store[na](tvy, 1); store[rel](tvx, 1);",
+            &["tvx", "tvy"],
+        );
+        // Run the na write (pick the plain tail variant = first step).
+        let steps = thread_steps(&t, &mem, &sc, &cfg);
+        let s1 = steps.into_iter().next().unwrap();
+        let t1 = skip_silent(s1.thread);
+        let steps = thread_steps(&t1, &s1.memory, &s1.sc_view, &cfg);
+        // Find a release step; its message view must cover y.
+        let rel = steps
+            .iter()
+            .find(|s| {
+                s.memory
+                    .messages(x)
+                    .iter()
+                    .any(|m| !m.view.is_bottom() && m.view.get(y) > crate::time::Timestamp::ZERO)
+            })
+            .expect("release write publishes thread view");
+        assert!(rel.kind == StepKind::Normal);
+    }
+
+    #[test]
+    fn promise_and_certify() {
+        let p = parse_program("store[rlx](tpx, 1);").unwrap();
+        let t = ThreadState::new(&p);
+        let mem = PsMemory::init([Loc::new("tpx")]);
+        let cfg = PsConfig {
+            allow_promises: true,
+            promise_values: vec![Value::Int(1)],
+            ..PsConfig::default()
+        };
+        let steps = thread_steps(&t, &mem, &View::zero(), &cfg);
+        let promise = steps
+            .iter()
+            .find(|s| s.kind == StepKind::Promise
+                && s.memory.messages(Loc::new("tpx")).iter().any(|m| {
+                    m.payload == Some(Value::Int(1)) && !m.view.is_bottom()
+                }))
+            .expect("promise step enumerated");
+        // The thread can certify: it will write x=1 rlx.
+        assert!(certify(&promise.thread, &promise.memory, &View::zero(), &cfg));
+    }
+
+    #[test]
+    fn uncertifiable_promise_rejected() {
+        // Thread never writes x = 7, so promising it cannot be certified.
+        let p = parse_program("store[rlx](tux, 1);").unwrap();
+        let t = ThreadState::new(&p);
+        let mem = PsMemory::init([Loc::new("tux")]);
+        let cfg = PsConfig {
+            allow_promises: true,
+            promise_values: vec![Value::Int(7)],
+            ..PsConfig::default()
+        };
+        let steps = thread_steps(&t, &mem, &View::zero(), &cfg);
+        let bad = steps
+            .iter()
+            .find(|s| s.kind == StepKind::Promise
+                && s.memory.messages(Loc::new("tux")).iter().any(|m| {
+                    m.payload == Some(Value::Int(7)) && !m.view.is_bottom()
+                }))
+            .expect("promise enumerated");
+        assert!(!certify(&bad.thread, &bad.memory, &View::zero(), &cfg));
+    }
+
+    #[test]
+    fn fulfill_requires_matching_view_flavor() {
+        // Promise with rlx view gets fulfilled by a rlx write of the same value.
+        let p = parse_program("store[rlx](tfx, 3);").unwrap();
+        let t = ThreadState::new(&p);
+        let x = Loc::new("tfx");
+        let mut mem = PsMemory::init([x]);
+        let slot = mem.insert_slots(x)[0];
+        mem.add(Message {
+            loc: x,
+            from: slot.from,
+            to: slot.to,
+            payload: Some(Value::Int(3)),
+            view: View::singleton(x, slot.to),
+        });
+        let mut tt = t.clone();
+        tt.promises.insert((x, slot.to));
+        let cfg = PsConfig::default();
+        let steps = thread_steps(&tt, &mem, &View::zero(), &cfg);
+        let fulfilled = steps
+            .iter()
+            .find(|s| s.thread.promises.is_empty() && s.kind == StepKind::Normal)
+            .expect("fulfillment step");
+        assert_eq!(fulfilled.thread.view.ts(x), slot.to);
+    }
+
+    #[test]
+    fn sc_fence_joins_global_view() {
+        let x = Loc::new("tscx");
+        let (t, mem, _, cfg) = setup("fence[sc];", &["tscx"]);
+        let sc = View::singleton(x, crate::time::Timestamp::int(4));
+        let steps = thread_steps(&t, &mem, &sc, &cfg);
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].thread.view.ts(x), crate::time::Timestamp::int(4));
+        assert_eq!(steps[0].sc_view.get(x), crate::time::Timestamp::int(4));
+    }
+}

@@ -1,0 +1,183 @@
+//! Exact rational timestamps (`Time ≜ {0} ∪ ℚ⁺`, Fig. 5).
+//!
+//! The promising semantics needs a *dense* total order on timestamps: a new
+//! message may always be inserted between two existing ones. We implement
+//! non-negative rationals with `u64` numerator/denominator, comparisons in
+//! `u128` (no overflow for the exploration depths this crate supports), and
+//! normalization by gcd.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A non-negative rational timestamp.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Timestamp {
+    num: u64,
+    den: u64, // ≥ 1, gcd(num, den) = 1
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+impl Timestamp {
+    /// Time zero (the timestamp of initialization messages).
+    pub const ZERO: Timestamp = Timestamp { num: 0, den: 1 };
+
+    /// Constructs `num/den`, normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: u64, den: u64) -> Timestamp {
+        assert!(den != 0, "timestamp denominator must be non-zero");
+        let g = gcd(num, den);
+        Timestamp {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    /// Constructs the integer timestamp `n`.
+    pub fn int(n: u64) -> Timestamp {
+        Timestamp { num: n, den: 1 }
+    }
+
+    /// `self + 1`.
+    #[must_use]
+    pub fn succ(self) -> Timestamp {
+        Timestamp::new(self.num + self.den, self.den)
+    }
+
+    /// A timestamp strictly between `a` and `b` (their midpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= b` (density would be violated).
+    pub fn between(a: Timestamp, b: Timestamp) -> Timestamp {
+        assert!(a < b, "between requires a < b");
+        // (a + b) / 2 = (a.num·b.den + b.num·a.den) / (2·a.den·b.den)
+        let num = (a.num as u128) * (b.den as u128) + (b.num as u128) * (a.den as u128);
+        let den = 2u128 * (a.den as u128) * (b.den as u128);
+        // Reduce in u128 first so the result fits u64 in practice.
+        let g = gcd128(num, den);
+        let (num, den) = (num / g, den / g);
+        assert!(
+            num <= u64::MAX as u128 && den <= u64::MAX as u128,
+            "timestamp arithmetic overflow (exploration too deep)"
+        );
+        Timestamp::new(num as u64, den as u64)
+    }
+
+    /// A timestamp strictly inside the *left half* of `(a, b)` — used for
+    /// "detached" insertions that leave room on both sides.
+    pub fn left_quarter(a: Timestamp, b: Timestamp) -> Timestamp {
+        Timestamp::between(a, Timestamp::between(a, b))
+    }
+
+    /// Is this timestamp zero?
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+}
+
+fn gcd128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+impl PartialOrd for Timestamp {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Timestamp {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let lhs = (self.num as u128) * (other.den as u128);
+        let rhs = (other.num as u128) * (self.den as u128);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl Default for Timestamp {
+    fn default() -> Self {
+        Timestamp::ZERO
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_normalization() {
+        assert!(Timestamp::new(1, 2) < Timestamp::int(1));
+        assert!(Timestamp::ZERO < Timestamp::new(1, 100));
+        assert_eq!(Timestamp::new(2, 4), Timestamp::new(1, 2));
+        assert_eq!(Timestamp::new(6, 3), Timestamp::int(2));
+    }
+
+    #[test]
+    fn succ_increments() {
+        assert_eq!(Timestamp::ZERO.succ(), Timestamp::int(1));
+        assert_eq!(Timestamp::new(1, 2).succ(), Timestamp::new(3, 2));
+    }
+
+    #[test]
+    fn between_is_strictly_inside() {
+        let a = Timestamp::int(1);
+        let b = Timestamp::int(2);
+        let m = Timestamp::between(a, b);
+        assert!(a < m && m < b);
+        // Density: can always keep splitting.
+        let mut lo = a;
+        let mut hi = b;
+        for _ in 0..20 {
+            let mid = Timestamp::between(lo, hi);
+            assert!(lo < mid && mid < hi);
+            hi = mid;
+            lo = Timestamp::between(lo, hi);
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn left_quarter_leaves_room() {
+        let a = Timestamp::int(0);
+        let b = Timestamp::int(4);
+        let q = Timestamp::left_quarter(a, b);
+        assert!(a < q && q < Timestamp::between(a, b));
+    }
+
+    #[test]
+    #[should_panic(expected = "between requires a < b")]
+    fn between_rejects_empty_interval() {
+        let _ = Timestamp::between(Timestamp::int(1), Timestamp::int(1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Timestamp::int(3).to_string(), "3");
+        assert_eq!(Timestamp::new(1, 2).to_string(), "1/2");
+    }
+}

@@ -1,0 +1,225 @@
+//! The full PS2.1-style thread view `TView = ⟨rel, cur, acq⟩`.
+//!
+//! The paper's Fig. 5 presents a simplified fragment with a single thread
+//! view; the Coq development (and PS2.1 itself) uses three components:
+//!
+//! * `cur` — the current view: what the thread has definitely observed
+//!   (constrains reads/writes, detects races);
+//! * `acq` — the acquire view: what the thread will have observed after
+//!   its next acquire fence (collects message views of relaxed reads);
+//! * `rel(x)` — the per-location release view: what a relaxed write to
+//!   `x` publishes (raised by release writes to `x` and release fences).
+//!
+//! With `rel = ⊥` everywhere and no fences, the rules collapse to the
+//! paper's single-view fragment. The three-view state is what makes
+//! *fence-based* synchronization (release fence + relaxed flag write ↔
+//! relaxed flag read + acquire fence) sound, which the litmus corpus
+//! exercises.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use seqwm_lang::Loc;
+
+use crate::time::Timestamp;
+use crate::view::View;
+
+/// A three-component thread view.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TView {
+    /// The current view.
+    pub cur: View,
+    /// The acquire view (`cur ⊑ acq` invariant).
+    pub acq: View,
+    /// Per-location release views (absent = zero view).
+    rel: BTreeMap<Loc, View>,
+}
+
+impl TView {
+    /// The initial thread view (everything at timestamp zero).
+    pub fn zero() -> TView {
+        TView {
+            cur: View::zero(),
+            acq: View::zero(),
+            rel: BTreeMap::new(),
+        }
+    }
+
+    /// The release view for location `x`.
+    pub fn rel(&self, x: Loc) -> View {
+        self.rel.get(&x).cloned().unwrap_or_else(View::zero)
+    }
+
+    /// The current observed timestamp for `x` (used by read/write side
+    /// conditions and race detection).
+    pub fn ts(&self, x: Loc) -> Timestamp {
+        self.cur.get(x)
+    }
+
+    /// Applies a read of message `(x@t, view)` with the given acquire-ness,
+    /// per the PS read rule:
+    ///
+    /// * `cur ⊔= [x↦t]` (and `⊔= view` if acquiring),
+    /// * `acq ⊔= [x↦t] ⊔ view`.
+    pub fn read(&mut self, x: Loc, t: Timestamp, msg_view: &View, acquire: bool) {
+        self.cur = self.cur.bumped(x, t);
+        self.acq = self.acq.bumped(x, t).join(msg_view);
+        if acquire {
+            self.cur = self.cur.join(msg_view);
+        }
+        debug_assert!(self.cur.leq(&self.acq));
+    }
+
+    /// Applies a write to `x` at timestamp `t`:
+    ///
+    /// * `cur ⊔= [x↦t]`, `acq ⊔= [x↦t]`,
+    /// * if releasing, `rel(x) := cur` (after the bump).
+    ///
+    /// Returns the view to attach to the message: `⊥` for non-atomic
+    /// writes (callers pass `na = true`), `rel(x) ⊔ [x↦t] ⊔ extra` for
+    /// relaxed writes, `cur ⊔ extra` for release writes. `extra` threads
+    /// the read-message view of RMWs (release sequences).
+    pub fn write(&mut self, x: Loc, t: Timestamp, releasing: bool, na: bool, extra: &View) -> View {
+        self.cur = self.cur.bumped(x, t);
+        self.acq = self.acq.bumped(x, t);
+        if na {
+            return View::bottom();
+        }
+        if releasing {
+            let v = self.cur.join(extra);
+            self.rel.insert(x, v.clone());
+            v
+        } else {
+            self.rel(x).bumped(x, t).join(extra)
+        }
+    }
+
+    /// An acquire fence: `cur := acq`.
+    pub fn acquire_fence(&mut self) {
+        self.cur = self.acq.clone();
+    }
+
+    /// A release fence: `rel(x) := cur` for every location written so far
+    /// or later (we raise the *default*, by recording `cur` as a floor for
+    /// all locations: implemented by setting every existing entry and a
+    /// global floor).
+    pub fn release_fence(&mut self, locs: impl Iterator<Item = Loc>) {
+        for x in locs {
+            let merged = self.rel(x).join(&self.cur);
+            self.rel.insert(x, merged);
+        }
+    }
+
+    /// An SC fence (PS2-style approximation): join with the global SC
+    /// view, act as an acquire-release fence, and return the new SC view.
+    #[must_use]
+    pub fn sc_fence(&mut self, sc: &View, locs: impl Iterator<Item = Loc>) -> View {
+        self.cur = self.cur.join(sc);
+        self.acq = self.acq.join(&self.cur);
+        self.release_fence(locs);
+        self.cur.clone()
+    }
+}
+
+impl Default for TView {
+    fn default() -> Self {
+        TView::zero()
+    }
+}
+
+impl fmt::Display for TView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨cur={}, acq={}⟩", self.cur, self.acq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Loc {
+        Loc::new("tv_x")
+    }
+    fn y() -> Loc {
+        Loc::new("tv_y")
+    }
+
+    #[test]
+    fn relaxed_read_defers_message_view_to_acq() {
+        let mut v = TView::zero();
+        let msg_view = View::singleton(y(), Timestamp::int(5));
+        v.read(x(), Timestamp::int(1), &msg_view, false);
+        assert_eq!(v.cur.get(x()), Timestamp::int(1));
+        assert_eq!(v.cur.get(y()), Timestamp::ZERO, "rlx read does not raise cur(y)");
+        assert_eq!(v.acq.get(y()), Timestamp::int(5), "…but acq records it");
+        // The acquire fence transfers it.
+        v.acquire_fence();
+        assert_eq!(v.cur.get(y()), Timestamp::int(5));
+    }
+
+    #[test]
+    fn acquire_read_joins_immediately() {
+        let mut v = TView::zero();
+        let msg_view = View::singleton(y(), Timestamp::int(5));
+        v.read(x(), Timestamp::int(1), &msg_view, true);
+        assert_eq!(v.cur.get(y()), Timestamp::int(5));
+    }
+
+    #[test]
+    fn release_write_publishes_cur_and_sets_rel() {
+        let mut v = TView::zero();
+        v.read(y(), Timestamp::int(3), &View::bottom(), false);
+        let msg = v.write(x(), Timestamp::int(1), true, false, &View::bottom());
+        assert_eq!(msg.get(y()), Timestamp::int(3));
+        assert_eq!(msg.get(x()), Timestamp::int(1));
+        // A later relaxed write to x still carries the release view.
+        let msg2 = v.write(x(), Timestamp::int(2), false, false, &View::bottom());
+        assert_eq!(msg2.get(y()), Timestamp::int(3), "release sequence via rel(x)");
+    }
+
+    #[test]
+    fn relaxed_write_without_release_carries_only_its_timestamp() {
+        let mut v = TView::zero();
+        v.read(y(), Timestamp::int(3), &View::bottom(), false);
+        let msg = v.write(x(), Timestamp::int(1), false, false, &View::bottom());
+        assert_eq!(msg.get(y()), Timestamp::ZERO);
+        assert_eq!(msg.get(x()), Timestamp::int(1));
+    }
+
+    #[test]
+    fn release_fence_then_relaxed_write_synchronizes() {
+        let mut v = TView::zero();
+        v.read(y(), Timestamp::int(3), &View::bottom(), false);
+        v.release_fence([x(), y()].into_iter());
+        let msg = v.write(x(), Timestamp::int(1), false, false, &View::bottom());
+        assert_eq!(msg.get(y()), Timestamp::int(3), "rel fence floor published");
+    }
+
+    #[test]
+    fn na_write_has_bottom_view() {
+        let mut v = TView::zero();
+        v.read(y(), Timestamp::int(3), &View::bottom(), false);
+        let msg = v.write(x(), Timestamp::int(1), false, true, &View::bottom());
+        assert!(msg.is_bottom());
+        assert_eq!(v.cur.get(x()), Timestamp::int(1));
+    }
+
+    #[test]
+    fn sc_fence_joins_global_view() {
+        let mut v = TView::zero();
+        let sc = View::singleton(y(), Timestamp::int(7));
+        let new_sc = v.sc_fence(&sc, [x(), y()].into_iter());
+        assert_eq!(v.cur.get(y()), Timestamp::int(7));
+        assert_eq!(new_sc.get(y()), Timestamp::int(7));
+    }
+
+    #[test]
+    fn cur_leq_acq_invariant() {
+        let mut v = TView::zero();
+        v.read(x(), Timestamp::int(1), &View::singleton(y(), Timestamp::int(2)), false);
+        v.write(y(), Timestamp::int(4), false, false, &View::bottom());
+        assert!(v.cur.leq(&v.acq));
+        v.acquire_fence();
+        assert!(v.cur.leq(&v.acq));
+    }
+}

@@ -1,0 +1,200 @@
+//! Thread and message views (`View ≜ (Loc → Time) ∪ {⊥}`, Fig. 5).
+//!
+//! A view records, per location, the timestamp of the latest message the
+//! thread has observed. The bottom view `⊥` (strictly below every other
+//! view) marks messages written non-atomically: such messages transfer no
+//! ordering information when read.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use seqwm_lang::Loc;
+
+use crate::time::Timestamp;
+
+/// A view: `⊥` or a total map `Loc → Time` (default timestamp `0`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum View {
+    /// The bottom view, strictly below every map view.
+    Bottom,
+    /// A map view (locations not present map to timestamp `0`).
+    Map(BTreeMap<Loc, Timestamp>),
+}
+
+impl View {
+    /// The bottom view `⊥`.
+    pub fn bottom() -> View {
+        View::Bottom
+    }
+
+    /// The zero view (all locations at timestamp `0`).
+    pub fn zero() -> View {
+        View::Map(BTreeMap::new())
+    }
+
+    /// The singleton view `[x ↦ t]`.
+    pub fn singleton(x: Loc, t: Timestamp) -> View {
+        let mut m = BTreeMap::new();
+        if !t.is_zero() {
+            m.insert(x, t);
+        }
+        View::Map(m)
+    }
+
+    /// Is this the bottom view?
+    pub fn is_bottom(&self) -> bool {
+        matches!(self, View::Bottom)
+    }
+
+    /// The observed timestamp for `x` (`⊥` observes nothing, i.e. `0`).
+    pub fn get(&self, x: Loc) -> Timestamp {
+        match self {
+            View::Bottom => Timestamp::ZERO,
+            View::Map(m) => m.get(&x).copied().unwrap_or(Timestamp::ZERO),
+        }
+    }
+
+    /// Functional update `V[x ↦ max(V(x), t)]`. `⊥` is promoted to a map.
+    #[must_use]
+    pub fn bumped(&self, x: Loc, t: Timestamp) -> View {
+        let mut v = match self {
+            View::Bottom => BTreeMap::new(),
+            View::Map(m) => m.clone(),
+        };
+        let cur = v.get(&x).copied().unwrap_or(Timestamp::ZERO);
+        if t > cur {
+            v.insert(x, t);
+        }
+        View::Map(v)
+    }
+
+    /// The join `V ⊔ W` (pointwise maximum; `⊥` is the unit).
+    #[must_use]
+    pub fn join(&self, other: &View) -> View {
+        match (self, other) {
+            (View::Bottom, w) => w.clone(),
+            (v, View::Bottom) => v.clone(),
+            (View::Map(a), View::Map(b)) => {
+                let mut out = a.clone();
+                for (&x, &t) in b {
+                    let cur = out.get(&x).copied().unwrap_or(Timestamp::ZERO);
+                    if t > cur {
+                        out.insert(x, t);
+                    }
+                }
+                View::Map(out)
+            }
+        }
+    }
+
+    /// The order `V ⊑ W` (pointwise; `⊥` below everything).
+    pub fn leq(&self, other: &View) -> bool {
+        match (self, other) {
+            (View::Bottom, _) => true,
+            (View::Map(_), View::Bottom) => false,
+            (View::Map(a), View::Map(b)) => a.iter().all(|(&x, &t)| {
+                t <= b.get(&x).copied().unwrap_or(Timestamp::ZERO)
+            }),
+        }
+    }
+}
+
+impl Default for View {
+    fn default() -> Self {
+        View::zero()
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            View::Bottom => write!(f, "⊥"),
+            View::Map(m) => {
+                write!(f, "[")?;
+                for (i, (x, t)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{x}@{t}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Loc {
+        Loc::new("view_x")
+    }
+    fn y() -> Loc {
+        Loc::new("view_y")
+    }
+
+    #[test]
+    fn bottom_is_least() {
+        let v = View::singleton(x(), Timestamp::int(1));
+        assert!(View::bottom().leq(&v));
+        assert!(View::bottom().leq(&View::zero()));
+        assert!(!v.leq(&View::bottom()));
+        assert!(View::zero().leq(&v));
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let a = View::singleton(x(), Timestamp::int(2));
+        let b = View::singleton(y(), Timestamp::int(3));
+        let j = a.join(&b);
+        assert_eq!(j.get(x()), Timestamp::int(2));
+        assert_eq!(j.get(y()), Timestamp::int(3));
+        let k = a.join(&View::singleton(x(), Timestamp::int(1)));
+        assert_eq!(k.get(x()), Timestamp::int(2));
+    }
+
+    #[test]
+    fn join_with_bottom_is_identity() {
+        let a = View::singleton(x(), Timestamp::int(2));
+        assert_eq!(a.join(&View::bottom()), a);
+        assert_eq!(View::bottom().join(&a), a);
+    }
+
+    #[test]
+    fn bumped_only_raises() {
+        let v = View::singleton(x(), Timestamp::int(2));
+        assert_eq!(v.bumped(x(), Timestamp::int(1)).get(x()), Timestamp::int(2));
+        assert_eq!(v.bumped(x(), Timestamp::int(5)).get(x()), Timestamp::int(5));
+    }
+
+    #[test]
+    fn singleton_zero_normalizes() {
+        // [x ↦ 0] is the zero view (canonical representation).
+        assert_eq!(View::singleton(x(), Timestamp::ZERO), View::zero());
+    }
+
+    #[test]
+    fn leq_is_a_partial_order_on_samples() {
+        let samples = [
+            View::bottom(),
+            View::zero(),
+            View::singleton(x(), Timestamp::int(1)),
+            View::singleton(y(), Timestamp::int(1)),
+            View::singleton(x(), Timestamp::int(2)),
+        ];
+        for a in &samples {
+            assert!(a.leq(a));
+            for b in &samples {
+                for c in &samples {
+                    if a.leq(b) && b.leq(c) {
+                        assert!(a.leq(c));
+                    }
+                }
+                if a.leq(b) && b.leq(a) {
+                    assert_eq!(a, b);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The adequacy differential harness (Thm. 6.2) as a standalone fuzzer:
+//! generate random programs, optimize them, check SEQ refinement, then
+//! check PS^na contextual refinement under random contexts — forever (or
+//! for `--rounds N`).
+//!
+//! ```sh
+//! cargo run --release --example adequacy_fuzz -- --rounds 100 --seed 7
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use promising_seq::litmus::gen::{random_context, random_program, GenConfig};
+use promising_seq::opt::pipeline::{Pipeline, PipelineConfig};
+use promising_seq::promising::machine::{explore, ps_behaviors_refine};
+use promising_seq::promising::thread::PsConfig;
+use promising_seq::seq::refine::{refines_advanced_or_simple_config, RefineConfig};
+
+fn main() {
+    let mut rounds = 50usize;
+    let mut seed = 0xFEED_F00Du64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--rounds" => rounds = args.next().and_then(|v| v.parse().ok()).unwrap_or(rounds),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            other => {
+                eprintln!("unknown argument {other} (use --rounds N --seed S)");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let gen_cfg = GenConfig {
+        max_stmts: 5,
+        ..GenConfig::default()
+    };
+    let refine_cfg = RefineConfig {
+        max_steps: 64,
+        ..RefineConfig::default()
+    };
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let ps_cfg = PsConfig::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut optimized = 0usize;
+    let mut seq_checked = 0usize;
+    let mut ps_checked = 0usize;
+    for round in 0..rounds {
+        let src = random_program(&mut rng, &gen_cfg);
+        let out = pipeline.optimize(&src);
+        if out.program == src {
+            continue;
+        }
+        optimized += 1;
+
+        // SEQ refinement (simple, falling back to advanced).
+        match refines_advanced_or_simple_config(&src, &out.program, &refine_cfg) {
+            Ok(_) => seq_checked += 1,
+            Err(e) => {
+                eprintln!("✗ SEQ VIOLATION at round {round} (seed {seed}):\n{e}\nsrc:\n{src}\ntgt:\n{}", out.program);
+                std::process::exit(2);
+            }
+        }
+
+        // PS^na contextual refinement under a random context.
+        let ctx = random_context(&mut rng, &gen_cfg);
+        let mut src_threads = vec![src.clone()];
+        let mut tgt_threads = vec![out.program.clone()];
+        if rng.gen_bool(0.8) {
+            src_threads.push(ctx.clone());
+            tgt_threads.push(ctx);
+        }
+        let sb = explore(&src_threads, &ps_cfg);
+        let tb = explore(&tgt_threads, &ps_cfg);
+        if sb.truncated || tb.truncated {
+            continue; // context too big for exhaustive exploration
+        }
+        if let Err(unmatched) = ps_behaviors_refine(&tb.behaviors, &sb.behaviors) {
+            eprintln!(
+                "✗ ADEQUACY VIOLATION at round {round} (seed {seed}): behavior {unmatched}\nsrc:\n{src}\ntgt:\n{}",
+                out.program
+            );
+            std::process::exit(3);
+        }
+        ps_checked += 1;
+        if round % 10 == 9 {
+            println!(
+                "round {:4}: {optimized} optimized, {seq_checked} SEQ-validated, {ps_checked} PS^na-validated",
+                round + 1
+            );
+        }
+    }
+    println!(
+        "done: {rounds} rounds, {optimized} programs optimized, {seq_checked} SEQ refinements, \
+         {ps_checked} PS^na contextual refinements — no violation found ✓"
+    );
+}

@@ -1,0 +1,82 @@
+//! Explore any named litmus case (or the whole corpus) under the three
+//! machines — SC, the promise-free release/acquire fragment, and full
+//! PS^na — and print the behavior sets side by side.
+//!
+//! ```sh
+//! cargo run --example litmus_explorer            # list cases
+//! cargo run --example litmus_explorer sb-rlx     # run one case
+//! cargo run --example litmus_explorer --all      # run everything
+//! ```
+
+use promising_seq::litmus::concurrent::{concurrent_corpus, ConcurrentCase};
+use promising_seq::litmus::transform::transform_corpus;
+use promising_seq::promising::sc::{explore_sc, ScConfig};
+use promising_seq::promising::{explore, PsConfig};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    match arg.as_deref() {
+        None => list(),
+        Some("--all") => {
+            for case in concurrent_corpus() {
+                run_case(&case);
+            }
+        }
+        Some(name) => {
+            let Some(case) = concurrent_corpus().into_iter().find(|c| c.name == name) else {
+                eprintln!("unknown case `{name}` — run without arguments to list cases");
+                std::process::exit(1);
+            };
+            run_case(&case);
+        }
+    }
+}
+
+fn list() {
+    println!("concurrent cases (run with a name or --all):");
+    for c in concurrent_corpus() {
+        println!("  {:36} {}", c.name, c.paper_ref);
+    }
+    println!("\ntransformation cases (checked by `cargo test --test paper_examples`):");
+    for c in transform_corpus() {
+        println!("  {:36} {} ({:?})", c.name, c.paper_ref, c.expectation);
+    }
+}
+
+fn run_case(case: &ConcurrentCase) {
+    println!("════ {} — {} ════", case.name, case.paper_ref);
+    let progs = case.programs();
+    for (i, t) in progs.iter().enumerate() {
+        println!("─ thread {i} ─");
+        for line in t.to_string().lines() {
+            println!("    {line}");
+        }
+    }
+    let sc = explore_sc(&progs, &ScConfig::default());
+    println!("SC            ({:6} states): {}", sc.states, fmt_behaviors(&sc.behaviors));
+    let ra = explore(&progs, &PsConfig::default());
+    println!("RA (no promises, {:4} states): {}", ra.states, fmt_behaviors(&ra.behaviors));
+    let cfg = case.config();
+    let ps = explore(&progs, &cfg);
+    println!(
+        "PS^na        ({:6} states{}): {}",
+        ps.states,
+        if cfg.allow_promises { ", promises" } else { "" },
+        fmt_behaviors(&ps.behaviors)
+    );
+    if ps.racy {
+        println!("  ⚠ racy accesses reachable");
+    }
+    match case.check() {
+        Ok(()) => println!("  ✓ all paper expectations hold"),
+        Err(e) => println!("  ✗ {e}"),
+    }
+    println!();
+}
+
+fn fmt_behaviors<B: std::fmt::Display>(set: &std::collections::BTreeSet<B>) -> String {
+    set.iter()
+        .map(|b| b.to_string())
+        .collect::<Vec<_>>()
+        .join("  ")
+}

@@ -1,0 +1,213 @@
+//! `seqwm` — the command-line front end of the workspace.
+//!
+//! ```text
+//! seqwm parse <file>                  parse + pretty-print a program
+//! seqwm optimize <file>               run the 4-pass optimizer (§4)
+//! seqwm validate <file>               optimize + SEQ-only validation
+//! seqwm refine <src> <tgt>            check both refinement notions (§2/§3)
+//! seqwm explore <file> [<file>...]    PS^na behaviors of a parallel program
+//! seqwm sc <file> [<file>...]         SC behaviors (baseline)
+//! seqwm drf <file> [<file>...]        race report + model comparison
+//! seqwm litmus [name|--all]           run corpus cases
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use promising_seq::lang::parser::parse_program;
+use promising_seq::lang::Program;
+use promising_seq::litmus::concurrent::concurrent_corpus;
+use promising_seq::litmus::transform::transform_corpus;
+use promising_seq::opt::pipeline::{Pipeline, PipelineConfig};
+use promising_seq::opt::validate::optimize_validated;
+use promising_seq::promising::drf::drf_check;
+use promising_seq::promising::sc::{explore_sc, ScConfig};
+use promising_seq::promising::{explore, PsConfig};
+use promising_seq::seq::advanced::refines_advanced;
+use promising_seq::seq::refine::{refines_simple, RefineConfig};
+
+fn load(path: &str) -> Result<Program, String> {
+    let src = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_program(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_all(paths: &[String]) -> Result<Vec<Program>, String> {
+    if paths.is_empty() {
+        return Err("expected at least one program file".to_owned());
+    }
+    paths.iter().map(|p| load(p)).collect()
+}
+
+fn usage() -> String {
+    "usage: seqwm <parse|optimize|validate|refine|explore|sc|drf|litmus> [args…]\n\
+     run `seqwm litmus` with no arguments to list corpus cases"
+        .to_owned()
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = args.split_first().ok_or_else(usage)?;
+    match cmd.as_str() {
+        "parse" => {
+            let [path] = rest else {
+                return Err("usage: seqwm parse <file>".into());
+            };
+            print!("{}", load(path)?);
+            Ok(())
+        }
+        "optimize" => {
+            let [path] = rest else {
+                return Err("usage: seqwm optimize <file>".into());
+            };
+            let p = load(path)?;
+            let out = Pipeline::new(PipelineConfig::default()).optimize(&p);
+            print!("{}", out.program);
+            for s in &out.stats {
+                eprintln!("// {s}");
+            }
+            Ok(())
+        }
+        "validate" => {
+            let [path] = rest else {
+                return Err("usage: seqwm validate <file>".into());
+            };
+            let p = load(path)?;
+            let v = optimize_validated(&p, PipelineConfig::default(), &RefineConfig::default())
+                .map_err(|e| e.to_string())?;
+            print!("{}", v.result.program);
+            for stage in &v.validations {
+                eprintln!("// {:?} validated via {:?}", stage.pass, stage.by);
+            }
+            Ok(())
+        }
+        "refine" => {
+            let [src_path, tgt_path] = rest else {
+                return Err("usage: seqwm refine <src-file> <tgt-file>".into());
+            };
+            let src = load(src_path)?;
+            let tgt = load(tgt_path)?;
+            let cfg = RefineConfig::default();
+            let simple = refines_simple(&src, &tgt, &cfg).map_err(|e| e.to_string())?;
+            println!(
+                "simple   (Def. 2.4): {}  [{} configs, {} behaviors]",
+                if simple.holds { "HOLDS" } else { "fails" },
+                simple.configs,
+                simple.behaviors
+            );
+            if let Some(ce) = &simple.counterexample {
+                println!("  counterexample: {ce}");
+            }
+            let adv = refines_advanced(&src, &tgt, &cfg).map_err(|e| e.to_string())?;
+            println!(
+                "advanced (Def. 3.3): {}  [{} configs]",
+                if adv.holds { "HOLDS" } else { "fails" },
+                adv.configs
+            );
+            if let Some(fc) = &adv.failed_config {
+                println!("  failed at {fc}");
+            }
+            Ok(())
+        }
+        "explore" => {
+            let progs = load_all(rest)?;
+            let refs: Vec<&Program> = progs.iter().collect();
+            let cfg = PsConfig::with_promises(&refs);
+            let result = explore(&progs, &cfg);
+            println!(
+                "PS^na: {} states{}{}",
+                result.states,
+                if result.racy { ", racy" } else { "" },
+                if result.truncated { ", TRUNCATED" } else { "" }
+            );
+            for b in &result.behaviors {
+                println!("  {b}");
+            }
+            Ok(())
+        }
+        "sc" => {
+            let progs = load_all(rest)?;
+            let result = explore_sc(&progs, &ScConfig::default());
+            println!("SC: {} states", result.states);
+            for b in &result.behaviors {
+                println!("  {b}");
+            }
+            Ok(())
+        }
+        "drf" => {
+            let progs = load_all(rest)?;
+            let report = drf_check(&progs, true);
+            println!("racy:          {}", report.racy);
+            println!("PS^na == RA:   {}", report.ps_equals_ra);
+            println!("RA == SC:      {}", report.ra_equals_sc);
+            println!("PS^na behaviors:");
+            for b in &report.ps_behaviors {
+                println!("  {b}");
+            }
+            Ok(())
+        }
+        "litmus" => match rest {
+            [] => {
+                println!("transformation cases:");
+                for c in transform_corpus() {
+                    println!("  {:36} {} ({:?})", c.name, c.paper_ref, c.expectation);
+                }
+                println!("concurrent cases:");
+                for c in concurrent_corpus() {
+                    println!("  {:36} {}", c.name, c.paper_ref);
+                }
+                Ok(())
+            }
+            [flag] if flag == "--all" => {
+                let cfg = RefineConfig::default();
+                let mut failures = 0;
+                for c in transform_corpus() {
+                    match c.check(&cfg) {
+                        Ok(()) => println!("✓ {}", c.name),
+                        Err(e) => {
+                            failures += 1;
+                            println!("✗ {e}");
+                        }
+                    }
+                }
+                for c in concurrent_corpus() {
+                    match c.check() {
+                        Ok(()) => println!("✓ {}", c.name),
+                        Err(e) => {
+                            failures += 1;
+                            println!("✗ {e}");
+                        }
+                    }
+                }
+                if failures == 0 {
+                    Ok(())
+                } else {
+                    Err(format!("{failures} corpus case(s) failed"))
+                }
+            }
+            [name] => {
+                if let Some(c) = transform_corpus().into_iter().find(|c| c.name == *name) {
+                    c.check(&RefineConfig::default())
+                        .map(|()| println!("✓ {} matches the paper", c.name))
+                } else if let Some(c) =
+                    concurrent_corpus().into_iter().find(|c| c.name == *name)
+                {
+                    c.check().map(|()| println!("✓ {} matches the paper", c.name))
+                } else {
+                    Err(format!("unknown litmus case `{name}`"))
+                }
+            }
+            _ => Err("usage: seqwm litmus [name|--all]".into()),
+        },
+        _ => Err(usage()),
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # promising-seq
+//!
+//! A Rust reproduction of *Sequential Reasoning for Optimizing Compilers
+//! under Weak Memory Concurrency* (Cho, Lee, Lee, Hur, Lahav; PLDI 2022).
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! * [`lang`] — the `WHILE` toy concurrent language and its LTS semantics.
+//! * [`seq`] — the sequential permission machine **SEQ** (§2), simple and
+//!   advanced behavioral refinement (§2–3), and the simulation checker
+//!   (App. A).
+//! * [`promising`] — the promising semantics with non-atomics **PS^na**
+//!   (§5), plus SC and release/acquire baseline machines and a
+//!   bounded-exhaustive model checker.
+//! * [`opt`] — the four optimization passes (SLF/LLF/DSE/LICM, §4 and
+//!   App. D) with SEQ-based translation validation.
+//! * [`litmus`] — the corpus of litmus tests and program generators used to
+//!   reproduce every example of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use promising_seq::lang::parser::parse_program;
+//! use promising_seq::opt::pipeline::{Pipeline, PipelineConfig};
+//!
+//! let src = parse_program(
+//!     "store[na](x, 42);
+//!      l := load[acq](y);
+//!      if (l == 0) { a := load[na](x); }
+//!      store[rel](y, 1);
+//!      b := load[na](x);
+//!      return b;",
+//! )?;
+//! let result = Pipeline::new(PipelineConfig::default()).optimize(&src);
+//! // The two loads of x are forwarded to the constant 42 (Fig. 4 of the paper).
+//! assert!(result.program.to_string().contains(":= 42"));
+//! # Ok::<(), promising_seq::lang::parser::ParseError>(())
+//! ```
+
+pub use seqwm_lang as lang;
+pub use seqwm_litmus as litmus;
+pub use seqwm_opt as opt;
+pub use seqwm_promising as promising;
+pub use seqwm_seq as seq;

@@ -1,0 +1,117 @@
+//! Experiments E7/E10: the concurrent litmus corpus under PS^na.
+//!
+//! Classic litmus shapes (SB, MP, LB, CoRR, 2+2W), the paper's race
+//! semantics (§5: write–write races are UB, write–read races read
+//! `undef`), Example 5.1 (promise + racy read), App. B (multi-message
+//! non-atomic writes, with its single-message ablation), and App. C (the
+//! choose–release reordering counterexample).
+
+use seqwm_litmus::concurrent::{concurrent_corpus, find_concurrent};
+
+#[track_caller]
+fn check(name: &str) {
+    let case = find_concurrent(name).unwrap_or_else(|| panic!("unknown case {name}"));
+    if let Err(e) = case.check() {
+        panic!("concurrent litmus violation: {e}");
+    }
+}
+
+#[test]
+fn store_buffering() {
+    check("sb-rlx");
+}
+
+#[test]
+fn store_buffering_with_sc_fences() {
+    check("sb-sc-fence");
+}
+
+#[test]
+fn message_passing() {
+    check("mp-rel-acq");
+}
+
+#[test]
+fn message_passing_relaxed_flag_races() {
+    check("mp-rlx-flag-racy");
+}
+
+#[test]
+fn load_buffering_via_promises() {
+    check("lb-rlx-promises");
+}
+
+#[test]
+fn no_out_of_thin_air() {
+    check("lb-data-no-thin-air");
+}
+
+#[test]
+fn coherence() {
+    check("corr-coherence");
+}
+
+#[test]
+fn two_plus_two_w() {
+    check("2+2w-rlx");
+}
+
+#[test]
+fn write_write_race_is_ub() {
+    check("ww-race-ub");
+}
+
+#[test]
+fn write_read_race_reads_undef() {
+    check("wr-race-undef");
+}
+
+#[test]
+fn example_5_1() {
+    check("example-5-1");
+}
+
+#[test]
+fn appendix_b_multi_message_na_writes() {
+    check("appendix-b-multi-message");
+}
+
+#[test]
+fn appendix_b_single_message_ablation() {
+    check("appendix-b-single-message-ablation");
+}
+
+#[test]
+fn appendix_c_choose_release_source() {
+    check("appendix-c-choose-release-source");
+}
+
+#[test]
+fn appendix_c_choose_release_target() {
+    check("appendix-c-choose-release-target");
+}
+
+#[test]
+fn corpus_names_are_unique() {
+    let corpus = concurrent_corpus();
+    let mut names: Vec<_> = corpus.iter().map(|c| c.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), corpus.len());
+    assert!(corpus.len() >= 15);
+}
+
+#[test]
+fn message_passing_via_fences() {
+    check("mp-fences");
+}
+
+#[test]
+fn trylock_mutex_is_race_free() {
+    check("trylock-cas-mutex");
+}
+
+#[test]
+fn fetch_add_counter_is_atomic() {
+    check("fadd-counter");
+}

@@ -1,0 +1,110 @@
+//! The *shapes* of refutations: for the paper's `{̸` examples, the
+//! checker's counterexample must match the argument the paper gives —
+//! same initial-permission setup, same kind of unmatched behavior.
+
+use seqwm_lang::Loc;
+use seqwm_litmus::transform::find_case;
+use seqwm_seq::behavior::BehaviorEnd;
+use seqwm_seq::refine::{refines_simple, RefineConfig};
+
+fn counterexample(name: &str) -> seqwm_seq::refine::Counterexample {
+    let case = find_case(name).unwrap_or_else(|| panic!("unknown case {name}"));
+    let out = refines_simple(
+        &case.src_program(),
+        &case.tgt_program(),
+        &RefineConfig::default(),
+    )
+    .unwrap();
+    assert!(!out.holds, "{name} must be refuted");
+    out.counterexample.unwrap()
+}
+
+#[test]
+fn example_2_9_i_refuted_without_permission() {
+    // Paper: "starting without permission on y, the target invokes UB".
+    let ce = counterexample("acq-read-then-na-write");
+    assert!(
+        !ce.perm.contains(&Loc::new("y")),
+        "the refuting configuration lacks permission on y: {ce}"
+    );
+    assert!(
+        matches!(ce.target_behavior.end, BehaviorEnd::Bottom),
+        "the unmatched target behavior is UB: {ce}"
+    );
+    assert!(
+        ce.target_behavior.trace.is_empty(),
+        "the target reaches ⊥ before any synchronization: {ce}"
+    );
+}
+
+#[test]
+fn example_2_10_refuted_by_written_set() {
+    // Paper: "the target's terminating behavior has x ∈ F, while the
+    // source ends with F = ∅" (the release reset). The checker may find
+    // the evidence either in the behavior's final written set or recorded
+    // on the release label of the trace (both witness the same argument).
+    let ce = counterexample("store-intro-after-rel");
+    let x = Loc::new("x");
+    let in_end = match &ce.target_behavior.end {
+        BehaviorEnd::Term { written, .. } | BehaviorEnd::Partial { written } => {
+            written.contains(&x)
+        }
+        BehaviorEnd::Bottom => false,
+    };
+    let in_release_label = ce
+        .target_behavior
+        .trace
+        .iter()
+        .filter_map(|l| l.release_written())
+        .any(|f| f.contains(&x));
+    assert!(
+        in_end || in_release_label,
+        "the unmatched behavior records the extra write to x: {ce}"
+    );
+}
+
+#[test]
+fn example_2_7_refuted_by_partial_trace() {
+    // Paper: "we must consider behaviors before termination ⟨_, prt(F)⟩".
+    let ce = counterexample("write-before-loop-partial-trace");
+    assert!(
+        matches!(ce.target_behavior.end, BehaviorEnd::Partial { .. })
+            || matches!(ce.target_behavior.end, BehaviorEnd::Bottom),
+        "the refutation uses a partial behavior: {ce}"
+    );
+}
+
+#[test]
+fn example_2_5_same_loc_refuted_by_final_value() {
+    // Paper: with M(x) = 2, the target returns 1 while the source
+    // returns 2.
+    let ce = counterexample("reorder-na-same-loc");
+    assert!(
+        ce.perm.contains(&Loc::new("x")),
+        "the refutation needs permission on x (non-racy execution): {ce}"
+    );
+    match &ce.target_behavior.end {
+        BehaviorEnd::Term { val, .. } => {
+            assert_eq!(
+                *val,
+                seqwm_lang::Value::Int(1),
+                "the target returns the newly stored value: {ce}"
+            );
+        }
+        _ => panic!("expected a terminating counterexample: {ce}"),
+    }
+}
+
+#[test]
+fn example_2_12_refuted_through_acquire_update() {
+    // Paper: the refutation threads a regained permission with a fresh
+    // value through the acquire transition.
+    let ce = counterexample("slf-across-rel-acq-pair");
+    assert!(
+        ce.target_behavior
+            .trace
+            .iter()
+            .any(|l| matches!(l, seqwm_seq::SeqLabel::AcqRead { .. })),
+        "the counterexample trace crosses the acquire: {ce}"
+    );
+}

@@ -1,0 +1,133 @@
+//! Cross-validation of the two implementations of advanced refinement:
+//! the game-based checker (`seqwm_seq::advanced`, App. A's Fig. 6) against
+//! the literal Fig. 2 relation instantiated at concrete oracles
+//! (`seqwm_seq::oracle`, Def. 3.2/3.3).
+//!
+//! * If the game says `⊑_w` HOLDS, then checking under *any* concrete
+//!   oracle must pass (Def. 3.3 is a ∀ over oracles).
+//! * If the game says `⊑_w` FAILS on a corpus case, some concrete oracle
+//!   in our family must refute it (our corpus refutations are all
+//!   witnessed by the free or a pinning oracle).
+
+use seqwm_lang::Value;
+use seqwm_litmus::transform::{transform_corpus, Expectation};
+use seqwm_seq::machine::{EnumDomain, Memory, SeqState};
+use seqwm_seq::oracle::{check_under_oracle, FreeOracle, NoGainOracle, PinReadsOracle};
+use seqwm_seq::refine::{domain_for, RefineConfig};
+use seqwm_seq::LocSet;
+
+fn initial_configs(dom: &EnumDomain) -> Vec<(LocSet, Memory)> {
+    let full: LocSet = dom.na_locs.iter().copied().collect();
+    let zero = Memory::new();
+    let ones = Memory::from_pairs(dom.na_locs.iter().map(|&x| (x, Value::Int(1))));
+    vec![
+        (LocSet::new(), zero.clone()),
+        (full.clone(), zero),
+        (full, ones),
+    ]
+}
+
+#[test]
+fn holding_cases_pass_under_every_concrete_oracle() {
+    let cfg = RefineConfig {
+        max_steps: 64,
+        ..RefineConfig::default()
+    };
+    let mut checked = 0;
+    for case in transform_corpus() {
+        if case.expectation == Expectation::Unsound {
+            continue;
+        }
+        let src = case.src_program();
+        let tgt = case.tgt_program();
+        if src.body.has_loop() || tgt.body.has_loop() {
+            continue; // behaviour enumeration with loops is unbounded
+        }
+        let dom = domain_for(&src, &tgt, &cfg).expect("checkable");
+        for (perm, mem) in initial_configs(&dom) {
+            let s = SeqState::new(&src, perm.clone(), LocSet::new(), mem.clone());
+            let t = SeqState::new(&tgt, perm, LocSet::new(), mem);
+            assert!(
+                check_under_oracle(&s, &t, &dom, &FreeOracle).is_ok(),
+                "{}: free oracle refutes a holding case",
+                case.name
+            );
+            for loc in &dom.na_locs {
+                let o = NoGainOracle { loc: *loc };
+                assert!(
+                    check_under_oracle(&s, &t, &dom, &o).is_ok(),
+                    "{}: no-gain({loc}) oracle refutes a holding case",
+                    case.name
+                );
+            }
+            for loc in src.atomic_locs().union(&tgt.atomic_locs()) {
+                for v in [Value::Int(0), Value::Int(1)] {
+                    let o = PinReadsOracle {
+                        loc: *loc,
+                        value: v,
+                        pin_choose: false,
+                    };
+                    assert!(
+                        check_under_oracle(&s, &t, &dom, &o).is_ok(),
+                        "{}: pin({loc}≔{v}) oracle refutes a holding case",
+                        case.name
+                    );
+                }
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked >= 50, "cross-validated {checked} configurations");
+}
+
+#[test]
+fn unsound_cases_are_refuted_by_some_concrete_oracle() {
+    let cfg = RefineConfig {
+        max_steps: 64,
+        ..RefineConfig::default()
+    };
+    let mut refuted_cases = 0;
+    let mut total = 0;
+    for case in transform_corpus() {
+        if case.expectation != Expectation::Unsound {
+            continue;
+        }
+        let src = case.src_program();
+        let tgt = case.tgt_program();
+        if src.body.has_loop() || tgt.body.has_loop() {
+            continue;
+        }
+        total += 1;
+        let dom = domain_for(&src, &tgt, &cfg).expect("checkable");
+        let mut refuted = false;
+        'configs: for (perm, mem) in initial_configs(&dom) {
+            let s = SeqState::new(&src, perm.clone(), LocSet::new(), mem.clone());
+            let t = SeqState::new(&tgt, perm, LocSet::new(), mem);
+            if check_under_oracle(&s, &t, &dom, &FreeOracle).is_err() {
+                refuted = true;
+                break 'configs;
+            }
+            for loc in src.atomic_locs().union(&tgt.atomic_locs()) {
+                for v in [Value::Int(0), Value::Int(1)] {
+                    let o = PinReadsOracle {
+                        loc: *loc,
+                        value: v,
+                        pin_choose: true,
+                    };
+                    if check_under_oracle(&s, &t, &dom, &o).is_err() {
+                        refuted = true;
+                        break 'configs;
+                    }
+                }
+            }
+        }
+        assert!(
+            refuted,
+            "{}: no concrete oracle refuted an unsound case (checker families disagree)",
+            case.name
+        );
+        refuted_cases += 1;
+    }
+    assert_eq!(refuted_cases, total);
+    assert!(total >= 8);
+}

@@ -1,0 +1,120 @@
+//! Structural invariants of the PS^na machine, checked along real
+//! exploration frontiers:
+//!
+//! * per-location message intervals are disjoint and sorted;
+//! * every thread's promise keys point at existing messages;
+//! * thread views never point past the newest message of a location;
+//! * `cur ⊑ acq` for every thread view;
+//! * non-atomic and `NAMsg` messages always carry the bottom view.
+
+use seqwm_lang::parser::parse_program;
+use seqwm_lang::Program;
+use seqwm_promising::machine::MachineState;
+use seqwm_promising::thread::{thread_steps, PsConfig};
+
+fn check_invariants(st: &MachineState, what: &str) {
+    // Memory: disjoint sorted intervals; na/NAMsg have ⊥ views.
+    for loc in st.mem.locs().collect::<Vec<_>>() {
+        let msgs = st.mem.messages(loc);
+        for w in msgs.windows(2) {
+            assert!(
+                w[0].to <= w[1].from,
+                "{what}: overlapping/misordered messages at {loc}: {} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        for m in msgs {
+            if m.is_na_marker() {
+                assert!(m.view.is_bottom(), "{what}: NAMsg with non-⊥ view: {m}");
+            }
+        }
+    }
+    for (tid, t) in st.threads.iter().enumerate() {
+        // Promises point at existing messages.
+        for key in t.promises.iter() {
+            assert!(
+                st.mem.find(key).is_some(),
+                "{what}: thread {tid} promise {key:?} not in memory"
+            );
+        }
+        // Views are bounded by the newest message and internally ordered.
+        assert!(
+            t.view.cur.leq(&t.view.acq),
+            "{what}: thread {tid} violates cur ⊑ acq"
+        );
+        for loc in st.mem.locs().collect::<Vec<_>>() {
+            let latest = st.mem.latest(loc).to;
+            assert!(
+                t.view.ts(loc) <= latest,
+                "{what}: thread {tid} view of {loc} past the newest message"
+            );
+        }
+    }
+}
+
+fn explore_with_invariants(progs: &[Program], cfg: &PsConfig, what: &str) {
+    use std::collections::HashSet;
+    let init = MachineState::new(progs);
+    let mut visited: HashSet<MachineState> = HashSet::new();
+    let mut stack = vec![(init, 0usize)];
+    let mut checked = 0usize;
+    while let Some((st, depth)) = stack.pop() {
+        if depth > 24 || !visited.insert(st.clone()) || visited.len() > 20_000 {
+            continue;
+        }
+        check_invariants(&st, what);
+        checked += 1;
+        for (tid, t) in st.threads.iter().enumerate() {
+            for step in thread_steps(t, &st.mem, &st.sc_view, cfg) {
+                if matches!(
+                    step.kind,
+                    seqwm_promising::thread::StepKind::Failure
+                        | seqwm_promising::thread::StepKind::RacyWrite(_)
+                ) {
+                    continue;
+                }
+                let mut next = st.clone();
+                next.threads[tid] = step.thread;
+                next.mem = step.memory;
+                next.sc_view = step.sc_view;
+                stack.push((next, depth + 1));
+            }
+        }
+    }
+    assert!(checked > 50, "{what}: explored only {checked} states");
+}
+
+#[test]
+fn invariants_on_mp() {
+    let progs = vec![
+        parse_program("store[na](piv_d, 1); store[rel](piv_f, 1); return 0;").unwrap(),
+        parse_program(
+            "a := load[acq](piv_f); if (a == 1) { b := load[na](piv_d); } return a;",
+        )
+        .unwrap(),
+    ];
+    explore_with_invariants(&progs, &PsConfig::default(), "MP");
+}
+
+#[test]
+fn invariants_with_promises_and_rmws() {
+    let progs = vec![
+        parse_program("a := load[rlx](piw_x); store[rlx](piw_y, 1); return a;").unwrap(),
+        parse_program("b := fadd[acqrel](piw_x, 1); store[rel](piw_y, 2); return b;").unwrap(),
+    ];
+    let refs: Vec<&Program> = progs.iter().collect();
+    let cfg = PsConfig::with_promises(&refs);
+    explore_with_invariants(&progs, &cfg, "promises+RMW");
+}
+
+#[test]
+fn invariants_with_fences_and_na_writes() {
+    let progs = vec![
+        parse_program("store[na](pif_d, 1); fence[rel]; store[rlx](pif_f, 1); return 0;")
+            .unwrap(),
+        parse_program("a := load[rlx](pif_f); fence[acq]; fence[sc]; b := load[na](pif_d); return a;")
+            .unwrap(),
+    ];
+    explore_with_invariants(&progs, &PsConfig::default(), "fences");
+}

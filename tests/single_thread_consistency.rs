@@ -1,0 +1,85 @@
+//! Single-thread model consistency: on a single thread there is no
+//! environment, so SC, the promise-free fragment, and full PS^na (with
+//! promises and certification) must produce identical behavior sets.
+//!
+//! This is a strong internal-consistency check of the PS^na machinery:
+//! coherence makes a lone thread read only its latest write, promises are
+//! forced to be fulfilled by certification, racy branches never fire, and
+//! multi-message non-atomic writes are unobservable.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use seqwm_lang::parser::parse_program;
+use seqwm_lang::Program;
+use seqwm_litmus::gen::{random_program, GenConfig};
+use seqwm_promising::machine::explore;
+use seqwm_promising::sc::{explore_sc, ScConfig};
+use seqwm_promising::thread::PsConfig;
+
+fn check_consistent(p: &Program, what: &str) {
+    let sc = explore_sc(std::slice::from_ref(p), &ScConfig::default());
+    let ra = explore(std::slice::from_ref(p), &PsConfig::default());
+    assert!(!sc.truncated && !ra.truncated, "{what}: truncated");
+    assert_eq!(
+        sc.behaviors, ra.behaviors,
+        "{what}: promise-free PS^na diverges from SC on a single thread:\n{p}"
+    );
+    assert!(!ra.racy, "{what}: a lone thread can never race:\n{p}");
+    let refs = [p];
+    let mut cfg = PsConfig::with_promises(&refs);
+    cfg.max_states = 100_000;
+    let ps = explore(std::slice::from_ref(p), &cfg);
+    if !ps.truncated {
+        assert_eq!(
+            sc.behaviors, ps.behaviors,
+            "{what}: promises changed single-thread behaviors:\n{p}"
+        );
+    }
+}
+
+#[test]
+fn random_single_threaded_programs() {
+    let mut rng = StdRng::seed_from_u64(0x517);
+    let cfg = GenConfig {
+        max_stmts: 5,
+        ..GenConfig::default()
+    };
+    for i in 0..40 {
+        let p = random_program(&mut rng, &cfg);
+        check_consistent(&p, &format!("random #{i}"));
+    }
+}
+
+#[test]
+fn hand_written_single_threaded_programs() {
+    let cases = [
+        "store[na](stc_x, 1); a := load[na](stc_x); store[na](stc_x, 2); b := load[na](stc_x); return a * 10 + b;",
+        "a := fadd[acqrel](stc_c, 1); b := fadd[rlx](stc_c, 1); return a * 10 + b;",
+        "store[rel](stc_f, 1); a := load[acq](stc_f); return a;",
+        "c := choose(1, 2); store[na](stc_x, c); d := load[na](stc_x); return d;",
+        "fence[sc]; store[rlx](stc_y, 3); fence[acqrel]; a := load[rlx](stc_y); return a;",
+        "a := cas[acq](stc_l, 0, 1); b := cas[acq](stc_l, 0, 1); return a * 10 + b;",
+        "u := undef; f := freeze(u); if (f == 1) { return 1; } return 0;",
+    ];
+    for (i, src) in cases.iter().enumerate() {
+        let p = parse_program(src).unwrap();
+        check_consistent(&p, &format!("hand-written #{i}"));
+    }
+}
+
+#[test]
+fn coherence_forces_latest_own_write() {
+    // A lone thread must read its own latest write — never a stale one.
+    let p = parse_program(
+        "store[rlx](stc_z, 1); store[rlx](stc_z, 2); a := load[rlx](stc_z); return a;",
+    )
+    .unwrap();
+    let ra = explore(std::slice::from_ref(&p), &PsConfig::default());
+    let returns: Vec<_> = ra
+        .behaviors
+        .iter()
+        .map(|b| b.to_string())
+        .collect();
+    assert_eq!(returns, vec!["(2)"], "stale self-read observed: {returns:?}");
+}
