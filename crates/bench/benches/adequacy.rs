@@ -2,8 +2,7 @@
 //! (generate → optimize → SEQ-check → PS^na contextual differential).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use seqwm_explore::SplitMix64;
 use seqwm_litmus::gen::{random_context, random_program, GenConfig};
 use seqwm_opt::pipeline::Pipeline;
 use seqwm_promising::machine::{explore, ps_behaviors_refine};
@@ -24,7 +23,7 @@ fn bench_one_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("E8/adequacy-round");
     group.sample_size(10);
     group.bench_function("generate+optimize+seq+psna", |b| {
-        let mut rng = StdRng::seed_from_u64(0xE8);
+        let mut rng = SplitMix64::new(0xE8);
         b.iter(|| {
             let src = random_program(&mut rng, &gen_cfg);
             let out = pipeline.optimize(&src);

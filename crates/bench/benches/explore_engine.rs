@@ -1,0 +1,79 @@
+//! E11 — the `seqwm-explore` engine: cost of exploring representative
+//! litmus state spaces across engine configurations (reduction on/off,
+//! worker counts, visited-set modes).
+//!
+//! Expected shape: the interleaving reduction shrinks the raw state
+//! count super-linearly in the number of independent threads
+//! (`mp-chain-4` collapses ~18×); fingerprint dedup beats the exact
+//! visited set on memory without changing behavior sets; workers help
+//! once per-state work dominates queue contention.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqwm_explore::{ExploreConfig, VisitedMode};
+use seqwm_litmus::concurrent::find_concurrent;
+use seqwm_promising::search::{engine_config, explore_engine};
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11/reduction");
+    group.sample_size(10);
+    for name in ["sb-rlx", "2+2w-rlx", "mp-chain-4"] {
+        let case = find_concurrent(name).expect("corpus case");
+        let progs = case.programs();
+        let cfg = case.config();
+        for reduction in [false, true] {
+            let ecfg = ExploreConfig {
+                reduction,
+                ..engine_config(&cfg)
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, if reduction { "reduced" } else { "full" }),
+                &ecfg,
+                |b, ecfg| b.iter(|| explore_engine(&progs, &cfg, ecfg).stats.states),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11/workers");
+    group.sample_size(10);
+    let case = find_concurrent("mp-chain-4").expect("corpus case");
+    let progs = case.programs();
+    let cfg = case.config();
+    for workers in [1usize, 2, 4] {
+        let ecfg = ExploreConfig {
+            workers,
+            ..engine_config(&cfg)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &ecfg, |b, ecfg| {
+            b.iter(|| explore_engine(&progs, &cfg, ecfg).stats.states)
+        });
+    }
+    group.finish();
+}
+
+fn bench_visited_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11/visited");
+    group.sample_size(10);
+    let case = find_concurrent("2+2w-rlx").expect("corpus case");
+    let progs = case.programs();
+    let cfg = case.config();
+    for (label, mode) in [
+        ("fp64", VisitedMode::Fp64),
+        ("fp128", VisitedMode::Fp128),
+        ("exact", VisitedMode::Exact),
+    ] {
+        let ecfg = ExploreConfig {
+            visited: mode,
+            ..engine_config(&cfg)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &ecfg, |b, ecfg| {
+            b.iter(|| explore_engine(&progs, &cfg, ecfg).stats.states)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction, bench_workers, bench_visited_modes);
+criterion_main!(benches);

@@ -423,11 +423,7 @@ pub fn refines_advanced(
                 if !checker.simulate(&src_state, &tgt_state) {
                     return Ok(AdvancedOutcome {
                         holds: false,
-                        failed_config: Some(FailedConfig {
-                            perm,
-                            written,
-                            mem,
-                        }),
+                        failed_config: Some(FailedConfig { perm, written, mem }),
                         configs,
                     });
                 }
@@ -520,10 +516,7 @@ mod tests {
         // a := x_rlx ; if a = 1 then abort  {̸_w  abort ; a := x_rlx
         // (the §3 "second reason" example: the source must not assume the
         // environment lets it read 1).
-        assert_not_adv(
-            "a := load[rlx](urx); if (a == 1) { abort; }",
-            "abort;",
-        );
+        assert_not_adv("a := load[rlx](urx); if (a == 1) { abort; }", "abort;");
     }
 
     #[test]

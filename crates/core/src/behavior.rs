@@ -21,7 +21,10 @@ use crate::label::{trace_refines, LocSet, SeqLabel, Valuation};
 use crate::machine::{EnumDomain, SeqState};
 
 /// The terminal component `r` of a behavior.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// `Ord` is derived (structurally) so behavior ends can live in ordered
+/// sets — in particular the `seqwm-explore` engine's behavior sets.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum BehaviorEnd {
     /// `trm(v, F, M)`: normal termination.
     Term {
@@ -199,10 +202,7 @@ fn go(
 /// Checks behavior-set inclusion up to `⊑`: every target behavior must be
 /// matched by some source behavior. Returns the first unmatched target
 /// behavior as a counterexample.
-pub fn behaviors_refine(
-    tgt: &HashSet<Behavior>,
-    src: &HashSet<Behavior>,
-) -> Result<(), Behavior> {
+pub fn behaviors_refine(tgt: &HashSet<Behavior>, src: &HashSet<Behavior>) -> Result<(), Behavior> {
     for tb in tgt {
         if !src.iter().any(|sb| tb.refines(sb)) {
             return Err(tb.clone());
@@ -286,9 +286,7 @@ mod tests {
             trace: vec![wrlx],
             end: BehaviorEnd::Bottom
         }));
-        assert!(!bs
-            .iter()
-            .any(|b| matches!(b.end, BehaviorEnd::Term { .. })));
+        assert!(!bs.iter().any(|b| matches!(b.end, BehaviorEnd::Term { .. })));
     }
 
     #[test]
@@ -317,7 +315,10 @@ mod tests {
             end: BehaviorEnd::Bottom,
         };
         let tgt_match = Behavior {
-            trace: vec![SeqLabel::ReadRlx(x, Value::Int(1)), SeqLabel::Choose(Value::Int(0))],
+            trace: vec![
+                SeqLabel::ReadRlx(x, Value::Int(1)),
+                SeqLabel::Choose(Value::Int(0)),
+            ],
             end: BehaviorEnd::Bottom,
         };
         let tgt_mismatch = Behavior {
@@ -345,20 +346,38 @@ mod tests {
             },
         };
         // v_tgt ⊑ v_src.
-        assert!(mk(Value::Int(1), &[], Value::Int(0))
-            .refines(&mk(Value::Undef, &[], Value::Int(0))));
-        assert!(!mk(Value::Undef, &[], Value::Int(0))
-            .refines(&mk(Value::Int(1), &[], Value::Int(0))));
+        assert!(mk(Value::Int(1), &[], Value::Int(0)).refines(&mk(
+            Value::Undef,
+            &[],
+            Value::Int(0)
+        )));
+        assert!(!mk(Value::Undef, &[], Value::Int(0)).refines(&mk(
+            Value::Int(1),
+            &[],
+            Value::Int(0)
+        )));
         // F_tgt ⊆ F_src.
-        assert!(mk(Value::Int(0), &[], Value::Int(0))
-            .refines(&mk(Value::Int(0), &[x], Value::Int(0))));
-        assert!(!mk(Value::Int(0), &[x], Value::Int(0))
-            .refines(&mk(Value::Int(0), &[], Value::Int(0))));
+        assert!(mk(Value::Int(0), &[], Value::Int(0)).refines(&mk(
+            Value::Int(0),
+            &[x],
+            Value::Int(0)
+        )));
+        assert!(!mk(Value::Int(0), &[x], Value::Int(0)).refines(&mk(
+            Value::Int(0),
+            &[],
+            Value::Int(0)
+        )));
         // M_tgt ⊑ M_src.
-        assert!(mk(Value::Int(0), &[], Value::Int(2))
-            .refines(&mk(Value::Int(0), &[], Value::Undef)));
-        assert!(!mk(Value::Int(0), &[], Value::Undef)
-            .refines(&mk(Value::Int(0), &[], Value::Int(2))));
+        assert!(mk(Value::Int(0), &[], Value::Int(2)).refines(&mk(
+            Value::Int(0),
+            &[],
+            Value::Undef
+        )));
+        assert!(!mk(Value::Int(0), &[], Value::Undef).refines(&mk(
+            Value::Int(0),
+            &[],
+            Value::Int(2)
+        )));
     }
 
     #[test]

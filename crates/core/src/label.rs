@@ -143,7 +143,9 @@ impl SeqLabel {
     pub fn release_written(&self) -> Option<&LocSet> {
         match self {
             SeqLabel::RelWrite { info, .. } | SeqLabel::RelFence { info } => Some(&info.written),
-            SeqLabel::Rmw { rel: Some(info), .. } => Some(&info.written),
+            SeqLabel::Rmw {
+                rel: Some(info), ..
+            } => Some(&info.written),
             _ => None,
         }
     }
@@ -229,7 +231,11 @@ impl SeqLabel {
 impl fmt::Display for SeqLabel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn set(s: &LocSet) -> String {
-            let inner = s.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(",");
+            let inner = s
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
             format!("{{{inner}}}")
         }
         fn val(v: &Valuation) -> String {

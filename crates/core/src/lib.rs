@@ -46,6 +46,7 @@ pub mod label;
 pub mod machine;
 pub mod oracle;
 pub mod refine;
+pub mod search;
 
 pub use advanced::{check_advanced, refines_advanced, AdvancedChecker, AdvancedOutcome};
 pub use behavior::{enumerate_behaviors, Behavior, BehaviorEnd};
@@ -53,3 +54,4 @@ pub use label::{LocSet, SeqLabel, SyncInfo, Valuation};
 pub use machine::{EnumDomain, Memory, SeqState};
 pub use oracle::{check_under_oracle, FreeOracle, NoGainOracle, Oracle, PinReadsOracle};
 pub use refine::{check_simple, refines_simple, RefineConfig, RefineError, RefineOutcome};
+pub use search::{explore_seq, seq_engine_config, SeqExploration, SeqSystem};

@@ -275,11 +275,9 @@ impl SeqState {
             Step::Choose(cs) => {
                 let choices = match &cs {
                     ChoiceSet::Explicit(vs) => vs.clone(),
-                    ChoiceSet::AnyDefined => dom
-                        .choose_values
-                        .iter()
-                        .map(|&n| Value::Int(n))
-                        .collect(),
+                    ChoiceSet::AnyDefined => {
+                        dom.choose_values.iter().map(|&n| Value::Int(n)).collect()
+                    }
                 };
                 for v in choices {
                     out.push((
@@ -645,7 +643,9 @@ mod tests {
                 && s.mem.get(may) == Value::Int(1)
         }));
         // No branch ever gains permission on the *atomic* location.
-        assert!(trans.iter().all(|(_, s)| !s.perm.contains(&Loc::new("aax"))));
+        assert!(trans
+            .iter()
+            .all(|(_, s)| !s.perm.contains(&Loc::new("aax"))));
     }
 
     #[test]

@@ -526,11 +526,7 @@ mod tests {
     use seqwm_lang::parser::parse_program;
     use seqwm_lang::Program;
 
-    fn states(
-        src: &str,
-        tgt: &str,
-        perm: &[&str],
-    ) -> (SeqState, SeqState, EnumDomain) {
+    fn states(src: &str, tgt: &str, perm: &[&str]) -> (SeqState, SeqState, EnumDomain) {
         let s: Program = parse_program(src).unwrap();
         let t: Program = parse_program(tgt).unwrap();
         let dom = EnumDomain::for_pair(&s, &t);

@@ -65,7 +65,10 @@ impl fmt::Display for RefineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RefineError::MixedAtomicity(x) => {
-                write!(f, "location {x} is accessed both atomically and non-atomically")
+                write!(
+                    f,
+                    "location {x} is accessed both atomically and non-atomically"
+                )
             }
         }
     }

@@ -1,0 +1,172 @@
+//! SEQ adapter for the `seqwm-explore` engine.
+//!
+//! [`SeqSystem`] presents the sequential permission machine as a
+//! [`TransitionSystem`] with a single agent, so the engine's dedup,
+//! budgets and statistics apply to SEQ state spaces too (its
+//! interleaving reduction is vacuous here — there is nothing to
+//! interleave). The explored behavior set is the set of *terminal*
+//! behavior ends (`trm`/`⊥`) reachable within the depth budget; the
+//! traces and partial behaviors of [`enumerate_behaviors`] are a
+//! refinement-checking concern and are not reconstructed.
+//!
+//! [`enumerate_behaviors`]: crate::behavior::enumerate_behaviors
+
+use std::collections::BTreeSet;
+
+use seqwm_explore::{
+    AgentGroup, ExploreConfig, ExploreStats, Target, Transition, TransitionSystem,
+};
+
+use crate::behavior::BehaviorEnd;
+use crate::machine::{EnumDomain, SeqState};
+
+/// A SEQ state space (initial state + enumeration domain) as an
+/// engine-explorable transition system.
+pub struct SeqSystem<'a> {
+    init: &'a SeqState,
+    dom: &'a EnumDomain,
+}
+
+impl<'a> SeqSystem<'a> {
+    /// Wraps a SEQ initial state under an enumeration domain.
+    pub fn new(init: &'a SeqState, dom: &'a EnumDomain) -> Self {
+        SeqSystem { init, dom }
+    }
+}
+
+impl TransitionSystem for SeqSystem<'_> {
+    type State = SeqState;
+    type Behavior = BehaviorEnd;
+
+    fn initial_state(&self) -> SeqState {
+        self.init.clone()
+    }
+
+    fn agent_groups(&self, st: &SeqState) -> Vec<AgentGroup<SeqState, BehaviorEnd>> {
+        let succs = st.transitions(self.dom);
+        if succs.is_empty() {
+            return Vec::new();
+        }
+        let transitions = succs
+            .into_iter()
+            .map(|(_label, next)| Transition {
+                target: Target::State(next),
+                tags: Default::default(),
+            })
+            .collect();
+        // A single sequential agent: the reduction flags are irrelevant
+        // (sleep/ample sets only matter with ≥ 2 agents), so claim nothing.
+        vec![AgentGroup {
+            agent: 0,
+            transitions,
+            shared_pure: false,
+            local: false,
+        }]
+    }
+
+    fn terminal_behavior(&self, st: &SeqState) -> Option<BehaviorEnd> {
+        if st.is_bottom() {
+            return Some(BehaviorEnd::Bottom);
+        }
+        st.returned().map(|val| BehaviorEnd::Term {
+            val,
+            written: st.written.clone(),
+            mem: st.mem.restrict(&self.dom.na_locs.iter().copied().collect()),
+        })
+    }
+}
+
+/// An engine exploration of a SEQ state space: terminal behavior ends +
+/// engine statistics.
+#[derive(Clone, Debug)]
+pub struct SeqExploration {
+    /// Terminal behavior ends (`trm`/`⊥`) found within the budget.
+    pub ends: BTreeSet<BehaviorEnd>,
+    /// Engine statistics (states, dedup, workers, time).
+    pub stats: ExploreStats,
+}
+
+/// Explores the SEQ state space of `init` under `dom` with the engine.
+///
+/// The engine depth budget defaults to `dom.max_steps` (overridable via
+/// `ecfg`); hitting it sets `stats.truncated`, making the result an
+/// under-approximation exactly like [`enumerate_behaviors`].
+///
+/// [`enumerate_behaviors`]: crate::behavior::enumerate_behaviors
+pub fn explore_seq(init: &SeqState, dom: &EnumDomain, ecfg: &ExploreConfig) -> SeqExploration {
+    let sys = SeqSystem::new(init, dom);
+    let r = seqwm_explore::explore(&sys, ecfg);
+    SeqExploration {
+        ends: r.behaviors,
+        stats: r.stats,
+    }
+}
+
+/// The engine configuration matching an [`EnumDomain`]'s step budget.
+pub fn seq_engine_config(dom: &EnumDomain) -> ExploreConfig {
+    ExploreConfig {
+        max_depth: dom.max_steps,
+        ..ExploreConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::enumerate_behaviors;
+    use crate::machine::Memory;
+    use seqwm_lang::parser::parse_program;
+    use seqwm_lang::Loc;
+
+    fn state(src: &str, perm: &[&str]) -> (SeqState, EnumDomain) {
+        let p = parse_program(src).unwrap();
+        let st = SeqState::new(
+            &p,
+            perm.iter().map(|l| Loc::new(l)).collect(),
+            Default::default(),
+            Memory::new(),
+        );
+        let mut dom = EnumDomain::for_program(&p);
+        dom.max_steps = 32;
+        (st, dom)
+    }
+
+    fn legacy_ends(init: &SeqState, dom: &EnumDomain) -> BTreeSet<BehaviorEnd> {
+        enumerate_behaviors(init, dom)
+            .into_iter()
+            .filter(|b| !matches!(b.end, BehaviorEnd::Partial { .. }))
+            .map(|b| b.end)
+            .collect()
+    }
+
+    #[test]
+    fn seq_engine_matches_enumeration_terminals() {
+        let (init, dom) = state(
+            "store[na](sq_x, 1); a := load[na](sq_x); return a;",
+            &["sq_x"],
+        );
+        let e = explore_seq(&init, &dom, &seq_engine_config(&dom));
+        assert!(!e.stats.truncated);
+        assert_eq!(e.ends, legacy_ends(&init, &dom));
+        assert!(e.ends.iter().any(|b| matches!(b, BehaviorEnd::Term { .. })));
+    }
+
+    #[test]
+    fn seq_engine_sees_bottom_on_unpermitted_access() {
+        // Accessing a non-atomic location without permission is ⊥.
+        let (init, dom) = state("store[na](sq_y, 1); return 0;", &[]);
+        let e = explore_seq(&init, &dom, &seq_engine_config(&dom));
+        assert_eq!(e.ends, legacy_ends(&init, &dom));
+        assert!(e.ends.contains(&BehaviorEnd::Bottom));
+    }
+
+    #[test]
+    fn seq_engine_acquire_nondeterminism_dedups() {
+        // An acquire fence gains arbitrary permissions/values from the
+        // domain: many branches, shared suffixes — dedup must bite.
+        let (init, dom) = state("fence[acq]; a := load[na](sq_z); return a;", &[]);
+        let e = explore_seq(&init, &dom, &seq_engine_config(&dom));
+        assert_eq!(e.ends, legacy_ends(&init, &dom));
+        assert!(e.stats.dedup_hits > 0 || e.stats.states > 0);
+    }
+}

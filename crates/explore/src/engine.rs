@@ -1,0 +1,953 @@
+//! The exploration engine: a parallel, deduplicated, reduction-aware
+//! frontier search over any [`TransitionSystem`].
+//!
+//! # Architecture
+//!
+//! Workers (plain `std::thread`s) each own a private frontier deque and
+//! share a global overflow queue guarded by a `Mutex` + `Condvar`;
+//! after expanding a state a worker offloads half its private frontier
+//! whenever the global queue runs low, which gives work-stealing
+//! behavior without any external dependency. The visited set is
+//! sharded by fingerprint (64- or 128-bit, or exact full states) so
+//! workers rarely contend on the same shard.
+//!
+//! # Interleaving reduction
+//!
+//! Each visited entry stores the minimal *sleep set* (a bitmask of
+//! agents whose groups may be skipped) the state was explored with.
+//! After expanding agent `i`, agents explored earlier at the same
+//! state go to sleep in `i`'s subtree iff both groups are
+//! [`shared_pure`](crate::AgentGroup::shared_pure) — two pure groups
+//! commute, and a pure step leaves every other agent's group
+//! literally unchanged, so the skipped interleaving is covered by the
+//! sibling subtree. A state re-reached with a sleep set not covered by
+//! the stored one is re-explored with the intersection. Additionally,
+//! a [`local`](crate::AgentGroup::local) group (no shared reads *or*
+//! writes) whose successors are all unvisited may be selected as a
+//! singleton *ample set*: only that agent is expanded at the state.
+//! The unvisited-successor proviso prevents the classic "ignoring"
+//! cycle: on any cycle in the reduced graph some state sees an
+//! already-visited successor (states are marked visited before their
+//! children are generated) and falls back to full expansion. Behavior
+//! emissions and statistics tags of non-expanded awake groups are
+//! still recorded at the state itself, so reduction can only skip
+//! *states*, never observations.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::fingerprint::{fp128, fp64};
+use crate::rng::{mix64, SplitMix64};
+use crate::stats::ExploreStats;
+use crate::system::{AgentGroup, Target, TransitionSystem};
+
+/// Search strategy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Exhaustive depth-first search (the default; lowest memory).
+    Dfs,
+    /// Exhaustive breadth-first search (finds shallow behaviors first).
+    Bfs,
+    /// Restarting DFS with growing depth bounds: `initial`, then
+    /// `initial + step`, … up to the configured `max_depth`. Stops
+    /// early once a round completes without hitting its depth bound.
+    IterativeDeepening {
+        /// First depth bound.
+        initial: usize,
+        /// Bound increment between rounds.
+        step: usize,
+    },
+    /// `walks` seeded uniformly-random maximal paths (no dedup, no
+    /// reduction): a cheap smoke-test strategy for huge spaces. The
+    /// result is always marked truncated.
+    RandomWalk {
+        /// Number of walks.
+        walks: usize,
+        /// PRNG seed; equal seeds give equal walk sets.
+        seed: u64,
+    },
+}
+
+/// How visited states are remembered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VisitedMode {
+    /// 64-bit fingerprints (default; ~10⁻⁹ collision odds at 2·10⁵
+    /// states).
+    Fp64,
+    /// 128-bit fingerprints (two independent passes).
+    Fp128,
+    /// Full state clones — no collisions, seed-explorer equivalent.
+    Exact,
+}
+
+/// Engine configuration: strategy, budgets, parallelism.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Worker threads (1 = deterministic sequential search).
+    pub workers: usize,
+    /// Search strategy.
+    pub strategy: Strategy,
+    /// Visited-set representation.
+    pub visited: VisitedMode,
+    /// Enable sleep-set / ample-set interleaving reduction.
+    pub reduction: bool,
+    /// Bound on distinct states expanded (approximate under
+    /// parallelism: each worker may overshoot by a few states).
+    pub max_states: usize,
+    /// Bound on path depth.
+    pub max_depth: usize,
+    /// Wall-clock deadline; on expiry the search stops where it is.
+    pub deadline: Option<Duration>,
+    /// Visited-set shard count (power of two recommended).
+    pub shards: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            workers: 1,
+            strategy: Strategy::Dfs,
+            visited: VisitedMode::Fp64,
+            reduction: true,
+            max_states: 1_000_000,
+            max_depth: 1 << 16,
+            deadline: None,
+            shards: 64,
+        }
+    }
+}
+
+/// An exploration outcome: the behavior set plus structured stats.
+#[derive(Clone, Debug)]
+pub struct ExploreResult<B: Ord> {
+    /// All behaviors observed.
+    pub behaviors: BTreeSet<B>,
+    /// What the engine did and why it stopped.
+    pub stats: ExploreStats,
+}
+
+// ---------------------------------------------------------------------------
+// Visited set
+// ---------------------------------------------------------------------------
+
+enum VisitedImpl<St> {
+    Fp64(Vec<Mutex<HashMap<u64, u64>>>),
+    Fp128(Vec<Mutex<HashMap<u128, u64>>>),
+    Exact(Vec<Mutex<HashMap<St, u64>>>),
+}
+
+struct Visited<St> {
+    imp: VisitedImpl<St>,
+    shards: usize,
+}
+
+impl<St: Clone + Eq + std::hash::Hash> Visited<St> {
+    fn new(mode: VisitedMode, shards: usize) -> Self {
+        let shards = shards.max(1);
+        Visited {
+            imp: match mode {
+                VisitedMode::Fp64 => {
+                    VisitedImpl::Fp64((0..shards).map(|_| Mutex::new(HashMap::new())).collect())
+                }
+                VisitedMode::Fp128 => {
+                    VisitedImpl::Fp128((0..shards).map(|_| Mutex::new(HashMap::new())).collect())
+                }
+                VisitedMode::Exact => {
+                    VisitedImpl::Exact((0..shards).map(|_| Mutex::new(HashMap::new())).collect())
+                }
+            },
+            shards,
+        }
+    }
+
+    fn shard_of(&self, fp: u64) -> usize {
+        (fp % self.shards as u64) as usize
+    }
+
+    /// Records a visit of `st` with sleep mask `mask`. Returns the
+    /// mask to explore with, or `None` if a previous visit covers it.
+    fn check_insert(&self, st: &St, mask: u64) -> Option<u64> {
+        fn upd<K: Eq + std::hash::Hash>(map: &mut HashMap<K, u64>, k: K, mask: u64) -> Option<u64> {
+            match map.entry(k) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(mask);
+                    Some(mask)
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    let old = *o.get();
+                    if old & !mask == 0 {
+                        None
+                    } else {
+                        let m = old & mask;
+                        o.insert(m);
+                        Some(m)
+                    }
+                }
+            }
+        }
+        let f = fp64(st);
+        let shard = self.shard_of(f);
+        match &self.imp {
+            VisitedImpl::Fp64(s) => upd(&mut s[shard].lock().expect("visited shard"), f, mask),
+            VisitedImpl::Fp128(s) => upd(
+                &mut s[shard].lock().expect("visited shard"),
+                fp128(st),
+                mask,
+            ),
+            VisitedImpl::Exact(s) => upd(
+                &mut s[shard].lock().expect("visited shard"),
+                st.clone(),
+                mask,
+            ),
+        }
+    }
+
+    /// Has `st` been visited (with any sleep mask)? Used by the ample
+    /// proviso; a false negative only costs reduction, a false
+    /// positive only costs exploration work.
+    fn contains(&self, st: &St) -> bool {
+        let f = fp64(st);
+        let shard = self.shard_of(f);
+        match &self.imp {
+            VisitedImpl::Fp64(s) => s[shard].lock().expect("visited shard").contains_key(&f),
+            VisitedImpl::Fp128(s) => s[shard]
+                .lock()
+                .expect("visited shard")
+                .contains_key(&fp128(st)),
+            VisitedImpl::Exact(s) => s[shard].lock().expect("visited shard").contains_key(st),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared engine state
+// ---------------------------------------------------------------------------
+
+type Job<St> = (St, usize, u64);
+
+struct Shared<'a, S: TransitionSystem> {
+    sys: &'a S,
+    cfg: &'a ExploreConfig,
+    visited: Visited<S::State>,
+    queue: Mutex<VecDeque<Job<S::State>>>,
+    cv: Condvar,
+    /// Jobs created but not yet fully processed.
+    pending: AtomicUsize,
+    /// Hard stop (deadline): abandon the frontier.
+    stop: AtomicBool,
+    /// Soft stop (state budget): drain the frontier for terminal
+    /// behaviors without expanding further — the seed explorer's
+    /// off-by-one dropped these.
+    drain: AtomicBool,
+    /// The depth bound hit at least once (drives iterative deepening).
+    depth_truncated: AtomicBool,
+    states_total: AtomicUsize,
+    behaviors: Mutex<BTreeSet<S::Behavior>>,
+    depth_limit: usize,
+    start: Instant,
+}
+
+impl<'a, S: TransitionSystem> Shared<'a, S> {
+    fn deadline_expired(&self) -> bool {
+        match self.cfg.deadline {
+            Some(d) => self.start.elapsed() >= d,
+            None => false,
+        }
+    }
+}
+
+fn pop_local<St>(local: &mut VecDeque<Job<St>>, strategy: &Strategy) -> Option<Job<St>> {
+    match strategy {
+        Strategy::Bfs => local.pop_front(),
+        _ => local.pop_back(),
+    }
+}
+
+fn next_job<S: TransitionSystem>(
+    sh: &Shared<S>,
+    local: &mut VecDeque<Job<S::State>>,
+) -> Option<Job<S::State>> {
+    if sh.stop.load(Ordering::SeqCst) {
+        return None;
+    }
+    if let Some(j) = pop_local(local, &sh.cfg.strategy) {
+        return Some(j);
+    }
+    let mut q = sh.queue.lock().expect("frontier queue");
+    loop {
+        if sh.stop.load(Ordering::SeqCst) {
+            return None;
+        }
+        if sh.deadline_expired() {
+            sh.stop.store(true, Ordering::SeqCst);
+            sh.cv.notify_all();
+            return None;
+        }
+        if let Some(j) = q.pop_front() {
+            return Some(j);
+        }
+        if sh.pending.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        // Timed wait so deadline expiry and missed notifications
+        // self-heal.
+        q = sh
+            .cv
+            .wait_timeout(q, Duration::from_millis(5))
+            .expect("frontier queue")
+            .0;
+    }
+}
+
+/// Expands one frontier entry.
+fn process<S: TransitionSystem>(
+    sh: &Shared<S>,
+    (st, depth, sleep): Job<S::State>,
+    local: &mut VecDeque<Job<S::State>>,
+    stats: &mut ExploreStats,
+) {
+    let sleep_in = if sh.cfg.reduction { sleep } else { 0 };
+    let sleep = match sh.visited.check_insert(&st, sleep_in) {
+        None => {
+            stats.dedup_hits += 1;
+            return;
+        }
+        Some(m) => m,
+    };
+    if sh.drain.load(Ordering::Relaxed) {
+        // State budget exhausted: collect terminals on the remaining
+        // frontier, expand nothing.
+        if let Some(b) = sh.sys.terminal_behavior(&st) {
+            sh.behaviors.lock().expect("behavior set").insert(b);
+        }
+        return;
+    }
+    stats.states += 1;
+    let n = sh.states_total.fetch_add(1, Ordering::Relaxed) + 1;
+    let capped = n >= sh.cfg.max_states;
+    if capped {
+        sh.drain.store(true, Ordering::Relaxed);
+        stats.truncated = true;
+    }
+    if let Some(b) = sh.sys.terminal_behavior(&st) {
+        sh.behaviors.lock().expect("behavior set").insert(b);
+        return;
+    }
+    if capped {
+        return;
+    }
+    if depth >= sh.depth_limit {
+        stats.truncated = true;
+        sh.depth_truncated.store(true, Ordering::Relaxed);
+        return;
+    }
+
+    let groups = sh.sys.agent_groups(&st);
+    let mut awake: Vec<&AgentGroup<S::State, S::Behavior>> = Vec::with_capacity(groups.len());
+    for g in &groups {
+        if sh.cfg.reduction && g.agent < 64 && sleep & (1 << g.agent) != 0 {
+            stats.sleep_skips += 1;
+        } else {
+            awake.push(g);
+        }
+    }
+
+    // Record emissions and statistics tags of every awake group — even
+    // ones the ample selection below will not expand.
+    let mut emitted: Vec<S::Behavior> = Vec::new();
+    for g in &awake {
+        for t in &g.transitions {
+            stats.transitions += 1;
+            if t.tags.racy {
+                stats.racy_steps += 1;
+            }
+            if t.tags.promise {
+                stats.promise_steps += 1;
+            }
+            match &t.target {
+                Target::Behavior(b) => emitted.push(b.clone()),
+                Target::Pruned => stats.pruned += 1,
+                Target::State(_) => {}
+            }
+        }
+    }
+    if !emitted.is_empty() {
+        sh.behaviors.lock().expect("behavior set").extend(emitted);
+    }
+
+    let mut to_push: Vec<Job<S::State>> = Vec::new();
+    let ample = if sh.cfg.reduction && awake.len() > 1 {
+        awake.iter().find(|g| {
+            g.local
+                && !g.transitions.is_empty()
+                && g.transitions.iter().all(|t| match &t.target {
+                    Target::State(s) => !sh.visited.contains(s),
+                    _ => false,
+                })
+        })
+    } else {
+        None
+    };
+    if let Some(g) = ample {
+        stats.ample_commits += 1;
+        for t in &g.transitions {
+            if let Target::State(s) = &t.target {
+                // A local step is pure, so the sleep set survives it.
+                to_push.push((s.clone(), depth + 1, sleep));
+            }
+        }
+    } else {
+        let mut earlier_pure: u64 = 0;
+        for g in &awake {
+            let child_sleep = if sh.cfg.reduction && g.shared_pure {
+                sleep | earlier_pure
+            } else {
+                0
+            };
+            for t in &g.transitions {
+                if let Target::State(s) = &t.target {
+                    to_push.push((s.clone(), depth + 1, child_sleep));
+                }
+            }
+            if g.shared_pure && g.agent < 64 {
+                earlier_pure |= 1 << g.agent;
+            }
+        }
+    }
+
+    if to_push.is_empty() {
+        return;
+    }
+    sh.pending.fetch_add(to_push.len(), Ordering::SeqCst);
+    local.extend(to_push);
+    // Offload half the private frontier whenever the shared queue runs
+    // low — cheap cooperative work-stealing.
+    if sh.cfg.workers > 1 && local.len() > 1 {
+        let mut q = sh.queue.lock().expect("frontier queue");
+        if q.len() < sh.cfg.workers * 2 {
+            let give = local.len() / 2;
+            for _ in 0..give {
+                if let Some(j) = local.pop_front() {
+                    q.push_back(j);
+                }
+            }
+            drop(q);
+            sh.cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop<S: TransitionSystem>(sh: &Shared<S>, stats: &mut ExploreStats) {
+    let mut local: VecDeque<Job<S::State>> = VecDeque::new();
+    while let Some(job) = next_job(sh, &mut local) {
+        process(sh, job, &mut local, stats);
+        if sh.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            sh.cv.notify_all();
+        }
+    }
+}
+
+/// One exhaustive round (DFS/BFS/one deepening step) at a fixed depth
+/// limit, accumulating into `behaviors` and `stats`.
+fn run_round<S: TransitionSystem>(
+    sys: &S,
+    cfg: &ExploreConfig,
+    depth_limit: usize,
+    start: Instant,
+    behaviors: BTreeSet<S::Behavior>,
+    stats: &mut ExploreStats,
+) -> (BTreeSet<S::Behavior>, bool) {
+    let sh = Shared {
+        sys,
+        cfg,
+        visited: Visited::new(cfg.visited, cfg.shards),
+        queue: Mutex::new(VecDeque::new()),
+        cv: Condvar::new(),
+        pending: AtomicUsize::new(1),
+        stop: AtomicBool::new(false),
+        drain: AtomicBool::new(false),
+        depth_truncated: AtomicBool::new(false),
+        states_total: AtomicUsize::new(0),
+        behaviors: Mutex::new(behaviors),
+        depth_limit,
+        start,
+    };
+    sh.queue
+        .lock()
+        .expect("frontier queue")
+        .push_back((sys.initial_state(), 0, 0));
+
+    let workers = cfg.workers.max(1);
+    let mut per_worker: Vec<ExploreStats> = (0..workers).map(|_| ExploreStats::default()).collect();
+    if workers == 1 {
+        worker_loop(&sh, &mut per_worker[0]);
+    } else {
+        std::thread::scope(|scope| {
+            for ws in per_worker.iter_mut() {
+                scope.spawn(|| worker_loop(&sh, ws));
+            }
+        });
+    }
+
+    for ws in &per_worker {
+        stats.merge(ws);
+        stats.worker_states.push(ws.states);
+    }
+    if sh.stop.load(Ordering::SeqCst) {
+        stats.truncated = true;
+        stats.deadline_hit = true;
+    }
+    let depth_hit = sh.depth_truncated.load(Ordering::SeqCst);
+    let behaviors = sh.behaviors.into_inner().expect("behavior set");
+    (behaviors, depth_hit)
+}
+
+fn run_random_walks<S: TransitionSystem>(
+    sys: &S,
+    cfg: &ExploreConfig,
+    walks: usize,
+    seed: u64,
+    start: Instant,
+) -> ExploreResult<S::Behavior> {
+    let mut behaviors: BTreeSet<S::Behavior> = BTreeSet::new();
+    let mut stats = ExploreStats {
+        workers: cfg.workers.max(1),
+        // Walks revisit states freely; exhaustiveness is not the goal.
+        truncated: true,
+        ..ExploreStats::default()
+    };
+    'walks: for w in 0..walks {
+        let mut rng = SplitMix64::new(seed ^ mix64(w as u64 + 1));
+        let mut st = sys.initial_state();
+        for _ in 0..cfg.max_depth {
+            if cfg.deadline.is_some_and(|d| start.elapsed() >= d) {
+                stats.deadline_hit = true;
+                break 'walks;
+            }
+            if let Some(b) = sys.terminal_behavior(&st) {
+                behaviors.insert(b);
+                break;
+            }
+            stats.states += 1;
+            let mut succs: Vec<S::State> = Vec::new();
+            let groups = sys.agent_groups(&st);
+            for g in &groups {
+                for t in &g.transitions {
+                    stats.transitions += 1;
+                    if t.tags.racy {
+                        stats.racy_steps += 1;
+                    }
+                    if t.tags.promise {
+                        stats.promise_steps += 1;
+                    }
+                    match &t.target {
+                        Target::Behavior(b) => {
+                            behaviors.insert(b.clone());
+                        }
+                        Target::Pruned => stats.pruned += 1,
+                        Target::State(s) => succs.push(s.clone()),
+                    }
+                }
+            }
+            if succs.is_empty() {
+                break;
+            }
+            st = succs[rng.below(succs.len())].clone();
+        }
+    }
+    stats.elapsed = start.elapsed();
+    ExploreResult { behaviors, stats }
+}
+
+/// Explores `sys` under `cfg`, returning the behavior set and stats.
+pub fn explore<S: TransitionSystem>(sys: &S, cfg: &ExploreConfig) -> ExploreResult<S::Behavior> {
+    let start = Instant::now();
+    match cfg.strategy.clone() {
+        Strategy::Dfs | Strategy::Bfs => {
+            let mut stats = ExploreStats {
+                workers: cfg.workers.max(1),
+                ..ExploreStats::default()
+            };
+            let (behaviors, _) =
+                run_round(sys, cfg, cfg.max_depth, start, BTreeSet::new(), &mut stats);
+            stats.elapsed = start.elapsed();
+            ExploreResult { behaviors, stats }
+        }
+        Strategy::IterativeDeepening { initial, step } => {
+            let mut stats = ExploreStats {
+                workers: cfg.workers.max(1),
+                ..ExploreStats::default()
+            };
+            let mut behaviors = BTreeSet::new();
+            let mut limit = initial.max(1).min(cfg.max_depth);
+            loop {
+                stats.truncated = false;
+                let (b, depth_hit) = run_round(sys, cfg, limit, start, behaviors, &mut stats);
+                behaviors = b;
+                if !depth_hit || limit >= cfg.max_depth || stats.deadline_hit {
+                    break;
+                }
+                limit = limit.saturating_add(step.max(1)).min(cfg.max_depth);
+            }
+            stats.elapsed = start.elapsed();
+            ExploreResult { behaviors, stats }
+        }
+        Strategy::RandomWalk { walks, seed } => run_random_walks(sys, cfg, walks, seed, start),
+    }
+}
+
+// Internal marker so the unused helper above never bitrots silently.
+#[allow(dead_code)]
+fn _assert_send_sync<T: Send + Sync>() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{StepTags, Transition};
+
+    /// N agents, each incrementing a private counter to `limit`. All
+    /// steps are local, so ample reduction collapses the interleaving
+    /// product (limit+1)^N to a single line per agent.
+    struct Counters {
+        agents: usize,
+        limit: u8,
+    }
+
+    impl TransitionSystem for Counters {
+        type State = Vec<u8>;
+        type Behavior = Vec<u8>;
+
+        fn initial_state(&self) -> Vec<u8> {
+            vec![0; self.agents]
+        }
+
+        fn agent_groups(&self, st: &Vec<u8>) -> Vec<AgentGroup<Vec<u8>, Vec<u8>>> {
+            (0..self.agents)
+                .filter(|&i| st[i] < self.limit)
+                .map(|i| {
+                    let mut next = st.clone();
+                    next[i] += 1;
+                    AgentGroup {
+                        agent: i,
+                        transitions: vec![Transition::state(next)],
+                        shared_pure: true,
+                        local: true,
+                    }
+                })
+                .collect()
+        }
+
+        fn terminal_behavior(&self, st: &Vec<u8>) -> Option<Vec<u8>> {
+            st.iter().all(|&c| c == self.limit).then(|| st.clone())
+        }
+    }
+
+    /// Two agents racing on one shared cell: agent 0 reads it (pure
+    /// but NOT local), agent 1 writes 1 (neither). The behavior set
+    /// {(0,·),(1,·)} must survive reduction — this is exactly the
+    /// read-vs-write case where treating a pure read as ample-able
+    /// would lose a behavior.
+    struct ReadVsWrite;
+
+    /// State: (agent0 result or 255, agent1 done, cell).
+    impl TransitionSystem for ReadVsWrite {
+        type State = (u8, bool, u8);
+        type Behavior = (u8, u8);
+
+        fn initial_state(&self) -> Self::State {
+            (255, false, 0)
+        }
+
+        fn agent_groups(&self, st: &Self::State) -> Vec<AgentGroup<Self::State, Self::Behavior>> {
+            let mut out = Vec::new();
+            if st.0 == 255 {
+                out.push(AgentGroup {
+                    agent: 0,
+                    transitions: vec![Transition::state((st.2, st.1, st.2))],
+                    shared_pure: true,
+                    local: false,
+                });
+            }
+            if !st.1 {
+                out.push(AgentGroup {
+                    agent: 1,
+                    transitions: vec![Transition::state((st.0, true, 1))],
+                    shared_pure: false,
+                    local: false,
+                });
+            }
+            out
+        }
+
+        fn terminal_behavior(&self, st: &Self::State) -> Option<Self::Behavior> {
+            (st.0 != 255 && st.1).then_some((st.0, st.2))
+        }
+    }
+
+    /// A chain emitting a tagged behavior halfway: checks emission
+    /// collection and tag counting.
+    struct EmitChain;
+
+    impl TransitionSystem for EmitChain {
+        type State = u8;
+        type Behavior = &'static str;
+
+        fn initial_state(&self) -> u8 {
+            0
+        }
+
+        fn agent_groups(&self, st: &u8) -> Vec<AgentGroup<u8, &'static str>> {
+            if *st >= 3 {
+                return vec![];
+            }
+            let mut transitions = vec![Transition::state(st + 1)];
+            if *st == 1 {
+                transitions.push(Transition {
+                    target: Target::Behavior("ub"),
+                    tags: StepTags {
+                        racy: true,
+                        promise: false,
+                    },
+                });
+                transitions.push(Transition {
+                    target: Target::Pruned,
+                    tags: StepTags {
+                        racy: false,
+                        promise: true,
+                    },
+                });
+            }
+            vec![AgentGroup {
+                agent: 0,
+                transitions,
+                shared_pure: false,
+                local: false,
+            }]
+        }
+
+        fn terminal_behavior(&self, st: &u8) -> Option<&'static str> {
+            (*st == 3).then_some("done")
+        }
+    }
+
+    fn cfg(workers: usize, reduction: bool) -> ExploreConfig {
+        ExploreConfig {
+            workers,
+            reduction,
+            ..ExploreConfig::default()
+        }
+    }
+
+    #[test]
+    fn counters_single_behavior_all_modes() {
+        let sys = Counters {
+            agents: 3,
+            limit: 3,
+        };
+        let want: BTreeSet<Vec<u8>> = [vec![3, 3, 3]].into_iter().collect();
+        for workers in [1, 2, 4] {
+            for reduction in [false, true] {
+                let r = explore(&sys, &cfg(workers, reduction));
+                assert_eq!(r.behaviors, want, "workers={workers} reduction={reduction}");
+                assert!(!r.stats.truncated);
+            }
+        }
+    }
+
+    #[test]
+    fn ample_reduction_collapses_independent_agents() {
+        let sys = Counters {
+            agents: 4,
+            limit: 3,
+        };
+        let full = explore(&sys, &cfg(1, false));
+        let reduced = explore(&sys, &cfg(1, true));
+        assert_eq!(full.behaviors, reduced.behaviors);
+        // Full product: 4^4 = 256 states. Reduced: one agent at a time
+        // → 13 states. Any measurable reduction proves the machinery.
+        assert_eq!(full.stats.states, 256);
+        assert!(
+            reduced.stats.states * 4 < full.stats.states,
+            "reduced {} vs full {}",
+            reduced.stats.states,
+            full.stats.states
+        );
+        assert!(reduced.stats.ample_commits > 0);
+    }
+
+    #[test]
+    fn reduction_keeps_read_write_race_behaviors() {
+        let want: BTreeSet<(u8, u8)> = [(0, 1), (1, 1)].into_iter().collect();
+        for workers in [1, 4] {
+            for reduction in [false, true] {
+                let r = explore(&ReadVsWrite, &cfg(workers, reduction));
+                assert_eq!(r.behaviors, want, "workers={workers} reduction={reduction}");
+            }
+        }
+    }
+
+    #[test]
+    fn emissions_and_tags_are_counted() {
+        let r = explore(&EmitChain, &cfg(1, false));
+        let want: BTreeSet<&str> = ["ub", "done"].into_iter().collect();
+        assert_eq!(r.behaviors, want);
+        assert_eq!(r.stats.racy_steps, 1);
+        assert_eq!(r.stats.promise_steps, 1);
+        assert_eq!(r.stats.pruned, 1);
+        assert_eq!(r.stats.states, 4);
+    }
+
+    #[test]
+    fn state_budget_drains_frontier_terminals() {
+        // A 2-wide diamond: budget of 2 stops after expanding the root
+        // and one branch, but the other branch's terminal must still
+        // be collected by the drain pass.
+        struct Diamond;
+        impl TransitionSystem for Diamond {
+            type State = u8;
+            type Behavior = u8;
+            fn initial_state(&self) -> u8 {
+                0
+            }
+            fn agent_groups(&self, st: &u8) -> Vec<AgentGroup<u8, u8>> {
+                if *st == 0 {
+                    vec![AgentGroup {
+                        agent: 0,
+                        transitions: vec![Transition::state(1), Transition::state(2)],
+                        shared_pure: false,
+                        local: false,
+                    }]
+                } else {
+                    vec![]
+                }
+            }
+            fn terminal_behavior(&self, st: &u8) -> Option<u8> {
+                (*st > 0).then_some(*st)
+            }
+        }
+        let r = explore(
+            &Diamond,
+            &ExploreConfig {
+                max_states: 2,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(r.stats.truncated);
+        let want: BTreeSet<u8> = [1, 2].into_iter().collect();
+        assert_eq!(r.behaviors, want, "frontier terminals were dropped");
+    }
+
+    #[test]
+    fn bfs_and_iterative_deepening_agree_with_dfs() {
+        let sys = Counters {
+            agents: 2,
+            limit: 4,
+        };
+        let dfs = explore(&sys, &cfg(1, true));
+        for strategy in [
+            Strategy::Bfs,
+            Strategy::IterativeDeepening {
+                initial: 2,
+                step: 2,
+            },
+        ] {
+            let r = explore(
+                &sys,
+                &ExploreConfig {
+                    strategy: strategy.clone(),
+                    ..cfg(2, true)
+                },
+            );
+            assert_eq!(r.behaviors, dfs.behaviors, "{strategy:?}");
+            assert!(!r.stats.truncated, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn random_walks_reach_the_terminal() {
+        let sys = Counters {
+            agents: 2,
+            limit: 2,
+        };
+        let r = explore(
+            &sys,
+            &ExploreConfig {
+                strategy: Strategy::RandomWalk {
+                    walks: 8,
+                    seed: 0xDECAF,
+                },
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(r.behaviors.contains(&vec![2, 2]));
+        assert!(r.stats.truncated, "walks are never exhaustive");
+    }
+
+    #[test]
+    fn visited_modes_agree() {
+        let sys = Counters {
+            agents: 3,
+            limit: 2,
+        };
+        let base = explore(&sys, &cfg(1, true));
+        for mode in [VisitedMode::Fp128, VisitedMode::Exact] {
+            let r = explore(
+                &sys,
+                &ExploreConfig {
+                    visited: mode,
+                    ..cfg(1, true)
+                },
+            );
+            assert_eq!(r.behaviors, base.behaviors, "{mode:?}");
+            assert_eq!(r.stats.states, base.stats.states, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn zero_deadline_stops_immediately() {
+        let sys = Counters {
+            agents: 3,
+            limit: 3,
+        };
+        let r = explore(
+            &sys,
+            &ExploreConfig {
+                deadline: Some(Duration::ZERO),
+                workers: 2,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(r.stats.deadline_hit);
+        assert!(r.stats.truncated);
+    }
+
+    #[test]
+    fn depth_bound_truncates() {
+        let sys = Counters {
+            agents: 1,
+            limit: 10,
+        };
+        let r = explore(
+            &sys,
+            &ExploreConfig {
+                max_depth: 3,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(r.stats.truncated);
+        assert!(r.behaviors.is_empty());
+    }
+
+    #[test]
+    fn worker_stats_cover_all_states() {
+        let sys = Counters {
+            agents: 3,
+            limit: 3,
+        };
+        let r = explore(&sys, &cfg(4, false));
+        assert_eq!(r.stats.worker_states.len(), 4);
+        assert_eq!(r.stats.worker_states.iter().sum::<usize>(), r.stats.states);
+    }
+}

@@ -1,0 +1,40 @@
+//! `seqwm-explore`: a generic, parallel, deduplicated state-space
+//! exploration engine.
+//!
+//! Every correctness claim in this reproduction — litmus behavior sets
+//! (§5), optimizer validation, adequacy fuzzing (Thm. 6.2) — bottoms
+//! out in a bounded-exhaustive state-space search. This crate factors
+//! that search out of the individual semantics into one engine:
+//!
+//! * [`TransitionSystem`] — the interface a semantics implements:
+//!   initial state, per-agent successor groups, terminal-behavior
+//!   extraction. Implemented by the PS^na machine, the SC baseline
+//!   (both in `seqwm-promising`) and the SEQ permission machine
+//!   (`seqwm-seq`).
+//! * [`explore`] — the engine: fingerprint-sharded visited set
+//!   ([`VisitedMode`]), sleep-set/ample-set interleaving reduction, a
+//!   work-stealing parallel frontier on plain `std::thread`, pluggable
+//!   strategies ([`Strategy`]) and budgets ([`ExploreConfig`]), and a
+//!   structured [`ExploreStats`] report.
+//! * [`SplitMix64`] — a dependency-free seeded PRNG for the random
+//!   walk strategy and the litmus program generator.
+//! * [`fp64`]/[`fp128`]/[`FxHasher`] — internal state fingerprinting.
+//!
+//! The reduction never drops a behavior reachable by the unreduced
+//! search (see the soundness notes on [`AgentGroup`] and in
+//! `engine.rs`); the repository's `tests/explore_differential.rs`
+//! checks this against the seed explorer over the full litmus corpus.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod fingerprint;
+pub mod rng;
+pub mod stats;
+pub mod system;
+
+pub use engine::{explore, ExploreConfig, ExploreResult, Strategy, VisitedMode};
+pub use fingerprint::{fp128, fp64, FxHasher};
+pub use rng::{mix64, SplitMix64};
+pub use stats::ExploreStats;
+pub use system::{AgentGroup, StepTags, Target, Transition, TransitionSystem};

@@ -1,0 +1,133 @@
+//! Structured exploration statistics.
+
+use std::fmt;
+use std::time::Duration;
+
+/// What the engine did and why it stopped. Returned with every
+/// exploration; rendered by the CLI and the experiments report.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreStats {
+    /// Distinct states expanded (after deduplication).
+    pub states: usize,
+    /// Transitions enumerated across all expanded states.
+    pub transitions: usize,
+    /// Frontier entries skipped because their state was already
+    /// visited (with a covering sleep set).
+    pub dedup_hits: usize,
+    /// Agent groups skipped by sleep-set reduction.
+    pub sleep_skips: usize,
+    /// States expanded through a single local agent group (ample-set
+    /// reduction) instead of the full product of agents.
+    pub ample_commits: usize,
+    /// Transitions the system enumerated but filtered (e.g. failed
+    /// certification).
+    pub pruned: usize,
+    /// Racy-access steps observed.
+    pub racy_steps: usize,
+    /// Promise steps observed.
+    pub promise_steps: usize,
+    /// A state/depth/step budget was hit: behaviors may be missing.
+    pub truncated: bool,
+    /// The wall-clock deadline fired (implies `truncated`).
+    pub deadline_hit: bool,
+    /// Number of worker threads used.
+    pub workers: usize,
+    /// States expanded by each worker (utilization balance).
+    pub worker_states: Vec<usize>,
+    /// Wall-clock time spent exploring.
+    pub elapsed: Duration,
+}
+
+impl ExploreStats {
+    /// Fraction of frontier pops answered by the visited set.
+    pub fn dedup_hit_rate(&self) -> f64 {
+        let total = self.states + self.dedup_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / total as f64
+        }
+    }
+
+    /// Merges another worker's (or round's) counters into this one.
+    pub fn merge(&mut self, other: &ExploreStats) {
+        self.states += other.states;
+        self.transitions += other.transitions;
+        self.dedup_hits += other.dedup_hits;
+        self.sleep_skips += other.sleep_skips;
+        self.ample_commits += other.ample_commits;
+        self.pruned += other.pruned;
+        self.racy_steps += other.racy_steps;
+        self.promise_steps += other.promise_steps;
+        self.truncated |= other.truncated;
+        self.deadline_hit |= other.deadline_hit;
+    }
+}
+
+impl fmt::Display for ExploreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "states: {} (dedup hits: {}, hit-rate {:.1}%)",
+            self.states,
+            self.dedup_hits,
+            100.0 * self.dedup_hit_rate()
+        )?;
+        writeln!(
+            f,
+            "transitions: {} (pruned: {}, racy: {}, promises: {})",
+            self.transitions, self.pruned, self.racy_steps, self.promise_steps
+        )?;
+        writeln!(
+            f,
+            "reduction: {} sleep skips, {} ample commits",
+            self.sleep_skips, self.ample_commits
+        )?;
+        write!(
+            f,
+            "workers: {} {:?}, elapsed: {:.3}ms{}{}",
+            self.workers,
+            self.worker_states,
+            self.elapsed.as_secs_f64() * 1e3,
+            if self.truncated { ", TRUNCATED" } else { "" },
+            if self.deadline_hit { " (deadline)" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(ExploreStats::default().dedup_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_and_ors_flags() {
+        let mut a = ExploreStats {
+            states: 10,
+            dedup_hits: 5,
+            ..ExploreStats::default()
+        };
+        let b = ExploreStats {
+            states: 3,
+            truncated: true,
+            ..ExploreStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.states, 13);
+        assert!(a.truncated);
+        assert!((a.dedup_hit_rate() - 5.0 / 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_truncation() {
+        let s = ExploreStats {
+            truncated: true,
+            ..ExploreStats::default()
+        };
+        assert!(s.to_string().contains("TRUNCATED"));
+    }
+}

@@ -1,0 +1,109 @@
+//! The [`TransitionSystem`] abstraction the engine explores.
+//!
+//! A system presents its state space as: an initial state, a
+//! terminal-behavior extractor, and — per state — a list of *agent
+//! groups*, one per concurrently-enabled agent (a PS^na thread, an SC
+//! thread, or the single agent of the sequential SEQ machine). Each
+//! group carries soundness flags ([`AgentGroup::shared_pure`],
+//! [`AgentGroup::local`]) that license the engine's interleaving
+//! reduction; an adapter that cannot prove a flag must leave it
+//! `false`, which only costs exploration work, never behaviors.
+
+/// Where a transition leads.
+#[derive(Clone, Debug)]
+pub enum Target<St, B> {
+    /// An ordinary successor state.
+    State(St),
+    /// Immediate emission of a behavior (e.g. undefined behavior /
+    /// machine failure) without a successor state.
+    Behavior(B),
+    /// A transition that was enumerated but filtered out by the system
+    /// (e.g. a step whose certification failed). Recorded in the stats
+    /// (and its tags still count) but not explored.
+    Pruned,
+}
+
+/// Statistics tags attached to a transition by the system.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct StepTags {
+    /// The step is a racy access (read or write).
+    pub racy: bool,
+    /// The step is a promise step.
+    pub promise: bool,
+}
+
+/// One enumerated transition.
+#[derive(Clone, Debug)]
+pub struct Transition<St, B> {
+    /// Where it leads.
+    pub target: Target<St, B>,
+    /// Statistics tags.
+    pub tags: StepTags,
+}
+
+impl<St, B> Transition<St, B> {
+    /// An ordinary untagged successor.
+    pub fn state(st: St) -> Self {
+        Transition {
+            target: Target::State(st),
+            tags: StepTags::default(),
+        }
+    }
+
+    /// An untagged behavior emission.
+    pub fn behavior(b: B) -> Self {
+        Transition {
+            target: Target::Behavior(b),
+            tags: StepTags::default(),
+        }
+    }
+}
+
+/// All transitions of one agent at one state, plus the commutation
+/// facts the reduction relies on.
+#[derive(Clone, Debug)]
+pub struct AgentGroup<St, B> {
+    /// The agent's index (thread id). Must be stable across states:
+    /// the engine tracks sleep sets as per-agent bitmasks.
+    pub agent: usize,
+    /// The agent's transitions.
+    pub transitions: Vec<Transition<St, B>>,
+    /// Every transition in this group leaves the *shared* state
+    /// (memory, SC view, …) unchanged and its enabledness/effect does
+    /// not depend on any other agent's private state. Two
+    /// `shared_pure` groups of different agents therefore commute:
+    /// executing one cannot change the other. Licenses sleep-set
+    /// reduction.
+    pub shared_pure: bool,
+    /// Strictly stronger than `shared_pure`: the agent's next step
+    /// neither reads nor writes shared state (a thread-local compute /
+    /// choice / output step), every transition is a
+    /// [`Target::State`], and no other kind of step (promise, …) is
+    /// enabled for this agent. Such a step is independent of *every*
+    /// transition of every other agent, licensing ample-set reduction
+    /// (exploring only this agent at this state).
+    ///
+    /// Note purity alone is NOT enough here: a `shared_pure` *read*
+    /// does not commute with another thread's write (the write enables
+    /// new read values), so `local` must exclude reads.
+    pub local: bool,
+}
+
+/// A transition system the engine can explore.
+pub trait TransitionSystem: Sync {
+    /// A machine state. `Hash` must be deterministic across threads
+    /// (derive it from ordered containers only).
+    type State: Clone + Eq + std::hash::Hash + Send;
+    /// An observable behavior.
+    type Behavior: Clone + Ord + Send;
+
+    /// The initial state.
+    fn initial_state(&self) -> Self::State;
+
+    /// All agents' transitions at `st`, grouped per agent. Agents with
+    /// no transitions may be omitted.
+    fn agent_groups(&self, st: &Self::State) -> Vec<AgentGroup<Self::State, Self::Behavior>>;
+
+    /// If `st` is terminal, its behavior.
+    fn terminal_behavior(&self, st: &Self::State) -> Option<Self::Behavior>;
+}

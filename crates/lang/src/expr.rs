@@ -307,7 +307,10 @@ mod tests {
             Expr::eq(Expr::reg("eu"), Expr::int(1)).eval(&e),
             Ok(Value::Undef)
         );
-        assert_eq!(Expr::un(UnOp::Not, Expr::reg("eu")).eval(&e), Ok(Value::Undef));
+        assert_eq!(
+            Expr::un(UnOp::Not, Expr::reg("eu")).eval(&e),
+            Ok(Value::Undef)
+        );
     }
 
     #[test]

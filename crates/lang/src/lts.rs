@@ -333,9 +333,9 @@ impl ProgState {
                 },
                 Err(_) => Step::Silent(self.failed()),
             },
-            Stmt::Choose(_, vs) => {
-                Step::Choose(ChoiceSet::Explicit(vs.iter().map(|&n| Value::Int(n)).collect()))
-            }
+            Stmt::Choose(_, vs) => Step::Choose(ChoiceSet::Explicit(
+                vs.iter().map(|&n| Value::Int(n)).collect(),
+            )),
             Stmt::Freeze(r, e) => match self.eval(e) {
                 Ok(Value::Int(n)) => Step::Silent(self.popped_set(*r, Value::Int(n))),
                 Ok(Value::Undef) => Step::Choose(ChoiceSet::AnyDefined),
@@ -451,10 +451,7 @@ impl ProgState {
     pub fn resume_rmw(&self, read: Value) -> RmwResolution {
         match self.cont.last().map(|s| &**s) {
             Some(Stmt::Cas {
-                dst,
-                expected,
-                new,
-                ..
+                dst, expected, new, ..
             }) => {
                 let (exp, newv) = match (self.eval(expected), self.eval(new)) {
                     (Ok(e), Ok(n)) => (e, n),

@@ -44,7 +44,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -343,9 +347,7 @@ impl<'a> Lexer<'a> {
                         .to_owned();
                     Tok::Ident(s)
                 }
-                other => {
-                    return Err(self.err(format!("unexpected character `{}`", other as char)))
-                }
+                other => return Err(self.err(format!("unexpected character `{}`", other as char))),
             };
             out.push(Spanned { tok, line, col });
         }
@@ -595,9 +597,9 @@ impl Parser {
                         match self.bump() {
                             Tok::Int(n) => vals.push(if neg { -n } else { n }),
                             other => {
-                                return Err(
-                                    self.err_here(format!("expected integer in choose, found {other}"))
-                                )
+                                return Err(self.err_here(format!(
+                                    "expected integer in choose, found {other}"
+                                )))
                             }
                         }
                         if self.peek() == &Tok::Comma {

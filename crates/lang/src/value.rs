@@ -206,7 +206,10 @@ mod tests {
 
     #[test]
     fn division_ub_cases() {
-        assert_eq!(div(Value::Int(1), Value::Int(0)), Err(ValueError::DivByZero));
+        assert_eq!(
+            div(Value::Int(1), Value::Int(0)),
+            Err(ValueError::DivByZero)
+        );
         assert_eq!(
             div(Value::Int(1), Value::Undef),
             Err(ValueError::DivByUndef)
@@ -214,7 +217,10 @@ mod tests {
         assert_eq!(div(Value::Undef, Value::Int(2)), Ok(Value::Undef));
         assert_eq!(div(Value::Int(7), Value::Int(2)), Ok(Value::Int(3)));
         assert_eq!(rem(Value::Int(7), Value::Int(2)), Ok(Value::Int(1)));
-        assert_eq!(rem(Value::Int(7), Value::Int(0)), Err(ValueError::DivByZero));
+        assert_eq!(
+            rem(Value::Int(7), Value::Int(0)),
+            Err(ValueError::DivByZero)
+        );
     }
 
     #[test]

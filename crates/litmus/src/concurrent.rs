@@ -2,9 +2,11 @@
 //! paper's PS^na-specific scenarios (Example 5.1, App. B, App. C), checked
 //! against bounded-exhaustive exploration.
 
+use seqwm_explore::ExploreConfig;
 use seqwm_lang::parser::parse_program;
 use seqwm_lang::{Program, Value};
-use seqwm_promising::machine::{explore, PsBehavior};
+use seqwm_promising::machine::PsBehavior;
+use seqwm_promising::search::{engine_config, explore_engine, EngineExploration};
 use seqwm_promising::thread::PsConfig;
 
 /// A concurrent litmus case.
@@ -64,9 +66,22 @@ impl ConcurrentCase {
     ///
     /// Returns a diagnostic naming the first violated expectation.
     pub fn check(&self) -> Result<(), String> {
+        self.check_with_engine(&engine_config(&self.config()))
+            .map(|_| ())
+    }
+
+    /// [`check`](Self::check) with explicit engine knobs (workers,
+    /// strategy, reduction, visited mode, budgets); on success returns
+    /// the exploration so callers can inspect behaviors and stats.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic naming the first violated expectation.
+    pub fn check_with_engine(&self, ecfg: &ExploreConfig) -> Result<EngineExploration, String> {
         let progs = self.programs();
         let cfg = self.config();
-        let result = explore(&progs, &cfg);
+        let engine = explore_engine(&progs, &cfg, ecfg);
+        let result = engine.to_exploration();
         let returns: Vec<&Vec<Value>> = result
             .behaviors
             .iter()
@@ -82,7 +97,11 @@ impl ConcurrentCase {
                     self.name,
                     self.paper_ref,
                     returns,
-                    if result.truncated { " (truncated!)" } else { "" },
+                    if result.truncated {
+                        " (truncated!)"
+                    } else {
+                        ""
+                    },
                 ));
             }
         }
@@ -125,7 +144,7 @@ impl ConcurrentCase {
                 ));
             }
         }
-        Ok(())
+        Ok(engine)
     }
 }
 
@@ -382,6 +401,26 @@ pub fn concurrent_corpus() -> Vec<ConcurrentCase> {
             // The two increments read distinct values: 0 and 1 in some order.
             returns_present: vec![ints(&[0, 1]), ints(&[1, 0])],
             returns_absent: vec![ints(&[0, 0]), ints(&[1, 1])],
+            ub: Some(false),
+            ..base.clone()
+        },
+        ConcurrentCase {
+            name: "mp-chain-4",
+            paper_ref: "4-thread MP chain + independent worker",
+            threads: vec![
+                "store[na](c4_d, 1); store[rel](c4_f1, 1); return 0;",
+                "a := load[acq](c4_f1); if (a == 1) { store[rel](c4_f2, 1); } return a;",
+                "b := load[acq](c4_f2);
+                 if (b == 1) { c := load[na](c4_d); } else { c := 7; }
+                 return c;",
+                "t := 1; t := t + 1; return t;",
+            ],
+            // Synchronization is transitive along the rel/acq chain: once
+            // the second flag is seen, the data write is visible and
+            // race-free. Thread 3 is pure local computation — fodder for
+            // the engine's ample-set reduction.
+            returns_present: vec![ints(&[0, 1, 1, 2]), ints(&[0, 0, 7, 2]), ints(&[0, 1, 7, 2])],
+            returns_absent: vec![ints(&[0, 1, 0, 2])],
             ub: Some(false),
             ..base.clone()
         },

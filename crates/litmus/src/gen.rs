@@ -4,8 +4,12 @@
 //! Generated programs draw from fixed, disjoint pools of non-atomic and
 //! atomic locations so that any two generated programs can be composed in
 //! SEQ (no-mixing) and in PS^na.
+//!
+//! Randomness comes from the dependency-free [`SplitMix64`] generator of
+//! `seqwm-explore`, so generation is seed-deterministic across platforms
+//! and builds without any external crates.
 
-use rand::Rng;
+use seqwm_explore::SplitMix64;
 
 use seqwm_lang::expr::{BinOp, Expr};
 use seqwm_lang::{Loc, Program, ReadMode, Reg, Stmt, WriteMode};
@@ -46,12 +50,12 @@ impl Default for GenConfig {
     }
 }
 
-fn pick<'a, T, R: Rng>(rng: &mut R, xs: &'a [T]) -> &'a T {
-    &xs[rng.gen_range(0..xs.len())]
+fn pick<'a, T>(rng: &mut SplitMix64, xs: &'a [T]) -> &'a T {
+    rng.choose(xs)
 }
 
-fn random_expr<R: Rng>(rng: &mut R, cfg: &GenConfig) -> Expr {
-    match rng.gen_range(0..4) {
+fn random_expr(rng: &mut SplitMix64, cfg: &GenConfig) -> Expr {
+    match rng.below(4) {
         0 => Expr::int(*pick(rng, &cfg.values)),
         1 => Expr::Reg(*pick(rng, &cfg.regs)),
         2 => Expr::bin(
@@ -59,15 +63,22 @@ fn random_expr<R: Rng>(rng: &mut R, cfg: &GenConfig) -> Expr {
             Expr::Reg(*pick(rng, &cfg.regs)),
             Expr::int(*pick(rng, &cfg.values)),
         ),
-        _ => Expr::eq(Expr::Reg(*pick(rng, &cfg.regs)), Expr::int(*pick(rng, &cfg.values))),
+        _ => Expr::eq(
+            Expr::Reg(*pick(rng, &cfg.regs)),
+            Expr::int(*pick(rng, &cfg.values)),
+        ),
     }
 }
 
-fn random_stmt<R: Rng>(rng: &mut R, cfg: &GenConfig, depth: usize) -> Stmt {
+fn random_stmt(rng: &mut SplitMix64, cfg: &GenConfig, depth: usize) -> Stmt {
     let choices = if cfg.atomics { 8 } else { 5 };
-    match rng.gen_range(0..choices) {
+    match rng.below(choices) {
         0 => Stmt::Assign(*pick(rng, &cfg.regs), random_expr(rng, cfg)),
-        1 => Stmt::Load(*pick(rng, &cfg.regs), *pick(rng, &cfg.na_locs), ReadMode::Na),
+        1 => Stmt::Load(
+            *pick(rng, &cfg.regs),
+            *pick(rng, &cfg.na_locs),
+            ReadMode::Na,
+        ),
         2 => Stmt::Store(
             *pick(rng, &cfg.na_locs),
             WriteMode::Na,
@@ -79,7 +90,7 @@ fn random_stmt<R: Rng>(rng: &mut R, cfg: &GenConfig, depth: usize) -> Stmt {
             Expr::Reg(*pick(rng, &cfg.regs)),
         ),
         4 => {
-            if depth > 0 && rng.gen_range(0..100) < cfg.branch_percent {
+            if depth > 0 && rng.chance(cfg.branch_percent) {
                 Stmt::If(
                     Expr::eq(Expr::Reg(*pick(rng, &cfg.regs)), Expr::int(0)),
                     Box::new(random_stmt(rng, cfg, depth - 1)),
@@ -92,7 +103,7 @@ fn random_stmt<R: Rng>(rng: &mut R, cfg: &GenConfig, depth: usize) -> Stmt {
         5 => Stmt::Load(
             *pick(rng, &cfg.regs),
             *pick(rng, &cfg.atomic_locs),
-            if rng.gen_bool(0.5) {
+            if rng.flip() {
                 ReadMode::Rlx
             } else {
                 ReadMode::Acq
@@ -100,20 +111,24 @@ fn random_stmt<R: Rng>(rng: &mut R, cfg: &GenConfig, depth: usize) -> Stmt {
         ),
         6 => Stmt::Store(
             *pick(rng, &cfg.atomic_locs),
-            if rng.gen_bool(0.5) {
+            if rng.flip() {
                 WriteMode::Rlx
             } else {
                 WriteMode::Rel
             },
             Expr::int(*pick(rng, &cfg.values)),
         ),
-        _ => Stmt::Load(*pick(rng, &cfg.regs), *pick(rng, &cfg.na_locs), ReadMode::Na),
+        _ => Stmt::Load(
+            *pick(rng, &cfg.regs),
+            *pick(rng, &cfg.na_locs),
+            ReadMode::Na,
+        ),
     }
 }
 
 /// Generates a random loop-free program.
-pub fn random_program<R: Rng>(rng: &mut R, cfg: &GenConfig) -> Program {
-    let n = rng.gen_range(1..=cfg.max_stmts);
+pub fn random_program(rng: &mut SplitMix64, cfg: &GenConfig) -> Program {
+    let n = rng.range_inclusive(1, cfg.max_stmts);
     let mut stmts: Vec<Stmt> = (0..n).map(|_| random_stmt(rng, cfg, 1)).collect();
     if cfg.returns {
         stmts.push(Stmt::Return(Expr::Reg(*pick(rng, &cfg.regs))));
@@ -124,12 +139,12 @@ pub fn random_program<R: Rng>(rng: &mut R, cfg: &GenConfig) -> Program {
 /// Generates a small random *context* thread: it communicates through the
 /// shared footprint using properly synchronized accesses (acquire the
 /// flag, then touch the data), so compositions stay explorable.
-pub fn random_context<R: Rng>(rng: &mut R, cfg: &GenConfig) -> Program {
+pub fn random_context(rng: &mut SplitMix64, cfg: &GenConfig) -> Program {
     let flag = *pick(rng, &cfg.atomic_locs);
     let data = *pick(rng, &cfg.na_locs);
     let r = *pick(rng, &cfg.regs);
     let v = *pick(rng, &cfg.values);
-    let body = match rng.gen_range(0..4) {
+    let body = match rng.below(4) {
         0 => Stmt::block([
             Stmt::Load(r, flag, ReadMode::Acq),
             Stmt::If(
@@ -157,13 +172,11 @@ pub fn random_context<R: Rng>(rng: &mut R, cfg: &GenConfig) -> Program {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn generated_programs_never_mix_access_modes() {
         let cfg = GenConfig::default();
-        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let mut rng = SplitMix64::new(0xC0FFEE);
         for _ in 0..200 {
             let p = random_program(&mut rng, &cfg);
             let na = p.na_locs();
@@ -175,7 +188,7 @@ mod tests {
     #[test]
     fn generated_programs_parse_back() {
         let cfg = GenConfig::default();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SplitMix64::new(42);
         for _ in 0..100 {
             let p = random_program(&mut rng, &cfg);
             let printed = p.to_string();
@@ -188,7 +201,7 @@ mod tests {
     #[test]
     fn contexts_share_the_footprint() {
         let cfg = GenConfig::default();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         for _ in 0..50 {
             let c = random_context(&mut rng, &cfg);
             for x in c.na_locs() {
@@ -203,8 +216,8 @@ mod tests {
     #[test]
     fn generation_is_seed_deterministic() {
         let cfg = GenConfig::default();
-        let a = random_program(&mut StdRng::seed_from_u64(9), &cfg);
-        let b = random_program(&mut StdRng::seed_from_u64(9), &cfg);
+        let a = random_program(&mut SplitMix64::new(9), &cfg);
+        let b = random_program(&mut SplitMix64::new(9), &cfg);
         assert_eq!(a, b);
     }
 }

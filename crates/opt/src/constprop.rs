@@ -219,17 +219,13 @@ mod tests {
 
     #[test]
     fn branch_join_keeps_agreeing_constants() {
-        let (out, _) = run(
-            "c := load[rlx](cp3f);
+        let (out, _) = run("c := load[rlx](cp3f);
              if (c == 0) { a := 1; } else { a := 1; }
-             store[na](cp3x, a);",
-        );
+             store[na](cp3x, a);");
         assert!(out.contains("store[na](cp3x, 1);"), "{out}");
-        let (out, _) = run(
-            "c := load[rlx](cp4f);
+        let (out, _) = run("c := load[rlx](cp4f);
              if (c == 0) { a := 1; } else { a := 2; }
-             store[na](cp4x, a);",
-        );
+             store[na](cp4x, a);");
         assert!(out.contains("store[na](cp4x, a);"), "{out}");
     }
 
@@ -248,9 +244,7 @@ mod tests {
 
     #[test]
     fn loop_carried_register_not_constant() {
-        let (out, _) = run(
-            "i := 0; while (i < 3) { i := i + 1; } store[na](cp5x, i);",
-        );
+        let (out, _) = run("i := 0; while (i < 3) { i := i + 1; } store[na](cp5x, i);");
         assert!(out.contains("store[na](cp5x, i);"), "{out}");
     }
 
@@ -259,14 +253,18 @@ mod tests {
         // constprop turns `store(x, a)` into `store(x, 7)`, which SLF's
         // constant-only domain (Fig. 3) can then forward.
         use crate::pipeline::{PassKind, Pipeline, PipelineConfig};
-        let p = parse_program("a := 7; store[na](cp6x, a); b := load[na](cp6x); return b;")
-            .unwrap();
+        let p =
+            parse_program("a := 7; store[na](cp6x, a); b := load[na](cp6x); return b;").unwrap();
         let with = Pipeline::new(PipelineConfig {
             passes: vec![PassKind::ConstProp, PassKind::Slf],
             rounds: 1,
         })
         .optimize(&p);
-        assert!(with.program.to_string().contains("b := 7;"), "{}", with.program);
+        assert!(
+            with.program.to_string().contains("b := 7;"),
+            "{}",
+            with.program
+        );
         let without = Pipeline::new(PipelineConfig {
             passes: vec![PassKind::Slf],
             rounds: 1,

@@ -203,9 +203,8 @@ mod tests {
 
     #[test]
     fn read_in_between_blocks() {
-        let (out, stats) = run(
-            "store[na](d2x, 1); a := load[na](d2x); store[na](d2x, 2); return a;",
-        );
+        let (out, stats) =
+            run("store[na](d2x, 1); a := load[na](d2x); store[na](d2x, 2); return a;");
         assert!(out.contains("store[na](d2x, 1);"), "{out}");
         assert_eq!(stats.rewrites, 0);
     }
@@ -218,8 +217,7 @@ mod tests {
             "store[rlx](d3y, 5);",
             "b := load[acq](d3y);",
         ] {
-            let (out, stats) =
-                run(&format!("store[na](d3x, 1); {alpha} store[na](d3x, 2);"));
+            let (out, stats) = run(&format!("store[na](d3x, 1); {alpha} store[na](d3x, 2);"));
             assert!(!out.contains("store[na](d3x, 1);"), "α={alpha}: {out}");
             assert_eq!(stats.rewrites, 1, "α = {alpha}");
         }
@@ -237,9 +235,8 @@ mod tests {
     #[test]
     fn release_acquire_pair_blocks() {
         // A full release–acquire pair between the stores: not dead.
-        let (out, stats) = run(
-            "store[na](d5x, 1); store[rel](d5y, 1); a := load[acq](d5z); store[na](d5x, 2);",
-        );
+        let (out, stats) =
+            run("store[na](d5x, 1); store[rel](d5y, 1); a := load[acq](d5z); store[na](d5x, 2);");
         assert!(out.contains("store[na](d5x, 1);"), "{out}");
         assert_eq!(stats.rewrites, 0);
     }
@@ -247,27 +244,21 @@ mod tests {
     #[test]
     fn branch_join() {
         // Overwritten on both branches → dead.
-        let (out, _) = run(
-            "store[na](d6x, 1);
+        let (out, _) = run("store[na](d6x, 1);
              l := load[rlx](d6f);
-             if (l == 0) { store[na](d6x, 2); } else { store[na](d6x, 3); }",
-        );
+             if (l == 0) { store[na](d6x, 2); } else { store[na](d6x, 3); }");
         assert!(!out.contains("store[na](d6x, 1);"), "{out}");
         // Overwritten on one branch only → kept.
-        let (out, _) = run(
-            "store[na](d7x, 1);
+        let (out, _) = run("store[na](d7x, 1);
              l := load[rlx](d7f);
-             if (l == 0) { store[na](d7x, 2); } else { skip; }",
-        );
+             if (l == 0) { store[na](d7x, 2); } else { skip; }");
         assert!(out.contains("store[na](d7x, 1);"), "{out}");
     }
 
     #[test]
     fn store_before_loop_that_overwrites() {
-        let (out, stats) = run(
-            "store[na](d8x, 1);
-             while (i < 3) { store[na](d8x, i); i := i + 1; }",
-        );
+        let (out, stats) = run("store[na](d8x, 1);
+             while (i < 3) { store[na](d8x, i); i := i + 1; }");
         // The loop may execute zero times → the pre-loop store is NOT dead.
         assert!(out.contains("store[na](d8x, 1);"), "{out}");
         assert!(stats.max_fixpoint_iterations <= 3);
@@ -275,9 +266,8 @@ mod tests {
 
     #[test]
     fn consecutive_overwrites_in_loop_body() {
-        let (out, stats) = run(
-            "while (i < 3) { store[na](d9x, 1); store[na](d9x, 2); i := i + 1; }",
-        );
+        let (out, stats) =
+            run("while (i < 3) { store[na](d9x, 1); store[na](d9x, 2); i := i + 1; }");
         assert!(!out.contains("store[na](d9x, 1);"), "{out}");
         assert_eq!(stats.rewrites, 1);
     }

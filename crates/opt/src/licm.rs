@@ -142,51 +142,47 @@ mod tests {
     #[test]
     fn example_1_3_hoists_invariant_load() {
         // while B { α ; a := x_na ; β }  {  c := x_na ; while B { α ; a := c ; β }
-        let (out, stats) = run(
-            "while (i < 3) { a := load[na](li1x); i := i + a; }
-             return a;",
-        );
+        let (out, stats) = run("while (i < 3) { a := load[na](li1x); i := i + a; }
+             return a;");
         assert!(out.contains("licm_"), "fresh hoisted register: {out}");
-        assert!(out.starts_with("licm_"), "load hoisted before the loop: {out}");
+        assert!(
+            out.starts_with("licm_"),
+            "load hoisted before the loop: {out}"
+        );
         assert!(out.contains("a := licm_"), "in-body load forwarded: {out}");
         assert_eq!(stats.rewrites, 1);
     }
 
     #[test]
     fn written_location_not_hoisted() {
-        let (out, stats) = run(
-            "while (i < 3) { a := load[na](li2x); store[na](li2x, a + 1); i := i + 1; }",
-        );
+        let (out, stats) =
+            run("while (i < 3) { a := load[na](li2x); store[na](li2x, a + 1); i := i + 1; }");
         assert_eq!(stats.rewrites, 0, "{out}");
         assert!(out.contains("a := load[na](li2x);"));
     }
 
     #[test]
     fn acquire_in_body_blocks_hoisting() {
-        let (out, stats) = run(
-            "while (i < 3) { f := load[acq](li3f); a := load[na](li3x); i := i + 1; }",
-        );
+        let (out, stats) =
+            run("while (i < 3) { f := load[acq](li3f); a := load[na](li3x); i := i + 1; }");
         assert_eq!(stats.rewrites, 0, "{out}");
     }
 
     #[test]
     fn release_in_body_does_not_block() {
-        let (out, stats) = run(
-            "while (i < 3) { a := load[na](li4x); store[rel](li4f, 1); i := i + 1; }",
-        );
+        let (out, stats) =
+            run("while (i < 3) { a := load[na](li4x); store[rel](li4f, 1); i := i + 1; }");
         assert_eq!(stats.rewrites, 1);
         assert!(out.contains("a := licm_"), "{out}");
     }
 
     #[test]
     fn nested_loops_hoist_inner_first() {
-        let (out, stats) = run(
-            "while (i < 2) {
+        let (out, stats) = run("while (i < 2) {
                  j := 0;
                  while (j < 2) { a := load[na](li5x); j := j + 1; }
                  i := i + 1;
-             }",
-        );
+             }");
         assert!(stats.rewrites >= 1, "{out}");
         // The hoisted load itself becomes invariant for the outer loop and
         // is hoisted again.
@@ -195,11 +191,9 @@ mod tests {
 
     #[test]
     fn candidate_analysis() {
-        let body = parse_program(
-            "a := load[na](li6x); b := load[na](li6y); store[na](li6y, 1);",
-        )
-        .unwrap()
-        .body;
+        let body = parse_program("a := load[na](li6x); b := load[na](li6y); store[na](li6y, 1);")
+            .unwrap()
+            .body;
         let cands = loop_candidates(&body);
         assert!(cands.contains(&Loc::new("li6x")));
         assert!(!cands.contains(&Loc::new("li6y")));

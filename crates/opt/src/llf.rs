@@ -35,10 +35,9 @@ fn join(a: &State, b: &State) -> State {
 /// The register (re)assigned by a statement, if any.
 fn killed_reg(s: &Stmt) -> Option<Reg> {
     match s {
-        Stmt::Assign(r, _)
-        | Stmt::Load(r, _, _)
-        | Stmt::Choose(r, _)
-        | Stmt::Freeze(r, _) => Some(*r),
+        Stmt::Assign(r, _) | Stmt::Load(r, _, _) | Stmt::Choose(r, _) | Stmt::Freeze(r, _) => {
+            Some(*r)
+        }
         Stmt::Cas { dst, .. } | Stmt::Fadd { dst, .. } => Some(*dst),
         _ => None,
     }
@@ -171,49 +170,42 @@ mod tests {
 
     #[test]
     fn forwarding_across_relaxed_and_release() {
-        let (out, stats) = run(
-            "a := load[na](l2x);
+        let (out, stats) = run("a := load[na](l2x);
              store[rel](l2y, 1);
              c := load[rlx](l2z);
              b := load[na](l2x);
-             return b;",
-        );
+             return b;");
         assert!(out.contains("b := a;"), "release/rlx do not kill: {out}");
         assert_eq!(stats.rewrites, 1);
     }
 
     #[test]
     fn acquire_kills_all_sets() {
-        let (out, stats) = run(
-            "a := load[na](l3x); c := load[acq](l3y); b := load[na](l3x); return b;",
-        );
+        let (out, stats) =
+            run("a := load[na](l3x); c := load[acq](l3y); b := load[na](l3x); return b;");
         assert!(out.contains("b := load[na](l3x);"), "{out}");
         assert_eq!(stats.rewrites, 0);
     }
 
     #[test]
     fn register_reassignment_kills() {
-        let (out, stats) = run(
-            "a := load[na](l4x); a := a + 1; b := load[na](l4x); return b;",
-        );
+        let (out, stats) = run("a := load[na](l4x); a := a + 1; b := load[na](l4x); return b;");
         assert!(out.contains("b := load[na](l4x);"), "{out}");
         assert_eq!(stats.rewrites, 0);
     }
 
     #[test]
     fn write_to_location_kills() {
-        let (out, stats) = run(
-            "a := load[na](l5x); store[na](l5x, 9); b := load[na](l5x); return b;",
-        );
+        let (out, stats) =
+            run("a := load[na](l5x); store[na](l5x, 9); b := load[na](l5x); return b;");
         assert!(out.contains("b := load[na](l5x);"), "{out}");
         assert_eq!(stats.rewrites, 0);
     }
 
     #[test]
     fn chained_forwarding() {
-        let (out, stats) = run(
-            "a := load[na](l6x); b := load[na](l6x); c := load[na](l6x); return c;",
-        );
+        let (out, stats) =
+            run("a := load[na](l6x); b := load[na](l6x); c := load[na](l6x); return c;");
         assert!(out.contains("b := a;"), "{out}");
         assert!(out.contains("c := a;") || out.contains("c := b;"), "{out}");
         assert_eq!(stats.rewrites, 2);
@@ -221,17 +213,13 @@ mod tests {
 
     #[test]
     fn branch_join_intersects() {
-        let (out, _) = run(
-            "l := load[rlx](l7f);
+        let (out, _) = run("l := load[rlx](l7f);
              if (l == 0) { a := load[na](l7x); } else { a := load[na](l7x); }
-             b := load[na](l7x); return b;",
-        );
+             b := load[na](l7x); return b;");
         assert!(out.contains("b := a;"), "both branches load into a: {out}");
-        let (out, _) = run(
-            "l := load[rlx](l8f);
+        let (out, _) = run("l := load[rlx](l8f);
              if (l == 0) { a := load[na](l8x); } else { skip; }
-             b := load[na](l8x); return b;",
-        );
+             b := load[na](l8x); return b;");
         assert!(
             out.contains("b := load[na](l8x);"),
             "one branch lacks the load: {out}"
@@ -241,21 +229,17 @@ mod tests {
     #[test]
     fn loop_invariant_load_forwarded_from_preheader() {
         // The LLF half of LICM: a load before the loop feeds the body.
-        let (out, stats) = run(
-            "c := load[na](l9x);
+        let (out, stats) = run("c := load[na](l9x);
              while (i < 3) { a := load[na](l9x); i := i + 1; }
-             return a;",
-        );
+             return a;");
         assert!(out.contains("a := c;"), "{out}");
         assert!(stats.max_fixpoint_iterations <= 3);
     }
 
     #[test]
     fn loop_with_store_not_forwarded() {
-        let (out, _) = run(
-            "c := load[na](lax);
-             while (i < 3) { a := load[na](lax); store[na](lax, i); i := i + 1; }",
-        );
+        let (out, _) = run("c := load[na](lax);
+             while (i < 3) { a := load[na](lax); store[na](lax, i); i := i + 1; }");
         assert!(out.contains("a := load[na](lax);"), "{out}");
     }
 }

@@ -196,10 +196,9 @@ mod tests {
         // After SLF forwards the load, the first store becomes dead… only
         // if nothing reads it. Here the read is forwarded by SLF, then DSE
         // can kill the overwritten store on a second round.
-        let p = parse_program(
-            "store[na](pc_x, 1); a := load[na](pc_x); store[na](pc_x, 2); return a;",
-        )
-        .unwrap();
+        let p =
+            parse_program("store[na](pc_x, 1); a := load[na](pc_x); store[na](pc_x, 2); return a;")
+                .unwrap();
         let res = Pipeline::new(PipelineConfig {
             passes: PassKind::all().to_vec(),
             rounds: 2,

@@ -62,9 +62,7 @@ pub(crate) fn is_release(s: &Stmt) -> bool {
     match s {
         Stmt::Store(_, WriteMode::Rel, _) => true,
         Stmt::Fence(m) => m.is_release(),
-        Stmt::Cas { mode, .. } | Stmt::Fadd { mode, .. } => {
-            mode.write_mode() == WriteMode::Rel
-        }
+        Stmt::Cas { mode, .. } | Stmt::Fadd { mode, .. } => mode.write_mode() == WriteMode::Rel,
         _ => false,
     }
 }
@@ -74,9 +72,7 @@ pub(crate) fn is_acquire(s: &Stmt) -> bool {
     match s {
         Stmt::Load(_, _, ReadMode::Acq) => true,
         Stmt::Fence(m) => m.is_acquire(),
-        Stmt::Cas { mode, .. } | Stmt::Fadd { mode, .. } => {
-            mode.read_mode() == ReadMode::Acq
-        }
+        Stmt::Cas { mode, .. } | Stmt::Fadd { mode, .. } => mode.read_mode() == ReadMode::Acq,
         _ => false,
     }
 }
@@ -218,29 +214,31 @@ mod tests {
     fn figure_4_example() {
         // The paper's Fig. 4: both loads of x are forwarded to 42, across
         // the acquire read and the release write.
-        let (out, stats) = run(
-            "store[na](f4x, 42);
+        let (out, stats) = run("store[na](f4x, 42);
              l := load[acq](f4y);
              if (l == 0) { a := load[na](f4x); }
              store[rel](f4y, 1);
              b := load[na](f4x);
-             return b;",
+             return b;");
+        assert!(
+            out.contains("a := 42;"),
+            "then-branch load forwarded: {out}"
         );
-        assert!(out.contains("a := 42;"), "then-branch load forwarded: {out}");
-        assert!(out.contains("b := 42;"), "post-release load forwarded: {out}");
+        assert!(
+            out.contains("b := 42;"),
+            "post-release load forwarded: {out}"
+        );
         assert_eq!(stats.rewrites, 2);
     }
 
     #[test]
     fn release_acquire_pair_blocks_forwarding() {
         // Example 2.12: a release followed by an acquire invalidates.
-        let (out, stats) = run(
-            "store[na](s2x, 1);
+        let (out, stats) = run("store[na](s2x, 1);
              store[rel](s2y, 1);
              l := load[acq](s2z);
              b := load[na](s2x);
-             return b;",
-        );
+             return b;");
         assert!(out.contains("b := load[na](s2x);"), "{out}");
         assert_eq!(stats.rewrites, 0);
     }
@@ -248,18 +246,15 @@ mod tests {
     #[test]
     fn acquire_alone_does_not_block() {
         // Example 2.11 with α = acquire read: still forwardable.
-        let (out, stats) = run(
-            "store[na](s3x, 1); l := load[acq](s3y); b := load[na](s3x); return b;",
-        );
+        let (out, stats) =
+            run("store[na](s3x, 1); l := load[acq](s3y); b := load[na](s3x); return b;");
         assert!(out.contains("b := 1;"), "{out}");
         assert_eq!(stats.rewrites, 1);
     }
 
     #[test]
     fn intervening_write_kills_token() {
-        let (out, _) = run(
-            "store[na](s4x, 1); store[na](s4x, 2); b := load[na](s4x); return b;",
-        );
+        let (out, _) = run("store[na](s4x, 1); store[na](s4x, 2); b := load[na](s4x); return b;");
         assert!(out.contains("b := 2;"), "{out}");
         assert!(!out.contains("b := 1;"));
     }
@@ -274,32 +269,26 @@ mod tests {
     #[test]
     fn join_of_branches() {
         // Both branches write 7 → forwardable after the join.
-        let (out, _) = run(
-            "l := load[rlx](s6y);
+        let (out, _) = run("l := load[rlx](s6y);
              if (l == 0) { store[na](s6x, 7); } else { store[na](s6x, 7); }
-             b := load[na](s6x);",
-        );
+             b := load[na](s6x);");
         assert!(out.contains("b := 7;"), "{out}");
         // Different values → not forwardable.
-        let (out, _) = run(
-            "l := load[rlx](s7y);
+        let (out, _) = run("l := load[rlx](s7y);
              if (l == 0) { store[na](s7x, 7); } else { store[na](s7x, 8); }
-             b := load[na](s7x);",
-        );
+             b := load[na](s7x);");
         assert!(out.contains("b := load[na](s7x);"), "{out}");
     }
 
     #[test]
     fn loop_fixpoint_within_three_iterations() {
-        let (out, stats) = run(
-            "store[na](s8x, 1);
+        let (out, stats) = run("store[na](s8x, 1);
              while (i < 10) {
                  a := load[na](s8x);
                  store[rel](s8f, 1);
                  i := i + 1;
              }
-             b := load[na](s8x);",
-        );
+             b := load[na](s8x);");
         // In-loop load: on the second iteration the state at the loop head
         // is •(1) (after the release) ⊔ ◦(1) = •(1) — still forwardable.
         assert!(out.contains("a := 1;"), "{out}");
@@ -313,15 +302,13 @@ mod tests {
 
     #[test]
     fn loop_with_acquire_invalidates() {
-        let (out, _) = run(
-            "store[na](s9x, 1);
+        let (out, _) = run("store[na](s9x, 1);
              while (i < 10) {
                  store[rel](s9f, 1);
                  l := load[acq](s9g);
                  i := i + 1;
              }
-             b := load[na](s9x);",
-        );
+             b := load[na](s9x);");
         assert!(out.contains("b := load[na](s9x);"), "{out}");
     }
 

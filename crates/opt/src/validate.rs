@@ -170,9 +170,7 @@ mod tests {
 
     #[test]
     fn licm_validates() {
-        let v = validate(
-            "while (i < 2) { a := load[na](v3x); i := i + 1; } return a;",
-        );
+        let v = validate("while (i < 2) { a := load[na](v3x); i := i + 1; } return a;");
         assert!(v
             .validations
             .iter()

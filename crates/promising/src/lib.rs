@@ -16,6 +16,9 @@
 //!   certification, RMWs, fences) with configurable bounds.
 //! * [`machine`] — machine states, behaviors (Def. 5.2), behavioral
 //!   refinement (Def. 5.3), and exploration.
+//! * [`search`] — the PS^na adapter for the `seqwm-explore` engine
+//!   (parallel workers, interleaving reduction, fingerprint dedup,
+//!   structured stats); [`machine::explore`] is a thin wrapper over it.
 //! * [`sc`] — a sequentially consistent interleaving baseline.
 //! * [`drf`] — data-race-freedom reports and model comparisons.
 //! * [`strengthen`] — the §5 access-mode strengthening soundness claim.
@@ -49,6 +52,7 @@ pub mod drf;
 pub mod machine;
 pub mod memory;
 pub mod sc;
+pub mod search;
 pub mod strengthen;
 pub mod thread;
 pub mod time;
@@ -56,9 +60,12 @@ pub mod tview;
 pub mod view;
 
 pub use drf::{drf_check, race_report, DrfReport, RaceReport};
-pub use machine::{explore, ps_behaviors_refine, Exploration, MachineState, PsBehavior};
+pub use machine::{
+    explore, explore_legacy, ps_behaviors_refine, Exploration, MachineState, PsBehavior,
+};
 pub use memory::{Message, MsgKey, PromiseSet, PsMemory, Slot};
-pub use sc::{explore_sc, ScConfig, ScExploration};
+pub use sc::{explore_sc, explore_sc_engine, ScConfig, ScExploration};
+pub use search::{engine_config, explore_engine, EngineExploration, PsSystem};
 pub use strengthen::{strengthen_na, strengthening_sound};
 pub use thread::{certify, thread_steps, PsConfig, StepKind, ThreadState, ThreadStep};
 pub use time::Timestamp;

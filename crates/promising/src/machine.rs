@@ -83,8 +83,14 @@ impl PsBehavior {
             (_, PsBehavior::Ub) => true,
             (PsBehavior::Ub, _) => false,
             (
-                PsBehavior::Returns { returns: tr, prints: tp },
-                PsBehavior::Returns { returns: sr, prints: sp },
+                PsBehavior::Returns {
+                    returns: tr,
+                    prints: tp,
+                },
+                PsBehavior::Returns {
+                    returns: sr,
+                    prints: sp,
+                },
             ) => {
                 tr.len() == sr.len()
                     && tr.iter().zip(sr).all(|(a, b)| a.refines(*b))
@@ -143,7 +149,20 @@ pub struct Exploration {
 
 /// Explores all machine executions of `progs` (one thread each) under
 /// `cfg`, returning the behavior set.
+///
+/// This is a thin wrapper over the `seqwm-explore` engine (sequential,
+/// interleaving-reduced, fingerprint-deduplicated — see
+/// [`crate::search`]); use [`crate::search::explore_engine`] directly
+/// for parallel workers, other strategies, or full statistics. The
+/// seed explorer survives as [`explore_legacy`] and anchors the
+/// differential test suite.
 pub fn explore(progs: &[Program], cfg: &PsConfig) -> Exploration {
+    crate::search::explore_engine(progs, cfg, &crate::search::engine_config(cfg)).to_exploration()
+}
+
+/// The seed explorer: a single-threaded DFS over full-state clones.
+/// Kept as the differential-testing oracle for the engine.
+pub fn explore_legacy(progs: &[Program], cfg: &PsConfig) -> Exploration {
     let init = MachineState::new(progs);
     let mut visited: HashSet<MachineState> = HashSet::new();
     let mut result = Exploration {
@@ -161,6 +180,17 @@ pub fn explore(progs: &[Program], cfg: &PsConfig) -> Exploration {
         result.states += 1;
         if result.states >= cfg.max_states {
             result.truncated = true;
+            // Drain: terminal states already on the stack are real,
+            // fully-explored behaviors — report them instead of
+            // silently dropping them with the truncation flag.
+            while let Some((rest, _)) = stack.pop() {
+                if visited.contains(&rest) {
+                    continue;
+                }
+                if let Some(b) = rest.terminal_behavior() {
+                    result.behaviors.insert(b);
+                }
+            }
             break;
         }
         if let Some(b) = st.terminal_behavior() {
@@ -317,7 +347,10 @@ mod tests {
             &PsConfig::default(),
         );
         let rs = returns(&e.behaviors);
-        assert!(!rs.contains(&ints(&[0, 0])), "SC fences forbid both-0: {rs:?}");
+        assert!(
+            !rs.contains(&ints(&[0, 0])),
+            "SC fences forbid both-0: {rs:?}"
+        );
         assert!(rs.contains(&ints(&[1, 1])));
     }
 
@@ -352,7 +385,10 @@ mod tests {
             ]),
             &PsConfig::default(),
         );
-        assert!(!returns(&e.behaviors).contains(&ints(&[0, 1])), "CoRR violation");
+        assert!(
+            !returns(&e.behaviors).contains(&ints(&[0, 1])),
+            "CoRR violation"
+        );
     }
 
     #[test]
@@ -364,7 +400,10 @@ mod tests {
             ]),
             &PsConfig::default(),
         );
-        assert!(e.behaviors.contains(&PsBehavior::Ub), "na/na write race → UB");
+        assert!(
+            e.behaviors.contains(&PsBehavior::Ub),
+            "na/na write race → UB"
+        );
         assert!(e.racy);
     }
 
@@ -400,18 +439,21 @@ mod tests {
         }]
         .into_iter()
         .collect();
-        assert!(ps_behaviors_refine(&one, &ub).is_ok(), "UB source matches all");
-        assert!(ps_behaviors_refine(&one, &undef).is_ok(), "undef source matches");
+        assert!(
+            ps_behaviors_refine(&one, &ub).is_ok(),
+            "UB source matches all"
+        );
+        assert!(
+            ps_behaviors_refine(&one, &undef).is_ok(),
+            "undef source matches"
+        );
         assert!(ps_behaviors_refine(&undef, &one).is_err());
         assert!(ps_behaviors_refine(&ub, &one).is_err());
     }
 
     #[test]
     fn prints_are_observable() {
-        let e = explore(
-            &progs(&["print(7); return 0;"]),
-            &PsConfig::default(),
-        );
+        let e = explore(&progs(&["print(7); return 0;"]), &PsConfig::default());
         match e.behaviors.iter().next().unwrap() {
             PsBehavior::Returns { prints, .. } => {
                 assert_eq!(prints[0], vec![Value::Int(7)]);

@@ -64,7 +64,11 @@ impl Message {
 impl fmt::Display for Message {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.payload {
-            Some(v) => write!(f, "⟨{}@({},{}],{},{}⟩", self.loc, self.from, self.to, v, self.view),
+            Some(v) => write!(
+                f,
+                "⟨{}@({},{}],{},{}⟩",
+                self.loc, self.from, self.to, v, self.view
+            ),
             None => write!(f, "⟨{}@({},{}]⟩", self.loc, self.from, self.to),
         }
     }
@@ -279,9 +283,7 @@ impl PsMemory {
         atomic_access: bool,
     ) -> bool {
         self.messages(loc).iter().any(|m| {
-            view_ts < m.to
-                && !promises.contains(&m.key())
-                && (!atomic_access || m.is_na_marker())
+            view_ts < m.to && !promises.contains(&m.key()) && (!atomic_access || m.is_na_marker())
         })
     }
 
@@ -362,7 +364,9 @@ mod tests {
         m.add(msg(x(), detached, 1));
         // The gap before the detached message admits another insertion.
         let slots = m.insert_slots(x());
-        assert!(slots.iter().any(|s| s.to <= detached.from || s.to < detached.to));
+        assert!(slots
+            .iter()
+            .any(|s| s.to <= detached.from || s.to < detached.to));
         let inner = slots
             .iter()
             .find(|s| s.to <= m.messages(x())[1].from)

@@ -6,8 +6,9 @@
 //! that interleaving semantics (reusing the [`PsBehavior`] type), used as
 //! a baseline by the DRF experiments and benchmarks.
 
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
+use seqwm_explore::{AgentGroup, ExploreConfig, Transition, TransitionSystem};
 use seqwm_lang::{ChoiceSet, Loc, ProgState, Program, Step, Value};
 
 use crate::machine::PsBehavior;
@@ -64,74 +65,74 @@ pub struct ScExploration {
     pub truncated: bool,
 }
 
-/// Explores all SC interleavings of `progs`.
-pub fn explore_sc(progs: &[Program], cfg: &ScConfig) -> ScExploration {
-    let init = ScState {
-        threads: progs.iter().map(ProgState::new).collect(),
-        prints: vec![Vec::new(); progs.len()],
-        mem: BTreeMap::new(),
-    };
-    let mut visited: HashSet<ScState> = HashSet::new();
-    let mut out = ScExploration {
-        behaviors: BTreeSet::new(),
-        states: 0,
-        truncated: false,
-    };
-    let mut stack = vec![(init, 0usize)];
-    while let Some((st, depth)) = stack.pop() {
-        if !visited.insert(st.clone()) {
-            continue;
+/// The SC interleaving machine as an engine-explorable system.
+struct ScSystem<'a> {
+    progs: &'a [Program],
+    cfg: &'a ScConfig,
+}
+
+impl TransitionSystem for ScSystem<'_> {
+    type State = ScState;
+    type Behavior = PsBehavior;
+
+    fn initial_state(&self) -> ScState {
+        ScState {
+            threads: self.progs.iter().map(ProgState::new).collect(),
+            prints: vec![Vec::new(); self.progs.len()],
+            mem: BTreeMap::new(),
         }
-        out.states += 1;
-        if out.states >= cfg.max_states {
-            out.truncated = true;
-            break;
-        }
-        if let Some(b) = st.terminal() {
-            out.behaviors.insert(b);
-            continue;
-        }
-        if depth >= cfg.max_steps {
-            out.truncated = true;
-            continue;
-        }
+    }
+
+    fn agent_groups(&self, st: &ScState) -> Vec<AgentGroup<ScState, PsBehavior>> {
+        let mut out = Vec::with_capacity(st.threads.len());
         for tid in 0..st.threads.len() {
             let t = &st.threads[tid];
-            let mut succs: Vec<ScState> = Vec::new();
+            let mut transitions: Vec<Transition<ScState, PsBehavior>> = Vec::new();
+            // Memory-preserving steps of distinct threads commute;
+            // thread-internal steps (silent/choose/syscall) touch no
+            // shared state at all and qualify as ample candidates.
+            let mut shared_pure = true;
+            let mut local = false;
             match t.step() {
                 Step::Terminated(_) => {}
                 Step::Fail => {
-                    out.behaviors.insert(PsBehavior::Ub);
+                    transitions.push(Transition::behavior(PsBehavior::Ub));
                 }
                 Step::Silent(next) => {
                     let mut s = st.clone();
                     s.threads[tid] = next;
-                    succs.push(s);
+                    transitions.push(Transition::state(s));
+                    local = true;
                 }
                 Step::Choose(cs) => {
                     let choices = match &cs {
                         ChoiceSet::Explicit(vs) => vs.clone(),
-                        ChoiceSet::AnyDefined => {
-                            cfg.choose_domain.iter().map(|&n| Value::Int(n)).collect()
-                        }
+                        ChoiceSet::AnyDefined => self
+                            .cfg
+                            .choose_domain
+                            .iter()
+                            .map(|&n| Value::Int(n))
+                            .collect(),
                     };
                     for v in choices {
                         let mut s = st.clone();
                         s.threads[tid] = t.resume_choose(v);
-                        succs.push(s);
+                        transitions.push(Transition::state(s));
                     }
+                    local = true;
                 }
                 Step::Read { loc, .. } => {
                     let v = st.mem.get(&loc).copied().unwrap_or_default();
                     let mut s = st.clone();
                     s.threads[tid] = t.resume_read(v);
-                    succs.push(s);
+                    transitions.push(Transition::state(s));
                 }
                 Step::Write { loc, val, next, .. } => {
                     let mut s = st.clone();
                     s.mem.insert(loc, val);
                     s.threads[tid] = next;
-                    succs.push(s);
+                    transitions.push(Transition::state(s));
+                    shared_pure = false;
                 }
                 Step::Rmw { loc, .. } => {
                     let read = st.mem.get(&loc).copied().unwrap_or_default();
@@ -139,28 +140,66 @@ pub fn explore_sc(progs: &[Program], cfg: &ScConfig) -> ScExploration {
                     let mut s = st.clone();
                     if let Some(w) = res.write {
                         s.mem.insert(loc, w);
+                        shared_pure = false;
                     }
                     s.threads[tid] = res.next;
-                    succs.push(s);
+                    transitions.push(Transition::state(s));
                 }
                 Step::Fence { next, .. } => {
                     let mut s = st.clone();
                     s.threads[tid] = next;
-                    succs.push(s);
+                    transitions.push(Transition::state(s));
+                    local = true;
                 }
                 Step::Syscall { val, next } => {
                     let mut s = st.clone();
                     s.prints[tid].push(val);
                     s.threads[tid] = next;
-                    succs.push(s);
+                    transitions.push(Transition::state(s));
+                    local = true;
                 }
             }
-            for s in succs {
-                stack.push((s, depth + 1));
+            if transitions.is_empty() {
+                continue;
             }
+            out.push(AgentGroup {
+                agent: tid,
+                transitions,
+                shared_pure,
+                local,
+            });
         }
+        out
     }
-    out
+
+    fn terminal_behavior(&self, st: &ScState) -> Option<PsBehavior> {
+        st.terminal()
+    }
+}
+
+/// Explores all SC interleavings of `progs` (via the `seqwm-explore`
+/// engine: sequential, interleaving-reduced, fingerprint-deduplicated).
+pub fn explore_sc(progs: &[Program], cfg: &ScConfig) -> ScExploration {
+    explore_sc_engine(
+        progs,
+        cfg,
+        &ExploreConfig {
+            max_states: cfg.max_states,
+            max_depth: cfg.max_steps,
+            ..ExploreConfig::default()
+        },
+    )
+}
+
+/// [`explore_sc`] with full control of engine knobs.
+pub fn explore_sc_engine(progs: &[Program], cfg: &ScConfig, ecfg: &ExploreConfig) -> ScExploration {
+    let sys = ScSystem { progs, cfg };
+    let r = seqwm_explore::explore(&sys, ecfg);
+    ScExploration {
+        behaviors: r.behaviors,
+        states: r.stats.states,
+        truncated: r.stats.truncated,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,254 @@
+//! PS^na adapter for the `seqwm-explore` engine.
+//!
+//! [`PsSystem`] presents the PS^na machine as a
+//! [`TransitionSystem`]: one agent group per thread, with the same
+//! step enumeration, certification filter and UB emission rules as the
+//! seed explorer ([`crate::machine::explore_legacy`]) — the
+//! differential test `tests/explore_differential.rs` holds the two to
+//! byte-identical behavior sets over the whole litmus corpus.
+//!
+//! Reduction flags:
+//!
+//! * a thread group is `shared_pure` iff none of its steps changes the
+//!   memory or the global SC view (reads, fulfill-free silent/choice
+//!   steps, syscalls, failures). Pure groups of different threads
+//!   commute, which licenses sleep-set skipping.
+//! * a thread group is `local` iff its program step is a silent
+//!   computation, a choice, or a syscall, the thread has no
+//!   outstanding promises, and every enumerated step is an ordinary
+//!   state step with unchanged shared state. Such a step neither reads
+//!   nor writes memory, so it is independent of *every* other thread's
+//!   steps and may be explored as a singleton ample set. (A pure
+//!   *read* does not qualify: another thread's write enables new read
+//!   values.)
+
+use std::collections::BTreeSet;
+
+use seqwm_explore::{
+    AgentGroup, ExploreConfig, ExploreStats, StepTags, Target, Transition, TransitionSystem,
+};
+use seqwm_lang::{Program, Step};
+
+use crate::machine::{Exploration, MachineState, PsBehavior};
+use crate::thread::{certify, thread_steps, PsConfig, StepKind};
+
+/// The PS^na machine as an engine-explorable transition system.
+pub struct PsSystem<'a> {
+    progs: &'a [Program],
+    cfg: &'a PsConfig,
+}
+
+impl<'a> PsSystem<'a> {
+    /// Wraps a parallel composition of programs under a PS^na config.
+    pub fn new(progs: &'a [Program], cfg: &'a PsConfig) -> Self {
+        PsSystem { progs, cfg }
+    }
+}
+
+impl TransitionSystem for PsSystem<'_> {
+    type State = MachineState;
+    type Behavior = PsBehavior;
+
+    fn initial_state(&self) -> MachineState {
+        MachineState::new(self.progs)
+    }
+
+    fn agent_groups(&self, st: &MachineState) -> Vec<AgentGroup<MachineState, PsBehavior>> {
+        let mut out = Vec::with_capacity(st.threads.len());
+        for (tid, t) in st.threads.iter().enumerate() {
+            let steps = thread_steps(t, &st.mem, &st.sc_view, self.cfg);
+            if steps.is_empty() {
+                continue;
+            }
+            let mut transitions = Vec::with_capacity(steps.len());
+            let mut shared_pure = true;
+            let mut all_plain = true;
+            for step in steps {
+                let tags = StepTags {
+                    racy: matches!(step.kind, StepKind::RacyRead(_) | StepKind::RacyWrite(_)),
+                    promise: step.kind == StepKind::Promise,
+                };
+                // machine: failure and racy-write abort the machine with ⊥
+                // and are never certified.
+                if matches!(step.kind, StepKind::Failure | StepKind::RacyWrite(_)) {
+                    all_plain = false;
+                    transitions.push(Transition {
+                        target: Target::Behavior(PsBehavior::Ub),
+                        tags,
+                    });
+                    continue;
+                }
+                if step.kind != StepKind::Normal {
+                    all_plain = false;
+                }
+                shared_pure &= step.memory == st.mem && step.sc_view == st.sc_view;
+                // machine: normal requires certification of the acting
+                // thread (trivial when it has no promises).
+                if !step.thread.promises.is_empty()
+                    && !certify(&step.thread, &step.memory, &step.sc_view, self.cfg)
+                {
+                    transitions.push(Transition {
+                        target: Target::Pruned,
+                        tags,
+                    });
+                    continue;
+                }
+                let mut next = st.clone();
+                next.threads[tid] = step.thread;
+                next.mem = step.memory;
+                next.sc_view = step.sc_view;
+                transitions.push(Transition {
+                    target: Target::State(next),
+                    tags,
+                });
+            }
+            let local = shared_pure
+                && all_plain
+                && t.promises.is_empty()
+                && matches!(
+                    t.prog.step(),
+                    Step::Silent(_) | Step::Choose(_) | Step::Syscall { .. }
+                );
+            out.push(AgentGroup {
+                agent: tid,
+                transitions,
+                shared_pure,
+                local,
+            });
+        }
+        out
+    }
+
+    fn terminal_behavior(&self, st: &MachineState) -> Option<PsBehavior> {
+        st.terminal_behavior()
+    }
+}
+
+/// An engine exploration of a PS^na machine: behavior set + engine
+/// statistics.
+#[derive(Clone, Debug)]
+pub struct EngineExploration {
+    /// The set of observable behaviors found.
+    pub behaviors: BTreeSet<PsBehavior>,
+    /// Engine statistics (states, dedup, reduction, workers, time).
+    pub stats: ExploreStats,
+}
+
+impl EngineExploration {
+    /// Projects onto the legacy [`Exploration`] shape.
+    pub fn to_exploration(&self) -> Exploration {
+        Exploration {
+            behaviors: self.behaviors.clone(),
+            states: self.stats.states,
+            truncated: self.stats.truncated,
+            racy: self.stats.racy_steps > 0,
+            promise_steps: self.stats.promise_steps,
+        }
+    }
+}
+
+/// The engine configuration matching a [`PsConfig`]'s bounds:
+/// sequential, reduced, fingerprint-deduplicated.
+pub fn engine_config(cfg: &PsConfig) -> ExploreConfig {
+    ExploreConfig {
+        max_states: cfg.max_states,
+        max_depth: cfg.max_machine_steps,
+        ..ExploreConfig::default()
+    }
+}
+
+/// Explores `progs` under `cfg` with the engine, with full control of
+/// engine knobs (workers, strategy, reduction, visited mode, budgets).
+pub fn explore_engine(
+    progs: &[Program],
+    cfg: &PsConfig,
+    ecfg: &ExploreConfig,
+) -> EngineExploration {
+    let sys = PsSystem::new(progs, cfg);
+    let r = seqwm_explore::explore(&sys, ecfg);
+    EngineExploration {
+        behaviors: r.behaviors,
+        stats: r.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn progs(srcs: &[&str]) -> Vec<Program> {
+        srcs.iter().map(|s| parse_program(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn engine_matches_legacy_on_message_passing() {
+        let ps = progs(&[
+            "store[na](smp_d, 1); store[rel](smp_f, 1); return 0;",
+            "a := load[acq](smp_f); if (a == 1) { b := load[na](smp_d); } else { b := 7; } return b;",
+        ]);
+        let cfg = PsConfig::default();
+        let legacy = crate::machine::explore_legacy(&ps, &cfg);
+        for workers in [1, 2] {
+            for reduction in [false, true] {
+                let e = explore_engine(
+                    &ps,
+                    &cfg,
+                    &ExploreConfig {
+                        workers,
+                        reduction,
+                        ..engine_config(&cfg)
+                    },
+                );
+                assert_eq!(
+                    e.behaviors, legacy.behaviors,
+                    "workers={workers} reduction={reduction}"
+                );
+                assert_eq!(e.stats.racy_steps > 0, legacy.racy);
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_explores_fewer_states() {
+        // Four independent threads: the interleaving product collapses.
+        let ps = progs(&[
+            "a := 1; a := a + 1; return a;",
+            "b := 2; b := b + 1; return b;",
+            "c := 3; c := c + 1; return c;",
+            "d := 4; d := d + 1; return d;",
+        ]);
+        let cfg = PsConfig::default();
+        let full = explore_engine(
+            &ps,
+            &cfg,
+            &ExploreConfig {
+                reduction: false,
+                ..engine_config(&cfg)
+            },
+        );
+        let reduced = explore_engine(&ps, &cfg, &engine_config(&cfg));
+        assert_eq!(full.behaviors, reduced.behaviors);
+        assert!(
+            reduced.stats.states * 2 < full.stats.states,
+            "reduced {} vs full {}",
+            reduced.stats.states,
+            full.stats.states
+        );
+    }
+
+    #[test]
+    fn engine_certification_filter_prunes() {
+        // LB with promises: certification runs and some promise steps
+        // are filtered, matching the legacy explorer's behavior set.
+        let ps = progs(&[
+            "a := load[rlx](slb_x); store[rlx](slb_y, 1); return a;",
+            "b := load[rlx](slb_y); store[rlx](slb_x, 1); return b;",
+        ]);
+        let cfg = PsConfig::with_promises(&[&ps[0], &ps[1]]);
+        let legacy = crate::machine::explore_legacy(&ps, &cfg);
+        let e = explore_engine(&ps, &cfg, &engine_config(&cfg));
+        assert_eq!(e.behaviors, legacy.behaviors);
+        assert!(e.stats.promise_steps > 0, "promise steps observed");
+    }
+}

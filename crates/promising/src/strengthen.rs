@@ -26,10 +26,7 @@ fn strengthen_stmt(s: &Stmt) -> Stmt {
     match s {
         Stmt::Load(r, x, ReadMode::Na) => Stmt::Load(*r, *x, ReadMode::Rlx),
         Stmt::Store(x, WriteMode::Na, e) => Stmt::Store(*x, WriteMode::Rlx, e.clone()),
-        Stmt::Seq(a, b) => Stmt::Seq(
-            Box::new(strengthen_stmt(a)),
-            Box::new(strengthen_stmt(b)),
-        ),
+        Stmt::Seq(a, b) => Stmt::Seq(Box::new(strengthen_stmt(a)), Box::new(strengthen_stmt(b))),
         Stmt::If(c, a, b) => Stmt::If(
             c.clone(),
             Box::new(strengthen_stmt(a)),
@@ -49,10 +46,7 @@ fn strengthen_stmt(s: &Stmt) -> Stmt {
 ///
 /// An unmatched behavior would refute the §5 claim (or this
 /// reproduction); none is known.
-pub fn strengthening_sound(
-    progs: &[Program],
-    cfg: &PsConfig,
-) -> Result<(), PsBehavior> {
+pub fn strengthening_sound(progs: &[Program], cfg: &PsConfig) -> Result<(), PsBehavior> {
     let strengthened: Vec<Program> = progs.iter().map(strengthen_na).collect();
     let original = explore(progs, cfg);
     let stronger = explore(&strengthened, cfg);

@@ -11,9 +11,7 @@
 
 use std::collections::HashSet;
 
-use seqwm_lang::{
-    ChoiceSet, FenceMode, Loc, ProgState, Program, ReadMode, Step, Value, WriteMode,
-};
+use seqwm_lang::{ChoiceSet, FenceMode, Loc, ProgState, Program, ReadMode, Step, Value, WriteMode};
 
 use crate::memory::{Message, MsgKey, PromiseSet, PsMemory, Slot};
 use crate::tview::TView;
@@ -180,14 +178,15 @@ pub fn thread_steps(
     cfg: &PsConfig,
 ) -> Vec<ThreadStep> {
     let mut out = Vec::new();
-    let push = |out: &mut Vec<ThreadStep>, thread: ThreadState, memory: PsMemory, kind: StepKind| {
-        out.push(ThreadStep {
-            thread,
-            memory,
-            sc_view: sc_view.clone(),
-            kind,
-        });
-    };
+    let push =
+        |out: &mut Vec<ThreadStep>, thread: ThreadState, memory: PsMemory, kind: StepKind| {
+            out.push(ThreadStep {
+                thread,
+                memory,
+                sc_view: sc_view.clone(),
+                kind,
+            });
+        };
 
     // Promise and lower steps are always available (before the program
     // step), subject to budget.
@@ -216,9 +215,7 @@ pub fn thread_steps(
         Step::Choose(cs) => {
             let choices = match &cs {
                 ChoiceSet::Explicit(vs) => vs.clone(),
-                ChoiceSet::AnyDefined => {
-                    cfg.choose_domain.iter().map(|&n| Value::Int(n)).collect()
-                }
+                ChoiceSet::AnyDefined => cfg.choose_domain.iter().map(|&n| Value::Int(n)).collect(),
             };
             for v in choices {
                 let mut nt = t.clone();
@@ -291,9 +288,7 @@ pub fn thread_steps(
                         if !msg_count_ok(mem, loc, cfg) {
                             continue;
                         }
-                        if mode.write_mode() == WriteMode::Rel
-                            && !release_ok(t, mem, loc)
-                        {
+                        if mode.write_mode() == WriteMode::Rel && !release_ok(t, mem, loc) {
                             continue;
                         }
                         let mut write_view = read_view.clone();
@@ -563,7 +558,12 @@ fn enumerate_writes(
         // Multi-message na-write: fulfill another ⊥-view promise on the way
         // (a helper message of memory: na-write) before fulfilling `key`…
         if mode == WriteMode::Na && cfg.na_multi_message {
-            for helper in t.promises.iter().copied().filter(|k| k.0 == loc && *k != key) {
+            for helper in t
+                .promises
+                .iter()
+                .copied()
+                .filter(|k| k.0 == loc && *k != key)
+            {
                 let Some(h) = mem.find(&helper) else { continue };
                 if h.to >= m.to || vts >= h.to || !(h.view.is_bottom()) {
                     continue;
@@ -901,10 +901,7 @@ mod tests {
     fn release_write_carries_thread_view() {
         let x = Loc::new("tvx");
         let y = Loc::new("tvy");
-        let (t, mem, sc, cfg) = setup(
-            "store[na](tvy, 1); store[rel](tvx, 1);",
-            &["tvx", "tvy"],
-        );
+        let (t, mem, sc, cfg) = setup("store[na](tvy, 1); store[rel](tvx, 1);", &["tvx", "tvy"]);
         // Run the na write (pick the plain tail variant = first step).
         let steps = thread_steps(&t, &mem, &sc, &cfg);
         let s1 = steps.into_iter().next().unwrap();
@@ -936,13 +933,21 @@ mod tests {
         let steps = thread_steps(&t, &mem, &View::zero(), &cfg);
         let promise = steps
             .iter()
-            .find(|s| s.kind == StepKind::Promise
-                && s.memory.messages(Loc::new("tpx")).iter().any(|m| {
-                    m.payload == Some(Value::Int(1)) && !m.view.is_bottom()
-                }))
+            .find(|s| {
+                s.kind == StepKind::Promise
+                    && s.memory
+                        .messages(Loc::new("tpx"))
+                        .iter()
+                        .any(|m| m.payload == Some(Value::Int(1)) && !m.view.is_bottom())
+            })
             .expect("promise step enumerated");
         // The thread can certify: it will write x=1 rlx.
-        assert!(certify(&promise.thread, &promise.memory, &View::zero(), &cfg));
+        assert!(certify(
+            &promise.thread,
+            &promise.memory,
+            &View::zero(),
+            &cfg
+        ));
     }
 
     #[test]
@@ -959,10 +964,13 @@ mod tests {
         let steps = thread_steps(&t, &mem, &View::zero(), &cfg);
         let bad = steps
             .iter()
-            .find(|s| s.kind == StepKind::Promise
-                && s.memory.messages(Loc::new("tux")).iter().any(|m| {
-                    m.payload == Some(Value::Int(7)) && !m.view.is_bottom()
-                }))
+            .find(|s| {
+                s.kind == StepKind::Promise
+                    && s.memory
+                        .messages(Loc::new("tux"))
+                        .iter()
+                        .any(|m| m.payload == Some(Value::Int(7)) && !m.view.is_bottom())
+            })
             .expect("promise enumerated");
         assert!(!certify(&bad.thread, &bad.memory, &View::zero(), &cfg));
     }

@@ -150,7 +150,11 @@ mod tests {
         let msg_view = View::singleton(y(), Timestamp::int(5));
         v.read(x(), Timestamp::int(1), &msg_view, false);
         assert_eq!(v.cur.get(x()), Timestamp::int(1));
-        assert_eq!(v.cur.get(y()), Timestamp::ZERO, "rlx read does not raise cur(y)");
+        assert_eq!(
+            v.cur.get(y()),
+            Timestamp::ZERO,
+            "rlx read does not raise cur(y)"
+        );
         assert_eq!(v.acq.get(y()), Timestamp::int(5), "…but acq records it");
         // The acquire fence transfers it.
         v.acquire_fence();
@@ -174,7 +178,11 @@ mod tests {
         assert_eq!(msg.get(x()), Timestamp::int(1));
         // A later relaxed write to x still carries the release view.
         let msg2 = v.write(x(), Timestamp::int(2), false, false, &View::bottom());
-        assert_eq!(msg2.get(y()), Timestamp::int(3), "release sequence via rel(x)");
+        assert_eq!(
+            msg2.get(y()),
+            Timestamp::int(3),
+            "release sequence via rel(x)"
+        );
     }
 
     #[test]
@@ -216,7 +224,12 @@ mod tests {
     #[test]
     fn cur_leq_acq_invariant() {
         let mut v = TView::zero();
-        v.read(x(), Timestamp::int(1), &View::singleton(y(), Timestamp::int(2)), false);
+        v.read(
+            x(),
+            Timestamp::int(1),
+            &View::singleton(y(), Timestamp::int(2)),
+            false,
+        );
         v.write(y(), Timestamp::int(4), false, false, &View::bottom());
         assert!(v.cur.leq(&v.acq));
         v.acquire_fence();

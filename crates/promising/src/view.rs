@@ -92,9 +92,9 @@ impl View {
         match (self, other) {
             (View::Bottom, _) => true,
             (View::Map(_), View::Bottom) => false,
-            (View::Map(a), View::Map(b)) => a.iter().all(|(&x, &t)| {
-                t <= b.get(&x).copied().unwrap_or(Timestamp::ZERO)
-            }),
+            (View::Map(a), View::Map(b)) => a
+                .iter()
+                .all(|(&x, &t)| t <= b.get(&x).copied().unwrap_or(Timestamp::ZERO)),
         }
     }
 }

@@ -1,31 +1,34 @@
 //! The adequacy differential harness (Thm. 6.2) as a standalone fuzzer:
 //! generate random programs, optimize them, check SEQ refinement, then
 //! check PS^na contextual refinement under random contexts — forever (or
-//! for `--rounds N`).
+//! for `--rounds N`). Exploration runs on the `seqwm-explore` engine,
+//! optionally with parallel workers.
 //!
 //! ```sh
 //! cargo run --release --example adequacy_fuzz -- --rounds 100 --seed 7
+//! cargo run --release --example adequacy_fuzz -- --workers 4
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use promising_seq::explore::{ExploreConfig, SplitMix64};
 use promising_seq::litmus::gen::{random_context, random_program, GenConfig};
 use promising_seq::opt::pipeline::{Pipeline, PipelineConfig};
-use promising_seq::promising::machine::{explore, ps_behaviors_refine};
+use promising_seq::promising::machine::ps_behaviors_refine;
+use promising_seq::promising::search::{engine_config, explore_engine};
 use promising_seq::promising::thread::PsConfig;
 use promising_seq::seq::refine::{refines_advanced_or_simple_config, RefineConfig};
 
 fn main() {
     let mut rounds = 50usize;
     let mut seed = 0xFEED_F00Du64;
+    let mut workers = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--rounds" => rounds = args.next().and_then(|v| v.parse().ok()).unwrap_or(rounds),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--workers" => workers = args.next().and_then(|v| v.parse().ok()).unwrap_or(workers),
             other => {
-                eprintln!("unknown argument {other} (use --rounds N --seed S)");
+                eprintln!("unknown argument {other} (use --rounds N --seed S --workers W)");
                 std::process::exit(1);
             }
         }
@@ -41,11 +44,16 @@ fn main() {
     };
     let pipeline = Pipeline::new(PipelineConfig::default());
     let ps_cfg = PsConfig::default();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let ecfg = ExploreConfig {
+        workers,
+        ..engine_config(&ps_cfg)
+    };
+    let mut rng = SplitMix64::new(seed);
 
     let mut optimized = 0usize;
     let mut seq_checked = 0usize;
     let mut ps_checked = 0usize;
+    let mut states_total = 0usize;
     for round in 0..rounds {
         let src = random_program(&mut rng, &gen_cfg);
         let out = pipeline.optimize(&src);
@@ -58,7 +66,10 @@ fn main() {
         match refines_advanced_or_simple_config(&src, &out.program, &refine_cfg) {
             Ok(_) => seq_checked += 1,
             Err(e) => {
-                eprintln!("✗ SEQ VIOLATION at round {round} (seed {seed}):\n{e}\nsrc:\n{src}\ntgt:\n{}", out.program);
+                eprintln!(
+                    "✗ SEQ VIOLATION at round {round} (seed {seed}):\n{e}\nsrc:\n{src}\ntgt:\n{}",
+                    out.program
+                );
                 std::process::exit(2);
             }
         }
@@ -67,13 +78,14 @@ fn main() {
         let ctx = random_context(&mut rng, &gen_cfg);
         let mut src_threads = vec![src.clone()];
         let mut tgt_threads = vec![out.program.clone()];
-        if rng.gen_bool(0.8) {
+        if rng.chance(80) {
             src_threads.push(ctx.clone());
             tgt_threads.push(ctx);
         }
-        let sb = explore(&src_threads, &ps_cfg);
-        let tb = explore(&tgt_threads, &ps_cfg);
-        if sb.truncated || tb.truncated {
+        let sb = explore_engine(&src_threads, &ps_cfg, &ecfg);
+        let tb = explore_engine(&tgt_threads, &ps_cfg, &ecfg);
+        states_total += sb.stats.states + tb.stats.states;
+        if sb.stats.truncated || tb.stats.truncated {
             continue; // context too big for exhaustive exploration
         }
         if let Err(unmatched) = ps_behaviors_refine(&tb.behaviors, &sb.behaviors) {
@@ -86,13 +98,16 @@ fn main() {
         ps_checked += 1;
         if round % 10 == 9 {
             println!(
-                "round {:4}: {optimized} optimized, {seq_checked} SEQ-validated, {ps_checked} PS^na-validated",
+                "round {:4}: {optimized} optimized, {seq_checked} SEQ-validated, \
+                 {ps_checked} PS^na-validated, {states_total} states explored",
                 round + 1
             );
         }
     }
     println!(
         "done: {rounds} rounds, {optimized} programs optimized, {seq_checked} SEQ refinements, \
-         {ps_checked} PS^na contextual refinements — no violation found ✓"
+         {ps_checked} PS^na contextual refinements ({states_total} engine states, {workers} \
+         worker{}) — no violation found ✓",
+        if workers == 1 { "" } else { "s" }
     );
 }

@@ -1,33 +1,55 @@
 //! Explore any named litmus case (or the whole corpus) under the three
 //! machines — SC, the promise-free release/acquire fragment, and full
-//! PS^na — and print the behavior sets side by side.
+//! PS^na — and print the behavior sets side by side, with the
+//! exploration-engine statistics (dedup hits, reduction savings, worker
+//! utilization).
 //!
 //! ```sh
-//! cargo run --example litmus_explorer            # list cases
-//! cargo run --example litmus_explorer sb-rlx     # run one case
-//! cargo run --example litmus_explorer --all      # run everything
+//! cargo run --example litmus_explorer                      # list cases
+//! cargo run --example litmus_explorer sb-rlx               # run one case
+//! cargo run --example litmus_explorer --all                # run everything
+//! cargo run --example litmus_explorer sb-rlx --workers 4   # parallel frontier
+//! cargo run --example litmus_explorer sb-rlx --no-reduction
 //! ```
 
+use promising_seq::explore::ExploreConfig;
 use promising_seq::litmus::concurrent::{concurrent_corpus, ConcurrentCase};
 use promising_seq::litmus::transform::transform_corpus;
-use promising_seq::promising::sc::{explore_sc, ScConfig};
-use promising_seq::promising::{explore, PsConfig};
+use promising_seq::promising::sc::{explore_sc_engine, ScConfig};
+use promising_seq::promising::search::{engine_config, explore_engine};
+use promising_seq::promising::PsConfig;
 
 fn main() {
-    let arg = std::env::args().nth(1);
-    match arg.as_deref() {
-        None => list(),
-        Some("--all") => {
+    let mut name: Option<String> = None;
+    let mut all = false;
+    let mut ecfg = ExploreConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--all" => all = true,
+            "--workers" => {
+                ecfg.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(ecfg.workers)
+            }
+            "--no-reduction" => ecfg.reduction = false,
+            other => name = Some(other.to_owned()),
+        }
+    }
+    match (all, name) {
+        (true, _) => {
             for case in concurrent_corpus() {
-                run_case(&case);
+                run_case(&case, &ecfg);
             }
         }
-        Some(name) => {
+        (false, None) => list(),
+        (false, Some(name)) => {
             let Some(case) = concurrent_corpus().into_iter().find(|c| c.name == name) else {
                 eprintln!("unknown case `{name}` — run without arguments to list cases");
                 std::process::exit(1);
             };
-            run_case(&case);
+            run_case(&case, &ecfg);
         }
     }
 }
@@ -43,7 +65,7 @@ fn list() {
     }
 }
 
-fn run_case(case: &ConcurrentCase) {
+fn run_case(case: &ConcurrentCase, ecfg: &ExploreConfig) {
     println!("════ {} — {} ════", case.name, case.paper_ref);
     let progs = case.programs();
     for (i, t) in progs.iter().enumerate() {
@@ -52,23 +74,47 @@ fn run_case(case: &ConcurrentCase) {
             println!("    {line}");
         }
     }
-    let sc = explore_sc(&progs, &ScConfig::default());
-    println!("SC            ({:6} states): {}", sc.states, fmt_behaviors(&sc.behaviors));
-    let ra = explore(&progs, &PsConfig::default());
-    println!("RA (no promises, {:4} states): {}", ra.states, fmt_behaviors(&ra.behaviors));
+    let knobs = |base: ExploreConfig| ExploreConfig {
+        workers: ecfg.workers,
+        reduction: ecfg.reduction,
+        ..base
+    };
+    let sc_cfg = ScConfig::default();
+    let sc = explore_sc_engine(
+        &progs,
+        &sc_cfg,
+        &knobs(ExploreConfig {
+            max_states: sc_cfg.max_states,
+            max_depth: sc_cfg.max_steps,
+            ..ExploreConfig::default()
+        }),
+    );
+    println!(
+        "SC            ({:6} states): {}",
+        sc.states,
+        fmt_behaviors(&sc.behaviors)
+    );
+    let ra_cfg = PsConfig::default();
+    let ra = explore_engine(&progs, &ra_cfg, &knobs(engine_config(&ra_cfg)));
+    println!(
+        "RA (no promises, {:4} states): {}",
+        ra.stats.states,
+        fmt_behaviors(&ra.behaviors)
+    );
     let cfg = case.config();
-    let ps = explore(&progs, &cfg);
+    let ps = explore_engine(&progs, &cfg, &knobs(engine_config(&cfg)));
     println!(
         "PS^na        ({:6} states{}): {}",
-        ps.states,
+        ps.stats.states,
         if cfg.allow_promises { ", promises" } else { "" },
         fmt_behaviors(&ps.behaviors)
     );
-    if ps.racy {
+    println!("  engine: {}", ps.stats);
+    if ps.stats.racy_steps > 0 {
         println!("  ⚠ racy accesses reachable");
     }
-    match case.check() {
-        Ok(()) => println!("  ✓ all paper expectations hold"),
+    match case.check_with_engine(&knobs(engine_config(&cfg))) {
+        Ok(_) => println!("  ✓ all paper expectations hold"),
         Err(e) => println!("  ✗ {e}"),
     }
     println!();

@@ -51,11 +51,17 @@ fn main() {
     let before = explore(&[src.clone(), observer.clone()], &cfg);
     let after = explore(&[validated.result.program.clone(), observer], &cfg);
 
-    println!("== PS^na behaviors before optimization ({} states) ==", before.states);
+    println!(
+        "== PS^na behaviors before optimization ({} states) ==",
+        before.states
+    );
     for b in &before.behaviors {
         println!("  {b}");
     }
-    println!("== PS^na behaviors after optimization ({} states) ==", after.states);
+    println!(
+        "== PS^na behaviors after optimization ({} states) ==",
+        after.states
+    );
     for b in &after.behaviors {
         println!("  {b}");
     }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The offline CI gate: everything here must pass without network access
+# (the default workspace has no registry dependencies; the Criterion
+# bench harness lives in the excluded `crates/bench` package).
+#
+#   scripts/ci.sh          # full gate: build, test, clippy, fmt
+#   scripts/ci.sh quick    # build + test only
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [ "${1:-full}" != "quick" ]; then
+    echo "==> cargo clippy --all-targets -- -D warnings"
+    cargo clippy --all-targets -- -D warnings
+
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+fi
+
+echo "==> CI gate passed"

@@ -5,15 +5,21 @@
 //! seqwm optimize <file>               run the 4-pass optimizer (§4)
 //! seqwm validate <file>               optimize + SEQ-only validation
 //! seqwm refine <src> <tgt>            check both refinement notions (§2/§3)
-//! seqwm explore <file> [<file>...]    PS^na behaviors of a parallel program
+//! seqwm explore [flags] <file>...     PS^na behaviors of a parallel program
 //! seqwm sc <file> [<file>...]         SC behaviors (baseline)
 //! seqwm drf <file> [<file>...]        race report + model comparison
 //! seqwm litmus [name|--all]           run corpus cases
 //! ```
+//!
+//! `explore` accepts engine flags: `--workers N`, `--strategy
+//! dfs|bfs|iddfs|random`, `--no-reduction`, `--exact` (exact visited
+//! set instead of 64-bit fingerprints), `--max-states N`, and `--stats`
+//! (print engine statistics).
 
 use std::fs;
 use std::process::ExitCode;
 
+use promising_seq::explore::{ExploreConfig, Strategy, VisitedMode};
 use promising_seq::lang::parser::parse_program;
 use promising_seq::lang::Program;
 use promising_seq::litmus::concurrent::concurrent_corpus;
@@ -22,7 +28,8 @@ use promising_seq::opt::pipeline::{Pipeline, PipelineConfig};
 use promising_seq::opt::validate::optimize_validated;
 use promising_seq::promising::drf::drf_check;
 use promising_seq::promising::sc::{explore_sc, ScConfig};
-use promising_seq::promising::{explore, PsConfig};
+use promising_seq::promising::search::{engine_config, explore_engine};
+use promising_seq::promising::PsConfig;
 use promising_seq::seq::advanced::refines_advanced;
 use promising_seq::seq::refine::{refines_simple, RefineConfig};
 
@@ -36,6 +43,77 @@ fn load_all(paths: &[String]) -> Result<Vec<Program>, String> {
         return Err("expected at least one program file".to_owned());
     }
     paths.iter().map(|p| load(p)).collect()
+}
+
+/// Engine knobs accepted by `seqwm explore`.
+#[derive(Default)]
+struct EngineOpts {
+    workers: Option<usize>,
+    strategy: Option<Strategy>,
+    no_reduction: bool,
+    exact: bool,
+    max_states: Option<usize>,
+    stats: bool,
+}
+
+impl EngineOpts {
+    fn apply(&self, mut ecfg: ExploreConfig) -> ExploreConfig {
+        if let Some(w) = self.workers {
+            ecfg.workers = w.max(1);
+        }
+        if let Some(s) = &self.strategy {
+            ecfg.strategy = s.clone();
+        }
+        if self.no_reduction {
+            ecfg.reduction = false;
+        }
+        if self.exact {
+            ecfg.visited = VisitedMode::Exact;
+        }
+        if let Some(n) = self.max_states {
+            ecfg.max_states = n;
+        }
+        ecfg
+    }
+}
+
+fn parse_engine_flags(args: &[String]) -> Result<(EngineOpts, Vec<String>), String> {
+    let mut opts = EngineOpts::default();
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a number")?;
+                opts.workers = Some(v.parse().map_err(|_| format!("bad worker count {v}"))?);
+            }
+            "--strategy" => {
+                let v = it.next().ok_or("--strategy needs a name")?;
+                opts.strategy = Some(match v.as_str() {
+                    "dfs" => Strategy::Dfs,
+                    "bfs" => Strategy::Bfs,
+                    "iddfs" => Strategy::IterativeDeepening {
+                        initial: 8,
+                        step: 8,
+                    },
+                    "random" => Strategy::RandomWalk {
+                        walks: 4096,
+                        seed: 0xC0FFEE,
+                    },
+                    other => return Err(format!("unknown strategy `{other}`")),
+                });
+            }
+            "--max-states" => {
+                let v = it.next().ok_or("--max-states needs a number")?;
+                opts.max_states = Some(v.parse().map_err(|_| format!("bad state bound {v}"))?);
+            }
+            "--no-reduction" => opts.no_reduction = true,
+            "--exact" => opts.exact = true,
+            "--stats" => opts.stats = true,
+            _ => files.push(a.clone()),
+        }
+    }
+    Ok((opts, files))
 }
 
 fn usage() -> String {
@@ -119,10 +197,13 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "explore" => {
-            let progs = load_all(rest)?;
+            let (opts, files) = parse_engine_flags(rest)?;
+            let progs = load_all(&files)?;
             let refs: Vec<&Program> = progs.iter().collect();
             let cfg = PsConfig::with_promises(&refs);
-            let result = explore(&progs, &cfg);
+            let ecfg = opts.apply(engine_config(&cfg));
+            let e = explore_engine(&progs, &cfg, &ecfg);
+            let result = e.to_exploration();
             println!(
                 "PS^na: {} states{}{}",
                 result.states,
@@ -131,6 +212,9 @@ fn run() -> Result<(), String> {
             );
             for b in &result.behaviors {
                 println!("  {b}");
+            }
+            if opts.stats {
+                println!("{}", e.stats);
             }
             Ok(())
         }
@@ -198,10 +282,9 @@ fn run() -> Result<(), String> {
                 if let Some(c) = transform_corpus().into_iter().find(|c| c.name == *name) {
                     c.check(&RefineConfig::default())
                         .map(|()| println!("✓ {} matches the paper", c.name))
-                } else if let Some(c) =
-                    concurrent_corpus().into_iter().find(|c| c.name == *name)
-                {
-                    c.check().map(|()| println!("✓ {} matches the paper", c.name))
+                } else if let Some(c) = concurrent_corpus().into_iter().find(|c| c.name == *name) {
+                    c.check()
+                        .map(|()| println!("✓ {} matches the paper", c.name))
                 } else {
                     Err(format!("unknown litmus case `{name}`"))
                 }

@@ -18,6 +18,9 @@
 //!   App. D) with SEQ-based translation validation.
 //! * [`litmus`] — the corpus of litmus tests and program generators used to
 //!   reproduce every example of the paper.
+//! * [`explore`] — the generic state-space exploration engine (parallel
+//!   workers, fingerprint dedup, interleaving reduction, strategies and
+//!   budgets) driving the PS^na, SC and SEQ explorers.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +42,7 @@
 //! # Ok::<(), promising_seq::lang::parser::ParseError>(())
 //! ```
 
+pub use seqwm_explore as explore;
 pub use seqwm_lang as lang;
 pub use seqwm_litmus as litmus;
 pub use seqwm_opt as opt;

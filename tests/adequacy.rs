@@ -14,9 +14,7 @@
 //! A violation would be a counterexample to the paper's main theorem (or
 //! to this reproduction); none has been found.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
+use seqwm_explore::SplitMix64;
 use seqwm_lang::parser::parse_program;
 use seqwm_lang::Program;
 use seqwm_litmus::gen::{random_context, random_program, GenConfig};
@@ -61,9 +59,7 @@ fn corpus_contexts() -> Vec<Vec<Program>> {
             "f := load[acq](y); if (f == 1) { d := load[na](x); } return f;",
         )],
         // A writer publishing na data through the release flag.
-        vec![parse(
-            "store[na](x, 2); store[rel](y, 1); return 0;",
-        )],
+        vec![parse("store[na](x, 2); store[rel](y, 1); return 0;")],
     ]
 }
 
@@ -79,9 +75,7 @@ fn composable_corpus() -> Vec<(String, Program, Program)> {
             // corpus cases that use them differently, and loops (exploration
             // cost).
             let ok_modes = |p: &Program| {
-                p.na_locs()
-                    .iter()
-                    .all(|l| l.name() == "x")
+                p.na_locs().iter().all(|l| l.name() == "x")
                     && p.atomic_locs()
                         .iter()
                         .all(|l| l.name() == "y" || l.name() == "z")
@@ -95,7 +89,11 @@ fn composable_corpus() -> Vec<(String, Program, Program)> {
 fn adequacy_on_corpus_cases_under_contexts() {
     let contexts = corpus_contexts();
     let cases = composable_corpus();
-    assert!(cases.len() >= 10, "composable corpus too small: {}", cases.len());
+    assert!(
+        cases.len() >= 10,
+        "composable corpus too small: {}",
+        cases.len()
+    );
     for (name, src, tgt) in &cases {
         for (i, ctxs) in contexts.iter().enumerate() {
             assert_contextual_refinement(src, tgt, ctxs, &format!("{name} / ctx{i}"));
@@ -114,7 +112,7 @@ fn adequacy_on_optimizer_outputs_of_random_programs() {
         ..RefineConfig::default()
     };
     let pipeline = Pipeline::new(PipelineConfig::default());
-    let mut rng = StdRng::seed_from_u64(0xADE0_ACAD);
+    let mut rng = SplitMix64::new(0xADE0_ACAD);
     let mut optimized_pairs = 0;
     let mut checked = 0;
     for round in 0..40 {
@@ -130,12 +128,7 @@ fn adequacy_on_optimizer_outputs_of_random_programs() {
         });
         // Step 2: contextual refinement in PS^na under a random context.
         let ctx = random_context(&mut rng, &gen_cfg);
-        assert_contextual_refinement(
-            &src,
-            &out.program,
-            &[ctx],
-            &format!("random round {round}"),
-        );
+        assert_contextual_refinement(&src, &out.program, &[ctx], &format!("random round {round}"));
         checked += 1;
         if checked >= 12 {
             break; // enough exploration work for one test

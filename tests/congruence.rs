@@ -91,7 +91,9 @@ fn simple_refinement_is_preserved_by_contexts() {
                 out.holds,
                 "congruence violated for {} under context `{ctx_name}`: {}",
                 case.name,
-                out.counterexample.map(|c| c.to_string()).unwrap_or_default()
+                out.counterexample
+                    .map(|c| c.to_string())
+                    .unwrap_or_default()
             );
             checked += 1;
         }

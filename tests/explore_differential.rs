@@ -1,0 +1,163 @@
+//! Differential test of the `seqwm-explore` engine against the seed
+//! depth-first explorer (`explore_legacy`): the two must produce exactly
+//! the same behavior sets (and racy flag) over the whole concurrent
+//! litmus corpus, for every combination of worker count and interleaving
+//! reduction.
+//!
+//! The legacy baseline for each case is computed once and shared across
+//! tests. The full worker × reduction matrix runs on the cases that are
+//! cheap to explore; the expensive promise-heavy cases are covered by the
+//! canonical configuration (and by `tests/concurrent_litmus.rs`, which
+//! checks their expected outcomes through the engine).
+
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+use seqwm_explore::ExploreConfig;
+use seqwm_litmus::concurrent::{concurrent_corpus, ConcurrentCase};
+use seqwm_promising::machine::{explore_legacy, PsBehavior};
+use seqwm_promising::search::{engine_config, explore_engine};
+
+struct Baseline {
+    name: &'static str,
+    behaviors: BTreeSet<PsBehavior>,
+    racy: bool,
+    states: usize,
+}
+
+/// Cases cheap enough for the full worker × reduction matrix (everything
+/// except the promise-synthesis-heavy paper appendices).
+fn is_cheap(c: &ConcurrentCase) -> bool {
+    !c.promises
+}
+
+fn baselines() -> &'static Vec<(ConcurrentCase, Baseline)> {
+    static BASELINES: OnceLock<Vec<(ConcurrentCase, Baseline)>> = OnceLock::new();
+    BASELINES.get_or_init(|| {
+        concurrent_corpus()
+            .into_iter()
+            .map(|c| {
+                let r = explore_legacy(&c.programs(), &c.config());
+                assert!(!r.truncated, "{}: legacy baseline truncated", c.name);
+                let b = Baseline {
+                    name: c.name,
+                    behaviors: r.behaviors,
+                    racy: r.racy,
+                    states: r.states,
+                };
+                (c, b)
+            })
+            .collect()
+    })
+}
+
+fn check_config(workers: usize, reduction: bool, include_heavy: bool) {
+    for (case, base) in baselines() {
+        if !include_heavy && !is_cheap(case) {
+            continue;
+        }
+        let cfg = case.config();
+        let e = explore_engine(
+            &case.programs(),
+            &cfg,
+            &ExploreConfig {
+                workers,
+                reduction,
+                ..engine_config(&cfg)
+            },
+        );
+        assert!(
+            !e.stats.truncated,
+            "{}: engine truncated (workers={workers}, reduction={reduction})",
+            base.name
+        );
+        assert_eq!(
+            e.behaviors, base.behaviors,
+            "{}: behavior sets diverge (workers={workers}, reduction={reduction})",
+            base.name
+        );
+        assert_eq!(
+            e.stats.racy_steps > 0,
+            base.racy,
+            "{}: racy flag diverges (workers={workers}, reduction={reduction})",
+            base.name
+        );
+    }
+}
+
+// The canonical configuration covers the FULL corpus, including the
+// promise-heavy appendix cases: exact behavior-set equality everywhere.
+#[test]
+fn full_corpus_sequential_reduced() {
+    check_config(1, true, true);
+}
+
+// The worker × reduction matrix on the cheap cases.
+#[test]
+fn matrix_w1_unreduced() {
+    check_config(1, false, false);
+}
+
+#[test]
+fn matrix_w2_reduced() {
+    check_config(2, true, false);
+}
+
+#[test]
+fn matrix_w2_unreduced() {
+    check_config(2, false, false);
+}
+
+#[test]
+fn matrix_w4_reduced() {
+    check_config(4, true, false);
+}
+
+#[test]
+fn matrix_w4_unreduced() {
+    check_config(4, false, false);
+}
+
+// The 4-thread case: the reduction must preserve the behavior set while
+// visiting measurably fewer raw states, including under 4 workers.
+#[test]
+fn four_thread_case_reduction_saves_states() {
+    let (case, base) = baselines()
+        .iter()
+        .find(|(c, _)| c.name == "mp-chain-4")
+        .expect("mp-chain-4 in corpus");
+    let cfg = case.config();
+    let full = explore_engine(
+        &case.programs(),
+        &cfg,
+        &ExploreConfig {
+            reduction: false,
+            ..engine_config(&cfg)
+        },
+    );
+    let reduced = explore_engine(&case.programs(), &cfg, &engine_config(&cfg));
+    let reduced4 = explore_engine(
+        &case.programs(),
+        &cfg,
+        &ExploreConfig {
+            workers: 4,
+            ..engine_config(&cfg)
+        },
+    );
+    println!(
+        "mp-chain-4: legacy {} states; engine full {} states; reduced {} states; \
+         reduced(4 workers) {} states",
+        base.states, full.stats.states, reduced.stats.states, reduced4.stats.states
+    );
+    println!("reduced stats: {}", reduced.stats);
+    assert_eq!(full.behaviors, base.behaviors);
+    assert_eq!(reduced.behaviors, base.behaviors);
+    assert_eq!(reduced4.behaviors, base.behaviors);
+    assert!(
+        reduced.stats.states < full.stats.states,
+        "reduction must visit fewer states: {} vs {}",
+        reduced.stats.states,
+        full.stats.states
+    );
+    assert!(reduced.stats.sleep_skips + reduced.stats.ample_commits > 0);
+}

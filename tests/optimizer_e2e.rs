@@ -2,9 +2,7 @@
 //! per-pass behaviour on the paper's patterns, the ≤3-iteration fixpoint
 //! claim, and SEQ-only validation of every stage.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
+use seqwm_explore::SplitMix64;
 use seqwm_lang::parser::parse_program;
 use seqwm_litmus::gen::{random_program, GenConfig};
 use seqwm_opt::pipeline::{PassKind, Pipeline, PipelineConfig};
@@ -43,17 +41,21 @@ fn figure_4_full_reproduction() {
 fn four_pass_patterns_from_section_4() {
     let pipeline = Pipeline::new(PipelineConfig::default());
     // SLF pattern.
-    let p = parse_program(
-        "store[na](x, 1); c := load[rlx](f); b := load[na](x); return b;",
-    )
-    .unwrap();
-    assert!(pipeline.optimize(&p).program.to_string().contains("b := 1;"));
+    let p =
+        parse_program("store[na](x, 1); c := load[rlx](f); b := load[na](x); return b;").unwrap();
+    assert!(pipeline
+        .optimize(&p)
+        .program
+        .to_string()
+        .contains("b := 1;"));
     // LLF pattern.
-    let p = parse_program(
-        "a := load[na](x); c := load[rlx](f); b := load[na](x); return a + b;",
-    )
-    .unwrap();
-    assert!(pipeline.optimize(&p).program.to_string().contains("b := a;"));
+    let p = parse_program("a := load[na](x); c := load[rlx](f); b := load[na](x); return a + b;")
+        .unwrap();
+    assert!(pipeline
+        .optimize(&p)
+        .program
+        .to_string()
+        .contains("b := a;"));
     // DSE pattern.
     let p = parse_program("store[na](x, 1); c := load[rlx](f); store[na](x, 2);").unwrap();
     assert!(!pipeline
@@ -62,10 +64,7 @@ fn four_pass_patterns_from_section_4() {
         .to_string()
         .contains("store[na](x, 1);"));
     // LICM pattern (Example 1.3).
-    let p = parse_program(
-        "while (i < 3) { a := load[na](x); i := i + a; } return a;",
-    )
-    .unwrap();
+    let p = parse_program("while (i < 3) { a := load[na](x); i := i + a; } return a;").unwrap();
     let out = pipeline.optimize(&p).program.to_string();
     assert!(out.contains("licm_"), "{out}");
 }
@@ -74,7 +73,7 @@ fn four_pass_patterns_from_section_4() {
 fn fixpoint_claim_three_iterations() {
     // §4: "the analysis reaches a fixpoint in at most three iterations
     // when analyzing a loop". Check on a batch of random loopy programs.
-    let mut rng = StdRng::seed_from_u64(0xF1);
+    let mut rng = SplitMix64::new(0xF1);
     let cfg = GenConfig::default();
     let pipeline = Pipeline::default();
     for _ in 0..100 {
@@ -108,7 +107,7 @@ fn strip_returns(src: &str) -> String {
 #[test]
 fn validated_optimization_of_random_programs() {
     // E6: optimize + validate (SEQ only) a batch of random programs.
-    let mut rng = StdRng::seed_from_u64(0xE6);
+    let mut rng = SplitMix64::new(0xE6);
     let gen_cfg = GenConfig {
         max_stmts: 5,
         ..GenConfig::default()
@@ -134,7 +133,7 @@ fn optimizer_preserves_sequential_results() {
     // Cheap sanity: on race-free single-threaded programs the optimized
     // program computes the same return value under SC.
     use seqwm_promising::sc::{explore_sc, ScConfig};
-    let mut rng = StdRng::seed_from_u64(0x5E0);
+    let mut rng = SplitMix64::new(0x5E0);
     let gen_cfg = GenConfig::default();
     let pipeline = Pipeline::default();
     for _ in 0..60 {

@@ -69,7 +69,9 @@ fn example_2_11_and_2_12_slf_across_atomics() {
 #[test]
 fn section_3_late_ub() {
     run_group(|n| {
-        n.starts_with("late-ub") || n.contains("then-ub") || n.starts_with("example-3-1")
+        n.starts_with("late-ub")
+            || n.contains("then-ub")
+            || n.starts_with("example-3-1")
             || n.starts_with("ub-depends")
     });
 }

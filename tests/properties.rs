@@ -1,200 +1,267 @@
-//! Property-based tests (proptest) on the core orders, the parser, the
-//! optimizer, and the relation between the two refinement notions
-//! (Prop. 3.4).
+//! Property-based tests on the core orders, the parser, the optimizer,
+//! and the relation between the two refinement notions (Prop. 3.4).
+//!
+//! Generators are hand-rolled over the dependency-free [`SplitMix64`]
+//! generator (no external property-testing crate), with fixed master
+//! seeds so failures are reproducible.
 
-use proptest::prelude::*;
-
+use seqwm_explore::SplitMix64;
 use seqwm_lang::parser::parse_program;
 use seqwm_lang::{Loc, Value};
 use seqwm_seq::behavior::{Behavior, BehaviorEnd};
 use seqwm_seq::label::{trace_refines, LocSet, SeqLabel, SyncInfo, Valuation};
 use seqwm_seq::refine::{refines_simple, RefineConfig};
 
-// ---------------------------------------------------------------- values --
+/// Scales every sampling loop; `--features fuzzing` multiplies the
+/// number of random cases by 8 for longer offline campaigns.
+#[cfg(not(feature = "fuzzing"))]
+const SCALE: usize = 1;
+#[cfg(feature = "fuzzing")]
+const SCALE: usize = 8;
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        (-3i64..4).prop_map(Value::Int),
-        Just(Value::Undef),
-    ]
+// ------------------------------------------------------------ generators --
+
+fn arb_value(rng: &mut SplitMix64) -> Value {
+    if rng.below(8) == 0 {
+        Value::Undef
+    } else {
+        Value::Int(rng.below(7) as i64 - 3)
+    }
 }
 
-proptest! {
-    #[test]
-    fn value_order_is_partial_order(a in arb_value(), b in arb_value(), c in arb_value()) {
-        prop_assert!(a.refines(a));
+fn arb_loc(rng: &mut SplitMix64) -> Loc {
+    Loc::new(&format!("pl{}", rng.below(3)))
+}
+
+fn arb_locset(rng: &mut SplitMix64) -> LocSet {
+    let n = rng.below(3);
+    (0..n).map(|_| arb_loc(rng)).collect()
+}
+
+fn arb_valuation(rng: &mut SplitMix64) -> Valuation {
+    let n = rng.below(3);
+    (0..n)
+        .map(|_| {
+            let l = arb_loc(rng);
+            let v = arb_value(rng);
+            (l, v)
+        })
+        .collect()
+}
+
+fn arb_sync_info(rng: &mut SplitMix64) -> SyncInfo {
+    SyncInfo {
+        p_before: arb_locset(rng),
+        p_after: arb_locset(rng),
+        written: arb_locset(rng),
+        vals: arb_valuation(rng),
+    }
+}
+
+fn arb_label(rng: &mut SplitMix64) -> SeqLabel {
+    match rng.below(6) {
+        0 => SeqLabel::Choose(arb_value(rng)),
+        1 => SeqLabel::ReadRlx(arb_loc(rng), arb_value(rng)),
+        2 => SeqLabel::WriteRlx(arb_loc(rng), arb_value(rng)),
+        3 => SeqLabel::AcqRead {
+            loc: arb_loc(rng),
+            val: arb_value(rng),
+            info: arb_sync_info(rng),
+        },
+        4 => SeqLabel::RelWrite {
+            loc: arb_loc(rng),
+            val: arb_value(rng),
+            info: arb_sync_info(rng),
+        },
+        _ => SeqLabel::Syscall(arb_value(rng)),
+    }
+}
+
+fn arb_trace(rng: &mut SplitMix64, max: usize) -> Vec<SeqLabel> {
+    let n = rng.below(max + 1);
+    (0..n).map(|_| arb_label(rng)).collect()
+}
+
+fn arb_behavior(rng: &mut SplitMix64) -> Behavior {
+    let end = match rng.below(3) {
+        0 => BehaviorEnd::Term {
+            val: arb_value(rng),
+            written: arb_locset(rng),
+            mem: arb_valuation(rng),
+        },
+        1 => BehaviorEnd::Partial {
+            written: arb_locset(rng),
+        },
+        _ => BehaviorEnd::Bottom,
+    };
+    Behavior {
+        trace: arb_trace(rng, 2),
+        end,
+    }
+}
+
+// ---------------------------------------------------------------- values --
+
+#[test]
+fn value_order_is_partial_order() {
+    let mut rng = SplitMix64::new(1);
+    for _ in 0..512 * SCALE {
+        let (a, b, c) = (
+            arb_value(&mut rng),
+            arb_value(&mut rng),
+            arb_value(&mut rng),
+        );
+        assert!(a.refines(a));
         if a.refines(b) && b.refines(a) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
         if a.refines(b) && b.refines(c) {
-            prop_assert!(a.refines(c));
+            assert!(a.refines(c));
         }
     }
+}
 
-    #[test]
-    fn undef_is_the_unique_top(a in arb_value()) {
-        prop_assert!(a.refines(Value::Undef));
+#[test]
+fn undef_is_the_unique_top() {
+    let mut rng = SplitMix64::new(2);
+    for _ in 0..256 * SCALE {
+        let a = arb_value(&mut rng);
+        assert!(a.refines(Value::Undef));
         if Value::Undef.refines(a) {
-            prop_assert_eq!(a, Value::Undef);
+            assert_eq!(a, Value::Undef);
         }
     }
 }
 
 // ---------------------------------------------------------------- labels --
 
-fn arb_locset() -> impl Strategy<Value = LocSet> {
-    proptest::collection::btree_set((0u8..3).prop_map(|i| Loc::new(&format!("pl{i}"))), 0..3)
-}
-
-fn arb_valuation() -> impl Strategy<Value = Valuation> {
-    proptest::collection::btree_map(
-        (0u8..3).prop_map(|i| Loc::new(&format!("pl{i}"))),
-        arb_value(),
-        0..3,
-    )
-}
-
-fn arb_sync_info() -> impl Strategy<Value = SyncInfo> {
-    (arb_locset(), arb_locset(), arb_locset(), arb_valuation()).prop_map(
-        |(p_before, p_after, written, vals)| SyncInfo {
-            p_before,
-            p_after,
-            written,
-            vals,
-        },
-    )
-}
-
-fn arb_label() -> impl Strategy<Value = SeqLabel> {
-    let loc = (0u8..3).prop_map(|i| Loc::new(&format!("pl{i}")));
-    prop_oneof![
-        arb_value().prop_map(SeqLabel::Choose),
-        (loc.clone(), arb_value()).prop_map(|(l, v)| SeqLabel::ReadRlx(l, v)),
-        (loc.clone(), arb_value()).prop_map(|(l, v)| SeqLabel::WriteRlx(l, v)),
-        (loc.clone(), arb_value(), arb_sync_info())
-            .prop_map(|(l, v, i)| SeqLabel::AcqRead { loc: l, val: v, info: i }),
-        (loc, arb_value(), arb_sync_info())
-            .prop_map(|(l, v, i)| SeqLabel::RelWrite { loc: l, val: v, info: i }),
-        arb_value().prop_map(SeqLabel::Syscall),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn label_order_is_a_partial_order(a in arb_label(), b in arb_label(), c in arb_label()) {
-        prop_assert!(a.refines(&a));
-        if a.refines(&b) && b.refines(&a) {
-            // Antisymmetry holds up to the F/V components ordering; since
-            // both directions require mutual ⊆ / pointwise ⊑, equality
-            // follows for defined values.
-            prop_assert!(a.refines(&b));
-        }
+#[test]
+fn label_order_is_a_partial_order() {
+    let mut rng = SplitMix64::new(3);
+    for _ in 0..512 * SCALE {
+        let (a, b, c) = (
+            arb_label(&mut rng),
+            arb_label(&mut rng),
+            arb_label(&mut rng),
+        );
+        assert!(a.refines(&a));
         if a.refines(&b) && b.refines(&c) {
-            prop_assert!(a.refines(&c), "transitivity: {a:?} ⊑ {b:?} ⊑ {c:?}");
+            assert!(a.refines(&c), "transitivity: {a:?} ⊑ {b:?} ⊑ {c:?}");
         }
     }
+}
 
-    #[test]
-    fn trace_refinement_requires_equal_length(
-        t in proptest::collection::vec(arb_label(), 0..4),
-        s in proptest::collection::vec(arb_label(), 0..4),
-    ) {
+#[test]
+fn trace_refinement_requires_equal_length() {
+    let mut rng = SplitMix64::new(4);
+    for _ in 0..512 * SCALE {
+        let t = arb_trace(&mut rng, 3);
+        let s = arb_trace(&mut rng, 3);
         if trace_refines(&t, &s) {
-            prop_assert_eq!(t.len(), s.len());
+            assert_eq!(t.len(), s.len());
         }
     }
 }
 
 // ------------------------------------------------------------- behaviors --
 
-fn arb_behavior() -> impl Strategy<Value = Behavior> {
-    let end = prop_oneof![
-        (arb_value(), arb_locset(), arb_valuation()).prop_map(|(val, written, mem)| {
-            BehaviorEnd::Term { val, written, mem }
-        }),
-        arb_locset().prop_map(|written| BehaviorEnd::Partial { written }),
-        Just(BehaviorEnd::Bottom),
-    ];
-    (proptest::collection::vec(arb_label(), 0..3), end)
-        .prop_map(|(trace, end)| Behavior { trace, end })
-}
-
-proptest! {
-    #[test]
-    fn behavior_refinement_is_reflexive_and_transitive(
-        a in arb_behavior(), b in arb_behavior(), c in arb_behavior()
-    ) {
-        prop_assert!(a.refines(&a));
+#[test]
+fn behavior_refinement_is_reflexive_and_transitive() {
+    let mut rng = SplitMix64::new(5);
+    for _ in 0..512 * SCALE {
+        let a = arb_behavior(&mut rng);
+        let b = arb_behavior(&mut rng);
+        let c = arb_behavior(&mut rng);
+        assert!(a.refines(&a));
         if a.refines(&b) && b.refines(&c) {
-            prop_assert!(a.refines(&c));
+            assert!(a.refines(&c));
         }
     }
+}
 
-    #[test]
-    fn bottom_source_absorbs_extensions(mut a in arb_behavior(), suffix in proptest::collection::vec(arb_label(), 0..3)) {
-        let src = Behavior { trace: a.trace.clone(), end: BehaviorEnd::Bottom };
-        a.trace.extend(suffix);
-        prop_assert!(a.refines(&src), "⟨tr·tr', r⟩ ⊑ ⟨tr, ⊥⟩");
+#[test]
+fn bottom_source_absorbs_extensions() {
+    let mut rng = SplitMix64::new(6);
+    for _ in 0..256 * SCALE {
+        let mut a = arb_behavior(&mut rng);
+        let src = Behavior {
+            trace: a.trace.clone(),
+            end: BehaviorEnd::Bottom,
+        };
+        a.trace.extend(arb_trace(&mut rng, 2));
+        assert!(a.refines(&src), "⟨tr·tr', r⟩ ⊑ ⟨tr, ⊥⟩");
     }
 }
 
 // ---------------------------------------------------------------- parser --
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn generated_programs_round_trip(seed in any::<u64>()) {
-        use rand::SeedableRng;
-        let cfg = seqwm_litmus::gen::GenConfig::default();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn generated_programs_round_trip() {
+    let cfg = seqwm_litmus::gen::GenConfig::default();
+    let mut master = SplitMix64::new(0x70B1);
+    for i in 0..64u64 {
+        let mut rng = master.fork(i);
         let p = seqwm_litmus::gen::random_program(&mut rng, &cfg);
         let printed = p.to_string();
         let reparsed = parse_program(&printed).expect("pretty output parses");
-        prop_assert_eq!(p, reparsed);
+        assert_eq!(p, reparsed);
     }
 }
 
 // ------------------------------------------------ refinement properties --
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn refinement_is_reflexive_on_random_programs(seed in any::<u64>()) {
-        use rand::SeedableRng;
-        let cfg = seqwm_litmus::gen::GenConfig {
-            max_stmts: 3,
-            ..seqwm_litmus::gen::GenConfig::default()
-        };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn refinement_is_reflexive_on_random_programs() {
+    let cfg = seqwm_litmus::gen::GenConfig {
+        max_stmts: 3,
+        ..seqwm_litmus::gen::GenConfig::default()
+    };
+    let mut master = SplitMix64::new(0x2EF1);
+    for i in 0..24u64 {
+        let mut rng = master.fork(i);
         let p = seqwm_litmus::gen::random_program(&mut rng, &cfg);
-        let refine_cfg = RefineConfig { max_steps: 48, ..RefineConfig::default() };
-        let out = refines_simple(&p, &p, &refine_cfg).expect("checkable");
-        prop_assert!(out.holds, "σ ⊑ σ must hold:\n{}", p);
-    }
-
-    #[test]
-    fn optimizer_output_refines_input_prop_3_4(seed in any::<u64>()) {
-        use rand::SeedableRng;
-        let cfg = seqwm_litmus::gen::GenConfig {
-            max_stmts: 4,
-            ..seqwm_litmus::gen::GenConfig::default()
+        let refine_cfg = RefineConfig {
+            max_steps: 48,
+            ..RefineConfig::default()
         };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let out = refines_simple(&p, &p, &refine_cfg).expect("checkable");
+        assert!(out.holds, "σ ⊑ σ must hold:\n{p}");
+    }
+}
+
+#[test]
+fn optimizer_output_refines_input_prop_3_4() {
+    let cfg = seqwm_litmus::gen::GenConfig {
+        max_stmts: 4,
+        ..seqwm_litmus::gen::GenConfig::default()
+    };
+    let mut master = SplitMix64::new(0x0314);
+    for i in 0..24u64 {
+        let mut rng = master.fork(i);
         let p = seqwm_litmus::gen::random_program(&mut rng, &cfg);
         let out = seqwm_opt::pipeline::Pipeline::default().optimize(&p);
         if out.program == p {
-            return Ok(());
+            continue;
         }
-        let refine_cfg = RefineConfig { max_steps: 48, ..RefineConfig::default() };
+        let refine_cfg = RefineConfig {
+            max_steps: 48,
+            ..RefineConfig::default()
+        };
         // Prop. 3.4 + soundness: if the simple notion validates the pair,
         // the advanced one must as well.
-        let simple = refines_simple(&p, &out.program, &refine_cfg).expect("checkable").holds;
+        let simple = refines_simple(&p, &out.program, &refine_cfg)
+            .expect("checkable")
+            .holds;
         let advanced = seqwm_seq::advanced::refines_advanced(&p, &out.program, &refine_cfg)
             .expect("checkable")
             .holds;
-        prop_assert!(advanced, "optimizer output must ⊑_w its input:\n{}\n=>\n{}", p, out.program);
+        assert!(
+            advanced,
+            "optimizer output must ⊑_w its input:\n{p}\n=>\n{}",
+            out.program
+        );
         if simple {
-            prop_assert!(advanced, "Prop. 3.4: simple ⇒ advanced");
+            assert!(advanced, "Prop. 3.4: simple ⇒ advanced");
         }
     }
 }

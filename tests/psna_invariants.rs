@@ -89,10 +89,8 @@ fn explore_with_invariants(progs: &[Program], cfg: &PsConfig, what: &str) {
 fn invariants_on_mp() {
     let progs = vec![
         parse_program("store[na](piv_d, 1); store[rel](piv_f, 1); return 0;").unwrap(),
-        parse_program(
-            "a := load[acq](piv_f); if (a == 1) { b := load[na](piv_d); } return a;",
-        )
-        .unwrap(),
+        parse_program("a := load[acq](piv_f); if (a == 1) { b := load[na](piv_d); } return a;")
+            .unwrap(),
     ];
     explore_with_invariants(&progs, &PsConfig::default(), "MP");
 }
@@ -111,10 +109,11 @@ fn invariants_with_promises_and_rmws() {
 #[test]
 fn invariants_with_fences_and_na_writes() {
     let progs = vec![
-        parse_program("store[na](pif_d, 1); fence[rel]; store[rlx](pif_f, 1); return 0;")
-            .unwrap(),
-        parse_program("a := load[rlx](pif_f); fence[acq]; fence[sc]; b := load[na](pif_d); return a;")
-            .unwrap(),
+        parse_program("store[na](pif_d, 1); fence[rel]; store[rlx](pif_f, 1); return 0;").unwrap(),
+        parse_program(
+            "a := load[rlx](pif_f); fence[acq]; fence[sc]; b := load[na](pif_d); return a;",
+        )
+        .unwrap(),
     ];
     explore_with_invariants(&progs, &PsConfig::default(), "fences");
 }

@@ -7,9 +7,7 @@
 //! forced to be fulfilled by certification, racy branches never fire, and
 //! multi-message non-atomic writes are unobservable.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
+use seqwm_explore::SplitMix64;
 use seqwm_lang::parser::parse_program;
 use seqwm_lang::Program;
 use seqwm_litmus::gen::{random_program, GenConfig};
@@ -40,7 +38,7 @@ fn check_consistent(p: &Program, what: &str) {
 
 #[test]
 fn random_single_threaded_programs() {
-    let mut rng = StdRng::seed_from_u64(0x517);
+    let mut rng = SplitMix64::new(0x517);
     let cfg = GenConfig {
         max_stmts: 5,
         ..GenConfig::default()
@@ -76,10 +74,10 @@ fn coherence_forces_latest_own_write() {
     )
     .unwrap();
     let ra = explore(std::slice::from_ref(&p), &PsConfig::default());
-    let returns: Vec<_> = ra
-        .behaviors
-        .iter()
-        .map(|b| b.to_string())
-        .collect();
-    assert_eq!(returns, vec!["(2)"], "stale self-read observed: {returns:?}");
+    let returns: Vec<_> = ra.behaviors.iter().map(|b| b.to_string()).collect();
+    assert_eq!(
+        returns,
+        vec!["(2)"],
+        "stale self-read observed: {returns:?}"
+    );
 }
