@@ -14,7 +14,7 @@
 use std::collections::BTreeSet;
 
 use seqwm_explore::{
-    AgentGroup, ExploreConfig, ExploreStats, Target, Transition, TransitionSystem,
+    AgentGroup, ExploreConfig, ExploreError, ExploreStats, Target, Transition, TransitionSystem,
 };
 
 use crate::behavior::BehaviorEnd;
@@ -100,6 +100,24 @@ pub fn explore_seq(init: &SeqState, dom: &EnumDomain, ecfg: &ExploreConfig) -> S
         ends: r.behaviors,
         stats: r.stats,
     }
+}
+
+/// Fallible variant of [`explore_seq`]: rejects misconfigurations (a
+/// checkpoint/resume request under a non-frontier strategy, an empty
+/// checkpoint path) with a structured [`ExploreError`] instead of
+/// silently degrading. Use this from CLI paths where the user asked
+/// for durability explicitly and deserves a diagnostic.
+pub fn try_explore_seq(
+    init: &SeqState,
+    dom: &EnumDomain,
+    ecfg: &ExploreConfig,
+) -> Result<SeqExploration, ExploreError> {
+    let sys = SeqSystem::new(init, dom);
+    let r = seqwm_explore::try_explore(&sys, ecfg)?;
+    Ok(SeqExploration {
+        ends: r.behaviors,
+        stats: r.stats,
+    })
 }
 
 /// The engine configuration matching an [`EnumDomain`]'s step budget.

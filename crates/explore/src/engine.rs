@@ -32,16 +32,45 @@
 //! emissions and statistics tags of non-expanded awake groups are
 //! still recorded at the state itself, so reduction can only skip
 //! *states*, never observations.
+//!
+//! # Failure model
+//!
+//! Transition-system callbacks are user code and may panic. Every
+//! callback runs under `catch_unwind`: a panic while *inserting* into
+//! the visited set quarantines the state immediately (its dedup
+//! status is unknowable), a panic while *expanding* is retried up to
+//! [`ExploreConfig::max_retries`] times and then quarantined. Either
+//! way the incident is recorded in [`ExploreStats`] and the rest of
+//! the frontier keeps draining — one poisoned state never takes down
+//! the search. All engine locks are acquired poison-insensitively,
+//! and expansion buffers its effects so a retry is idempotent.
+//!
+//! Long runs can opt into durability with
+//! [`ExploreConfig::checkpoint`] / [`ExploreConfig::resume`]: the
+//! frontier and behavior set are periodically written to disk as
+//! replayable transition paths (see [`crate::CHECKPOINT_VERSION`]),
+//! and budget trips *stop* the search (preserving the frontier for
+//! resume) instead of draining it. A memory budget
+//! ([`ExploreConfig::max_memory`]) degrades the visited set
+//! exact → fp128 → fp64 before giving up.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
+use crate::checkpoint::{
+    self, CheckpointData, SavedBehavior, SavedCounters, SavedJob, LEVEL_FP128, LEVEL_FP64,
+};
+use crate::error::{
+    CorruptReason, ExploreError, ExploreIncident, ExploreWarning, IncidentKind, StopReason,
+};
 use crate::fingerprint::{fp128, fp64};
 use crate::rng::{mix64, SplitMix64};
 use crate::stats::ExploreStats;
-use crate::system::{AgentGroup, Target, TransitionSystem};
+use crate::system::{Target, TransitionSystem};
 
 /// Search strategy.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -82,7 +111,34 @@ pub enum VisitedMode {
     Exact,
 }
 
-/// Engine configuration: strategy, budgets, parallelism.
+/// Where and how often to checkpoint a durable run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Checkpoint file (written atomically via `<path>.tmp` + rename).
+    pub path: PathBuf,
+    /// Save period. `None` saves only once, when the run stops;
+    /// periodic saves additionally require `workers == 1` (a parallel
+    /// frontier has no consistent mid-run snapshot).
+    pub every: Option<Duration>,
+}
+
+impl CheckpointSpec {
+    /// A spec that saves once, when the run stops.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointSpec {
+            path: path.into(),
+            every: None,
+        }
+    }
+
+    /// Adds a periodic save interval.
+    pub fn every(mut self, period: Duration) -> Self {
+        self.every = Some(period);
+        self
+    }
+}
+
+/// Engine configuration: strategy, budgets, parallelism, durability.
 #[derive(Clone, Debug)]
 pub struct ExploreConfig {
     /// Worker threads (1 = deterministic sequential search).
@@ -102,6 +158,21 @@ pub struct ExploreConfig {
     pub deadline: Option<Duration>,
     /// Visited-set shard count (power of two recommended).
     pub shards: usize,
+    /// Approximate visited-set memory budget in bytes. On breach the
+    /// representation degrades one rung (exact → fp128 → fp64); out of
+    /// rungs, the search stops (durable runs) or drains (others).
+    pub max_memory: Option<usize>,
+    /// How many times a panicking expansion is retried before its
+    /// state is quarantined.
+    pub max_retries: u8,
+    /// Periodically checkpoint the run to disk (DFS/BFS only).
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Resume from a previous checkpoint. An unreadable or corrupt
+    /// file falls back to a fresh run with a warning.
+    pub resume: Option<PathBuf>,
+    /// Deterministic fault schedule for hardening tests.
+    #[cfg(feature = "fault-injection")]
+    pub fault: Option<crate::fault::FaultPlan>,
 }
 
 impl Default for ExploreConfig {
@@ -115,6 +186,12 @@ impl Default for ExploreConfig {
             max_depth: 1 << 16,
             deadline: None,
             shards: 64,
+            max_memory: None,
+            max_retries: 1,
+            checkpoint: None,
+            resume: None,
+            #[cfg(feature = "fault-injection")]
+            fault: None,
         }
     }
 }
@@ -128,80 +205,189 @@ pub struct ExploreResult<B: Ord> {
     pub stats: ExploreStats,
 }
 
-// ---------------------------------------------------------------------------
-// Visited set
-// ---------------------------------------------------------------------------
-
-enum VisitedImpl<St> {
-    Fp64(Vec<Mutex<HashMap<u64, u64>>>),
-    Fp128(Vec<Mutex<HashMap<u128, u64>>>),
-    Exact(Vec<Mutex<HashMap<St, u64>>>),
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+/// Workers buffer their effects and apply them only on success, so a
+/// poisoned lock's data is still consistent.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        return (*s).to_string();
+    }
+    if let Some(s) = p.downcast_ref::<String>() {
+        return s.clone();
+    }
+    #[cfg(feature = "fault-injection")]
+    if let Some(f) = p.downcast_ref::<crate::fault::InjectedFault>() {
+        return format!(
+            "injected fault at state {:016x} (permanent: {})",
+            f.state_fp, f.permanent
+        );
+    }
+    "non-string panic payload".to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Visited set with a degradation ladder
+// ---------------------------------------------------------------------------
+
+const LEVEL_EXACT: u8 = 0;
+
+fn level_name(level: u8) -> &'static str {
+    match level {
+        LEVEL_EXACT => "exact",
+        LEVEL_FP128 => "fp128",
+        _ => "fp64",
+    }
+}
+
+fn mode_level(mode: VisitedMode) -> u8 {
+    match mode {
+        VisitedMode::Exact => LEVEL_EXACT,
+        VisitedMode::Fp128 => LEVEL_FP128,
+        VisitedMode::Fp64 => LEVEL_FP64,
+    }
+}
+
+/// One shard of the visited set. The variant *is* the shard's current
+/// rung on the degradation ladder; shards migrate lazily toward the
+/// global level the next time they are locked for insertion. The low
+/// 64 bits of an fp128 fingerprint equal the state's fp64, so each
+/// downgrade is a pure key projection.
+enum ShardMap<St> {
+    Exact(HashMap<St, u64>),
+    Fp128(HashMap<u128, u64>),
+    Fp64(HashMap<u64, u64>),
+}
+
+impl<St: Clone + Eq + std::hash::Hash> ShardMap<St> {
+    fn level(&self) -> u8 {
+        match self {
+            ShardMap::Exact(_) => LEVEL_EXACT,
+            ShardMap::Fp128(_) => LEVEL_FP128,
+            ShardMap::Fp64(_) => LEVEL_FP64,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ShardMap::Exact(m) => m.len(),
+            ShardMap::Fp128(m) => m.len(),
+            ShardMap::Fp64(m) => m.len(),
+        }
+    }
+
+    /// Migrates this shard one rung down, merging colliding entries by
+    /// sleep-mask intersection (the sound direction: a smaller mask
+    /// only re-explores more).
+    fn degrade_once(self) -> ShardMap<St> {
+        fn merge<K: Eq + std::hash::Hash>(map: &mut HashMap<K, u64>, k: K, mask: u64) {
+            map.entry(k).and_modify(|m| *m &= mask).or_insert(mask);
+        }
+        match self {
+            ShardMap::Exact(m) => {
+                let mut out = HashMap::with_capacity(m.len());
+                for (st, mask) in m {
+                    merge(&mut out, fp128(&st), mask);
+                }
+                ShardMap::Fp128(out)
+            }
+            ShardMap::Fp128(m) => {
+                let mut out = HashMap::with_capacity(m.len());
+                for (fp, mask) in m {
+                    merge(&mut out, fp as u64, mask);
+                }
+                ShardMap::Fp64(out)
+            }
+            same @ ShardMap::Fp64(_) => same,
+        }
+    }
+}
+
+/// Disk-representable visited dump: (level, fp64 pairs, fp128 pairs).
+type VisitedSnapshot = (u8, Vec<(u64, u64)>, Vec<(u128, u64)>);
+
 struct Visited<St> {
-    imp: VisitedImpl<St>,
-    shards: usize,
+    shards: Vec<Mutex<ShardMap<St>>>,
+    /// Global ladder rung; shards at a lower (more precise) rung
+    /// migrate lazily on their next insertion.
+    level: AtomicU8,
+    /// Approximate entry count (drives the memory estimate).
+    entries: AtomicUsize,
 }
 
 impl<St: Clone + Eq + std::hash::Hash> Visited<St> {
     fn new(mode: VisitedMode, shards: usize) -> Self {
-        let shards = shards.max(1);
+        let level = mode_level(mode);
         Visited {
-            imp: match mode {
-                VisitedMode::Fp64 => {
-                    VisitedImpl::Fp64((0..shards).map(|_| Mutex::new(HashMap::new())).collect())
-                }
-                VisitedMode::Fp128 => {
-                    VisitedImpl::Fp128((0..shards).map(|_| Mutex::new(HashMap::new())).collect())
-                }
-                VisitedMode::Exact => {
-                    VisitedImpl::Exact((0..shards).map(|_| Mutex::new(HashMap::new())).collect())
-                }
-            },
-            shards,
+            shards: (0..shards.max(1))
+                .map(|_| {
+                    Mutex::new(match level {
+                        LEVEL_EXACT => ShardMap::Exact(HashMap::new()),
+                        LEVEL_FP128 => ShardMap::Fp128(HashMap::new()),
+                        _ => ShardMap::Fp64(HashMap::new()),
+                    })
+                })
+                .collect(),
+            level: AtomicU8::new(level),
+            entries: AtomicUsize::new(0),
         }
     }
 
     fn shard_of(&self, fp: u64) -> usize {
-        (fp % self.shards as u64) as usize
+        (fp % self.shards.len() as u64) as usize
+    }
+
+    fn sync_shard(&self, g: &mut ShardMap<St>, target: u8) {
+        while g.level() < target {
+            let old_len = g.len();
+            let taken = std::mem::replace(g, ShardMap::Fp64(HashMap::new()));
+            *g = taken.degrade_once();
+            self.entries.fetch_sub(old_len - g.len(), Ordering::Relaxed);
+        }
     }
 
     /// Records a visit of `st` with sleep mask `mask`. Returns the
     /// mask to explore with, or `None` if a previous visit covers it.
     fn check_insert(&self, st: &St, mask: u64) -> Option<u64> {
-        fn upd<K: Eq + std::hash::Hash>(map: &mut HashMap<K, u64>, k: K, mask: u64) -> Option<u64> {
+        fn upd<K: Eq + std::hash::Hash>(
+            map: &mut HashMap<K, u64>,
+            k: K,
+            mask: u64,
+        ) -> (Option<u64>, bool) {
             match map.entry(k) {
                 std::collections::hash_map::Entry::Vacant(v) => {
                     v.insert(mask);
-                    Some(mask)
+                    (Some(mask), true)
                 }
                 std::collections::hash_map::Entry::Occupied(mut o) => {
                     let old = *o.get();
                     if old & !mask == 0 {
-                        None
+                        (None, false)
                     } else {
                         let m = old & mask;
                         o.insert(m);
-                        Some(m)
+                        (Some(m), false)
                     }
                 }
             }
         }
         let f = fp64(st);
-        let shard = self.shard_of(f);
-        match &self.imp {
-            VisitedImpl::Fp64(s) => upd(&mut s[shard].lock().expect("visited shard"), f, mask),
-            VisitedImpl::Fp128(s) => upd(
-                &mut s[shard].lock().expect("visited shard"),
-                fp128(st),
-                mask,
-            ),
-            VisitedImpl::Exact(s) => upd(
-                &mut s[shard].lock().expect("visited shard"),
-                st.clone(),
-                mask,
-            ),
+        let target = self.level.load(Ordering::Relaxed);
+        let mut g = relock(&self.shards[self.shard_of(f)]);
+        self.sync_shard(&mut g, target);
+        let (result, inserted) = match &mut *g {
+            ShardMap::Exact(m) => upd(m, st.clone(), mask),
+            ShardMap::Fp128(m) => upd(m, fp128(st), mask),
+            ShardMap::Fp64(m) => upd(m, f, mask),
+        };
+        drop(g);
+        if inserted {
+            self.entries.fetch_add(1, Ordering::Relaxed);
         }
+        result
     }
 
     /// Has `st` been visited (with any sleep mask)? Used by the ample
@@ -209,14 +395,236 @@ impl<St: Clone + Eq + std::hash::Hash> Visited<St> {
     /// positive only costs exploration work.
     fn contains(&self, st: &St) -> bool {
         let f = fp64(st);
-        let shard = self.shard_of(f);
-        match &self.imp {
-            VisitedImpl::Fp64(s) => s[shard].lock().expect("visited shard").contains_key(&f),
-            VisitedImpl::Fp128(s) => s[shard]
-                .lock()
-                .expect("visited shard")
-                .contains_key(&fp128(st)),
-            VisitedImpl::Exact(s) => s[shard].lock().expect("visited shard").contains_key(st),
+        let g = relock(&self.shards[self.shard_of(f)]);
+        match &*g {
+            ShardMap::Exact(m) => m.contains_key(st),
+            ShardMap::Fp128(m) => m.contains_key(&fp128(st)),
+            ShardMap::Fp64(m) => m.contains_key(&f),
+        }
+    }
+
+    /// Rough bytes held: entries × per-entry cost at the current rung
+    /// (hash-map overhead plus key/value payload).
+    fn memory_estimate(&self, state_size: usize) -> usize {
+        let per = match self.level.load(Ordering::Relaxed) {
+            LEVEL_EXACT => 48 + state_size,
+            LEVEL_FP128 => 56,
+            _ => 48,
+        };
+        self.entries.load(Ordering::Relaxed) * per
+    }
+
+    /// Steps the global ladder down one rung. Returns the transition
+    /// taken, or `None` if already at the last rung. Exactly one
+    /// caller wins a given rung, so each downgrade warns once.
+    fn request_downgrade(&self) -> Option<(&'static str, &'static str)> {
+        loop {
+            let cur = self.level.load(Ordering::SeqCst);
+            if cur >= LEVEL_FP64 {
+                return None;
+            }
+            if self
+                .level
+                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Some((level_name(cur), level_name(cur + 1)));
+            }
+        }
+    }
+
+    /// Serializes every entry at a disk-representable level:
+    /// fp128 while the ladder allows it, else fp64 (exact states are
+    /// fingerprinted — the reason resume records a downgrade warning).
+    fn snapshot(&self) -> VisitedSnapshot {
+        let mut max_level = self.level.load(Ordering::SeqCst);
+        for s in &self.shards {
+            max_level = max_level.max(relock(s).level());
+        }
+        let disk = if max_level <= LEVEL_FP128 {
+            LEVEL_FP128
+        } else {
+            LEVEL_FP64
+        };
+        let mut v64 = Vec::new();
+        let mut v128 = Vec::new();
+        for s in &self.shards {
+            let g = relock(s);
+            match &*g {
+                ShardMap::Exact(m) => {
+                    for (st, mask) in m {
+                        if disk == LEVEL_FP128 {
+                            v128.push((fp128(st), *mask));
+                        } else {
+                            v64.push((fp64(st), *mask));
+                        }
+                    }
+                }
+                ShardMap::Fp128(m) => {
+                    for (fp, mask) in m {
+                        if disk == LEVEL_FP128 {
+                            v128.push((*fp, *mask));
+                        } else {
+                            v64.push((*fp as u64, *mask));
+                        }
+                    }
+                }
+                ShardMap::Fp64(m) => {
+                    for (fp, mask) in m {
+                        v64.push((*fp, *mask));
+                    }
+                }
+            }
+        }
+        (disk, v64, v128)
+    }
+
+    /// Rebuilds a visited set from checkpoint data, at the more
+    /// degraded of the configured and stored levels.
+    fn restore(
+        mode: VisitedMode,
+        shards: usize,
+        data: &CheckpointData,
+    ) -> (Self, Option<ExploreWarning>) {
+        let cfg_level = mode_level(mode);
+        let eff = cfg_level.max(data.level);
+        let warn = (cfg_level < data.level).then(|| ExploreWarning::ResumeVisitedDowngrade {
+            requested: level_name(cfg_level),
+            restored: level_name(eff),
+        });
+        let mode = if eff <= LEVEL_FP128 {
+            VisitedMode::Fp128
+        } else {
+            VisitedMode::Fp64
+        };
+        let v = Visited::new(mode, shards);
+        let mut n = 0usize;
+        // fp128's low 64 bits are the state's fp64, so sharding by the
+        // low word matches `check_insert`'s placement.
+        for &(fp, mask) in &data.visited64 {
+            let mut g = relock(&v.shards[v.shard_of(fp)]);
+            if let ShardMap::Fp64(m) = &mut *g {
+                m.insert(fp, mask);
+                n += 1;
+            }
+        }
+        for &(fp, mask) in &data.visited128 {
+            let low = fp as u64;
+            let mut g = relock(&v.shards[v.shard_of(low)]);
+            match &mut *g {
+                ShardMap::Fp128(m) => {
+                    m.insert(fp, mask);
+                    n += 1;
+                }
+                ShardMap::Fp64(m) => {
+                    m.insert(low, mask);
+                    n += 1;
+                }
+                ShardMap::Exact(_) => {}
+            }
+        }
+        v.entries.store(n, Ordering::Relaxed);
+        (v, warn)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Jobs and replayable paths
+// ---------------------------------------------------------------------------
+
+/// One link of a frontier entry's provenance: the flat transition
+/// index taken at the parent. Flat indices count *all* transitions of
+/// *all* agent groups in enumeration order (sleeping groups included),
+/// so replay needs no knowledge of the sleep sets in force when the
+/// path was generated.
+struct PathNode {
+    idx: u32,
+    parent: Option<Arc<PathNode>>,
+}
+
+fn path_vec(path: &Option<Arc<PathNode>>) -> Vec<u32> {
+    let mut v = Vec::new();
+    let mut cur = path;
+    while let Some(n) = cur {
+        v.push(n.idx);
+        cur = &n.parent;
+    }
+    v.reverse();
+    v
+}
+
+fn arc_path(path: &[u32]) -> Option<Arc<PathNode>> {
+    let mut cur = None;
+    for &idx in path {
+        cur = Some(Arc::new(PathNode { idx, parent: cur }));
+    }
+    cur
+}
+
+struct Job<St> {
+    st: St,
+    depth: usize,
+    sleep: u64,
+    /// Expansion attempts already burned (nonzero after a caught
+    /// panic).
+    attempt: u8,
+    /// The state is already in the visited set and must be re-expanded
+    /// without a dedup check (it was interrupted mid-expansion).
+    revisit: bool,
+    /// Provenance for checkpointing; `None` when not tracking (or for
+    /// the initial state, whose path is empty).
+    path: Option<Arc<PathNode>>,
+}
+
+fn replay_step<S: TransitionSystem>(
+    sys: &S,
+    st: &S::State,
+    idx: u32,
+) -> Result<S::State, &'static str> {
+    let groups = sys.agent_groups(st);
+    let mut i = idx as usize;
+    for g in &groups {
+        if i < g.transitions.len() {
+            return match &g.transitions[i].target {
+                Target::State(s) => Ok(s.clone()),
+                _ => Err("path step is not a state transition"),
+            };
+        }
+        i -= g.transitions.len();
+    }
+    Err("path index out of range")
+}
+
+fn replay_state<S: TransitionSystem>(sys: &S, path: &[u32]) -> Result<S::State, &'static str> {
+    let mut st = sys.initial_state();
+    for &idx in path {
+        st = replay_step(sys, &st, idx)?;
+    }
+    Ok(st)
+}
+
+fn replay_behavior<S: TransitionSystem>(
+    sys: &S,
+    sb: &SavedBehavior,
+) -> Result<S::Behavior, &'static str> {
+    let st = replay_state(sys, &sb.path)?;
+    match sb.emit {
+        None => sys
+            .terminal_behavior(&st)
+            .ok_or("no terminal behavior at path end"),
+        Some(idx) => {
+            let groups = sys.agent_groups(&st);
+            let mut i = idx as usize;
+            for g in &groups {
+                if i < g.transitions.len() {
+                    return match &g.transitions[i].target {
+                        Target::Behavior(b) => Ok(b.clone()),
+                        _ => Err("emission index is not a behavior"),
+                    };
+                }
+                i -= g.transitions.len();
+            }
+            Err("emission index out of range")
         }
     }
 }
@@ -224,8 +632,6 @@ impl<St: Clone + Eq + std::hash::Hash> Visited<St> {
 // ---------------------------------------------------------------------------
 // Shared engine state
 // ---------------------------------------------------------------------------
-
-type Job<St> = (St, usize, u64);
 
 struct Shared<'a, S: TransitionSystem> {
     sys: &'a S,
@@ -235,26 +641,62 @@ struct Shared<'a, S: TransitionSystem> {
     cv: Condvar,
     /// Jobs created but not yet fully processed.
     pending: AtomicUsize,
-    /// Hard stop (deadline): abandon the frontier.
+    /// Hard stop: abandon (non-durable) or preserve (durable) the
+    /// frontier.
     stop: AtomicBool,
-    /// Soft stop (state budget): drain the frontier for terminal
-    /// behaviors without expanding further — the seed explorer's
-    /// off-by-one dropped these.
+    /// First cause of the stop/drain, as [`StopReason::as_u8`].
+    stop_reason: AtomicU8,
+    /// Soft stop (state budget, non-durable): drain the frontier for
+    /// terminal behaviors without expanding further — the seed
+    /// explorer's off-by-one dropped these.
     drain: AtomicBool,
     /// The depth bound hit at least once (drives iterative deepening).
     depth_truncated: AtomicBool,
     states_total: AtomicUsize,
     behaviors: Mutex<BTreeSet<S::Behavior>>,
+    /// Provenance of every recorded behavior (durable runs only).
+    behavior_log: Mutex<Vec<SavedBehavior>>,
     depth_limit: usize,
     start: Instant,
+    /// Checkpointing is active: budget trips stop instead of draining,
+    /// jobs carry paths, and workers hand their private frontier back
+    /// to the global queue on stop.
+    durable: bool,
+    /// fp64 of the initial state (checkpoint identity check).
+    digest: u64,
+    /// Counters carried over from the resumed checkpoint.
+    base: SavedCounters,
 }
 
-impl<'a, S: TransitionSystem> Shared<'a, S> {
+impl<S: TransitionSystem> Shared<'_, S> {
     fn deadline_expired(&self) -> bool {
         match self.cfg.deadline {
             Some(d) => self.start.elapsed() >= d,
             None => false,
         }
+    }
+
+    fn note_reason(&self, r: StopReason) {
+        let _ = self.stop_reason.compare_exchange(
+            StopReason::Completed.as_u8(),
+            r.as_u8(),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    fn request_stop(&self, r: StopReason) {
+        self.note_reason(r);
+        self.stop.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// Re-enqueues a job so a resumed run re-expands it (bypassing the
+    /// dedup check: its state is already in the visited set).
+    fn requeue_for_resume(&self, mut job: Job<S::State>) {
+        job.revisit = true;
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        relock(&self.queue).push_back(job);
     }
 }
 
@@ -272,17 +714,24 @@ fn next_job<S: TransitionSystem>(
     if sh.stop.load(Ordering::SeqCst) {
         return None;
     }
+    // Check the deadline before every dequeue — including local pops —
+    // so expiry is noticed within one expansion, not one frontier
+    // refill.
+    if sh.deadline_expired() {
+        sh.request_stop(StopReason::DeadlineExpired);
+        return None;
+    }
     if let Some(j) = pop_local(local, &sh.cfg.strategy) {
         return Some(j);
     }
-    let mut q = sh.queue.lock().expect("frontier queue");
+    let mut q = relock(&sh.queue);
     loop {
         if sh.stop.load(Ordering::SeqCst) {
             return None;
         }
         if sh.deadline_expired() {
-            sh.stop.store(true, Ordering::SeqCst);
-            sh.cv.notify_all();
+            drop(q);
+            sh.request_stop(StopReason::DeadlineExpired);
             return None;
         }
         if let Some(j) = q.pop_front() {
@@ -296,119 +745,165 @@ fn next_job<S: TransitionSystem>(
         q = sh
             .cv
             .wait_timeout(q, Duration::from_millis(5))
-            .expect("frontier queue")
+            .unwrap_or_else(PoisonError::into_inner)
             .0;
     }
 }
 
-/// Expands one frontier entry.
-fn process<S: TransitionSystem>(
+// ---------------------------------------------------------------------------
+// Expansion
+// ---------------------------------------------------------------------------
+
+/// Everything one expansion produces, buffered so that effects are
+/// applied only when the user code completed without panicking (which
+/// makes a retry idempotent) and discarded wholesale when a deadline
+/// aborts the expansion midway.
+struct Expanded<St, B> {
+    terminal: Option<B>,
+    depth_hit: bool,
+    /// The deadline fired between successor groups: discard
+    /// everything and requeue the job.
+    aborted: bool,
+    /// Emitted behaviors with their flat transition indices.
+    emitted: Vec<(B, u32)>,
+    /// Successors: state, flat transition index, child sleep mask.
+    children: Vec<(St, u32, u64)>,
+    transitions: usize,
+    sleep_skips: usize,
+    ample_commits: usize,
+    pruned: usize,
+    racy: usize,
+    promise: usize,
+}
+
+impl<St, B> Expanded<St, B> {
+    fn empty() -> Self {
+        Expanded {
+            terminal: None,
+            depth_hit: false,
+            aborted: false,
+            emitted: Vec::new(),
+            children: Vec::new(),
+            transitions: 0,
+            sleep_skips: 0,
+            ample_commits: 0,
+            pruned: 0,
+            racy: 0,
+            promise: 0,
+        }
+    }
+}
+
+/// Runs all user code for one state. Called under `catch_unwind`.
+#[cfg_attr(not(feature = "fault-injection"), allow(unused_variables))]
+fn expand<S: TransitionSystem>(
     sh: &Shared<S>,
-    (st, depth, sleep): Job<S::State>,
-    local: &mut VecDeque<Job<S::State>>,
-    stats: &mut ExploreStats,
-) {
-    let sleep_in = if sh.cfg.reduction { sleep } else { 0 };
-    let sleep = match sh.visited.check_insert(&st, sleep_in) {
-        None => {
-            stats.dedup_hits += 1;
-            return;
+    st: &S::State,
+    depth: usize,
+    sleep: u64,
+    fp: u64,
+    attempt: u8,
+    halt: bool,
+) -> Expanded<S::State, S::Behavior> {
+    #[cfg(feature = "fault-injection")]
+    if let Some(plan) = &sh.cfg.fault {
+        if let Some(d) = plan.injects_delay(fp) {
+            std::thread::sleep(d);
         }
-        Some(m) => m,
-    };
-    if sh.drain.load(Ordering::Relaxed) {
-        // State budget exhausted: collect terminals on the remaining
-        // frontier, expand nothing.
-        if let Some(b) = sh.sys.terminal_behavior(&st) {
-            sh.behaviors.lock().expect("behavior set").insert(b);
+        if let Some(fault) = plan.injects_panic(fp, attempt) {
+            std::panic::panic_any(fault);
         }
-        return;
     }
-    stats.states += 1;
-    let n = sh.states_total.fetch_add(1, Ordering::Relaxed) + 1;
-    let capped = n >= sh.cfg.max_states;
-    if capped {
-        sh.drain.store(true, Ordering::Relaxed);
-        stats.truncated = true;
-    }
-    if let Some(b) = sh.sys.terminal_behavior(&st) {
-        sh.behaviors.lock().expect("behavior set").insert(b);
-        return;
-    }
-    if capped {
-        return;
+    let mut out = Expanded::empty();
+    out.terminal = sh.sys.terminal_behavior(st);
+    if out.terminal.is_some() || halt {
+        return out;
     }
     if depth >= sh.depth_limit {
-        stats.truncated = true;
-        sh.depth_truncated.store(true, Ordering::Relaxed);
-        return;
+        out.depth_hit = true;
+        return out;
     }
 
-    let groups = sh.sys.agent_groups(&st);
-    let mut awake: Vec<&AgentGroup<S::State, S::Behavior>> = Vec::with_capacity(groups.len());
+    let groups = sh.sys.agent_groups(st);
+    // Flat transition indices span ALL groups, sleeping ones included,
+    // so a checkpointed path replays without sleep-set knowledge.
+    let mut idx_base = Vec::with_capacity(groups.len());
+    let mut acc = 0u32;
     for g in &groups {
+        idx_base.push(acc);
+        acc += g.transitions.len() as u32;
+    }
+    let mut awake: Vec<usize> = Vec::with_capacity(groups.len());
+    for (gi, g) in groups.iter().enumerate() {
         if sh.cfg.reduction && g.agent < 64 && sleep & (1 << g.agent) != 0 {
-            stats.sleep_skips += 1;
+            out.sleep_skips += 1;
         } else {
-            awake.push(g);
+            awake.push(gi);
         }
     }
 
     // Record emissions and statistics tags of every awake group — even
     // ones the ample selection below will not expand.
-    let mut emitted: Vec<S::Behavior> = Vec::new();
-    for g in &awake {
-        for t in &g.transitions {
-            stats.transitions += 1;
+    for &gi in &awake {
+        let g = &groups[gi];
+        for (j, t) in g.transitions.iter().enumerate() {
+            out.transitions += 1;
             if t.tags.racy {
-                stats.racy_steps += 1;
+                out.racy += 1;
             }
             if t.tags.promise {
-                stats.promise_steps += 1;
+                out.promise += 1;
             }
             match &t.target {
-                Target::Behavior(b) => emitted.push(b.clone()),
-                Target::Pruned => stats.pruned += 1,
+                Target::Behavior(b) => out.emitted.push((b.clone(), idx_base[gi] + j as u32)),
+                Target::Pruned => out.pruned += 1,
                 Target::State(_) => {}
             }
         }
     }
-    if !emitted.is_empty() {
-        sh.behaviors.lock().expect("behavior set").extend(emitted);
-    }
 
-    let mut to_push: Vec<Job<S::State>> = Vec::new();
     let ample = if sh.cfg.reduction && awake.len() > 1 {
-        awake.iter().find(|g| {
+        awake.iter().copied().find(|&gi| {
+            let g = &groups[gi];
             g.local
                 && !g.transitions.is_empty()
-                && g.transitions.iter().all(|t| match &t.target {
-                    Target::State(s) => !sh.visited.contains(s),
-                    _ => false,
-                })
+                && g.transitions
+                    .iter()
+                    .all(|t| matches!(&t.target, Target::State(s) if !sh.visited.contains(s)))
         })
     } else {
         None
     };
-    if let Some(g) = ample {
-        stats.ample_commits += 1;
-        for t in &g.transitions {
+    if let Some(gi) = ample {
+        out.ample_commits += 1;
+        let g = &groups[gi];
+        for (j, t) in g.transitions.iter().enumerate() {
             if let Target::State(s) = &t.target {
                 // A local step is pure, so the sleep set survives it.
-                to_push.push((s.clone(), depth + 1, sleep));
+                out.children
+                    .push((s.clone(), idx_base[gi] + j as u32, sleep));
             }
         }
     } else {
         let mut earlier_pure: u64 = 0;
-        for g in &awake {
+        for &gi in &awake {
+            // Deadline check between successor batches, not only at
+            // dequeue: a state with many wide groups cannot overshoot
+            // the deadline by a whole expansion.
+            if sh.deadline_expired() {
+                out.aborted = true;
+                return out;
+            }
+            let g = &groups[gi];
             let child_sleep = if sh.cfg.reduction && g.shared_pure {
                 sleep | earlier_pure
             } else {
                 0
             };
-            for t in &g.transitions {
+            for (j, t) in g.transitions.iter().enumerate() {
                 if let Target::State(s) = &t.target {
-                    to_push.push((s.clone(), depth + 1, child_sleep));
+                    out.children
+                        .push((s.clone(), idx_base[gi] + j as u32, child_sleep));
                 }
             }
             if g.shared_pure && g.agent < 64 {
@@ -416,16 +911,310 @@ fn process<S: TransitionSystem>(
             }
         }
     }
+    out
+}
 
-    if to_push.is_empty() {
+fn record_incident(
+    stats: &mut ExploreStats,
+    kind: IncidentKind,
+    state_fp: u64,
+    depth: usize,
+    attempt: u8,
+    message: String,
+) {
+    if stats.incidents.len() < ExploreStats::MAX_RECORDED_INCIDENTS {
+        stats.incidents.push(ExploreIncident {
+            kind,
+            state_fp,
+            depth,
+            attempt,
+            message,
+        });
+    }
+    stats.incident_count += 1;
+}
+
+/// Applies the fault plan's forced downgrades and the memory budget.
+/// Returns `true` when the budget is breached with no rung left.
+#[cfg_attr(not(feature = "fault-injection"), allow(unused_variables))]
+fn enforce_memory_budget<S: TransitionSystem>(
+    sh: &Shared<S>,
+    stats: &mut ExploreStats,
+    n: usize,
+) -> bool {
+    let downgrade = |stats: &mut ExploreStats| {
+        if let Some((from, to)) = sh.visited.request_downgrade() {
+            stats.downgrades += 1;
+            stats
+                .warnings
+                .push(ExploreWarning::MemoryDowngrade { from, to });
+            true
+        } else {
+            false
+        }
+    };
+    #[cfg(feature = "fault-injection")]
+    if let Some(k) = sh.cfg.fault.as_ref().and_then(|p| p.downgrade_every_states) {
+        if k > 0 && n.is_multiple_of(k) {
+            downgrade(stats);
+        }
+    }
+    let Some(budget) = sh.cfg.max_memory else {
+        return false;
+    };
+    if sh.visited.memory_estimate(std::mem::size_of::<S::State>()) <= budget {
+        return false;
+    }
+    !downgrade(stats)
+}
+
+/// Expands one frontier entry with panic isolation: the visited-set
+/// insert and the expansion each run under `catch_unwind`, effects are
+/// buffered and applied only on success, and a persistently panicking
+/// state is quarantined after `max_retries` retries.
+fn process<S: TransitionSystem>(
+    sh: &Shared<S>,
+    job: Job<S::State>,
+    local: &mut VecDeque<Job<S::State>>,
+    stats: &mut ExploreStats,
+) {
+    let Job {
+        st,
+        depth,
+        sleep,
+        attempt,
+        revisit,
+        path,
+    } = job;
+    let sleep_in = if sh.cfg.reduction { sleep } else { 0 };
+
+    // Phase 1: fingerprint + dedup (runs the state's Hash/Eq). A panic
+    // here quarantines without retry: the dedup status is unknowable.
+    let phase1 = catch_unwind(AssertUnwindSafe(|| {
+        let fp = fp64(&st);
+        let mask = if revisit {
+            Some(sleep_in)
+        } else {
+            sh.visited.check_insert(&st, sleep_in)
+        };
+        (fp, mask)
+    }));
+    let (fp, mask) = match phase1 {
+        Ok(v) => v,
+        Err(p) => {
+            record_incident(
+                stats,
+                IncidentKind::InsertPanic,
+                0,
+                depth,
+                attempt,
+                panic_message(p),
+            );
+            stats.quarantined += 1;
+            return;
+        }
+    };
+    let sleep = match mask {
+        None => {
+            stats.dedup_hits += 1;
+            return;
+        }
+        Some(m) => m,
+    };
+
+    let track = sh.durable;
+    if sh.drain.load(Ordering::Relaxed) {
+        // Budget exhausted (non-durable): collect terminals on the
+        // remaining frontier, expand nothing.
+        match catch_unwind(AssertUnwindSafe(|| sh.sys.terminal_behavior(&st))) {
+            Ok(Some(b)) => {
+                relock(&sh.behaviors).insert(b);
+            }
+            Ok(None) => {}
+            Err(p) => {
+                record_incident(
+                    stats,
+                    IncidentKind::ExpansionPanic,
+                    fp,
+                    depth,
+                    attempt,
+                    panic_message(p),
+                );
+                stats.quarantined += 1;
+            }
+        }
         return;
     }
-    sh.pending.fetch_add(to_push.len(), Ordering::SeqCst);
-    local.extend(to_push);
+
+    stats.states += 1;
+    let n = sh.states_total.fetch_add(1, Ordering::Relaxed) + 1;
+    let mut halt = false;
+    if n >= sh.cfg.max_states {
+        if sh.durable {
+            // Durable runs stop — preserving the frontier, this state
+            // included — so a resumed run picks up exactly here.
+            stats.states -= 1;
+            sh.states_total.fetch_sub(1, Ordering::Relaxed);
+            sh.requeue_for_resume(Job {
+                st,
+                depth,
+                sleep,
+                attempt,
+                revisit: true,
+                path,
+            });
+            sh.request_stop(StopReason::StateBudget);
+            return;
+        }
+        sh.note_reason(StopReason::StateBudget);
+        sh.drain.store(true, Ordering::Relaxed);
+        stats.truncated = true;
+        halt = true;
+    } else if enforce_memory_budget(sh, stats, n) {
+        if sh.durable {
+            stats.states -= 1;
+            sh.states_total.fetch_sub(1, Ordering::Relaxed);
+            sh.requeue_for_resume(Job {
+                st,
+                depth,
+                sleep,
+                attempt,
+                revisit: true,
+                path,
+            });
+            sh.request_stop(StopReason::MemoryBudget);
+            return;
+        }
+        sh.note_reason(StopReason::MemoryBudget);
+        sh.drain.store(true, Ordering::Relaxed);
+        stats.truncated = true;
+        halt = true;
+    }
+
+    // Phase 2: expansion, with retries. Effects are buffered in
+    // `Expanded` and applied only below, so a retry never
+    // double-applies anything.
+    let mut att = attempt;
+    let expanded = loop {
+        match catch_unwind(AssertUnwindSafe(|| {
+            expand(sh, &st, depth, sleep, fp, att, halt)
+        })) {
+            Ok(e) => {
+                if att > 0 {
+                    stats.retried += 1;
+                }
+                break e;
+            }
+            Err(p) => {
+                record_incident(
+                    stats,
+                    IncidentKind::ExpansionPanic,
+                    fp,
+                    depth,
+                    att,
+                    panic_message(p),
+                );
+                if att >= sh.cfg.max_retries {
+                    stats.quarantined += 1;
+                    return;
+                }
+                att += 1;
+            }
+        }
+    };
+
+    if expanded.aborted {
+        // Deadline fired mid-expansion: apply nothing, requeue the job
+        // so a durable resume re-expands it from scratch.
+        stats.states -= 1;
+        sh.states_total.fetch_sub(1, Ordering::Relaxed);
+        sh.requeue_for_resume(Job {
+            st,
+            depth,
+            sleep,
+            attempt: att,
+            revisit: true,
+            path,
+        });
+        sh.request_stop(StopReason::DeadlineExpired);
+        return;
+    }
+
+    stats.transitions += expanded.transitions;
+    stats.sleep_skips += expanded.sleep_skips;
+    stats.ample_commits += expanded.ample_commits;
+    stats.pruned += expanded.pruned;
+    stats.racy_steps += expanded.racy;
+    stats.promise_steps += expanded.promise;
+
+    if let Some(b) = expanded.terminal {
+        relock(&sh.behaviors).insert(b);
+        if track {
+            relock(&sh.behavior_log).push(SavedBehavior {
+                emit: None,
+                path: path_vec(&path),
+            });
+        }
+        return;
+    }
+    if halt {
+        return;
+    }
+    if expanded.depth_hit {
+        stats.truncated = true;
+        sh.depth_truncated.store(true, Ordering::Relaxed);
+        return;
+    }
+
+    if !expanded.emitted.is_empty() {
+        if track {
+            let mut log = relock(&sh.behavior_log);
+            for (_, idx) in &expanded.emitted {
+                log.push(SavedBehavior {
+                    emit: Some(*idx),
+                    path: path_vec(&path),
+                });
+            }
+        }
+        relock(&sh.behaviors).extend(expanded.emitted.into_iter().map(|(b, _)| b));
+    }
+
+    if expanded.children.is_empty() {
+        return;
+    }
+    let jobs: Vec<Job<S::State>> = expanded
+        .children
+        .into_iter()
+        .map(|(s, idx, child_sleep)| Job {
+            st: s,
+            depth: depth + 1,
+            sleep: child_sleep,
+            attempt: 0,
+            revisit: false,
+            path: if track {
+                Some(Arc::new(PathNode {
+                    idx,
+                    parent: path.clone(),
+                }))
+            } else {
+                None
+            },
+        })
+        .collect();
+    push_jobs(sh, local, jobs);
+}
+
+fn push_jobs<S: TransitionSystem>(
+    sh: &Shared<S>,
+    local: &mut VecDeque<Job<S::State>>,
+    jobs: Vec<Job<S::State>>,
+) {
+    sh.pending.fetch_add(jobs.len(), Ordering::SeqCst);
+    local.extend(jobs);
     // Offload half the private frontier whenever the shared queue runs
     // low — cheap cooperative work-stealing.
     if sh.cfg.workers > 1 && local.len() > 1 {
-        let mut q = sh.queue.lock().expect("frontier queue");
+        let mut q = relock(&sh.queue);
         if q.len() < sh.cfg.workers * 2 {
             let give = local.len() / 2;
             for _ in 0..give {
@@ -439,50 +1228,275 @@ fn process<S: TransitionSystem>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+fn counters_from(base: &SavedCounters, s: &ExploreStats) -> SavedCounters {
+    SavedCounters {
+        states: base.states + s.states as u64,
+        transitions: base.transitions + s.transitions as u64,
+        dedup_hits: base.dedup_hits + s.dedup_hits as u64,
+        sleep_skips: base.sleep_skips + s.sleep_skips as u64,
+        ample_commits: base.ample_commits + s.ample_commits as u64,
+        pruned: base.pruned + s.pruned as u64,
+        racy_steps: base.racy_steps + s.racy_steps as u64,
+        promise_steps: base.promise_steps + s.promise_steps as u64,
+        quarantined: base.quarantined + s.quarantined as u64,
+    }
+}
+
+fn add_base(stats: &mut ExploreStats, base: &SavedCounters) {
+    stats.states += base.states as usize;
+    stats.transitions += base.transitions as usize;
+    stats.dedup_hits += base.dedup_hits as usize;
+    stats.sleep_skips += base.sleep_skips as usize;
+    stats.ample_commits += base.ample_commits as usize;
+    stats.pruned += base.pruned as usize;
+    stats.racy_steps += base.racy_steps as usize;
+    stats.promise_steps += base.promise_steps as usize;
+    stats.quarantined += base.quarantined as usize;
+}
+
+/// Captures the whole run: visited fingerprints, the global queue plus
+/// `extra` (the calling worker's private frontier), and the behavior
+/// log.
+fn snapshot<S: TransitionSystem>(
+    sh: &Shared<S>,
+    extra: &VecDeque<Job<S::State>>,
+    counters: SavedCounters,
+) -> CheckpointData {
+    let (level, visited64, visited128) = sh.visited.snapshot();
+    let saved_job = |j: &Job<S::State>| SavedJob {
+        revisit: j.revisit,
+        sleep: j.sleep,
+        path: path_vec(&j.path),
+    };
+    let q = relock(&sh.queue);
+    let frontier = q.iter().chain(extra.iter()).map(saved_job).collect();
+    drop(q);
+    let behaviors = relock(&sh.behavior_log).clone();
+    CheckpointData {
+        level,
+        digest: sh.digest,
+        counters,
+        visited64,
+        visited128,
+        frontier,
+        behaviors,
+    }
+}
+
+/// Periodic mid-run save: single-worker durable runs only (a parallel
+/// frontier has no consistent snapshot without a global pause).
+fn maybe_save<S: TransitionSystem>(
+    sh: &Shared<S>,
+    local: &VecDeque<Job<S::State>>,
+    stats: &mut ExploreStats,
+    last: &mut Instant,
+) {
+    if !sh.durable || sh.cfg.workers > 1 {
+        return;
+    }
+    let Some(spec) = &sh.cfg.checkpoint else {
+        return;
+    };
+    let Some(every) = spec.every else {
+        return;
+    };
+    if last.elapsed() < every {
+        return;
+    }
+    *last = Instant::now();
+    let data = snapshot(sh, local, counters_from(&sh.base, stats));
+    match checkpoint::save(&spec.path, &data) {
+        Ok(()) => stats.checkpoint_saves += 1,
+        Err(w) => stats.warnings.push(w),
+    }
+}
+
 fn worker_loop<S: TransitionSystem>(sh: &Shared<S>, stats: &mut ExploreStats) {
     let mut local: VecDeque<Job<S::State>> = VecDeque::new();
+    let mut last_save = sh.start;
     while let Some(job) = next_job(sh, &mut local) {
         process(sh, job, &mut local, stats);
         if sh.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
             sh.cv.notify_all();
         }
+        maybe_save(sh, &local, stats, &mut last_save);
+    }
+    // On a durable stop the private frontier must survive into the
+    // final checkpoint.
+    if sh.durable && !local.is_empty() {
+        relock(&sh.queue).extend(local.drain(..));
     }
 }
 
+// ---------------------------------------------------------------------------
+// Run setup (fresh or resumed)
+// ---------------------------------------------------------------------------
+
+struct RoundInit<S: TransitionSystem> {
+    visited: Visited<S::State>,
+    jobs: Vec<Job<S::State>>,
+    behaviors: BTreeSet<S::Behavior>,
+    behavior_log: Vec<SavedBehavior>,
+    base: SavedCounters,
+    warnings: Vec<ExploreWarning>,
+}
+
+fn fresh_init<S: TransitionSystem>(sys: &S, cfg: &ExploreConfig) -> RoundInit<S> {
+    RoundInit {
+        visited: Visited::new(cfg.visited, cfg.shards),
+        jobs: vec![Job {
+            st: sys.initial_state(),
+            depth: 0,
+            sleep: 0,
+            attempt: 0,
+            revisit: false,
+            path: None,
+        }],
+        behaviors: BTreeSet::new(),
+        behavior_log: Vec::new(),
+        base: SavedCounters::default(),
+        warnings: Vec::new(),
+    }
+}
+
+fn restore_init<S: TransitionSystem>(
+    sys: &S,
+    cfg: &ExploreConfig,
+    data: &CheckpointData,
+) -> Result<RoundInit<S>, CorruptReason> {
+    if fp64(&sys.initial_state()) != data.digest {
+        return Err(CorruptReason::SystemMismatch);
+    }
+    let (visited, warn) = Visited::restore(cfg.visited, cfg.shards, data);
+    let mut jobs = Vec::with_capacity(data.frontier.len());
+    for sj in &data.frontier {
+        let st = replay_state(sys, &sj.path).map_err(CorruptReason::ReplayFailed)?;
+        jobs.push(Job {
+            st,
+            depth: sj.path.len(),
+            sleep: sj.sleep,
+            attempt: 0,
+            revisit: sj.revisit,
+            path: arc_path(&sj.path),
+        });
+    }
+    let mut behaviors = BTreeSet::new();
+    for sb in &data.behaviors {
+        behaviors.insert(replay_behavior(sys, sb).map_err(CorruptReason::ReplayFailed)?);
+    }
+    Ok(RoundInit {
+        visited,
+        jobs,
+        behaviors,
+        behavior_log: data.behaviors.clone(),
+        base: data.counters,
+        warnings: warn.into_iter().collect(),
+    })
+}
+
+/// Loads `cfg.resume` if set; any failure (unreadable, corrupt, wrong
+/// system, replay mismatch, or a panic during replay) falls back to a
+/// fresh run with a warning.
+fn build_init<S: TransitionSystem>(
+    sys: &S,
+    cfg: &ExploreConfig,
+    stats: &mut ExploreStats,
+) -> RoundInit<S> {
+    let Some(path) = &cfg.resume else {
+        return fresh_init(sys, cfg);
+    };
+    let data = match checkpoint::load(path) {
+        Err(message) => {
+            stats.warnings.push(ExploreWarning::ResumeUnreadable {
+                path: path.clone(),
+                message,
+            });
+            return fresh_init(sys, cfg);
+        }
+        Ok(Err(reason)) => {
+            stats.warnings.push(ExploreWarning::ResumeCorrupt {
+                path: path.clone(),
+                reason,
+            });
+            return fresh_init(sys, cfg);
+        }
+        Ok(Ok(d)) => d,
+    };
+    match catch_unwind(AssertUnwindSafe(|| restore_init(sys, cfg, &data))) {
+        Ok(Ok(mut init)) => {
+            stats.resumed = true;
+            stats.warnings.append(&mut init.warnings);
+            init
+        }
+        Ok(Err(reason)) => {
+            stats.warnings.push(ExploreWarning::ResumeCorrupt {
+                path: path.clone(),
+                reason,
+            });
+            fresh_init(sys, cfg)
+        }
+        Err(_) => {
+            stats.warnings.push(ExploreWarning::ResumeCorrupt {
+                path: path.clone(),
+                reason: CorruptReason::ReplayFailed("panic during replay"),
+            });
+            fresh_init(sys, cfg)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Round and strategy drivers
+// ---------------------------------------------------------------------------
+
 /// One exhaustive round (DFS/BFS/one deepening step) at a fixed depth
-/// limit, accumulating into `behaviors` and `stats`.
+/// limit, accumulating into `stats`.
 fn run_round<S: TransitionSystem>(
     sys: &S,
     cfg: &ExploreConfig,
     depth_limit: usize,
     start: Instant,
-    behaviors: BTreeSet<S::Behavior>,
+    init: RoundInit<S>,
     stats: &mut ExploreStats,
 ) -> (BTreeSet<S::Behavior>, bool) {
+    let durable = cfg.checkpoint.is_some();
+    let base = init.base;
+    let njobs = init.jobs.len();
     let sh = Shared {
         sys,
         cfg,
-        visited: Visited::new(cfg.visited, cfg.shards),
-        queue: Mutex::new(VecDeque::new()),
+        visited: init.visited,
+        queue: Mutex::new(init.jobs.into_iter().collect()),
         cv: Condvar::new(),
-        pending: AtomicUsize::new(1),
+        pending: AtomicUsize::new(njobs),
         stop: AtomicBool::new(false),
+        stop_reason: AtomicU8::new(StopReason::Completed.as_u8()),
         drain: AtomicBool::new(false),
         depth_truncated: AtomicBool::new(false),
         states_total: AtomicUsize::new(0),
-        behaviors: Mutex::new(behaviors),
+        behaviors: Mutex::new(init.behaviors),
+        behavior_log: Mutex::new(init.behavior_log),
         depth_limit,
         start,
+        durable,
+        digest: if durable {
+            fp64(&sys.initial_state())
+        } else {
+            0
+        },
+        base,
     };
-    sh.queue
-        .lock()
-        .expect("frontier queue")
-        .push_back((sys.initial_state(), 0, 0));
 
     let workers = cfg.workers.max(1);
     let mut per_worker: Vec<ExploreStats> = (0..workers).map(|_| ExploreStats::default()).collect();
     if workers == 1 {
-        worker_loop(&sh, &mut per_worker[0]);
+        if let Some(ws) = per_worker.first_mut() {
+            worker_loop(&sh, ws);
+        }
     } else {
         std::thread::scope(|scope| {
             for ws in per_worker.iter_mut() {
@@ -495,12 +1509,33 @@ fn run_round<S: TransitionSystem>(
         stats.merge(ws);
         stats.worker_states.push(ws.states);
     }
-    if sh.stop.load(Ordering::SeqCst) {
+    let reason = StopReason::from_u8(sh.stop_reason.load(Ordering::SeqCst));
+    if reason != StopReason::Completed {
         stats.truncated = true;
-        stats.deadline_hit = true;
+        if reason == StopReason::DeadlineExpired {
+            stats.deadline_hit = true;
+        }
+        if stats.stop == StopReason::Completed {
+            stats.stop = reason;
+        }
     }
+    add_base(stats, &base);
     let depth_hit = sh.depth_truncated.load(Ordering::SeqCst);
-    let behaviors = sh.behaviors.into_inner().expect("behavior set");
+    if let Some(spec) = &cfg.checkpoint {
+        let data = snapshot(
+            &sh,
+            &VecDeque::new(),
+            counters_from(&SavedCounters::default(), stats),
+        );
+        match checkpoint::save(&spec.path, &data) {
+            Ok(()) => stats.checkpoint_saves += 1,
+            Err(w) => stats.warnings.push(w),
+        }
+    }
+    let behaviors = sh
+        .behaviors
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     (behaviors, depth_hit)
 }
 
@@ -524,6 +1559,7 @@ fn run_random_walks<S: TransitionSystem>(
         for _ in 0..cfg.max_depth {
             if cfg.deadline.is_some_and(|d| start.elapsed() >= d) {
                 stats.deadline_hit = true;
+                stats.stop = StopReason::DeadlineExpired;
                 break 'walks;
             }
             if let Some(b) = sys.terminal_behavior(&st) {
@@ -561,8 +1597,29 @@ fn run_random_walks<S: TransitionSystem>(
     ExploreResult { behaviors, stats }
 }
 
-/// Explores `sys` under `cfg`, returning the behavior set and stats.
-pub fn explore<S: TransitionSystem>(sys: &S, cfg: &ExploreConfig) -> ExploreResult<S::Behavior> {
+fn validate(cfg: &ExploreConfig) -> Result<(), ExploreError> {
+    if cfg.checkpoint.is_some() || cfg.resume.is_some() {
+        match cfg.strategy {
+            Strategy::Dfs | Strategy::Bfs => {}
+            _ => {
+                return Err(ExploreError::UnsupportedStrategy {
+                    strategy: format!("{:?}", cfg.strategy),
+                })
+            }
+        }
+    }
+    if let Some(spec) = &cfg.checkpoint {
+        if spec.path.as_os_str().is_empty() {
+            return Err(ExploreError::InvalidConfig {
+                message: "empty checkpoint path".into(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs a validated configuration.
+fn run<S: TransitionSystem>(sys: &S, cfg: &ExploreConfig) -> ExploreResult<S::Behavior> {
     let start = Instant::now();
     match cfg.strategy.clone() {
         Strategy::Dfs | Strategy::Bfs => {
@@ -570,8 +1627,8 @@ pub fn explore<S: TransitionSystem>(sys: &S, cfg: &ExploreConfig) -> ExploreResu
                 workers: cfg.workers.max(1),
                 ..ExploreStats::default()
             };
-            let (behaviors, _) =
-                run_round(sys, cfg, cfg.max_depth, start, BTreeSet::new(), &mut stats);
+            let init = build_init(sys, cfg, &mut stats);
+            let (behaviors, _) = run_round(sys, cfg, cfg.max_depth, start, init, &mut stats);
             stats.elapsed = start.elapsed();
             ExploreResult { behaviors, stats }
         }
@@ -584,7 +1641,9 @@ pub fn explore<S: TransitionSystem>(sys: &S, cfg: &ExploreConfig) -> ExploreResu
             let mut limit = initial.max(1).min(cfg.max_depth);
             loop {
                 stats.truncated = false;
-                let (b, depth_hit) = run_round(sys, cfg, limit, start, behaviors, &mut stats);
+                let mut init = fresh_init(sys, cfg);
+                init.behaviors = behaviors;
+                let (b, depth_hit) = run_round(sys, cfg, limit, start, init, &mut stats);
                 behaviors = b;
                 if !depth_hit || limit >= cfg.max_depth || stats.deadline_hit {
                     break;
@@ -598,14 +1657,72 @@ pub fn explore<S: TransitionSystem>(sys: &S, cfg: &ExploreConfig) -> ExploreResu
     }
 }
 
+/// Explores `sys` under `cfg`. Fails only on caller misconfiguration
+/// ([`ExploreError`]); every mid-run degradation is reported through
+/// [`ExploreStats`] instead.
+pub fn try_explore<S: TransitionSystem>(
+    sys: &S,
+    cfg: &ExploreConfig,
+) -> Result<ExploreResult<S::Behavior>, ExploreError> {
+    validate(cfg)?;
+    Ok(run(sys, cfg))
+}
+
+/// Explores `sys` under `cfg`, returning the behavior set and stats.
+/// Infallible: an unusable durability request is dropped with a
+/// [`DurabilityIgnored`](ExploreWarning::DurabilityIgnored) warning
+/// (use [`try_explore`] to make it an error).
+pub fn explore<S: TransitionSystem>(sys: &S, cfg: &ExploreConfig) -> ExploreResult<S::Behavior> {
+    match validate(cfg) {
+        Ok(()) => run(sys, cfg),
+        Err(e) => {
+            let mut stripped = cfg.clone();
+            stripped.checkpoint = None;
+            stripped.resume = None;
+            let mut r = run(sys, &stripped);
+            r.stats.warnings.push(ExploreWarning::DurabilityIgnored {
+                message: e.to_string(),
+            });
+            r
+        }
+    }
+}
+
 // Internal marker so the unused helper above never bitrots silently.
 #[allow(dead_code)]
 fn _assert_send_sync<T: Send + Sync>() {}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
-    use crate::system::{StepTags, Transition};
+    use crate::system::{AgentGroup, StepTags, Transition};
+
+    /// Panic payload for intentional test panics; the quiet hook
+    /// filters it so fault tests don't spew backtraces.
+    struct TestBoom;
+
+    fn quiet_panics() {
+        use std::sync::OnceLock;
+        static INSTALLED: OnceLock<()> = OnceLock::new();
+        INSTALLED.get_or_init(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let quiet = info.payload().is::<TestBoom>();
+                #[cfg(feature = "fault-injection")]
+                let quiet = quiet || info.payload().is::<crate::fault::InjectedFault>();
+                if !quiet {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("seqwm-engine-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
 
     /// N agents, each incrementing a private counter to `limit`. All
     /// steps are local, so ample reduction collapses the interleaving
@@ -732,6 +1849,39 @@ mod tests {
         }
     }
 
+    /// Wraps `Counters` and panics (via `TestBoom`) when expanding the
+    /// given state: the first `transient` attempts if finite, every
+    /// attempt otherwise.
+    struct PanicOn {
+        inner: Counters,
+        victim: Vec<u8>,
+        transient: Option<usize>,
+        hits: AtomicUsize,
+    }
+
+    impl TransitionSystem for PanicOn {
+        type State = Vec<u8>;
+        type Behavior = Vec<u8>;
+
+        fn initial_state(&self) -> Vec<u8> {
+            self.inner.initial_state()
+        }
+
+        fn agent_groups(&self, st: &Vec<u8>) -> Vec<AgentGroup<Vec<u8>, Vec<u8>>> {
+            if *st == self.victim {
+                let n = self.hits.fetch_add(1, Ordering::SeqCst);
+                if self.transient.is_none_or(|k| n < k) {
+                    std::panic::panic_any(TestBoom);
+                }
+            }
+            self.inner.agent_groups(st)
+        }
+
+        fn terminal_behavior(&self, st: &Vec<u8>) -> Option<Vec<u8>> {
+            self.inner.terminal_behavior(st)
+        }
+    }
+
     fn cfg(workers: usize, reduction: bool) -> ExploreConfig {
         ExploreConfig {
             workers,
@@ -752,6 +1902,8 @@ mod tests {
                 let r = explore(&sys, &cfg(workers, reduction));
                 assert_eq!(r.behaviors, want, "workers={workers} reduction={reduction}");
                 assert!(!r.stats.truncated);
+                assert_eq!(r.stats.stop, StopReason::Completed);
+                assert!(r.stats.fault_free());
             }
         }
     }
@@ -835,6 +1987,7 @@ mod tests {
             },
         );
         assert!(r.stats.truncated);
+        assert_eq!(r.stats.stop, StopReason::StateBudget);
         let want: BTreeSet<u8> = [1, 2].into_iter().collect();
         assert_eq!(r.behaviors, want, "frontier terminals were dropped");
     }
@@ -921,6 +2074,7 @@ mod tests {
         );
         assert!(r.stats.deadline_hit);
         assert!(r.stats.truncated);
+        assert_eq!(r.stats.stop, StopReason::DeadlineExpired);
     }
 
     #[test]
@@ -949,5 +2103,401 @@ mod tests {
         let r = explore(&sys, &cfg(4, false));
         assert_eq!(r.stats.worker_states.len(), 4);
         assert_eq!(r.stats.worker_states.iter().sum::<usize>(), r.stats.states);
+    }
+
+    // -- fault tolerance ---------------------------------------------------
+
+    #[test]
+    fn transient_panic_is_retried_and_recovered() {
+        quiet_panics();
+        let want = explore(
+            &Counters {
+                agents: 2,
+                limit: 2,
+            },
+            &cfg(1, false),
+        )
+        .behaviors;
+        for workers in [1, 4] {
+            let sys = PanicOn {
+                inner: Counters {
+                    agents: 2,
+                    limit: 2,
+                },
+                victim: vec![1, 0],
+                transient: Some(1),
+                hits: AtomicUsize::new(0),
+            };
+            let r = explore(&sys, &cfg(workers, false));
+            assert_eq!(r.behaviors, want, "workers={workers}");
+            assert_eq!(r.stats.incident_count, 1, "workers={workers}");
+            assert_eq!(r.stats.retried, 1, "workers={workers}");
+            assert_eq!(r.stats.quarantined, 0, "workers={workers}");
+            assert!(!r.stats.fault_free());
+            assert!(!r.stats.incidents.is_empty());
+            assert_eq!(r.stats.incidents[0].kind, IncidentKind::ExpansionPanic);
+        }
+    }
+
+    #[test]
+    fn permanent_panic_quarantines_without_hanging() {
+        quiet_panics();
+        // 1-agent chain 0→1→2: a permanent panic at [1] quarantines it,
+        // losing the terminal but never hanging or crashing the run.
+        for workers in [1, 4] {
+            let sys = PanicOn {
+                inner: Counters {
+                    agents: 1,
+                    limit: 2,
+                },
+                victim: vec![1],
+                transient: None,
+                hits: AtomicUsize::new(0),
+            };
+            let r = explore(&sys, &cfg(workers, false));
+            assert!(r.behaviors.is_empty(), "workers={workers}");
+            assert_eq!(r.stats.quarantined, 1, "workers={workers}");
+            assert_eq!(r.stats.incident_count, 2, "attempt 0 + 1 retry");
+        }
+    }
+
+    #[test]
+    fn panic_on_one_branch_keeps_other_branches() {
+        quiet_panics();
+        // Two independent agents; [1,0] is permanently poisoned. The
+        // path through [0,1] must still reach the terminal... it can't
+        // (all interleavings pass through a poisoned state's subtree
+        // only if reachable solely through it). Use 2 agents where the
+        // victim is off the only path to SOME behaviors but not all:
+        // here every path to [1,1] goes via [1,0] or [0,1], so the
+        // terminal survives via [0,1].
+        let sys = PanicOn {
+            inner: Counters {
+                agents: 2,
+                limit: 1,
+            },
+            victim: vec![1, 0],
+            transient: None,
+            hits: AtomicUsize::new(0),
+        };
+        let r = explore(&sys, &cfg(1, false));
+        let want: BTreeSet<Vec<u8>> = [vec![1, 1]].into_iter().collect();
+        assert_eq!(r.behaviors, want, "behavior reachable around the fault");
+        assert_eq!(r.stats.quarantined, 1);
+    }
+
+    #[test]
+    fn reduction_proviso_respects_quarantined_states() {
+        quiet_panics();
+        // With reduction on, ample sets must not hide behaviors when a
+        // state is quarantined: the surviving interleavings still
+        // reach the terminal.
+        let sys = PanicOn {
+            inner: Counters {
+                agents: 3,
+                limit: 2,
+            },
+            victim: vec![1, 0, 0],
+            transient: Some(1),
+            hits: AtomicUsize::new(0),
+        };
+        let r = explore(&sys, &cfg(1, true));
+        let want: BTreeSet<Vec<u8>> = [vec![2, 2, 2]].into_iter().collect();
+        assert_eq!(r.behaviors, want);
+        assert_eq!(r.stats.quarantined, 0);
+        assert_eq!(r.stats.retried, 1);
+    }
+
+    #[test]
+    fn memory_budget_downgrades_instead_of_aborting() {
+        // 64 exact states of Vec<u8> blow a 3.5 kB budget; fp64 fits.
+        // The run must complete exactly, two rungs down.
+        let sys = Counters {
+            agents: 3,
+            limit: 3,
+        };
+        let want = explore(&sys, &cfg(1, false)).behaviors;
+        let r = explore(
+            &sys,
+            &ExploreConfig {
+                visited: VisitedMode::Exact,
+                max_memory: Some(3500),
+                ..cfg(1, false)
+            },
+        );
+        assert_eq!(r.behaviors, want);
+        assert_eq!(r.stats.downgrades, 2, "exact→fp128→fp64");
+        assert!(!r.stats.truncated);
+        assert_eq!(r.stats.stop, StopReason::Completed);
+        assert!(r
+            .stats
+            .warnings
+            .iter()
+            .any(|w| matches!(w, ExploreWarning::MemoryDowngrade { from: "exact", .. })));
+    }
+
+    #[test]
+    fn memory_exhaustion_stops_at_last_rung() {
+        let sys = Counters {
+            agents: 3,
+            limit: 3,
+        };
+        let r = explore(
+            &sys,
+            &ExploreConfig {
+                max_memory: Some(100),
+                ..cfg(1, false)
+            },
+        );
+        assert!(r.stats.truncated);
+        assert_eq!(r.stats.stop, StopReason::MemoryBudget);
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        let sys = Counters {
+            agents: 3,
+            limit: 3,
+        };
+        let full = explore(&sys, &cfg(1, true));
+        let path = temp_path("resume-equality.ckpt");
+        std::fs::remove_file(&path).ok();
+
+        // First leg: interrupt via a tiny state budget.
+        let r1 = explore(
+            &sys,
+            &ExploreConfig {
+                max_states: 5,
+                checkpoint: Some(CheckpointSpec::new(&path)),
+                ..cfg(1, true)
+            },
+        );
+        assert!(r1.stats.truncated);
+        assert_eq!(r1.stats.stop, StopReason::StateBudget);
+        assert_eq!(r1.stats.checkpoint_saves, 1);
+
+        // Resume legs until the search completes.
+        let mut last = None;
+        for leg in 0..64 {
+            let r = explore(
+                &sys,
+                &ExploreConfig {
+                    max_states: 5,
+                    checkpoint: Some(CheckpointSpec::new(&path)),
+                    resume: Some(path.clone()),
+                    ..cfg(1, true)
+                },
+            );
+            assert!(r.stats.resumed, "leg {leg} did not resume");
+            let done = !r.stats.truncated;
+            last = Some(r);
+            if done {
+                break;
+            }
+        }
+        let last = last.unwrap();
+        assert!(!last.stats.truncated, "never completed");
+        assert_eq!(last.behaviors, full.behaviors);
+        assert_eq!(last.stats.states, full.stats.states, "cumulative counters");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn periodic_checkpoints_are_written() {
+        let sys = Counters {
+            agents: 4,
+            limit: 4,
+        };
+        let path = temp_path("periodic.ckpt");
+        std::fs::remove_file(&path).ok();
+        let r = explore(
+            &sys,
+            &ExploreConfig {
+                checkpoint: Some(CheckpointSpec::new(&path).every(Duration::ZERO)),
+                ..cfg(1, false)
+            },
+        );
+        assert!(!r.stats.truncated);
+        assert!(
+            r.stats.checkpoint_saves > 1,
+            "periodic saves: {}",
+            r.stats.checkpoint_saves
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_resume_falls_back_fresh_with_warning() {
+        let sys = Counters {
+            agents: 2,
+            limit: 2,
+        };
+        let want = explore(&sys, &cfg(1, true)).behaviors;
+        for (name, contents) in [
+            ("zero.ckpt", &b""[..]),
+            ("garbage.ckpt", &b"SQWMgarbage-not-a-checkpoint"[..]),
+        ] {
+            let path = temp_path(name);
+            std::fs::write(&path, contents).unwrap();
+            let r = explore(
+                &sys,
+                &ExploreConfig {
+                    resume: Some(path.clone()),
+                    ..cfg(1, true)
+                },
+            );
+            assert!(!r.stats.resumed, "{name}");
+            assert_eq!(r.behaviors, want, "{name}");
+            assert!(
+                r.stats
+                    .warnings
+                    .iter()
+                    .any(|w| matches!(w, ExploreWarning::ResumeCorrupt { .. })),
+                "{name}: {:?}",
+                r.stats.warnings
+            );
+            std::fs::remove_file(&path).ok();
+        }
+        // Missing file → unreadable, also fresh.
+        let missing = temp_path("no-such-file.ckpt");
+        std::fs::remove_file(&missing).ok();
+        let r = explore(
+            &sys,
+            &ExploreConfig {
+                resume: Some(missing),
+                ..cfg(1, true)
+            },
+        );
+        assert_eq!(r.behaviors, want);
+        assert!(r
+            .stats
+            .warnings
+            .iter()
+            .any(|w| matches!(w, ExploreWarning::ResumeUnreadable { .. })));
+    }
+
+    #[test]
+    fn resume_rejects_checkpoint_of_different_system() {
+        let path = temp_path("mismatch.ckpt");
+        std::fs::remove_file(&path).ok();
+        let a = Counters {
+            agents: 2,
+            limit: 2,
+        };
+        explore(
+            &a,
+            &ExploreConfig {
+                checkpoint: Some(CheckpointSpec::new(&path)),
+                ..cfg(1, true)
+            },
+        );
+        let b = Counters {
+            agents: 3,
+            limit: 2,
+        };
+        let want = explore(&b, &cfg(1, true)).behaviors;
+        let r = explore(
+            &b,
+            &ExploreConfig {
+                resume: Some(path.clone()),
+                ..cfg(1, true)
+            },
+        );
+        assert!(!r.stats.resumed);
+        assert_eq!(r.behaviors, want);
+        assert!(r.stats.warnings.iter().any(|w| matches!(
+            w,
+            ExploreWarning::ResumeCorrupt {
+                reason: CorruptReason::SystemMismatch,
+                ..
+            }
+        )));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn durability_requires_a_frontier_strategy() {
+        let sys = Counters {
+            agents: 2,
+            limit: 2,
+        };
+        let bad = ExploreConfig {
+            strategy: Strategy::RandomWalk { walks: 2, seed: 1 },
+            checkpoint: Some(CheckpointSpec::new(temp_path("never-written.ckpt"))),
+            ..ExploreConfig::default()
+        };
+        assert!(matches!(
+            try_explore(&sys, &bad),
+            Err(ExploreError::UnsupportedStrategy { .. })
+        ));
+        // The infallible entry point degrades with a warning instead.
+        let r = explore(&sys, &bad);
+        assert_eq!(r.stats.checkpoint_saves, 0);
+        assert!(r
+            .stats
+            .warnings
+            .iter()
+            .any(|w| matches!(w, ExploreWarning::DurabilityIgnored { .. })));
+    }
+
+    #[test]
+    fn exact_resume_downgrades_with_warning() {
+        let sys = Counters {
+            agents: 2,
+            limit: 2,
+        };
+        let path = temp_path("exact-resume.ckpt");
+        std::fs::remove_file(&path).ok();
+        explore(
+            &sys,
+            &ExploreConfig {
+                visited: VisitedMode::Exact,
+                max_states: 3,
+                checkpoint: Some(CheckpointSpec::new(&path)),
+                ..cfg(1, true)
+            },
+        );
+        let r = explore(
+            &sys,
+            &ExploreConfig {
+                visited: VisitedMode::Exact,
+                resume: Some(path.clone()),
+                ..cfg(1, true)
+            },
+        );
+        assert!(r.stats.resumed);
+        assert!(r.stats.warnings.iter().any(|w| matches!(
+            w,
+            ExploreWarning::ResumeVisitedDowngrade {
+                requested: "exact",
+                ..
+            }
+        )));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn injected_transient_faults_preserve_behaviors() {
+        use crate::fault::FaultPlan;
+        quiet_panics();
+        let sys = Counters {
+            agents: 3,
+            limit: 3,
+        };
+        let want = explore(&sys, &cfg(1, false)).behaviors;
+        for seed in [1, 2, 3] {
+            let r = explore(
+                &sys,
+                &ExploreConfig {
+                    fault: Some(FaultPlan::transient(seed, 300)),
+                    ..cfg(2, false)
+                },
+            );
+            assert_eq!(r.behaviors, want, "seed={seed}");
+            assert_eq!(r.stats.quarantined, 0, "seed={seed}");
+            assert!(r.stats.incident_count > 0, "seed={seed}: rate 30% hit 0/64");
+            assert_eq!(r.stats.retried, r.stats.incident_count, "seed={seed}");
+        }
     }
 }

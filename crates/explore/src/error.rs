@@ -1,0 +1,337 @@
+//! The engine's failure model: typed errors, non-fatal warnings,
+//! worker incidents, and the structured stop reason.
+//!
+//! The engine distinguishes three severities:
+//!
+//! * **Errors** ([`ExploreError`]) abort a run before it starts
+//!   (caller misconfiguration, e.g. checkpointing a random walk).
+//!   They are the only way [`crate::try_explore`] fails.
+//! * **Warnings** ([`ExploreWarning`]) degrade a run without stopping
+//!   it: a corrupt checkpoint falls back to a fresh search, a failed
+//!   periodic save is retried later, a memory-budget breach downgrades
+//!   the visited set. They are collected in
+//!   [`ExploreStats::warnings`](crate::ExploreStats::warnings).
+//! * **Incidents** ([`ExploreIncident`]) are recovered worker faults:
+//!   a panic inside a transition-system callback is caught, recorded,
+//!   retried, and — if it persists — its state quarantined while the
+//!   rest of the frontier keeps draining.
+//!
+//! [`StopReason`] reports *why* the search ended, so callers can tell
+//! a complete result from one truncated by a deadline, a budget, or a
+//! memory downgrade ladder that ran out of rungs.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// A hard error: the run could not be started (or resumed) as asked.
+///
+/// Degradations that happen *during* a run never surface here — they
+/// are recorded as [`ExploreWarning`]s so partial results survive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExploreError {
+    /// Checkpointing or resuming was requested with a strategy that
+    /// cannot replay a frontier (iterative deepening re-runs rounds,
+    /// random walks keep no frontier).
+    UnsupportedStrategy {
+        /// Debug rendering of the offending strategy.
+        strategy: String,
+    },
+    /// A configuration value is unusable (e.g. a zero shard count
+    /// after clamping, or an empty checkpoint path).
+    InvalidConfig {
+        /// What is wrong.
+        message: String,
+    },
+    /// An I/O operation on a checkpoint file failed fatally.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The operation (`"read"`, `"write"`, `"rename"`, …).
+        op: &'static str,
+        /// The OS error rendered as text.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::UnsupportedStrategy { strategy } => write!(
+                f,
+                "checkpoint/resume requires a DFS or BFS strategy, got {strategy}"
+            ),
+            ExploreError::InvalidConfig { message } => {
+                write!(f, "invalid exploration config: {message}")
+            }
+            ExploreError::Io { path, op, message } => {
+                write!(
+                    f,
+                    "checkpoint {op} failed for {}: {message}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// Why a checkpoint file was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CorruptReason {
+    /// The file is shorter than the fixed header.
+    TooShort,
+    /// The magic bytes are not `SQWM`.
+    BadMagic,
+    /// The version byte is newer than this build understands.
+    UnsupportedVersion(u8),
+    /// The trailing checksum does not match the contents.
+    ChecksumMismatch,
+    /// A length or enum field decodes to an impossible value.
+    Malformed(&'static str),
+    /// The checkpoint was taken of a different system (the initial
+    /// state fingerprints differ).
+    SystemMismatch,
+    /// Replaying a stored frontier/behavior path through the current
+    /// system failed — the system is nondeterministic or changed.
+    ReplayFailed(&'static str),
+}
+
+impl fmt::Display for CorruptReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptReason::TooShort => write!(f, "file shorter than the header"),
+            CorruptReason::BadMagic => write!(f, "bad magic bytes"),
+            CorruptReason::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            CorruptReason::ChecksumMismatch => write!(f, "checksum mismatch"),
+            CorruptReason::Malformed(what) => write!(f, "malformed field: {what}"),
+            CorruptReason::SystemMismatch => {
+                write!(f, "checkpoint was taken of a different system")
+            }
+            CorruptReason::ReplayFailed(what) => write!(f, "frontier replay failed: {what}"),
+        }
+    }
+}
+
+/// A non-fatal degradation recorded during a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExploreWarning {
+    /// `--resume` was given but the file could not be read; the run
+    /// started fresh.
+    ResumeUnreadable {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// The OS error rendered as text.
+        message: String,
+    },
+    /// `--resume` was given but the file failed validation; the run
+    /// started fresh.
+    ResumeCorrupt {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// What failed.
+        reason: CorruptReason,
+    },
+    /// A checkpoint save failed; the run continued (a later save may
+    /// still succeed).
+    CheckpointSaveFailed {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// The OS error rendered as text.
+        message: String,
+    },
+    /// The memory budget forced the visited set down one rung of the
+    /// degradation ladder (exact → fp128 → fp64).
+    MemoryDowngrade {
+        /// Representation before the downgrade.
+        from: &'static str,
+        /// Representation after the downgrade.
+        to: &'static str,
+    },
+    /// A resume downgraded the configured visited mode (checkpoints
+    /// store fingerprints, so an exact visited set cannot be restored
+    /// exactly).
+    ResumeVisitedDowngrade {
+        /// The configured mode.
+        requested: &'static str,
+        /// The mode actually restored.
+        restored: &'static str,
+    },
+    /// The infallible [`crate::explore`] entry point was asked for
+    /// checkpoint/resume durability it cannot honor (e.g. with a
+    /// random-walk strategy); the run proceeded without it. Use
+    /// [`crate::try_explore`] to make this an error instead.
+    DurabilityIgnored {
+        /// Why durability was dropped.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExploreWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreWarning::ResumeUnreadable { path, message } => write!(
+                f,
+                "cannot read checkpoint {} ({message}); starting fresh",
+                path.display()
+            ),
+            ExploreWarning::ResumeCorrupt { path, reason } => write!(
+                f,
+                "checkpoint {} rejected ({reason}); starting fresh",
+                path.display()
+            ),
+            ExploreWarning::CheckpointSaveFailed { path, message } => {
+                write!(f, "checkpoint save to {} failed: {message}", path.display())
+            }
+            ExploreWarning::MemoryDowngrade { from, to } => write!(
+                f,
+                "memory budget exceeded: visited set downgraded {from} -> {to}"
+            ),
+            ExploreWarning::ResumeVisitedDowngrade {
+                requested,
+                restored,
+            } => write!(
+                f,
+                "resume restored a {restored} visited set (configured: {requested})"
+            ),
+            ExploreWarning::DurabilityIgnored { message } => {
+                write!(f, "checkpoint/resume ignored: {message}")
+            }
+        }
+    }
+}
+
+/// What kind of fault an [`ExploreIncident`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// A transition-system callback (`agent_groups`,
+    /// `terminal_behavior`) panicked during expansion.
+    ExpansionPanic,
+    /// The state's `Hash`/`Eq` panicked while entering the visited
+    /// set; the state is quarantined without retry (its dedup status
+    /// is unknowable).
+    InsertPanic,
+}
+
+impl fmt::Display for IncidentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncidentKind::ExpansionPanic => write!(f, "expansion panic"),
+            IncidentKind::InsertPanic => write!(f, "visited-insert panic"),
+        }
+    }
+}
+
+/// One recovered worker fault: a panic caught at a transition
+/// boundary. The panicking state is retried up to
+/// [`max_retries`](crate::ExploreConfig::max_retries) times, then
+/// quarantined; either way the rest of the frontier keeps draining.
+#[derive(Clone, Debug)]
+pub struct ExploreIncident {
+    /// What faulted.
+    pub kind: IncidentKind,
+    /// fp64 fingerprint of the faulting state (stable run-to-run).
+    pub state_fp: u64,
+    /// Depth of the faulting state.
+    pub depth: usize,
+    /// Which expansion attempt this was (0 = first).
+    pub attempt: u8,
+    /// The panic payload, if it was a string.
+    pub message: String,
+}
+
+impl fmt::Display for ExploreIncident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at state {:016x} depth {} (attempt {}): {}",
+            self.kind, self.state_fp, self.depth, self.attempt, self.message
+        )
+    }
+}
+
+/// Why the search ended.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StopReason {
+    /// The frontier drained: the bounded state space is exhausted.
+    #[default]
+    Completed,
+    /// The wall-clock deadline fired.
+    DeadlineExpired,
+    /// The `max_states` budget was reached.
+    StateBudget,
+    /// The memory budget was exceeded with no downgrade rung left.
+    MemoryBudget,
+}
+
+impl StopReason {
+    pub(crate) fn as_u8(self) -> u8 {
+        match self {
+            StopReason::Completed => 0,
+            StopReason::DeadlineExpired => 1,
+            StopReason::StateBudget => 2,
+            StopReason::MemoryBudget => 3,
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Self {
+        match v {
+            1 => StopReason::DeadlineExpired,
+            2 => StopReason::StateBudget,
+            3 => StopReason::MemoryBudget,
+            _ => StopReason::Completed,
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::Completed => write!(f, "completed"),
+            StopReason::DeadlineExpired => write!(f, "deadline expired"),
+            StopReason::StateBudget => write!(f, "state budget reached"),
+            StopReason::MemoryBudget => write!(f, "memory budget reached"),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_reason_round_trips() {
+        for r in [
+            StopReason::Completed,
+            StopReason::DeadlineExpired,
+            StopReason::StateBudget,
+            StopReason::MemoryBudget,
+        ] {
+            assert_eq!(StopReason::from_u8(r.as_u8()), r);
+        }
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ExploreError::Io {
+            path: PathBuf::from("/tmp/x.ckpt"),
+            op: "write",
+            message: "disk full".into(),
+        };
+        assert!(e.to_string().contains("x.ckpt"));
+        let w = ExploreWarning::MemoryDowngrade {
+            from: "exact",
+            to: "fp128",
+        };
+        assert!(w.to_string().contains("exact -> fp128"));
+        let i = ExploreIncident {
+            kind: IncidentKind::ExpansionPanic,
+            state_fp: 0xDEAD,
+            depth: 3,
+            attempt: 1,
+            message: "boom".into(),
+        };
+        assert!(i.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Deterministic fault injection for hardening tests (feature
+//! `fault-injection`).
+//!
+//! A [`FaultPlan`] decides, *per state fingerprint*, whether the
+//! engine should suffer an injected panic, an artificial delay, or a
+//! forced visited-set downgrade when that state is expanded. Decisions
+//! are pure functions of `(seed, state fingerprint)` — derived with
+//! the in-tree SplitMix64 mixer, never from a shared RNG stream — so
+//! they are identical across worker counts, schedules, and reruns:
+//! the same states fault no matter how the frontier is interleaved.
+//!
+//! Two panic flavors exist:
+//!
+//! * **transient** ([`FaultPlan::panic_per_mille`]) — the expansion
+//!   panics on its first attempt only. The engine's retry path must
+//!   recover it, so a run with transient faults must produce the
+//!   *identical* behavior set as a fault-free run (checked by
+//!   `tests/fault_injection.rs` over the whole corpus).
+//! * **permanent** ([`FaultPlan::permanent_panic_per_mille`]) — every
+//!   attempt panics and the state is quarantined. Behaviors reachable
+//!   only through it are lost (and reported as incidents); behaviors
+//!   reachable around it must survive.
+//!
+//! Injected panics carry an [`InjectedFault`] payload so test
+//! harnesses can silence their backtrace noise without masking real
+//! panics.
+
+use std::time::Duration;
+
+use crate::rng::mix64;
+
+/// The panic payload used for injected faults.
+///
+/// Tests install a panic hook that drops messages whose payload is
+/// this type and delegates everything else, keeping fault-injection
+/// runs quiet without hiding genuine failures.
+#[derive(Clone, Copy, Debug)]
+pub struct InjectedFault {
+    /// Fingerprint of the state whose expansion was failed.
+    pub state_fp: u64,
+    /// Whether the fault repeats on retry.
+    pub permanent: bool,
+}
+
+/// A deterministic fault schedule, seeded by SplitMix64.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed; equal seeds fault equal state sets.
+    pub seed: u64,
+    /// Per-mille probability that a state's *first* expansion attempt
+    /// panics (recovered by retry).
+    pub panic_per_mille: u16,
+    /// Per-mille probability that *every* expansion attempt of a
+    /// state panics (the state ends up quarantined).
+    pub permanent_panic_per_mille: u16,
+    /// Per-mille probability that an expansion is delayed by
+    /// [`delay`](Self::delay) first.
+    pub delay_per_mille: u16,
+    /// The injected delay.
+    pub delay: Duration,
+    /// Force one visited-set downgrade rung each time the distinct
+    /// state count crosses a multiple of this value (simulated memory
+    /// exhaustion driving the exact → fp128 → fp64 ladder).
+    pub downgrade_every_states: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A plan injecting transient panics at `per_mille`‰ of states.
+    pub fn transient(seed: u64, per_mille: u16) -> Self {
+        FaultPlan {
+            seed,
+            panic_per_mille: per_mille,
+            ..FaultPlan::default()
+        }
+    }
+
+    fn roll(&self, state_fp: u64, salt: u64) -> u64 {
+        mix64(self.seed ^ mix64(state_fp ^ mix64(salt))) % 1000
+    }
+
+    /// Should expansion attempt `attempt` of this state panic?
+    pub fn injects_panic(&self, state_fp: u64, attempt: u8) -> Option<InjectedFault> {
+        if self.roll(state_fp, 0xFA01) < u64::from(self.permanent_panic_per_mille) {
+            return Some(InjectedFault {
+                state_fp,
+                permanent: true,
+            });
+        }
+        if attempt == 0 && self.roll(state_fp, 0xFA02) < u64::from(self.panic_per_mille) {
+            return Some(InjectedFault {
+                state_fp,
+                permanent: false,
+            });
+        }
+        None
+    }
+
+    /// The delay (if any) to impose before expanding this state.
+    pub fn injects_delay(&self, state_fp: u64) -> Option<Duration> {
+        (self.roll(state_fp, 0xFA03) < u64::from(self.delay_per_mille)).then_some(self.delay)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_dependent() {
+        let a = FaultPlan::transient(1, 200);
+        let b = FaultPlan::transient(2, 200);
+        let hits_a: Vec<bool> = (0..500)
+            .map(|fp| a.injects_panic(fp, 0).is_some())
+            .collect();
+        let hits_a2: Vec<bool> = (0..500)
+            .map(|fp| a.injects_panic(fp, 0).is_some())
+            .collect();
+        let hits_b: Vec<bool> = (0..500)
+            .map(|fp| b.injects_panic(fp, 0).is_some())
+            .collect();
+        assert_eq!(hits_a, hits_a2, "same seed, same faults");
+        assert_ne!(hits_a, hits_b, "different seed, different faults");
+        let rate = hits_a.iter().filter(|&&h| h).count();
+        assert!((50..400).contains(&rate), "rate {rate} wildly off 20%");
+    }
+
+    #[test]
+    fn transient_faults_clear_on_retry() {
+        let plan = FaultPlan::transient(7, 1000);
+        for fp in 0..50 {
+            let first = plan.injects_panic(fp, 0).unwrap();
+            assert!(!first.permanent);
+            assert!(plan.injects_panic(fp, 1).is_none(), "retry must succeed");
+        }
+    }
+
+    #[test]
+    fn permanent_faults_persist() {
+        let plan = FaultPlan {
+            seed: 9,
+            permanent_panic_per_mille: 1000,
+            ..FaultPlan::default()
+        };
+        for fp in 0..50 {
+            for attempt in 0..3 {
+                assert!(plan.injects_panic(fp, attempt).unwrap().permanent);
+            }
+        }
+    }
+
+    #[test]
+    fn delays_follow_their_rate() {
+        let plan = FaultPlan {
+            seed: 3,
+            delay_per_mille: 1000,
+            delay: Duration::from_millis(1),
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.injects_delay(42), Some(Duration::from_millis(1)));
+        let none = FaultPlan::default();
+        assert_eq!(none.injects_delay(42), None);
+    }
+}

@@ -53,7 +53,9 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in chunks.by_ref() {
-            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+            let mut w = [0u8; 8];
+            w.copy_from_slice(c);
+            self.add(u64::from_le_bytes(w));
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {
@@ -115,6 +117,7 @@ pub fn fp128<T: Hash + ?Sized>(x: &T) -> u128 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -3,6 +3,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::error::{ExploreIncident, ExploreWarning, StopReason};
+
 /// What the engine did and why it stopped. Returned with every
 /// exploration; rendered by the CLI and the experiments report.
 #[derive(Clone, Debug, Default)]
@@ -30,15 +32,40 @@ pub struct ExploreStats {
     pub truncated: bool,
     /// The wall-clock deadline fired (implies `truncated`).
     pub deadline_hit: bool,
+    /// Why the search ended (structured form of the flags above).
+    pub stop: StopReason,
     /// Number of worker threads used.
     pub workers: usize,
     /// States expanded by each worker (utilization balance).
     pub worker_states: Vec<usize>,
     /// Wall-clock time spent exploring.
     pub elapsed: Duration,
+    /// Recovered worker faults (caught panics), capped at
+    /// [`MAX_RECORDED_INCIDENTS`](Self::MAX_RECORDED_INCIDENTS);
+    /// `incident_count` has the true total.
+    pub incidents: Vec<ExploreIncident>,
+    /// Total caught panics, including ones beyond the recording cap.
+    pub incident_count: usize,
+    /// States abandoned after exhausting their expansion retries.
+    /// Behaviors reachable only through them may be missing.
+    pub quarantined: usize,
+    /// Faulted expansions that succeeded on retry (no behavior loss).
+    pub retried: usize,
+    /// Non-fatal degradations (corrupt resume, failed save, memory
+    /// downgrades).
+    pub warnings: Vec<ExploreWarning>,
+    /// Visited-set downgrades taken (exact→fp128 and/or fp128→fp64).
+    pub downgrades: usize,
+    /// The run restored state from a checkpoint.
+    pub resumed: bool,
+    /// Checkpoints written during and after the run.
+    pub checkpoint_saves: usize,
 }
 
 impl ExploreStats {
+    /// Cap on individually-recorded incidents (the count keeps going).
+    pub const MAX_RECORDED_INCIDENTS: usize = 64;
+
     /// Fraction of frontier pops answered by the visited set.
     pub fn dedup_hit_rate(&self) -> f64 {
         let total = self.states + self.dedup_hits;
@@ -47,6 +74,12 @@ impl ExploreStats {
         } else {
             self.dedup_hits as f64 / total as f64
         }
+    }
+
+    /// No faults were recovered and nothing was quarantined: the
+    /// result is exactly what a fault-free run would have produced.
+    pub fn fault_free(&self) -> bool {
+        self.incident_count == 0 && self.quarantined == 0
     }
 
     /// Merges another worker's (or round's) counters into this one.
@@ -61,6 +94,21 @@ impl ExploreStats {
         self.promise_steps += other.promise_steps;
         self.truncated |= other.truncated;
         self.deadline_hit |= other.deadline_hit;
+        self.retried += other.retried;
+        if self.stop == StopReason::Completed {
+            self.stop = other.stop;
+        }
+        for i in &other.incidents {
+            if self.incidents.len() < Self::MAX_RECORDED_INCIDENTS {
+                self.incidents.push(i.clone());
+            }
+        }
+        self.incident_count += other.incident_count;
+        self.quarantined += other.quarantined;
+        self.warnings.extend(other.warnings.iter().cloned());
+        self.downgrades += other.downgrades;
+        self.resumed |= other.resumed;
+        self.checkpoint_saves += other.checkpoint_saves;
     }
 }
 
@@ -83,12 +131,30 @@ impl fmt::Display for ExploreStats {
             "reduction: {} sleep skips, {} ample commits",
             self.sleep_skips, self.ample_commits
         )?;
+        if self.incident_count > 0 || self.quarantined > 0 {
+            writeln!(
+                f,
+                "faults: {} caught ({} recovered by retry, {} states quarantined)",
+                self.incident_count, self.retried, self.quarantined
+            )?;
+        }
+        if self.resumed || self.checkpoint_saves > 0 {
+            writeln!(
+                f,
+                "durability: resumed={}, {} checkpoint save(s)",
+                self.resumed, self.checkpoint_saves
+            )?;
+        }
+        for w in &self.warnings {
+            writeln!(f, "warning: {w}")?;
+        }
         write!(
             f,
-            "workers: {} {:?}, elapsed: {:.3}ms{}{}",
+            "workers: {} {:?}, elapsed: {:.3}ms, stop: {}{}{}",
             self.workers,
             self.worker_states,
             self.elapsed.as_secs_f64() * 1e3,
+            self.stop,
             if self.truncated { ", TRUNCATED" } else { "" },
             if self.deadline_hit { " (deadline)" } else { "" },
         )
@@ -96,8 +162,10 @@ impl fmt::Display for ExploreStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+    use crate::error::IncidentKind;
 
     #[test]
     fn hit_rate_handles_zero() {
@@ -114,20 +182,55 @@ mod tests {
         let b = ExploreStats {
             states: 3,
             truncated: true,
+            stop: StopReason::StateBudget,
+            quarantined: 2,
+            incident_count: 4,
             ..ExploreStats::default()
         };
         a.merge(&b);
         assert_eq!(a.states, 13);
         assert!(a.truncated);
+        assert_eq!(a.stop, StopReason::StateBudget);
+        assert_eq!(a.quarantined, 2);
+        assert_eq!(a.incident_count, 4);
+        assert!(!a.fault_free());
         assert!((a.dedup_hit_rate() - 5.0 / 18.0).abs() < 1e-12);
     }
 
     #[test]
-    fn display_mentions_truncation() {
-        let s = ExploreStats {
-            truncated: true,
+    fn merge_caps_recorded_incidents_but_counts_all() {
+        let incident = ExploreIncident {
+            kind: IncidentKind::ExpansionPanic,
+            state_fp: 1,
+            depth: 0,
+            attempt: 0,
+            message: "x".into(),
+        };
+        let mut a = ExploreStats::default();
+        let b = ExploreStats {
+            incidents: vec![incident; ExploreStats::MAX_RECORDED_INCIDENTS],
+            incident_count: ExploreStats::MAX_RECORDED_INCIDENTS,
             ..ExploreStats::default()
         };
-        assert!(s.to_string().contains("TRUNCATED"));
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.incidents.len(), ExploreStats::MAX_RECORDED_INCIDENTS);
+        assert_eq!(a.incident_count, 2 * ExploreStats::MAX_RECORDED_INCIDENTS);
+    }
+
+    #[test]
+    fn display_mentions_truncation_and_faults() {
+        let s = ExploreStats {
+            truncated: true,
+            incident_count: 3,
+            retried: 2,
+            quarantined: 1,
+            stop: StopReason::DeadlineExpired,
+            ..ExploreStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("TRUNCATED"));
+        assert!(text.contains("3 caught"));
+        assert!(text.contains("deadline expired"));
     }
 }

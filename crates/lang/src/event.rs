@@ -218,6 +218,7 @@ impl fmt::Display for Event {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -10,7 +10,7 @@
 //! where it matters (see `seqwm-seq`).
 
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// A global, append-only string interner shared by [`Loc`] and [`Reg`].
 #[derive(Default)]
@@ -34,6 +34,14 @@ impl Interner {
             .cloned()
             .unwrap_or_else(|| format!("<id{ix}>"))
     }
+}
+
+/// Locks an interner, recovering from poisoning: the interner's state
+/// is always consistent (a panic cannot interleave its two pushes
+/// observably), and the exploration engine's panic isolation must not
+/// turn one caught panic into a permanently unusable name table.
+fn relock(m: &'static Mutex<Interner>) -> std::sync::MutexGuard<'static, Interner> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 fn loc_interner() -> &'static Mutex<Interner> {
@@ -61,7 +69,7 @@ pub struct Loc(u32);
 impl Loc {
     /// Interns `name` and returns the corresponding location.
     pub fn new(name: &str) -> Self {
-        Loc(loc_interner().lock().unwrap().intern(name))
+        Loc(relock(loc_interner()).intern(name))
     }
 
     /// The raw interner index (stable for the lifetime of the process).
@@ -71,7 +79,7 @@ impl Loc {
 
     /// The original source name of this location.
     pub fn name(self) -> String {
-        loc_interner().lock().unwrap().name(self.0)
+        relock(loc_interner()).name(self.0)
     }
 }
 
@@ -107,7 +115,7 @@ pub struct Reg(u32);
 impl Reg {
     /// Interns `name` and returns the corresponding register.
     pub fn new(name: &str) -> Self {
-        Reg(reg_interner().lock().unwrap().intern(name))
+        Reg(relock(reg_interner()).intern(name))
     }
 
     /// The raw interner index (stable for the lifetime of the process).
@@ -117,7 +125,7 @@ impl Reg {
 
     /// The original source name of this register.
     pub fn name(self) -> String {
-        reg_interner().lock().unwrap().name(self.0)
+        relock(reg_interner()).name(self.0)
     }
 }
 
@@ -140,6 +148,7 @@ impl From<&str> for Reg {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

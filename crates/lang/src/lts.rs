@@ -425,10 +425,10 @@ impl ProgState {
     pub fn resume_choose(&self, v: Value) -> ProgState {
         match self.cont.last().map(|s| &**s) {
             Some(Stmt::Choose(r, vs)) => {
-                assert!(
-                    vs.contains(&v.as_int().expect("choose of a defined value")),
-                    "value {v} not in choose set"
-                );
+                match v.as_int() {
+                    Some(i) => assert!(vs.contains(&i), "value {v} not in choose set"),
+                    None => panic!("choose resolved to an undefined value"),
+                }
                 self.popped_set(*r, v)
             }
             Some(Stmt::Freeze(r, _)) => {
@@ -514,6 +514,7 @@ impl fmt::Display for ProgState {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::expr::Expr;

@@ -342,9 +342,9 @@ impl<'a> Lexer<'a> {
                             break;
                         }
                     }
-                    let s = std::str::from_utf8(&self.src[start..self.pos])
-                        .expect("ascii ident")
-                        .to_owned();
+                    // The scanned bytes are ASCII by construction, so
+                    // a lossy conversion is exact (and infallible).
+                    let s = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
                     Tok::Ident(s)
                 }
                 other => return Err(self.err(format!("unexpected character `{}`", other as char))),
@@ -752,6 +752,7 @@ pub fn parse_stmt(src: &str) -> Result<Stmt, ParseError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -86,10 +86,9 @@ impl Stmt {
     /// Sequences an iterator of statements.
     pub fn block<I: IntoIterator<Item = Stmt>>(stmts: I) -> Stmt {
         let mut items: Vec<Stmt> = stmts.into_iter().collect();
-        if items.is_empty() {
+        let Some(mut acc) = items.pop() else {
             return Stmt::Skip;
-        }
-        let mut acc = items.pop().expect("non-empty");
+        };
         while let Some(s) = items.pop() {
             acc = Stmt::seq(s, acc);
         }
@@ -354,6 +353,7 @@ impl From<Stmt> for Program {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::value::Value;

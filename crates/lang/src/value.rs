@@ -151,6 +151,7 @@ pub fn rem(a: Value, b: Value) -> Result<Value, ValueError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

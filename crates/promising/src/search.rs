@@ -25,7 +25,8 @@
 use std::collections::BTreeSet;
 
 use seqwm_explore::{
-    AgentGroup, ExploreConfig, ExploreStats, StepTags, Target, Transition, TransitionSystem,
+    AgentGroup, ExploreConfig, ExploreError, ExploreStats, StepTags, Target, Transition,
+    TransitionSystem,
 };
 use seqwm_lang::{Program, Step};
 
@@ -170,6 +171,24 @@ pub fn explore_engine(
         behaviors: r.behaviors,
         stats: r.stats,
     }
+}
+
+/// Fallible variant of [`explore_engine`]: rejects misconfigurations
+/// (a checkpoint/resume request under a non-frontier strategy, an
+/// empty checkpoint path) with a structured [`ExploreError`] instead
+/// of silently degrading. Use this from CLI paths where the user
+/// asked for durability explicitly and deserves a diagnostic.
+pub fn try_explore_engine(
+    progs: &[Program],
+    cfg: &PsConfig,
+    ecfg: &ExploreConfig,
+) -> Result<EngineExploration, ExploreError> {
+    let sys = PsSystem::new(progs, cfg);
+    let r = seqwm_explore::try_explore(&sys, ecfg)?;
+    Ok(EngineExploration {
+        behaviors: r.behaviors,
+        stats: r.stats,
+    })
 }
 
 #[cfg(test)]

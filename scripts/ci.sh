@@ -15,9 +15,16 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q --features fault-injection (fault-tolerance differential)"
+cargo test -q --features fault-injection --test fault_injection
+cargo test -q -p seqwm-explore --features fault-injection
+
 if [ "${1:-full}" != "quick" ]; then
     echo "==> cargo clippy --all-targets -- -D warnings"
     cargo clippy --all-targets -- -D warnings
+
+    echo "==> cargo clippy --all-targets --features fault-injection -- -D warnings"
+    cargo clippy --all-targets --features fault-injection -- -D warnings
 
     echo "==> cargo fmt --check"
     cargo fmt --check

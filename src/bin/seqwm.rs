@@ -13,13 +13,24 @@
 //!
 //! `explore` accepts engine flags: `--workers N`, `--strategy
 //! dfs|bfs|iddfs|random`, `--no-reduction`, `--exact` (exact visited
-//! set instead of 64-bit fingerprints), `--max-states N`, and `--stats`
-//! (print engine statistics).
+//! set instead of 64-bit fingerprints), `--max-states N`, `--stats`
+//! (print engine statistics), plus the durability/robustness knobs
+//! `--checkpoint <file>`, `--resume <file>`,
+//! `--checkpoint-every-ms N`, `--deadline-ms N` and
+//! `--max-memory-mb N`.
+//!
+//! Failures exit with a per-class code (see
+//! [`promising_seq::SeqwmError::exit_code`]): 2 usage, 3 parse,
+//! 4 I/O, 5 engine configuration, 6 corpus, 7 refinement. Engine
+//! warnings (corrupt resume file, visited-set downgrade, …) are
+//! printed to stderr but never change the exit code: a degraded run
+//! that completes is still a successful run.
 
 use std::fs;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use promising_seq::explore::{ExploreConfig, Strategy, VisitedMode};
+use promising_seq::explore::{CheckpointSpec, ExploreConfig, Strategy, VisitedMode};
 use promising_seq::lang::parser::parse_program;
 use promising_seq::lang::Program;
 use promising_seq::litmus::concurrent::concurrent_corpus;
@@ -28,21 +39,34 @@ use promising_seq::opt::pipeline::{Pipeline, PipelineConfig};
 use promising_seq::opt::validate::optimize_validated;
 use promising_seq::promising::drf::drf_check;
 use promising_seq::promising::sc::{explore_sc, ScConfig};
-use promising_seq::promising::search::{engine_config, explore_engine};
+use promising_seq::promising::search::{engine_config, explore_engine, try_explore_engine};
 use promising_seq::promising::PsConfig;
 use promising_seq::seq::advanced::refines_advanced;
 use promising_seq::seq::refine::{refines_simple, RefineConfig};
+use promising_seq::SeqwmError;
 
-fn load(path: &str) -> Result<Program, String> {
-    let src = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    parse_program(&src).map_err(|e| format!("{path}: {e}"))
+fn load(path: &str) -> Result<Program, SeqwmError> {
+    let src = fs::read_to_string(path).map_err(|e| SeqwmError::Io {
+        path: path.to_owned(),
+        message: e.to_string(),
+    })?;
+    parse_program(&src).map_err(|e| SeqwmError::Parse {
+        path: path.to_owned(),
+        message: e.to_string(),
+    })
 }
 
-fn load_all(paths: &[String]) -> Result<Vec<Program>, String> {
+fn load_all(paths: &[String]) -> Result<Vec<Program>, SeqwmError> {
     if paths.is_empty() {
-        return Err("expected at least one program file".to_owned());
+        return Err(SeqwmError::Usage(
+            "expected at least one program file".to_owned(),
+        ));
     }
     paths.iter().map(|p| load(p)).collect()
+}
+
+fn usage_err(msg: impl Into<String>) -> SeqwmError {
+    SeqwmError::Usage(msg.into())
 }
 
 /// Engine knobs accepted by `seqwm explore`.
@@ -54,6 +78,11 @@ struct EngineOpts {
     exact: bool,
     max_states: Option<usize>,
     stats: bool,
+    checkpoint: Option<String>,
+    checkpoint_every_ms: Option<u64>,
+    resume: Option<String>,
+    deadline_ms: Option<u64>,
+    max_memory_mb: Option<usize>,
 }
 
 impl EngineOpts {
@@ -73,22 +102,56 @@ impl EngineOpts {
         if let Some(n) = self.max_states {
             ecfg.max_states = n;
         }
+        if let Some(ms) = self.deadline_ms {
+            ecfg.deadline = Some(Duration::from_millis(ms));
+        }
+        if let Some(mb) = self.max_memory_mb {
+            ecfg.max_memory = Some(mb.saturating_mul(1 << 20));
+        }
+        if let Some(path) = &self.checkpoint {
+            let mut spec = CheckpointSpec::new(path);
+            if let Some(ms) = self.checkpoint_every_ms {
+                spec = spec.every(Duration::from_millis(ms));
+            }
+            ecfg.checkpoint = Some(spec);
+        }
+        if let Some(path) = &self.resume {
+            ecfg.resume = Some(path.into());
+        }
         ecfg
+    }
+
+    /// Whether the user asked for durability explicitly — if so,
+    /// misconfigurations are hard errors rather than warnings.
+    fn durable(&self) -> bool {
+        self.checkpoint.is_some() || self.resume.is_some()
     }
 }
 
-fn parse_engine_flags(args: &[String]) -> Result<(EngineOpts, Vec<String>), String> {
+fn parse_engine_flags(args: &[String]) -> Result<(EngineOpts, Vec<String>), SeqwmError> {
+    fn value<'a>(
+        it: &mut std::slice::Iter<'a, String>,
+        flag: &str,
+        what: &str,
+    ) -> Result<&'a String, SeqwmError> {
+        it.next()
+            .ok_or_else(|| usage_err(format!("{flag} needs {what}")))
+    }
+    fn number<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, SeqwmError> {
+        v.parse()
+            .map_err(|_| usage_err(format!("bad {what} `{v}`")))
+    }
     let mut opts = EngineOpts::default();
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--workers" => {
-                let v = it.next().ok_or("--workers needs a number")?;
-                opts.workers = Some(v.parse().map_err(|_| format!("bad worker count {v}"))?);
+                let v = value(&mut it, a, "a number")?;
+                opts.workers = Some(number(v, "worker count")?);
             }
             "--strategy" => {
-                let v = it.next().ok_or("--strategy needs a name")?;
+                let v = value(&mut it, a, "a name")?;
                 opts.strategy = Some(match v.as_str() {
                     "dfs" => Strategy::Dfs,
                     "bfs" => Strategy::Bfs,
@@ -100,52 +163,76 @@ fn parse_engine_flags(args: &[String]) -> Result<(EngineOpts, Vec<String>), Stri
                         walks: 4096,
                         seed: 0xC0FFEE,
                     },
-                    other => return Err(format!("unknown strategy `{other}`")),
+                    other => return Err(usage_err(format!("unknown strategy `{other}`"))),
                 });
             }
             "--max-states" => {
-                let v = it.next().ok_or("--max-states needs a number")?;
-                opts.max_states = Some(v.parse().map_err(|_| format!("bad state bound {v}"))?);
+                let v = value(&mut it, a, "a number")?;
+                opts.max_states = Some(number(v, "state bound")?);
+            }
+            "--checkpoint" => {
+                let v = value(&mut it, a, "a file path")?;
+                opts.checkpoint = Some(v.clone());
+            }
+            "--checkpoint-every-ms" => {
+                let v = value(&mut it, a, "a period in ms")?;
+                opts.checkpoint_every_ms = Some(number(v, "checkpoint period")?);
+            }
+            "--resume" => {
+                let v = value(&mut it, a, "a file path")?;
+                opts.resume = Some(v.clone());
+            }
+            "--deadline-ms" => {
+                let v = value(&mut it, a, "a duration in ms")?;
+                opts.deadline_ms = Some(number(v, "deadline")?);
+            }
+            "--max-memory-mb" => {
+                let v = value(&mut it, a, "a size in MiB")?;
+                opts.max_memory_mb = Some(number(v, "memory budget")?);
             }
             "--no-reduction" => opts.no_reduction = true,
             "--exact" => opts.exact = true,
             "--stats" => opts.stats = true,
+            other if other.starts_with("--") => {
+                return Err(usage_err(format!("unknown flag `{other}`")));
+            }
             _ => files.push(a.clone()),
         }
     }
     Ok((opts, files))
 }
 
-fn usage() -> String {
-    "usage: seqwm <parse|optimize|validate|refine|explore|sc|drf|litmus> [args…]\n\
-     run `seqwm litmus` with no arguments to list corpus cases"
-        .to_owned()
+fn usage() -> SeqwmError {
+    usage_err(
+        "usage: seqwm <parse|optimize|validate|refine|explore|sc|drf|litmus> [args…]\n\
+         run `seqwm litmus` with no arguments to list corpus cases",
+    )
 }
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("seqwm: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), SeqwmError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = args.split_first().ok_or_else(usage)?;
     match cmd.as_str() {
         "parse" => {
             let [path] = rest else {
-                return Err("usage: seqwm parse <file>".into());
+                return Err(usage_err("usage: seqwm parse <file>"));
             };
             print!("{}", load(path)?);
             Ok(())
         }
         "optimize" => {
             let [path] = rest else {
-                return Err("usage: seqwm optimize <file>".into());
+                return Err(usage_err("usage: seqwm optimize <file>"));
             };
             let p = load(path)?;
             let out = Pipeline::new(PipelineConfig::default()).optimize(&p);
@@ -157,11 +244,11 @@ fn run() -> Result<(), String> {
         }
         "validate" => {
             let [path] = rest else {
-                return Err("usage: seqwm validate <file>".into());
+                return Err(usage_err("usage: seqwm validate <file>"));
             };
             let p = load(path)?;
             let v = optimize_validated(&p, PipelineConfig::default(), &RefineConfig::default())
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| SeqwmError::Refine(e.to_string()))?;
             print!("{}", v.result.program);
             for stage in &v.validations {
                 eprintln!("// {:?} validated via {:?}", stage.pass, stage.by);
@@ -170,12 +257,13 @@ fn run() -> Result<(), String> {
         }
         "refine" => {
             let [src_path, tgt_path] = rest else {
-                return Err("usage: seqwm refine <src-file> <tgt-file>".into());
+                return Err(usage_err("usage: seqwm refine <src-file> <tgt-file>"));
             };
             let src = load(src_path)?;
             let tgt = load(tgt_path)?;
             let cfg = RefineConfig::default();
-            let simple = refines_simple(&src, &tgt, &cfg).map_err(|e| e.to_string())?;
+            let simple =
+                refines_simple(&src, &tgt, &cfg).map_err(|e| SeqwmError::Refine(e.to_string()))?;
             println!(
                 "simple   (Def. 2.4): {}  [{} configs, {} behaviors]",
                 if simple.holds { "HOLDS" } else { "fails" },
@@ -185,7 +273,8 @@ fn run() -> Result<(), String> {
             if let Some(ce) = &simple.counterexample {
                 println!("  counterexample: {ce}");
             }
-            let adv = refines_advanced(&src, &tgt, &cfg).map_err(|e| e.to_string())?;
+            let adv = refines_advanced(&src, &tgt, &cfg)
+                .map_err(|e| SeqwmError::Refine(e.to_string()))?;
             println!(
                 "advanced (Def. 3.3): {}  [{} configs]",
                 if adv.holds { "HOLDS" } else { "fails" },
@@ -202,7 +291,20 @@ fn run() -> Result<(), String> {
             let refs: Vec<&Program> = progs.iter().collect();
             let cfg = PsConfig::with_promises(&refs);
             let ecfg = opts.apply(engine_config(&cfg));
-            let e = explore_engine(&progs, &cfg, &ecfg);
+            // With explicit durability flags, misconfigurations (an
+            // iddfs/random strategy, an empty path) are hard errors;
+            // otherwise the infallible entry point is fine.
+            let e = if opts.durable() {
+                try_explore_engine(&progs, &cfg, &ecfg)?
+            } else {
+                explore_engine(&progs, &cfg, &ecfg)
+            };
+            for w in &e.stats.warnings {
+                eprintln!("seqwm: warning: {w}");
+            }
+            for i in &e.stats.incidents {
+                eprintln!("seqwm: incident: {i}");
+            }
             let result = e.to_exploration();
             println!(
                 "PS^na: {} states{}{}",
@@ -275,21 +377,23 @@ fn run() -> Result<(), String> {
                 if failures == 0 {
                     Ok(())
                 } else {
-                    Err(format!("{failures} corpus case(s) failed"))
+                    Err(SeqwmError::Corpus { failures })
                 }
             }
             [name] => {
                 if let Some(c) = transform_corpus().into_iter().find(|c| c.name == *name) {
                     c.check(&RefineConfig::default())
                         .map(|()| println!("✓ {} matches the paper", c.name))
+                        .map_err(|e| SeqwmError::Refine(e.to_string()))
                 } else if let Some(c) = concurrent_corpus().into_iter().find(|c| c.name == *name) {
                     c.check()
                         .map(|()| println!("✓ {} matches the paper", c.name))
+                        .map_err(|e| SeqwmError::Refine(e.to_string()))
                 } else {
-                    Err(format!("unknown litmus case `{name}`"))
+                    Err(usage_err(format!("unknown litmus case `{name}`")))
                 }
             }
-            _ => Err("usage: seqwm litmus [name|--all]".into()),
+            _ => Err(usage_err("usage: seqwm litmus [name|--all]")),
         },
         _ => Err(usage()),
     }

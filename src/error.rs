@@ -1,0 +1,145 @@
+//! Structured top-level errors for the `seqwm` command line.
+//!
+//! Every failure class of the CLI maps to one [`SeqwmError`] variant
+//! and a distinct, stable process exit code, so scripts (and the CI
+//! harness) can discriminate "you typed the command wrong" from "the
+//! input program is ill-formed" from "the engine rejected its
+//! configuration" without scraping stderr.
+
+use std::fmt;
+
+use seqwm_explore::ExploreError;
+
+/// Everything that can go wrong in a `seqwm` invocation.
+///
+/// The mapping to process exit codes is part of the CLI contract:
+///
+/// | variant          | exit code |
+/// |------------------|-----------|
+/// | success          | 0         |
+/// | [`Usage`]        | 2         |
+/// | [`Parse`]        | 3         |
+/// | [`Io`]           | 4         |
+/// | [`Explore`]      | 5         |
+/// | [`Corpus`]       | 6         |
+/// | [`Refine`]       | 7         |
+///
+/// [`Usage`]: SeqwmError::Usage
+/// [`Parse`]: SeqwmError::Parse
+/// [`Io`]: SeqwmError::Io
+/// [`Explore`]: SeqwmError::Explore
+/// [`Corpus`]: SeqwmError::Corpus
+/// [`Refine`]: SeqwmError::Refine
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SeqwmError {
+    /// Bad command line: unknown command, missing operand, or an
+    /// unparsable flag value. The message is a usage hint.
+    Usage(String),
+    /// A program file was read but failed to parse.
+    Parse {
+        /// The offending file.
+        path: String,
+        /// The parser's diagnostic (line/column + expectation).
+        message: String,
+    },
+    /// A file could not be read.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying OS error, rendered.
+        message: String,
+    },
+    /// The exploration engine rejected its configuration (for
+    /// example, checkpointing under a non-frontier strategy).
+    Explore(ExploreError),
+    /// One or more litmus corpus cases failed their paper check.
+    Corpus {
+        /// How many cases failed.
+        failures: usize,
+    },
+    /// A refinement or validation check could not be completed.
+    Refine(String),
+}
+
+impl SeqwmError {
+    /// The process exit code for this failure class (always nonzero).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            SeqwmError::Usage(_) => 2,
+            SeqwmError::Parse { .. } => 3,
+            SeqwmError::Io { .. } => 4,
+            SeqwmError::Explore(_) => 5,
+            SeqwmError::Corpus { .. } => 6,
+            SeqwmError::Refine(_) => 7,
+        }
+    }
+}
+
+impl fmt::Display for SeqwmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqwmError::Usage(msg) => write!(f, "{msg}"),
+            SeqwmError::Parse { path, message } => write!(f, "{path}: {message}"),
+            SeqwmError::Io { path, message } => write!(f, "cannot read {path}: {message}"),
+            SeqwmError::Explore(e) => write!(f, "exploration: {e}"),
+            SeqwmError::Corpus { failures } => write!(f, "{failures} corpus case(s) failed"),
+            SeqwmError::Refine(msg) => write!(f, "refinement: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqwmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SeqwmError::Explore(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExploreError> for SeqwmError {
+    fn from(e: ExploreError) -> Self {
+        SeqwmError::Explore(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let all = [
+            SeqwmError::Usage(String::new()),
+            SeqwmError::Parse {
+                path: "p".into(),
+                message: "m".into(),
+            },
+            SeqwmError::Io {
+                path: "p".into(),
+                message: "m".into(),
+            },
+            SeqwmError::Explore(ExploreError::InvalidConfig {
+                message: "m".into(),
+            }),
+            SeqwmError::Corpus { failures: 1 },
+            SeqwmError::Refine("m".into()),
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &all {
+            assert_ne!(e.exit_code(), 0, "{e}");
+            assert!(seen.insert(e.exit_code()), "duplicate code for {e}");
+        }
+    }
+
+    #[test]
+    fn explore_errors_convert_and_chain() {
+        let e: SeqwmError = ExploreError::InvalidConfig {
+            message: "empty checkpoint path".into(),
+        }
+        .into();
+        assert_eq!(e.exit_code(), 5);
+        assert!(e.to_string().contains("empty checkpoint path"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -42,6 +42,9 @@
 //! # Ok::<(), promising_seq::lang::parser::ParseError>(())
 //! ```
 
+pub mod error;
+
+pub use error::SeqwmError;
 pub use seqwm_explore as explore;
 pub use seqwm_lang as lang;
 pub use seqwm_litmus as litmus;

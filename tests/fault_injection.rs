@@ -1,0 +1,213 @@
+//! Differential fault-injection suite (feature `fault-injection`).
+//!
+//! Runs the PS^na engine over real litmus-corpus cases while a
+//! deterministic [`FaultPlan`] injects failures, and checks that
+//! *recovered* faults are invisible: a run whose transient panics are
+//! all retried, whose delays merely reorder workers, and whose forced
+//! visited-set downgrades stay within the ladder must produce exactly
+//! the behavior set of a fault-free run. Permanent faults quarantine
+//! states, so their runs may only ever *lose* behaviors — never invent
+//! them — and must report every loss as an incident.
+
+#![cfg(feature = "fault-injection")]
+
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use seqwm_explore::{ExploreConfig, FaultPlan, InjectedFault, StopReason, VisitedMode};
+use seqwm_litmus::concurrent::{concurrent_corpus, ConcurrentCase};
+use seqwm_promising::machine::PsBehavior;
+use seqwm_promising::search::{engine_config, explore_engine};
+
+/// Silences the backtraces of injected panics (and only those): the
+/// payload type is checked, so a genuine panic still prints.
+fn quiet_injected_panics() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !info.payload().is::<InjectedFault>() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn cheap_cases() -> Vec<ConcurrentCase> {
+    concurrent_corpus()
+        .into_iter()
+        .filter(|c| !c.promises)
+        .take(5)
+        .collect()
+}
+
+fn baseline(case: &ConcurrentCase) -> BTreeSet<PsBehavior> {
+    let cfg = case.config();
+    let e = explore_engine(&case.programs(), &cfg, &engine_config(&cfg));
+    assert!(!e.stats.truncated, "{}: baseline truncated", case.name);
+    e.behaviors
+}
+
+/// Transient faults at several seeds and rates, sequential and
+/// parallel: every injected panic is retried exactly once and the
+/// behavior set never moves.
+#[test]
+fn recovered_transient_faults_are_invisible() {
+    quiet_injected_panics();
+    let mut total_injected = 0usize;
+    for case in cheap_cases() {
+        let expect = baseline(&case);
+        let cfg = case.config();
+        for seed in [1u64, 2, 3] {
+            for per_mille in [150u16, 500] {
+                for workers in [1usize, 4] {
+                    let e = explore_engine(
+                        &case.programs(),
+                        &cfg,
+                        &ExploreConfig {
+                            workers,
+                            fault: Some(FaultPlan::transient(seed, per_mille)),
+                            ..engine_config(&cfg)
+                        },
+                    );
+                    let tag = format!(
+                        "{} seed={seed} rate={per_mille}‰ workers={workers}",
+                        case.name
+                    );
+                    assert_eq!(e.behaviors, expect, "{tag}");
+                    assert_eq!(e.stats.stop, StopReason::Completed, "{tag}");
+                    assert_eq!(e.stats.quarantined, 0, "{tag}");
+                    assert_eq!(
+                        e.stats.retried, e.stats.incident_count,
+                        "{tag}: every fault retried"
+                    );
+                    total_injected += e.stats.retried;
+                }
+            }
+        }
+    }
+    assert!(
+        total_injected > 0,
+        "the sweep never actually injected a fault"
+    );
+}
+
+/// Injected delays shuffle worker timing but cannot change semantics.
+#[test]
+fn injected_delays_do_not_change_behaviors() {
+    quiet_injected_panics();
+    let case = &cheap_cases()[0];
+    let expect = baseline(case);
+    let cfg = case.config();
+    for workers in [1usize, 4] {
+        let e = explore_engine(
+            &case.programs(),
+            &cfg,
+            &ExploreConfig {
+                workers,
+                fault: Some(FaultPlan {
+                    seed: 11,
+                    delay_per_mille: 400,
+                    delay: Duration::from_micros(200),
+                    ..FaultPlan::default()
+                }),
+                ..engine_config(&cfg)
+            },
+        );
+        assert_eq!(e.behaviors, expect, "workers={workers}");
+    }
+}
+
+/// Forced downgrades walk the whole exact → fp128 → fp64 ladder
+/// mid-run; the behavior set must survive every rung.
+#[test]
+fn forced_visited_downgrades_preserve_behaviors() {
+    quiet_injected_panics();
+    for case in cheap_cases().into_iter().take(2) {
+        let expect = baseline(&case);
+        let cfg = case.config();
+        let e = explore_engine(
+            &case.programs(),
+            &cfg,
+            &ExploreConfig {
+                visited: VisitedMode::Exact,
+                fault: Some(FaultPlan {
+                    seed: 5,
+                    downgrade_every_states: Some(16),
+                    ..FaultPlan::default()
+                }),
+                ..engine_config(&cfg)
+            },
+        );
+        assert_eq!(e.behaviors, expect, "{}", case.name);
+        assert!(e.stats.downgrades > 0, "{}: no downgrade forced", case.name);
+    }
+}
+
+/// Permanent faults quarantine states: the surviving behavior set is a
+/// subset of the baseline, every quarantined state is an incident, and
+/// the run still terminates cleanly.
+#[test]
+fn permanent_faults_lose_behaviors_but_never_invent_them() {
+    quiet_injected_panics();
+    for case in cheap_cases() {
+        let expect = baseline(&case);
+        let cfg = case.config();
+        let e = explore_engine(
+            &case.programs(),
+            &cfg,
+            &ExploreConfig {
+                fault: Some(FaultPlan {
+                    seed: 23,
+                    permanent_panic_per_mille: 100,
+                    ..FaultPlan::default()
+                }),
+                ..engine_config(&cfg)
+            },
+        );
+        assert!(
+            e.behaviors.is_subset(&expect),
+            "{}: invented behaviors {:?}",
+            case.name,
+            e.behaviors.difference(&expect).collect::<Vec<_>>()
+        );
+        assert_eq!(e.stats.stop, StopReason::Completed, "{}", case.name);
+        if e.stats.quarantined > 0 {
+            assert!(
+                e.stats.incident_count > 0,
+                "{}: silent quarantine",
+                case.name
+            );
+        }
+    }
+}
+
+/// The fault schedule is a pure function of (seed, fingerprint), so
+/// sequential reruns fault the exact same states. Parallel runs may
+/// expand a different (schedule-dependent) state set under reduction,
+/// so only per-state determinism — and hence the behavior set — is
+/// comparable there, not the aggregate fault count.
+#[test]
+fn fault_schedules_are_deterministic_across_reruns() {
+    quiet_injected_panics();
+    let case = &cheap_cases()[0];
+    let cfg = case.config();
+    let run = |workers: usize| {
+        explore_engine(
+            &case.programs(),
+            &cfg,
+            &ExploreConfig {
+                workers,
+                fault: Some(FaultPlan::transient(77, 300)),
+                ..engine_config(&cfg)
+            },
+        )
+    };
+    let a = run(1);
+    let b = run(1);
+    let c = run(4);
+    assert_eq!(a.stats.retried, b.stats.retried, "sequential reruns");
+    assert!(a.stats.retried > 0, "seed 77 never faulted");
+    assert_eq!(a.behaviors, c.behaviors, "1 vs 4 workers");
+}

@@ -1,0 +1,317 @@
+//! Fault-tolerance integration tests: checkpoint/resume over the real
+//! litmus corpus, corrupt-checkpoint fallback, structured
+//! misconfiguration errors through the adapter crates, and the CLI's
+//! per-class exit codes.
+//!
+//! The engine-internal failure paths (panic isolation, retry,
+//! degradation ladder) are unit-tested inside `seqwm-explore`; this
+//! suite checks that durability composes with the PS^na and SEQ
+//! adapters end to end — a run interrupted by a state budget and
+//! resumed from disk must converge on exactly the behavior set of an
+//! uninterrupted run.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use seqwm_explore::{
+    CheckpointSpec, ExploreConfig, ExploreError, ExploreWarning, StopReason, Strategy,
+};
+use seqwm_litmus::concurrent::{concurrent_corpus, ConcurrentCase};
+use seqwm_promising::machine::PsBehavior;
+use seqwm_promising::search::{engine_config, explore_engine, try_explore_engine};
+
+/// A collision-free temp path for a checkpoint file.
+fn temp_path(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("seqwm-itest-{}-{tag}-{n}.ckpt", std::process::id()))
+}
+
+fn cheap_cases() -> Vec<ConcurrentCase> {
+    concurrent_corpus()
+        .into_iter()
+        .filter(|c| !c.promises)
+        .collect()
+}
+
+fn baseline(case: &ConcurrentCase) -> BTreeSet<PsBehavior> {
+    let cfg = case.config();
+    let e = explore_engine(&case.programs(), &cfg, &engine_config(&cfg));
+    assert!(!e.stats.truncated, "{}: baseline truncated", case.name);
+    e.behaviors
+}
+
+/// Repeatedly interrupt a corpus exploration with a tiny state budget,
+/// checkpointing on every stop and resuming from the file, until the
+/// run completes. The final behavior set must equal the uninterrupted
+/// baseline — no behavior lost, none invented, across any number of
+/// interruptions.
+#[test]
+fn interrupted_corpus_runs_converge_on_the_baseline() {
+    let mut interrupted = 0usize;
+    for case in cheap_cases() {
+        let expect = baseline(&case);
+        let cfg = case.config();
+        let path = temp_path(case.name);
+        let mut legs = 0usize;
+        let behaviors = loop {
+            let ecfg = ExploreConfig {
+                max_states: 40,
+                checkpoint: Some(CheckpointSpec::new(&path)),
+                resume: (legs > 0).then(|| path.clone()),
+                ..engine_config(&cfg)
+            };
+            let e = try_explore_engine(&case.programs(), &cfg, &ecfg)
+                .unwrap_or_else(|err| panic!("{}: leg {legs}: {err}", case.name));
+            legs += 1;
+            assert!(legs <= 512, "{}: did not converge", case.name);
+            if legs > 1 {
+                assert!(e.stats.resumed, "{}: leg {legs} did not resume", case.name);
+            }
+            match e.stats.stop {
+                StopReason::Completed => break e.behaviors,
+                StopReason::StateBudget => continue,
+                other => panic!("{}: unexpected stop {other:?}", case.name),
+            }
+        };
+        interrupted += (legs > 1) as usize;
+        assert_eq!(behaviors, expect, "{}: after {legs} legs", case.name);
+        let _ = std::fs::remove_file(&path);
+    }
+    assert!(interrupted > 3, "budget barely ever tripped: {interrupted}");
+}
+
+/// A corrupt or truncated checkpoint must not poison the run: the
+/// engine warns, starts fresh, and still produces the exact baseline.
+#[test]
+fn corrupt_checkpoint_falls_back_to_a_fresh_run() {
+    let case = &cheap_cases()[0];
+    let expect = baseline(case);
+    let cfg = case.config();
+    for garbage in [&b""[..], b"SQWM", b"not a checkpoint at all"] {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, garbage).unwrap();
+        let e = try_explore_engine(
+            &case.programs(),
+            &cfg,
+            &ExploreConfig {
+                resume: Some(path.clone()),
+                ..engine_config(&cfg)
+            },
+        )
+        .unwrap();
+        assert!(
+            e.stats
+                .warnings
+                .iter()
+                .any(|w| matches!(w, ExploreWarning::ResumeCorrupt { .. })),
+            "no corruption warning for {garbage:?}: {:?}",
+            e.stats.warnings
+        );
+        assert!(!e.stats.resumed);
+        assert_eq!(e.behaviors, expect);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// A checkpoint from one program must be rejected when resumed under a
+/// different program (the initial-state digest differs), again falling
+/// back to a fresh, correct run.
+#[test]
+fn checkpoint_of_another_program_is_rejected() {
+    let cases = cheap_cases();
+    let (a, b) = (&cases[0], &cases[1]);
+    let path = temp_path("xsys");
+    let cfg_a = a.config();
+    try_explore_engine(
+        &a.programs(),
+        &cfg_a,
+        &ExploreConfig {
+            checkpoint: Some(CheckpointSpec::new(&path)),
+            ..engine_config(&cfg_a)
+        },
+    )
+    .unwrap();
+    let cfg_b = b.config();
+    let e = try_explore_engine(
+        &b.programs(),
+        &cfg_b,
+        &ExploreConfig {
+            resume: Some(path.clone()),
+            ..engine_config(&cfg_b)
+        },
+    )
+    .unwrap();
+    assert!(e
+        .stats
+        .warnings
+        .iter()
+        .any(|w| matches!(w, ExploreWarning::ResumeCorrupt { .. })));
+    assert_eq!(e.behaviors, baseline(b));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Durability under a strategy that keeps no frontier is a structured
+/// error from the fallible adapters, not a panic or a silent no-op.
+#[test]
+fn durable_misconfiguration_is_a_structured_error() {
+    let case = &cheap_cases()[0];
+    let cfg = case.config();
+    let err = try_explore_engine(
+        &case.programs(),
+        &cfg,
+        &ExploreConfig {
+            strategy: Strategy::RandomWalk { walks: 8, seed: 1 },
+            checkpoint: Some(CheckpointSpec::new(temp_path("badstrat"))),
+            ..engine_config(&cfg)
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, ExploreError::UnsupportedStrategy { .. }),
+        "{err}"
+    );
+
+    let err = try_explore_engine(
+        &case.programs(),
+        &cfg,
+        &ExploreConfig {
+            checkpoint: Some(CheckpointSpec::new("")),
+            ..engine_config(&cfg)
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, ExploreError::InvalidConfig { .. }), "{err}");
+}
+
+/// The SEQ adapter's fallible entry point: durability round-trips
+/// through a SEQ state space too.
+#[test]
+fn seq_adapter_checkpoints_and_resumes() {
+    use seqwm_lang::parser::parse_program;
+    use seqwm_lang::Loc;
+    use seqwm_seq::machine::{EnumDomain, Memory, SeqState};
+    use seqwm_seq::search::{seq_engine_config, try_explore_seq};
+
+    let p =
+        parse_program("store[na](ft_x, 1); fence[acq]; a := load[na](ft_x); return a;").unwrap();
+    let init = SeqState::new(
+        &p,
+        [Loc::new("ft_x")].into_iter().collect(),
+        Default::default(),
+        Memory::new(),
+    );
+    let mut dom = EnumDomain::for_program(&p);
+    dom.max_steps = 32;
+    let expect = try_explore_seq(&init, &dom, &seq_engine_config(&dom))
+        .unwrap()
+        .ends;
+    let path = temp_path("seq");
+    let save = try_explore_seq(
+        &init,
+        &dom,
+        &ExploreConfig {
+            checkpoint: Some(CheckpointSpec::new(&path)),
+            ..seq_engine_config(&dom)
+        },
+    )
+    .unwrap();
+    assert!(save.stats.checkpoint_saves > 0);
+    let resumed = try_explore_seq(
+        &init,
+        &dom,
+        &ExploreConfig {
+            resume: Some(path.clone()),
+            ..seq_engine_config(&dom)
+        },
+    )
+    .unwrap();
+    assert!(resumed.stats.resumed);
+    assert_eq!(save.ends, expect);
+    assert_eq!(resumed.ends, expect);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The CLI's documented exit-code contract: 2 usage, 3 parse, 4 I/O,
+/// and 0 for a successful durable explore (checkpoint written, then
+/// resumed).
+#[test]
+fn cli_exit_codes_follow_the_contract() {
+    let bin = env!("CARGO_BIN_EXE_seqwm");
+    let dir = std::env::temp_dir();
+
+    let out = Command::new(bin).arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown command");
+
+    let out = Command::new(bin)
+        .args(["explore", "--strategy", "zigzag"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "bad flag value");
+
+    let bad = dir.join(format!("seqwm-itest-{}-bad.wm", std::process::id()));
+    std::fs::write(&bad, "this is not a program !!").unwrap();
+    let out = Command::new(bin).arg("parse").arg(&bad).output().unwrap();
+    assert_eq!(out.status.code(), Some(3), "parse error");
+    let _ = std::fs::remove_file(&bad);
+
+    let out = Command::new(bin)
+        .args(["parse", "/nonexistent/seqwm-no-such-file.wm"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "missing file");
+
+    let prog = dir.join(format!("seqwm-itest-{}-ok.wm", std::process::id()));
+    std::fs::write(
+        &prog,
+        "store[na](cli_x, 1); r := load[na](cli_x); return r;",
+    )
+    .unwrap();
+    let ckpt = temp_path("cli");
+
+    let out = Command::new(bin)
+        .args(["explore", "--checkpoint-every-ms", "50", "--checkpoint"])
+        .arg(&ckpt)
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(ckpt.exists(), "checkpoint file written");
+
+    let out = Command::new(bin)
+        .args(["explore", "--stats", "--resume"])
+        .arg(&ckpt)
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Durability under random walks: a hard engine-config error, code 5.
+    let out = Command::new(bin)
+        .args(["explore", "--strategy", "random", "--checkpoint"])
+        .arg(&ckpt)
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let _ = std::fs::remove_file(&prog);
+    let _ = std::fs::remove_file(&ckpt);
+}
