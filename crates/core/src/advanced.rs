@@ -90,6 +90,8 @@ pub struct AdvancedChecker {
     game_memo: HashMap<(SeqState, GameGoal), bool>,
     game_stack: HashSet<(SeqState, GameGoal)>,
     depth_budget: usize,
+    fuel: u64,
+    exhausted: bool,
 }
 
 impl AdvancedChecker {
@@ -102,6 +104,8 @@ impl AdvancedChecker {
             game_memo: HashMap::new(),
             game_stack: HashSet::new(),
             depth_budget: 4096,
+            fuel: u64::MAX,
+            exhausted: false,
         }
     }
 
@@ -110,14 +114,38 @@ impl AdvancedChecker {
         &self.dom
     }
 
+    /// Caps the total `sim`/`game` node count across every `simulate` call
+    /// on this checker. Deterministic, like the simple checker's
+    /// [`RefineConfig::max_fuel`]; exhaustion is reported by
+    /// [`AdvancedChecker::is_exhausted`], not by a (necessarily
+    /// conservative) negative verdict alone.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// `true` iff a `simulate` call ran out of fuel; any negative verdict
+    /// obtained since then is unreliable.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
     /// Runs the simulation game from a pair of initial states with an empty
     /// commitment set.
     pub fn simulate(&mut self, src: &SeqState, tgt: &SeqState) -> bool {
         self.sim(src, tgt, &LocSet::new(), self.depth_budget)
     }
 
+    fn spend_fuel(&mut self) -> bool {
+        if self.fuel == 0 {
+            self.exhausted = true;
+            return false;
+        }
+        self.fuel -= 1;
+        true
+    }
+
     fn sim(&mut self, src: &SeqState, tgt: &SeqState, r: &LocSet, depth: usize) -> bool {
-        if depth == 0 {
+        if depth == 0 || !self.spend_fuel() {
             return false; // conservative: exploration bound exceeded
         }
         let key = (src.clone(), tgt.clone(), r.clone());
@@ -338,7 +366,7 @@ impl AdvancedChecker {
     /// run is otherwise deterministic. System calls are conservatively
     /// losing (they would add observable events not present in the target).
     fn game(&mut self, state: &SeqState, goal: &GameGoal, depth: usize) -> bool {
-        if depth == 0 {
+        if depth == 0 || !self.spend_fuel() {
             return false;
         }
         if state.is_bottom() {
@@ -412,15 +440,24 @@ pub fn refines_advanced(
 ) -> Result<AdvancedOutcome, RefineError> {
     let dom = domain_for(src, tgt, cfg)?;
     let mut checker = AdvancedChecker::new(dom.clone());
+    if let Some(fuel) = cfg.max_fuel {
+        checker.set_fuel(fuel);
+    }
     let mut configs = 0;
     for perm in dom.loc_subsets() {
         for written in written_options(&dom, cfg) {
             for mem in dom.valuations(&dom.na_locs) {
-                configs += 1;
                 let memory = Memory::from_pairs(mem.iter().map(|(&l, &v)| (l, v)));
                 let src_state = SeqState::new(src, perm.clone(), written.clone(), memory.clone());
                 let tgt_state = SeqState::new(tgt, perm.clone(), written.clone(), memory);
-                if !checker.simulate(&src_state, &tgt_state) {
+                let holds = checker.simulate(&src_state, &tgt_state);
+                if checker.is_exhausted() {
+                    // A negative verdict after exhaustion is unreliable
+                    // (fuel-starved branches return `false` conservatively).
+                    return Err(RefineError::Truncated { configs });
+                }
+                configs += 1;
+                if !holds {
                     return Ok(AdvancedOutcome {
                         holds: false,
                         failed_config: Some(FailedConfig { perm, written, mem }),

@@ -146,10 +146,26 @@ fn mem_refines(tgt: &Valuation, src: &Valuation) -> bool {
 /// *under*-approximation of the true behavior set, adequate for refuting
 /// refinement and (for programs fitting the budget) for establishing it.
 pub fn enumerate_behaviors(init: &SeqState, dom: &EnumDomain) -> HashSet<Behavior> {
+    let mut fuel = u64::MAX;
+    enumerate_behaviors_fuel(init, dom, &mut fuel).unwrap_or_default()
+}
+
+/// Like [`enumerate_behaviors`], but draws every explored state from a
+/// caller-owned `fuel` budget shared across invocations. Returns `None`
+/// (and leaves `fuel` at zero) when the budget runs out mid-enumeration —
+/// the partial set is discarded because an incomplete source set would make
+/// refinement checks unsound in *both* directions.
+///
+/// The budget is deterministic (a state count, not wall-clock), so a
+/// truncated verdict is exactly reproducible from the same inputs.
+pub fn enumerate_behaviors_fuel(
+    init: &SeqState,
+    dom: &EnumDomain,
+    fuel: &mut u64,
+) -> Option<HashSet<Behavior>> {
     let mut out = HashSet::new();
     let mut trace = Vec::new();
-    go(init, dom, &mut trace, dom.max_steps, &mut out);
-    out
+    go(init, dom, &mut trace, dom.max_steps, fuel, &mut out).then_some(out)
 }
 
 fn go(
@@ -157,14 +173,19 @@ fn go(
     dom: &EnumDomain,
     trace: &mut Vec<SeqLabel>,
     budget: usize,
+    fuel: &mut u64,
     out: &mut HashSet<Behavior>,
-) {
+) -> bool {
+    if *fuel == 0 {
+        return false;
+    }
+    *fuel -= 1;
     if s.is_bottom() {
         out.insert(Behavior {
             trace: trace.clone(),
             end: BehaviorEnd::Bottom,
         });
-        return;
+        return true;
     }
     if let Some(v) = s.returned() {
         out.insert(Behavior {
@@ -175,7 +196,7 @@ fn go(
                 mem: s.mem.restrict(&dom.na_locs.iter().copied().collect()),
             },
         });
-        return;
+        return true;
     }
     // Any intermediate point yields a partial behavior.
     out.insert(Behavior {
@@ -185,18 +206,23 @@ fn go(
         },
     });
     if budget == 0 {
-        return;
+        return true;
     }
     for (label, next) in s.transitions(dom) {
-        match label {
+        let ok = match label {
             Some(l) => {
                 trace.push(l);
-                go(&next, dom, trace, budget - 1, out);
+                let ok = go(&next, dom, trace, budget - 1, fuel, out);
                 trace.pop();
+                ok
             }
-            None => go(&next, dom, trace, budget - 1, out),
+            None => go(&next, dom, trace, budget - 1, fuel, out),
+        };
+        if !ok {
+            return false;
         }
     }
+    true
 }
 
 /// Checks behavior-set inclusion up to `⊑`: every target behavior must be

@@ -49,9 +49,12 @@ pub mod refine;
 pub mod search;
 
 pub use advanced::{check_advanced, refines_advanced, AdvancedChecker, AdvancedOutcome};
-pub use behavior::{enumerate_behaviors, Behavior, BehaviorEnd};
+pub use behavior::{enumerate_behaviors, enumerate_behaviors_fuel, Behavior, BehaviorEnd};
 pub use label::{LocSet, SeqLabel, SyncInfo, Valuation};
 pub use machine::{EnumDomain, Memory, SeqState};
 pub use oracle::{check_under_oracle, FreeOracle, NoGainOracle, Oracle, PinReadsOracle};
-pub use refine::{check_simple, refines_simple, RefineConfig, RefineError, RefineOutcome};
+pub use refine::{
+    check_simple, refines_advanced_or_simple_config, refines_advanced_or_simple_outcome,
+    refines_simple, RefineCheckError, RefineConfig, RefineError, RefineOutcome,
+};
 pub use search::{explore_seq, seq_engine_config, SeqExploration, SeqSystem};

@@ -16,7 +16,7 @@ use std::fmt;
 
 use seqwm_lang::{Loc, Program, Value};
 
-use crate::behavior::{behaviors_refine, enumerate_behaviors, Behavior};
+use crate::behavior::{behaviors_refine, enumerate_behaviors_fuel, Behavior};
 use crate::label::{LocSet, Valuation};
 use crate::machine::{subsets, EnumDomain, Memory, SeqState};
 
@@ -41,6 +41,12 @@ pub struct RefineConfig {
     pub written_quant: WrittenQuant,
     /// Extra integer values to add to the enumeration domain.
     pub extra_values: Vec<i64>,
+    /// Global work budget (states explored) across *all* configurations of
+    /// one check, or `None` for unbounded. `max_steps` bounds each path but
+    /// not the path *count*, which is exponential in the number of atomic
+    /// reads; this bounds the whole check deterministically. Exhaustion
+    /// yields [`RefineError::Truncated`] rather than a verdict.
+    pub max_fuel: Option<u64>,
 }
 
 impl Default for RefineConfig {
@@ -49,6 +55,7 @@ impl Default for RefineConfig {
             max_steps: 96,
             written_quant: WrittenQuant::default(),
             extra_values: Vec::new(),
+            max_fuel: None,
         }
     }
 }
@@ -59,6 +66,13 @@ pub enum RefineError {
     /// A location is accessed both atomically and non-atomically; SEQ
     /// forbids such mixing (§2, "Concurrency constructs").
     MixedAtomicity(Loc),
+    /// The global [`RefineConfig::max_fuel`] budget ran out before every
+    /// configuration was decided. No verdict: refinement may or may not
+    /// hold for the unexplored part.
+    Truncated {
+        /// Configurations fully decided before exhaustion.
+        configs: usize,
+    },
 }
 
 impl fmt::Display for RefineError {
@@ -68,6 +82,13 @@ impl fmt::Display for RefineError {
                 write!(
                     f,
                     "location {x} is accessed both atomically and non-atomically"
+                )
+            }
+            RefineError::Truncated { configs } => {
+                write!(
+                    f,
+                    "refinement check truncated: fuel budget exhausted after \
+                     {configs} fully-decided configuration(s)"
                 )
             }
         }
@@ -179,17 +200,20 @@ pub fn refines_simple(
     cfg: &RefineConfig,
 ) -> Result<RefineOutcome, RefineError> {
     let dom = domain_for(src, tgt, cfg)?;
+    let mut fuel = cfg.max_fuel.unwrap_or(u64::MAX);
     let mut configs = 0;
     let mut behaviors = 0;
     for perm in dom.loc_subsets() {
         for written in written_options(&dom, cfg.written_quant) {
             for mem in dom.valuations(&dom.na_locs) {
-                configs += 1;
                 let memory = Memory::from_pairs(mem.iter().map(|(&l, &v)| (l, v)));
                 let src_state = SeqState::new(src, perm.clone(), written.clone(), memory.clone());
                 let tgt_state = SeqState::new(tgt, perm.clone(), written.clone(), memory);
-                let src_behs = enumerate_behaviors(&src_state, &dom);
-                let tgt_behs = enumerate_behaviors(&tgt_state, &dom);
+                let src_behs = enumerate_behaviors_fuel(&src_state, &dom, &mut fuel)
+                    .ok_or(RefineError::Truncated { configs })?;
+                let tgt_behs = enumerate_behaviors_fuel(&tgt_state, &dom, &mut fuel)
+                    .ok_or(RefineError::Truncated { configs })?;
+                configs += 1;
                 behaviors += tgt_behs.len();
                 if let Err(unmatched) = behaviors_refine(&tgt_behs, &src_behs) {
                     return Ok(RefineOutcome {
@@ -224,35 +248,84 @@ pub fn check_simple(src: &Program, tgt: &Program) -> RefineOutcome {
     refines_simple(src, tgt, &RefineConfig::default()).expect("programs checkable in SEQ")
 }
 
+/// Why a combined simple-then-advanced check produced no positive verdict.
+///
+/// Separates *inconclusive* outcomes (the check could not run, or ran out
+/// of budget) from a genuine *refutation* — callers that act on verdicts
+/// (CI gates, fuzzing oracles) must not conflate the two.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RefineCheckError {
+    /// The check could not be completed ([`RefineError`]): mixed atomicity
+    /// or an exhausted fuel budget. Inconclusive, not a refutation.
+    Inconclusive(RefineError),
+    /// Neither the simple nor the advanced notion holds; the string carries
+    /// the failing configuration for diagnostics.
+    Refuted(String),
+}
+
+impl fmt::Display for RefineCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefineCheckError::Inconclusive(e) => write!(f, "{e}"),
+            RefineCheckError::Refuted(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RefineCheckError {}
+
 /// Checks the simple refinement first (cheaper) and falls back to the
 /// advanced one (strictly more permissive, Prop. 3.4). Returns `Ok(true)`
-/// if the simple notion sufficed, `Ok(false)` if the advanced one was
-/// needed, and a diagnostic string if both fail or the check cannot run.
+/// if the simple notion sufficed and `Ok(false)` if the advanced one was
+/// needed.
+///
+/// A simple-checker fuel exhaustion still falls through to the advanced
+/// checker (whose memoization often copes where raw enumeration cannot);
+/// only the advanced verdict is authoritative for the error.
+///
+/// # Errors
+///
+/// [`RefineCheckError::Refuted`] when neither notion validates the pair;
+/// [`RefineCheckError::Inconclusive`] when the check cannot run or runs
+/// out of fuel.
+pub fn refines_advanced_or_simple_outcome(
+    src: &Program,
+    tgt: &Program,
+    cfg: &RefineConfig,
+) -> Result<bool, RefineCheckError> {
+    match refines_simple(src, tgt, cfg) {
+        Err(e @ RefineError::MixedAtomicity(_)) => {
+            return Err(RefineCheckError::Inconclusive(e));
+        }
+        Err(RefineError::Truncated { .. }) => {} // advanced may still decide
+        Ok(out) if out.holds => return Ok(true),
+        Ok(_) => {}
+    }
+    match crate::advanced::refines_advanced(src, tgt, cfg) {
+        Err(e) => Err(RefineCheckError::Inconclusive(e)),
+        Ok(out) if out.holds => Ok(false),
+        Ok(out) => Err(RefineCheckError::Refuted(format!(
+            "neither simple nor advanced refinement holds (advanced failed at {})",
+            out.failed_config
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "<unknown>".to_owned())
+        ))),
+    }
+}
+
+/// String-typed wrapper around [`refines_advanced_or_simple_outcome`],
+/// kept for callers that only report the diagnostic.
 ///
 /// # Errors
 ///
 /// Returns a human-readable diagnostic when neither notion validates the
-/// pair (or the programs mix atomic/non-atomic accesses).
+/// pair or the check cannot run (see [`RefineCheckError`]).
 pub fn refines_advanced_or_simple_config(
     src: &Program,
     tgt: &Program,
     cfg: &RefineConfig,
 ) -> Result<bool, String> {
-    match refines_simple(src, tgt, cfg) {
-        Err(e) => return Err(e.to_string()),
-        Ok(out) if out.holds => return Ok(true),
-        Ok(_) => {}
-    }
-    match crate::advanced::refines_advanced(src, tgt, cfg) {
-        Err(e) => Err(e.to_string()),
-        Ok(out) if out.holds => Ok(false),
-        Ok(out) => Err(format!(
-            "neither simple nor advanced refinement holds (advanced failed at {})",
-            out.failed_config
-                .map(|c| c.to_string())
-                .unwrap_or_else(|| "<unknown>".to_owned())
-        )),
-    }
+    refines_advanced_or_simple_outcome(src, tgt, cfg).map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -320,6 +393,45 @@ mod tests {
     fn unused_load_introduction_is_validated() {
         // skip { a := x_na (Example 2.8) — needs a racy na read to not UB.
         assert_refines("skip;", "a := load[na](uli_x);");
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_truncated_not_a_verdict() {
+        let s = p("a := load[acq](fuel_x); b := load[acq](fuel_y); return a;");
+        let starved = RefineConfig {
+            max_fuel: Some(5),
+            ..RefineConfig::default()
+        };
+        match refines_simple(&s, &s, &starved) {
+            Err(RefineError::Truncated { .. }) => {}
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        // The combined check stays inconclusive (the advanced checker is
+        // equally starved), never refuted.
+        assert!(matches!(
+            refines_advanced_or_simple_outcome(&s, &s, &starved),
+            Err(RefineCheckError::Inconclusive(
+                RefineError::Truncated { .. }
+            ))
+        ));
+        // With enough fuel the same pair is decided.
+        let fed = RefineConfig {
+            max_fuel: Some(1_000_000),
+            ..RefineConfig::default()
+        };
+        assert_eq!(refines_advanced_or_simple_outcome(&s, &s, &fed), Ok(true));
+    }
+
+    #[test]
+    fn refutation_is_distinguished_from_truncation() {
+        let cfg = RefineConfig {
+            max_fuel: Some(1_000_000),
+            ..RefineConfig::default()
+        };
+        assert!(matches!(
+            refines_advanced_or_simple_outcome(&p("return 1;"), &p("return 2;"), &cfg),
+            Err(RefineCheckError::Refuted(_))
+        ));
     }
 
     #[test]

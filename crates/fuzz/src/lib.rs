@@ -1,0 +1,46 @@
+//! `seqwm-fuzz` — crash-resilient differential fuzzing of the
+//! SEQ-validated optimizer.
+//!
+//! The crate turns the paper's adequacy story (Thm. 6.2) into a
+//! continuous testing instrument: generate random programs
+//! ([`seqwm_litmus::gen`]), run the optimizer pipeline and each
+//! individual pass over them, and judge every transformation with
+//! three independent oracles — SEQ refinement, PS^na contextual
+//! refinement under generated contexts, and SC cross-validation.
+//! Everything expensive runs through the fault-tolerant exploration
+//! engine, so a panicking, hanging or state-exploding case becomes a
+//! quarantined *incident* with a structured cause instead of a dead
+//! campaign.
+//!
+//! Failing cases are delta-debugged by an AST-level shrinker
+//! ([`shrink`]) and persisted to an on-disk corpus ([`corpus`]) as
+//! replayable records, deduplicated by failure fingerprint. Campaign
+//! progress is checkpointed so interrupted runs resume.
+//!
+//! Module map:
+//!
+//! * [`target`] — what is being fuzzed: pipeline, single passes, and
+//!   planted-bug passes for testing the fuzzer itself.
+//! * [`oracle`] — the three oracles and the per-case budget envelope.
+//! * [`shrink`] — greedy, measure-decreasing delta debugging.
+//! * [`corpus`] — the persistent, fingerprint-deduplicated failure
+//!   corpus.
+//! * [`campaign`] — the parallel campaign driver, checkpointing, and
+//!   the machine-readable summary.
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod campaign;
+pub mod corpus;
+pub mod oracle;
+pub mod shrink;
+pub mod target;
+
+pub use campaign::{
+    replay, run_campaign, CampaignSummary, CaseIncident, FailureSummary, FuzzConfig,
+};
+pub use corpus::{Corpus, FailureRecord};
+pub use oracle::{check_target, CheckVerdict, IncidentCause, OracleBudgets, OracleKind};
+pub use shrink::{shrink, ShrinkOutcome};
+pub use target::{BuggyPass, FuzzTarget};

@@ -1,0 +1,406 @@
+//! The three differential oracles and their shared budget envelope.
+//!
+//! Each fuzz case runs a target transformation on a generated program
+//! and asks, in order:
+//!
+//! 1. **SEQ** — does the simple (Def. 2.4) or advanced (Def. 3.3)
+//!    sequential refinement hold between source and target?
+//! 2. **PS^na** — under a generated concurrent context, is every
+//!    target behavior of the PS^na machine matched by a source
+//!    behavior (Def. 5.3, the adequacy direction of Thm. 6.2)?
+//! 3. **SC** — cross-validation between independent machines: every
+//!    SC behavior of the target must be refined by a PS^na behavior
+//!    of the source (SC executions are legal PS^na executions, so
+//!    this holds whenever the optimization is correct; a failure is
+//!    either an optimizer bug or an engine divergence — both worth
+//!    reporting).
+//!
+//! Every exploration runs through the fault-tolerant engine with
+//! per-case deadline/memory budgets. Resource exhaustion, engine
+//! faults and quarantined states yield [`CheckVerdict::Incident`],
+//! *never* a violation: a quarantined state means behaviors may be
+//! missing from the source set, which could fabricate an unmatched
+//! target behavior.
+
+use std::fmt;
+use std::time::Duration;
+
+use seqwm_explore::ExploreConfig;
+use seqwm_lang::Program;
+use seqwm_promising::machine::ps_behaviors_refine;
+use seqwm_promising::sc::{explore_sc_engine, ScConfig};
+use seqwm_promising::search::{engine_config, try_explore_engine};
+use seqwm_promising::thread::PsConfig;
+use seqwm_seq::refine::{
+    refines_advanced_or_simple_outcome, RefineCheckError, RefineConfig, RefineError,
+};
+
+use crate::target::FuzzTarget;
+
+/// Which oracle spoke.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OracleKind {
+    /// Sequential refinement (simple falling back to advanced).
+    Seq,
+    /// PS^na contextual refinement under a generated context.
+    PsCtx,
+    /// SC cross-validation against the PS^na source behaviors.
+    Sc,
+}
+
+impl OracleKind {
+    /// Parses the tag produced by `Display` (corpus round-trip).
+    pub fn parse(s: &str) -> Option<OracleKind> {
+        Some(match s {
+            "seq" => OracleKind::Seq,
+            "ps-ctx" => OracleKind::PsCtx,
+            "sc" => OracleKind::Sc,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for OracleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleKind::Seq => write!(f, "seq"),
+            OracleKind::PsCtx => write!(f, "ps-ctx"),
+            OracleKind::Sc => write!(f, "sc"),
+        }
+    }
+}
+
+/// Why a case was quarantined instead of judged.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IncidentCause {
+    /// The engine quarantined states (caught panics exhausted their
+    /// retries): the behavior sets may be incomplete.
+    EngineFault,
+    /// A state/depth/deadline/memory budget truncated exploration.
+    Truncated,
+    /// The engine rejected its configuration.
+    EngineError,
+    /// The oracle itself was inapplicable (e.g. mixed atomicity).
+    OracleError,
+    /// The whole checker panicked and was caught at the campaign
+    /// boundary (the case is quarantined, the campaign continues).
+    CheckerPanic,
+}
+
+impl fmt::Display for IncidentCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncidentCause::EngineFault => write!(f, "engine-fault"),
+            IncidentCause::Truncated => write!(f, "truncated"),
+            IncidentCause::EngineError => write!(f, "engine-error"),
+            IncidentCause::OracleError => write!(f, "oracle-error"),
+            IncidentCause::CheckerPanic => write!(f, "checker-panic"),
+        }
+    }
+}
+
+/// Per-case resource envelope shared by all three oracles.
+#[derive(Clone, Debug)]
+pub struct OracleBudgets {
+    /// SEQ refinement checker configuration.
+    pub refine: RefineConfig,
+    /// PS^na machine bounds (promise-free by default).
+    pub ps: PsConfig,
+    /// SC machine bounds.
+    pub sc: ScConfig,
+    /// Wall-clock deadline per engine exploration.
+    pub deadline: Option<Duration>,
+    /// Memory ceiling per engine exploration, in bytes.
+    pub max_memory: Option<usize>,
+    /// Deterministic fault plan forwarded to the engine (testing the
+    /// fuzzer's own crash resilience).
+    #[cfg(feature = "fault-injection")]
+    pub fault: Option<seqwm_explore::FaultPlan>,
+}
+
+impl Default for OracleBudgets {
+    fn default() -> Self {
+        OracleBudgets {
+            // The per-path step cap bounds depth but not the path
+            // *count*; the global fuel bounds the whole SEQ check
+            // deterministically (pathological cases — several atomic
+            // reads feeding a loop — otherwise run for minutes and
+            // stall a worker; see `RefineError::Truncated`).
+            refine: RefineConfig {
+                max_steps: 64,
+                max_fuel: Some(30_000),
+                ..RefineConfig::default()
+            },
+            // Generated cases are small; a tight state bound keeps
+            // throughput up and reports the rest as truncation
+            // incidents rather than stalling a worker.
+            ps: PsConfig {
+                max_states: 20_000,
+                ..PsConfig::default()
+            },
+            sc: ScConfig::default(),
+            deadline: Some(Duration::from_millis(2_000)),
+            max_memory: None,
+            #[cfg(feature = "fault-injection")]
+            fault: None,
+        }
+    }
+}
+
+impl OracleBudgets {
+    /// The engine configuration for a PS^na exploration under these
+    /// budgets.
+    pub fn ps_engine_config(&self) -> ExploreConfig {
+        #[allow(unused_mut)]
+        let mut ecfg = ExploreConfig {
+            deadline: self.deadline,
+            max_memory: self.max_memory,
+            ..engine_config(&self.ps)
+        };
+        #[cfg(feature = "fault-injection")]
+        {
+            ecfg.fault = self.fault.clone();
+        }
+        ecfg
+    }
+
+    /// The engine configuration for an SC exploration under these
+    /// budgets.
+    pub fn sc_engine_config(&self) -> ExploreConfig {
+        ExploreConfig {
+            max_states: self.sc.max_states,
+            max_depth: self.sc.max_steps,
+            deadline: self.deadline,
+            max_memory: self.max_memory,
+            ..ExploreConfig::default()
+        }
+    }
+}
+
+/// The judgment on one (program, context, target) case.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CheckVerdict {
+    /// The target left the program unchanged — nothing to validate.
+    Unoptimized,
+    /// All applicable oracles passed.
+    Passed {
+        /// Engine states explored across the PS^na and SC runs.
+        states: usize,
+    },
+    /// An oracle refuted refinement: the transformation is unsound on
+    /// this program (modulo checker incompleteness, recorded as-is).
+    Violation {
+        /// The refuting oracle.
+        oracle: OracleKind,
+        /// Human-readable refutation (unmatched behavior, failed
+        /// configuration, ...).
+        detail: String,
+    },
+    /// The case could not be judged within budget; quarantined, not
+    /// counted as pass or fail.
+    Incident {
+        /// The oracle that was running when the budget tripped.
+        oracle: OracleKind,
+        /// What tripped.
+        cause: IncidentCause,
+        /// Diagnostic message.
+        message: String,
+    },
+}
+
+impl CheckVerdict {
+    /// True for [`CheckVerdict::Violation`].
+    pub fn is_violation(&self) -> bool {
+        matches!(self, CheckVerdict::Violation { .. })
+    }
+}
+
+/// Runs all three oracles on one case. `ctx` is the concurrent
+/// context composed with both source and target for the PS^na and SC
+/// oracles; `None` checks the program in isolation.
+pub fn check_target(
+    target: FuzzTarget,
+    src: &Program,
+    ctx: Option<&Program>,
+    budgets: &OracleBudgets,
+) -> CheckVerdict {
+    check_target_upto(target, src, ctx, budgets, OracleKind::Sc)
+}
+
+/// [`check_target`], but stopping after `last` in the fixed oracle
+/// order SEQ → PS^na → SC. The shrinker uses this to avoid paying for
+/// exploration-based oracles while minimizing a case the cheap SEQ
+/// checker already refutes.
+pub fn check_target_upto(
+    target: FuzzTarget,
+    src: &Program,
+    ctx: Option<&Program>,
+    budgets: &OracleBudgets,
+    last: OracleKind,
+) -> CheckVerdict {
+    let tgt = target.apply(src);
+    // Structural equality misses no-op rewrites that only reassociate
+    // the `Seq` spine; the rendered text is the canonical form.
+    if tgt == *src || tgt.to_string() == src.to_string() {
+        return CheckVerdict::Unoptimized;
+    }
+
+    // Oracle 1: SEQ refinement. Only a `Refuted` outcome is a
+    // violation; inconclusive checks (mixed atomicity, exhausted fuel)
+    // are quarantined like any other budget trip.
+    match refines_advanced_or_simple_outcome(src, &tgt, &budgets.refine) {
+        Ok(_) => {}
+        Err(RefineCheckError::Refuted(detail)) => {
+            return CheckVerdict::Violation {
+                oracle: OracleKind::Seq,
+                detail,
+            };
+        }
+        Err(RefineCheckError::Inconclusive(e)) => {
+            let cause = match e {
+                RefineError::MixedAtomicity(_) => IncidentCause::OracleError,
+                RefineError::Truncated { .. } => IncidentCause::Truncated,
+            };
+            return CheckVerdict::Incident {
+                oracle: OracleKind::Seq,
+                cause,
+                message: e.to_string(),
+            };
+        }
+    }
+    if last == OracleKind::Seq {
+        return CheckVerdict::Passed { states: 0 };
+    }
+
+    let mut src_threads = vec![src.clone()];
+    let mut tgt_threads = vec![tgt.clone()];
+    if let Some(c) = ctx {
+        src_threads.push(c.clone());
+        tgt_threads.push(c.clone());
+    }
+
+    // Oracle 2: PS^na contextual refinement through the fault-tolerant
+    // engine.
+    let ecfg = budgets.ps_engine_config();
+    let mut states = 0usize;
+    let mut explorations = Vec::with_capacity(2);
+    for threads in [&src_threads, &tgt_threads] {
+        match try_explore_engine(threads, &budgets.ps, &ecfg) {
+            Ok(e) => {
+                states += e.stats.states;
+                if e.stats.quarantined > 0 {
+                    return CheckVerdict::Incident {
+                        oracle: OracleKind::PsCtx,
+                        cause: IncidentCause::EngineFault,
+                        message: format!(
+                            "{} state(s) quarantined after {} incident(s): behavior sets \
+                             may be incomplete",
+                            e.stats.quarantined, e.stats.incident_count
+                        ),
+                    };
+                }
+                if e.stats.truncated {
+                    return CheckVerdict::Incident {
+                        oracle: OracleKind::PsCtx,
+                        cause: IncidentCause::Truncated,
+                        message: format!("exploration truncated ({})", e.stats.stop),
+                    };
+                }
+                explorations.push(e);
+            }
+            Err(err) => {
+                return CheckVerdict::Incident {
+                    oracle: OracleKind::PsCtx,
+                    cause: IncidentCause::EngineError,
+                    message: err.to_string(),
+                }
+            }
+        }
+    }
+    let (src_ps, tgt_ps) = (&explorations[0], &explorations[1]);
+    if let Err(unmatched) = ps_behaviors_refine(&tgt_ps.behaviors, &src_ps.behaviors) {
+        return CheckVerdict::Violation {
+            oracle: OracleKind::PsCtx,
+            detail: format!("unmatched PS^na behavior: {unmatched}"),
+        };
+    }
+    if last == OracleKind::PsCtx {
+        return CheckVerdict::Passed { states };
+    }
+
+    // Oracle 3: SC cross-validation. SC executions are legal PS^na
+    // executions (concrete values refine undef, UB matches anything),
+    // so target-SC ⊑ source-PS^na must hold for any correct
+    // transformation — checked against the independently implemented
+    // SC machine.
+    let sc = explore_sc_engine(&tgt_threads, &budgets.sc, &budgets.sc_engine_config());
+    states += sc.states;
+    if sc.truncated {
+        return CheckVerdict::Incident {
+            oracle: OracleKind::Sc,
+            cause: IncidentCause::Truncated,
+            message: "SC exploration truncated".to_string(),
+        };
+    }
+    if let Err(unmatched) = ps_behaviors_refine(&sc.behaviors, &src_ps.behaviors) {
+        return CheckVerdict::Violation {
+            oracle: OracleKind::Sc,
+            detail: format!("SC behavior unmatched by source PS^na: {unmatched}"),
+        };
+    }
+
+    CheckVerdict::Passed { states }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::target::BuggyPass;
+    use seqwm_lang::parser::parse_program;
+
+    fn p(src: &str) -> Program {
+        parse_program(src).unwrap()
+    }
+
+    #[test]
+    fn oracle_tags_round_trip() {
+        for o in [OracleKind::Seq, OracleKind::PsCtx, OracleKind::Sc] {
+            assert_eq!(OracleKind::parse(&o.to_string()), Some(o));
+        }
+        assert_eq!(OracleKind::parse("psx"), None);
+    }
+
+    #[test]
+    fn identity_is_unoptimized() {
+        let src = p("a := load[rlx](x); return a;");
+        let v = check_target(FuzzTarget::Pipeline, &src, None, &OracleBudgets::default());
+        assert_eq!(v, CheckVerdict::Unoptimized);
+    }
+
+    #[test]
+    fn sound_forwarding_passes_all_oracles() {
+        // Fig. 4's motivating rewrite: the pipeline forwards the store.
+        let src = p("store[na](x, 1); a := load[na](x); return a;");
+        let ctx = p("b := load[rlx](y); return b;");
+        let v = check_target(
+            FuzzTarget::Pipeline,
+            &src,
+            Some(&ctx),
+            &OracleBudgets::default(),
+        );
+        assert!(matches!(v, CheckVerdict::Passed { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn planted_reorder_bug_is_caught() {
+        let src = p("a := load[acq](y); store[na](x, 1); return a;");
+        let v = check_target(
+            FuzzTarget::Buggy(BuggyPass::ReorderAcquireDown),
+            &src,
+            None,
+            &OracleBudgets::default(),
+        );
+        assert!(v.is_violation(), "{v:?}");
+    }
+}

@@ -1,0 +1,426 @@
+//! AST-level delta debugging of failing fuzz cases.
+//!
+//! Greedy first-improvement descent: enumerate one-step reductions of
+//! the (program, context) pair, accept the first one on which the
+//! oracle still reports *a* violation for the same target (any oracle
+//! counts — shrinking may legitimately move a PS^na failure into the
+//! cheaper SEQ checker's range), restart. Every candidate strictly
+//! decreases the lexicographic measure
+//!
+//! > (statement nodes, expression nodes, register reads, non-zero
+//! >  constants)
+//!
+//! so the descent terminates without a fuel hack; `max_evals` bounds
+//! wall-clock anyway since each acceptance re-runs the full oracle
+//! stack. Oracle re-checks run under `catch_unwind`: a candidate that
+//! panics the checker is simply rejected, keeping the shrinker itself
+//! crash-resilient.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use seqwm_lang::expr::Expr;
+use seqwm_lang::{Program, Stmt, Value};
+
+use crate::oracle::{check_target_upto, CheckVerdict, OracleBudgets, OracleKind};
+use crate::target::FuzzTarget;
+
+/// The result of shrinking one failing case.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// The minimized source program (still failing).
+    pub src: Program,
+    /// The minimized context, if one is still needed to fail.
+    pub ctx: Option<Program>,
+    /// The oracle that refutes the minimized case.
+    pub oracle: OracleKind,
+    /// The refutation detail on the minimized case.
+    pub detail: String,
+    /// Oracle evaluations spent.
+    pub evals: usize,
+    /// Statement count of the original case (program + context).
+    pub original_stmts: usize,
+    /// Statement count of the minimized case.
+    pub shrunk_stmts: usize,
+}
+
+impl ShrinkOutcome {
+    /// original/shrunk statement ratio (1.0 = no reduction).
+    pub fn ratio(&self) -> f64 {
+        if self.original_stmts == 0 {
+            1.0
+        } else {
+            self.shrunk_stmts as f64 / self.original_stmts as f64
+        }
+    }
+}
+
+/// Shrinks a failing case, given the violation the campaign observed
+/// on it. Returns the original case unchanged if no reduction
+/// reproduces a violation (or `max_evals` is 0).
+pub fn shrink(
+    target: FuzzTarget,
+    src: &Program,
+    ctx: Option<&Program>,
+    oracle: OracleKind,
+    detail: &str,
+    budgets: &OracleBudgets,
+    max_evals: usize,
+) -> ShrinkOutcome {
+    let original_stmts = case_stmts(src, ctx);
+    let mut best = (src.clone(), ctx.cloned());
+    let mut verdict = (oracle, detail.to_string());
+    let mut evals = 0usize;
+
+    'descent: loop {
+        for (cand_src, cand_ctx) in candidates(&best.0, best.1.as_ref()) {
+            if evals >= max_evals {
+                break 'descent;
+            }
+            debug_assert!(
+                measure(&cand_src, cand_ctx.as_ref()) < measure(&best.0, best.1.as_ref()),
+                "shrink candidate must strictly decrease the measure"
+            );
+            evals += 1;
+            // Only run oracles up to the one currently refuting the
+            // case: while a SEQ violation is being minimized there is
+            // no reason to pay for PS^na/SC exploration per candidate.
+            let v = catch_unwind(AssertUnwindSafe(|| {
+                check_target_upto(target, &cand_src, cand_ctx.as_ref(), budgets, verdict.0)
+            }));
+            if let Ok(CheckVerdict::Violation { oracle, detail }) = v {
+                best = (cand_src, cand_ctx);
+                verdict = (oracle, detail);
+                continue 'descent;
+            }
+        }
+        break;
+    }
+
+    let shrunk_stmts = case_stmts(&best.0, best.1.as_ref());
+    ShrinkOutcome {
+        src: best.0,
+        ctx: best.1,
+        oracle: verdict.0,
+        detail: verdict.1,
+        evals,
+        original_stmts,
+        shrunk_stmts,
+    }
+}
+
+/// Statement count of a case (program plus optional context).
+pub fn case_stmts(src: &Program, ctx: Option<&Program>) -> usize {
+    src.stmt_count() + ctx.map_or(0, Program::stmt_count)
+}
+
+/// The termination measure: every candidate strictly decreases this.
+fn measure(src: &Program, ctx: Option<&Program>) -> (usize, usize, usize, usize) {
+    let mut m = prog_measure(src);
+    if let Some(c) = ctx {
+        let n = prog_measure(c);
+        m = (m.0 + n.0, m.1 + n.1, m.2 + n.2, m.3 + n.3);
+    }
+    m
+}
+
+fn prog_measure(p: &Program) -> (usize, usize, usize, usize) {
+    let stmts = p.stmt_count();
+    let (mut nodes, mut regs, mut consts) = (0, 0, 0);
+    for e in expr_slots(&p.body) {
+        nodes += expr_nodes(&e);
+        regs += e.regs().len();
+        consts += nonzero_consts(&e);
+    }
+    (stmts, nodes, regs, consts)
+}
+
+fn expr_nodes(e: &Expr) -> usize {
+    match e {
+        Expr::Const(_) | Expr::Reg(_) => 1,
+        Expr::Un(_, a) => 1 + expr_nodes(a),
+        Expr::Bin(_, a, b) => 1 + expr_nodes(a) + expr_nodes(b),
+    }
+}
+
+fn nonzero_consts(e: &Expr) -> usize {
+    match e {
+        Expr::Const(Value::Int(0)) | Expr::Const(Value::Undef) | Expr::Reg(_) => 0,
+        Expr::Const(Value::Int(_)) => 1,
+        Expr::Un(_, a) => nonzero_consts(a),
+        Expr::Bin(_, a, b) => nonzero_consts(a) + nonzero_consts(b),
+    }
+}
+
+/// All one-step reductions of the case, larger reductions first.
+fn candidates(src: &Program, ctx: Option<&Program>) -> Vec<(Program, Option<Program>)> {
+    let mut out = Vec::new();
+    // 1. Drop the context entirely.
+    if ctx.is_some() {
+        out.push((src.clone(), None));
+    }
+    // 2. Statement-level reductions of the program...
+    for body in stmt_reductions(&src.body) {
+        out.push((Program::new(body), ctx.cloned()));
+    }
+    // ...and of the context.
+    if let Some(c) = ctx {
+        for body in stmt_reductions(&c.body) {
+            out.push((src.clone(), Some(Program::new(body))));
+        }
+    }
+    // 3. Expression-level simplifications.
+    for body in expr_reductions(&src.body) {
+        out.push((Program::new(body), ctx.cloned()));
+    }
+    if let Some(c) = ctx {
+        for body in expr_reductions(&c.body) {
+            out.push((src.clone(), Some(Program::new(body))));
+        }
+    }
+    out
+}
+
+/// One-step statement reductions: remove a statement, project a
+/// conditional onto a branch, unroll-and-drop a loop.
+fn stmt_reductions(s: &Stmt) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    match s {
+        Stmt::Skip => {}
+        Stmt::Seq(a, b) => {
+            for ra in stmt_reductions(a) {
+                out.push(Stmt::seq(ra, (**b).clone()));
+            }
+            for rb in stmt_reductions(b) {
+                out.push(Stmt::seq((**a).clone(), rb));
+            }
+        }
+        Stmt::If(e, a, b) => {
+            out.push(Stmt::Skip);
+            out.push((**a).clone());
+            out.push((**b).clone());
+            for ra in stmt_reductions(a) {
+                out.push(Stmt::If(e.clone(), Box::new(ra), b.clone()));
+            }
+            for rb in stmt_reductions(b) {
+                out.push(Stmt::If(e.clone(), a.clone(), Box::new(rb)));
+            }
+        }
+        Stmt::While(e, body) => {
+            out.push(Stmt::Skip);
+            out.push((**body).clone());
+            for rb in stmt_reductions(body) {
+                out.push(Stmt::While(e.clone(), Box::new(rb)));
+            }
+        }
+        _ => out.push(Stmt::Skip),
+    }
+    out
+}
+
+/// One-step expression reductions: collapse a compound expression to
+/// `0`, zero a register read, zero a non-zero constant.
+fn expr_reductions(s: &Stmt) -> Vec<Stmt> {
+    let slots = expr_slots(s);
+    let mut out = Vec::new();
+    for (k, e) in slots.iter().enumerate() {
+        if expr_nodes(e) > 1
+            || matches!(e, Expr::Reg(_))
+            || matches!(e, Expr::Const(Value::Int(v)) if *v != 0)
+        {
+            out.push(replace_expr_slot(s, k, Expr::int(0)));
+        }
+    }
+    out
+}
+
+/// The expression slots of a statement tree, in a fixed pre-order.
+/// `replace_expr_slot` uses the same order.
+fn expr_slots(s: &Stmt) -> Vec<Expr> {
+    let mut out = Vec::new();
+    collect_exprs(s, &mut out);
+    out
+}
+
+fn collect_exprs(s: &Stmt, out: &mut Vec<Expr>) {
+    match s {
+        Stmt::Assign(_, e)
+        | Stmt::Store(_, _, e)
+        | Stmt::Freeze(_, e)
+        | Stmt::Print(e)
+        | Stmt::Return(e) => out.push(e.clone()),
+        Stmt::Cas { expected, new, .. } => {
+            out.push(expected.clone());
+            out.push(new.clone());
+        }
+        Stmt::Fadd { operand, .. } => out.push(operand.clone()),
+        Stmt::Seq(a, b) => {
+            collect_exprs(a, out);
+            collect_exprs(b, out);
+        }
+        Stmt::If(e, a, b) => {
+            out.push(e.clone());
+            collect_exprs(a, out);
+            collect_exprs(b, out);
+        }
+        Stmt::While(e, body) => {
+            out.push(e.clone());
+            collect_exprs(body, out);
+        }
+        Stmt::Skip | Stmt::Load(_, _, _) | Stmt::Choose(_, _) | Stmt::Fence(_) | Stmt::Abort => {}
+    }
+}
+
+/// Rebuilds `s` with its `at`-th expression slot replaced by `new`.
+fn replace_expr_slot(s: &Stmt, at: usize, new: Expr) -> Stmt {
+    let mut k = 0usize;
+    rebuild(s, &mut k, at, &new)
+}
+
+fn rebuild(s: &Stmt, k: &mut usize, at: usize, new: &Expr) -> Stmt {
+    fn slot(k: &mut usize, at: usize, e: &Expr, new: &Expr) -> Expr {
+        let out = if *k == at { new.clone() } else { e.clone() };
+        *k += 1;
+        out
+    }
+    match s {
+        Stmt::Assign(r, e) => Stmt::Assign(*r, slot(k, at, e, new)),
+        Stmt::Store(x, m, e) => Stmt::Store(*x, *m, slot(k, at, e, new)),
+        Stmt::Freeze(r, e) => Stmt::Freeze(*r, slot(k, at, e, new)),
+        Stmt::Print(e) => Stmt::Print(slot(k, at, e, new)),
+        Stmt::Return(e) => Stmt::Return(slot(k, at, e, new)),
+        Stmt::Cas {
+            dst,
+            loc,
+            expected,
+            new: n,
+            mode,
+        } => Stmt::Cas {
+            dst: *dst,
+            loc: *loc,
+            expected: slot(k, at, expected, new),
+            new: slot(k, at, n, new),
+            mode: *mode,
+        },
+        Stmt::Fadd {
+            dst,
+            loc,
+            operand,
+            mode,
+        } => Stmt::Fadd {
+            dst: *dst,
+            loc: *loc,
+            operand: slot(k, at, operand, new),
+            mode: *mode,
+        },
+        Stmt::Seq(a, b) => {
+            let a = rebuild(a, k, at, new);
+            let b = rebuild(b, k, at, new);
+            Stmt::seq(a, b)
+        }
+        Stmt::If(e, a, b) => {
+            let e = slot(k, at, e, new);
+            let a = rebuild(a, k, at, new);
+            let b = rebuild(b, k, at, new);
+            Stmt::If(e, Box::new(a), Box::new(b))
+        }
+        Stmt::While(e, body) => {
+            let e = slot(k, at, e, new);
+            let body = rebuild(body, k, at, new);
+            Stmt::While(e, Box::new(body))
+        }
+        Stmt::Skip | Stmt::Load(_, _, _) | Stmt::Choose(_, _) | Stmt::Fence(_) | Stmt::Abort => {
+            s.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::oracle::check_target;
+    use crate::target::BuggyPass;
+    use seqwm_lang::parser::parse_program;
+
+    fn p(src: &str) -> Program {
+        parse_program(src).unwrap()
+    }
+
+    #[test]
+    fn every_candidate_strictly_decreases_the_measure() {
+        let src = p(
+            "a := load[acq](y); if (a == 1) { store[na](x, 2 + a); } else { print(a); } \
+             b := 0; while (b < 2) { b := b + 1; } return a + b;",
+        );
+        let ctx = p("c := load[rlx](z); store[rel](y, c + 1); return 0;");
+        let m0 = measure(&src, Some(&ctx));
+        let cands = candidates(&src, Some(&ctx));
+        assert!(cands.len() > 10, "rich enumeration, got {}", cands.len());
+        for (cs, cc) in cands {
+            assert!(
+                measure(&cs, cc.as_ref()) < m0,
+                "candidate did not shrink:\n{cs}"
+            );
+        }
+    }
+
+    #[test]
+    fn replace_expr_slot_hits_every_slot_in_order() {
+        let s = p("if (a == 1) { store[na](x, 2); } r := cas[rlx](y, 3, 4); return a;").body;
+        let slots = expr_slots(&s);
+        assert_eq!(slots.len(), 5);
+        for k in 0..slots.len() {
+            let replaced = replace_expr_slot(&s, k, Expr::int(0));
+            let new_slots = expr_slots(&replaced);
+            assert_eq!(new_slots[k], Expr::int(0));
+            for (j, (a, b)) in slots.iter().zip(&new_slots).enumerate() {
+                if j != k {
+                    assert_eq!(a, b, "slot {j} disturbed when replacing {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shrinks_a_planted_bug_to_its_core() {
+        // The reorder bug needs only the acquire load and the na store;
+        // the surrounding noise must be stripped.
+        let src = p(
+            "n := load[rlx](w); print(n); a := load[acq](y); store[na](x, 1); \
+             m := 7; print(m); return a;",
+        );
+        let first = check_target(
+            FuzzTarget::Buggy(BuggyPass::ReorderAcquireDown),
+            &src,
+            None,
+            &OracleBudgets::default(),
+        );
+        let CheckVerdict::Violation { oracle, detail } = first else {
+            panic!("expected a violation, got {first:?}");
+        };
+        let out = shrink(
+            FuzzTarget::Buggy(BuggyPass::ReorderAcquireDown),
+            &src,
+            None,
+            oracle,
+            &detail,
+            &OracleBudgets::default(),
+            400,
+        );
+        assert!(
+            out.shrunk_stmts <= 3,
+            "expected a tiny reproducer, got {} stmts:\n{}",
+            out.shrunk_stmts,
+            out.src
+        );
+        assert!(out.ratio() < 1.0);
+        // The shrunk case still fails.
+        let v = check_target(
+            FuzzTarget::Buggy(BuggyPass::ReorderAcquireDown),
+            &out.src,
+            out.ctx.as_ref(),
+            &OracleBudgets::default(),
+        );
+        assert!(v.is_violation(), "{v:?}");
+    }
+}

@@ -1,0 +1,351 @@
+//! What the fuzzer fuzzes: the optimizer pipeline, each individual
+//! pass, and — for testing the fuzzer itself — deliberately unsound
+//! "planted bug" passes generalizing the fixed program pairs of
+//! `tests/validation_catches_bugs.rs` into rewrites that fire on
+//! arbitrary generated programs.
+
+use std::fmt;
+
+use seqwm_lang::{Expr, Loc, Program, ReadMode, Stmt, Value, WriteMode};
+use seqwm_opt::pipeline::{PassKind, Pipeline, PipelineConfig};
+
+/// A program transformation under differential test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FuzzTarget {
+    /// The full 4-pass pipeline (§4 order).
+    Pipeline,
+    /// A single optimization pass.
+    Pass(PassKind),
+    /// A planted-bug pass (must be *caught* by the oracles).
+    Buggy(BuggyPass),
+}
+
+impl FuzzTarget {
+    /// The default healthy target set: the pipeline plus every
+    /// individual pass.
+    pub fn default_targets() -> Vec<FuzzTarget> {
+        let mut out = vec![FuzzTarget::Pipeline];
+        out.extend(
+            [
+                PassKind::Slf,
+                PassKind::Llf,
+                PassKind::Dse,
+                PassKind::Licm,
+                PassKind::ConstProp,
+            ]
+            .map(FuzzTarget::Pass),
+        );
+        out
+    }
+
+    /// Parses a target name as accepted by `seqwm fuzz --target`.
+    pub fn parse(name: &str) -> Option<FuzzTarget> {
+        Some(match name {
+            "pipeline" => FuzzTarget::Pipeline,
+            "slf" => FuzzTarget::Pass(PassKind::Slf),
+            "llf" => FuzzTarget::Pass(PassKind::Llf),
+            "dse" => FuzzTarget::Pass(PassKind::Dse),
+            "licm" => FuzzTarget::Pass(PassKind::Licm),
+            "constprop" => FuzzTarget::Pass(PassKind::ConstProp),
+            other => FuzzTarget::Buggy(BuggyPass::parse(other)?),
+        })
+    }
+
+    /// Applies the transformation.
+    pub fn apply(&self, p: &Program) -> Program {
+        match self {
+            FuzzTarget::Pipeline => Pipeline::new(PipelineConfig::default()).optimize(p).program,
+            FuzzTarget::Pass(k) => k.run(p).0,
+            FuzzTarget::Buggy(b) => b.apply(p),
+        }
+    }
+}
+
+impl fmt::Display for FuzzTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzTarget::Pipeline => write!(f, "pipeline"),
+            FuzzTarget::Pass(k) => write!(f, "{k}"),
+            FuzzTarget::Buggy(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// The planted-bug passes. Each generalizes one fixed unsound rewrite
+/// from `tests/validation_catches_bugs.rs` into a pass over arbitrary
+/// programs; a fuzz campaign against any of them must find, shrink and
+/// persist a counterexample.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BuggyPass {
+    /// SLF that keeps store-knowledge alive across release–acquire
+    /// pairs (Example 2.12): forwards a non-atomic store's constant to
+    /// a later non-atomic load even though an intervening release may
+    /// have published the location and an acquire re-gained it.
+    SlfAcrossRelAcq,
+    /// DSE that treats a store as dead whenever the location is
+    /// overwritten later, ignoring the *loads* (and release
+    /// publications) in between that observe the first store.
+    DseRemovesObservedStore,
+    /// LICM that hoists a *store* (not a load) out of a conditional:
+    /// unused store introduction (Example 2.10).
+    LicmHoistsStore,
+    /// A scheduler that sinks an acquire load below a following
+    /// non-atomic store (Example 2.9 (i)).
+    ReorderAcquireDown,
+}
+
+impl BuggyPass {
+    /// All planted bugs.
+    pub fn all() -> [BuggyPass; 4] {
+        [
+            BuggyPass::SlfAcrossRelAcq,
+            BuggyPass::DseRemovesObservedStore,
+            BuggyPass::LicmHoistsStore,
+            BuggyPass::ReorderAcquireDown,
+        ]
+    }
+
+    /// Parses a planted-bug name as accepted by `seqwm fuzz --inject-bug`.
+    pub fn parse(name: &str) -> Option<BuggyPass> {
+        Some(match name {
+            "slf-across-rel-acq" => BuggyPass::SlfAcrossRelAcq,
+            "dse-removes-observed-store" => BuggyPass::DseRemovesObservedStore,
+            "licm-hoists-store" => BuggyPass::LicmHoistsStore,
+            "reorder-acquire-down" => BuggyPass::ReorderAcquireDown,
+            _ => return None,
+        })
+    }
+
+    /// Applies the unsound rewrite (identity when the trigger pattern
+    /// is absent — such cases count as unoptimized, not as passes).
+    pub fn apply(&self, p: &Program) -> Program {
+        let body = match self {
+            BuggyPass::SlfAcrossRelAcq => slf_across_rel_acq(&p.body),
+            BuggyPass::DseRemovesObservedStore => dse_ignores_observers(&p.body),
+            BuggyPass::LicmHoistsStore => hoist_branch_stores(&p.body),
+            BuggyPass::ReorderAcquireDown => reorder_acquire_down(&p.body),
+        };
+        Program::new(body)
+    }
+}
+
+impl fmt::Display for BuggyPass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuggyPass::SlfAcrossRelAcq => write!(f, "slf-across-rel-acq"),
+            BuggyPass::DseRemovesObservedStore => write!(f, "dse-removes-observed-store"),
+            BuggyPass::LicmHoistsStore => write!(f, "licm-hoists-store"),
+            BuggyPass::ReorderAcquireDown => write!(f, "reorder-acquire-down"),
+        }
+    }
+}
+
+/// Flattens the `Seq` spine of a statement into a list.
+fn spine(s: &Stmt) -> Vec<Stmt> {
+    fn go(s: &Stmt, out: &mut Vec<Stmt>) {
+        if let Stmt::Seq(a, b) = s {
+            go(a, out);
+            go(b, out);
+        } else {
+            out.push(s.clone());
+        }
+    }
+    let mut out = Vec::new();
+    go(s, &mut out);
+    out
+}
+
+/// Buggy SLF: remembers the constant of the latest non-atomic store per
+/// location and forwards it into later non-atomic loads. Knowledge is
+/// (correctly) killed by further stores to the location and by control
+/// flow, but (incorrectly) survives release stores followed by acquire
+/// loads — the §2.12 unsoundness.
+fn slf_across_rel_acq(s: &Stmt) -> Stmt {
+    use std::collections::BTreeMap;
+    let mut known: BTreeMap<Loc, i64> = BTreeMap::new();
+    let mut out = Vec::new();
+    for st in spine(s) {
+        match &st {
+            Stmt::Store(x, WriteMode::Na, e) => {
+                match e {
+                    Expr::Const(Value::Int(v)) => known.insert(*x, *v),
+                    _ => known.remove(x),
+                };
+                out.push(st);
+            }
+            Stmt::Load(r, x, ReadMode::Na) => {
+                if let Some(&v) = known.get(x) {
+                    out.push(Stmt::Assign(*r, Expr::int(v)));
+                } else {
+                    out.push(st);
+                }
+            }
+            // BUG: atomic stores (releases) and atomic loads (acquires)
+            // should invalidate forwarding knowledge for published
+            // locations; this pass keeps it.
+            Stmt::Store(_, _, _) | Stmt::Load(_, _, _) | Stmt::Fence(_) => out.push(st),
+            Stmt::If(_, _, _) | Stmt::While(_, _) | Stmt::Cas { .. } | Stmt::Fadd { .. } => {
+                known.clear();
+                out.push(st);
+            }
+            _ => out.push(st),
+        }
+    }
+    Stmt::block(out)
+}
+
+/// Buggy DSE: removes a non-atomic store whenever a later non-atomic
+/// store to the same location exists on the spine, ignoring the loads
+/// (and release publications) in between.
+fn dse_ignores_observers(s: &Stmt) -> Stmt {
+    let stmts = spine(s);
+    let mut dead: Option<usize> = None;
+    'scan: for (i, st) in stmts.iter().enumerate() {
+        if let Stmt::Store(x, WriteMode::Na, _) = st {
+            for later in &stmts[i + 1..] {
+                if let Stmt::Store(y, WriteMode::Na, _) = later {
+                    if y == x {
+                        dead = Some(i);
+                        break 'scan;
+                    }
+                }
+            }
+        }
+    }
+    match dead {
+        Some(i) => {
+            let mut out = stmts;
+            out.remove(i);
+            Stmt::block(out)
+        }
+        None => s.clone(),
+    }
+}
+
+/// Buggy LICM: hoists the first store found inside an `if` branch (or a
+/// loop body) to just before the conditional — introducing a store on
+/// paths that never executed it.
+fn hoist_branch_stores(s: &Stmt) -> Stmt {
+    fn first_store(s: &Stmt) -> Option<Stmt> {
+        let mut found = None;
+        s.visit(&mut |n| {
+            if found.is_none() && matches!(n, Stmt::Store(_, _, _)) {
+                found = Some(n.clone());
+            }
+        });
+        found
+    }
+    let mut out = Vec::new();
+    let mut done = false;
+    for st in spine(s) {
+        match &st {
+            Stmt::If(_, a, b) if !done => {
+                if let Some(store) = first_store(a).or_else(|| first_store(b)) {
+                    out.push(store);
+                    done = true;
+                }
+                out.push(st);
+            }
+            Stmt::While(_, body) if !done => {
+                if let Some(store) = first_store(body) {
+                    out.push(store);
+                    done = true;
+                }
+                out.push(st);
+            }
+            _ => out.push(st),
+        }
+    }
+    Stmt::block(out)
+}
+
+/// Buggy reordering: swaps the first adjacent `r := load[acq](y);
+/// store[na](x, e)` pair (with `e` not reading `r`, so the swap is a
+/// pure memory-ordering change, not a data-flow one).
+fn reorder_acquire_down(s: &Stmt) -> Stmt {
+    let mut stmts = spine(s);
+    for i in 0..stmts.len().saturating_sub(1) {
+        let (a, b) = (&stmts[i], &stmts[i + 1]);
+        if let (Stmt::Load(r, _, ReadMode::Acq), Stmt::Store(_, WriteMode::Na, e)) = (a, b) {
+            if !e.regs().contains(r) {
+                stmts.swap(i, i + 1);
+                return Stmt::block(stmts);
+            }
+        }
+    }
+    s.clone()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn p(src: &str) -> Program {
+        parse_program(src).unwrap()
+    }
+
+    #[test]
+    fn target_names_round_trip() {
+        for t in FuzzTarget::default_targets() {
+            assert_eq!(FuzzTarget::parse(&t.to_string()), Some(t));
+        }
+        for b in BuggyPass::all() {
+            assert_eq!(
+                FuzzTarget::parse(&b.to_string()),
+                Some(FuzzTarget::Buggy(b))
+            );
+        }
+        assert_eq!(FuzzTarget::parse("frobnicate"), None);
+    }
+
+    #[test]
+    fn reorder_acquire_down_swaps_the_planted_pair() {
+        let src = p("a := load[acq](y); store[na](x, 1); return a;");
+        let tgt = BuggyPass::ReorderAcquireDown.apply(&src);
+        assert_eq!(
+            tgt,
+            p("store[na](x, 1); a := load[acq](y); return a;"),
+            "{tgt}"
+        );
+        // A store whose value depends on the loaded register stays put.
+        let dep = p("a := load[acq](y); store[na](x, a); return a;");
+        assert_eq!(BuggyPass::ReorderAcquireDown.apply(&dep), dep);
+    }
+
+    #[test]
+    fn slf_across_rel_acq_forwards_the_planted_pair() {
+        let src = p(
+            "store[na](x, 1); store[rel](y, 1); a := load[acq](z); print(a); \
+             b := load[na](x); return b;",
+        );
+        let tgt = BuggyPass::SlfAcrossRelAcq.apply(&src);
+        assert!(tgt.to_string().contains("b := 1;"), "{tgt}");
+    }
+
+    #[test]
+    fn dse_removes_an_observed_store() {
+        let src = p("store[na](x, 1); a := load[na](x); store[na](x, 2); return a;");
+        let tgt = BuggyPass::DseRemovesObservedStore.apply(&src);
+        assert!(!tgt.to_string().contains("store[na](x, 1);"), "{tgt}");
+    }
+
+    #[test]
+    fn licm_hoists_a_branch_store() {
+        let src = p("a := load[rlx](y); if (a == 1) { store[na](x, 5); } return a;");
+        let tgt = BuggyPass::LicmHoistsStore.apply(&src);
+        let text = tgt.to_string();
+        let hoisted = text.find("store[na](x, 5);").unwrap();
+        let cond = text.find("if (a == 1)").unwrap();
+        assert!(hoisted < cond, "{text}");
+    }
+
+    #[test]
+    fn buggy_passes_are_identity_without_their_trigger() {
+        let src = p("a := load[na](x); return a;");
+        for b in BuggyPass::all() {
+            assert_eq!(b.apply(&src), src, "{b}");
+        }
+    }
+}

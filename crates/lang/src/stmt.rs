@@ -83,9 +83,24 @@ impl Stmt {
         }
     }
 
-    /// Sequences an iterator of statements.
+    /// Sequences an iterator of statements. Nested `Seq` spines in the
+    /// items are flattened first, so the result is always right-nested —
+    /// structurally identical to what the parser produces when it
+    /// re-reads the block's own rendering.
     pub fn block<I: IntoIterator<Item = Stmt>>(stmts: I) -> Stmt {
-        let mut items: Vec<Stmt> = stmts.into_iter().collect();
+        fn flatten(s: Stmt, out: &mut Vec<Stmt>) {
+            match s {
+                Stmt::Seq(a, b) => {
+                    flatten(*a, out);
+                    flatten(*b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        let mut items = Vec::new();
+        for s in stmts {
+            flatten(s, &mut items);
+        }
         let Some(mut acc) = items.pop() else {
             return Stmt::Skip;
         };
@@ -214,6 +229,20 @@ impl Stmt {
         out
     }
 
+    /// Number of executable statement nodes, excluding `skip` and the
+    /// `Seq` sequencing skeleton (an `if`/`while` counts as one node
+    /// plus its nested statements). This is the size measure reported
+    /// by the fuzzer's shrinker.
+    pub fn stmt_count(&self) -> usize {
+        let mut n = 0usize;
+        self.visit(&mut |s| {
+            if !matches!(s, Stmt::Seq(_, _) | Stmt::Skip) {
+                n += 1;
+            }
+        });
+        n
+    }
+
     /// Does this statement (recursively) contain a loop?
     pub fn has_loop(&self) -> bool {
         let mut found = false;
@@ -338,6 +367,11 @@ impl Program {
     pub fn constants(&self) -> BTreeSet<i64> {
         self.body.constants()
     }
+
+    /// Number of executable statement nodes (see [`Stmt::stmt_count`]).
+    pub fn stmt_count(&self) -> usize {
+        self.body.stmt_count()
+    }
 }
 
 impl fmt::Display for Program {
@@ -402,6 +436,15 @@ mod tests {
         let c = Stmt::Choose(Reg::new("sc"), vec![5, 9]);
         assert!(c.constants().contains(&5));
         assert!(c.constants().contains(&9));
+    }
+
+    #[test]
+    fn stmt_count_ignores_skeleton() {
+        assert_eq!(sample().stmt_count(), 5); // store, load, if, inner load, return
+        assert_eq!(Stmt::Skip.stmt_count(), 0);
+        assert_eq!(Stmt::block([]).stmt_count(), 0);
+        let w = Stmt::While(Expr::int(1), Box::new(Stmt::Abort));
+        assert_eq!(w.stmt_count(), 2);
     }
 
     #[test]

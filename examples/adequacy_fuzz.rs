@@ -1,21 +1,20 @@
-//! The adequacy differential harness (Thm. 6.2) as a standalone fuzzer:
-//! generate random programs, optimize them, check SEQ refinement, then
-//! check PS^na contextual refinement under random contexts — forever (or
-//! for `--rounds N`). Exploration runs on the `seqwm-explore` engine,
-//! optionally with parallel workers.
+//! The adequacy differential harness (Thm. 6.2) as a standalone fuzzer
+//! — now a thin wrapper over the `seqwm-fuzz` campaign driver, which
+//! owns the generate → optimize → SEQ → PS^na → SC loop, shrinks any
+//! failure it finds, and persists replayable reproducers to a corpus
+//! directory.
 //!
 //! ```sh
 //! cargo run --release --example adequacy_fuzz -- --rounds 100 --seed 7
 //! cargo run --release --example adequacy_fuzz -- --workers 4
 //! ```
+//!
+//! Exit codes match the historical harness: 0 clean, 2 on a SEQ
+//! violation, 3 on a PS^na/SC violation (the full campaign summary is
+//! printed either way; `seqwm fuzz` is the richer front end).
 
-use promising_seq::explore::{ExploreConfig, SplitMix64};
-use promising_seq::litmus::gen::{random_context, random_program, GenConfig};
-use promising_seq::opt::pipeline::{Pipeline, PipelineConfig};
-use promising_seq::promising::machine::ps_behaviors_refine;
-use promising_seq::promising::search::{engine_config, explore_engine};
-use promising_seq::promising::thread::PsConfig;
-use promising_seq::seq::refine::{refines_advanced_or_simple_config, RefineConfig};
+use promising_seq::fuzz::{run_campaign, FuzzConfig, OracleKind};
+use promising_seq::litmus::gen::GenConfig;
 
 fn main() {
     let mut rounds = 50usize;
@@ -34,80 +33,55 @@ fn main() {
         }
     }
 
-    let gen_cfg = GenConfig {
-        max_stmts: 5,
-        ..GenConfig::default()
-    };
-    let refine_cfg = RefineConfig {
-        max_steps: 64,
-        ..RefineConfig::default()
-    };
-    let pipeline = Pipeline::new(PipelineConfig::default());
-    let ps_cfg = PsConfig::default();
-    let ecfg = ExploreConfig {
+    let cfg = FuzzConfig {
+        cases: rounds,
+        seed,
         workers,
-        ..engine_config(&ps_cfg)
+        gen: GenConfig {
+            max_stmts: 5,
+            ..GenConfig::default()
+        },
+        corpus_dir: std::env::temp_dir().join(format!("adequacy-fuzz-{}", std::process::id())),
+        checkpoint_every: 0,
+        ..FuzzConfig::default()
     };
-    let mut rng = SplitMix64::new(seed);
-
-    let mut optimized = 0usize;
-    let mut seq_checked = 0usize;
-    let mut ps_checked = 0usize;
-    let mut states_total = 0usize;
-    for round in 0..rounds {
-        let src = random_program(&mut rng, &gen_cfg);
-        let out = pipeline.optimize(&src);
-        if out.program == src {
-            continue;
+    let summary = match run_campaign(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(1);
         }
-        optimized += 1;
-
-        // SEQ refinement (simple, falling back to advanced).
-        match refines_advanced_or_simple_config(&src, &out.program, &refine_cfg) {
-            Ok(_) => seq_checked += 1,
-            Err(e) => {
-                eprintln!(
-                    "✗ SEQ VIOLATION at round {round} (seed {seed}):\n{e}\nsrc:\n{src}\ntgt:\n{}",
-                    out.program
-                );
-                std::process::exit(2);
-            }
-        }
-
-        // PS^na contextual refinement under a random context.
-        let ctx = random_context(&mut rng, &gen_cfg);
-        let mut src_threads = vec![src.clone()];
-        let mut tgt_threads = vec![out.program.clone()];
-        if rng.chance(80) {
-            src_threads.push(ctx.clone());
-            tgt_threads.push(ctx);
-        }
-        let sb = explore_engine(&src_threads, &ps_cfg, &ecfg);
-        let tb = explore_engine(&tgt_threads, &ps_cfg, &ecfg);
-        states_total += sb.stats.states + tb.stats.states;
-        if sb.stats.truncated || tb.stats.truncated {
-            continue; // context too big for exhaustive exploration
-        }
-        if let Err(unmatched) = ps_behaviors_refine(&tb.behaviors, &sb.behaviors) {
-            eprintln!(
-                "✗ ADEQUACY VIOLATION at round {round} (seed {seed}): behavior {unmatched}\nsrc:\n{src}\ntgt:\n{}",
-                out.program
-            );
-            std::process::exit(3);
-        }
-        ps_checked += 1;
-        if round % 10 == 9 {
-            println!(
-                "round {:4}: {optimized} optimized, {seq_checked} SEQ-validated, \
-                 {ps_checked} PS^na-validated, {states_total} states explored",
-                round + 1
-            );
-        }
-    }
+    };
     println!(
-        "done: {rounds} rounds, {optimized} programs optimized, {seq_checked} SEQ refinements, \
-         {ps_checked} PS^na contextual refinements ({states_total} engine states, {workers} \
-         worker{}) — no violation found ✓",
-        if workers == 1 { "" } else { "s" }
+        "done: {} rounds, {} optimized checks, {} validated, {} quarantined, \
+         {} engine states, {} worker{}",
+        summary.cases_run,
+        summary.optimized,
+        summary.checks_passed,
+        summary.incident_count,
+        summary.states,
+        cfg.workers,
+        if cfg.workers == 1 { "" } else { "s" }
     );
+    if summary.clean() {
+        println!("no violation found ✓");
+        let _ = std::fs::remove_dir_all(&cfg.corpus_dir);
+        return;
+    }
+    let mut worst = 0;
+    for f in &summary.unique_failures {
+        eprintln!(
+            "✗ VIOLATION: {} via {} (shrunk {} → {} stmts): {}",
+            f.target,
+            f.oracle,
+            f.original_stmts,
+            f.shrunk_stmts,
+            f.path.display()
+        );
+        worst = worst.max(match f.oracle {
+            OracleKind::Seq => 2,
+            OracleKind::PsCtx | OracleKind::Sc => 3,
+        });
+    }
+    std::process::exit(worst.max(2));
 }

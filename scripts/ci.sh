@@ -17,7 +17,17 @@ cargo test -q
 
 echo "==> cargo test -q --features fault-injection (fault-tolerance differential)"
 cargo test -q --features fault-injection --test fault_injection
+cargo test -q --features fault-injection --test fuzz_smoke
 cargo test -q -p seqwm-explore --features fault-injection
+
+echo "==> seqwm fuzz (fixed-seed differential campaign over the real passes)"
+# Time-boxed by deterministic budgets (SEQ fuel + engine deadline), not
+# wall-clock: pathological cases quarantine as incidents, which exit 0.
+# Only a genuine oracle violation (exit 8) fails the gate.
+fuzz_corpus="$(mktemp -d)"
+trap 'rm -rf "$fuzz_corpus"' EXIT
+target/release/seqwm fuzz --cases 100 --seed 11 --workers 2 \
+    --corpus "$fuzz_corpus" --seq-fuel 10000 --deadline-ms 500
 
 if [ "${1:-full}" != "quick" ]; then
     echo "==> cargo clippy --all-targets -- -D warnings"

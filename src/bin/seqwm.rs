@@ -9,6 +9,8 @@
 //! seqwm sc <file> [<file>...]         SC behaviors (baseline)
 //! seqwm drf <file> [<file>...]        race report + model comparison
 //! seqwm litmus [name|--all]           run corpus cases
+//! seqwm fuzz [flags]                  differential fuzz campaign
+//! seqwm fuzz --replay <file>          re-run a persisted failure
 //! ```
 //!
 //! `explore` accepts engine flags: `--workers N`, `--strategy
@@ -19,9 +21,25 @@
 //! `--checkpoint-every-ms N`, `--deadline-ms N` and
 //! `--max-memory-mb N`.
 //!
+//! `fuzz` runs a differential campaign over the optimizer (see the
+//! `seqwm-fuzz` crate): `--cases N`, `--seed S`, `--workers N`,
+//! `--target <pipeline|slf|llf|dse|licm|constprop>` (repeatable),
+//! `--inject-bug <name>` (planted-bug targets, for exercising the
+//! fuzzer), `--corpus <dir>`, `--resume`, `--checkpoint-every N`,
+//! `--max-failures N`, `--max-stmts N`, `--ctx-percent P`,
+//! `--shrink-evals N`, `--deadline-ms N`, `--max-memory-mb N`,
+//! `--seq-fuel N` (global SEQ-checker state budget; 0 = unbounded),
+//! `--json`. With the `fault-injection` feature, `--fault-panic-per-mille`,
+//! `--fault-permanent-per-mille` and `--fault-seed` drive a deterministic
+//! [`FaultPlan`](promising_seq::explore::FaultPlan) through the engine to
+//! exercise the fuzzer's own crash resilience. A campaign that finds an
+//! oracle violation exits 8; quarantined resource incidents never change
+//! the exit code.
+//!
 //! Failures exit with a per-class code (see
 //! [`promising_seq::SeqwmError::exit_code`]): 2 usage, 3 parse,
-//! 4 I/O, 5 engine configuration, 6 corpus, 7 refinement. Engine
+//! 4 I/O, 5 engine configuration, 6 corpus, 7 refinement, 8 fuzz
+//! violation found. Engine
 //! warnings (corrupt resume file, visited-set downgrade, …) are
 //! printed to stderr but never change the exit code: a degraded run
 //! that completes is still a successful run.
@@ -31,6 +49,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use promising_seq::explore::{CheckpointSpec, ExploreConfig, Strategy, VisitedMode};
+use promising_seq::fuzz::{run_campaign, CheckVerdict, Corpus, FuzzConfig, FuzzTarget};
 use promising_seq::lang::parser::parse_program;
 use promising_seq::lang::Program;
 use promising_seq::litmus::concurrent::concurrent_corpus;
@@ -204,7 +223,7 @@ fn parse_engine_flags(args: &[String]) -> Result<(EngineOpts, Vec<String>), Seqw
 
 fn usage() -> SeqwmError {
     usage_err(
-        "usage: seqwm <parse|optimize|validate|refine|explore|sc|drf|litmus> [args…]\n\
+        "usage: seqwm <parse|optimize|validate|refine|explore|sc|drf|litmus|fuzz> [args…]\n\
          run `seqwm litmus` with no arguments to list corpus cases",
     )
 }
@@ -395,6 +414,188 @@ fn run() -> Result<(), SeqwmError> {
             }
             _ => Err(usage_err("usage: seqwm litmus [name|--all]")),
         },
+        "fuzz" => run_fuzz(rest),
         _ => Err(usage()),
+    }
+}
+
+/// The `seqwm fuzz` subcommand: campaign driver or failure replay.
+fn run_fuzz(args: &[String]) -> Result<(), SeqwmError> {
+    fn value<'a>(
+        it: &mut std::slice::Iter<'a, String>,
+        flag: &str,
+        what: &str,
+    ) -> Result<&'a String, SeqwmError> {
+        it.next()
+            .ok_or_else(|| usage_err(format!("{flag} needs {what}")))
+    }
+    fn number<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, SeqwmError> {
+        v.parse()
+            .map_err(|_| usage_err(format!("bad {what} `{v}`")))
+    }
+
+    let mut cfg = FuzzConfig::default();
+    let mut targets: Vec<FuzzTarget> = Vec::new();
+    let mut json = false;
+    let mut replay_path: Option<String> = None;
+    #[cfg(feature = "fault-injection")]
+    let mut fault_per_mille: Option<u16> = None;
+    #[cfg(feature = "fault-injection")]
+    let mut fault_permanent_per_mille: Option<u16> = None;
+    #[cfg(feature = "fault-injection")]
+    let mut fault_seed: u64 = 0xFA_017;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cases" => cfg.cases = number(value(&mut it, a, "a number")?, "case count")?,
+            "--seed" => cfg.seed = number(value(&mut it, a, "a number")?, "seed")?,
+            "--workers" => {
+                cfg.workers =
+                    number::<usize>(value(&mut it, a, "a number")?, "worker count")?.max(1)
+            }
+            "--max-stmts" => {
+                cfg.gen.max_stmts = number(value(&mut it, a, "a number")?, "statement bound")?
+            }
+            "--ctx-percent" => {
+                cfg.ctx_percent = number(value(&mut it, a, "a percentage")?, "context chance")?
+            }
+            "--shrink-evals" => {
+                cfg.shrink_evals = number(value(&mut it, a, "a number")?, "shrink budget")?
+            }
+            "--max-failures" => {
+                cfg.max_failures = number(value(&mut it, a, "a number")?, "failure bound")?
+            }
+            "--checkpoint-every" => {
+                cfg.checkpoint_every =
+                    number(value(&mut it, a, "a case count")?, "checkpoint period")?
+            }
+            "--deadline-ms" => {
+                let ms: u64 = number(value(&mut it, a, "a duration in ms")?, "deadline")?;
+                cfg.budgets.deadline = Some(Duration::from_millis(ms));
+            }
+            "--max-memory-mb" => {
+                let mb: usize = number(value(&mut it, a, "a size in MiB")?, "memory budget")?;
+                cfg.budgets.max_memory = Some(mb.saturating_mul(1 << 20));
+            }
+            "--seq-fuel" => {
+                let fuel: u64 = number(value(&mut it, a, "a state count")?, "SEQ fuel")?;
+                cfg.budgets.refine.max_fuel = (fuel > 0).then_some(fuel);
+            }
+            "--corpus" => cfg.corpus_dir = value(&mut it, a, "a directory")?.into(),
+            "--resume" => cfg.resume = true,
+            "--target" | "--inject-bug" => {
+                let v = value(&mut it, a, "a target name")?;
+                let t = FuzzTarget::parse(v)
+                    .ok_or_else(|| usage_err(format!("unknown fuzz target `{v}`")))?;
+                if a == "--inject-bug" && !matches!(t, FuzzTarget::Buggy(_)) {
+                    return Err(usage_err(format!("`{v}` is not a planted bug")));
+                }
+                targets.push(t);
+            }
+            "--replay" => replay_path = Some(value(&mut it, a, "a corpus file")?.clone()),
+            "--json" => json = true,
+            #[cfg(feature = "fault-injection")]
+            "--fault-panic-per-mille" => {
+                fault_per_mille = Some(number(value(&mut it, a, "a rate")?, "fault rate")?)
+            }
+            #[cfg(feature = "fault-injection")]
+            "--fault-permanent-per-mille" => {
+                fault_permanent_per_mille =
+                    Some(number(value(&mut it, a, "a rate")?, "fault rate")?)
+            }
+            #[cfg(feature = "fault-injection")]
+            "--fault-seed" => fault_seed = number(value(&mut it, a, "a number")?, "fault seed")?,
+            other => return Err(usage_err(format!("unknown flag `{other}`"))),
+        }
+    }
+    #[cfg(feature = "fault-injection")]
+    if fault_per_mille.is_some() || fault_permanent_per_mille.is_some() {
+        cfg.budgets.fault = Some(promising_seq::explore::FaultPlan {
+            seed: fault_seed,
+            panic_per_mille: fault_per_mille.unwrap_or(0),
+            permanent_panic_per_mille: fault_permanent_per_mille.unwrap_or(0),
+            ..promising_seq::explore::FaultPlan::default()
+        });
+    }
+
+    if let Some(path) = replay_path {
+        let record =
+            Corpus::load(std::path::Path::new(&path)).map_err(|message| SeqwmError::Parse {
+                path: path.clone(),
+                message,
+            })?;
+        println!(
+            "replaying {} (target {}, oracle {}, {} stmt(s))",
+            path, record.target, record.oracle, record.shrunk_stmts
+        );
+        return match promising_seq::fuzz::replay(&record, &cfg.budgets) {
+            CheckVerdict::Violation { oracle, detail } => {
+                println!("REPRODUCED via {oracle}: {detail}");
+                Err(SeqwmError::Fuzz { failures: 1 })
+            }
+            CheckVerdict::Passed { states } => {
+                println!("did not reproduce ({states} states explored, all oracles passed)");
+                Ok(())
+            }
+            CheckVerdict::Unoptimized => {
+                println!("did not reproduce (target no longer rewrites this program)");
+                Ok(())
+            }
+            CheckVerdict::Incident {
+                oracle,
+                cause,
+                message,
+            } => {
+                println!("inconclusive: {oracle} incident ({cause}): {message}");
+                Ok(())
+            }
+        };
+    }
+
+    if !targets.is_empty() {
+        cfg.targets = targets;
+    }
+    let summary = run_campaign(&cfg).map_err(SeqwmError::Refine)?;
+    if json {
+        println!("{}", summary.to_json());
+    } else {
+        println!(
+            "fuzz: {} case(s) run (seed {}, {} resumed), {} check(s) passed, {} unoptimized, \
+             {} violation(s), {} incident(s) quarantined, {} engine states",
+            summary.cases_run,
+            summary.seed,
+            summary.resumed_from,
+            summary.checks_passed,
+            summary.unoptimized,
+            summary.violations,
+            summary.incident_count,
+            summary.states
+        );
+        for f in &summary.unique_failures {
+            println!(
+                "  ✗ {} via {}: {} → {} stmt(s), {}",
+                f.target,
+                f.oracle,
+                f.original_stmts,
+                f.shrunk_stmts,
+                f.path.display()
+            );
+        }
+        for i in summary.incidents.iter().take(8) {
+            eprintln!(
+                "  quarantined case {} ({}, {}): {} — {}",
+                i.case_index, i.target, i.oracle, i.cause, i.message
+            );
+        }
+        if summary.incident_count > 8 {
+            eprintln!("  … and {} more incident(s)", summary.incident_count - 8);
+        }
+    }
+    if summary.clean() {
+        Ok(())
+    } else {
+        Err(SeqwmError::Fuzz {
+            failures: summary.unique_failures.len().max(1),
+        })
     }
 }

@@ -23,6 +23,7 @@ use seqwm_explore::ExploreError;
 /// | [`Explore`]      | 5         |
 /// | [`Corpus`]       | 6         |
 /// | [`Refine`]       | 7         |
+/// | [`Fuzz`]         | 8         |
 ///
 /// [`Usage`]: SeqwmError::Usage
 /// [`Parse`]: SeqwmError::Parse
@@ -30,6 +31,7 @@ use seqwm_explore::ExploreError;
 /// [`Explore`]: SeqwmError::Explore
 /// [`Corpus`]: SeqwmError::Corpus
 /// [`Refine`]: SeqwmError::Refine
+/// [`Fuzz`]: SeqwmError::Fuzz
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SeqwmError {
     /// Bad command line: unknown command, missing operand, or an
@@ -59,6 +61,12 @@ pub enum SeqwmError {
     },
     /// A refinement or validation check could not be completed.
     Refine(String),
+    /// A fuzz campaign found (or a replay reproduced) an oracle
+    /// violation: a transformation with an unmatched target behavior.
+    Fuzz {
+        /// How many unique (deduplicated) failures were found.
+        failures: usize,
+    },
 }
 
 impl SeqwmError {
@@ -71,6 +79,7 @@ impl SeqwmError {
             SeqwmError::Explore(_) => 5,
             SeqwmError::Corpus { .. } => 6,
             SeqwmError::Refine(_) => 7,
+            SeqwmError::Fuzz { .. } => 8,
         }
     }
 }
@@ -84,6 +93,9 @@ impl fmt::Display for SeqwmError {
             SeqwmError::Explore(e) => write!(f, "exploration: {e}"),
             SeqwmError::Corpus { failures } => write!(f, "{failures} corpus case(s) failed"),
             SeqwmError::Refine(msg) => write!(f, "refinement: {msg}"),
+            SeqwmError::Fuzz { failures } => {
+                write!(f, "fuzzing found {failures} unique oracle violation(s)")
+            }
         }
     }
 }
@@ -124,6 +136,7 @@ mod tests {
             }),
             SeqwmError::Corpus { failures: 1 },
             SeqwmError::Refine("m".into()),
+            SeqwmError::Fuzz { failures: 1 },
         ];
         let mut seen = std::collections::BTreeSet::new();
         for e in &all {

@@ -21,6 +21,9 @@
 //! * [`explore`] — the generic state-space exploration engine (parallel
 //!   workers, fingerprint dedup, interleaving reduction, strategies and
 //!   budgets) driving the PS^na, SC and SEQ explorers.
+//! * [`fuzz`] — crash-resilient differential fuzzing of the optimizer:
+//!   campaign driver, SEQ/PS^na/SC oracles, AST-level shrinking, and a
+//!   persistent fingerprint-deduplicated failure corpus.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub mod error;
 
 pub use error::SeqwmError;
 pub use seqwm_explore as explore;
+pub use seqwm_fuzz as fuzz;
 pub use seqwm_lang as lang;
 pub use seqwm_litmus as litmus;
 pub use seqwm_opt as opt;

@@ -1,0 +1,195 @@
+//! Smoke tests for the `seqwm-fuzz` differential campaign driver.
+//!
+//! Three layers are exercised end to end:
+//!
+//! 1. **Library** — a fixed-seed campaign over the real optimizer and
+//!    passes must come back clean (the optimizer is correct; anything
+//!    else is a reportable bug), and a campaign against a planted bug
+//!    must find it, shrink the reproducer to a handful of statements,
+//!    persist it, and replay it.
+//! 2. **CLI** — `seqwm fuzz` must exit 8 on a violation and `--replay`
+//!    must reproduce a persisted failure from its corpus file alone.
+//! 3. **Fault tolerance** (feature `fault-injection`) — a campaign whose
+//!    engine explorations are forced to panic must quarantine the
+//!    affected cases as incidents and still run to completion, without
+//!    ever converting lost behaviors into a violation.
+//!
+//! Seeds and case counts are fixed so failures here are reproducible
+//! byte for byte.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use promising_seq::fuzz::{
+    replay, run_campaign, BuggyPass, Corpus, FuzzConfig, FuzzTarget, OracleKind,
+};
+
+/// A unique scratch corpus directory per test.
+fn tmp_corpus(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("seqwm-fuzz-smoke-{tag}-{}", std::process::id()))
+}
+
+fn base_config(tag: &str) -> FuzzConfig {
+    FuzzConfig {
+        cases: 100,
+        seed: 11,
+        corpus_dir: tmp_corpus(tag),
+        ..FuzzConfig::default()
+    }
+}
+
+#[test]
+fn healthy_campaign_is_clean() {
+    let mut cfg = base_config("healthy");
+    // Tighter budgets than the CLI defaults: pathological cases tip
+    // into quarantined truncation sooner, which is sound and keeps the
+    // test fast. What must NOT appear is a violation. Debug builds pay
+    // ~10× per explored state, so they get a proportionally smaller
+    // (still deterministic) budget.
+    let (fuel, deadline_ms, max_states) = if cfg!(debug_assertions) {
+        (2_000, 200, 2_000)
+    } else {
+        (10_000, 500, 20_000)
+    };
+    cfg.budgets.refine.max_fuel = Some(fuel);
+    cfg.budgets.deadline = Some(Duration::from_millis(deadline_ms));
+    cfg.budgets.ps.max_states = max_states;
+    let summary = run_campaign(&cfg).expect("campaign runs");
+    let _ = std::fs::remove_dir_all(&cfg.corpus_dir);
+    assert_eq!(summary.cases_run, 100);
+    assert_eq!(summary.violations, 0, "optimizer violation: {summary:?}");
+    assert!(summary.clean(), "expected a clean campaign: {summary:?}");
+    assert!(
+        summary.checks_passed > 0,
+        "no case exercised an oracle: {summary:?}"
+    );
+}
+
+#[test]
+fn planted_bug_is_found_shrunk_persisted_and_replayable() {
+    let mut cfg = base_config("planted");
+    cfg.targets = vec![FuzzTarget::Buggy(BuggyPass::LicmHoistsStore)];
+    let summary = run_campaign(&cfg).expect("campaign runs");
+    assert!(
+        !summary.unique_failures.is_empty(),
+        "planted LICM bug not found: {summary:?}"
+    );
+    for f in &summary.unique_failures {
+        assert_eq!(f.oracle, OracleKind::Seq, "caught by the wrong oracle");
+        assert!(
+            f.shrunk_stmts <= 6,
+            "reproducer not minimal: {} statements at {}",
+            f.shrunk_stmts,
+            f.path.display()
+        );
+        assert!(
+            f.shrunk_stmts <= f.original_stmts,
+            "shrinking grew the case"
+        );
+        // The record round-trips from disk and still reproduces.
+        let record = Corpus::load(&f.path).expect("corpus record parses");
+        assert_eq!(record.fingerprint(), f.fingerprint);
+        let verdict = replay(&record, &cfg.budgets);
+        assert!(
+            verdict.is_violation(),
+            "replay did not reproduce: {verdict:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&cfg.corpus_dir);
+}
+
+#[test]
+fn cli_exits_8_on_violation_and_replays() {
+    let corpus = tmp_corpus("cli");
+    let _ = std::fs::remove_dir_all(&corpus);
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_seqwm"))
+        .args([
+            "fuzz",
+            "--cases",
+            "100",
+            "--seed",
+            "11",
+            "--inject-bug",
+            "licm-hoists-store",
+            "--corpus",
+        ])
+        .arg(&corpus)
+        .arg("--json")
+        .output()
+        .expect("seqwm runs");
+    assert_eq!(
+        out.status.code(),
+        Some(8),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        json.contains("\"unique_failures\":[{"),
+        "no failure in JSON summary: {json}"
+    );
+
+    // Replay each persisted failure through the CLI from disk alone.
+    let corpus_files: Vec<PathBuf> = std::fs::read_dir(&corpus)
+        .expect("corpus dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("fail-") && n.ends_with(".lit"))
+        })
+        .collect();
+    assert!(!corpus_files.is_empty(), "no corpus files persisted");
+    for path in corpus_files {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_seqwm"))
+            .args(["fuzz", "--replay"])
+            .arg(&path)
+            .output()
+            .expect("seqwm runs");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(out.status.code(), Some(8), "replay exit: {stdout}");
+        assert!(stdout.contains("REPRODUCED"), "replay output: {stdout}");
+    }
+    let _ = std::fs::remove_dir_all(&corpus);
+}
+
+/// Permanently-faulting engine expansions must quarantine the affected
+/// cases — never fabricate a violation from the lost behaviors — and
+/// the campaign must still complete and report the incidents.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn injected_engine_panics_are_quarantined_not_violations() {
+    use promising_seq::explore::{FaultPlan, InjectedFault};
+
+    // Silence the backtraces of injected panics (and only those).
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !info.payload().is::<InjectedFault>() {
+            prev(info);
+        }
+    }));
+
+    let mut cfg = base_config("faulty");
+    cfg.cases = 30;
+    cfg.targets = vec![FuzzTarget::Pipeline];
+    cfg.budgets.fault = Some(FaultPlan {
+        seed: 0xFA_017,
+        permanent_panic_per_mille: 1000,
+        ..FaultPlan::default()
+    });
+    let summary = run_campaign(&cfg).expect("campaign completes despite faults");
+    let _ = std::fs::remove_dir_all(&cfg.corpus_dir);
+    assert_eq!(summary.cases_run, 30, "campaign did not complete");
+    assert_eq!(summary.violations, 0, "lost behaviors became a violation");
+    assert!(
+        summary.incident_count > 0,
+        "no incident despite always-faulting engine: {summary:?}"
+    );
+    assert!(
+        summary.to_json().contains("engine-fault"),
+        "incident cause missing from JSON: {}",
+        summary.to_json()
+    );
+}
