@@ -1,0 +1,146 @@
+//! The measurement core: monotonic-clock timing with warmup,
+//! per-iteration samples, and robust (median/MAD) statistics.
+//!
+//! Everything here is deliberately boring: `std::time::Instant` for
+//! timing, `std::hint::black_box` to defeat dead-code elimination, and
+//! integer nanoseconds throughout. No wall-clock dates, no RNG — two
+//! runs of the same workload differ only in the timings themselves.
+
+use std::time::Instant;
+
+/// Re-export of the optimizer barrier used around workload results.
+pub use std::hint::black_box;
+
+/// Robust summary statistics over a set of per-iteration samples.
+///
+/// The median and the MAD (median absolute deviation) are insensitive
+/// to the long right tail that scheduler noise produces; samples
+/// farther than `5 × MAD` from the median are counted in `rejected`
+/// and excluded from `mean_ns`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Timing {
+    /// Median of all samples, nanoseconds.
+    pub median_ns: u64,
+    /// Median absolute deviation from the median, nanoseconds.
+    pub mad_ns: u64,
+    /// Mean of the samples that survived outlier rejection.
+    pub mean_ns: u64,
+    /// Smallest sample.
+    pub min_ns: u64,
+    /// Largest sample (outliers included — it documents the noise).
+    pub max_ns: u64,
+    /// Samples rejected as outliers (`|x − median| > 5 × MAD`).
+    pub rejected: usize,
+}
+
+fn median_of(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
+impl Timing {
+    /// Computes the summary of `samples_ns` (empty input ⇒ all zeros).
+    pub fn of(samples_ns: &[u64]) -> Timing {
+        if samples_ns.is_empty() {
+            return Timing::default();
+        }
+        let mut sorted = samples_ns.to_vec();
+        sorted.sort_unstable();
+        let median = median_of(&sorted);
+        let mut devs: Vec<u64> = sorted.iter().map(|&x| x.abs_diff(median)).collect();
+        devs.sort_unstable();
+        let mad = median_of(&devs);
+        // With MAD = 0 (e.g. < 3 samples, or a perfectly flat run) the
+        // rejection band collapses to the median itself; treat every
+        // sample as inlying rather than rejecting all noise.
+        let cutoff = mad.saturating_mul(5);
+        let (mut kept_sum, mut kept) = (0u128, 0usize);
+        for &x in &sorted {
+            if mad == 0 || x.abs_diff(median) <= cutoff {
+                kept_sum += x as u128;
+                kept += 1;
+            }
+        }
+        Timing {
+            median_ns: median,
+            mad_ns: mad,
+            mean_ns: if kept == 0 {
+                0
+            } else {
+                (kept_sum / kept as u128) as u64
+            },
+            min_ns: sorted[0],
+            max_ns: sorted[sorted.len() - 1],
+            rejected: sorted.len() - kept,
+        }
+    }
+}
+
+/// Runs `f` for `warmup` untimed iterations, then `iters` timed ones,
+/// returning one nanosecond sample per timed iteration. The closure's
+/// return value is passed through [`black_box`] so the compiler cannot
+/// discard the benched work.
+pub fn measure<T, F: FnMut() -> T>(warmup: usize, iters: usize, mut f: F) -> Vec<u64> {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed();
+        samples.push(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_of_odd_and_even_sample_counts() {
+        let t = Timing::of(&[30, 10, 20]);
+        assert_eq!(t.median_ns, 20);
+        assert_eq!(t.min_ns, 10);
+        assert_eq!(t.max_ns, 30);
+        let t = Timing::of(&[10, 20, 30, 40]);
+        assert_eq!(t.median_ns, 25);
+    }
+
+    #[test]
+    fn timing_rejects_far_outliers_only() {
+        // median 100, MAD 10 → cutoff 50; the 10_000 sample is out.
+        let t = Timing::of(&[90, 100, 100, 110, 10_000]);
+        assert_eq!(t.median_ns, 100);
+        assert_eq!(t.rejected, 1);
+        assert_eq!(t.max_ns, 10_000, "max documents the outlier");
+        assert!(t.mean_ns <= 110);
+    }
+
+    #[test]
+    fn timing_survives_flat_samples() {
+        let t = Timing::of(&[50, 50, 50]);
+        assert_eq!(t.mad_ns, 0);
+        assert_eq!(t.rejected, 0);
+        assert_eq!(t.mean_ns, 50);
+    }
+
+    #[test]
+    fn measure_produces_one_sample_per_iter() {
+        let mut calls = 0;
+        let samples = measure(2, 5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(samples.len(), 5);
+        assert_eq!(calls, 7, "warmup + timed iterations");
+    }
+}

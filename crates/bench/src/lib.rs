@@ -1,116 +1,53 @@
 #![warn(missing_docs)]
 
-//! Shared workload generators for the benchmark harness (see
-//! `benches/` and EXPERIMENTS.md for the experiment index E1–E10).
+//! # seqwm-bench
+//!
+//! Zero-dependency, deterministic benchmarking and perf observability
+//! for the workspace's hot paths: PS^na exploration, SEQ refinement,
+//! the optimizer pipeline, and a fuzz-campaign slice.
+//!
+//! * [`harness`] — monotonic-clock measurement with warmup and robust
+//!   median/MAD statistics (outlier rejection, no RNG, no wall-clock
+//!   dates).
+//! * [`suite`] — the bench registry: which workloads run at which
+//!   sizes, including the parametric [`seqwm_litmus::scaling`]
+//!   families across worker counts.
+//! * [`report`] — schema-versioned JSON reports
+//!   (`BENCH_<name>.json`), plus the `--compare` regression gate.
+//! * [`workloads`] — synthetic program generators shared by the
+//!   optimizer benches.
+//!
+//! Unlike a sampling profiler, attribution comes from the
+//! always-compiled global counters in [`seqwm_explore::counters`]:
+//! each bench samples a [`seqwm_explore::CounterSnapshot`] before and
+//! after its timed iterations and reports the delta (states pushed,
+//! dedup hits, reduction grants, refinement fuel, checkpoint bytes)
+//! alongside the timings.
+//!
+//! ## Example
+//!
+//! ```
+//! use seqwm_bench::suite::{run_suite, SuiteConfig};
+//!
+//! let report = run_suite(&SuiteConfig {
+//!     quick: true,
+//!     filter: Some("optimize/".into()),
+//!     iters: 1,
+//!     warmup: 0,
+//!     ..SuiteConfig::default()
+//! });
+//! assert!(report.results.iter().all(|r| r.group == "optimize"));
+//! let json = report.to_json();
+//! let parsed = seqwm_bench::report::BenchReport::from_json(&json).unwrap();
+//! assert_eq!(parsed, report);
+//! ```
 
-use seqwm_lang::expr::Expr;
-use seqwm_lang::{Loc, Program, ReadMode, Reg, Stmt, WriteMode};
+pub mod harness;
+pub mod report;
+pub mod suite;
+pub mod workloads;
 
-/// A synthetic straight-line program with `n` statements exhibiting the
-/// patterns the optimizer targets: constant stores, repeated loads of the
-/// same locations, interleaved relaxed atomics, and periodic
-/// release/acquire synchronization.
-///
-/// Used by the pass-throughput experiments (E4/E5): the fraction of
-/// forwardable loads and dead stores is roughly constant in `n`, so
-/// rewrites should scale linearly.
-pub fn synthetic_program(n: usize) -> Program {
-    let locs: Vec<Loc> = (0..4).map(|i| Loc::new(&format!("bw{i}"))).collect();
-    let flag = Loc::new("bflag");
-    let regs: Vec<Reg> = (0..4).map(|i| Reg::new(&format!("br{i}"))).collect();
-    let mut stmts = Vec::with_capacity(n + 1);
-    for i in 0..n {
-        let x = locs[i % locs.len()];
-        let r = regs[i % regs.len()];
-        match i % 7 {
-            0 => stmts.push(Stmt::Store(x, WriteMode::Na, Expr::int((i % 5) as i64))),
-            1 | 4 => stmts.push(Stmt::Load(r, x, ReadMode::Na)),
-            2 => stmts.push(Stmt::Assign(
-                r,
-                Expr::bin(
-                    seqwm_lang::expr::BinOp::Add,
-                    Expr::Reg(regs[(i + 1) % regs.len()]),
-                    Expr::int(1),
-                ),
-            )),
-            3 => stmts.push(Stmt::Store(x, WriteMode::Na, Expr::int(9))),
-            5 => stmts.push(Stmt::Load(r, flag, ReadMode::Rlx)),
-            _ => {
-                if i % 21 == 6 {
-                    stmts.push(Stmt::Store(flag, WriteMode::Rel, Expr::int(1)));
-                } else {
-                    stmts.push(Stmt::Load(r, x, ReadMode::Na));
-                }
-            }
-        }
-    }
-    stmts.push(Stmt::Return(Expr::Reg(regs[0])));
-    Program::new(Stmt::block(stmts))
-}
-
-/// A synthetic loop-heavy program with `loops` sequential loops, each with
-/// an invariant load (the LICM workload).
-pub fn loopy_program(loops: usize) -> Program {
-    let mut stmts = Vec::new();
-    for i in 0..loops {
-        let x = Loc::new(&format!("blx{}", i % 3));
-        let iv = Reg::new(&format!("bli{i}"));
-        let a = Reg::new("bla");
-        stmts.push(Stmt::Assign(iv, Expr::int(0)));
-        stmts.push(Stmt::While(
-            Expr::bin(seqwm_lang::expr::BinOp::Lt, Expr::Reg(iv), Expr::int(3)),
-            Box::new(Stmt::block([
-                Stmt::Load(a, x, ReadMode::Na),
-                Stmt::Assign(
-                    iv,
-                    Expr::bin(seqwm_lang::expr::BinOp::Add, Expr::Reg(iv), Expr::int(1)),
-                ),
-            ])),
-        ));
-    }
-    stmts.push(Stmt::Return(Expr::reg("bla")));
-    Program::new(Stmt::block(stmts))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn synthetic_program_scales() {
-        // Pretty-printing a 1000-statement right-nested sequence recurses
-        // ~1000 frames; run on a thread with a roomy stack (the default
-        // 2 MiB test-thread stack is marginal in debug builds).
-        std::thread::Builder::new()
-            .stack_size(32 * 1024 * 1024)
-            .spawn(|| {
-                for n in [10, 100, 1000] {
-                    let p = synthetic_program(n);
-                    let lines = p.to_string().lines().count();
-                    assert!(lines >= n, "expected ≥ {n} lines, got {lines}");
-                }
-            })
-            .expect("spawn")
-            .join()
-            .expect("join");
-    }
-
-    #[test]
-    fn loopy_program_has_loops() {
-        assert!(loopy_program(3).body.has_loop());
-    }
-
-    #[test]
-    fn synthetic_program_is_optimizable() {
-        std::thread::Builder::new()
-            .stack_size(32 * 1024 * 1024)
-            .spawn(|| {
-                let p = synthetic_program(100);
-                let out = seqwm_opt::pipeline::Pipeline::default().optimize(&p);
-                assert!(out.total_rewrites() > 10, "got {}", out.total_rewrites());
-            })
-            .expect("spawn")
-            .join()
-            .expect("join");
-    }
-}
+pub use harness::{black_box, measure, Timing};
+pub use report::{compare, BenchReport, BenchResult, CompareConfig, Comparison, EnvFingerprint};
+pub use suite::{list_suite, run_suite, SuiteConfig};
+pub use workloads::{loopy_program, synthetic_program};

@@ -1,0 +1,737 @@
+//! Schema-versioned benchmark reports: JSON emission, parsing, and
+//! baseline comparison (the regression gate).
+//!
+//! The workspace has no serde; reports are written with the same
+//! hand-rolled emission style as the fuzz campaign summary and read
+//! back with a minimal recursive-descent JSON parser (objects, arrays,
+//! strings, numbers, booleans, null — everything a report can
+//! contain). The parser is only as lenient as round-tripping our own
+//! output requires; it rejects anything structurally malformed.
+
+use std::fmt;
+
+use seqwm_explore::CounterSnapshot;
+
+use crate::harness::Timing;
+
+/// The report schema identifier. Bump the suffix on any breaking
+/// change to the JSON shape; `--compare` refuses mismatched schemas.
+pub const SCHEMA: &str = "seqwm-bench/1";
+
+/// The environment a report was measured in. Recorded for human
+/// triage; `--compare` only warns (never fails) on mismatches, except
+/// for `debug_assertions`, where comparing a debug run against a
+/// release baseline would be meaningless.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnvFingerprint {
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Available parallelism at measurement time.
+    pub cpus: usize,
+    /// Whether the harness itself was compiled with debug assertions.
+    pub debug_assertions: bool,
+    /// `CARGO_PKG_VERSION` of the bench crate.
+    pub pkg_version: String,
+}
+
+impl EnvFingerprint {
+    /// Captures the current process environment.
+    pub fn gather() -> Self {
+        EnvFingerprint {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            debug_assertions: cfg!(debug_assertions),
+            pkg_version: env!("CARGO_PKG_VERSION").to_string(),
+        }
+    }
+}
+
+/// One benchmark's measured result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchResult {
+    /// Bench group (`explore`, `scaling`, `refine`, `optimize`, `fuzz`).
+    pub group: String,
+    /// Bench name within the group.
+    pub name: String,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Untimed warmup iterations.
+    pub warmup: usize,
+    /// Robust timing summary of `samples_ns`.
+    pub timing: Timing,
+    /// Raw per-iteration samples, nanoseconds.
+    pub samples_ns: Vec<u64>,
+    /// Global perf-counter growth across the timed iterations
+    /// (cumulative over all `iters`), in [`CounterSnapshot::entries`]
+    /// order.
+    pub counters: Vec<(String, u64)>,
+    /// Workload-reported metadata (state counts, worker counts, …).
+    pub meta: Vec<(String, u64)>,
+}
+
+impl BenchResult {
+    /// `group/name`, the identifier `--filter` and `--compare` match on.
+    pub fn id(&self) -> String {
+        format!("{}/{}", self.group, self.name)
+    }
+
+    /// Builds the counter list from a snapshot delta, dropping zero
+    /// entries (they carry no information and bloat the report).
+    pub fn counters_from(delta: &CounterSnapshot) -> Vec<(String, u64)> {
+        delta
+            .entries()
+            .iter()
+            .filter(|(_, v)| *v != 0)
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect()
+    }
+}
+
+/// A full benchmark report: schema, environment, results.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Always [`SCHEMA`] for reports this crate writes.
+    pub schema: String,
+    /// Measurement environment.
+    pub env: EnvFingerprint,
+    /// One entry per bench, in suite order.
+    pub results: Vec<BenchResult>,
+}
+
+impl BenchReport {
+    /// A new empty report for the current environment.
+    pub fn new() -> Self {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            env: EnvFingerprint::gather(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Looks up a result by `group/name` id.
+    pub fn find(&self, id: &str) -> Option<&BenchResult> {
+        self.results.iter().find(|r| r.id() == id)
+    }
+
+    /// Renders the report as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"schema\":{},", json_string(&self.schema)));
+        out.push_str(&format!(
+            "\"env\":{{\"os\":{},\"arch\":{},\"cpus\":{},\"debug_assertions\":{},\"pkg_version\":{}}},",
+            json_string(&self.env.os),
+            json_string(&self.env.arch),
+            self.env.cpus,
+            self.env.debug_assertions,
+            json_string(&self.env.pkg_version),
+        ));
+        out.push_str("\"results\":[");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            out.push_str(&format!("\"group\":{},", json_string(&r.group)));
+            out.push_str(&format!("\"name\":{},", json_string(&r.name)));
+            out.push_str(&format!("\"iters\":{},", r.iters));
+            out.push_str(&format!("\"warmup\":{},", r.warmup));
+            out.push_str(&format!(
+                "\"timing\":{{\"median_ns\":{},\"mad_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"rejected\":{}}},",
+                r.timing.median_ns,
+                r.timing.mad_ns,
+                r.timing.mean_ns,
+                r.timing.min_ns,
+                r.timing.max_ns,
+                r.timing.rejected,
+            ));
+            out.push_str("\"samples_ns\":[");
+            for (j, s) in r.samples_ns.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&s.to_string());
+            }
+            out.push_str("],");
+            push_pairs(&mut out, "counters", &r.counters);
+            out.push(',');
+            push_pairs(&mut out, "meta", &r.meta);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a report previously written by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic on malformed JSON, a missing field, or a
+    /// schema identifier this version does not understand.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text)?;
+        let obj = v.as_obj("report")?;
+        let schema = get(obj, "schema")?.as_str("schema")?.to_string();
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported report schema {schema:?} (this build reads {SCHEMA:?})"
+            ));
+        }
+        let envo = get(obj, "env")?.as_obj("env")?;
+        let env = EnvFingerprint {
+            os: get(envo, "os")?.as_str("env.os")?.to_string(),
+            arch: get(envo, "arch")?.as_str("env.arch")?.to_string(),
+            cpus: get(envo, "cpus")?.as_u64("env.cpus")? as usize,
+            debug_assertions: get(envo, "debug_assertions")?.as_bool("env.debug_assertions")?,
+            pkg_version: get(envo, "pkg_version")?
+                .as_str("env.pkg_version")?
+                .to_string(),
+        };
+        let mut results = Vec::new();
+        for (i, rv) in get(obj, "results")?.as_arr("results")?.iter().enumerate() {
+            let ro = rv.as_obj("result")?;
+            let ctx = |f: &str| format!("results[{i}].{f}");
+            let t = get(ro, "timing")?.as_obj("timing")?;
+            let timing = Timing {
+                median_ns: get(t, "median_ns")?.as_u64(&ctx("timing.median_ns"))?,
+                mad_ns: get(t, "mad_ns")?.as_u64(&ctx("timing.mad_ns"))?,
+                mean_ns: get(t, "mean_ns")?.as_u64(&ctx("timing.mean_ns"))?,
+                min_ns: get(t, "min_ns")?.as_u64(&ctx("timing.min_ns"))?,
+                max_ns: get(t, "max_ns")?.as_u64(&ctx("timing.max_ns"))?,
+                rejected: get(t, "rejected")?.as_u64(&ctx("timing.rejected"))? as usize,
+            };
+            let samples_ns = get(ro, "samples_ns")?
+                .as_arr("samples_ns")?
+                .iter()
+                .map(|s| s.as_u64(&ctx("samples_ns[]")))
+                .collect::<Result<Vec<u64>, String>>()?;
+            results.push(BenchResult {
+                group: get(ro, "group")?.as_str(&ctx("group"))?.to_string(),
+                name: get(ro, "name")?.as_str(&ctx("name"))?.to_string(),
+                iters: get(ro, "iters")?.as_u64(&ctx("iters"))? as usize,
+                warmup: get(ro, "warmup")?.as_u64(&ctx("warmup"))? as usize,
+                timing,
+                samples_ns,
+                counters: parse_pairs(get(ro, "counters")?, &ctx("counters"))?,
+                meta: parse_pairs(get(ro, "meta")?, &ctx("meta"))?,
+            });
+        }
+        Ok(BenchReport {
+            schema,
+            env,
+            results,
+        })
+    }
+}
+
+impl Default for BenchReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn push_pairs(out: &mut String, key: &str, pairs: &[(String, u64)]) {
+    out.push_str(&format!("\"{key}\":{{"));
+    for (j, (k, v)) in pairs.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", json_string(k), v));
+    }
+    out.push('}');
+}
+
+fn parse_pairs(v: &Json, ctx: &str) -> Result<Vec<(String, u64)>, String> {
+    v.as_obj(ctx)?
+        .iter()
+        .map(|(k, v)| Ok((k.clone(), v.as_u64(&format!("{ctx}.{k}"))?)))
+        .collect()
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// --- a minimal JSON value + recursive-descent parser ---
+
+/// A parsed JSON value. Object member order is preserved (reports are
+/// written in a fixed order, and preserving it keeps diffs stable).
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    /// All report numbers are unsigned integers; anything else (signs,
+    /// fractions, exponents) is parsed but surfaces as a read error.
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn as_obj(&self, ctx: &str) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(m) => Ok(m),
+            other => Err(format!("{ctx}: expected object, got {}", other.kind())),
+        }
+    }
+
+    fn as_arr(&self, ctx: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            other => Err(format!("{ctx}: expected array, got {}", other.kind())),
+        }
+    }
+
+    fn as_str(&self, ctx: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("{ctx}: expected string, got {}", other.kind())),
+        }
+    }
+
+    fn as_bool(&self, ctx: &str) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("{ctx}: expected bool, got {}", other.kind())),
+        }
+    }
+
+    fn as_u64(&self, ctx: &str) -> Result<u64, String> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => Ok(*n as u64),
+            other => Err(format!(
+                "{ctx}: expected unsigned integer, got {}",
+                other.kind()
+            )),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Obj(_) => "object",
+            Json::Arr(_) => "array",
+            Json::Str(_) => "string",
+            Json::Num(_) => "number",
+            Json::Bool(_) => "bool",
+            Json::Null => "null",
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn peek(b: &[u8], pos: &mut usize) -> Option<u8> {
+    skip_ws(b, pos);
+    b.get(*pos).copied()
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    match peek(b, pos).ok_or("unexpected end of input")? {
+        b'{' => {
+            *pos += 1;
+            let mut members = Vec::new();
+            if peek(b, pos) == Some(b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                members.push((key, val));
+                match peek(b, pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            if peek(b, pos) == Some(b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                match peek(b, pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        b'"' => Ok(Json::Str(parse_string(b, pos)?)),
+        b't' | b'f' | b'n' => {
+            for (lit, val) in [
+                ("true", Json::Bool(true)),
+                ("false", Json::Bool(false)),
+                ("null", Json::Null),
+            ] {
+                if b[*pos..].starts_with(lit.as_bytes()) {
+                    *pos += lit.len();
+                    return Ok(val);
+                }
+            }
+            Err(format!("invalid literal at byte {}", *pos))
+        }
+        _ => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let c = *b.get(*pos).ok_or("unterminated string")?;
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        *pos += 4;
+                        // Reports only ever escape control characters;
+                        // surrogate pairs are out of scope.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("unknown escape at byte {}", *pos)),
+                }
+            }
+            _ => {
+                // Re-sync to UTF-8 boundaries: back up and take the
+                // whole code point.
+                let start = *pos - 1;
+                let s = std::str::from_utf8(&b[start..])
+                    .map_err(|_| "invalid UTF-8 in string")?
+                    .chars()
+                    .next()
+                    .ok_or("unterminated string")?;
+                out.push(s);
+                *pos = start + s.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid number")?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+// --- comparison / regression gate ---
+
+/// Thresholds for [`compare`].
+#[derive(Clone, Debug)]
+pub struct CompareConfig {
+    /// A bench regresses when its median slows by more than this
+    /// percentage over the baseline.
+    pub threshold_pct: f64,
+    /// …and by more than this absolute floor (guards microsecond-scale
+    /// benches, where a fixed percentage is all noise).
+    pub min_delta_ns: u64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            threshold_pct: 25.0,
+            min_delta_ns: 200_000,
+        }
+    }
+}
+
+/// One bench's baseline-vs-current delta.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// `group/name` id.
+    pub id: String,
+    /// Baseline median, nanoseconds.
+    pub base_ns: u64,
+    /// Current median, nanoseconds.
+    pub cur_ns: u64,
+    /// Signed change in percent (positive = slower).
+    pub pct: f64,
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3}ms -> {:.3}ms ({:+.1}%)",
+            self.id,
+            self.base_ns as f64 / 1e6,
+            self.cur_ns as f64 / 1e6,
+            self.pct
+        )
+    }
+}
+
+/// The outcome of comparing a current report against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    /// Benches beyond the regression threshold (slower). Non-empty ⇒
+    /// the gate fails.
+    pub regressions: Vec<Delta>,
+    /// Benches beyond the threshold in the other direction (faster).
+    pub improvements: Vec<Delta>,
+    /// Baseline benches absent from the current report (warn only —
+    /// suites evolve).
+    pub missing: Vec<String>,
+    /// Current benches absent from the baseline (warn only).
+    pub added: Vec<String>,
+    /// Environment caveats (debug/release mismatch, cpu count change).
+    pub warnings: Vec<String>,
+}
+
+impl Comparison {
+    /// Does the regression gate pass?
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares `current` against `baseline` under `cfg` thresholds.
+pub fn compare(baseline: &BenchReport, current: &BenchReport, cfg: &CompareConfig) -> Comparison {
+    let mut out = Comparison::default();
+    if baseline.env.debug_assertions != current.env.debug_assertions {
+        out.warnings.push(format!(
+            "debug_assertions differ (baseline {}, current {}): timings are not comparable",
+            baseline.env.debug_assertions, current.env.debug_assertions
+        ));
+    }
+    if baseline.env.cpus != current.env.cpus {
+        out.warnings.push(format!(
+            "cpu count differs (baseline {}, current {})",
+            baseline.env.cpus, current.env.cpus
+        ));
+    }
+    for b in &baseline.results {
+        let id = b.id();
+        let Some(c) = current.find(&id) else {
+            out.missing.push(id);
+            continue;
+        };
+        let (base, cur) = (b.timing.median_ns, c.timing.median_ns);
+        if base == 0 {
+            continue;
+        }
+        let pct = (cur as f64 - base as f64) / base as f64 * 100.0;
+        let delta = Delta {
+            id,
+            base_ns: base,
+            cur_ns: cur,
+            pct,
+        };
+        if pct > cfg.threshold_pct && cur.saturating_sub(base) > cfg.min_delta_ns {
+            out.regressions.push(delta);
+        } else if pct < -cfg.threshold_pct && base.saturating_sub(cur) > cfg.min_delta_ns {
+            out.improvements.push(delta);
+        }
+    }
+    for c in &current.results {
+        if baseline.find(&c.id()).is_none() {
+            out.added.push(c.id());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(group: &str, name: &str, median_ns: u64) -> BenchResult {
+        BenchResult {
+            group: group.into(),
+            name: name.into(),
+            iters: 3,
+            warmup: 1,
+            timing: Timing {
+                median_ns,
+                mad_ns: 1,
+                mean_ns: median_ns,
+                min_ns: median_ns,
+                max_ns: median_ns,
+                rejected: 0,
+            },
+            samples_ns: vec![median_ns; 3],
+            counters: vec![("states".into(), 42)],
+            meta: vec![("workers".into(), 1)],
+        }
+    }
+
+    fn report(results: Vec<BenchResult>) -> BenchReport {
+        BenchReport {
+            results,
+            ..BenchReport::new()
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_identity() {
+        let r = report(vec![
+            result("explore", "sb-rlx", 1_000_000),
+            result("refine", "simple \"quoted\"\n", 2_500_000),
+        ]);
+        let parsed = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn from_json_rejects_other_schemas() {
+        let mut r = report(vec![]);
+        r.schema = "seqwm-bench/99".into();
+        let err = BenchReport::from_json(&r.to_json()).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(BenchReport::from_json("").is_err());
+        assert!(BenchReport::from_json("{").is_err());
+        assert!(BenchReport::from_json("{\"schema\":\"seqwm-bench/1\"}").is_err());
+        assert!(BenchReport::from_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn compare_flags_slowdowns_beyond_both_thresholds() {
+        let base = report(vec![
+            result("explore", "a", 1_000_000),
+            result("explore", "tiny", 1_000),
+        ]);
+        let cur = report(vec![
+            result("explore", "a", 1_400_000),
+            result("explore", "tiny", 2_000), // +100% but under the floor
+        ]);
+        let cmp = compare(&base, &cur, &CompareConfig::default());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].id, "explore/a");
+        assert!(!cmp.passed());
+    }
+
+    #[test]
+    fn compare_identical_reports_passes() {
+        let base = report(vec![result("explore", "a", 1_000_000)]);
+        let cmp = compare(&base, &base.clone(), &CompareConfig::default());
+        assert!(cmp.passed());
+        assert!(cmp.improvements.is_empty());
+        assert!(cmp.missing.is_empty() && cmp.added.is_empty());
+    }
+
+    #[test]
+    fn compare_tracks_missing_added_and_improvements() {
+        let base = report(vec![
+            result("explore", "gone", 5_000_000),
+            result("explore", "fast", 10_000_000),
+        ]);
+        let cur = report(vec![
+            result("explore", "fast", 4_000_000),
+            result("explore", "new", 1_000_000),
+        ]);
+        let cmp = compare(&base, &cur, &CompareConfig::default());
+        assert!(
+            cmp.passed(),
+            "missing/added/improvements never fail the gate"
+        );
+        assert_eq!(cmp.missing, vec!["explore/gone"]);
+        assert_eq!(cmp.added, vec!["explore/new"]);
+        assert_eq!(cmp.improvements.len(), 1);
+    }
+
+    #[test]
+    fn delta_display_is_readable() {
+        let d = Delta {
+            id: "explore/a".into(),
+            base_ns: 1_000_000,
+            cur_ns: 1_500_000,
+            pct: 50.0,
+        };
+        assert_eq!(d.to_string(), "explore/a: 1.000ms -> 1.500ms (+50.0%)");
+    }
+}

@@ -1,0 +1,398 @@
+//! The benchmark suite: which workloads run, at which sizes, under
+//! which engine knobs.
+//!
+//! Five groups, covering every hot path the workspace ships:
+//!
+//! * `explore` — PS^na engine exploration of fixed corpus cases.
+//! * `scaling` — the parametric [`seqwm_litmus::scaling`] families
+//!   across thread counts `N` and worker counts, plus a
+//!   reduction-on/off pair on the NA-disjoint family (the before/after
+//!   measurement for the NA-write commutation rule).
+//! * `refine` — the simple and advanced SEQ refinement checkers over
+//!   the paper's transformation corpus.
+//! * `optimize` — the optimizer pipeline on synthetic straight-line
+//!   and loop-heavy programs.
+//! * `fuzz` — a small deterministic fuzz-campaign slice (fixed seed,
+//!   one worker, throwaway corpus directory).
+//!
+//! Every workload is deterministic given its configuration, so the
+//! perf counters sampled around a bench are identical run to run for
+//! single-worker benches — `tests/bench_smoke.rs` locks that in.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use seqwm_explore::{CounterSnapshot, ExploreConfig};
+use seqwm_fuzz::{run_campaign, FuzzConfig};
+use seqwm_litmus::concurrent::find_concurrent;
+use seqwm_litmus::scaling::{mp_chain, na_disjoint, sb_ring};
+use seqwm_litmus::transform::{transform_corpus, Expectation};
+use seqwm_opt::pipeline::Pipeline;
+use seqwm_promising::search::engine_config;
+use seqwm_seq::advanced::refines_advanced;
+use seqwm_seq::refine::{refines_simple, RefineConfig};
+
+use crate::harness::{measure, Timing};
+use crate::report::{BenchReport, BenchResult};
+use crate::workloads::{loopy_program, synthetic_program};
+
+/// What to run and how hard to measure it.
+#[derive(Clone, Debug)]
+pub struct SuiteConfig {
+    /// Smaller workloads, fewer worker counts — the CI smoke setting.
+    pub quick: bool,
+    /// Only run benches whose `group/name` id contains this substring.
+    pub filter: Option<String>,
+    /// Timed iterations per bench.
+    pub iters: usize,
+    /// Untimed warmup iterations per bench.
+    pub warmup: usize,
+    /// Highest worker count the scaling group measures (clamped to
+    /// powers of two: 1, 2, 4, 8).
+    pub max_workers: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            quick: false,
+            filter: None,
+            iters: 5,
+            warmup: 1,
+            max_workers: 8,
+        }
+    }
+}
+
+impl SuiteConfig {
+    fn matches(&self, group: &str, name: &str) -> bool {
+        match &self.filter {
+            None => true,
+            Some(f) => format!("{group}/{name}").contains(f.as_str()),
+        }
+    }
+
+    fn worker_counts(&self) -> Vec<usize> {
+        let cap = if self.quick {
+            2
+        } else {
+            self.max_workers.max(1)
+        };
+        [1usize, 2, 4, 8]
+            .into_iter()
+            .filter(|&w| w <= cap)
+            .collect()
+    }
+}
+
+/// Lists every bench id the suite would run under `cfg` (respecting
+/// `quick` sizing but ignoring the filter) without running anything.
+pub fn list_suite(cfg: &SuiteConfig) -> Vec<String> {
+    let mut ids = Vec::new();
+    run_suite_inner(cfg, Some(&mut ids));
+    ids
+}
+
+/// Runs the suite and returns the report.
+///
+/// The whole suite executes on a dedicated 64 MiB-stack thread: the
+/// optimizer and pretty-printer recurse one frame per statement on the
+/// synthetic workloads, which overflows default test-thread stacks in
+/// debug builds.
+pub fn run_suite(cfg: &SuiteConfig) -> BenchReport {
+    let cfg = cfg.clone();
+    std::thread::Builder::new()
+        .name("seqwm-bench-suite".into())
+        .stack_size(64 * 1024 * 1024)
+        .spawn(move || run_suite_inner(&cfg, None))
+        .expect("spawn bench suite thread")
+        .join()
+        .expect("bench suite thread panicked")
+}
+
+/// One registered bench: either measured into the report, or (when
+/// `ids` is given or the filter excludes it) merely recorded/skipped.
+struct Registrar<'a> {
+    cfg: &'a SuiteConfig,
+    report: BenchReport,
+    ids: Option<&'a mut Vec<String>>,
+}
+
+impl Registrar<'_> {
+    /// Registers and (filter permitting) measures one bench. `f` runs
+    /// the workload once and returns metadata for the report; the
+    /// metadata of the last timed iteration wins.
+    fn bench<F: FnMut() -> Vec<(String, u64)>>(&mut self, group: &str, name: &str, mut f: F) {
+        if let Some(ids) = self.ids.as_deref_mut() {
+            ids.push(format!("{group}/{name}"));
+            return;
+        }
+        if !self.cfg.matches(group, name) {
+            return;
+        }
+        let mut meta = Vec::new();
+        let before = CounterSnapshot::capture();
+        let samples = measure(self.cfg.warmup, self.cfg.iters, || {
+            meta = f();
+            meta.len()
+        });
+        let delta = CounterSnapshot::capture().since(&before);
+        self.report.results.push(BenchResult {
+            group: group.to_string(),
+            name: name.to_string(),
+            iters: self.cfg.iters,
+            warmup: self.cfg.warmup,
+            timing: Timing::of(&samples),
+            samples_ns: samples,
+            counters: BenchResult::counters_from(&delta),
+            meta,
+        });
+    }
+}
+
+fn run_suite_inner(cfg: &SuiteConfig, ids: Option<&mut Vec<String>>) -> BenchReport {
+    let mut reg = Registrar {
+        cfg,
+        report: BenchReport::new(),
+        ids,
+    };
+    bench_explore(&mut reg);
+    bench_scaling(&mut reg);
+    bench_refine(&mut reg);
+    bench_optimize(&mut reg);
+    bench_fuzz(&mut reg);
+    reg.report
+}
+
+// --- group: explore ---
+
+fn bench_explore(reg: &mut Registrar<'_>) {
+    let names: &[&str] = if reg.cfg.quick {
+        &["sb-rlx"]
+    } else {
+        &["sb-rlx", "2+2w-rlx", "mp-chain-4"]
+    };
+    for name in names {
+        let case = find_concurrent(name).expect("corpus case exists");
+        let progs = case.programs();
+        let pcfg = case.config();
+        let ecfg = engine_config(&pcfg);
+        reg.bench("explore", name, || {
+            let e = seqwm_promising::search::explore_engine(&progs, &pcfg, &ecfg);
+            vec![
+                ("states".into(), e.stats.states as u64),
+                ("behaviors".into(), e.behaviors.len() as u64),
+                ("workers".into(), 1),
+            ]
+        });
+    }
+}
+
+// --- group: scaling ---
+
+fn bench_scaling(reg: &mut Registrar<'_>) {
+    // mp-chain across N and worker counts: the headline scaling curve.
+    let chain_ns: &[usize] = if reg.cfg.quick { &[3] } else { &[3, 4] };
+    for &n in chain_ns {
+        let case = mp_chain(n);
+        let base = engine_config(&case.config());
+        for workers in reg.cfg.worker_counts() {
+            let ecfg = ExploreConfig {
+                workers,
+                ..base.clone()
+            };
+            let name = format!("{}/w{workers}", case.name);
+            let case = case.clone();
+            reg.bench("scaling", &name, move || {
+                let e = case.explore(&ecfg);
+                vec![
+                    ("n".into(), case.n as u64),
+                    ("workers".into(), workers as u64),
+                    ("states".into(), e.stats.states as u64),
+                ]
+            });
+        }
+    }
+
+    // sb-ring at a fixed size, single worker: a pure-interleaving load.
+    let ring = sb_ring(3);
+    let ring_cfg = engine_config(&ring.config());
+    reg.bench("scaling", &ring.name.clone(), move || {
+        let e = ring.explore(&ring_cfg);
+        vec![
+            ("n".into(), ring.n as u64),
+            ("workers".into(), 1),
+            ("states".into(), e.stats.states as u64),
+        ]
+    });
+
+    // na-disjoint with reduction off/on: the before/after measurement
+    // for the NA-write commutation rule. States stay comparable (the
+    // rule prunes transitions/re-visits, ample handles states);
+    // `na_commutes` in the reduced run's counters shows the rule fired.
+    let nd = na_disjoint(3);
+    let nd_base = engine_config(&nd.config());
+    for (tag, reduction) in [("full", false), ("reduced", true)] {
+        let nd = nd.clone();
+        let ecfg = ExploreConfig {
+            reduction,
+            ..nd_base.clone()
+        };
+        let name = format!("{}/{tag}", nd.name);
+        reg.bench("scaling", &name, move || {
+            let e = nd.explore(&ecfg);
+            vec![
+                ("n".into(), nd.n as u64),
+                ("workers".into(), 1),
+                ("states".into(), e.stats.states as u64),
+                ("transitions".into(), e.stats.transitions as u64),
+                ("na_commutes".into(), e.stats.na_commutes as u64),
+            ]
+        });
+    }
+}
+
+// --- group: refine ---
+
+fn bench_refine(reg: &mut Registrar<'_>) {
+    let cfg = RefineConfig::default();
+    let corpus = transform_corpus();
+    {
+        let cfg = cfg.clone();
+        let corpus = corpus.clone();
+        reg.bench("refine", "simple-full-corpus", move || {
+            let mut holds = 0u64;
+            for case in &corpus {
+                if refines_simple(&case.src_program(), &case.tgt_program(), &cfg)
+                    .map(|o| o.holds)
+                    .unwrap_or(false)
+                {
+                    holds += 1;
+                }
+            }
+            vec![
+                ("holds".into(), holds),
+                ("cases".into(), corpus.len() as u64),
+            ]
+        });
+    }
+    let advanced: Vec<_> = corpus
+        .into_iter()
+        .filter(|c| c.expectation == Expectation::AdvancedOnly)
+        .collect();
+    reg.bench("refine", "advanced-cases", move || {
+        let mut holds = 0u64;
+        for case in &advanced {
+            if refines_advanced(&case.src_program(), &case.tgt_program(), &cfg)
+                .map(|o| o.holds)
+                .unwrap_or(false)
+            {
+                holds += 1;
+            }
+        }
+        vec![
+            ("holds".into(), holds),
+            ("cases".into(), advanced.len() as u64),
+        ]
+    });
+}
+
+// --- group: optimize ---
+
+fn bench_optimize(reg: &mut Registrar<'_>) {
+    let (straight_n, loops_n) = if reg.cfg.quick { (60, 6) } else { (200, 20) };
+    let straight = synthetic_program(straight_n);
+    reg.bench(
+        "optimize",
+        &format!("pipeline-straight-{straight_n}"),
+        move || {
+            let out = Pipeline::default().optimize(&straight);
+            vec![("rewrites".into(), out.total_rewrites() as u64)]
+        },
+    );
+    let loopy = loopy_program(loops_n);
+    reg.bench(
+        "optimize",
+        &format!("pipeline-loopy-{loops_n}"),
+        move || {
+            let out = Pipeline::default().optimize(&loopy);
+            vec![("rewrites".into(), out.total_rewrites() as u64)]
+        },
+    );
+}
+
+// --- group: fuzz ---
+
+/// Distinguishes throwaway fuzz corpus dirs across benches and runs in
+/// the same process (two suite runs in one test binary must not share
+/// a corpus: persisted failures would change the second run's dedup).
+static FUZZ_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn bench_fuzz(reg: &mut Registrar<'_>) {
+    let cases = if reg.cfg.quick { 4 } else { 8 };
+    reg.bench("fuzz", &format!("campaign-slice-{cases}"), move || {
+        let dir = std::env::temp_dir().join(format!(
+            "seqwm-bench-fuzz-{}-{}",
+            std::process::id(),
+            FUZZ_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let cfg = FuzzConfig {
+            cases,
+            workers: 1,
+            corpus_dir: dir.clone(),
+            checkpoint_every: 0,
+            ..FuzzConfig::default()
+        };
+        let summary = run_campaign(&cfg).expect("fuzz slice runs");
+        let _ = std::fs::remove_dir_all(&dir);
+        vec![
+            ("cases_run".into(), summary.cases_run as u64),
+            ("violations".into(), summary.violations as u64),
+        ]
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_covers_every_group_without_running() {
+        let ids = list_suite(&SuiteConfig::default());
+        for group in ["explore/", "scaling/", "refine/", "optimize/", "fuzz/"] {
+            assert!(
+                ids.iter().any(|id| id.starts_with(group)),
+                "no {group} benches in {ids:?}"
+            );
+        }
+        assert!(ids.iter().any(|id| id.contains("mp-chain-4/w2")));
+        // Listing is instantaneous; a measured suite would take seconds.
+    }
+
+    #[test]
+    fn quick_list_is_a_subset_with_fewer_workers() {
+        let quick = list_suite(&SuiteConfig {
+            quick: true,
+            ..SuiteConfig::default()
+        });
+        assert!(quick.iter().any(|id| id.contains("mp-chain-3/w2")));
+        assert!(!quick.iter().any(|id| id.contains("/w4")));
+    }
+
+    #[test]
+    fn filter_limits_the_run() {
+        let cfg = SuiteConfig {
+            quick: true,
+            filter: Some("optimize/".into()),
+            iters: 1,
+            warmup: 0,
+            ..SuiteConfig::default()
+        };
+        let report = run_suite(&cfg);
+        assert!(!report.results.is_empty());
+        assert!(report.results.iter().all(|r| r.group == "optimize"));
+        for r in &report.results {
+            assert_eq!(r.samples_ns.len(), 1);
+            assert!(r.meta.iter().any(|(k, _)| k == "rewrites"));
+        }
+    }
+}

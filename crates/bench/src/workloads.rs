@@ -1,0 +1,114 @@
+//! Shared synthetic workload generators for the benchmark suite (see
+//! EXPERIMENTS.md for the experiment index).
+
+use seqwm_lang::expr::Expr;
+use seqwm_lang::{Loc, Program, ReadMode, Reg, Stmt, WriteMode};
+
+/// A synthetic straight-line program with `n` statements exhibiting the
+/// patterns the optimizer targets: constant stores, repeated loads of the
+/// same locations, interleaved relaxed atomics, and periodic
+/// release/acquire synchronization.
+///
+/// Used by the pass-throughput experiments (E4/E5): the fraction of
+/// forwardable loads and dead stores is roughly constant in `n`, so
+/// rewrites should scale linearly.
+pub fn synthetic_program(n: usize) -> Program {
+    let locs: Vec<Loc> = (0..4).map(|i| Loc::new(&format!("bw{i}"))).collect();
+    let flag = Loc::new("bflag");
+    let regs: Vec<Reg> = (0..4).map(|i| Reg::new(&format!("br{i}"))).collect();
+    let mut stmts = Vec::with_capacity(n + 1);
+    for i in 0..n {
+        let x = locs[i % locs.len()];
+        let r = regs[i % regs.len()];
+        match i % 7 {
+            0 => stmts.push(Stmt::Store(x, WriteMode::Na, Expr::int((i % 5) as i64))),
+            1 | 4 => stmts.push(Stmt::Load(r, x, ReadMode::Na)),
+            2 => stmts.push(Stmt::Assign(
+                r,
+                Expr::bin(
+                    seqwm_lang::expr::BinOp::Add,
+                    Expr::Reg(regs[(i + 1) % regs.len()]),
+                    Expr::int(1),
+                ),
+            )),
+            3 => stmts.push(Stmt::Store(x, WriteMode::Na, Expr::int(9))),
+            5 => stmts.push(Stmt::Load(r, flag, ReadMode::Rlx)),
+            _ => {
+                if i % 21 == 6 {
+                    stmts.push(Stmt::Store(flag, WriteMode::Rel, Expr::int(1)));
+                } else {
+                    stmts.push(Stmt::Load(r, x, ReadMode::Na));
+                }
+            }
+        }
+    }
+    stmts.push(Stmt::Return(Expr::Reg(regs[0])));
+    Program::new(Stmt::block(stmts))
+}
+
+/// A synthetic loop-heavy program with `loops` sequential loops, each with
+/// an invariant load (the LICM workload).
+pub fn loopy_program(loops: usize) -> Program {
+    let mut stmts = Vec::new();
+    for i in 0..loops {
+        let x = Loc::new(&format!("blx{}", i % 3));
+        let iv = Reg::new(&format!("bli{i}"));
+        let a = Reg::new("bla");
+        stmts.push(Stmt::Assign(iv, Expr::int(0)));
+        stmts.push(Stmt::While(
+            Expr::bin(seqwm_lang::expr::BinOp::Lt, Expr::Reg(iv), Expr::int(3)),
+            Box::new(Stmt::block([
+                Stmt::Load(a, x, ReadMode::Na),
+                Stmt::Assign(
+                    iv,
+                    Expr::bin(seqwm_lang::expr::BinOp::Add, Expr::Reg(iv), Expr::int(1)),
+                ),
+            ])),
+        ));
+    }
+    stmts.push(Stmt::Return(Expr::reg("bla")));
+    Program::new(Stmt::block(stmts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_program_scales() {
+        // Pretty-printing a 1000-statement right-nested sequence recurses
+        // ~1000 frames; run on a thread with a roomy stack (the default
+        // 2 MiB test-thread stack is marginal in debug builds).
+        std::thread::Builder::new()
+            .stack_size(32 * 1024 * 1024)
+            .spawn(|| {
+                for n in [10, 100, 1000] {
+                    let p = synthetic_program(n);
+                    let lines = p.to_string().lines().count();
+                    assert!(lines >= n, "expected ≥ {n} lines, got {lines}");
+                }
+            })
+            .expect("spawn")
+            .join()
+            .expect("join");
+    }
+
+    #[test]
+    fn loopy_program_has_loops() {
+        assert!(loopy_program(3).body.has_loop());
+    }
+
+    #[test]
+    fn synthetic_program_is_optimizable() {
+        std::thread::Builder::new()
+            .stack_size(32 * 1024 * 1024)
+            .spawn(|| {
+                let p = synthetic_program(100);
+                let out = seqwm_opt::pipeline::Pipeline::default().optimize(&p);
+                assert!(out.total_rewrites() > 10, "got {}", out.total_rewrites());
+            })
+            .expect("spawn")
+            .join()
+            .expect("join");
+    }
+}

@@ -91,7 +91,17 @@ pub struct AdvancedChecker {
     game_stack: HashSet<(SeqState, GameGoal)>,
     depth_budget: usize,
     fuel: u64,
+    /// `sim`/`game` nodes visited, flushed to the process-wide
+    /// [`seqwm_explore::counters::REFINE_FUEL_SPENT`] gauge on drop
+    /// (one atomic add per checker, not per node).
+    spent: u64,
     exhausted: bool,
+}
+
+impl Drop for AdvancedChecker {
+    fn drop(&mut self) {
+        seqwm_explore::counters::add(&seqwm_explore::counters::REFINE_FUEL_SPENT, self.spent);
+    }
 }
 
 impl AdvancedChecker {
@@ -105,6 +115,7 @@ impl AdvancedChecker {
             game_stack: HashSet::new(),
             depth_budget: 4096,
             fuel: u64::MAX,
+            spent: 0,
             exhausted: false,
         }
     }
@@ -141,6 +152,7 @@ impl AdvancedChecker {
             return false;
         }
         self.fuel -= 1;
+        self.spent += 1;
         true
     }
 

@@ -163,9 +163,15 @@ pub fn enumerate_behaviors_fuel(
     dom: &EnumDomain,
     fuel: &mut u64,
 ) -> Option<HashSet<Behavior>> {
+    let initial = *fuel;
     let mut out = HashSet::new();
     let mut trace = Vec::new();
-    go(init, dom, &mut trace, dom.max_steps, fuel, &mut out).then_some(out)
+    let complete = go(init, dom, &mut trace, dom.max_steps, fuel, &mut out);
+    seqwm_explore::counters::add(&seqwm_explore::counters::REFINE_FUEL_SPENT, initial - *fuel);
+    if complete {
+        seqwm_explore::counters::add(&seqwm_explore::counters::REFINE_ENUMERATIONS, 1);
+    }
+    complete.then_some(out)
 }
 
 fn go(

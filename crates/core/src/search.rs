@@ -61,6 +61,7 @@ impl TransitionSystem for SeqSystem<'_> {
             transitions,
             shared_pure: false,
             local: false,
+            na_write: None,
         }]
     }
 

@@ -362,7 +362,9 @@ pub(crate) fn save(path: &Path, data: &CheckpointData) -> Result<(), ExploreWarn
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
     std::fs::write(&tmp, &bytes).map_err(|e| failed(e.to_string()))?;
-    std::fs::rename(&tmp, path).map_err(|e| failed(e.to_string()))
+    std::fs::rename(&tmp, path).map_err(|e| failed(e.to_string()))?;
+    crate::counters::add(&crate::counters::CHECKPOINT_BYTES, bytes.len() as u64);
+    Ok(())
 }
 
 /// Reads and validates a checkpoint. `Ok(Err(_))` is a validation

@@ -70,7 +70,7 @@ use crate::error::{
 use crate::fingerprint::{fp128, fp64};
 use crate::rng::{mix64, SplitMix64};
 use crate::stats::ExploreStats;
-use crate::system::{Target, TransitionSystem};
+use crate::system::{groups_independent, Target, TransitionSystem};
 
 /// Search strategy.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -771,6 +771,7 @@ struct Expanded<St, B> {
     transitions: usize,
     sleep_skips: usize,
     ample_commits: usize,
+    na_commutes: usize,
     pruned: usize,
     racy: usize,
     promise: usize,
@@ -787,6 +788,7 @@ impl<St, B> Expanded<St, B> {
             transitions: 0,
             sleep_skips: 0,
             ample_commits: 0,
+            na_commutes: 0,
             pruned: 0,
             racy: 0,
             promise: 0,
@@ -885,7 +887,17 @@ fn expand<S: TransitionSystem>(
             }
         }
     } else {
-        let mut earlier_pure: u64 = 0;
+        // Pairwise sleep propagation. After executing group `g`, an
+        // agent sleeps in `g`'s subtree iff its group here is
+        // independent of `g` ([`groups_independent`]): sleeping agents
+        // only survive steps that commute with them (an NA write
+        // changes memory, so a pure reader must wake), and
+        // earlier-expanded awake siblings go to sleep only against
+        // groups they commute with. An inherited sleeper whose agent
+        // has no group at this state is dropped (conservative:
+        // independence preserves enabledness, so this should not
+        // arise, and waking it only costs work).
+        let mut earlier: Vec<usize> = Vec::with_capacity(awake.len());
         for &gi in &awake {
             // Deadline check between successor batches, not only at
             // dequeue: a state with many wide groups cannot overshoot
@@ -895,8 +907,34 @@ fn expand<S: TransitionSystem>(
                 return out;
             }
             let g = &groups[gi];
-            let child_sleep = if sh.cfg.reduction && g.shared_pure {
-                sleep | earlier_pure
+            let child_sleep = if sh.cfg.reduction {
+                let mut mask = 0u64;
+                let mut grant =
+                    |h: &crate::AgentGroup<S::State, S::Behavior>,
+                     out: &mut Expanded<S::State, S::Behavior>| {
+                        if h.agent >= 64 {
+                            return;
+                        }
+                        let (ind, via_na) = groups_independent(g, h);
+                        if ind {
+                            mask |= 1 << h.agent;
+                            if via_na {
+                                out.na_commutes += 1;
+                            }
+                        }
+                    };
+                let mut sleepers = sleep;
+                while sleepers != 0 {
+                    let agent = sleepers.trailing_zeros() as usize;
+                    sleepers &= sleepers - 1;
+                    if let Some(h) = groups.iter().find(|h| h.agent == agent) {
+                        grant(h, &mut out);
+                    }
+                }
+                for &hi in &earlier {
+                    grant(&groups[hi], &mut out);
+                }
+                mask
             } else {
                 0
             };
@@ -906,9 +944,7 @@ fn expand<S: TransitionSystem>(
                         .push((s.clone(), idx_base[gi] + j as u32, child_sleep));
                 }
             }
-            if g.shared_pure && g.agent < 64 {
-                earlier_pure |= 1 << g.agent;
-            }
+            earlier.push(gi);
         }
     }
     out
@@ -1143,6 +1179,7 @@ fn process<S: TransitionSystem>(
     stats.transitions += expanded.transitions;
     stats.sleep_skips += expanded.sleep_skips;
     stats.ample_commits += expanded.ample_commits;
+    stats.na_commutes += expanded.na_commutes;
     stats.pruned += expanded.pruned;
     stats.racy_steps += expanded.racy;
     stats.promise_steps += expanded.promise;
@@ -1506,6 +1543,9 @@ fn run_round<S: TransitionSystem>(
     }
 
     for ws in &per_worker {
+        // Fold fresh (non-resumed) work into the process-wide counters
+        // before checkpoint base counters are re-added below.
+        crate::counters::record_explore(ws);
         stats.merge(ws);
         stats.worker_states.push(ws.states);
     }
@@ -1594,6 +1634,7 @@ fn run_random_walks<S: TransitionSystem>(
         }
     }
     stats.elapsed = start.elapsed();
+    crate::counters::record_explore(&stats);
     ExploreResult { behaviors, stats }
 }
 
@@ -1751,6 +1792,7 @@ mod tests {
                         transitions: vec![Transition::state(next)],
                         shared_pure: true,
                         local: true,
+                        na_write: None,
                     }
                 })
                 .collect()
@@ -1785,6 +1827,7 @@ mod tests {
                     transitions: vec![Transition::state((st.2, st.1, st.2))],
                     shared_pure: true,
                     local: false,
+                    na_write: None,
                 });
             }
             if !st.1 {
@@ -1793,6 +1836,7 @@ mod tests {
                     transitions: vec![Transition::state((st.0, true, 1))],
                     shared_pure: false,
                     local: false,
+                    na_write: None,
                 });
             }
             out
@@ -1841,6 +1885,7 @@ mod tests {
                 transitions,
                 shared_pure: false,
                 local: false,
+                na_write: None,
             }]
         }
 
@@ -1940,6 +1985,139 @@ mod tests {
         }
     }
 
+    /// N agents each performing `limit` non-atomic writes to a
+    /// location of their own (`conflict: false`) or to one shared
+    /// location (`conflict: true`). Groups are neither shared-pure nor
+    /// local, so any reduction must come from the `na_write` rule.
+    struct NaWriters {
+        agents: usize,
+        limit: u8,
+        conflict: bool,
+    }
+
+    impl TransitionSystem for NaWriters {
+        type State = Vec<u8>;
+        type Behavior = Vec<u8>;
+
+        fn initial_state(&self) -> Vec<u8> {
+            vec![0; self.agents]
+        }
+
+        fn agent_groups(&self, st: &Vec<u8>) -> Vec<AgentGroup<Vec<u8>, Vec<u8>>> {
+            (0..self.agents)
+                .filter(|&i| st[i] < self.limit)
+                .map(|i| {
+                    let mut next = st.clone();
+                    next[i] += 1;
+                    let loc = if self.conflict { 0 } else { i };
+                    AgentGroup {
+                        agent: i,
+                        transitions: vec![Transition::state(next)],
+                        shared_pure: false,
+                        local: false,
+                        na_write: Some(fp64(&loc)),
+                    }
+                })
+                .collect()
+        }
+
+        fn terminal_behavior(&self, st: &Vec<u8>) -> Option<Vec<u8>> {
+            st.iter().all(|&c| c == self.limit).then(|| st.clone())
+        }
+    }
+
+    #[test]
+    fn na_write_commutation_prunes_redundant_interleavings() {
+        let sys = NaWriters {
+            agents: 4,
+            limit: 3,
+            conflict: false,
+        };
+        let full = explore(&sys, &cfg(1, false));
+        let reduced = explore(&sys, &cfg(1, true));
+        assert_eq!(full.behaviors, reduced.behaviors);
+        // Distinct-location NA writes form a product grid: every state
+        // stays reachable (4^4 = 256), but sleep sets cut the
+        // duplicate arrivals and the transitions enumerated.
+        assert_eq!(full.stats.states, 256);
+        assert_eq!(reduced.stats.states, 256);
+        assert!(reduced.stats.na_commutes > 0);
+        assert_eq!(reduced.stats.ample_commits, 0, "nothing is local here");
+        assert!(reduced.stats.sleep_skips > 0);
+        assert!(
+            reduced.stats.dedup_hits * 2 < full.stats.dedup_hits,
+            "reduced {} vs full {}",
+            reduced.stats.dedup_hits,
+            full.stats.dedup_hits
+        );
+        assert!(reduced.stats.transitions < full.stats.transitions);
+    }
+
+    #[test]
+    fn same_location_na_writes_do_not_commute() {
+        let sys = NaWriters {
+            agents: 3,
+            limit: 2,
+            conflict: true,
+        };
+        let full = explore(&sys, &cfg(1, false));
+        let reduced = explore(&sys, &cfg(1, true));
+        assert_eq!(full.behaviors, reduced.behaviors);
+        assert_eq!(reduced.stats.na_commutes, 0);
+        assert_eq!(reduced.stats.sleep_skips, 0);
+        assert_eq!(reduced.stats.states, full.stats.states);
+        assert_eq!(reduced.stats.transitions, full.stats.transitions);
+    }
+
+    #[test]
+    fn na_writer_does_not_put_pure_readers_to_sleep() {
+        // Agent 0 purely reads the cell; agent 1 writes it
+        // non-atomically. If the NA rule unsoundly granted
+        // write-vs-read commutation, the read-before-write behavior
+        // (0, 1) would be lost under reduction.
+        struct NaWriteVsRead;
+        impl TransitionSystem for NaWriteVsRead {
+            type State = (u8, bool, u8);
+            type Behavior = (u8, u8);
+            fn initial_state(&self) -> Self::State {
+                (255, false, 0)
+            }
+            fn agent_groups(
+                &self,
+                st: &Self::State,
+            ) -> Vec<AgentGroup<Self::State, Self::Behavior>> {
+                let mut out = Vec::new();
+                if st.0 == 255 {
+                    out.push(AgentGroup {
+                        agent: 0,
+                        transitions: vec![Transition::state((st.2, st.1, st.2))],
+                        shared_pure: true,
+                        local: false,
+                        na_write: None,
+                    });
+                }
+                if !st.1 {
+                    out.push(AgentGroup {
+                        agent: 1,
+                        transitions: vec![Transition::state((st.0, true, 1))],
+                        shared_pure: false,
+                        local: false,
+                        na_write: Some(fp64(&0)),
+                    });
+                }
+                out
+            }
+            fn terminal_behavior(&self, st: &Self::State) -> Option<Self::Behavior> {
+                (st.0 != 255 && st.1).then_some((st.0, st.2))
+            }
+        }
+        let want: BTreeSet<(u8, u8)> = [(0, 1), (1, 1)].into_iter().collect();
+        for reduction in [false, true] {
+            let r = explore(&NaWriteVsRead, &cfg(1, reduction));
+            assert_eq!(r.behaviors, want, "reduction={reduction}");
+        }
+    }
+
     #[test]
     fn emissions_and_tags_are_counted() {
         let r = explore(&EmitChain, &cfg(1, false));
@@ -1970,6 +2148,7 @@ mod tests {
                         transitions: vec![Transition::state(1), Transition::state(2)],
                         shared_pure: false,
                         local: false,
+                        na_write: None,
                     }]
                 } else {
                     vec![]

@@ -40,6 +40,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 mod checkpoint;
+pub mod counters;
 pub mod engine;
 pub mod error;
 #[cfg(feature = "fault-injection")]
@@ -50,6 +51,7 @@ pub mod stats;
 pub mod system;
 
 pub use checkpoint::CHECKPOINT_VERSION;
+pub use counters::CounterSnapshot;
 pub use engine::{
     explore, try_explore, CheckpointSpec, ExploreConfig, ExploreResult, Strategy, VisitedMode,
 };
@@ -61,4 +63,4 @@ pub use fault::{FaultPlan, InjectedFault};
 pub use fingerprint::{fp128, fp64, FxHasher};
 pub use rng::{mix64, SplitMix64};
 pub use stats::ExploreStats;
-pub use system::{AgentGroup, StepTags, Target, Transition, TransitionSystem};
+pub use system::{groups_independent, AgentGroup, StepTags, Target, Transition, TransitionSystem};

@@ -21,6 +21,10 @@ pub struct ExploreStats {
     /// States expanded through a single local agent group (ample-set
     /// reduction) instead of the full product of agents.
     pub ample_commits: usize,
+    /// Sleep-set bits granted by the non-atomic-write commutation rule
+    /// (distinct-location `AgentGroup::na_write` pairs) that the
+    /// pure-vs-pure rule alone would not have granted.
+    pub na_commutes: usize,
     /// Transitions the system enumerated but filtered (e.g. failed
     /// certification).
     pub pruned: usize,
@@ -89,6 +93,7 @@ impl ExploreStats {
         self.dedup_hits += other.dedup_hits;
         self.sleep_skips += other.sleep_skips;
         self.ample_commits += other.ample_commits;
+        self.na_commutes += other.na_commutes;
         self.pruned += other.pruned;
         self.racy_steps += other.racy_steps;
         self.promise_steps += other.promise_steps;
@@ -128,8 +133,8 @@ impl fmt::Display for ExploreStats {
         )?;
         writeln!(
             f,
-            "reduction: {} sleep skips, {} ample commits",
-            self.sleep_skips, self.ample_commits
+            "reduction: {} sleep skips, {} ample commits, {} na commutes",
+            self.sleep_skips, self.ample_commits, self.na_commutes
         )?;
         if self.incident_count > 0 || self.quarantined > 0 {
             writeln!(

@@ -87,6 +87,40 @@ pub struct AgentGroup<St, B> {
     /// does not commute with another thread's write (the write enables
     /// new read values), so `local` must exclude reads.
     pub local: bool,
+    /// `Some(fp)` iff *every* transition in this group is an ordinary
+    /// [`Target::State`] step whose only shared-state effect is a
+    /// write to the single **non-atomic** location fingerprinted by
+    /// `fp` (use [`crate::fp64`] on the location so fingerprints are
+    /// comparable across agents), with no promise outstanding or
+    /// emitted by the step and the global SC view unchanged.
+    ///
+    /// Two such groups of different agents with *distinct*
+    /// fingerprints commute: non-atomic writes to distinct locations
+    /// touch disjoint per-location timelines and only the writer's own
+    /// view of its own location, so executing either cannot enable,
+    /// disable, or change the effect of the other, and both execution
+    /// orders reach the same state. (Same-location pairs race and must
+    /// NOT claim independence; a `shared_pure` read is *not*
+    /// independent of a write either — leave reads at `None`.)
+    /// Licenses sleep-set reduction pairwise against other `na_write`
+    /// groups, in addition to the `shared_pure`-vs-`shared_pure` rule.
+    pub na_write: Option<u64>,
+}
+
+/// Whether two agent groups' steps commute (order-irrelevant), i.e.
+/// from any state where both are enabled, executing them in either
+/// order reaches the same state and neither enables/disables the
+/// other. Returns `(independent, via_na)` where `via_na` marks pairs
+/// granted only by the non-atomic-write rule (for the
+/// [`na_commutes`](crate::ExploreStats::na_commutes) counter).
+pub fn groups_independent<St, B>(a: &AgentGroup<St, B>, b: &AgentGroup<St, B>) -> (bool, bool) {
+    if a.shared_pure && b.shared_pure {
+        return (true, false);
+    }
+    match (a.na_write, b.na_write) {
+        (Some(x), Some(y)) if x != y => (true, true),
+        _ => (false, false),
+    }
 }
 
 /// A transition system the engine can explore.

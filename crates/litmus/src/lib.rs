@@ -14,6 +14,9 @@
 //!   E7/E10).
 //! * [`gen`] — seeded random program and context generators (experiment
 //!   id E8, the adequacy differential harness).
+//! * [`scaling`] — parametric N-thread families (message-passing
+//!   chains, store-buffer rings, disjoint NA writers) for the
+//!   benchmarking subsystem's worker- and size-scaling measurements.
 //!
 //! ## Example
 //!
@@ -28,8 +31,10 @@
 
 pub mod concurrent;
 pub mod gen;
+pub mod scaling;
 pub mod transform;
 
 pub use concurrent::{concurrent_corpus, find_concurrent, ConcurrentCase};
 pub use gen::{random_context, random_program, GenConfig};
+pub use scaling::{mp_chain, na_disjoint, sb_ring, ScalingCase};
 pub use transform::{find_case, transform_corpus, Expectation, TransformCase};

@@ -1,0 +1,268 @@
+//! Parametric scaling families for benchmarking.
+//!
+//! Unlike the fixed [`concurrent`](crate::concurrent) corpus, these
+//! constructors build *N-thread* instances of classic litmus shapes so
+//! the exploration engine's scaling behavior (states vs. `N`, worker
+//! speedup, reduction effectiveness) is measurable along a controlled
+//! axis:
+//!
+//! * [`mp_chain`] — message passing relayed along an `N`-thread rel/acq
+//!   flag chain; state count grows steeply with `N`.
+//! * [`sb_ring`] — `N` store-buffering threads in a ring, each storing
+//!   its own relaxed location and loading its neighbor's; the weak
+//!   all-zeros outcome stays reachable at every `N`.
+//! * [`na_disjoint`] — `N` threads each writing only their own
+//!   non-atomic location; the interleaving grid is fully commutative,
+//!   so it isolates the engine's NA-write commutation rule. The rule
+//!   itself prunes *transitions and re-visits* (`dedup_hits`,
+//!   `na_commutes`) rather than distinct states — any state reduction
+//!   observed on this family comes from the engine's ample-set
+//!   handling of the threads' local steps, which fires too.
+//!
+//! Cases carry owned strings (names and thread sources are generated
+//! from `n`), which is why this is a separate type from
+//! [`ConcurrentCase`](crate::concurrent::ConcurrentCase) rather than
+//! more entries in the static corpus.
+
+use seqwm_explore::ExploreConfig;
+use seqwm_lang::parser::parse_program;
+use seqwm_lang::Program;
+use seqwm_promising::search::{explore_engine, EngineExploration};
+use seqwm_promising::thread::PsConfig;
+
+/// A generated N-thread scaling instance.
+#[derive(Clone, Debug)]
+pub struct ScalingCase {
+    /// Unique name, e.g. `"mp-chain-6"`.
+    pub name: String,
+    /// The family this instance belongs to (`"mp-chain"`, `"sb-ring"`,
+    /// `"na-disjoint"`).
+    pub family: &'static str,
+    /// The scale parameter: number of threads.
+    pub n: usize,
+    /// One program source per thread.
+    pub threads: Vec<String>,
+    /// Run with promises enabled?
+    pub promises: bool,
+}
+
+impl ScalingCase {
+    /// Parses the thread programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a generator syntax error (a bug in this module).
+    pub fn programs(&self) -> Vec<Program> {
+        self.threads
+            .iter()
+            .map(|s| parse_program(s).expect("generated thread parses"))
+            .collect()
+    }
+
+    /// The exploration configuration this instance requires.
+    pub fn config(&self) -> PsConfig {
+        let progs = self.programs();
+        let refs: Vec<&Program> = progs.iter().collect();
+        if self.promises {
+            PsConfig::with_promises(&refs)
+        } else {
+            PsConfig::default()
+        }
+    }
+
+    /// Explores the instance with explicit engine knobs (workers,
+    /// strategy, reduction, budgets).
+    pub fn explore(&self, ecfg: &ExploreConfig) -> EngineExploration {
+        explore_engine(&self.programs(), &self.config(), ecfg)
+    }
+}
+
+fn check_n(family: &str, n: usize) {
+    assert!(n >= 2, "{family}: need at least 2 threads, got {n}");
+    assert!(n <= 64, "{family}: engine sleep sets cap agents at 64");
+}
+
+/// Message passing relayed along an `n`-thread rel/acq flag chain.
+///
+/// Thread 0 writes the non-atomic data and releases flag 1; thread `i`
+/// (for `0 < i < n-1`) acquires flag `i` and conditionally releases
+/// flag `i+1`; thread `n-1` acquires the last flag and, if set, reads
+/// the data (else returns the sentinel 7). Synchronization is
+/// transitive along the chain, so the data read is race-free; the
+/// instance generalizes the fixed corpus case `mp-chain-4`.
+///
+/// # Panics
+///
+/// Panics unless `2 <= n <= 64`.
+pub fn mp_chain(n: usize) -> ScalingCase {
+    check_n("mp-chain", n);
+    let mut threads = Vec::with_capacity(n);
+    threads.push(format!(
+        "store[na](mc{n}_d, 1); store[rel](mc{n}_f1, 1); return 0;"
+    ));
+    for i in 1..n - 1 {
+        threads.push(format!(
+            "a := load[acq](mc{n}_f{i}); if (a == 1) {{ store[rel](mc{n}_f{next}, 1); }} return a;",
+            next = i + 1
+        ));
+    }
+    threads.push(format!(
+        "b := load[acq](mc{n}_f{last});
+         if (b == 1) {{ c := load[na](mc{n}_d); }} else {{ c := 7; }}
+         return c;",
+        last = n - 1
+    ));
+    ScalingCase {
+        name: format!("mp-chain-{n}"),
+        family: "mp-chain",
+        n,
+        threads,
+        promises: false,
+    }
+}
+
+/// `n` store-buffering threads in a ring: thread `i` stores its own
+/// relaxed location `x_i` and loads its neighbor's `x_{(i+1) mod n}`.
+///
+/// The weak all-zeros outcome (every load misses every store) stays
+/// reachable at every `n` under PS^na, promise-free.
+///
+/// # Panics
+///
+/// Panics unless `2 <= n <= 64`.
+pub fn sb_ring(n: usize) -> ScalingCase {
+    check_n("sb-ring", n);
+    let threads = (0..n)
+        .map(|i| {
+            format!(
+                "store[rlx](sr{n}_x{i}, 1); a := load[rlx](sr{n}_x{next}); return a;",
+                next = (i + 1) % n
+            )
+        })
+        .collect();
+    ScalingCase {
+        name: format!("sb-ring-{n}"),
+        family: "sb-ring",
+        n,
+        threads,
+        promises: false,
+    }
+}
+
+/// `n` threads each performing two non-atomic writes to their own
+/// private location — a fully commutative interleaving grid.
+///
+/// No write group is shared-pure (every write changes memory), so
+/// cross-thread commutation comes entirely from the NA-write rule;
+/// use the `na_commutes` / `dedup_hits` / `transitions` statistics
+/// (not `states`) to observe it. The threads' local steps additionally
+/// trigger the ample-set reduction, which does prune states.
+///
+/// # Panics
+///
+/// Panics unless `2 <= n <= 64`.
+pub fn na_disjoint(n: usize) -> ScalingCase {
+    check_n("na-disjoint", n);
+    let threads = (0..n)
+        .map(|i| format!("store[na](nd{n}_l{i}, 1); store[na](nd{n}_l{i}, 2); return 0;"))
+        .collect();
+    ScalingCase {
+        name: format!("na-disjoint-{n}"),
+        family: "na-disjoint",
+        n,
+        threads,
+        promises: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqwm_lang::Value;
+    use seqwm_promising::machine::PsBehavior;
+    use seqwm_promising::search::engine_config;
+    use std::collections::BTreeSet;
+
+    fn returns(e: &EngineExploration) -> BTreeSet<Vec<Value>> {
+        e.behaviors
+            .iter()
+            .filter_map(|b| match b {
+                PsBehavior::Returns { returns, .. } => Some(returns.clone()),
+                PsBehavior::Ub => None,
+            })
+            .collect()
+    }
+
+    fn ints(vs: &[i64]) -> Vec<Value> {
+        vs.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn families_parse_at_every_small_n() {
+        for n in 2..=5 {
+            for case in [mp_chain(n), sb_ring(n), na_disjoint(n)] {
+                assert_eq!(case.programs().len(), n, "{}", case.name);
+                assert_eq!(case.n, n);
+                assert!(case.name.ends_with(&format!("-{n}")));
+            }
+        }
+    }
+
+    #[test]
+    fn mp_chain_is_race_free_and_states_grow_with_n() {
+        let mut prev_states = 0;
+        for n in [2, 3, 4] {
+            let case = mp_chain(n);
+            let e = case.explore(&engine_config(&case.config()));
+            assert!(
+                !e.behaviors.contains(&PsBehavior::Ub),
+                "{}: race in a rel/acq chain",
+                case.name
+            );
+            // The success path: every relay saw its flag, the reader
+            // saw the data.
+            let mut ok = vec![0i64];
+            ok.extend(std::iter::repeat(1).take(n - 1));
+            assert!(returns(&e).contains(&ints(&ok)), "{}", case.name);
+            // The reader must never see a set flag but stale data.
+            let mut stale = ok.clone();
+            *stale.last_mut().unwrap() = 0;
+            assert!(!returns(&e).contains(&ints(&stale)), "{}", case.name);
+            assert!(
+                e.stats.states > prev_states,
+                "{}: {} states, expected growth past {}",
+                case.name,
+                e.stats.states,
+                prev_states
+            );
+            prev_states = e.stats.states;
+        }
+    }
+
+    #[test]
+    fn sb_ring_keeps_the_weak_outcome_at_every_n() {
+        for n in [2, 3] {
+            let case = sb_ring(n);
+            let e = case.explore(&engine_config(&case.config()));
+            assert!(returns(&e).contains(&ints(&vec![0; n])), "{}", case.name);
+            assert!(returns(&e).contains(&ints(&vec![1; n])), "{}", case.name);
+            assert!(!e.behaviors.contains(&PsBehavior::Ub), "{}", case.name);
+        }
+    }
+
+    #[test]
+    fn na_disjoint_reduction_preserves_behaviors_and_fires_na_rule() {
+        let case = na_disjoint(3);
+        let base = engine_config(&case.config());
+        let full = case.explore(&ExploreConfig {
+            reduction: false,
+            ..base.clone()
+        });
+        let reduced = case.explore(&base);
+        assert_eq!(full.behaviors, reduced.behaviors);
+        assert!(reduced.stats.states <= full.stats.states);
+        assert!(reduced.stats.na_commutes > 0, "NA rule never fired");
+        assert!(reduced.stats.transitions < full.stats.transitions);
+        assert!(reduced.stats.dedup_hits < full.stats.dedup_hits);
+    }
+}

@@ -93,6 +93,7 @@ impl TransitionSystem for ScSystem<'_> {
             // shared state at all and qualify as ample candidates.
             let mut shared_pure = true;
             let mut local = false;
+            let mut na_write = None;
             match t.step() {
                 Step::Terminated(_) => {}
                 Step::Fail => {
@@ -127,12 +128,23 @@ impl TransitionSystem for ScSystem<'_> {
                     s.threads[tid] = t.resume_read(v);
                     transitions.push(Transition::state(s));
                 }
-                Step::Write { loc, val, next, .. } => {
+                Step::Write {
+                    loc,
+                    mode,
+                    val,
+                    next,
+                } => {
                     let mut s = st.clone();
                     s.mem.insert(loc, val);
                     s.threads[tid] = next;
                     transitions.push(Transition::state(s));
                     shared_pure = false;
+                    // SC memory is a flat map, so a write's only shared
+                    // effect is its own key; per the `na_write` contract
+                    // we claim commutation for the non-atomic subset.
+                    if mode == seqwm_lang::WriteMode::Na {
+                        na_write = Some(seqwm_explore::fp64(&loc));
+                    }
                 }
                 Step::Rmw { loc, .. } => {
                     let read = st.mem.get(&loc).copied().unwrap_or_default();
@@ -167,6 +179,7 @@ impl TransitionSystem for ScSystem<'_> {
                 transitions,
                 shared_pure,
                 local,
+                na_write,
             });
         }
         out

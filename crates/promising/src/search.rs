@@ -28,7 +28,7 @@ use seqwm_explore::{
     AgentGroup, ExploreConfig, ExploreError, ExploreStats, StepTags, Target, Transition,
     TransitionSystem,
 };
-use seqwm_lang::{Program, Step};
+use seqwm_lang::{Program, Step, WriteMode};
 
 use crate::machine::{Exploration, MachineState, PsBehavior};
 use crate::thread::{certify, thread_steps, PsConfig, StepKind};
@@ -64,6 +64,7 @@ impl TransitionSystem for PsSystem<'_> {
             let mut transitions = Vec::with_capacity(steps.len());
             let mut shared_pure = true;
             let mut all_plain = true;
+            let mut sc_unchanged = true;
             for step in steps {
                 let tags = StepTags {
                     racy: matches!(step.kind, StepKind::RacyRead(_) | StepKind::RacyWrite(_)),
@@ -82,6 +83,7 @@ impl TransitionSystem for PsSystem<'_> {
                 if step.kind != StepKind::Normal {
                     all_plain = false;
                 }
+                sc_unchanged &= step.sc_view == st.sc_view;
                 shared_pure &= step.memory == st.mem && step.sc_view == st.sc_view;
                 // machine: normal requires certification of the acting
                 // thread (trivial when it has no promises).
@@ -110,11 +112,29 @@ impl TransitionSystem for PsSystem<'_> {
                     t.prog.step(),
                     Step::Silent(_) | Step::Choose(_) | Step::Syscall { .. }
                 );
+            // Non-atomic-write commutation: a promise-free thread at an
+            // NA write whose enumerated steps are all ordinary state
+            // steps (no racy-write UB, no promise steps) with the
+            // global SC view unchanged only appends to its own
+            // location's timeline and advances its own view of that
+            // location — so two such groups at distinct locations
+            // commute (see `AgentGroup::na_write`).
+            let na_write = match t.prog.step() {
+                Step::Write {
+                    loc,
+                    mode: WriteMode::Na,
+                    ..
+                } if all_plain && sc_unchanged && t.promises.is_empty() => {
+                    Some(seqwm_explore::fp64(&loc))
+                }
+                _ => None,
+            };
             out.push(AgentGroup {
                 agent: tid,
                 transitions,
                 shared_pure,
                 local,
+                na_write,
             });
         }
         out
@@ -254,6 +274,39 @@ mod tests {
             reduced.stats.states,
             full.stats.states
         );
+    }
+
+    #[test]
+    fn na_write_commutation_fires_on_disjoint_na_writers() {
+        // Three promise-free threads writing distinct non-atomic
+        // locations: no group is shared-pure (memory changes), so all
+        // reduction must come from the NA-write rule.
+        let ps = progs(&[
+            "store[na](snw_a, 1); store[na](snw_a, 2); return 0;",
+            "store[na](snw_b, 1); store[na](snw_b, 2); return 0;",
+            "store[na](snw_c, 1); store[na](snw_c, 2); return 0;",
+        ]);
+        let cfg = PsConfig::default();
+        let legacy = crate::machine::explore_legacy(&ps, &cfg);
+        let full = explore_engine(
+            &ps,
+            &cfg,
+            &ExploreConfig {
+                reduction: false,
+                ..engine_config(&cfg)
+            },
+        );
+        let reduced = explore_engine(&ps, &cfg, &engine_config(&cfg));
+        assert_eq!(full.behaviors, legacy.behaviors);
+        assert_eq!(full.behaviors, reduced.behaviors);
+        assert!(reduced.stats.na_commutes > 0, "NA rule never fired");
+        assert!(
+            reduced.stats.transitions < full.stats.transitions,
+            "reduced {} vs full {} transitions",
+            reduced.stats.transitions,
+            full.stats.transitions
+        );
+        assert!(reduced.stats.dedup_hits < full.stats.dedup_hits);
     }
 
     #[test]

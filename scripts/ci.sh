@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # The offline CI gate: everything here must pass without network access
-# (the default workspace has no registry dependencies; the Criterion
-# bench harness lives in the excluded `crates/bench` package).
+# (the workspace, including the `seqwm-bench` harness, has no registry
+# dependencies).
 #
-#   scripts/ci.sh          # full gate: build, test, clippy, fmt
+#   scripts/ci.sh          # full gate: build, test, bench, clippy, fmt
 #   scripts/ci.sh quick    # build + test only
 
 set -euo pipefail
@@ -25,9 +25,18 @@ echo "==> seqwm fuzz (fixed-seed differential campaign over the real passes)"
 # wall-clock: pathological cases quarantine as incidents, which exit 0.
 # Only a genuine oracle violation (exit 8) fails the gate.
 fuzz_corpus="$(mktemp -d)"
-trap 'rm -rf "$fuzz_corpus"' EXIT
+bench_out="$(mktemp -d)"
+trap 'rm -rf "$fuzz_corpus" "$bench_out"' EXIT
 target/release/seqwm fuzz --cases 100 --seed 11 --workers 2 \
     --corpus "$fuzz_corpus" --seq-fuel 10000 --deadline-ms 500
+
+echo "==> seqwm bench (quick suite + regression gate vs committed baseline)"
+# The threshold is deliberately generous: CI machines are noisy, and a
+# genuine hot-path regression shows up as a multiple, not a percentage.
+# The 2ms absolute floor keeps the microsecond-scale optimizer benches
+# out of the noise entirely. Exit 9 = regression, fails the gate.
+target/release/seqwm bench --quick --name ci --out "$bench_out" \
+    --compare benchmarks/BENCH_baseline.json --threshold 300 --min-delta-us 2000
 
 if [ "${1:-full}" != "quick" ]; then
     echo "==> cargo clippy --all-targets -- -D warnings"

@@ -11,6 +11,7 @@
 //! seqwm litmus [name|--all]           run corpus cases
 //! seqwm fuzz [flags]                  differential fuzz campaign
 //! seqwm fuzz --replay <file>          re-run a persisted failure
+//! seqwm bench [flags]                 deterministic benchmark suite
 //! ```
 //!
 //! `explore` accepts engine flags: `--workers N`, `--strategy
@@ -36,10 +37,21 @@
 //! oracle violation exits 8; quarantined resource incidents never change
 //! the exit code.
 //!
+//! `bench` runs the `seqwm-bench` suite (exploration, scaling
+//! families, refinement, optimizer, fuzz slice) and writes a
+//! schema-versioned `BENCH_<name>.json` report: `--quick`,
+//! `--filter <substr>`, `--iters N`, `--warmup N`, `--max-workers N`,
+//! `--name <name>`, `--out <dir>`, `--json` (print the report to
+//! stdout), `--list` (print bench ids without running),
+//! `--compare <baseline.json>` (regression gate; exits 9 when a bench
+//! slows beyond `--threshold <pct>` *and* `--min-delta-us <µs>`), and
+//! `--current <report.json>` (compare a previously written report
+//! instead of re-running the suite).
+//!
 //! Failures exit with a per-class code (see
 //! [`promising_seq::SeqwmError::exit_code`]): 2 usage, 3 parse,
 //! 4 I/O, 5 engine configuration, 6 corpus, 7 refinement, 8 fuzz
-//! violation found. Engine
+//! violation found, 9 bench regression. Engine
 //! warnings (corrupt resume file, visited-set downgrade, …) are
 //! printed to stderr but never change the exit code: a degraded run
 //! that completes is still a successful run.
@@ -48,6 +60,8 @@ use std::fs;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use promising_seq::bench::report::{compare, BenchReport, CompareConfig};
+use promising_seq::bench::suite::{list_suite, run_suite, SuiteConfig};
 use promising_seq::explore::{CheckpointSpec, ExploreConfig, Strategy, VisitedMode};
 use promising_seq::fuzz::{run_campaign, CheckVerdict, Corpus, FuzzConfig, FuzzTarget};
 use promising_seq::lang::parser::parse_program;
@@ -223,7 +237,7 @@ fn parse_engine_flags(args: &[String]) -> Result<(EngineOpts, Vec<String>), Seqw
 
 fn usage() -> SeqwmError {
     usage_err(
-        "usage: seqwm <parse|optimize|validate|refine|explore|sc|drf|litmus|fuzz> [args…]\n\
+        "usage: seqwm <parse|optimize|validate|refine|explore|sc|drf|litmus|fuzz|bench> [args…]\n\
          run `seqwm litmus` with no arguments to list corpus cases",
     )
 }
@@ -415,6 +429,7 @@ fn run() -> Result<(), SeqwmError> {
             _ => Err(usage_err("usage: seqwm litmus [name|--all]")),
         },
         "fuzz" => run_fuzz(rest),
+        "bench" => run_bench(rest),
         _ => Err(usage()),
     }
 }
@@ -597,5 +612,151 @@ fn run_fuzz(args: &[String]) -> Result<(), SeqwmError> {
         Err(SeqwmError::Fuzz {
             failures: summary.unique_failures.len().max(1),
         })
+    }
+}
+
+/// The `seqwm bench` subcommand: run the suite, write the report,
+/// optionally gate against a baseline.
+fn run_bench(args: &[String]) -> Result<(), SeqwmError> {
+    fn value<'a>(
+        it: &mut std::slice::Iter<'a, String>,
+        flag: &str,
+        what: &str,
+    ) -> Result<&'a String, SeqwmError> {
+        it.next()
+            .ok_or_else(|| usage_err(format!("{flag} needs {what}")))
+    }
+    fn number<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, SeqwmError> {
+        v.parse()
+            .map_err(|_| usage_err(format!("bad {what} `{v}`")))
+    }
+    fn read_report(path: &str) -> Result<BenchReport, SeqwmError> {
+        let text = fs::read_to_string(path).map_err(|e| SeqwmError::Io {
+            path: path.to_owned(),
+            message: e.to_string(),
+        })?;
+        BenchReport::from_json(&text).map_err(|e| SeqwmError::Bench(format!("{path}: {e}")))
+    }
+
+    let mut cfg = SuiteConfig::default();
+    let mut name = String::from("run");
+    let mut out_dir = String::from(".");
+    let mut json = false;
+    let mut list = false;
+    let mut baseline_path: Option<String> = None;
+    let mut current_path: Option<String> = None;
+    let mut cmp_cfg = CompareConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => cfg.quick = true,
+            "--filter" => cfg.filter = Some(value(&mut it, a, "a substring")?.clone()),
+            "--iters" => {
+                cfg.iters =
+                    number::<usize>(value(&mut it, a, "a number")?, "iteration count")?.max(1)
+            }
+            "--warmup" => cfg.warmup = number(value(&mut it, a, "a number")?, "warmup count")?,
+            "--max-workers" => {
+                cfg.max_workers =
+                    number::<usize>(value(&mut it, a, "a number")?, "worker count")?.max(1)
+            }
+            "--name" => name = value(&mut it, a, "a report name")?.clone(),
+            "--out" => out_dir = value(&mut it, a, "a directory")?.clone(),
+            "--json" => json = true,
+            "--list" => list = true,
+            "--compare" => baseline_path = Some(value(&mut it, a, "a baseline report")?.clone()),
+            "--current" => current_path = Some(value(&mut it, a, "a report file")?.clone()),
+            "--threshold" => {
+                cmp_cfg.threshold_pct =
+                    number(value(&mut it, a, "a percentage")?, "regression threshold")?
+            }
+            "--min-delta-us" => {
+                let us: u64 = number(value(&mut it, a, "a duration in µs")?, "delta floor")?;
+                cmp_cfg.min_delta_ns = us.saturating_mul(1_000);
+            }
+            other => return Err(usage_err(format!("unknown flag `{other}`"))),
+        }
+    }
+    if current_path.is_some() && baseline_path.is_none() {
+        return Err(usage_err("--current only makes sense with --compare"));
+    }
+
+    if list {
+        for id in list_suite(&cfg) {
+            println!("{id}");
+        }
+        return Ok(());
+    }
+
+    // Obtain the current report: re-read a prior run, or measure now.
+    let current = match &current_path {
+        Some(path) => read_report(path)?,
+        None => {
+            let report = run_suite(&cfg);
+            let path = std::path::Path::new(&out_dir).join(format!("BENCH_{name}.json"));
+            fs::create_dir_all(&out_dir).map_err(|e| SeqwmError::Io {
+                path: out_dir.clone(),
+                message: e.to_string(),
+            })?;
+            fs::write(&path, report.to_json()).map_err(|e| SeqwmError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                for r in &report.results {
+                    println!(
+                        "{:<40} median {:>10.3}ms  mad {:>8.3}ms  ({} iters{})",
+                        r.id(),
+                        r.timing.median_ns as f64 / 1e6,
+                        r.timing.mad_ns as f64 / 1e6,
+                        r.iters,
+                        if r.timing.rejected > 0 {
+                            format!(", {} outlier(s)", r.timing.rejected)
+                        } else {
+                            String::new()
+                        }
+                    );
+                }
+            }
+            eprintln!("bench: report written to {}", path.display());
+            report
+        }
+    };
+
+    let Some(baseline_path) = baseline_path else {
+        return Ok(());
+    };
+    let baseline = read_report(&baseline_path)?;
+    let cmp = compare(&baseline, &current, &cmp_cfg);
+    for w in &cmp.warnings {
+        eprintln!("bench: warning: {w}");
+    }
+    for id in &cmp.missing {
+        eprintln!("bench: warning: baseline bench {id} missing from current report");
+    }
+    for id in &cmp.added {
+        eprintln!("bench: note: new bench {id} has no baseline");
+    }
+    for d in &cmp.improvements {
+        println!("improved  {d}");
+    }
+    for d in &cmp.regressions {
+        println!("REGRESSED {d}");
+    }
+    if cmp.passed() {
+        println!(
+            "bench: no regressions vs {baseline_path} (threshold {:.0}%, floor {}µs)",
+            cmp_cfg.threshold_pct,
+            cmp_cfg.min_delta_ns / 1_000
+        );
+        Ok(())
+    } else {
+        Err(SeqwmError::Bench(format!(
+            "{} bench(es) regressed beyond {:.0}% vs {baseline_path}",
+            cmp.regressions.len(),
+            cmp_cfg.threshold_pct
+        )))
     }
 }

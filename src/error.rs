@@ -24,6 +24,7 @@ use seqwm_explore::ExploreError;
 /// | [`Corpus`]       | 6         |
 /// | [`Refine`]       | 7         |
 /// | [`Fuzz`]         | 8         |
+/// | [`Bench`]        | 9         |
 ///
 /// [`Usage`]: SeqwmError::Usage
 /// [`Parse`]: SeqwmError::Parse
@@ -32,6 +33,7 @@ use seqwm_explore::ExploreError;
 /// [`Corpus`]: SeqwmError::Corpus
 /// [`Refine`]: SeqwmError::Refine
 /// [`Fuzz`]: SeqwmError::Fuzz
+/// [`Bench`]: SeqwmError::Bench
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SeqwmError {
     /// Bad command line: unknown command, missing operand, or an
@@ -67,6 +69,10 @@ pub enum SeqwmError {
         /// How many unique (deduplicated) failures were found.
         failures: usize,
     },
+    /// The benchmark regression gate failed: one or more benches
+    /// slowed beyond the `--compare` thresholds, or a report could not
+    /// be read/understood.
+    Bench(String),
 }
 
 impl SeqwmError {
@@ -80,6 +86,7 @@ impl SeqwmError {
             SeqwmError::Corpus { .. } => 6,
             SeqwmError::Refine(_) => 7,
             SeqwmError::Fuzz { .. } => 8,
+            SeqwmError::Bench(_) => 9,
         }
     }
 }
@@ -96,6 +103,7 @@ impl fmt::Display for SeqwmError {
             SeqwmError::Fuzz { failures } => {
                 write!(f, "fuzzing found {failures} unique oracle violation(s)")
             }
+            SeqwmError::Bench(msg) => write!(f, "bench: {msg}"),
         }
     }
 }
@@ -137,6 +145,7 @@ mod tests {
             SeqwmError::Corpus { failures: 1 },
             SeqwmError::Refine("m".into()),
             SeqwmError::Fuzz { failures: 1 },
+            SeqwmError::Bench("m".into()),
         ];
         let mut seen = std::collections::BTreeSet::new();
         for e in &all {

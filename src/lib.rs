@@ -24,6 +24,9 @@
 //! * [`fuzz`] — crash-resilient differential fuzzing of the optimizer:
 //!   campaign driver, SEQ/PS^na/SC oracles, AST-level shrinking, and a
 //!   persistent fingerprint-deduplicated failure corpus.
+//! * [`bench`] — zero-dependency deterministic benchmarking of the hot
+//!   paths above: monotonic-clock harness, median/MAD statistics,
+//!   schema-versioned JSON reports, and a baseline regression gate.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@
 pub mod error;
 
 pub use error::SeqwmError;
+pub use seqwm_bench as bench;
 pub use seqwm_explore as explore;
 pub use seqwm_fuzz as fuzz;
 pub use seqwm_lang as lang;
