@@ -216,14 +216,47 @@ fn bench_scaling(reg: &mut Registrar<'_>) {
     // sb-ring at a fixed size, single worker: a pure-interleaving load.
     let ring = sb_ring(3);
     let ring_cfg = engine_config(&ring.config());
-    reg.bench("scaling", &ring.name.clone(), move || {
-        let e = ring.explore(&ring_cfg);
-        vec![
-            ("n".into(), ring.n as u64),
-            ("workers".into(), 1),
-            ("states".into(), e.stats.states as u64),
-        ]
-    });
+    {
+        let ring = ring.clone();
+        reg.bench("scaling", &ring.name.clone(), move || {
+            let e = ring.explore(&ring_cfg);
+            vec![
+                ("n".into(), ring.n as u64),
+                ("workers".into(), 1),
+                ("states".into(), e.stats.states as u64),
+            ]
+        });
+    }
+
+    // sb-ring through the canonical adapter, reduction off/on: the
+    // before/after measurement for the atomic-write commutation rule
+    // and the timestamp-rank dedup. `atomic_commutes`/`read_commutes`
+    // in the reduced run's counters show the new rules fired on an
+    // atomic-heavy family the NA rule cannot touch.
+    let ring_base = engine_config(&ring.config());
+    for (tag, reduction) in [("full", false), ("canon-reduced", true)] {
+        let ring = ring.clone();
+        let ecfg = ExploreConfig {
+            reduction,
+            ..ring_base.clone()
+        };
+        let name = format!("{}/{tag}", ring.name);
+        reg.bench("scaling", &name, move || {
+            let e = if reduction {
+                ring.explore_canonical(&ecfg)
+            } else {
+                ring.explore(&ecfg)
+            };
+            vec![
+                ("n".into(), ring.n as u64),
+                ("workers".into(), 1),
+                ("states".into(), e.stats.states as u64),
+                ("transitions".into(), e.stats.transitions as u64),
+                ("atomic_commutes".into(), e.stats.atomic_commutes as u64),
+                ("read_commutes".into(), e.stats.read_commutes as u64),
+            ]
+        });
+    }
 
     // na-disjoint with reduction off/on: the before/after measurement
     // for the NA-write commutation rule. States stay comparable (the

@@ -62,6 +62,8 @@ impl TransitionSystem for SeqSystem<'_> {
             shared_pure: false,
             local: false,
             na_write: None,
+            shared_read: None,
+            atomic_write: None,
         }]
     }
 

@@ -30,6 +30,12 @@ pub static SLEEP_SKIPS: AtomicU64 = AtomicU64::new(0);
 pub static AMPLE_COMMITS: AtomicU64 = AtomicU64::new(0);
 /// Sleep bits granted by the non-atomic-write commutation rule.
 pub static NA_COMMUTES: AtomicU64 = AtomicU64::new(0);
+/// Sleep bits granted by the read/read (and read vs distinct-location
+/// write) commutation rule.
+pub static READ_COMMUTES: AtomicU64 = AtomicU64::new(0);
+/// Sleep bits granted by the atomic-write commutation rule (distinct
+/// locations, canonical state quotient).
+pub static ATOMIC_COMMUTES: AtomicU64 = AtomicU64::new(0);
 /// Bytes of checkpoint data encoded and written to disk.
 pub static CHECKPOINT_BYTES: AtomicU64 = AtomicU64::new(0);
 /// SEQ refinement fuel spent (states visited by behavior enumeration
@@ -55,6 +61,8 @@ pub fn record_explore(stats: &crate::ExploreStats) {
     add(&SLEEP_SKIPS, stats.sleep_skips as u64);
     add(&AMPLE_COMMITS, stats.ample_commits as u64);
     add(&NA_COMMUTES, stats.na_commutes as u64);
+    add(&READ_COMMUTES, stats.read_commutes as u64);
+    add(&ATOMIC_COMMUTES, stats.atomic_commutes as u64);
 }
 
 /// A point-in-time copy of every global counter.
@@ -72,6 +80,10 @@ pub struct CounterSnapshot {
     pub ample_commits: u64,
     /// [`NA_COMMUTES`] at capture time.
     pub na_commutes: u64,
+    /// [`READ_COMMUTES`] at capture time.
+    pub read_commutes: u64,
+    /// [`ATOMIC_COMMUTES`] at capture time.
+    pub atomic_commutes: u64,
     /// [`CHECKPOINT_BYTES`] at capture time.
     pub checkpoint_bytes: u64,
     /// [`REFINE_FUEL_SPENT`] at capture time.
@@ -90,6 +102,8 @@ impl CounterSnapshot {
             sleep_skips: SLEEP_SKIPS.load(Ordering::Relaxed),
             ample_commits: AMPLE_COMMITS.load(Ordering::Relaxed),
             na_commutes: NA_COMMUTES.load(Ordering::Relaxed),
+            read_commutes: READ_COMMUTES.load(Ordering::Relaxed),
+            atomic_commutes: ATOMIC_COMMUTES.load(Ordering::Relaxed),
             checkpoint_bytes: CHECKPOINT_BYTES.load(Ordering::Relaxed),
             refine_fuel_spent: REFINE_FUEL_SPENT.load(Ordering::Relaxed),
             refine_enumerations: REFINE_ENUMERATIONS.load(Ordering::Relaxed),
@@ -106,6 +120,8 @@ impl CounterSnapshot {
             sleep_skips: self.sleep_skips.saturating_sub(earlier.sleep_skips),
             ample_commits: self.ample_commits.saturating_sub(earlier.ample_commits),
             na_commutes: self.na_commutes.saturating_sub(earlier.na_commutes),
+            read_commutes: self.read_commutes.saturating_sub(earlier.read_commutes),
+            atomic_commutes: self.atomic_commutes.saturating_sub(earlier.atomic_commutes),
             checkpoint_bytes: self
                 .checkpoint_bytes
                 .saturating_sub(earlier.checkpoint_bytes),
@@ -119,7 +135,7 @@ impl CounterSnapshot {
     }
 
     /// `(name, value)` pairs in a fixed order, for serialization.
-    pub fn entries(&self) -> [(&'static str, u64); 9] {
+    pub fn entries(&self) -> [(&'static str, u64); 11] {
         [
             ("states", self.states),
             ("transitions", self.transitions),
@@ -127,6 +143,8 @@ impl CounterSnapshot {
             ("sleep_skips", self.sleep_skips),
             ("ample_commits", self.ample_commits),
             ("na_commutes", self.na_commutes),
+            ("read_commutes", self.read_commutes),
+            ("atomic_commutes", self.atomic_commutes),
             ("checkpoint_bytes", self.checkpoint_bytes),
             ("refine_fuel_spent", self.refine_fuel_spent),
             ("refine_enumerations", self.refine_enumerations),
@@ -175,7 +193,9 @@ mod tests {
             .map(|(n, _)| *n)
             .collect();
         assert_eq!(names[0], "states");
-        assert_eq!(names[8], "refine_enumerations");
-        assert_eq!(names.len(), 9);
+        assert_eq!(names[6], "read_commutes");
+        assert_eq!(names[7], "atomic_commutes");
+        assert_eq!(names[10], "refine_enumerations");
+        assert_eq!(names.len(), 11);
     }
 }

@@ -147,8 +147,13 @@ pub struct ExploreConfig {
     pub strategy: Strategy,
     /// Visited-set representation.
     pub visited: VisitedMode,
-    /// Enable sleep-set / ample-set interleaving reduction.
+    /// Enable sleep-set / ample-set interleaving reduction (master
+    /// switch; `false` overrides every toggle in [`Self::rules`]).
     pub reduction: bool,
+    /// Fine-grained per-rule reduction toggles, consulted only when
+    /// [`Self::reduction`] is on. Lets the soundness suite falsify
+    /// each independence rule in isolation.
+    pub rules: ReductionRules,
     /// Bound on distinct states expanded (approximate under
     /// parallelism: each worker may overshoot by a few states).
     pub max_states: usize,
@@ -182,6 +187,7 @@ impl Default for ExploreConfig {
             strategy: Strategy::Dfs,
             visited: VisitedMode::Fp64,
             reduction: true,
+            rules: ReductionRules::default(),
             max_states: 1_000_000,
             max_depth: 1 << 16,
             deadline: None,
@@ -192,6 +198,56 @@ impl Default for ExploreConfig {
             resume: None,
             #[cfg(feature = "fault-injection")]
             fault: None,
+        }
+    }
+}
+
+/// Per-rule toggles for the interleaving reduction, all on by
+/// default. Each flag disables exactly one lever so the soundness
+/// battery (`tests/por_soundness.rs`) can assert behavior-set
+/// equality with every subset of rules active — an unsound rule is
+/// then independently falsifiable instead of being masked by the
+/// others.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReductionRules {
+    /// Honor sleep sets at all (skipping sleeping agents, propagating
+    /// sleep masks to children). Off, no independence rule can fire.
+    pub sleep: bool,
+    /// Commit singleton ample sets on `local` groups.
+    pub ample: bool,
+    /// Grant sleep bits via the NA-write rule
+    /// ([`crate::IndependenceRule::NaWrite`]).
+    pub na_write: bool,
+    /// Grant sleep bits via the read/read and read-vs-write rule
+    /// ([`crate::IndependenceRule::Read`]).
+    pub shared_read: bool,
+    /// Grant sleep bits via the atomic-write rule
+    /// ([`crate::IndependenceRule::AtomicWrite`]).
+    pub atomic_write: bool,
+}
+
+impl Default for ReductionRules {
+    fn default() -> Self {
+        ReductionRules {
+            sleep: true,
+            ample: true,
+            na_write: true,
+            shared_read: true,
+            atomic_write: true,
+        }
+    }
+}
+
+impl ReductionRules {
+    /// Whether sleep bits may be granted through `rule`.
+    pub fn allows(&self, rule: crate::IndependenceRule) -> bool {
+        use crate::IndependenceRule::*;
+        match rule {
+            Dependent => false,
+            Pure => true,
+            Read => self.shared_read,
+            NaWrite => self.na_write,
+            AtomicWrite => self.atomic_write,
         }
     }
 }
@@ -772,6 +828,8 @@ struct Expanded<St, B> {
     sleep_skips: usize,
     ample_commits: usize,
     na_commutes: usize,
+    read_commutes: usize,
+    atomic_commutes: usize,
     pruned: usize,
     racy: usize,
     promise: usize,
@@ -789,6 +847,8 @@ impl<St, B> Expanded<St, B> {
             sleep_skips: 0,
             ample_commits: 0,
             na_commutes: 0,
+            read_commutes: 0,
+            atomic_commutes: 0,
             pruned: 0,
             racy: 0,
             promise: 0,
@@ -837,7 +897,7 @@ fn expand<S: TransitionSystem>(
     }
     let mut awake: Vec<usize> = Vec::with_capacity(groups.len());
     for (gi, g) in groups.iter().enumerate() {
-        if sh.cfg.reduction && g.agent < 64 && sleep & (1 << g.agent) != 0 {
+        if sh.cfg.reduction && sh.cfg.rules.sleep && g.agent < 64 && sleep & (1 << g.agent) != 0 {
             out.sleep_skips += 1;
         } else {
             awake.push(gi);
@@ -864,7 +924,7 @@ fn expand<S: TransitionSystem>(
         }
     }
 
-    let ample = if sh.cfg.reduction && awake.len() > 1 {
+    let ample = if sh.cfg.reduction && sh.cfg.rules.ample && awake.len() > 1 {
         awake.iter().copied().find(|&gi| {
             let g = &groups[gi];
             g.local
@@ -907,7 +967,7 @@ fn expand<S: TransitionSystem>(
                 return out;
             }
             let g = &groups[gi];
-            let child_sleep = if sh.cfg.reduction {
+            let child_sleep = if sh.cfg.reduction && sh.cfg.rules.sleep {
                 let mut mask = 0u64;
                 let mut grant =
                     |h: &crate::AgentGroup<S::State, S::Behavior>,
@@ -915,11 +975,31 @@ fn expand<S: TransitionSystem>(
                         if h.agent >= 64 {
                             return;
                         }
-                        let (ind, via_na) = groups_independent(g, h);
-                        if ind {
+                        #[allow(unused_mut)]
+                        let mut rule = groups_independent(g, h);
+                        // Planted bug for the soundness battery: treat
+                        // same-location atomic-write pairs as
+                        // independent. The differential suites must
+                        // observe the dropped behaviors.
+                        #[cfg(feature = "fault-injection")]
+                        if rule == crate::IndependenceRule::Dependent
+                            && g.atomic_write.is_some()
+                            && g.atomic_write == h.atomic_write
+                            && sh
+                                .cfg
+                                .fault
+                                .as_ref()
+                                .is_some_and(|p| p.unsound_atomic_independence)
+                        {
+                            rule = crate::IndependenceRule::AtomicWrite;
+                        }
+                        if sh.cfg.rules.allows(rule) {
                             mask |= 1 << h.agent;
-                            if via_na {
-                                out.na_commutes += 1;
+                            match rule {
+                                crate::IndependenceRule::NaWrite => out.na_commutes += 1,
+                                crate::IndependenceRule::Read => out.read_commutes += 1,
+                                crate::IndependenceRule::AtomicWrite => out.atomic_commutes += 1,
+                                _ => {}
                             }
                         }
                     };
@@ -1022,7 +1102,11 @@ fn process<S: TransitionSystem>(
         revisit,
         path,
     } = job;
-    let sleep_in = if sh.cfg.reduction { sleep } else { 0 };
+    let sleep_in = if sh.cfg.reduction && sh.cfg.rules.sleep {
+        sleep
+    } else {
+        0
+    };
 
     // Phase 1: fingerprint + dedup (runs the state's Hash/Eq). A panic
     // here quarantines without retry: the dedup status is unknowable.
@@ -1180,6 +1264,8 @@ fn process<S: TransitionSystem>(
     stats.sleep_skips += expanded.sleep_skips;
     stats.ample_commits += expanded.ample_commits;
     stats.na_commutes += expanded.na_commutes;
+    stats.read_commutes += expanded.read_commutes;
+    stats.atomic_commutes += expanded.atomic_commutes;
     stats.pruned += expanded.pruned;
     stats.racy_steps += expanded.racy;
     stats.promise_steps += expanded.promise;
@@ -1793,6 +1879,8 @@ mod tests {
                         shared_pure: true,
                         local: true,
                         na_write: None,
+                        shared_read: None,
+                        atomic_write: None,
                     }
                 })
                 .collect()
@@ -1828,6 +1916,8 @@ mod tests {
                     shared_pure: true,
                     local: false,
                     na_write: None,
+                    shared_read: None,
+                    atomic_write: None,
                 });
             }
             if !st.1 {
@@ -1837,6 +1927,8 @@ mod tests {
                     shared_pure: false,
                     local: false,
                     na_write: None,
+                    shared_read: None,
+                    atomic_write: None,
                 });
             }
             out
@@ -1886,6 +1978,8 @@ mod tests {
                 shared_pure: false,
                 local: false,
                 na_write: None,
+                shared_read: None,
+                atomic_write: None,
             }]
         }
 
@@ -2016,6 +2110,8 @@ mod tests {
                         shared_pure: false,
                         local: false,
                         na_write: Some(fp64(&loc)),
+                        shared_read: None,
+                        atomic_write: None,
                     }
                 })
                 .collect()
@@ -2094,6 +2190,8 @@ mod tests {
                         shared_pure: true,
                         local: false,
                         na_write: None,
+                        shared_read: Some(fp64(&0)),
+                        atomic_write: None,
                     });
                 }
                 if !st.1 {
@@ -2103,6 +2201,8 @@ mod tests {
                         shared_pure: false,
                         local: false,
                         na_write: Some(fp64(&0)),
+                        shared_read: None,
+                        atomic_write: None,
                     });
                 }
                 out
@@ -2116,6 +2216,173 @@ mod tests {
             let r = explore(&NaWriteVsRead, &cfg(1, reduction));
             assert_eq!(r.behaviors, want, "reduction={reduction}");
         }
+    }
+
+    #[test]
+    fn pure_reader_does_not_put_na_writer_to_sleep() {
+        // The symmetric direction of the test above (the asymmetry
+        // noted in the sleep-propagation docs): here the *writer* is
+        // agent 0 and is enumerated first, so it is the
+        // earlier-expanded sibling when the reader's grants are
+        // computed. If the relation unsoundly commuted a same-location
+        // read/write pair in this direction, the writer would sleep in
+        // the reader's subtree and the write-after-read behavior
+        // (0, 1) would be lost.
+        struct ReadVsNaWrite;
+        impl TransitionSystem for ReadVsNaWrite {
+            type State = (u8, bool, u8);
+            type Behavior = (u8, u8);
+            fn initial_state(&self) -> Self::State {
+                (255, false, 0)
+            }
+            fn agent_groups(
+                &self,
+                st: &Self::State,
+            ) -> Vec<AgentGroup<Self::State, Self::Behavior>> {
+                let mut out = Vec::new();
+                if !st.1 {
+                    out.push(AgentGroup {
+                        agent: 0,
+                        transitions: vec![Transition::state((st.0, true, 1))],
+                        shared_pure: false,
+                        local: false,
+                        na_write: Some(fp64(&0)),
+                        shared_read: None,
+                        atomic_write: None,
+                    });
+                }
+                if st.0 == 255 {
+                    out.push(AgentGroup {
+                        agent: 1,
+                        transitions: vec![Transition::state((st.2, st.1, st.2))],
+                        shared_pure: true,
+                        local: false,
+                        na_write: None,
+                        shared_read: Some(fp64(&0)),
+                        atomic_write: None,
+                    });
+                }
+                out
+            }
+            fn terminal_behavior(&self, st: &Self::State) -> Option<Self::Behavior> {
+                (st.0 != 255 && st.1).then_some((st.0, st.2))
+            }
+        }
+        let want: BTreeSet<(u8, u8)> = [(0, 1), (1, 1)].into_iter().collect();
+        for reduction in [false, true] {
+            let r = explore(&ReadVsNaWrite, &cfg(1, reduction));
+            assert_eq!(r.behaviors, want, "reduction={reduction}");
+        }
+    }
+
+    #[test]
+    fn distinct_location_read_and_write_commute() {
+        // Reader on location 1, NA writer on location 0: the pair is
+        // independent via the read rule, so reduction must fire
+        // (read_commutes > 0) while preserving the single behavior.
+        struct DisjointReadWrite;
+        impl TransitionSystem for DisjointReadWrite {
+            type State = (u8, bool);
+            type Behavior = (u8, bool);
+            fn initial_state(&self) -> Self::State {
+                (255, false)
+            }
+            fn agent_groups(
+                &self,
+                st: &Self::State,
+            ) -> Vec<AgentGroup<Self::State, Self::Behavior>> {
+                let mut out = Vec::new();
+                if st.0 == 255 {
+                    out.push(AgentGroup {
+                        agent: 0,
+                        // Reads location 1, which is constantly 7.
+                        transitions: vec![Transition::state((7, st.1))],
+                        shared_pure: true,
+                        local: false,
+                        na_write: None,
+                        shared_read: Some(fp64(&1)),
+                        atomic_write: None,
+                    });
+                }
+                if !st.1 {
+                    out.push(AgentGroup {
+                        agent: 1,
+                        transitions: vec![Transition::state((st.0, true))],
+                        shared_pure: false,
+                        local: false,
+                        na_write: Some(fp64(&0)),
+                        shared_read: None,
+                        atomic_write: None,
+                    });
+                }
+                out
+            }
+            fn terminal_behavior(&self, st: &Self::State) -> Option<Self::Behavior> {
+                (st.0 != 255 && st.1).then_some(*st)
+            }
+        }
+        let full = explore(&DisjointReadWrite, &cfg(1, false));
+        let reduced = explore(&DisjointReadWrite, &cfg(1, true));
+        assert_eq!(full.behaviors, reduced.behaviors);
+        assert!(reduced.stats.read_commutes > 0);
+        assert!(reduced.stats.sleep_skips > 0);
+        // With the read rule switched off the pair is treated as
+        // dependent again: no read grants, same behaviors.
+        let mut no_read = cfg(1, true);
+        no_read.rules.shared_read = false;
+        let r = explore(&DisjointReadWrite, &no_read);
+        assert_eq!(r.behaviors, full.behaviors);
+        assert_eq!(r.stats.read_commutes, 0);
+    }
+
+    #[test]
+    fn atomic_write_rule_commutes_distinct_locations_when_enabled() {
+        // Like `NaWriters` but claiming `atomic_write`: the systems
+        // that may claim it guarantee canonical state equality, which
+        // this toy system satisfies trivially (its state is the
+        // counter vector). The rule must prune like the NA rule and
+        // switch off independently.
+        struct AtomicWriters;
+        impl TransitionSystem for AtomicWriters {
+            type State = Vec<u8>;
+            type Behavior = Vec<u8>;
+            fn initial_state(&self) -> Vec<u8> {
+                vec![0; 3]
+            }
+            fn agent_groups(&self, st: &Vec<u8>) -> Vec<AgentGroup<Vec<u8>, Vec<u8>>> {
+                (0..3)
+                    .filter(|&i| st[i] < 2)
+                    .map(|i| {
+                        let mut next = st.clone();
+                        next[i] += 1;
+                        AgentGroup {
+                            agent: i,
+                            transitions: vec![Transition::state(next)],
+                            shared_pure: false,
+                            local: false,
+                            na_write: None,
+                            shared_read: None,
+                            atomic_write: Some(fp64(&i)),
+                        }
+                    })
+                    .collect()
+            }
+            fn terminal_behavior(&self, st: &Vec<u8>) -> Option<Vec<u8>> {
+                st.iter().all(|&c| c == 2).then(|| st.clone())
+            }
+        }
+        let full = explore(&AtomicWriters, &cfg(1, false));
+        let reduced = explore(&AtomicWriters, &cfg(1, true));
+        assert_eq!(full.behaviors, reduced.behaviors);
+        assert!(reduced.stats.atomic_commutes > 0);
+        assert_eq!(reduced.stats.na_commutes, 0);
+        assert!(reduced.stats.transitions < full.stats.transitions);
+        let mut no_atomic = cfg(1, true);
+        no_atomic.rules.atomic_write = false;
+        let r = explore(&AtomicWriters, &no_atomic);
+        assert_eq!(r.behaviors, full.behaviors);
+        assert_eq!(r.stats.atomic_commutes, 0);
+        assert_eq!(r.stats.transitions, full.stats.transitions);
     }
 
     #[test]
@@ -2149,6 +2416,8 @@ mod tests {
                         shared_pure: false,
                         local: false,
                         na_write: None,
+                        shared_read: None,
+                        atomic_write: None,
                     }]
                 } else {
                     vec![]

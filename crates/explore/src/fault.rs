@@ -62,6 +62,13 @@ pub struct FaultPlan {
     /// state count crosses a multiple of this value (simulated memory
     /// exhaustion driving the exact → fp128 → fp64 ladder).
     pub downgrade_every_states: Option<usize>,
+    /// Plant an *unsound* independence rule: same-location
+    /// atomic-write pairs are mis-flagged as commuting, so the sleep
+    /// sets prune interleavings whose behaviors genuinely differ.
+    /// Unlike the knobs above this is not a fault the engine should
+    /// tolerate — it exists so the POR soundness battery can prove it
+    /// detects a broken rule (`tests/validation_catches_bugs.rs`).
+    pub unsound_atomic_independence: bool,
 }
 
 impl FaultPlan {

@@ -53,7 +53,8 @@ pub mod system;
 pub use checkpoint::CHECKPOINT_VERSION;
 pub use counters::CounterSnapshot;
 pub use engine::{
-    explore, try_explore, CheckpointSpec, ExploreConfig, ExploreResult, Strategy, VisitedMode,
+    explore, try_explore, CheckpointSpec, ExploreConfig, ExploreResult, ReductionRules, Strategy,
+    VisitedMode,
 };
 pub use error::{
     CorruptReason, ExploreError, ExploreIncident, ExploreWarning, IncidentKind, StopReason,
@@ -63,4 +64,7 @@ pub use fault::{FaultPlan, InjectedFault};
 pub use fingerprint::{fp128, fp64, FxHasher};
 pub use rng::{mix64, SplitMix64};
 pub use stats::ExploreStats;
-pub use system::{groups_independent, AgentGroup, StepTags, Target, Transition, TransitionSystem};
+pub use system::{
+    groups_independent, AgentGroup, IndependenceRule, StepTags, Target, Transition,
+    TransitionSystem,
+};

@@ -25,6 +25,13 @@ pub struct ExploreStats {
     /// (distinct-location `AgentGroup::na_write` pairs) that the
     /// pure-vs-pure rule alone would not have granted.
     pub na_commutes: usize,
+    /// Sleep-set bits granted by the read/read (or read vs
+    /// distinct-location write) rule (`AgentGroup::shared_read`).
+    pub read_commutes: usize,
+    /// Sleep-set bits granted by the atomic-write commutation rule
+    /// (distinct-location `AgentGroup::atomic_write` pairs, sound only
+    /// under a canonicalizing state quotient).
+    pub atomic_commutes: usize,
     /// Transitions the system enumerated but filtered (e.g. failed
     /// certification).
     pub pruned: usize,
@@ -94,6 +101,8 @@ impl ExploreStats {
         self.sleep_skips += other.sleep_skips;
         self.ample_commits += other.ample_commits;
         self.na_commutes += other.na_commutes;
+        self.read_commutes += other.read_commutes;
+        self.atomic_commutes += other.atomic_commutes;
         self.pruned += other.pruned;
         self.racy_steps += other.racy_steps;
         self.promise_steps += other.promise_steps;
@@ -133,8 +142,12 @@ impl fmt::Display for ExploreStats {
         )?;
         writeln!(
             f,
-            "reduction: {} sleep skips, {} ample commits, {} na commutes",
-            self.sleep_skips, self.ample_commits, self.na_commutes
+            "reduction: {} sleep skips, {} ample commits, {} na / {} read / {} atomic commutes",
+            self.sleep_skips,
+            self.ample_commits,
+            self.na_commutes,
+            self.read_commutes,
+            self.atomic_commutes
         )?;
         if self.incident_count > 0 || self.quarantined > 0 {
             writeln!(

@@ -105,21 +105,133 @@ pub struct AgentGroup<St, B> {
     /// Licenses sleep-set reduction pairwise against other `na_write`
     /// groups, in addition to the `shared_pure`-vs-`shared_pure` rule.
     pub na_write: Option<u64>,
+    /// `Some(fp)` iff *every* transition in this group is an ordinary
+    /// [`Target::State`] step that only *reads* shared state, and the
+    /// single shared location it reads is fingerprinted by `fp` (via
+    /// [`crate::fp64`] on the location). The group must additionally
+    /// be [`shared_pure`](Self::shared_pure)-grade: no shared-state
+    /// mutation, no SC-view change, no promise enabled or emitted.
+    ///
+    /// Two read-only groups commute regardless of location: neither
+    /// changes anything the other can observe. A read group also
+    /// commutes with a *write* group ([`na_write`](Self::na_write) or
+    /// [`atomic_write`](Self::atomic_write)) to a **distinct**
+    /// location — but never with a write to the *same* location (the
+    /// write enables new read values), so the relation compares
+    /// fingerprints. A read group whose location cannot be pinned to
+    /// one fingerprint must stay `None` (it still benefits from the
+    /// pure/pure rule).
+    pub shared_read: Option<u64>,
+    /// `Some(fp)` iff *every* transition in this group is an ordinary
+    /// [`Target::State`] step whose only shared-state effect is an
+    /// **atomic** write to the single location fingerprinted by `fp`
+    /// ([`crate::fp64`]), with no promise outstanding or emitted and
+    /// the global SC view unchanged.
+    ///
+    /// Unlike [`na_write`](Self::na_write), atomic writes to distinct
+    /// locations do *not* commute state-on-the-nose under PS^na: the
+    /// dense timestamps each write picks depend on the interleaving,
+    /// so the two execution orders reach states that differ in
+    /// timestamp *values* while agreeing on everything observable
+    /// (order type, adjacency, views up to the same quotient). A
+    /// system may therefore only claim this flag when its `State`
+    /// equality (`Eq`/`Hash`) is invariant under that quotient — i.e.
+    /// states reached by reordering two distinct-location atomic
+    /// writes compare equal. The canonicalizing PS^na adapter
+    /// (`seqwm-promising`'s canonical mode, which ranks timestamps per
+    /// location and joins views before hashing) and the SC adapter
+    /// (flat memory, writes to distinct keys commute structurally)
+    /// satisfy this; the raw PS^na adapter does not and must leave the
+    /// flag `None`. Same-location pairs never commute (coherence
+    /// orders them observably).
+    pub atomic_write: Option<u64>,
+}
+
+/// Which rule (if any) grants independence of a pair of agent groups.
+/// Ordered from the strongest commutation guarantee to the weakest:
+/// later rules subsume earlier ones' preconditions but rely on
+/// progressively more system-side reasoning (see DESIGN.md §3.11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IndependenceRule {
+    /// The pair does not commute (or cannot be proven to).
+    Dependent,
+    /// Both groups are [`AgentGroup::shared_pure`]: neither touches
+    /// shared state, so they commute trivially.
+    Pure,
+    /// Granted by the read/read (or read vs distinct-location write)
+    /// rule via [`AgentGroup::shared_read`].
+    Read,
+    /// Granted by the non-atomic-write rule via
+    /// [`AgentGroup::na_write`]: distinct-location NA writes commute
+    /// state-on-the-nose.
+    NaWrite,
+    /// Granted by the atomic-write rule via
+    /// [`AgentGroup::atomic_write`]: distinct-location atomic writes
+    /// commute up to the canonical state quotient.
+    AtomicWrite,
+}
+
+impl IndependenceRule {
+    /// Whether the pair commutes at all.
+    pub fn independent(self) -> bool {
+        self != IndependenceRule::Dependent
+    }
+}
+
+/// The location-fingerprint a group *writes*, if it claims a
+/// single-location write rule (NA or atomic).
+fn write_fp<St, B>(g: &AgentGroup<St, B>) -> Option<u64> {
+    g.na_write.or(g.atomic_write)
 }
 
 /// Whether two agent groups' steps commute (order-irrelevant), i.e.
 /// from any state where both are enabled, executing them in either
-/// order reaches the same state and neither enables/disables the
-/// other. Returns `(independent, via_na)` where `via_na` marks pairs
-/// granted only by the non-atomic-write rule (for the
-/// [`na_commutes`](crate::ExploreStats::na_commutes) counter).
-pub fn groups_independent<St, B>(a: &AgentGroup<St, B>, b: &AgentGroup<St, B>) -> (bool, bool) {
+/// order reaches the same state (up to the system's state equality —
+/// see [`AgentGroup::atomic_write`]) and neither enables/disables the
+/// other. Returns the granting [`IndependenceRule`], or
+/// [`IndependenceRule::Dependent`] when none applies; the engine maps
+/// the rule to its per-rule counter and to the corresponding
+/// [`crate::ReductionRules`] toggle.
+///
+/// The relation is symmetric by construction: every clause treats `a`
+/// and `b` the same way (exercised by the property tests in
+/// `independence_props.rs`).
+pub fn groups_independent<St, B>(a: &AgentGroup<St, B>, b: &AgentGroup<St, B>) -> IndependenceRule {
     if a.shared_pure && b.shared_pure {
-        return (true, false);
+        return IndependenceRule::Pure;
     }
+    // Read/read: two read-only groups commute regardless of location.
+    if a.shared_read.is_some() && b.shared_read.is_some() {
+        return IndependenceRule::Read;
+    }
+    // Read vs write: commute iff the locations are distinct. The
+    // same-location case is the reads-don't-sleep-writers guard — a
+    // write enables new values for the read, so the pair is dependent
+    // in BOTH directions (writer must not sleep the reader and vice
+    // versa).
+    match (a.shared_read, write_fp(b)) {
+        (Some(x), Some(y)) if x != y => return IndependenceRule::Read,
+        (Some(_), Some(_)) => return IndependenceRule::Dependent,
+        _ => {}
+    }
+    match (write_fp(a), b.shared_read) {
+        (Some(x), Some(y)) if x != y => return IndependenceRule::Read,
+        (Some(_), Some(_)) => return IndependenceRule::Dependent,
+        _ => {}
+    }
+    // NA/NA writes to distinct locations commute state-on-the-nose.
     match (a.na_write, b.na_write) {
-        (Some(x), Some(y)) if x != y => (true, true),
-        _ => (false, false),
+        (Some(x), Some(y)) if x != y => return IndependenceRule::NaWrite,
+        _ => {}
+    }
+    // Any remaining distinct-location write pair with at least one
+    // atomic side commutes only up to the canonical quotient, so it is
+    // attributed to (and gated by) the atomic-write rule.
+    match (write_fp(a), write_fp(b)) {
+        (Some(x), Some(y)) if x != y && (a.atomic_write.is_some() || b.atomic_write.is_some()) => {
+            IndependenceRule::AtomicWrite
+        }
+        _ => IndependenceRule::Dependent,
     }
 }
 

@@ -1,0 +1,173 @@
+//! Property tests for the independence relation (`groups_independent`).
+//!
+//! Groups are generated from a vocabulary of *contract-consistent*
+//! shapes (opaque, shared-pure, pure reader of a location, NA writer,
+//! atomic writer) — the relation's soundness contracts make flag
+//! combinations like "shared-pure writer" meaningless, so the
+//! generator never produces them. Randomness comes from the crate's
+//! own `SplitMix64` (the workspace is dependency-free by design).
+
+use seqwm_explore::{fp64, groups_independent, AgentGroup, IndependenceRule, SplitMix64};
+
+/// The location vocabulary: small so same-location pairs are common.
+const LOCS: [u32; 3] = [0, 1, 2];
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Shape {
+    /// No claims at all (e.g. a group containing a racy write).
+    Opaque,
+    /// Shared-pure with no pinned read location (e.g. a fence).
+    Pure,
+    /// A pure read of one location.
+    Reader(u32),
+    /// A non-atomic write to one location.
+    NaWriter(u32),
+    /// An atomic write to one location (canonical-adapter claim).
+    AtomicWriter(u32),
+}
+
+fn group(agent: usize, shape: Shape) -> AgentGroup<u8, u8> {
+    let mut g = AgentGroup {
+        agent,
+        transitions: Vec::new(),
+        shared_pure: false,
+        local: false,
+        na_write: None,
+        shared_read: None,
+        atomic_write: None,
+    };
+    match shape {
+        Shape::Opaque => {}
+        Shape::Pure => g.shared_pure = true,
+        Shape::Reader(l) => {
+            g.shared_pure = true;
+            g.shared_read = Some(fp64(&l));
+        }
+        Shape::NaWriter(l) => g.na_write = Some(fp64(&l)),
+        Shape::AtomicWriter(l) => g.atomic_write = Some(fp64(&l)),
+    }
+    g
+}
+
+fn sample(rng: &mut SplitMix64) -> Shape {
+    let loc = LOCS[(rng.next_u64() % LOCS.len() as u64) as usize];
+    match rng.next_u64() % 5 {
+        0 => Shape::Opaque,
+        1 => Shape::Pure,
+        2 => Shape::Reader(loc),
+        3 => Shape::NaWriter(loc),
+        _ => Shape::AtomicWriter(loc),
+    }
+}
+
+const ROUNDS: usize = 2_000;
+
+#[test]
+fn relation_is_symmetric() {
+    let mut rng = SplitMix64::new(0x1dcb);
+    for _ in 0..ROUNDS {
+        let (sa, sb) = (sample(&mut rng), sample(&mut rng));
+        let a = group(0, sa);
+        let b = group(1, sb);
+        assert_eq!(
+            groups_independent(&a, &b),
+            groups_independent(&b, &a),
+            "asymmetric on {sa:?} vs {sb:?}"
+        );
+    }
+}
+
+#[test]
+fn same_location_writes_never_commute() {
+    for &l in &LOCS {
+        for wa in [Shape::NaWriter(l), Shape::AtomicWriter(l)] {
+            for wb in [Shape::NaWriter(l), Shape::AtomicWriter(l)] {
+                let a = group(0, wa);
+                let b = group(1, wb);
+                assert_eq!(
+                    groups_independent(&a, &b),
+                    IndependenceRule::Dependent,
+                    "same-location write pair {wa:?}/{wb:?} must not commute"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reader_never_commutes_with_same_location_write() {
+    // Both directions: the writer must not sleep the reader, and the
+    // reader must not sleep the writer (the guard symmetric to the
+    // NA-write rule's read exclusion).
+    for &l in &LOCS {
+        let r = group(0, Shape::Reader(l));
+        for w in [Shape::NaWriter(l), Shape::AtomicWriter(l)] {
+            let w = group(1, w);
+            assert_eq!(groups_independent(&r, &w), IndependenceRule::Dependent);
+            assert_eq!(groups_independent(&w, &r), IndependenceRule::Dependent);
+        }
+    }
+}
+
+#[test]
+fn readers_commute_with_each_other_and_with_distinct_writes() {
+    let r0 = group(0, Shape::Reader(0));
+    let r1 = group(1, Shape::Reader(1));
+    let r0b = group(1, Shape::Reader(0));
+    // Read/read commutes regardless of location. A pair of readers is
+    // also shared-pure, so the (stronger) pure rule claims it first.
+    assert_eq!(groups_independent(&r0, &r1), IndependenceRule::Pure);
+    assert_eq!(groups_independent(&r0, &r0b), IndependenceRule::Pure);
+    // Distinct-location read-vs-write pairs go through the read rule.
+    for w in [Shape::NaWriter(1), Shape::AtomicWriter(1)] {
+        let w = group(1, w);
+        assert_eq!(groups_independent(&r0, &w), IndependenceRule::Read);
+        assert_eq!(groups_independent(&w, &r0), IndependenceRule::Read);
+    }
+}
+
+#[test]
+fn distinct_location_write_pairs_pick_the_weakest_needed_rule() {
+    let na0 = group(0, Shape::NaWriter(0));
+    let na1 = group(1, Shape::NaWriter(1));
+    let at0 = group(0, Shape::AtomicWriter(0));
+    let at1 = group(1, Shape::AtomicWriter(1));
+    // NA/NA commutes state-on-the-nose: NaWrite rule.
+    assert_eq!(groups_independent(&na0, &na1), IndependenceRule::NaWrite);
+    // Any pair with an atomic side needs the canonical quotient:
+    // attributed to (and disableable via) the atomic rule.
+    assert_eq!(
+        groups_independent(&at0, &at1),
+        IndependenceRule::AtomicWrite
+    );
+    assert_eq!(
+        groups_independent(&na0, &at1),
+        IndependenceRule::AtomicWrite
+    );
+    assert_eq!(
+        groups_independent(&at0, &na1),
+        IndependenceRule::AtomicWrite
+    );
+}
+
+#[test]
+fn independence_implies_a_granting_rule_and_dependence_none() {
+    // Rule-level sanity over random pairs: `independent()` is exactly
+    // "some rule other than Dependent", and claim-free (opaque) groups
+    // never commute with anything but nothing-at-stake pure pairs.
+    let mut rng = SplitMix64::new(0xace5);
+    for _ in 0..ROUNDS {
+        let (sa, sb) = (sample(&mut rng), sample(&mut rng));
+        let a = group(0, sa);
+        let b = group(1, sb);
+        let rule = groups_independent(&a, &b);
+        assert_eq!(rule.independent(), rule != IndependenceRule::Dependent);
+        if sa == Shape::Opaque || sb == Shape::Opaque {
+            assert_eq!(
+                rule,
+                IndependenceRule::Dependent,
+                "an opaque group commutes with nothing ({sa:?} vs {sb:?})"
+            );
+        }
+    }
+}

@@ -27,6 +27,7 @@
 use seqwm_explore::ExploreConfig;
 use seqwm_lang::parser::parse_program;
 use seqwm_lang::Program;
+use seqwm_promising::canon::explore_engine_canonical;
 use seqwm_promising::search::{explore_engine, EngineExploration};
 use seqwm_promising::thread::PsConfig;
 
@@ -74,6 +75,16 @@ impl ScalingCase {
     /// strategy, reduction, budgets).
     pub fn explore(&self, ecfg: &ExploreConfig) -> EngineExploration {
         explore_engine(&self.programs(), &self.config(), ecfg)
+    }
+
+    /// Explores the instance through the canonicalizing PS^na adapter
+    /// (timestamp-rank state quotient): dedup merges timestamp-renamed
+    /// states and the atomic-write commutation rule is in force — the
+    /// lever that actually moves the atomic-heavy families (`sb-ring`,
+    /// `mp-chain`), which plain [`Self::explore`] cannot reduce beyond
+    /// the pure/read rules.
+    pub fn explore_canonical(&self, ecfg: &ExploreConfig) -> EngineExploration {
+        explore_engine_canonical(&self.programs(), &self.config(), ecfg)
     }
 }
 
@@ -248,6 +259,44 @@ mod tests {
             assert!(returns(&e).contains(&ints(&vec![1; n])), "{}", case.name);
             assert!(!e.behaviors.contains(&PsBehavior::Ub), "{}", case.name);
         }
+    }
+
+    #[test]
+    fn sb_ring_canonical_reduction_preserves_behaviors_and_fires_atomic_rule() {
+        let case = sb_ring(3);
+        let base = engine_config(&case.config());
+        let full = case.explore(&ExploreConfig {
+            reduction: false,
+            ..base.clone()
+        });
+        let reduced = case.explore_canonical(&base);
+        assert_eq!(full.behaviors, reduced.behaviors);
+        assert!(reduced.stats.atomic_commutes > 0, "atomic rule never fired");
+        assert!(reduced.stats.read_commutes > 0, "read rule never fired");
+        assert!(
+            reduced.stats.transitions < full.stats.transitions,
+            "canonical reduced {} vs full {} transitions",
+            reduced.stats.transitions,
+            full.stats.transitions
+        );
+    }
+
+    #[test]
+    fn mp_chain_canonical_reduction_preserves_behaviors() {
+        let case = mp_chain(4);
+        let base = engine_config(&case.config());
+        let full = case.explore(&ExploreConfig {
+            reduction: false,
+            ..base.clone()
+        });
+        let reduced = case.explore_canonical(&base);
+        assert_eq!(full.behaviors, reduced.behaviors);
+        assert!(
+            reduced.stats.transitions < full.stats.transitions,
+            "canonical reduced {} vs full {} transitions",
+            reduced.stats.transitions,
+            full.stats.transitions
+        );
     }
 
     #[test]

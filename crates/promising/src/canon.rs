@@ -1,0 +1,434 @@
+//! Canonicalizing state quotient for PS^na exploration.
+//!
+//! PS^na timestamps are dense rationals chosen afresh by every write,
+//! so two executions that differ only in the *order* of writes to
+//! distinct locations reach machine states that are observably
+//! identical but compare unequal: the interval endpoints (and the
+//! views built from them) carry different rational values. The
+//! memory-module invariant is that **only the order and adjacency of
+//! timestamps is observable** — readability is a comparison against a
+//! view, and RMW atomicity is interval adjacency — never the rational
+//! values themselves.
+//!
+//! [`CanonState`] quotients a [`MachineState`] by that invariant: per
+//! location, every timestamp occurring anywhere in the state (message
+//! endpoints, message views, thread views, promise keys, the SC view)
+//! is replaced by its *rank* in the sorted set of that location's
+//! timestamps. Ranking preserves order and adjacency — two endpoints
+//! coincide iff their ranks do — so canonically-equal states are
+//! bisimilar: they enable the same steps, and corresponding steps
+//! lead to canonically-equal states again.
+//!
+//! Two consequences the engine exploits:
+//!
+//! * **Dedup**: executions reaching order-equivalent states merge to
+//!   one visited entry, which alone shrinks atomic-heavy state spaces
+//!   (`sb-ring-N`, `mp-chain-N`) that raw state equality cannot.
+//! * **Atomic-write commutation**: the [`AgentGroup::atomic_write`]
+//!   independence claim requires exactly this quotient to hold of the
+//!   system's state equality, so [`CanonPsSystem`] is the adapter
+//!   that may (and does) claim it — see
+//!   [`PsSystem::groups_with_claims`](crate::search::PsSystem).
+//!
+//! Equality and hashing go through a 128-bit fingerprint of the
+//! canonical form rather than a structural canonical clone: the
+//! engine's default visited mode folds states to 64-bit fingerprints
+//! anyway, so a 128-bit canonical fingerprint adds no collision risk
+//! the pipeline has not already accepted.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+
+use seqwm_explore::{
+    AgentGroup, ExploreConfig, ExploreError, Target, Transition, TransitionSystem,
+};
+use seqwm_lang::{Loc, Program};
+
+use crate::machine::{MachineState, PsBehavior};
+use crate::search::{EngineExploration, PsSystem};
+use crate::thread::PsConfig;
+use crate::time::Timestamp;
+use crate::view::View;
+
+/// Per-location sorted timestamp sets collected from a whole state.
+type TimeSets = BTreeMap<Loc, BTreeSet<Timestamp>>;
+
+/// Per-location rank of each timestamp (its index in sorted order).
+type Ranks = BTreeMap<Loc, BTreeMap<Timestamp, u64>>;
+
+fn collect_view(times: &mut TimeSets, v: &View) {
+    if let View::Map(m) = v {
+        for (&l, &t) in m {
+            times.entry(l).or_default().insert(t);
+        }
+    }
+}
+
+/// Collects every timestamp the state mentions, per location. Message
+/// views and thread views may mention *any* location, so the scan is
+/// global, not per-timeline.
+fn collect_times(st: &MachineState) -> TimeSets {
+    let mut times = TimeSets::new();
+    for loc in st.mem.locs() {
+        let set = times.entry(loc).or_default();
+        // Zero is always rankable even if no explicit occurrence
+        // remains (views normalize zero entries away).
+        set.insert(Timestamp::ZERO);
+        for msg in st.mem.messages(loc) {
+            set.insert(msg.from);
+            set.insert(msg.to);
+        }
+    }
+    for loc in st.mem.locs() {
+        for msg in st.mem.messages(loc) {
+            collect_view(&mut times, &msg.view);
+        }
+    }
+    collect_view(&mut times, &st.sc_view);
+    for t in &st.threads {
+        collect_view(&mut times, &t.view.cur);
+        collect_view(&mut times, &t.view.acq);
+        for (_, v) in t.view.rel_entries() {
+            collect_view(&mut times, v);
+        }
+        for &(l, ts) in t.promises.iter() {
+            times.entry(l).or_default().insert(ts);
+        }
+    }
+    times
+}
+
+fn rank_of(ranks: &Ranks, l: Loc, t: Timestamp) -> u64 {
+    ranks
+        .get(&l)
+        .and_then(|m| m.get(&t).copied())
+        // Unreachable by construction (collect_times is exhaustive);
+        // a distinct sentinel keeps a miss conservative: it can only
+        // split states apart, never merge them.
+        .unwrap_or(u64::MAX)
+}
+
+/// Feeds a view into the token stream: a Bottom/Map tag, then each
+/// entry as (location fingerprint, rank). `View::Bottom` is kept
+/// distinct from explicit zero maps — finer than strictly necessary,
+/// and therefore safe.
+fn push_view(out: &mut Vec<u64>, ranks: &Ranks, v: &View) {
+    match v {
+        View::Bottom => out.push(0),
+        View::Map(m) => {
+            out.push(1);
+            out.push(m.len() as u64);
+            for (&l, &t) in m {
+                out.push(seqwm_explore::fp64(&l));
+                out.push(rank_of(ranks, l, t));
+            }
+        }
+    }
+}
+
+/// The canonical fingerprint: a deterministic token stream over the
+/// rank-quotiented state, folded to 128 bits.
+fn canon_fp(st: &MachineState) -> u128 {
+    let times = collect_times(st);
+    let mut ranks = Ranks::new();
+    for (l, set) in &times {
+        let m = set
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u64))
+            .collect::<BTreeMap<_, _>>();
+        ranks.insert(*l, m);
+    }
+
+    let mut out: Vec<u64> = Vec::with_capacity(64);
+    out.push(st.threads.len() as u64);
+    for t in &st.threads {
+        // Program state, prints, and promise budget have no timestamp
+        // content; fold them through the ordinary hash.
+        out.push(seqwm_explore::fp64(&t.prog));
+        out.push(seqwm_explore::fp64(&t.prints));
+        out.push(t.promises_made as u64);
+        push_view(&mut out, &ranks, &t.view.cur);
+        push_view(&mut out, &ranks, &t.view.acq);
+        let rel: Vec<_> = t.view.rel_entries().collect();
+        out.push(rel.len() as u64);
+        for (l, v) in rel {
+            out.push(seqwm_explore::fp64(l));
+            push_view(&mut out, &ranks, v);
+        }
+        let mut n_promises = 0u64;
+        let at = out.len();
+        out.push(0);
+        for &(l, ts) in t.promises.iter() {
+            out.push(seqwm_explore::fp64(&l));
+            out.push(rank_of(&ranks, l, ts));
+            n_promises += 1;
+        }
+        out[at] = n_promises;
+    }
+    for loc in st.mem.locs() {
+        let msgs = st.mem.messages(loc);
+        out.push(seqwm_explore::fp64(&loc));
+        out.push(msgs.len() as u64);
+        for msg in msgs {
+            out.push(rank_of(&ranks, loc, msg.from));
+            out.push(rank_of(&ranks, loc, msg.to));
+            out.push(seqwm_explore::fp64(&msg.payload));
+            push_view(&mut out, &ranks, &msg.view);
+        }
+    }
+    push_view(&mut out, &ranks, &st.sc_view);
+    seqwm_explore::fp128(&out)
+}
+
+/// A machine state compared and hashed up to timestamp renaming.
+///
+/// Successor computation and terminal behavior go through the wrapped
+/// raw state; only `Eq`/`Hash` see the canonical fingerprint.
+#[derive(Clone, Debug)]
+pub struct CanonState {
+    /// The underlying raw machine state.
+    pub inner: MachineState,
+    fp: u128,
+}
+
+impl CanonState {
+    /// Wraps a raw state, computing its canonical fingerprint once.
+    pub fn new(inner: MachineState) -> Self {
+        let fp = canon_fp(&inner);
+        CanonState { inner, fp }
+    }
+
+    /// The canonical fingerprint (stable under timestamp renaming of
+    /// the wrapped state).
+    pub fn canon_fp(&self) -> u128 {
+        self.fp
+    }
+}
+
+impl PartialEq for CanonState {
+    fn eq(&self, other: &Self) -> bool {
+        self.fp == other.fp
+    }
+}
+
+impl Eq for CanonState {}
+
+impl Hash for CanonState {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.fp.hash(state);
+    }
+}
+
+/// The PS^na machine explored up to the canonical quotient: same step
+/// enumeration and reduction flags as [`PsSystem`], plus the
+/// [`AgentGroup::atomic_write`] claim the quotient licenses.
+pub struct CanonPsSystem<'a> {
+    inner: PsSystem<'a>,
+}
+
+impl<'a> CanonPsSystem<'a> {
+    /// Wraps a parallel composition of programs under a PS^na config.
+    pub fn new(progs: &'a [Program], cfg: &'a PsConfig) -> Self {
+        CanonPsSystem {
+            inner: PsSystem::new(progs, cfg),
+        }
+    }
+}
+
+impl TransitionSystem for CanonPsSystem<'_> {
+    type State = CanonState;
+    type Behavior = PsBehavior;
+
+    fn initial_state(&self) -> CanonState {
+        CanonState::new(MachineState::new(self.inner.progs()))
+    }
+
+    fn agent_groups(&self, st: &CanonState) -> Vec<AgentGroup<CanonState, PsBehavior>> {
+        self.inner
+            .groups_with_claims(&st.inner)
+            .into_iter()
+            .map(|g| AgentGroup {
+                agent: g.agent,
+                transitions: g
+                    .transitions
+                    .into_iter()
+                    .map(|tr| Transition {
+                        target: match tr.target {
+                            Target::State(s) => Target::State(CanonState::new(s)),
+                            Target::Behavior(b) => Target::Behavior(b),
+                            Target::Pruned => Target::Pruned,
+                        },
+                        tags: tr.tags,
+                    })
+                    .collect(),
+                shared_pure: g.shared_pure,
+                local: g.local,
+                na_write: g.na_write,
+                shared_read: g.shared_read,
+                atomic_write: g.atomic_write,
+            })
+            .collect()
+    }
+
+    fn terminal_behavior(&self, st: &CanonState) -> Option<PsBehavior> {
+        st.inner.terminal_behavior()
+    }
+}
+
+/// [`crate::search::explore_engine`] over the canonical quotient:
+/// dedup merges timestamp-renamed states, and the atomic-write
+/// commutation rule is in force.
+pub fn explore_engine_canonical(
+    progs: &[Program],
+    cfg: &PsConfig,
+    ecfg: &ExploreConfig,
+) -> EngineExploration {
+    let sys = CanonPsSystem::new(progs, cfg);
+    let r = seqwm_explore::explore(&sys, ecfg);
+    EngineExploration {
+        behaviors: r.behaviors,
+        stats: r.stats,
+    }
+}
+
+/// Fallible variant of [`explore_engine_canonical`] (mirrors
+/// [`crate::search::try_explore_engine`]).
+pub fn try_explore_engine_canonical(
+    progs: &[Program],
+    cfg: &PsConfig,
+    ecfg: &ExploreConfig,
+) -> Result<EngineExploration, ExploreError> {
+    let sys = CanonPsSystem::new(progs, cfg);
+    let r = seqwm_explore::try_explore(&sys, ecfg)?;
+    Ok(EngineExploration {
+        behaviors: r.behaviors,
+        stats: r.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{engine_config, explore_engine};
+    use seqwm_lang::parser::parse_program;
+
+    fn progs(srcs: &[&str]) -> Vec<Program> {
+        srcs.iter().map(|s| parse_program(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn canonical_agrees_with_raw_on_message_passing() {
+        let ps = progs(&[
+            "store[na](cmp_d, 1); store[rel](cmp_f, 1); return 0;",
+            "a := load[acq](cmp_f); if (a == 1) { b := load[na](cmp_d); } else { b := 7; } return b;",
+        ]);
+        let cfg = PsConfig::default();
+        let legacy = crate::machine::explore_legacy(&ps, &cfg);
+        for reduction in [false, true] {
+            let e = explore_engine_canonical(
+                &ps,
+                &cfg,
+                &ExploreConfig {
+                    reduction,
+                    ..engine_config(&cfg)
+                },
+            );
+            assert_eq!(e.behaviors, legacy.behaviors, "reduction={reduction}");
+        }
+    }
+
+    #[test]
+    fn atomic_rule_fires_and_preserves_behaviors_on_store_buffering() {
+        // Two relaxed writers + cross reads (SB): atomic-heavy, no NA
+        // locations, so reduction beyond pure/pure must come from the
+        // atomic-write and read rules.
+        let ps = progs(&[
+            "store[rlx](csb_x, 1); a := load[rlx](csb_y); return a;",
+            "store[rlx](csb_y, 1); b := load[rlx](csb_x); return b;",
+        ]);
+        let cfg = PsConfig::default();
+        let raw_full = explore_engine(
+            &ps,
+            &cfg,
+            &ExploreConfig {
+                reduction: false,
+                ..engine_config(&cfg)
+            },
+        );
+        let canon = explore_engine_canonical(&ps, &cfg, &engine_config(&cfg));
+        assert_eq!(canon.behaviors, raw_full.behaviors);
+        assert!(canon.stats.atomic_commutes > 0, "atomic rule never fired");
+        assert!(
+            canon.stats.transitions < raw_full.stats.transitions,
+            "canon {} vs raw full {} transitions",
+            canon.stats.transitions,
+            raw_full.stats.transitions
+        );
+    }
+
+    #[test]
+    fn canonical_dedup_merges_timestamp_renamings() {
+        // Even with reduction off, the canonical quotient alone must
+        // not explore more states than the raw engine.
+        let ps = progs(&[
+            "store[rlx](cdm_x, 1); return 0;",
+            "store[rlx](cdm_y, 1); return 0;",
+        ]);
+        let cfg = PsConfig::default();
+        let off = ExploreConfig {
+            reduction: false,
+            ..engine_config(&cfg)
+        };
+        let raw = explore_engine(&ps, &cfg, &off);
+        let canon = explore_engine_canonical(&ps, &cfg, &off);
+        assert_eq!(canon.behaviors, raw.behaviors);
+        assert!(
+            canon.stats.states <= raw.stats.states,
+            "canon {} vs raw {} states",
+            canon.stats.states,
+            raw.stats.states
+        );
+    }
+
+    #[test]
+    fn canonical_fingerprint_is_stable_under_step_reordering() {
+        // Execute two independent distinct-location atomic writes in
+        // both orders by hand and check the canonical fingerprints of
+        // the reachable frontier sets coincide.
+        let ps = progs(&[
+            "store[rlx](cfs_x, 1); return 0;",
+            "store[rlx](cfs_y, 1); return 0;",
+        ]);
+        let cfg = PsConfig::default();
+        let sys = CanonPsSystem::new(&ps, &cfg);
+        let init = sys.initial_state();
+        let after = |st: &CanonState, agent: usize| -> Vec<CanonState> {
+            sys.agent_groups(st)
+                .into_iter()
+                .filter(|g| g.agent == agent)
+                .flat_map(|g| g.transitions)
+                .filter_map(|t| match t.target {
+                    Target::State(s) => Some(s),
+                    _ => None,
+                })
+                .collect()
+        };
+        let mut via01: Vec<u128> = after(&init, 0)
+            .iter()
+            .flat_map(|s| after(s, 1))
+            .map(|s| s.canon_fp())
+            .collect();
+        let mut via10: Vec<u128> = after(&init, 1)
+            .iter()
+            .flat_map(|s| after(s, 0))
+            .map(|s| s.canon_fp())
+            .collect();
+        via01.sort_unstable();
+        via01.dedup();
+        via10.sort_unstable();
+        via10.dedup();
+        assert!(!via01.is_empty());
+        assert_eq!(via01, via10, "reordered executions must merge");
+    }
+}

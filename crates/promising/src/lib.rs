@@ -19,6 +19,8 @@
 //! * [`search`] — the PS^na adapter for the `seqwm-explore` engine
 //!   (parallel workers, interleaving reduction, fingerprint dedup,
 //!   structured stats); [`machine::explore`] is a thin wrapper over it.
+//! * [`canon`] — the timestamp-rank state quotient ([`CanonState`])
+//!   and the canonical adapter that licenses atomic-write commutation.
 //! * [`sc`] — a sequentially consistent interleaving baseline.
 //! * [`drf`] — data-race-freedom reports and model comparisons.
 //! * [`strengthen`] — the §5 access-mode strengthening soundness claim.
@@ -48,6 +50,7 @@
 //! # Ok::<(), seqwm_lang::parser::ParseError>(())
 //! ```
 
+pub mod canon;
 pub mod drf;
 pub mod machine;
 pub mod memory;
@@ -59,6 +62,9 @@ pub mod time;
 pub mod tview;
 pub mod view;
 
+pub use canon::{
+    explore_engine_canonical, try_explore_engine_canonical, CanonPsSystem, CanonState,
+};
 pub use drf::{drf_check, race_report, DrfReport, RaceReport};
 pub use machine::{
     explore, explore_legacy, ps_behaviors_refine, Exploration, MachineState, PsBehavior,

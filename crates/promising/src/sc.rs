@@ -94,6 +94,8 @@ impl TransitionSystem for ScSystem<'_> {
             let mut shared_pure = true;
             let mut local = false;
             let mut na_write = None;
+            let mut shared_read = None;
+            let mut atomic_write = None;
             match t.step() {
                 Step::Terminated(_) => {}
                 Step::Fail => {
@@ -127,6 +129,10 @@ impl TransitionSystem for ScSystem<'_> {
                     let mut s = st.clone();
                     s.threads[tid] = t.resume_read(v);
                     transitions.push(Transition::state(s));
+                    // An SC read touches exactly its own key and writes
+                    // nothing: independent of other reads and of writes
+                    // to distinct keys.
+                    shared_read = Some(seqwm_explore::fp64(&loc));
                 }
                 Step::Write {
                     loc,
@@ -140,10 +146,16 @@ impl TransitionSystem for ScSystem<'_> {
                     transitions.push(Transition::state(s));
                     shared_pure = false;
                     // SC memory is a flat map, so a write's only shared
-                    // effect is its own key; per the `na_write` contract
-                    // we claim commutation for the non-atomic subset.
+                    // effect is its own key and distinct-key writes
+                    // commute *structurally* — the state equality the
+                    // `atomic_write` contract demands holds of the flat
+                    // map with no quotient needed. Claim the NA rule
+                    // for non-atomic writes and the atomic rule for the
+                    // rest.
                     if mode == seqwm_lang::WriteMode::Na {
                         na_write = Some(seqwm_explore::fp64(&loc));
+                    } else {
+                        atomic_write = Some(seqwm_explore::fp64(&loc));
                     }
                 }
                 Step::Rmw { loc, .. } => {
@@ -180,6 +192,8 @@ impl TransitionSystem for ScSystem<'_> {
                 shared_pure,
                 local,
                 na_write,
+                shared_read,
+                atomic_write,
             });
         }
         out

@@ -44,17 +44,23 @@ impl<'a> PsSystem<'a> {
     pub fn new(progs: &'a [Program], cfg: &'a PsConfig) -> Self {
         PsSystem { progs, cfg }
     }
-}
 
-impl TransitionSystem for PsSystem<'_> {
-    type State = MachineState;
-    type Behavior = PsBehavior;
-
-    fn initial_state(&self) -> MachineState {
-        MachineState::new(self.progs)
+    /// The wrapped programs.
+    pub(crate) fn progs(&self) -> &'a [Program] {
+        self.progs
     }
 
-    fn agent_groups(&self, st: &MachineState) -> Vec<AgentGroup<MachineState, PsBehavior>> {
+    /// The per-thread agent groups at `st`, with every independence
+    /// claim computed — including [`AgentGroup::atomic_write`], which
+    /// is only *sound* under a state equality invariant to timestamp
+    /// renaming. [`PsSystem`] itself compares raw `MachineState`s
+    /// (timestamp values and all), so its `TransitionSystem` impl
+    /// strips the atomic claim; the canonicalizing adapter
+    /// ([`crate::canon::CanonPsSystem`]) keeps it.
+    pub(crate) fn groups_with_claims(
+        &self,
+        st: &MachineState,
+    ) -> Vec<AgentGroup<MachineState, PsBehavior>> {
         let mut out = Vec::with_capacity(st.threads.len());
         for (tid, t) in st.threads.iter().enumerate() {
             let steps = thread_steps(t, &st.mem, &st.sc_view, self.cfg);
@@ -129,13 +135,67 @@ impl TransitionSystem for PsSystem<'_> {
                 }
                 _ => None,
             };
+            // Read commutation: a promise-free thread at a read whose
+            // enumerated steps are all ordinary shared-pure state steps
+            // only advances its own view; the set of readable messages
+            // at `loc` and the read's effect on the reader are both
+            // untouched by any step that does not write `loc`, so the
+            // group commutes with other reads and with writes to
+            // distinct locations (see `AgentGroup::shared_read`).
+            let shared_read = match t.prog.step() {
+                Step::Read { loc, .. } if shared_pure && all_plain && t.promises.is_empty() => {
+                    Some(seqwm_explore::fp64(&loc))
+                }
+                _ => None,
+            };
+            // Atomic-write commutation: same shape as the NA rule, for
+            // rlx/rel writes. The two execution orders of a
+            // distinct-location pair reach states that differ only in
+            // which dense timestamps (and joined views) each write
+            // picked — equal under the canonical quotient, not under
+            // raw state equality, hence the claim-stripping note on
+            // [`Self::groups_with_claims`].
+            let atomic_write = match t.prog.step() {
+                Step::Write { loc, mode, .. }
+                    if mode != WriteMode::Na
+                        && all_plain
+                        && sc_unchanged
+                        && t.promises.is_empty() =>
+                {
+                    Some(seqwm_explore::fp64(&loc))
+                }
+                _ => None,
+            };
             out.push(AgentGroup {
                 agent: tid,
                 transitions,
                 shared_pure,
                 local,
                 na_write,
+                shared_read,
+                atomic_write,
             });
+        }
+        out
+    }
+}
+
+impl TransitionSystem for PsSystem<'_> {
+    type State = MachineState;
+    type Behavior = PsBehavior;
+
+    fn initial_state(&self) -> MachineState {
+        MachineState::new(self.progs)
+    }
+
+    fn agent_groups(&self, st: &MachineState) -> Vec<AgentGroup<MachineState, PsBehavior>> {
+        let mut out = self.groups_with_claims(st);
+        for g in &mut out {
+            // Raw `MachineState` equality distinguishes the timestamp
+            // choices of reordered atomic writes, so the atomic-write
+            // rule would drop re-visits that are NOT re-visits under
+            // this state space; only the canonical adapter may claim it.
+            g.atomic_write = None;
         }
         out
     }

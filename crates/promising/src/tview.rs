@@ -50,6 +50,13 @@ impl TView {
         self.rel.get(&x).cloned().unwrap_or_else(View::zero)
     }
 
+    /// All non-default per-location release views, in location order.
+    /// Used by the canonicalizing state quotient (`crate::canon`),
+    /// which must visit every timestamp stored in a thread view.
+    pub fn rel_entries(&self) -> impl Iterator<Item = (&Loc, &View)> + '_ {
+        self.rel.iter()
+    }
+
     /// The current observed timestamp for `x` (used by read/write side
     /// conditions and race detection).
     pub fn ts(&self, x: Loc) -> Timestamp {

@@ -20,6 +20,15 @@ cargo test -q --features fault-injection --test fault_injection
 cargo test -q --features fault-injection --test fuzz_smoke
 cargo test -q -p seqwm-explore --features fault-injection
 
+echo "==> por-soundness (reduction on/off behavior equality + planted-bug detection)"
+# The battery runs every ReductionRules toggle (sleep/ample/na-write/
+# shared-read/atomic-write) individually and together, raw engine and
+# canonical PS^na adapter, at fixed budgets — all behavior sets must
+# equal the unreduced/legacy baselines. The planted-bug leg proves the
+# methodology detects an unsound independence rule.
+cargo test -q --test por_soundness
+cargo test -q --features fault-injection --test validation_catches_bugs planted_por_bug
+
 echo "==> seqwm fuzz (fixed-seed differential campaign over the real passes)"
 # Time-boxed by deterministic budgets (SEQ fuel + engine deadline), not
 # wall-clock: pathological cases quarantine as incidents, which exit 0.

@@ -1,0 +1,279 @@
+//! Partial-order-reduction soundness battery.
+//!
+//! Every reduction lever the engine has — sleep sets, ample sets, and
+//! the NA-write / shared-read / atomic-write independence rules — must
+//! preserve the *behavior set* exactly. This suite pins that down from
+//! three directions:
+//!
+//! 1. the promise-free concurrent litmus corpus, raw engine and
+//!    canonicalizing PS^na adapter, against the legacy depth-first
+//!    baseline;
+//! 2. the parametric scaling families (`mp-chain`, `sb-ring`,
+//!    `na-disjoint`) at small `N`, against their own unreduced runs;
+//! 3. every [`ReductionRules`] toggle flipped off *individually* and
+//!    all together, so an unsound rule is independently falsifiable
+//!    instead of being masked by the rest of the reduction.
+//!
+//! The canonical adapter compares behavior sets, not state counts: it
+//! quotients timestamp renamings, so its `states` are incomparable with
+//! the raw engine's, but the behaviors must agree on the nose.
+
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+use seqwm_explore::{ExploreConfig, ReductionRules};
+use seqwm_litmus::concurrent::{concurrent_corpus, ConcurrentCase};
+use seqwm_litmus::scaling::{mp_chain, na_disjoint, sb_ring, ScalingCase};
+use seqwm_promising::machine::{explore_legacy, PsBehavior};
+use seqwm_promising::search::{engine_config, explore_engine};
+
+/// One reduction variant to validate: a label plus the config knobs.
+struct Variant {
+    label: &'static str,
+    reduction: bool,
+    rules: ReductionRules,
+}
+
+/// The toggle matrix: unreduced, fully reduced, and each rule disabled
+/// in isolation.
+fn variants() -> Vec<Variant> {
+    let all = ReductionRules::default();
+    let mut out = vec![
+        Variant {
+            label: "unreduced",
+            reduction: false,
+            rules: all,
+        },
+        Variant {
+            label: "all-rules",
+            reduction: true,
+            rules: all,
+        },
+        Variant {
+            label: "no-sleep",
+            reduction: true,
+            rules: ReductionRules {
+                sleep: false,
+                ..all
+            },
+        },
+        Variant {
+            label: "no-ample",
+            reduction: true,
+            rules: ReductionRules {
+                ample: false,
+                ..all
+            },
+        },
+        Variant {
+            label: "no-na-write",
+            reduction: true,
+            rules: ReductionRules {
+                na_write: false,
+                ..all
+            },
+        },
+        Variant {
+            label: "no-shared-read",
+            reduction: true,
+            rules: ReductionRules {
+                shared_read: false,
+                ..all
+            },
+        },
+        Variant {
+            label: "no-atomic-write",
+            reduction: true,
+            rules: ReductionRules {
+                atomic_write: false,
+                ..all
+            },
+        },
+    ];
+    // Sleep off with everything else on is the strongest single lever;
+    // also cover sleep on with every granting rule off (pure rule only).
+    out.push(Variant {
+        label: "pure-only",
+        reduction: true,
+        rules: ReductionRules {
+            na_write: false,
+            shared_read: false,
+            atomic_write: false,
+            ..all
+        },
+    });
+    out
+}
+
+fn with_variant(base: &ExploreConfig, v: &Variant) -> ExploreConfig {
+    ExploreConfig {
+        reduction: v.reduction,
+        rules: v.rules,
+        ..base.clone()
+    }
+}
+
+/// The promise-synthesis-heavy appendix cases explode when unreduced;
+/// the cheap promise-free corpus is where the rule matrix runs.
+fn is_cheap(c: &ConcurrentCase) -> bool {
+    !c.promises
+}
+
+fn baselines() -> &'static Vec<(ConcurrentCase, BTreeSet<PsBehavior>)> {
+    static BASELINES: OnceLock<Vec<(ConcurrentCase, BTreeSet<PsBehavior>)>> = OnceLock::new();
+    BASELINES.get_or_init(|| {
+        concurrent_corpus()
+            .into_iter()
+            .filter(is_cheap)
+            .map(|c| {
+                let r = explore_legacy(&c.programs(), &c.config());
+                assert!(!r.truncated, "{}: legacy baseline truncated", c.name);
+                (c, r.behaviors)
+            })
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------
+// 1. Corpus: raw engine, every toggle variant, vs the legacy baseline.
+// ---------------------------------------------------------------------
+
+#[test]
+fn corpus_raw_engine_behavior_equality_across_all_toggles() {
+    for v in variants() {
+        for (case, want) in baselines() {
+            let cfg = case.config();
+            let e = explore_engine(
+                &case.programs(),
+                &cfg,
+                &with_variant(&engine_config(&cfg), &v),
+            );
+            assert!(!e.stats.truncated, "{} [{}]: truncated", case.name, v.label);
+            assert_eq!(
+                &e.behaviors, want,
+                "{} [{}]: behavior sets diverge from legacy baseline",
+                case.name, v.label
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Corpus: canonical PS^na adapter, every toggle variant. The
+//    quotient must be behavior-invariant even with no reduction at all.
+// ---------------------------------------------------------------------
+
+#[test]
+fn corpus_canonical_adapter_behavior_equality_across_all_toggles() {
+    for v in variants() {
+        for (case, want) in baselines() {
+            let cfg = case.config();
+            let e = seqwm_promising::explore_engine_canonical(
+                &case.programs(),
+                &cfg,
+                &with_variant(&engine_config(&cfg), &v),
+            );
+            assert!(!e.stats.truncated, "{} [{}]: truncated", case.name, v.label);
+            assert_eq!(
+                &e.behaviors, want,
+                "{} [{}]: canonical adapter diverges from legacy baseline",
+                case.name, v.label
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Scaling families at N <= 4: raw + canonical, every toggle variant,
+//    against the family's own unreduced raw run.
+// ---------------------------------------------------------------------
+
+fn scaling_cases() -> Vec<ScalingCase> {
+    let mut out = Vec::new();
+    for n in 2..=4 {
+        out.push(mp_chain(n));
+        // sb-ring's unreduced reference run is the matrix's cost
+        // driver (every rlx load branches on every visible message)
+        // and the NA grid's unreduced run exceeds the state budget at
+        // n = 4 outright (every NA write branches on timestamp
+        // placement), so those two families stop at 3.
+        if n <= 3 {
+            out.push(sb_ring(n));
+            out.push(na_disjoint(n));
+        }
+    }
+    out
+}
+
+#[test]
+fn scaling_families_behavior_equality_across_all_toggles() {
+    for case in scaling_cases() {
+        let base = engine_config(&case.config());
+        let want = case
+            .explore(&ExploreConfig {
+                reduction: false,
+                ..base.clone()
+            })
+            .behaviors;
+        for v in variants() {
+            let raw = case.explore(&with_variant(&base, &v));
+            assert!(
+                !raw.stats.truncated,
+                "{} [{}]: truncated",
+                case.name, v.label
+            );
+            assert_eq!(
+                raw.behaviors, want,
+                "{} [{}]: raw engine diverges from unreduced run",
+                case.name, v.label
+            );
+            let canon = case.explore_canonical(&with_variant(&base, &v));
+            assert!(
+                !canon.stats.truncated,
+                "{} [{}]: canonical truncated",
+                case.name, v.label
+            );
+            assert_eq!(
+                canon.behaviors, want,
+                "{} [{}]: canonical adapter diverges from unreduced run",
+                case.name, v.label
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. The new rules must actually fire somewhere in this battery —
+//    a soundness suite that never exercises its rules proves nothing.
+// ---------------------------------------------------------------------
+
+#[test]
+fn battery_exercises_every_independence_rule() {
+    // NA rule: the fully-commutative NA grid.
+    let case = na_disjoint(3);
+    let e = case.explore(&engine_config(&case.config()));
+    assert!(e.stats.na_commutes > 0, "NA rule silent on na-disjoint-3");
+
+    // Read and atomic rules need the canonical quotient on an
+    // atomic-heavy family.
+    let case = sb_ring(3);
+    let e = case.explore_canonical(&engine_config(&case.config()));
+    assert!(e.stats.read_commutes > 0, "read rule silent on sb-ring-3");
+    assert!(
+        e.stats.atomic_commutes > 0,
+        "atomic rule silent on sb-ring-3"
+    );
+
+    // And disabling a rule must actually silence its counter while the
+    // others keep firing.
+    let base = engine_config(&case.config());
+    let no_atomic = case.explore_canonical(&ExploreConfig {
+        rules: ReductionRules {
+            atomic_write: false,
+            ..ReductionRules::default()
+        },
+        ..base
+    });
+    assert_eq!(no_atomic.stats.atomic_commutes, 0);
+    assert!(no_atomic.stats.read_commutes > 0);
+}

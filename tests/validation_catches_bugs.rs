@@ -123,3 +123,148 @@ fn rejections_correspond_to_real_psna_bugs() {
     }
     assert!(witnessed >= 3);
 }
+
+/// The same teeth-check for the exploration engine's partial-order
+/// reduction: a deliberately broken independence rule (planted via
+/// [`FaultPlan::unsound_atomic_independence`]) must produce an
+/// observable behavior-set difference against an unreduced run — i.e.
+/// the differential methodology of `tests/por_soundness.rs` really
+/// does catch an unsound rule, it doesn't just vacuously pass.
+///
+/// The demonstration system is a deliberately *minimal* transition
+/// system rather than a `WHILE` program: statement sequencing in the
+/// language inserts a silent step after every store, and a silent step
+/// is honestly dependent on a sleeping writer, so it wakes the slept
+/// agent and dedup reconstructs the "pruned" interleaving — the
+/// litmus corpora self-heal around this particular mis-claim. The
+/// engine, however, must stay sound for *any* client system, including
+/// ones whose conflicting accesses are back-to-back.
+#[cfg(feature = "fault-injection")]
+mod planted_por_bug {
+    use seqwm_explore::{
+        explore, fp64, AgentGroup, ExploreConfig, FaultPlan, Transition, TransitionSystem,
+    };
+
+    /// Two agents racing on one cell `x`:
+    ///
+    /// * agent 0 performs a single atomic write `x := 1`;
+    /// * agent 1 writes `x := 2` and then *immediately* reads `x`.
+    ///
+    /// The read value is the behavior. `1` is observable only in the
+    /// interleaving `w₁ w₀ r` — exactly the successor a same-location
+    /// "independent writes" mis-claim puts to sleep.
+    struct RacingWriters;
+
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    struct St {
+        w0_done: bool,
+        pc1: u8,
+        x: u8,
+        read: u8,
+    }
+
+    impl TransitionSystem for RacingWriters {
+        type State = St;
+        type Behavior = u8;
+
+        fn initial_state(&self) -> St {
+            St {
+                w0_done: false,
+                pc1: 0,
+                x: 0,
+                read: 0,
+            }
+        }
+
+        fn agent_groups(&self, st: &St) -> Vec<AgentGroup<St, u8>> {
+            let mut out = Vec::new();
+            if !st.w0_done {
+                out.push(AgentGroup {
+                    agent: 0,
+                    transitions: vec![Transition::state(St {
+                        w0_done: true,
+                        x: 1,
+                        ..st.clone()
+                    })],
+                    shared_pure: false,
+                    local: false,
+                    na_write: None,
+                    shared_read: None,
+                    atomic_write: Some(fp64(&"x")),
+                });
+            }
+            match st.pc1 {
+                0 => out.push(AgentGroup {
+                    agent: 1,
+                    transitions: vec![Transition::state(St {
+                        pc1: 1,
+                        x: 2,
+                        ..st.clone()
+                    })],
+                    shared_pure: false,
+                    local: false,
+                    na_write: None,
+                    shared_read: None,
+                    atomic_write: Some(fp64(&"x")),
+                }),
+                1 => out.push(AgentGroup {
+                    agent: 1,
+                    transitions: vec![Transition::state(St {
+                        pc1: 2,
+                        read: st.x,
+                        ..st.clone()
+                    })],
+                    shared_pure: true,
+                    local: false,
+                    na_write: None,
+                    shared_read: Some(fp64(&"x")),
+                    atomic_write: None,
+                }),
+                _ => {}
+            }
+            out
+        }
+
+        fn terminal_behavior(&self, st: &St) -> Option<u8> {
+            (st.w0_done && st.pc1 == 2).then_some(st.read)
+        }
+    }
+
+    #[test]
+    fn differential_suite_catches_unsound_atomic_independence() {
+        let unreduced = explore(
+            &RacingWriters,
+            &ExploreConfig {
+                reduction: false,
+                ..ExploreConfig::default()
+            },
+        );
+        let clean = explore(&RacingWriters, &ExploreConfig::default());
+        // Unreduced, the read observes either writer; the honest
+        // reduction keeps both (same-location writes are Dependent).
+        assert_eq!(unreduced.behaviors, [1, 2].into());
+        assert_eq!(clean.behaviors, unreduced.behaviors);
+
+        let buggy = explore(
+            &RacingWriters,
+            &ExploreConfig {
+                fault: Some(FaultPlan {
+                    unsound_atomic_independence: true,
+                    ..FaultPlan::default()
+                }),
+                ..ExploreConfig::default()
+            },
+        );
+        // The planted rule prunes the `w₁ w₀ r` interleaving, losing
+        // behavior 1 — a *proper subset*, the shape the soundness
+        // battery's equality assertions are built to detect.
+        assert_ne!(
+            buggy.behaviors, unreduced.behaviors,
+            "the planted unsound independence rule went undetected"
+        );
+        assert!(
+            buggy.behaviors.is_subset(&unreduced.behaviors),
+            "an unsound reduction can only lose behaviors, not invent them"
+        );
+    }
+}
