@@ -3,14 +3,16 @@
 //!
 //! The workspace has no serde; reports are written with the same
 //! hand-rolled emission style as the fuzz campaign summary and read
-//! back with a minimal recursive-descent JSON parser (objects, arrays,
-//! strings, numbers, booleans, null — everything a report can
-//! contain). The parser is only as lenient as round-tripping our own
-//! output requires; it rejects anything structurally malformed.
+//! back with the shared [`seqwm_json`] recursive-descent parser
+//! (objects, arrays, strings, numbers, booleans, null — everything a
+//! report can contain). The parser is only as lenient as
+//! round-tripping our own output requires; it rejects anything
+//! structurally malformed.
 
 use std::fmt;
 
 use seqwm_explore::CounterSnapshot;
+use seqwm_json::{escape as json_string, get, Json};
 
 use crate::harness::Timing;
 
@@ -248,260 +250,6 @@ fn parse_pairs(v: &Json, ctx: &str) -> Result<Vec<(String, u64)>, String> {
         .iter()
         .map(|(k, v)| Ok((k.clone(), v.as_u64(&format!("{ctx}.{k}"))?)))
         .collect()
-}
-
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-// --- a minimal JSON value + recursive-descent parser ---
-
-/// A parsed JSON value. Object member order is preserved (reports are
-/// written in a fixed order, and preserving it keeps diffs stable).
-#[derive(Clone, Debug, PartialEq)]
-enum Json {
-    Obj(Vec<(String, Json)>),
-    Arr(Vec<Json>),
-    Str(String),
-    /// All report numbers are unsigned integers; anything else (signs,
-    /// fractions, exponents) is parsed but surfaces as a read error.
-    Num(f64),
-    Bool(bool),
-    Null,
-}
-
-fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
-    obj.iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v)
-        .ok_or_else(|| format!("missing field {key:?}"))
-}
-
-impl Json {
-    fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0;
-        let v = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(v)
-    }
-
-    fn as_obj(&self, ctx: &str) -> Result<&[(String, Json)], String> {
-        match self {
-            Json::Obj(m) => Ok(m),
-            other => Err(format!("{ctx}: expected object, got {}", other.kind())),
-        }
-    }
-
-    fn as_arr(&self, ctx: &str) -> Result<&[Json], String> {
-        match self {
-            Json::Arr(a) => Ok(a),
-            other => Err(format!("{ctx}: expected array, got {}", other.kind())),
-        }
-    }
-
-    fn as_str(&self, ctx: &str) -> Result<&str, String> {
-        match self {
-            Json::Str(s) => Ok(s),
-            other => Err(format!("{ctx}: expected string, got {}", other.kind())),
-        }
-    }
-
-    fn as_bool(&self, ctx: &str) -> Result<bool, String> {
-        match self {
-            Json::Bool(b) => Ok(*b),
-            other => Err(format!("{ctx}: expected bool, got {}", other.kind())),
-        }
-    }
-
-    fn as_u64(&self, ctx: &str) -> Result<u64, String> {
-        match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => Ok(*n as u64),
-            other => Err(format!(
-                "{ctx}: expected unsigned integer, got {}",
-                other.kind()
-            )),
-        }
-    }
-
-    fn kind(&self) -> &'static str {
-        match self {
-            Json::Obj(_) => "object",
-            Json::Arr(_) => "array",
-            Json::Str(_) => "string",
-            Json::Num(_) => "number",
-            Json::Bool(_) => "bool",
-            Json::Null => "null",
-        }
-    }
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-    skip_ws(b, pos);
-    if *pos < b.len() && b[*pos] == c {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected {:?} at byte {}", c as char, *pos))
-    }
-}
-
-fn peek(b: &[u8], pos: &mut usize) -> Option<u8> {
-    skip_ws(b, pos);
-    b.get(*pos).copied()
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    match peek(b, pos).ok_or("unexpected end of input")? {
-        b'{' => {
-            *pos += 1;
-            let mut members = Vec::new();
-            if peek(b, pos) == Some(b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(members));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = parse_string(b, pos)?;
-                expect(b, pos, b':')?;
-                let val = parse_value(b, pos)?;
-                members.push((key, val));
-                match peek(b, pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(members));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
-                }
-            }
-        }
-        b'[' => {
-            *pos += 1;
-            let mut items = Vec::new();
-            if peek(b, pos) == Some(b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(b, pos)?);
-                match peek(b, pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
-                }
-            }
-        }
-        b'"' => Ok(Json::Str(parse_string(b, pos)?)),
-        b't' | b'f' | b'n' => {
-            for (lit, val) in [
-                ("true", Json::Bool(true)),
-                ("false", Json::Bool(false)),
-                ("null", Json::Null),
-            ] {
-                if b[*pos..].starts_with(lit.as_bytes()) {
-                    *pos += lit.len();
-                    return Ok(val);
-                }
-            }
-            Err(format!("invalid literal at byte {}", *pos))
-        }
-        _ => parse_number(b, pos),
-    }
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    if b.get(*pos) != Some(&b'"') {
-        return Err(format!("expected string at byte {}", *pos));
-    }
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        let c = *b.get(*pos).ok_or("unterminated string")?;
-        *pos += 1;
-        match c {
-            b'"' => return Ok(out),
-            b'\\' => {
-                let esc = *b.get(*pos).ok_or("unterminated escape")?;
-                *pos += 1;
-                match esc {
-                    b'"' => out.push('"'),
-                    b'\\' => out.push('\\'),
-                    b'/' => out.push('/'),
-                    b'n' => out.push('\n'),
-                    b'r' => out.push('\r'),
-                    b't' => out.push('\t'),
-                    b'b' => out.push('\u{8}'),
-                    b'f' => out.push('\u{c}'),
-                    b'u' => {
-                        let hex = b
-                            .get(*pos..*pos + 4)
-                            .ok_or("truncated \\u escape")
-                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
-                        *pos += 4;
-                        // Reports only ever escape control characters;
-                        // surrogate pairs are out of scope.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                    }
-                    _ => return Err(format!("unknown escape at byte {}", *pos)),
-                }
-            }
-            _ => {
-                // Re-sync to UTF-8 boundaries: back up and take the
-                // whole code point.
-                let start = *pos - 1;
-                let s = std::str::from_utf8(&b[start..])
-                    .map_err(|_| "invalid UTF-8 in string")?
-                    .chars()
-                    .next()
-                    .ok_or("unterminated string")?;
-                out.push(s);
-                *pos = start + s.len_utf8();
-            }
-        }
-    }
-}
-
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    if b.get(*pos) == Some(&b'-') {
-        *pos += 1;
-    }
-    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
-        *pos += 1;
-    }
-    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid number")?;
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
 }
 
 // --- comparison / regression gate ---

@@ -43,6 +43,13 @@ pub static CHECKPOINT_BYTES: AtomicU64 = AtomicU64::new(0);
 pub static REFINE_FUEL_SPENT: AtomicU64 = AtomicU64::new(0);
 /// Completed behavior-set enumerations in `seqwm-seq`.
 pub static REFINE_ENUMERATIONS: AtomicU64 = AtomicU64::new(0);
+/// Serve-daemon result-cache hits (verdict answered without running a
+/// job). Bumped by `seqwm-serve`.
+pub static SERVE_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+/// Serve-daemon result-cache misses (job actually executed).
+pub static SERVE_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+/// Serve-daemon result-cache evictions (LRU capacity pressure).
+pub static SERVE_CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Adds `n` to a counter (relaxed; counters are monotone and only
 /// read via before/after snapshots).
@@ -90,6 +97,12 @@ pub struct CounterSnapshot {
     pub refine_fuel_spent: u64,
     /// [`REFINE_ENUMERATIONS`] at capture time.
     pub refine_enumerations: u64,
+    /// [`SERVE_CACHE_HITS`] at capture time.
+    pub serve_cache_hits: u64,
+    /// [`SERVE_CACHE_MISSES`] at capture time.
+    pub serve_cache_misses: u64,
+    /// [`SERVE_CACHE_EVICTIONS`] at capture time.
+    pub serve_cache_evictions: u64,
 }
 
 impl CounterSnapshot {
@@ -107,6 +120,9 @@ impl CounterSnapshot {
             checkpoint_bytes: CHECKPOINT_BYTES.load(Ordering::Relaxed),
             refine_fuel_spent: REFINE_FUEL_SPENT.load(Ordering::Relaxed),
             refine_enumerations: REFINE_ENUMERATIONS.load(Ordering::Relaxed),
+            serve_cache_hits: SERVE_CACHE_HITS.load(Ordering::Relaxed),
+            serve_cache_misses: SERVE_CACHE_MISSES.load(Ordering::Relaxed),
+            serve_cache_evictions: SERVE_CACHE_EVICTIONS.load(Ordering::Relaxed),
         }
     }
 
@@ -131,11 +147,20 @@ impl CounterSnapshot {
             refine_enumerations: self
                 .refine_enumerations
                 .saturating_sub(earlier.refine_enumerations),
+            serve_cache_hits: self
+                .serve_cache_hits
+                .saturating_sub(earlier.serve_cache_hits),
+            serve_cache_misses: self
+                .serve_cache_misses
+                .saturating_sub(earlier.serve_cache_misses),
+            serve_cache_evictions: self
+                .serve_cache_evictions
+                .saturating_sub(earlier.serve_cache_evictions),
         }
     }
 
     /// `(name, value)` pairs in a fixed order, for serialization.
-    pub fn entries(&self) -> [(&'static str, u64); 11] {
+    pub fn entries(&self) -> [(&'static str, u64); 14] {
         [
             ("states", self.states),
             ("transitions", self.transitions),
@@ -148,6 +173,9 @@ impl CounterSnapshot {
             ("checkpoint_bytes", self.checkpoint_bytes),
             ("refine_fuel_spent", self.refine_fuel_spent),
             ("refine_enumerations", self.refine_enumerations),
+            ("serve_cache_hits", self.serve_cache_hits),
+            ("serve_cache_misses", self.serve_cache_misses),
+            ("serve_cache_evictions", self.serve_cache_evictions),
         ]
     }
 }
@@ -196,6 +224,8 @@ mod tests {
         assert_eq!(names[6], "read_commutes");
         assert_eq!(names[7], "atomic_commutes");
         assert_eq!(names[10], "refine_enumerations");
-        assert_eq!(names.len(), 11);
+        assert_eq!(names[11], "serve_cache_hits");
+        assert_eq!(names[13], "serve_cache_evictions");
+        assert_eq!(names.len(), 14);
     }
 }

@@ -200,6 +200,26 @@ pub fn groups_independent<St, B>(a: &AgentGroup<St, B>, b: &AgentGroup<St, B>) -
     if a.shared_pure && b.shared_pure {
         return IndependenceRule::Pure;
     }
+    // Local vs write: a `local` step neither reads nor writes shared
+    // state and its enabledness/effect cannot depend on any other
+    // agent, so it commutes state-on-the-nose with a write to ANY
+    // location — the write observes nothing the local step changes and
+    // vice versa. (Local vs *read* needs no clause: read groups are
+    // `shared_pure`-grade and `local` implies `shared_pure`, so the
+    // pure/pure rule already covers that pair.) The grant is
+    // attributed to the write side's rule, keeping it behind the
+    // existing `ReductionRules` toggles: disabling `na_write` or
+    // `atomic_write` also silences the corresponding local-vs-write
+    // grants.
+    if a.local || b.local {
+        let w = if a.local { b } else { a };
+        if w.na_write.is_some() {
+            return IndependenceRule::NaWrite;
+        }
+        if w.atomic_write.is_some() {
+            return IndependenceRule::AtomicWrite;
+        }
+    }
     // Read/read: two read-only groups commute regardless of location.
     if a.shared_read.is_some() && b.shared_read.is_some() {
         return IndependenceRule::Read;

@@ -1,9 +1,9 @@
 //! Property tests for the independence relation (`groups_independent`).
 //!
 //! Groups are generated from a vocabulary of *contract-consistent*
-//! shapes (opaque, shared-pure, pure reader of a location, NA writer,
-//! atomic writer) — the relation's soundness contracts make flag
-//! combinations like "shared-pure writer" meaningless, so the
+//! shapes (opaque, shared-pure, pure-local, pure reader of a location,
+//! NA writer, atomic writer) — the relation's soundness contracts make
+//! flag combinations like "shared-pure writer" meaningless, so the
 //! generator never produces them. Randomness comes from the crate's
 //! own `SplitMix64` (the workspace is dependency-free by design).
 
@@ -18,6 +18,10 @@ enum Shape {
     Opaque,
     /// Shared-pure with no pinned read location (e.g. a fence).
     Pure,
+    /// Pure-local: neither reads nor writes shared state (a silent
+    /// compute / choice / syscall step). `local` implies `shared_pure`
+    /// per the flag contract, so the generator sets both.
+    Local,
     /// A pure read of one location.
     Reader(u32),
     /// A non-atomic write to one location.
@@ -39,6 +43,10 @@ fn group(agent: usize, shape: Shape) -> AgentGroup<u8, u8> {
     match shape {
         Shape::Opaque => {}
         Shape::Pure => g.shared_pure = true,
+        Shape::Local => {
+            g.shared_pure = true;
+            g.local = true;
+        }
         Shape::Reader(l) => {
             g.shared_pure = true;
             g.shared_read = Some(fp64(&l));
@@ -51,11 +59,12 @@ fn group(agent: usize, shape: Shape) -> AgentGroup<u8, u8> {
 
 fn sample(rng: &mut SplitMix64) -> Shape {
     let loc = LOCS[(rng.next_u64() % LOCS.len() as u64) as usize];
-    match rng.next_u64() % 5 {
+    match rng.next_u64() % 6 {
         0 => Shape::Opaque,
         1 => Shape::Pure,
-        2 => Shape::Reader(loc),
-        3 => Shape::NaWriter(loc),
+        2 => Shape::Local,
+        3 => Shape::Reader(loc),
+        4 => Shape::NaWriter(loc),
         _ => Shape::AtomicWriter(loc),
     }
 }
@@ -147,6 +156,43 @@ fn distinct_location_write_pairs_pick_the_weakest_needed_rule() {
     assert_eq!(
         groups_independent(&at0, &na1),
         IndependenceRule::AtomicWrite
+    );
+}
+
+#[test]
+fn local_commutes_with_every_write_and_rides_the_write_rules() {
+    // The local-vs-write grant: a pure-local step commutes with a
+    // write to ANY location (same-location pairs don't exist — local
+    // touches no location), attributed to the write side's rule so the
+    // toggles keep gating it.
+    let l = group(0, Shape::Local);
+    for &loc in &LOCS {
+        let na = group(1, Shape::NaWriter(loc));
+        assert_eq!(groups_independent(&l, &na), IndependenceRule::NaWrite);
+        assert_eq!(groups_independent(&na, &l), IndependenceRule::NaWrite);
+        let at = group(1, Shape::AtomicWriter(loc));
+        assert_eq!(groups_independent(&l, &at), IndependenceRule::AtomicWrite);
+        assert_eq!(groups_independent(&at, &l), IndependenceRule::AtomicWrite);
+    }
+    // Local vs pure / reader / local is already covered by the
+    // (stronger) pure/pure rule — local implies shared_pure.
+    for s in [Shape::Pure, Shape::Local, Shape::Reader(0)] {
+        assert_eq!(groups_independent(&l, &group(1, s)), IndependenceRule::Pure);
+    }
+    // A merely-pure (non-local) group still does NOT commute with a
+    // write: purity licenses nothing against mutation (a pure read's
+    // values change under a write).
+    let p = group(0, Shape::Pure);
+    for w in [Shape::NaWriter(0), Shape::AtomicWriter(0)] {
+        assert_eq!(
+            groups_independent(&p, &group(1, w)),
+            IndependenceRule::Dependent
+        );
+    }
+    // And local vs opaque stays dependent: no claim, no grant.
+    assert_eq!(
+        groups_independent(&l, &group(1, Shape::Opaque)),
+        IndependenceRule::Dependent
     );
 }
 

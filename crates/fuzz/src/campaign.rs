@@ -21,10 +21,11 @@ use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use seqwm_explore::{fp64, mix64, SplitMix64};
+use seqwm_json::escape as json_string;
 use seqwm_litmus::gen::{random_context, random_program, GenConfig};
 
 use crate::corpus::{Corpus, FailureRecord};
@@ -63,6 +64,12 @@ pub struct FuzzConfig {
     pub shrink_evals: usize,
     /// Percent of cases judged under a generated concurrent context.
     pub ctx_percent: u32,
+    /// External stop flag: when set (by another thread — e.g. the
+    /// serve daemon canceling a job), workers stop draining cases at
+    /// the next boundary and the campaign returns the partial summary.
+    /// `None` means the campaign only stops on completion or
+    /// `max_failures`.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 impl Default for FuzzConfig {
@@ -83,6 +90,7 @@ impl Default for FuzzConfig {
             max_failures: 0,
             shrink_evals: 300,
             ctx_percent: 80,
+            stop: None,
         }
     }
 }
@@ -217,22 +225,28 @@ impl CampaignSummary {
     }
 }
 
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+/// A batched progress/failure event emitted by
+/// [`run_campaign_with`]'s sink. Progress is batched at checkpoint
+/// granularity ([`FuzzConfig::checkpoint_every`]) plus once at the
+/// end, so a sink that forwards events over a socket is never in the
+/// per-case hot path.
+#[derive(Clone, Debug)]
+pub enum CampaignEvent {
+    /// A batch of cases finished.
+    Progress {
+        /// Cases completed so far (including resumed-over ones).
+        completed: usize,
+        /// Total cases in the campaign.
+        cases: usize,
+        /// Raw oracle violations observed so far.
+        violations: usize,
+        /// Incidents quarantined so far.
+        incidents: usize,
+        /// Engine states explored across passing checks so far.
+        states: usize,
+    },
+    /// A new *unique* failure was shrunk and persisted.
+    Failure(FailureSummary),
 }
 
 /// Shared mutable campaign state behind one mutex.
@@ -247,6 +261,23 @@ struct Shared {
 /// problems with the corpus/checkpoint; judging problems never error,
 /// they quarantine.
 pub fn run_campaign(cfg: &FuzzConfig) -> Result<CampaignSummary, String> {
+    run_campaign_with(cfg, &|_| {})
+}
+
+/// [`run_campaign`] with a progress sink: `sink` receives batched
+/// [`CampaignEvent`]s (progress at checkpoint granularity, one event
+/// per unique failure). The sink is called outside the campaign's
+/// internal lock and may be slow without stalling workers beyond the
+/// calling thread's own batch boundary.
+///
+/// # Errors
+///
+/// I/O problems with the corpus/checkpoint; judging problems never
+/// error, they quarantine.
+pub fn run_campaign_with(
+    cfg: &FuzzConfig,
+    sink: &(dyn Fn(&CampaignEvent) + Sync),
+) -> Result<CampaignSummary, String> {
     let start = Instant::now();
     let corpus = Corpus::open(&cfg.corpus_dir).map_err(|e| format!("cannot open corpus: {e}"))?;
     let mut summary = CampaignSummary {
@@ -289,6 +320,13 @@ pub fn run_campaign(cfg: &FuzzConfig) -> Result<CampaignSummary, String> {
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // An external cancel latches the shared stop so every
+                // worker (and run_case's per-target check) sees it.
+                if let Some(ext) = &cfg.stop {
+                    if ext.load(Ordering::Relaxed) {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
                 if stop.load(Ordering::Relaxed) {
                     break;
                 }
@@ -296,7 +334,7 @@ pub fn run_campaign(cfg: &FuzzConfig) -> Result<CampaignSummary, String> {
                 if case >= cfg.cases {
                     break;
                 }
-                run_case(cfg, case, &corpus, &shared, &stop);
+                run_case(cfg, case, &corpus, &shared, &stop, sink);
                 let mut sh = lock(&shared);
                 sh.completed += 1;
                 sh.since_checkpoint += 1;
@@ -304,7 +342,9 @@ pub fn run_campaign(cfg: &FuzzConfig) -> Result<CampaignSummary, String> {
                     sh.since_checkpoint = 0;
                     let done = resumable_floor(&next, cfg);
                     let fps = sh.seen.clone();
+                    let progress = progress_event(&sh, cfg);
                     drop(sh);
+                    sink(&progress);
                     if let Err(e) = save_checkpoint(cfg, done, &fps) {
                         eprintln!("warning: fuzz checkpoint save failed: {e}");
                     }
@@ -334,7 +374,9 @@ pub fn run_campaign(cfg: &FuzzConfig) -> Result<CampaignSummary, String> {
     };
     let out = sh.summary.clone();
     let fps = sh.seen.clone();
+    let final_progress = progress_event(&sh, cfg);
     drop(sh);
+    sink(&final_progress);
     if cfg.checkpoint_every > 0 {
         let done = if stop.load(Ordering::Relaxed) {
             // Early stop: cases beyond the floor may be unjudged.
@@ -347,6 +389,17 @@ pub fn run_campaign(cfg: &FuzzConfig) -> Result<CampaignSummary, String> {
         }
     }
     Ok(out)
+}
+
+/// Snapshots the shared state into a [`CampaignEvent::Progress`].
+fn progress_event(sh: &Shared, cfg: &FuzzConfig) -> CampaignEvent {
+    CampaignEvent::Progress {
+        completed: sh.completed,
+        cases: cfg.cases,
+        violations: sh.summary.violations,
+        incidents: sh.summary.incident_count,
+        states: sh.summary.states,
+    }
 }
 
 /// A conservative "every case below this is done" floor for resume:
@@ -372,6 +425,7 @@ fn run_case(
     corpus: &Corpus,
     shared: &Mutex<Shared>,
     stop: &AtomicBool,
+    sink: &(dyn Fn(&CampaignEvent) + Sync),
 ) {
     let case_seed = mix64(cfg.seed ^ case as u64);
     let mut rng = SplitMix64::new(case_seed);
@@ -446,19 +500,22 @@ fn run_case(
                     ctx: out.ctx.clone(),
                 };
                 let fp = record.fingerprint();
+                let mut new_failure = None;
                 let mut sh = lock(shared);
                 sh.summary.shrink_evals += out.evals;
                 if sh.seen.insert(fp) {
                     match corpus.save(&record) {
                         Ok(path) => {
-                            sh.summary.unique_failures.push(FailureSummary {
+                            let failure = FailureSummary {
                                 fingerprint: fp,
                                 target,
                                 oracle: out.oracle,
                                 path,
                                 original_stmts,
                                 shrunk_stmts: out.shrunk_stmts,
-                            });
+                            };
+                            sh.summary.unique_failures.push(failure.clone());
+                            new_failure = Some(failure);
                             if cfg.max_failures > 0
                                 && sh.summary.unique_failures.len() >= cfg.max_failures
                             {
@@ -470,6 +527,10 @@ fn run_case(
                             sh.seen.remove(&fp);
                         }
                     }
+                }
+                drop(sh);
+                if let Some(failure) = new_failure {
+                    sink(&CampaignEvent::Failure(failure));
                 }
             }
         }
@@ -690,6 +751,69 @@ mod tests {
         .unwrap();
         assert_eq!(resumed.resumed_from, cfg.cases);
         assert_eq!(resumed.cases_run, 0);
+        let _ = fs::remove_dir_all(&cfg.corpus_dir);
+    }
+
+    #[test]
+    fn sink_sees_progress_batches_and_every_unique_failure() {
+        let cfg = FuzzConfig {
+            corpus_dir: temp_corpus("sink"),
+            // Enough cases for the planted bug to surface at this seed.
+            cases: 80,
+            targets: vec![FuzzTarget::Buggy(BuggyPass::ReorderAcquireDown)],
+            ..small_cfg("sink")
+        };
+        let _ = fs::remove_dir_all(&cfg.corpus_dir);
+        let events = Mutex::new(Vec::new());
+        let summary = run_campaign_with(&cfg, &|e| {
+            events.lock().unwrap().push(e.clone());
+        })
+        .unwrap();
+        let events = events.into_inner().unwrap();
+        let progresses: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                CampaignEvent::Progress { completed, .. } => Some(*completed),
+                _ => None,
+            })
+            .collect();
+        // checkpoint_every = 4 over 12 cases plus the final event.
+        assert!(progresses.len() >= 3, "too few progress events");
+        assert_eq!(*progresses.last().unwrap(), cfg.cases);
+        let failure_fps: BTreeSet<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                CampaignEvent::Failure(f) => Some(f.fingerprint),
+                _ => None,
+            })
+            .collect();
+        let summary_fps: BTreeSet<u64> = summary
+            .unique_failures
+            .iter()
+            .map(|f| f.fingerprint)
+            .collect();
+        assert_eq!(failure_fps, summary_fps);
+        assert!(!summary_fps.is_empty(), "buggy pass produced no failures");
+        let _ = fs::remove_dir_all(&cfg.corpus_dir);
+    }
+
+    #[test]
+    fn external_stop_flag_halts_the_campaign_early() {
+        let stop = Arc::new(AtomicBool::new(true)); // pre-set: stop at once
+        let cfg = FuzzConfig {
+            corpus_dir: temp_corpus("stop"),
+            cases: 10_000,
+            targets: vec![FuzzTarget::Pipeline],
+            stop: Some(stop),
+            ..small_cfg("stop")
+        };
+        let _ = fs::remove_dir_all(&cfg.corpus_dir);
+        let s = run_campaign(&cfg).unwrap();
+        assert!(
+            s.cases_run < cfg.cases,
+            "external stop ignored ({} cases ran)",
+            s.cases_run
+        );
         let _ = fs::remove_dir_all(&cfg.corpus_dir);
     }
 

@@ -38,7 +38,8 @@ pub mod shrink;
 pub mod target;
 
 pub use campaign::{
-    replay, run_campaign, CampaignSummary, CaseIncident, FailureSummary, FuzzConfig,
+    replay, run_campaign, run_campaign_with, CampaignEvent, CampaignSummary, CaseIncident,
+    FailureSummary, FuzzConfig,
 };
 pub use corpus::{Corpus, FailureRecord};
 pub use oracle::{check_target, CheckVerdict, IncidentCause, OracleBudgets, OracleKind};

@@ -1,0 +1,503 @@
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+//! # seqwm-json
+//!
+//! The workspace's shared, dependency-free JSON layer: a [`Json`]
+//! value type, a minimal recursive-descent parser, and a compact
+//! emitter. It started life inside `seqwm-bench`'s report module and
+//! was extracted once the serve daemon needed the same machinery for
+//! its wire protocol; the workspace has no serde by design (offline,
+//! zero registry dependencies), so this is the one place JSON is
+//! read and written.
+//!
+//! The parser is only as lenient as round-tripping our own output
+//! requires; it rejects anything structurally malformed (trailing
+//! garbage, unterminated strings, unknown escapes). Object member
+//! order is preserved on both ends: emitters write fields in a fixed
+//! order and preserving it keeps diffs and checksums stable.
+//!
+//! ```
+//! use seqwm_json::Json;
+//!
+//! let v = Json::parse(r#"{"jobs":[{"id":3,"done":true}]}"#).unwrap();
+//! let jobs = v.get("jobs").unwrap().as_arr("jobs").unwrap();
+//! assert_eq!(jobs[0].get("id").unwrap().as_u64("id").unwrap(), 3);
+//! assert_eq!(v.to_string(), r#"{"jobs":[{"id":3,"done":true}]}"#);
+//! ```
+
+use std::fmt;
+
+/// A parsed or constructed JSON value. Object members keep their
+/// insertion order (objects are association lists, not maps — small
+/// documents, stable output).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `{...}` with member order preserved.
+    Obj(Vec<(String, Json)>),
+    /// `[...]`.
+    Arr(Vec<Json>),
+    /// A string.
+    Str(String),
+    /// Any number. Stored as `f64`: every emitter in this workspace
+    /// writes unsigned integers small enough to round-trip exactly
+    /// (u64 fingerprints travel as hex *strings* for that reason).
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Json {
+    /// Parses a complete JSON document (rejects trailing garbage).
+    ///
+    /// # Errors
+    ///
+    /// Returns a byte-positioned diagnostic on malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Convenience constructor: an object from key/value pairs.
+    pub fn obj(members: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Convenience constructor: a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor: an unsigned integer value. Values
+    /// beyond 2⁵³ lose precision in `f64`; callers with full-width
+    /// u64s (fingerprints) should emit hex strings instead.
+    pub fn num(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Member lookup on an object (`None` on non-objects too).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object members, or a contextualized type error.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not an object.
+    pub fn as_obj(&self, ctx: &str) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(m) => Ok(m),
+            other => Err(format!("{ctx}: expected object, got {}", other.kind())),
+        }
+    }
+
+    /// The array items, or a contextualized type error.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not an array.
+    pub fn as_arr(&self, ctx: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            other => Err(format!("{ctx}: expected array, got {}", other.kind())),
+        }
+    }
+
+    /// The string contents, or a contextualized type error.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not a string.
+    pub fn as_str(&self, ctx: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("{ctx}: expected string, got {}", other.kind())),
+        }
+    }
+
+    /// The boolean, or a contextualized type error.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not a bool.
+    pub fn as_bool(&self, ctx: &str) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("{ctx}: expected bool, got {}", other.kind())),
+        }
+    }
+
+    /// The value as an unsigned integer. Signs, fractions, and
+    /// exponents parse as numbers but are rejected here — every
+    /// integer field in the workspace's formats is unsigned.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not a non-negative whole number.
+    pub fn as_u64(&self, ctx: &str) -> Result<u64, String> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => Ok(*n as u64),
+            other => Err(format!(
+                "{ctx}: expected unsigned integer, got {}",
+                other.kind()
+            )),
+        }
+    }
+
+    /// The JSON type name, for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Obj(_) => "object",
+            Json::Arr(_) => "array",
+            Json::Str(_) => "string",
+            Json::Num(_) => "number",
+            Json::Bool(_) => "bool",
+            Json::Null => "null",
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&escape(k));
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Str(s) => out.push_str(&escape(s)),
+            Json::Num(n) => {
+                // Whole numbers render without a fraction so integer
+                // fields round-trip byte-identically.
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Null => out.push_str("null"),
+        }
+    }
+}
+
+/// Compact (no-whitespace) rendering; `Json::parse` inverts it.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Looks up `key` in an association-list object body, with a
+/// missing-field diagnostic. (The slice-level twin of [`Json::get`],
+/// for callers that already destructured via [`Json::as_obj`].)
+///
+/// # Errors
+///
+/// When no member named `key` exists.
+pub fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+/// Renders `s` as a quoted JSON string with the minimal escape set
+/// (quotes, backslash, control characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// --- the recursive-descent parser ---
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn peek(b: &[u8], pos: &mut usize) -> Option<u8> {
+    skip_ws(b, pos);
+    b.get(*pos).copied()
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    match peek(b, pos).ok_or("unexpected end of input")? {
+        b'{' => {
+            *pos += 1;
+            let mut members = Vec::new();
+            if peek(b, pos) == Some(b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                members.push((key, val));
+                match peek(b, pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            if peek(b, pos) == Some(b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                match peek(b, pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        b'"' => Ok(Json::Str(parse_string(b, pos)?)),
+        b't' | b'f' | b'n' => {
+            for (lit, val) in [
+                ("true", Json::Bool(true)),
+                ("false", Json::Bool(false)),
+                ("null", Json::Null),
+            ] {
+                if b[*pos..].starts_with(lit.as_bytes()) {
+                    *pos += lit.len();
+                    return Ok(val);
+                }
+            }
+            Err(format!("invalid literal at byte {}", *pos))
+        }
+        _ => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let c = *b.get(*pos).ok_or("unterminated string")?;
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        *pos += 4;
+                        // Our emitters only ever escape control
+                        // characters; surrogate pairs are out of scope.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("unknown escape at byte {}", *pos)),
+                }
+            }
+            _ => {
+                // Re-sync to UTF-8 boundaries: back up and take the
+                // whole code point.
+                let start = *pos - 1;
+                let s = std::str::from_utf8(&b[start..])
+                    .map_err(|_| "invalid UTF-8 in string")?
+                    .chars()
+                    .next()
+                    .ok_or("unterminated string")?;
+                out.push(s);
+                *pos = start + s.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid number")?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_value_kind() {
+        let v = Json::parse(r#"{"s":"x","n":42,"f":1.5,"b":true,"z":null,"a":[1,2]}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str("s").unwrap(), "x");
+        assert_eq!(v.get("n").unwrap().as_u64("n").unwrap(), 42);
+        assert_eq!(v.get("f").unwrap(), &Json::Num(1.5));
+        assert!(v.get("b").unwrap().as_bool("b").unwrap());
+        assert_eq!(v.get("z").unwrap(), &Json::Null);
+        assert_eq!(v.get("a").unwrap().as_arr("a").unwrap().len(), 2);
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn display_and_parse_are_inverse() {
+        let doc = r#"{"name":"quoted \"x\"\n","list":[0,1,2],"nested":{"ok":true,"v":null}}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.to_string(), doc);
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn constructed_values_render_compactly() {
+        let v = Json::obj(vec![
+            ("id", Json::num(7)),
+            ("tag", Json::str("a\tb")),
+            ("items", Json::Arr(vec![Json::Bool(false), Json::Null])),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"id":7,"tag":"a\tb","items":[false,null]}"#
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "\"unterminated",
+            "{} trailing",
+            "{'a':1}",
+            "nul",
+            "\"bad \\q escape\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn numbers_reject_non_u64_reads() {
+        for (doc, ok) in [("42", true), ("-1", false), ("1.5", false), ("0", true)] {
+            let v = Json::parse(doc).unwrap();
+            assert_eq!(v.as_u64("n").is_ok(), ok, "{doc}");
+        }
+    }
+
+    #[test]
+    fn escape_and_unicode_round_trip() {
+        let s = "tabs\tnewlines\ncontrol\u{1}unicode→é";
+        let doc = escape(s);
+        assert_eq!(Json::parse(&doc).unwrap(), Json::Str(s.to_string()));
+    }
+
+    #[test]
+    fn get_reports_missing_fields() {
+        let v = Json::parse(r#"{"a":1}"#).unwrap();
+        let obj = v.as_obj("root").unwrap();
+        assert_eq!(get(obj, "a").unwrap().as_u64("a").unwrap(), 1);
+        assert!(get(obj, "b").unwrap_err().contains("missing field"));
+    }
+
+    #[test]
+    fn member_order_is_preserved() {
+        let doc = r#"{"z":1,"a":2,"m":3}"#;
+        let v = Json::parse(doc).unwrap();
+        let keys: Vec<&str> = v
+            .as_obj("root")
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+        assert_eq!(v.to_string(), doc);
+    }
+}

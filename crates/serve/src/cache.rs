@@ -1,0 +1,303 @@
+//! The persistent result store: verdicts keyed by a canonical-text
+//! fingerprint so a repeat submission short-circuits to a cache hit.
+//!
+//! Layout: one JSON file per entry under `<state_dir>/cache/`, named
+//! by the 64-bit fingerprint of the canonical key. Each file records
+//! the full key text alongside the result, so a fingerprint collision
+//! degrades to a miss instead of serving the wrong verdict. Entries
+//! are written atomically (tmp + rename, like every other durable
+//! artifact in the workspace) and survive daemon restarts; an
+//! in-memory index fronts the directory, evicting least-recently-used
+//! entries (file included) beyond the configured capacity.
+//!
+//! Hit/miss/eviction counts are kept both locally (for
+//! `server.stats`) and in the global perf counters
+//! ([`seqwm_explore::counters`]) so the bench harness sees cache
+//! traffic like any other subsystem's work.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use seqwm_explore::counters::{add, SERVE_CACHE_EVICTIONS, SERVE_CACHE_HITS, SERVE_CACHE_MISSES};
+use seqwm_explore::fp64;
+use seqwm_json::Json;
+
+/// One cached verdict.
+struct Entry {
+    /// The full canonical key (collision guard).
+    key: String,
+    /// The cached result object.
+    result: Json,
+    /// LRU clock value at last touch.
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    clock: u64,
+}
+
+/// A persistent, LRU-bounded result cache.
+pub struct ResultCache {
+    dir: PathBuf,
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Point-in-time cache statistics for `server.stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to execution.
+    pub misses: u64,
+    /// Entries evicted under capacity pressure.
+    pub evictions: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache directory and loads the
+    /// persisted index.
+    ///
+    /// # Errors
+    ///
+    /// I/O problems creating or scanning the directory. Individual
+    /// unreadable entry files are skipped, not fatal.
+    pub fn open(dir: impl Into<PathBuf>, capacity: usize) -> Result<Self, String> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| format!("cannot create cache dir: {e}"))?;
+        let mut entries = HashMap::new();
+        let listing = fs::read_dir(&dir).map_err(|e| format!("cannot scan cache dir: {e}"))?;
+        for item in listing.flatten() {
+            let name = item.file_name();
+            let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".json")) else {
+                continue;
+            };
+            let Ok(fp) = u64::from_str_radix(stem, 16) else {
+                continue;
+            };
+            let Ok(text) = fs::read_to_string(item.path()) else {
+                continue;
+            };
+            let Ok(v) = Json::parse(&text) else {
+                continue;
+            };
+            let (Some(key), Some(result)) = (v.get("key"), v.get("result")) else {
+                continue;
+            };
+            let Ok(key) = key.as_str("key") else {
+                continue;
+            };
+            entries.insert(
+                fp,
+                Entry {
+                    key: key.to_string(),
+                    result: result.clone(),
+                    last_used: 0,
+                },
+            );
+        }
+        let cache = ResultCache {
+            dir,
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner { entries, clock: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        };
+        // A directory persisted by a larger-capacity daemon shrinks
+        // to fit on open.
+        {
+            let mut inner = cache.lock();
+            while inner.entries.len() > cache.capacity {
+                cache.evict_one(&mut inner);
+            }
+        }
+        Ok(cache)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn entry_path(&self, fp: u64) -> PathBuf {
+        self.dir.join(format!("{fp:016x}.json"))
+    }
+
+    /// Looks up a canonical key. Counts a hit or a miss either way.
+    pub fn get(&self, key: &str) -> Option<Json> {
+        let fp = fp64(&key);
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let found = match inner.entries.get_mut(&fp) {
+            Some(e) if e.key == key => {
+                e.last_used = clock;
+                Some(e.result.clone())
+            }
+            // Fingerprint collision or vacant: either way, a miss.
+            _ => None,
+        };
+        drop(inner);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            add(&SERVE_CACHE_HITS, 1);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            add(&SERVE_CACHE_MISSES, 1);
+        }
+        found
+    }
+
+    /// Inserts (or overwrites) a canonical key's result, persisting
+    /// it to disk and evicting LRU entries beyond capacity.
+    pub fn put(&self, key: &str, result: &Json) {
+        let fp = fp64(&key);
+        let doc = Json::Obj(vec![
+            ("key".to_string(), Json::str(key)),
+            ("result".to_string(), result.clone()),
+        ]);
+        let path = self.entry_path(fp);
+        let tmp = self
+            .dir
+            .join(format!(".{fp:016x}-{}.tmp", std::process::id()));
+        let persisted = fs::write(&tmp, doc.to_string())
+            .and_then(|()| fs::rename(&tmp, &path))
+            .is_ok();
+        if !persisted {
+            // Cache persistence is best-effort: losing an entry only
+            // costs a future re-execution.
+            let _ = fs::remove_file(&tmp);
+        }
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.entries.insert(
+            fp,
+            Entry {
+                key: key.to_string(),
+                result: result.clone(),
+                last_used: clock,
+            },
+        );
+        while inner.entries.len() > self.capacity {
+            self.evict_one(&mut inner);
+        }
+    }
+
+    /// Removes the least-recently-used entry (index and file).
+    fn evict_one(&self, inner: &mut Inner) {
+        let Some((&victim, _)) = inner
+            .entries
+            .iter()
+            .min_by_key(|(fp, e)| (e.last_used, **fp))
+        else {
+            return;
+        };
+        inner.entries.remove(&victim);
+        let _ = fs::remove_file(self.entry_path(victim));
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        add(&SERVE_CACHE_EVICTIONS, 1);
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.lock().entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("seqwm-serve-cache-{}-{tag}", std::process::id()))
+    }
+
+    fn result(v: u64) -> Json {
+        Json::obj(vec![("answer", Json::num(v))])
+    }
+
+    #[test]
+    fn hit_after_put_and_miss_before() {
+        let dir = temp_dir("basic");
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir, 8).unwrap();
+        assert_eq!(cache.get("k1"), None);
+        cache.put("k1", &result(1));
+        assert_eq!(cache.get("k1"), Some(result(1)));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_survive_reopen() {
+        let dir = temp_dir("reopen");
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let cache = ResultCache::open(&dir, 8).unwrap();
+            cache.put("persist-me", &result(42));
+        }
+        let cache = ResultCache::open(&dir, 8).unwrap();
+        assert_eq!(cache.get("persist-me"), Some(result(42)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_removes_files_and_counts() {
+        let dir = temp_dir("lru");
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir, 2).unwrap();
+        cache.put("a", &result(1));
+        cache.put("b", &result(2));
+        assert!(cache.get("a").is_some()); // a is now fresher than b
+        cache.put("c", &result(3)); // evicts b
+        assert_eq!(cache.get("b"), None);
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        // Only two entry files remain on disk.
+        let files = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|f| f.file_name().to_str().is_some_and(|n| n.ends_with(".json")))
+            .count();
+        assert_eq!(files, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_shrinks_to_capacity() {
+        let dir = temp_dir("shrink");
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let cache = ResultCache::open(&dir, 8).unwrap();
+            for i in 0..6 {
+                cache.put(&format!("k{i}"), &result(i));
+            }
+        }
+        let cache = ResultCache::open(&dir, 3).unwrap();
+        assert_eq!(cache.stats().entries, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

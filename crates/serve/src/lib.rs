@@ -1,0 +1,41 @@
+//! `seqwm-serve` — a long-lived verification service.
+//!
+//! The daemon turns the repo's one-shot verification tools into a
+//! service: a TCP socket speaking newline-delimited JSON-RPC 2.0
+//! ([`proto`]), a bounded FIFO job queue drained by worker threads
+//! ([`server`]), a persistent result cache keyed by canonical-text
+//! program fingerprints ([`cache`]), and an on-disk job journal with
+//! checkpoint-backed restart recovery ([`job`]).
+//!
+//! Methods:
+//!
+//! | method           | effect                                         |
+//! |------------------|------------------------------------------------|
+//! | `refine.check`   | SEQ refinement of a program pair (synchronous) |
+//! | `explore.run`    | promising-semantics exploration (synchronous)  |
+//! | `fuzz.campaign`  | start a fuzzing campaign, returns a job id     |
+//! | `job.submit`     | generic async submit (`kind` selects the work) |
+//! | `job.status`     | lifecycle snapshot of one job                  |
+//! | `job.result`     | block for (or poll) a job's terminal outcome   |
+//! | `job.events`     | replay + follow a job's streamed events        |
+//! | `job.cancel`     | cancel a queued or running job                 |
+//! | `server.stats`   | uptime, queue, job, cache, and perf counters   |
+//! | `server.shutdown`| stop the daemon                                |
+//!
+//! Jobs carry per-request budgets (`fuel`, `deadline_ms`,
+//! `max_memory_mb`, `max_states`); a tripped budget is a structured
+//! `BUDGET_EXHAUSTED` error on that job, a panicking check is a
+//! `JOB_FAILED` incident — the daemon itself never dies with a job.
+//! Everything runs on std only, like the rest of the workspace.
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod cache;
+pub mod job;
+pub mod proto;
+pub mod server;
+
+pub use cache::{CacheStats, ResultCache};
+pub use job::{JobBudgets, JobKind, JobRecord, JobState};
+pub use server::{ServeConfig, Server};

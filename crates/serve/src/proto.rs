@@ -1,0 +1,297 @@
+//! The wire protocol: newline-delimited JSON-RPC 2.0 over the shared
+//! [`seqwm_json::Json`] value type.
+//!
+//! Each line is one complete JSON document. Requests carry `jsonrpc`,
+//! `method`, optional `params` (an object), and an `id`; responses
+//! echo the `id` with either `result` or `error {code, message,
+//! data?}`. The server additionally emits *notifications* (no `id`,
+//! method `job.event`) on a connection that has subscribed to a job's
+//! event stream — interleaved with responses, which is why the framing
+//! is line-based: a client can dispatch on the presence of `id`.
+//!
+//! Error codes follow the JSON-RPC 2.0 reserved range plus a small
+//! server-defined block (see the [`codes`] module).
+
+use seqwm_json::Json;
+
+/// JSON-RPC error codes used on the wire.
+pub mod codes {
+    /// Malformed JSON (unparseable line).
+    pub const PARSE_ERROR: i64 = -32700;
+    /// Structurally valid JSON that is not a valid request object.
+    pub const INVALID_REQUEST: i64 = -32600;
+    /// Unknown method.
+    pub const METHOD_NOT_FOUND: i64 = -32601;
+    /// Bad or missing params for a known method.
+    pub const INVALID_PARAMS: i64 = -32602;
+    /// The job ran but failed (panic incident, oracle violation, …).
+    pub const JOB_FAILED: i64 = -32000;
+    /// A per-job budget (fuel, deadline, memory, states) was exhausted
+    /// before the job could produce a definitive answer.
+    pub const BUDGET_EXHAUSTED: i64 = -32001;
+    /// The bounded job queue is full; resubmit later.
+    pub const QUEUE_FULL: i64 = -32002;
+    /// The referenced job id does not exist.
+    pub const UNKNOWN_JOB: i64 = -32003;
+    /// The job was canceled before completion.
+    pub const CANCELED: i64 = -32004;
+}
+
+/// A parsed JSON-RPC request line.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The request id, echoed on the response. JSON-RPC allows
+    /// strings, numbers, and null; we carry whatever value arrived.
+    pub id: Json,
+    /// The method name, e.g. `"refine.check"`.
+    pub method: String,
+    /// The params object (empty object when absent).
+    pub params: Json,
+}
+
+/// A protocol-level error: code + message (+ optional structured data).
+#[derive(Clone, Debug)]
+pub struct RpcError {
+    /// One of the [`codes`] constants.
+    pub code: i64,
+    /// Human-readable summary.
+    pub message: String,
+    /// Optional structured detail (e.g. which budget tripped).
+    pub data: Option<Json>,
+}
+
+impl RpcError {
+    /// A new error with no structured data.
+    pub fn new(code: i64, message: impl Into<String>) -> Self {
+        RpcError {
+            code,
+            message: message.into(),
+            data: None,
+        }
+    }
+
+    /// Attaches structured data.
+    pub fn with_data(mut self, data: Json) -> Self {
+        self.data = Some(data);
+        self
+    }
+
+    /// Shorthand for [`codes::INVALID_PARAMS`].
+    pub fn invalid_params(message: impl Into<String>) -> Self {
+        RpcError::new(codes::INVALID_PARAMS, message)
+    }
+}
+
+/// Parses one request line. Distinguishes unparseable JSON
+/// ([`codes::PARSE_ERROR`]) from a well-formed value that is not a
+/// valid request ([`codes::INVALID_REQUEST`]) so the response carries
+/// the right code; in both cases the caller answers with `id: null`
+/// when no id could be recovered.
+///
+/// # Errors
+///
+/// Returns the ready-to-send [`RpcError`] (paired with the best-known
+/// id) on any malformed line.
+pub fn parse_request(line: &str) -> Result<Request, (Json, RpcError)> {
+    let v = Json::parse(line).map_err(|e| (Json::Null, RpcError::new(codes::PARSE_ERROR, e)))?;
+    let id = v.get("id").cloned().unwrap_or(Json::Null);
+    let bad = |msg: &str| (id.clone(), RpcError::new(codes::INVALID_REQUEST, msg));
+    if v.get("jsonrpc").and_then(|j| j.as_str("jsonrpc").ok()) != Some("2.0") {
+        return Err(bad("missing jsonrpc: \"2.0\""));
+    }
+    let method = match v.get("method").map(|m| m.as_str("method")) {
+        Some(Ok(m)) => m.to_string(),
+        _ => return Err(bad("missing method")),
+    };
+    let params = match v.get("params") {
+        None => Json::Obj(Vec::new()),
+        Some(p @ Json::Obj(_)) => p.clone(),
+        Some(_) => return Err(bad("params must be an object")),
+    };
+    Ok(Request { id, method, params })
+}
+
+/// Renders a success response line (no trailing newline).
+pub fn response(id: &Json, result: Json) -> String {
+    Json::Obj(vec![
+        ("jsonrpc".to_string(), Json::str("2.0")),
+        ("id".to_string(), id.clone()),
+        ("result".to_string(), result),
+    ])
+    .to_string()
+}
+
+/// Renders an error response line (no trailing newline).
+pub fn error_response(id: &Json, err: &RpcError) -> String {
+    let mut e = vec![
+        ("code".to_string(), Json::Num(err.code as f64)),
+        ("message".to_string(), Json::str(err.message.clone())),
+    ];
+    if let Some(data) = &err.data {
+        e.push(("data".to_string(), data.clone()));
+    }
+    Json::Obj(vec![
+        ("jsonrpc".to_string(), Json::str("2.0")),
+        ("id".to_string(), id.clone()),
+        ("error".to_string(), Json::Obj(e)),
+    ])
+    .to_string()
+}
+
+/// Renders a notification line (no `id`; used for `job.event`).
+pub fn notification(method: &str, params: Json) -> String {
+    Json::Obj(vec![
+        ("jsonrpc".to_string(), Json::str("2.0")),
+        ("method".to_string(), Json::str(method)),
+        ("params".to_string(), params),
+    ])
+    .to_string()
+}
+
+// --- typed param readers -------------------------------------------
+
+/// Required string param.
+///
+/// # Errors
+///
+/// [`RpcError::invalid_params`] when missing or not a string.
+pub fn req_str(params: &Json, key: &str) -> Result<String, RpcError> {
+    params
+        .get(key)
+        .ok_or_else(|| RpcError::invalid_params(format!("missing param {key:?}")))?
+        .as_str(key)
+        .map(str::to_string)
+        .map_err(RpcError::invalid_params)
+}
+
+/// Optional string param.
+///
+/// # Errors
+///
+/// [`RpcError::invalid_params`] when present but not a string.
+pub fn opt_str(params: &Json, key: &str) -> Result<Option<String>, RpcError> {
+    match params.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_str(key)
+            .map(|s| Some(s.to_string()))
+            .map_err(RpcError::invalid_params),
+    }
+}
+
+/// Optional unsigned-integer param.
+///
+/// # Errors
+///
+/// [`RpcError::invalid_params`] when present but not a non-negative
+/// whole number.
+pub fn opt_u64(params: &Json, key: &str) -> Result<Option<u64>, RpcError> {
+    match params.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64(key).map(Some).map_err(RpcError::invalid_params),
+    }
+}
+
+/// Optional boolean param (defaults to `false`).
+///
+/// # Errors
+///
+/// [`RpcError::invalid_params`] when present but not a bool.
+pub fn opt_bool(params: &Json, key: &str) -> Result<Option<bool>, RpcError> {
+    match params.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_bool(key).map(Some).map_err(RpcError::invalid_params),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_request() {
+        let r = parse_request(r#"{"jsonrpc":"2.0","id":1,"method":"server.stats"}"#).unwrap();
+        assert_eq!(r.method, "server.stats");
+        assert_eq!(r.id, Json::Num(1.0));
+        assert_eq!(r.params, Json::Obj(Vec::new()));
+    }
+
+    #[test]
+    fn parse_error_vs_invalid_request() {
+        let (id, e) = parse_request("{not json").unwrap_err();
+        assert_eq!(e.code, codes::PARSE_ERROR);
+        assert_eq!(id, Json::Null);
+
+        let (id, e) = parse_request(r#"{"id":7,"method":"x"}"#).unwrap_err();
+        assert_eq!(e.code, codes::INVALID_REQUEST, "missing jsonrpc version");
+        assert_eq!(id, Json::Num(7.0), "id recovered for the error reply");
+
+        let (_, e) = parse_request(r#"{"jsonrpc":"2.0","id":1,"params":{}}"#).unwrap_err();
+        assert_eq!(e.code, codes::INVALID_REQUEST, "missing method");
+
+        let (_, e) =
+            parse_request(r#"{"jsonrpc":"2.0","id":1,"method":"x","params":[1]}"#).unwrap_err();
+        assert_eq!(e.code, codes::INVALID_REQUEST, "positional params rejected");
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_parser() {
+        let ok = response(
+            &Json::Num(3.0),
+            Json::obj(vec![("verdict", Json::str("holds"))]),
+        );
+        let v = Json::parse(&ok).unwrap();
+        assert_eq!(v.get("id").unwrap().as_u64("id").unwrap(), 3);
+        assert_eq!(
+            v.get("result")
+                .unwrap()
+                .get("verdict")
+                .unwrap()
+                .as_str("v")
+                .unwrap(),
+            "holds"
+        );
+
+        let err = error_response(
+            &Json::str("a"),
+            &RpcError::new(codes::BUDGET_EXHAUSTED, "fuel exhausted")
+                .with_data(Json::obj(vec![("budget", Json::str("fuel"))])),
+        );
+        let v = Json::parse(&err).unwrap();
+        let e = v.get("error").unwrap();
+        assert_eq!(e.get("code").unwrap(), &Json::Num(-32001.0));
+        assert_eq!(
+            e.get("data")
+                .unwrap()
+                .get("budget")
+                .unwrap()
+                .as_str("b")
+                .unwrap(),
+            "fuel"
+        );
+    }
+
+    #[test]
+    fn notifications_have_no_id() {
+        let n = notification("job.event", Json::obj(vec![("job", Json::num(1))]));
+        let v = Json::parse(&n).unwrap();
+        assert!(v.get("id").is_none());
+        assert_eq!(v.get("method").unwrap().as_str("m").unwrap(), "job.event");
+    }
+
+    #[test]
+    fn typed_param_readers_enforce_types() {
+        let p = Json::parse(r#"{"s":"x","n":9,"b":true,"z":null}"#).unwrap();
+        assert_eq!(req_str(&p, "s").unwrap(), "x");
+        assert_eq!(
+            req_str(&p, "missing").unwrap_err().code,
+            codes::INVALID_PARAMS
+        );
+        assert_eq!(opt_str(&p, "z").unwrap(), None);
+        assert_eq!(opt_u64(&p, "n").unwrap(), Some(9));
+        assert_eq!(opt_u64(&p, "s").unwrap_err().code, codes::INVALID_PARAMS);
+        assert_eq!(opt_bool(&p, "b").unwrap(), Some(true));
+        assert_eq!(opt_bool(&p, "missing").unwrap(), None);
+    }
+}

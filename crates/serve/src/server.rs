@@ -1,0 +1,1237 @@
+//! The daemon: a TCP listener speaking newline-delimited JSON-RPC,
+//! a bounded FIFO job queue drained by worker threads, and the glue
+//! between wire requests and the verification engines.
+//!
+//! Fault model: every job runs under `catch_unwind`, so a panicking
+//! check becomes a structured `JOB_FAILED` error on that one job, not
+//! a dead daemon (the engine additionally quarantines its *internal*
+//! faults per the PR 2 fault model). Explore jobs run single-worker
+//! with the engine's periodic checkpointing enabled; a killed daemon
+//! restarted on the same state dir re-enqueues every journaled
+//! non-terminal job, and an explore job whose checkpoint survived
+//! resumes its frontier instead of starting over.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use seqwm_explore::counters::CounterSnapshot;
+use seqwm_explore::CheckpointSpec;
+use seqwm_fuzz::{run_campaign_with, CampaignEvent, FuzzConfig};
+use seqwm_json::Json;
+use seqwm_promising::search::{engine_config, try_explore_engine};
+use seqwm_promising::thread::PsConfig;
+use seqwm_seq::{refines_advanced, refines_simple, RefineConfig, RefineError};
+
+use crate::cache::ResultCache;
+use crate::job::{
+    cache_key, canceled_error, checkpoint_path, explore_programs, load_journal, persist,
+    refine_programs, JobBudgets, JobError, JobKind, JobRecord, JobState,
+};
+use crate::proto::{
+    codes, error_response, notification, opt_bool, opt_u64, parse_request, req_str, response,
+    Request, RpcError,
+};
+
+/// How long blocked waits sleep between re-checking the stop flag.
+const WAIT_TICK: Duration = Duration::from_millis(100);
+
+/// Daemon configuration (the `seqwm serve` CLI maps onto this).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Interface to bind.
+    pub host: String,
+    /// Port to bind (0 = ephemeral, reported on stdout).
+    pub port: u16,
+    /// Job worker threads.
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before `QUEUE_FULL`.
+    pub queue_depth: usize,
+    /// State directory: job journal, engine checkpoints, result
+    /// cache, fuzz corpora.
+    pub state_dir: PathBuf,
+    /// Result cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Engine checkpoint cadence for explore jobs.
+    pub checkpoint_every: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            workers: 2,
+            queue_depth: 64,
+            state_dir: PathBuf::from(".seqwm-serve"),
+            cache_capacity: 1024,
+            checkpoint_every: Duration::from_millis(200),
+        }
+    }
+}
+
+/// The mutable job table behind one mutex.
+struct JobTable {
+    next_id: u64,
+    records: BTreeMap<u64, JobRecord>,
+    queue: VecDeque<u64>,
+}
+
+/// Everything shared between the accept loop, connection threads, and
+/// job workers.
+struct Core {
+    cfg: ServeConfig,
+    addr: SocketAddr,
+    jobs_dir: PathBuf,
+    fuzz_dir: PathBuf,
+    jobs: Mutex<JobTable>,
+    /// Signaled when the queue gains a job (workers wait here).
+    queue_cv: Condvar,
+    /// Signaled on any job state/event change (waiters and streamers).
+    update_cv: Condvar,
+    cache: ResultCache,
+    stop: AtomicBool,
+    started: Instant,
+    counters_base: CounterSnapshot,
+}
+
+impl Core {
+    fn lock_jobs(&self) -> MutexGuard<'_, JobTable> {
+        match self.jobs.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Flips the stop flag and wakes everything, including the accept
+    /// loop (via a throwaway self-connection).
+    fn begin_shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let guard = self.lock_jobs();
+        self.queue_cv.notify_all();
+        self.update_cv.notify_all();
+        drop(guard);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running daemon.
+pub struct Server {
+    core: Arc<Core>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, recovers journaled jobs from the state dir, and spawns
+    /// the accept loop plus worker threads.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the socket cannot be bound or the
+    /// state directory cannot be created.
+    pub fn start(cfg: ServeConfig) -> Result<Server, String> {
+        let jobs_dir = cfg.state_dir.join("jobs");
+        let fuzz_dir = cfg.state_dir.join("fuzz");
+        for d in [&jobs_dir, &fuzz_dir] {
+            fs::create_dir_all(d)
+                .map_err(|e| format!("cannot create state dir {}: {e}", d.display()))?;
+        }
+        let cache = ResultCache::open(cfg.state_dir.join("cache"), cfg.cache_capacity)?;
+        let bind_to = (cfg.host.as_str(), cfg.port)
+            .to_socket_addrs()
+            .map_err(|e| format!("cannot resolve {}:{}: {e}", cfg.host, cfg.port))?
+            .next()
+            .ok_or_else(|| format!("cannot resolve {}:{}", cfg.host, cfg.port))?;
+        let listener = TcpListener::bind(bind_to)
+            .map_err(|e| format!("cannot bind {}:{}: {e}", cfg.host, cfg.port))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+
+        // Restart recovery: every journaled non-terminal job goes back
+        // on the queue (oldest first); terminal jobs stay queryable.
+        let mut table = JobTable {
+            next_id: 1,
+            records: BTreeMap::new(),
+            queue: VecDeque::new(),
+        };
+        for rec in load_journal(&jobs_dir) {
+            table.next_id = table.next_id.max(rec.id + 1);
+            if rec.state == JobState::Queued {
+                table.queue.push_back(rec.id);
+                persist(&jobs_dir, &rec);
+            }
+            table.records.insert(rec.id, rec);
+        }
+
+        let workers = cfg.workers.max(1);
+        let core = Arc::new(Core {
+            cfg,
+            addr,
+            jobs_dir,
+            fuzz_dir,
+            jobs: Mutex::new(table),
+            queue_cv: Condvar::new(),
+            update_cv: Condvar::new(),
+            cache,
+            stop: AtomicBool::new(false),
+            started: Instant::now(),
+            counters_base: CounterSnapshot::capture(),
+        });
+
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("seqwm-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&core))
+                    .map_err(|e| format!("cannot spawn worker: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let accept_core = Arc::clone(&core);
+        let accept = std::thread::Builder::new()
+            .name("seqwm-serve-accept".to_string())
+            .spawn(move || accept_loop(&accept_core, &listener))
+            .map_err(|e| format!("cannot spawn accept loop: {e}"))?;
+
+        Ok(Server {
+            core,
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.core.addr
+    }
+
+    /// Number of jobs recovered from the journal at startup.
+    pub fn recovered_jobs(&self) -> usize {
+        self.core
+            .lock_jobs()
+            .records
+            .values()
+            .filter(|r| r.recovered)
+            .count()
+    }
+
+    /// Asks the daemon to stop (same path as the `server.shutdown`
+    /// RPC).
+    pub fn shutdown(&self) {
+        self.core.begin_shutdown();
+    }
+
+    /// Blocks until the daemon has stopped and all threads joined.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Accept loop and connection handling
+// ---------------------------------------------------------------------
+
+fn accept_loop(core: &Arc<Core>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if core.stopping() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let core = Arc::clone(core);
+        let _ = std::thread::Builder::new()
+            .name("seqwm-serve-conn".to_string())
+            .spawn(move || handle_conn(&core, stream));
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> bool {
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .is_ok()
+}
+
+fn handle_conn(core: &Arc<Core>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if core.stopping() {
+            break;
+        }
+        let req = match parse_request(&line) {
+            Ok(r) => r,
+            Err((id, e)) => {
+                if !write_line(&mut writer, &error_response(&id, &e)) {
+                    break;
+                }
+                continue;
+            }
+        };
+        let shutdown_requested = req.method == "server.shutdown";
+        let reply = match dispatch(core, &req, &mut writer) {
+            Ok(result) => response(&req.id, result),
+            Err(e) => error_response(&req.id, &e),
+        };
+        let wrote = write_line(&mut writer, &reply);
+        if shutdown_requested {
+            core.begin_shutdown();
+            break;
+        }
+        if !wrote {
+            break;
+        }
+    }
+}
+
+fn dispatch(core: &Arc<Core>, req: &Request, writer: &mut TcpStream) -> Result<Json, RpcError> {
+    match req.method.as_str() {
+        "refine.check" => run_sync(core, JobKind::Refine, req.params.clone()),
+        "explore.run" => run_sync(core, JobKind::Explore, req.params.clone()),
+        "fuzz.campaign" => {
+            let (id, cached) = submit(core, JobKind::Fuzz, req.params.clone())?;
+            Ok(Json::obj(vec![
+                ("job", Json::num(id)),
+                ("cached", Json::Bool(cached)),
+            ]))
+        }
+        "job.submit" => {
+            let kind = req_str(&req.params, "kind")?;
+            let kind = JobKind::parse(&kind).ok_or_else(|| {
+                RpcError::invalid_params(format!(
+                    "kind: expected refine|explore|fuzz, got {kind:?}"
+                ))
+            })?;
+            let (id, cached) = submit(core, kind, req.params.clone())?;
+            Ok(Json::obj(vec![
+                ("job", Json::num(id)),
+                ("cached", Json::Bool(cached)),
+            ]))
+        }
+        "job.status" => {
+            let id = req_job(&req.params)?;
+            let table = core.lock_jobs();
+            let rec = table.records.get(&id).ok_or_else(|| unknown_job(id))?;
+            Ok(rec.status_json())
+        }
+        "job.result" => {
+            let id = req_job(&req.params)?;
+            if opt_bool(&req.params, "wait")?.unwrap_or(true) {
+                wait_terminal(core, id)?;
+            }
+            terminal_reply(core, id)
+        }
+        "job.cancel" => cancel_job(core, req_job(&req.params)?),
+        "job.events" => {
+            let id = req_job(&req.params)?;
+            let from = opt_u64(&req.params, "from")?.unwrap_or(0) as usize;
+            stream_events(core, id, from, writer)
+        }
+        "server.stats" => Ok(stats_json(core)),
+        "server.shutdown" => Ok(Json::obj(vec![("ok", Json::Bool(true))])),
+        other => Err(RpcError::new(
+            codes::METHOD_NOT_FOUND,
+            format!("unknown method {other:?}"),
+        )),
+    }
+}
+
+fn req_job(params: &Json) -> Result<u64, RpcError> {
+    opt_u64(params, "job")?.ok_or_else(|| RpcError::invalid_params("job: required job id"))
+}
+
+fn unknown_job(id: u64) -> RpcError {
+    RpcError::new(codes::UNKNOWN_JOB, format!("no such job: {id}"))
+}
+
+// ---------------------------------------------------------------------
+// Submission, waiting, cancel
+// ---------------------------------------------------------------------
+
+/// Validates, consults the result cache, and either completes the job
+/// instantly (hit) or enqueues it. Returns `(id, cached)`.
+fn submit(core: &Arc<Core>, kind: JobKind, params: Json) -> Result<(u64, bool), RpcError> {
+    let key = cache_key(kind, &params)?;
+    let hit = key.as_deref().and_then(|k| core.cache.get(k));
+    let mut table = core.lock_jobs();
+    if hit.is_none() && table.queue.len() >= core.cfg.queue_depth {
+        return Err(RpcError::new(
+            codes::QUEUE_FULL,
+            format!("queue full ({} jobs waiting)", table.queue.len()),
+        ));
+    }
+    let id = table.next_id;
+    table.next_id += 1;
+    let mut rec = JobRecord::new(id, kind, params);
+    let cached = if let Some(result) = hit {
+        rec.state = JobState::Done;
+        rec.result = Some(result);
+        rec.cached = true;
+        true
+    } else {
+        false
+    };
+    persist(&core.jobs_dir, &rec);
+    table.records.insert(id, rec);
+    if cached {
+        core.update_cv.notify_all();
+    } else {
+        table.queue.push_back(id);
+        core.queue_cv.notify_all();
+    }
+    drop(table);
+    Ok((id, cached))
+}
+
+/// Submits and blocks until the job is terminal, then replies as if
+/// `job.result` had been called.
+fn run_sync(core: &Arc<Core>, kind: JobKind, params: Json) -> Result<Json, RpcError> {
+    let (id, _) = submit(core, kind, params)?;
+    wait_terminal(core, id)?;
+    terminal_reply(core, id)
+}
+
+fn wait_terminal(core: &Arc<Core>, id: u64) -> Result<(), RpcError> {
+    let mut table = core.lock_jobs();
+    loop {
+        match table.records.get(&id) {
+            None => return Err(unknown_job(id)),
+            Some(r) if r.state.is_terminal() => return Ok(()),
+            Some(_) => {}
+        }
+        if core.stopping() {
+            return Err(RpcError::new(codes::JOB_FAILED, "server shutting down"));
+        }
+        table = match core.update_cv.wait_timeout(table, WAIT_TICK) {
+            Ok((g, _)) => g,
+            Err(poisoned) => poisoned.into_inner().0,
+        };
+    }
+}
+
+/// The final reply for a terminal job: its result on `Done`, its
+/// structured error otherwise.
+fn terminal_reply(core: &Arc<Core>, id: u64) -> Result<Json, RpcError> {
+    let table = core.lock_jobs();
+    let rec = table.records.get(&id).ok_or_else(|| unknown_job(id))?;
+    match rec.state {
+        JobState::Done => {
+            let mut fields = vec![
+                ("job".to_string(), Json::num(id)),
+                ("cached".to_string(), Json::Bool(rec.cached)),
+                ("recovered".to_string(), Json::Bool(rec.recovered)),
+            ];
+            fields.push((
+                "result".to_string(),
+                rec.result.clone().unwrap_or(Json::Null),
+            ));
+            Ok(Json::Obj(fields))
+        }
+        _ => {
+            let e = rec.error.clone().unwrap_or_else(canceled_error);
+            let mut err = RpcError::new(e.code, e.message);
+            if let Some(d) = e.data {
+                err = err.with_data(d);
+            }
+            Err(err)
+        }
+    }
+}
+
+fn cancel_job(core: &Arc<Core>, id: u64) -> Result<Json, RpcError> {
+    let mut table = core.lock_jobs();
+    let pos = table.queue.iter().position(|&q| q == id);
+    let rec = table.records.get_mut(&id).ok_or_else(|| unknown_job(id))?;
+    match rec.state {
+        JobState::Queued => {
+            rec.state = JobState::Canceled;
+            rec.error = Some(canceled_error());
+            rec.cancel.store(true, Ordering::Relaxed);
+            let snapshot = rec.status_json();
+            persist(&core.jobs_dir, rec);
+            if let Some(i) = pos {
+                table.queue.remove(i);
+            }
+            core.update_cv.notify_all();
+            Ok(snapshot)
+        }
+        JobState::Running => {
+            // Cooperative: the worker observes the flag (fuzz at the
+            // next case boundary) and finalizes as canceled.
+            rec.cancel.store(true, Ordering::Relaxed);
+            Ok(rec.status_json())
+        }
+        _ => Ok(rec.status_json()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event streaming
+// ---------------------------------------------------------------------
+
+/// Replays recorded events from `from`, then follows live ones, each
+/// as a `job.event` notification; returns the final summary once the
+/// job is terminal.
+fn stream_events(
+    core: &Arc<Core>,
+    id: u64,
+    from: usize,
+    writer: &mut TcpStream,
+) -> Result<Json, RpcError> {
+    let mut next = from;
+    let mut table = core.lock_jobs();
+    loop {
+        let (batch, state) = {
+            let rec = table.records.get(&id).ok_or_else(|| unknown_job(id))?;
+            let batch: Vec<Json> = rec.events.get(next..).unwrap_or(&[]).to_vec();
+            (batch, rec.state)
+        };
+        if !batch.is_empty() {
+            drop(table);
+            for ev in batch {
+                let line = notification(
+                    "job.event",
+                    Json::obj(vec![
+                        ("job", Json::num(id)),
+                        ("seq", Json::num(next as u64)),
+                        ("event", ev),
+                    ]),
+                );
+                if !write_line(writer, &line) {
+                    return Err(RpcError::new(codes::JOB_FAILED, "client went away"));
+                }
+                next += 1;
+            }
+            table = core.lock_jobs();
+            continue;
+        }
+        if state.is_terminal() || core.stopping() {
+            drop(table);
+            return Ok(Json::obj(vec![
+                ("job", Json::num(id)),
+                ("state", Json::str(state.as_str())),
+                ("delivered", Json::num(next.saturating_sub(from) as u64)),
+            ]));
+        }
+        table = match core.update_cv.wait_timeout(table, WAIT_TICK) {
+            Ok((g, _)) => g,
+            Err(poisoned) => poisoned.into_inner().0,
+        };
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------
+
+fn stats_json(core: &Arc<Core>) -> Json {
+    let table = core.lock_jobs();
+    let mut by_state = [0u64; 5];
+    for r in table.records.values() {
+        let i = match r.state {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+            JobState::Done => 2,
+            JobState::Failed => 3,
+            JobState::Canceled => 4,
+        };
+        by_state[i] += 1;
+    }
+    let queue_len = table.queue.len();
+    let total = table.records.len();
+    drop(table);
+    let cache = core.cache.stats();
+    let delta = CounterSnapshot::capture().since(&core.counters_base);
+    let counters = delta
+        .entries()
+        .iter()
+        .map(|(name, v)| ((*name).to_string(), Json::num(*v)))
+        .collect();
+    Json::obj(vec![
+        ("addr", Json::str(core.addr.to_string())),
+        (
+            "uptime_ms",
+            Json::num(core.started.elapsed().as_millis() as u64),
+        ),
+        ("workers", Json::num(core.cfg.workers as u64)),
+        (
+            "queue",
+            Json::obj(vec![
+                ("depth", Json::num(queue_len as u64)),
+                ("capacity", Json::num(core.cfg.queue_depth as u64)),
+            ]),
+        ),
+        (
+            "jobs",
+            Json::obj(vec![
+                ("total", Json::num(total as u64)),
+                ("queued", Json::num(by_state[0])),
+                ("running", Json::num(by_state[1])),
+                ("done", Json::num(by_state[2])),
+                ("failed", Json::num(by_state[3])),
+                ("canceled", Json::num(by_state[4])),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj(vec![
+                ("hits", Json::num(cache.hits)),
+                ("misses", Json::num(cache.misses)),
+                ("evictions", Json::num(cache.evictions)),
+                ("entries", Json::num(cache.entries as u64)),
+            ]),
+        ),
+        ("counters", Json::Obj(counters)),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------
+
+fn worker_loop(core: &Arc<Core>) {
+    loop {
+        let id = {
+            let mut table = core.lock_jobs();
+            loop {
+                if core.stopping() {
+                    return;
+                }
+                if let Some(id) = table.queue.pop_front() {
+                    break id;
+                }
+                table = match core.queue_cv.wait_timeout(table, WAIT_TICK) {
+                    Ok((g, _)) => g,
+                    Err(poisoned) => poisoned.into_inner().0,
+                };
+            }
+        };
+        execute(core, id);
+    }
+}
+
+fn execute(core: &Arc<Core>, id: u64) {
+    let Some((kind, params, cancel)) = ({
+        let mut table = core.lock_jobs();
+        table.records.get_mut(&id).map(|rec| {
+            rec.state = JobState::Running;
+            persist(&core.jobs_dir, rec);
+            (rec.kind, rec.params.clone(), Arc::clone(&rec.cancel))
+        })
+    }) else {
+        return;
+    };
+
+    let outcome = if cancel.load(Ordering::Relaxed) {
+        Err(canceled_error())
+    } else {
+        match catch_unwind(AssertUnwindSafe(|| {
+            run_job(core, id, kind, &params, &cancel)
+        })) {
+            Ok(r) => r,
+            Err(payload) => Err(JobError {
+                code: codes::JOB_FAILED,
+                message: format!("job panicked: {}", panic_text(payload.as_ref())),
+                data: None,
+            }),
+        }
+    };
+
+    // Definitive successes feed the result cache before finalizing.
+    if let Ok(result) = &outcome {
+        if cacheable(kind, result) {
+            if let Ok(Some(key)) = cache_key(kind, &params) {
+                core.cache.put(&key, result);
+            }
+        }
+    }
+
+    let mut table = core.lock_jobs();
+    if let Some(rec) = table.records.get_mut(&id) {
+        match outcome {
+            _ if cancel.load(Ordering::Relaxed) => {
+                rec.state = JobState::Canceled;
+                rec.error = Some(canceled_error());
+            }
+            Ok(result) => {
+                rec.state = JobState::Done;
+                rec.result = Some(result);
+            }
+            Err(e) => {
+                rec.state = JobState::Failed;
+                rec.error = Some(e);
+            }
+        }
+        persist(&core.jobs_dir, rec);
+    }
+    drop(table);
+    core.update_cv.notify_all();
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// Done results safe to serve to a future identical submission: any
+/// refine verdict (budget trips are `Failed`, never `Done`), and
+/// explore runs that completed their whole frontier in one life
+/// (truncated or resumed runs carry run-specific statistics).
+fn cacheable(kind: JobKind, result: &Json) -> bool {
+    match kind {
+        JobKind::Refine => true,
+        JobKind::Explore => {
+            matches!(result.get("stop"), Some(Json::Str(s)) if s == "completed")
+                && matches!(result.get("resumed"), Some(Json::Bool(false)))
+        }
+        JobKind::Fuzz => false,
+    }
+}
+
+fn run_job(
+    core: &Arc<Core>,
+    id: u64,
+    kind: JobKind,
+    params: &Json,
+    cancel: &Arc<AtomicBool>,
+) -> Result<Json, JobError> {
+    let budgets = JobBudgets::from_params(params).map_err(JobError::from_rpc)?;
+    match kind {
+        JobKind::Refine => run_refine(params, &budgets),
+        JobKind::Explore => run_explore(core, id, params, &budgets),
+        JobKind::Fuzz => run_fuzz(core, id, params, cancel),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Job execution: refine
+// ---------------------------------------------------------------------
+
+fn refine_error(e: &RefineError) -> JobError {
+    match e {
+        RefineError::Truncated { configs } => JobError {
+            code: codes::BUDGET_EXHAUSTED,
+            message: "simulation fuel exhausted".to_string(),
+            data: Some(Json::obj(vec![
+                ("budget", Json::str("fuel")),
+                ("configs", Json::num(*configs as u64)),
+            ])),
+        },
+        other => JobError {
+            code: codes::JOB_FAILED,
+            message: other.to_string(),
+            data: None,
+        },
+    }
+}
+
+fn refine_result(
+    verdict: &str,
+    method: &str,
+    configs: usize,
+    behaviors: usize,
+    counterexample: Option<String>,
+) -> Json {
+    let mut fields = vec![
+        ("verdict".to_string(), Json::str(verdict)),
+        ("method".to_string(), Json::str(method)),
+        ("configs".to_string(), Json::num(configs as u64)),
+        ("behaviors".to_string(), Json::num(behaviors as u64)),
+    ];
+    if let Some(c) = counterexample {
+        fields.push(("counterexample".to_string(), Json::str(c)));
+    }
+    Json::Obj(fields)
+}
+
+fn run_refine(params: &Json, budgets: &JobBudgets) -> Result<Json, JobError> {
+    let (src, tgt) = refine_programs(params).map_err(JobError::from_rpc)?;
+    let mut cfg = RefineConfig {
+        max_fuel: budgets.fuel,
+        ..RefineConfig::default()
+    };
+    if let Some(ms) = opt_u64(params, "max_steps").map_err(JobError::from_rpc)? {
+        cfg.max_steps = ms as usize;
+    }
+    let simple = refines_simple(&src, &tgt, &cfg).map_err(|e| refine_error(&e))?;
+    if simple.holds {
+        return Ok(refine_result(
+            "holds",
+            "simple",
+            simple.configs,
+            simple.behaviors,
+            None,
+        ));
+    }
+    // The simple check over-refutes (it quantifies over too few
+    // environments); escalate to the oracle-quantified advanced check
+    // before trusting the counterexample.
+    let adv = refines_advanced(&src, &tgt, &cfg).map_err(|e| refine_error(&e))?;
+    if adv.holds {
+        return Ok(refine_result(
+            "holds",
+            "advanced",
+            adv.configs,
+            simple.behaviors,
+            None,
+        ));
+    }
+    Ok(refine_result(
+        "refuted",
+        "advanced",
+        adv.configs,
+        simple.behaviors,
+        simple.counterexample.map(|c| c.to_string()),
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Job execution: explore
+// ---------------------------------------------------------------------
+
+fn run_explore(
+    core: &Arc<Core>,
+    id: u64,
+    params: &Json,
+    budgets: &JobBudgets,
+) -> Result<Json, JobError> {
+    let progs = explore_programs(params).map_err(JobError::from_rpc)?;
+    let promises = opt_bool(params, "promises")
+        .map_err(JobError::from_rpc)?
+        .unwrap_or(false);
+    let reduction = opt_bool(params, "reduction")
+        .map_err(JobError::from_rpc)?
+        .unwrap_or(true);
+    let ps = if promises {
+        let refs: Vec<&seqwm_lang::Program> = progs.iter().collect();
+        PsConfig::with_promises(&refs)
+    } else {
+        PsConfig::default()
+    };
+    let mut ecfg = engine_config(&ps);
+    ecfg.reduction = reduction;
+    // Checkpoint-backed durability wants the deterministic
+    // single-worker frontier (the engine requires it for periodic
+    // saves); per-job parallelism comes from the daemon's worker pool.
+    ecfg.workers = 1;
+    if let Some(ms) = budgets.deadline_ms {
+        ecfg.deadline = Some(Duration::from_millis(ms));
+    }
+    if let Some(mb) = budgets.max_memory_mb {
+        ecfg.max_memory = Some((mb as usize).saturating_mul(1024 * 1024));
+    }
+    if let Some(s) = budgets.max_states {
+        ecfg.max_states = s as usize;
+    }
+    let ckpt = checkpoint_path(&core.jobs_dir, id);
+    ecfg.checkpoint = Some(CheckpointSpec::new(ckpt.clone()).every(core.cfg.checkpoint_every));
+    let resumed_from_disk = ckpt.exists();
+    if resumed_from_disk {
+        ecfg.resume = Some(ckpt.clone());
+    }
+    let e = try_explore_engine(&progs, &ps, &ecfg).map_err(|err| JobError {
+        code: codes::JOB_FAILED,
+        message: err.to_string(),
+        data: None,
+    })?;
+    // The frontier is spent; drop the checkpoint so a *future* restart
+    // does not resurrect a finished job's state.
+    let _ = fs::remove_file(&ckpt);
+    let s = &e.stats;
+    Ok(Json::obj(vec![
+        ("states", Json::num(s.states as u64)),
+        ("transitions", Json::num(s.transitions as u64)),
+        ("behaviors", Json::num(e.behaviors.len() as u64)),
+        ("truncated", Json::Bool(s.truncated)),
+        ("stop", Json::str(s.stop.to_string())),
+        ("resumed", Json::Bool(s.resumed)),
+        ("checkpoint_saves", Json::num(s.checkpoint_saves as u64)),
+        ("incidents", Json::num(s.incident_count as u64)),
+        ("elapsed_ms", Json::num(s.elapsed.as_millis() as u64)),
+    ]))
+}
+
+// ---------------------------------------------------------------------
+// Job execution: fuzz
+// ---------------------------------------------------------------------
+
+fn event_json(ev: &CampaignEvent) -> Json {
+    match ev {
+        CampaignEvent::Progress {
+            completed,
+            cases,
+            violations,
+            incidents,
+            states,
+        } => Json::obj(vec![
+            ("type", Json::str("progress")),
+            ("completed", Json::num(*completed as u64)),
+            ("cases", Json::num(*cases as u64)),
+            ("violations", Json::num(*violations as u64)),
+            ("incidents", Json::num(*incidents as u64)),
+            ("states", Json::num(*states as u64)),
+        ]),
+        CampaignEvent::Failure(f) => Json::obj(vec![
+            ("type", Json::str("failure")),
+            ("fingerprint", Json::str(format!("{:016x}", f.fingerprint))),
+            ("target", Json::str(f.target.to_string())),
+            ("oracle", Json::str(f.oracle.to_string())),
+            ("path", Json::str(f.path.display().to_string())),
+            ("original_stmts", Json::num(f.original_stmts as u64)),
+            ("shrunk_stmts", Json::num(f.shrunk_stmts as u64)),
+        ]),
+    }
+}
+
+fn run_fuzz(
+    core: &Arc<Core>,
+    id: u64,
+    params: &Json,
+    cancel: &Arc<AtomicBool>,
+) -> Result<Json, JobError> {
+    let get = |k: &str| opt_u64(params, k).map_err(JobError::from_rpc);
+    let defaults = FuzzConfig::default();
+    let cfg = FuzzConfig {
+        cases: get("cases")?.map_or(defaults.cases, |v| v as usize),
+        seed: get("seed")?.unwrap_or(defaults.seed),
+        workers: get("workers")?.map_or(1, |v| (v as usize).max(1)),
+        corpus_dir: core.fuzz_dir.join(format!("job-{id}")),
+        max_failures: get("max_failures")?.map_or(defaults.max_failures, |v| v as usize),
+        stop: Some(Arc::clone(cancel)),
+        ..defaults
+    };
+    let sink = |ev: &CampaignEvent| {
+        let doc = event_json(ev);
+        let mut table = core.lock_jobs();
+        if let Some(rec) = table.records.get_mut(&id) {
+            rec.events.push(doc);
+        }
+        drop(table);
+        core.update_cv.notify_all();
+    };
+    let summary = run_campaign_with(&cfg, &sink).map_err(|e| JobError {
+        code: codes::JOB_FAILED,
+        message: e,
+        data: None,
+    })?;
+    Json::parse(&summary.to_json()).map_err(|e| JobError {
+        code: codes::JOB_FAILED,
+        message: format!("summary rendering failed: {e}"),
+        data: None,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    /// A tiny blocking client for the tests: one connection, one
+    /// request per call, skipping any interleaved notifications.
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+        next_id: u64,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).unwrap();
+            Client {
+                reader: BufReader::new(stream.try_clone().unwrap()),
+                writer: stream,
+                next_id: 1,
+            }
+        }
+
+        fn send_raw(&mut self, line: &str) {
+            self.writer.write_all(line.as_bytes()).unwrap();
+            self.writer.write_all(b"\n").unwrap();
+            self.writer.flush().unwrap();
+        }
+
+        fn read_doc(&mut self) -> Json {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).unwrap();
+            assert!(!line.is_empty(), "server closed the connection");
+            Json::parse(line.trim()).unwrap()
+        }
+
+        /// Sends a request and returns its response, collecting any
+        /// notifications that arrive first.
+        fn call_collect(&mut self, method: &str, params: Json) -> (Json, Vec<Json>) {
+            let id = self.next_id;
+            self.next_id += 1;
+            let req = Json::obj(vec![
+                ("jsonrpc", Json::str("2.0")),
+                ("id", Json::num(id)),
+                ("method", Json::str(method)),
+                ("params", params),
+            ]);
+            self.send_raw(&req.to_string());
+            let mut notes = Vec::new();
+            loop {
+                let doc = self.read_doc();
+                if doc.get("id").is_some() {
+                    return (doc, notes);
+                }
+                notes.push(doc);
+            }
+        }
+
+        fn call(&mut self, method: &str, params: Json) -> Json {
+            self.call_collect(method, params).0
+        }
+    }
+
+    fn result_of(doc: &Json) -> &Json {
+        doc.get("result")
+            .unwrap_or_else(|| panic!("expected result, got {doc}"))
+    }
+
+    fn error_code(doc: &Json) -> i64 {
+        let e = doc
+            .get("error")
+            .unwrap_or_else(|| panic!("expected error, got {doc}"));
+        match e.get("code").unwrap() {
+            Json::Num(n) => *n as i64,
+            other => panic!("non-numeric code {other}"),
+        }
+    }
+
+    fn test_server(tag: &str) -> (Server, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("seqwm-serve-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let server = Server::start(ServeConfig {
+            state_dir: dir.clone(),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        (server, dir)
+    }
+
+    fn stop(server: Server, dir: &PathBuf) {
+        server.shutdown();
+        server.wait();
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn refine_check_round_trip_and_cache_hit() {
+        let (server, dir) = test_server("refine");
+        let mut c = Client::connect(server.addr());
+        let params = Json::obj(vec![
+            ("src", Json::str("a := load[rlx](x); return a;")),
+            ("tgt", Json::str("a := load[rlx](x); return a;")),
+        ]);
+        let doc = c.call("refine.check", params.clone());
+        let r = result_of(&doc);
+        assert_eq!(
+            r.get("result").unwrap().get("verdict").unwrap(),
+            &Json::str("holds")
+        );
+        assert_eq!(r.get("cached").unwrap(), &Json::Bool(false));
+
+        // Identical resubmission must be a cache hit.
+        let doc = c.call("refine.check", params);
+        let r = result_of(&doc);
+        assert_eq!(r.get("cached").unwrap(), &Json::Bool(true));
+
+        let stats = c.call("server.stats", Json::obj(vec![]));
+        let cache = result_of(&stats).get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap(), &Json::num(1));
+        stop(server, &dir);
+    }
+
+    #[test]
+    fn refuted_refinement_carries_a_counterexample() {
+        let (server, dir) = test_server("refuted");
+        let mut c = Client::connect(server.addr());
+        let doc = c.call(
+            "refine.check",
+            Json::obj(vec![
+                // Reordering a release store past a relaxed load is
+                // observable: not a refinement.
+                (
+                    "src",
+                    Json::str("store[rel](x, 1); a := load[rlx](y); return a;"),
+                ),
+                (
+                    "tgt",
+                    Json::str("a := load[rlx](y); store[rel](x, 1); return a;"),
+                ),
+            ]),
+        );
+        let r = result_of(&doc).get("result").unwrap();
+        assert_eq!(r.get("verdict").unwrap(), &Json::str("refuted"));
+        assert!(
+            r.get("counterexample").is_some(),
+            "refutation must explain itself"
+        );
+        stop(server, &dir);
+    }
+
+    #[test]
+    fn fuel_starved_refine_is_a_structured_budget_error() {
+        let (server, dir) = test_server("fuel");
+        let mut c = Client::connect(server.addr());
+        let doc = c.call(
+            "refine.check",
+            Json::obj(vec![
+                (
+                    "src",
+                    Json::str("a := load[rlx](x); b := load[rlx](y); return a + b;"),
+                ),
+                (
+                    "tgt",
+                    Json::str("b := load[rlx](y); a := load[rlx](x); return a + b;"),
+                ),
+                ("fuel", Json::num(1)),
+            ]),
+        );
+        assert_eq!(error_code(&doc), codes::BUDGET_EXHAUSTED);
+        let data = doc.get("error").unwrap().get("data").unwrap();
+        assert_eq!(data.get("budget").unwrap(), &Json::str("fuel"));
+        stop(server, &dir);
+    }
+
+    #[test]
+    fn invalid_programs_method_and_json_are_rejected() {
+        let (server, dir) = test_server("reject");
+        let mut c = Client::connect(server.addr());
+
+        let doc = c.call(
+            "refine.check",
+            Json::obj(vec![
+                ("src", Json::str("store[")),
+                ("tgt", Json::str("return 0;")),
+            ]),
+        );
+        assert_eq!(error_code(&doc), codes::INVALID_PARAMS);
+
+        let doc = c.call("no.such.method", Json::obj(vec![]));
+        assert_eq!(error_code(&doc), codes::METHOD_NOT_FOUND);
+
+        c.send_raw("{this is not json");
+        let doc = c.read_doc();
+        assert_eq!(error_code(&doc), codes::PARSE_ERROR);
+
+        c.send_raw(r#"{"id":5,"method":"server.stats"}"#);
+        let doc = c.read_doc();
+        assert_eq!(error_code(&doc), codes::INVALID_REQUEST);
+        assert_eq!(doc.get("id").unwrap(), &Json::num(5));
+        stop(server, &dir);
+    }
+
+    #[test]
+    fn explore_run_reports_engine_stats() {
+        let (server, dir) = test_server("explore");
+        let mut c = Client::connect(server.addr());
+        let doc = c.call(
+            "explore.run",
+            Json::obj(vec![(
+                "programs",
+                Json::Arr(vec![
+                    Json::str("store[rlx](x, 1); a := load[rlx](y); return a;"),
+                    Json::str("store[rlx](y, 1); a := load[rlx](x); return a;"),
+                ]),
+            )]),
+        );
+        let r = result_of(&doc).get("result").unwrap();
+        assert_eq!(r.get("stop").unwrap(), &Json::str("completed"));
+        assert_eq!(r.get("truncated").unwrap(), &Json::Bool(false));
+        // Store buffering: both threads can read 0.
+        assert!(matches!(r.get("behaviors").unwrap(), Json::Num(n) if *n >= 4.0));
+        stop(server, &dir);
+    }
+
+    #[test]
+    fn fuzz_campaign_streams_events_and_completes() {
+        let (server, dir) = test_server("fuzz");
+        let mut c = Client::connect(server.addr());
+        let doc = c.call(
+            "fuzz.campaign",
+            Json::obj(vec![("cases", Json::num(6)), ("seed", Json::num(7))]),
+        );
+        let id = result_of(&doc).get("job").unwrap().clone();
+        let job = Json::obj(vec![("job", id.clone())]);
+
+        // Follow the stream to the end; the final response arrives
+        // after the terminal state.
+        let (done, notes) = c.call_collect("job.events", job.clone());
+        let summary = result_of(&done);
+        assert_eq!(summary.get("state").unwrap(), &Json::str("done"));
+        assert!(
+            !notes.is_empty(),
+            "at least the final progress batch must stream"
+        );
+        for n in &notes {
+            assert_eq!(n.get("method").unwrap(), &Json::str("job.event"));
+        }
+
+        let doc = c.call("job.result", job);
+        let r = result_of(&doc).get("result").unwrap();
+        assert!(r.get("cases_run").is_some(), "campaign summary: {r}");
+        stop(server, &dir);
+    }
+
+    #[test]
+    fn cancel_a_queued_job_and_query_unknown_jobs() {
+        let (server, dir) = test_server("cancel");
+        let mut c = Client::connect(server.addr());
+        let doc = c.call(
+            "fuzz.campaign",
+            Json::obj(vec![("cases", Json::num(200_000)), ("seed", Json::num(1))]),
+        );
+        let id = result_of(&doc).get("job").unwrap().clone();
+        let job = Json::obj(vec![("job", id)]);
+        let doc = c.call("job.cancel", job.clone());
+        assert!(result_of(&doc).get("state").is_some());
+        let doc = c.call("job.result", job);
+        assert_eq!(error_code(&doc), codes::CANCELED);
+
+        let doc = c.call("job.status", Json::obj(vec![("job", Json::num(999))]));
+        assert_eq!(error_code(&doc), codes::UNKNOWN_JOB);
+        stop(server, &dir);
+    }
+
+    #[test]
+    fn shutdown_rpc_stops_the_daemon() {
+        let (server, dir) = test_server("shutdown");
+        let mut c = Client::connect(server.addr());
+        let doc = c.call("server.shutdown", Json::obj(vec![]));
+        assert_eq!(result_of(&doc).get("ok").unwrap(), &Json::Bool(true));
+        server.wait();
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

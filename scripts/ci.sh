@@ -39,6 +39,32 @@ trap 'rm -rf "$fuzz_corpus" "$bench_out"' EXIT
 target/release/seqwm fuzz --cases 100 --seed 11 --workers 2 \
     --corpus "$fuzz_corpus" --seq-fuel 10000 --deadline-ms 500
 
+echo "==> seqwm serve (end-to-end smoke + daemon probe, hard 300s box)"
+# The serve_smoke suite spawns the real daemon over TCP: round trip,
+# persistent-cache hit, budget errors, SIGKILL + checkpoint resume, and
+# the exit-code contract (2 usage / 10 serve). The explicit timeout is
+# the backstop against a wedged daemon holding CI hostage — the tests
+# themselves finish in seconds.
+timeout 300 cargo test -q --test serve_smoke
+
+# Liveness probe against a fresh daemon: proves the release binary's
+# serve path works outside the test harness (bind, stats round trip,
+# clean shutdown), again time-boxed.
+serve_state="$(mktemp -d)"
+target/release/seqwm serve --port 0 --state-dir "$serve_state" \
+    > "$serve_state/stdout" &
+serve_pid=$!
+for _ in $(seq 1 50); do
+    serve_addr="$(sed -n 's/^seqwm-serve listening on //p' "$serve_state/stdout")"
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+[ -n "$serve_addr" ] || { echo "daemon never reported an address"; exit 1; }
+timeout 30 target/release/seqwm serve --probe "$serve_addr"
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+rm -rf "$serve_state"
+
 echo "==> seqwm bench (quick suite + regression gate vs committed baseline)"
 # The threshold is deliberately generous: CI machines are noisy, and a
 # genuine hot-path regression shows up as a multiple, not a percentage.

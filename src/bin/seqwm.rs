@@ -12,6 +12,7 @@
 //! seqwm fuzz [flags]                  differential fuzz campaign
 //! seqwm fuzz --replay <file>          re-run a persisted failure
 //! seqwm bench [flags]                 deterministic benchmark suite
+//! seqwm serve [flags]                 long-lived verification daemon
 //! ```
 //!
 //! `explore` accepts engine flags: `--workers N`, `--strategy
@@ -48,10 +49,21 @@
 //! `--current <report.json>` (compare a previously written report
 //! instead of re-running the suite).
 //!
+//! `serve` starts the `seqwm-serve` daemon (newline-delimited
+//! JSON-RPC 2.0 over TCP): `--host H`, `--port P` (0 = ephemeral; the
+//! bound address is printed to stdout), `--workers N` (≥ 1),
+//! `--queue-depth N`, `--state-dir <dir>` (job journal, checkpoints,
+//! result cache, fuzz corpora; default `.seqwm-serve`),
+//! `--cache-capacity N`, `--checkpoint-every-ms N`. `--probe
+//! <host:port>` (with `--timeout-ms N`) instead connects to a running
+//! daemon, issues `server.stats`, and exits 0 iff the round trip
+//! succeeds — the CI liveness check.
+//!
 //! Failures exit with a per-class code (see
 //! [`promising_seq::SeqwmError::exit_code`]): 2 usage, 3 parse,
 //! 4 I/O, 5 engine configuration, 6 corpus, 7 refinement, 8 fuzz
-//! violation found, 9 bench regression. Engine
+//! violation found, 9 bench regression, 10 serve (bind or probe
+//! failure). Engine
 //! warnings (corrupt resume file, visited-set downgrade, …) are
 //! printed to stderr but never change the exit code: a degraded run
 //! that completes is still a successful run.
@@ -64,6 +76,7 @@ use promising_seq::bench::report::{compare, BenchReport, CompareConfig};
 use promising_seq::bench::suite::{list_suite, run_suite, SuiteConfig};
 use promising_seq::explore::{CheckpointSpec, ExploreConfig, Strategy, VisitedMode};
 use promising_seq::fuzz::{run_campaign, CheckVerdict, Corpus, FuzzConfig, FuzzTarget};
+use promising_seq::json::Json;
 use promising_seq::lang::parser::parse_program;
 use promising_seq::lang::Program;
 use promising_seq::litmus::concurrent::concurrent_corpus;
@@ -76,6 +89,7 @@ use promising_seq::promising::search::{engine_config, explore_engine, try_explor
 use promising_seq::promising::PsConfig;
 use promising_seq::seq::advanced::refines_advanced;
 use promising_seq::seq::refine::{refines_simple, RefineConfig};
+use promising_seq::serve::{ServeConfig, Server};
 use promising_seq::SeqwmError;
 
 fn load(path: &str) -> Result<Program, SeqwmError> {
@@ -237,7 +251,7 @@ fn parse_engine_flags(args: &[String]) -> Result<(EngineOpts, Vec<String>), Seqw
 
 fn usage() -> SeqwmError {
     usage_err(
-        "usage: seqwm <parse|optimize|validate|refine|explore|sc|drf|litmus|fuzz|bench> [args…]\n\
+        "usage: seqwm <parse|optimize|validate|refine|explore|sc|drf|litmus|fuzz|bench|serve> [args…]\n\
          run `seqwm litmus` with no arguments to list corpus cases",
     )
 }
@@ -430,6 +444,7 @@ fn run() -> Result<(), SeqwmError> {
         },
         "fuzz" => run_fuzz(rest),
         "bench" => run_bench(rest),
+        "serve" => run_serve(rest),
         _ => Err(usage()),
     }
 }
@@ -759,4 +774,126 @@ fn run_bench(args: &[String]) -> Result<(), SeqwmError> {
             cmp_cfg.threshold_pct
         )))
     }
+}
+
+/// The `seqwm serve` subcommand: start the verification daemon, or
+/// probe a running one.
+fn run_serve(args: &[String]) -> Result<(), SeqwmError> {
+    fn value<'a>(
+        it: &mut std::slice::Iter<'a, String>,
+        flag: &str,
+        what: &str,
+    ) -> Result<&'a String, SeqwmError> {
+        it.next()
+            .ok_or_else(|| usage_err(format!("{flag} needs {what}")))
+    }
+    fn number<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, SeqwmError> {
+        v.parse()
+            .map_err(|_| usage_err(format!("bad {what} `{v}`")))
+    }
+
+    let mut cfg = ServeConfig::default();
+    let mut probe: Option<String> = None;
+    let mut timeout_ms: u64 = 5_000;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--host" => cfg.host = value(&mut it, a, "an interface")?.clone(),
+            "--port" => {
+                let v = value(&mut it, a, "a port number")?;
+                cfg.port = number(v, "port")?;
+            }
+            "--workers" => {
+                let v = value(&mut it, a, "a number")?;
+                let w: usize = number(v, "worker count")?;
+                if w == 0 {
+                    return Err(usage_err(
+                        "--workers must be at least 1 (a daemon with no workers would accept jobs and never run them)",
+                    ));
+                }
+                cfg.workers = w;
+            }
+            "--queue-depth" => {
+                let v = value(&mut it, a, "a number")?;
+                cfg.queue_depth = number(v, "queue depth")?;
+            }
+            "--state-dir" => {
+                cfg.state_dir = value(&mut it, a, "a directory")?.into();
+            }
+            "--cache-capacity" => {
+                let v = value(&mut it, a, "a number")?;
+                cfg.cache_capacity = number(v, "cache capacity")?;
+            }
+            "--checkpoint-every-ms" => {
+                let v = value(&mut it, a, "a period in ms")?;
+                cfg.checkpoint_every = Duration::from_millis(number(v, "checkpoint period")?);
+            }
+            "--probe" => probe = Some(value(&mut it, a, "host:port")?.clone()),
+            "--timeout-ms" => {
+                let v = value(&mut it, a, "a duration in ms")?;
+                timeout_ms = number(v, "probe timeout")?;
+            }
+            other => return Err(usage_err(format!("unknown flag `{other}`"))),
+        }
+    }
+
+    if let Some(addr) = probe {
+        return probe_server(&addr, Duration::from_millis(timeout_ms));
+    }
+
+    let server = Server::start(cfg).map_err(SeqwmError::Serve)?;
+    // The address line is the startup contract: scripts (and the smoke
+    // test) parse it to find an ephemeral port.
+    println!("seqwm-serve listening on {}", server.addr());
+    let recovered = server.recovered_jobs();
+    if recovered > 0 {
+        println!("seqwm-serve recovered {recovered} interrupted job(s)");
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait();
+    Ok(())
+}
+
+/// One `server.stats` round trip against a running daemon.
+fn probe_server(addr: &str, timeout: Duration) -> Result<(), SeqwmError> {
+    use std::io::{BufRead, BufReader, Write as _};
+    use std::net::{TcpStream, ToSocketAddrs};
+
+    let serve = |m: String| SeqwmError::Serve(m);
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| serve(format!("cannot resolve {addr}: {e}")))?
+        .next()
+        .ok_or_else(|| serve(format!("cannot resolve {addr}")))?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)
+        .map_err(|e| serve(format!("cannot connect to {addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| serve(format!("cannot configure probe socket: {e}")))?;
+    stream
+        .write_all(b"{\"jsonrpc\":\"2.0\",\"id\":1,\"method\":\"server.stats\"}\n")
+        .and_then(|()| stream.flush())
+        .map_err(|e| serve(format!("probe write to {addr} failed: {e}")))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| serve(format!("probe read from {addr} failed: {e}")))?;
+    let doc =
+        Json::parse(line.trim()).map_err(|e| serve(format!("probe reply unparseable: {e}")))?;
+    let stats = doc
+        .get("result")
+        .ok_or_else(|| serve(format!("probe reply carries no result: {}", line.trim())))?;
+    let uptime = stats
+        .get("uptime_ms")
+        .and_then(|u| u.as_u64("uptime_ms").ok())
+        .ok_or_else(|| serve("probe reply carries no uptime".to_string()))?;
+    let jobs = stats
+        .get("jobs")
+        .and_then(|j| j.get("total"))
+        .and_then(|t| t.as_u64("total").ok())
+        .unwrap_or(0);
+    println!("seqwm-serve at {addr}: up {uptime}ms, {jobs} job(s) on record");
+    Ok(())
 }

@@ -25,6 +25,7 @@ use seqwm_explore::ExploreError;
 /// | [`Refine`]       | 7         |
 /// | [`Fuzz`]         | 8         |
 /// | [`Bench`]        | 9         |
+/// | [`Serve`]        | 10        |
 ///
 /// [`Usage`]: SeqwmError::Usage
 /// [`Parse`]: SeqwmError::Parse
@@ -34,6 +35,7 @@ use seqwm_explore::ExploreError;
 /// [`Refine`]: SeqwmError::Refine
 /// [`Fuzz`]: SeqwmError::Fuzz
 /// [`Bench`]: SeqwmError::Bench
+/// [`Serve`]: SeqwmError::Serve
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SeqwmError {
     /// Bad command line: unknown command, missing operand, or an
@@ -73,6 +75,9 @@ pub enum SeqwmError {
     /// slowed beyond the `--compare` thresholds, or a report could not
     /// be read/understood.
     Bench(String),
+    /// The verification daemon could not start (bind failure, state
+    /// dir unusable) or a `--probe` round trip failed.
+    Serve(String),
 }
 
 impl SeqwmError {
@@ -87,6 +92,7 @@ impl SeqwmError {
             SeqwmError::Refine(_) => 7,
             SeqwmError::Fuzz { .. } => 8,
             SeqwmError::Bench(_) => 9,
+            SeqwmError::Serve(_) => 10,
         }
     }
 }
@@ -104,6 +110,7 @@ impl fmt::Display for SeqwmError {
                 write!(f, "fuzzing found {failures} unique oracle violation(s)")
             }
             SeqwmError::Bench(msg) => write!(f, "bench: {msg}"),
+            SeqwmError::Serve(msg) => write!(f, "serve: {msg}"),
         }
     }
 }
@@ -146,6 +153,7 @@ mod tests {
             SeqwmError::Refine("m".into()),
             SeqwmError::Fuzz { failures: 1 },
             SeqwmError::Bench("m".into()),
+            SeqwmError::Serve("m".into()),
         ];
         let mut seen = std::collections::BTreeSet::new();
         for e in &all {

@@ -27,6 +27,13 @@
 //! * [`bench`] — zero-dependency deterministic benchmarking of the hot
 //!   paths above: monotonic-clock harness, median/MAD statistics,
 //!   schema-versioned JSON reports, and a baseline regression gate.
+//! * [`json`] — the minimal shared JSON value type, parser and emitter
+//!   used by the bench reports, the fuzz corpus, and the serve wire
+//!   protocol.
+//! * [`serve`] — the long-lived verification daemon: newline-delimited
+//!   JSON-RPC 2.0 over TCP, a bounded job queue with per-job budgets,
+//!   a persistent fingerprint-keyed result cache, and checkpoint-backed
+//!   restart recovery.
 //!
 //! ## Quickstart
 //!
@@ -54,8 +61,10 @@ pub use error::SeqwmError;
 pub use seqwm_bench as bench;
 pub use seqwm_explore as explore;
 pub use seqwm_fuzz as fuzz;
+pub use seqwm_json as json;
 pub use seqwm_lang as lang;
 pub use seqwm_litmus as litmus;
 pub use seqwm_opt as opt;
 pub use seqwm_promising as promising;
 pub use seqwm_seq as seq;
+pub use seqwm_serve as serve;

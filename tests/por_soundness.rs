@@ -22,10 +22,13 @@ use std::collections::BTreeSet;
 use std::sync::OnceLock;
 
 use seqwm_explore::{ExploreConfig, ReductionRules};
+use seqwm_lang::parser::parse_program;
+use seqwm_lang::Program;
 use seqwm_litmus::concurrent::{concurrent_corpus, ConcurrentCase};
 use seqwm_litmus::scaling::{mp_chain, na_disjoint, sb_ring, ScalingCase};
 use seqwm_promising::machine::{explore_legacy, PsBehavior};
 use seqwm_promising::search::{engine_config, explore_engine};
+use seqwm_promising::thread::PsConfig;
 
 /// One reduction variant to validate: a label plus the config knobs.
 struct Variant {
@@ -276,4 +279,76 @@ fn battery_exercises_every_independence_rule() {
     });
     assert_eq!(no_atomic.stats.atomic_commutes, 0);
     assert!(no_atomic.stats.read_commutes > 0);
+}
+
+// ---------------------------------------------------------------------
+// 5. The local-vs-write grant: a pure-local compute thread against an
+//    NA-writer thread. The only cross-agent independence available is
+//    the new grant (riding the na_write rule), so its counter firing
+//    proves the grant is live, and the full variant matrix proves it
+//    behavior-preserving.
+// ---------------------------------------------------------------------
+
+#[test]
+fn battery_exercises_the_local_vs_write_grant() {
+    let progs: Vec<Program> = [
+        // Pure-local: silent register arithmetic, no shared access.
+        "r := 1; r := r + 1; r := r + 2; return r;",
+        // Only writes; same location both steps, so no write/write or
+        // read/write pair exists anywhere in the product.
+        "store[na](plw_x, 1); store[na](plw_x, 2); return 0;",
+    ]
+    .iter()
+    .map(|s| parse_program(s).expect("grant case parses"))
+    .collect();
+    let cfg = PsConfig::default();
+    let base = engine_config(&cfg);
+
+    // Ample-set reduction would commit to the local singleton before
+    // sleep sets ever see the pair, so the grant's counter is observed
+    // with ample off.
+    let no_ample = ExploreConfig {
+        rules: ReductionRules {
+            ample: false,
+            ..ReductionRules::default()
+        },
+        ..base.clone()
+    };
+    let e = explore_engine(&progs, &cfg, &no_ample);
+    assert!(
+        e.stats.na_commutes > 0,
+        "local-vs-write grant never fired (na_commutes = 0)"
+    );
+
+    // Turning the na_write toggle off must silence exactly that grant.
+    let no_na = ExploreConfig {
+        rules: ReductionRules {
+            ample: false,
+            na_write: false,
+            ..ReductionRules::default()
+        },
+        ..base.clone()
+    };
+    let silenced = explore_engine(&progs, &cfg, &no_na);
+    assert_eq!(silenced.stats.na_commutes, 0);
+
+    // And the whole variant matrix must agree with the unreduced run.
+    let want = explore_engine(
+        &progs,
+        &cfg,
+        &ExploreConfig {
+            reduction: false,
+            ..base.clone()
+        },
+    )
+    .behaviors;
+    for v in variants() {
+        let run = explore_engine(&progs, &cfg, &with_variant(&base, &v));
+        assert!(!run.stats.truncated, "[{}]: truncated", v.label);
+        assert_eq!(
+            run.behaviors, want,
+            "[{}]: local-vs-write grant changed the behavior set",
+            v.label
+        );
+    }
 }

@@ -1,0 +1,386 @@
+//! End-to-end smoke tests for the `seqwm serve` daemon: the real
+//! binary, a real TCP socket, and the full wire protocol.
+//!
+//! Four legs:
+//!
+//! 1. **Round trip + cache** — a refinement job returns a verdict; the
+//!    identical resubmission is answered from the persistent result
+//!    cache (verified via `server.stats`), and concurrent submissions
+//!    from several client threads all complete.
+//! 2. **Budgets** — a fuel-starved refinement job fails with the
+//!    structured `BUDGET_EXHAUSTED` error, not a dead connection.
+//! 3. **Kill + restart** — an in-flight explore job survives `SIGKILL`
+//!    of the daemon: the restarted daemon re-enqueues it from the job
+//!    journal and resumes the engine's periodic checkpoint
+//!    (`resumed: true` in the final result).
+//! 4. **CLI contract** — flag errors exit 2 (usage), bind and probe
+//!    failures exit 10 (serve), and `--probe` against a live daemon
+//!    exits 0.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use promising_seq::json::Json;
+
+const BIN: &str = env!("CARGO_BIN_EXE_seqwm");
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("seqwm-serve-smoke-{tag}-{}", std::process::id()))
+}
+
+/// A daemon child process plus the address it reported on stdout.
+struct Daemon {
+    child: Child,
+    addr: String,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+fn spawn_daemon(state_dir: &PathBuf, extra: &[&str]) -> Daemon {
+    let mut child = Command::new(BIN)
+        .arg("serve")
+        .arg("--state-dir")
+        .arg(state_dir)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("startup line");
+    let addr = line
+        .trim()
+        .strip_prefix("seqwm-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+        .to_string();
+    Daemon {
+        child,
+        addr,
+        stdout,
+    }
+}
+
+impl Daemon {
+    fn connect(&self) -> Client {
+        Client::connect(&self.addr)
+    }
+}
+
+/// Minimal blocking JSON-RPC client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+            next_id: 1,
+        }
+    }
+
+    /// Sends one request; returns its response, skipping notifications.
+    fn call(&mut self, method: &str, params: Json) -> Json {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Json::obj(vec![
+            ("jsonrpc", Json::str("2.0")),
+            ("id", Json::num(id)),
+            ("method", Json::str(method)),
+            ("params", params),
+        ]);
+        let line = req.to_string();
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write newline");
+        self.writer.flush().expect("flush");
+        loop {
+            let mut reply = String::new();
+            self.reader.read_line(&mut reply).expect("read reply");
+            assert!(!reply.is_empty(), "daemon closed the connection");
+            let doc = Json::parse(reply.trim()).expect("reply parses");
+            if doc.get("id").is_some() {
+                return doc;
+            }
+            // Notification (job.event) — callers that want these use
+            // job.result to synchronize instead.
+        }
+    }
+}
+
+fn result_of(doc: &Json) -> &Json {
+    doc.get("result")
+        .unwrap_or_else(|| panic!("expected result, got {doc}"))
+}
+
+fn error_code(doc: &Json) -> i64 {
+    let e = doc
+        .get("error")
+        .unwrap_or_else(|| panic!("expected error, got {doc}"));
+    match e.get("code").expect("error has code") {
+        Json::Num(n) => *n as i64,
+        other => panic!("non-numeric code {other}"),
+    }
+}
+
+fn refine_params(src: &str, tgt: &str) -> Json {
+    Json::obj(vec![("src", Json::str(src)), ("tgt", Json::str(tgt))])
+}
+
+// ---------------------------------------------------------------------
+// Leg 1 + 2: round trip, duplicate → cache hit, budgets, concurrency.
+// ---------------------------------------------------------------------
+
+#[test]
+fn daemon_round_trip_cache_hit_budget_error_and_concurrent_clients() {
+    let dir = tmp_dir("roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+    let daemon = spawn_daemon(&dir, &["--workers", "2"]);
+    let mut c = daemon.connect();
+
+    // A verdict, computed fresh.
+    let params = refine_params(
+        "a := load[rlx](x); return a;",
+        "a := load[rlx](x); return a;",
+    );
+    let doc = c.call("refine.check", params.clone());
+    let r = result_of(&doc);
+    assert_eq!(
+        r.get("result")
+            .expect("payload")
+            .get("verdict")
+            .expect("verdict"),
+        &Json::str("holds")
+    );
+    assert_eq!(r.get("cached").expect("cached"), &Json::Bool(false));
+
+    // The byte-identical resubmission must come from the cache.
+    let doc = c.call("refine.check", params);
+    assert_eq!(
+        result_of(&doc).get("cached").expect("cached"),
+        &Json::Bool(true)
+    );
+    let stats = c.call("server.stats", Json::obj(vec![]));
+    let cache = result_of(&stats).get("cache").expect("cache stats");
+    let hits = cache
+        .get("hits")
+        .expect("hits")
+        .as_u64("hits")
+        .expect("u64");
+    assert!(hits >= 1, "expected a cache hit, stats: {cache}");
+
+    // Budget enforcement: one unit of fuel cannot simulate anything.
+    let doc = c.call(
+        "refine.check",
+        Json::obj(vec![
+            (
+                "src",
+                Json::str("a := load[rlx](x); b := load[rlx](y); return a + b;"),
+            ),
+            (
+                "tgt",
+                Json::str("b := load[rlx](y); a := load[rlx](x); return a + b;"),
+            ),
+            ("fuel", Json::num(1)),
+        ]),
+    );
+    assert_eq!(error_code(&doc), -32001, "BUDGET_EXHAUSTED: {doc}");
+    let data = doc
+        .get("error")
+        .expect("error")
+        .get("data")
+        .expect("structured data");
+    assert_eq!(data.get("budget").expect("budget"), &Json::str("fuel"));
+
+    // Concurrent clients: distinct jobs from four threads at once.
+    let addr = daemon.addr.clone();
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr);
+                let p = refine_params(&format!("r := {i}; return r;"), &format!("return {i};"));
+                let doc = c.call("refine.check", p);
+                let r = result_of(&doc);
+                assert_eq!(
+                    r.get("result")
+                        .expect("payload")
+                        .get("verdict")
+                        .expect("verdict"),
+                    &Json::str("holds"),
+                    "thread {i}"
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let doc = c.call("server.shutdown", Json::obj(vec![]));
+    assert_eq!(result_of(&doc).get("ok").expect("ok"), &Json::Bool(true));
+    let mut daemon = daemon;
+    let status = daemon.child.wait().expect("daemon exits");
+    assert!(status.success(), "clean shutdown, got {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Leg 3: kill the daemon mid-explore, restart, watch the job resume.
+// ---------------------------------------------------------------------
+
+#[test]
+fn killed_daemon_resumes_in_flight_explore_job_after_restart() {
+    let dir = tmp_dir("resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut daemon = spawn_daemon(&dir, &["--workers", "1", "--checkpoint-every-ms", "40"]);
+    let mut c = daemon.connect();
+
+    // A 4-thread relaxed ring: far too many unreduced interleavings to
+    // finish before the kill, bounded overall by the per-job deadline.
+    let programs: Vec<Json> = (0..4)
+        .map(|i| {
+            Json::str(format!(
+                "store[rlx](x{i}, 1); a := load[rlx](x{}); b := load[rlx](x{}); return a + b;",
+                (i + 1) % 4,
+                (i + 2) % 4
+            ))
+        })
+        .collect();
+    let doc = c.call(
+        "job.submit",
+        Json::obj(vec![
+            ("kind", Json::str("explore")),
+            ("programs", Json::Arr(programs)),
+            ("reduction", Json::Bool(false)),
+            ("deadline_ms", Json::num(3_000)),
+            ("max_states", Json::num(50_000_000)),
+        ]),
+    );
+    let id = result_of(&doc)
+        .get("job")
+        .expect("job id")
+        .as_u64("job")
+        .expect("u64");
+
+    // Wait for the engine's periodic checkpoint to exist, then KILL —
+    // no shutdown handshake, exactly like a crash or OOM kill.
+    let ckpt = dir.join("jobs").join(format!("job-{id}.ckpt"));
+    let t0 = Instant::now();
+    while !ckpt.exists() {
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "checkpoint never appeared at {}",
+            ckpt.display()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    daemon.child.kill().expect("SIGKILL the daemon");
+    let _ = daemon.child.wait();
+
+    // Restart on the same state dir: the journal re-enqueues the job,
+    // the checkpoint seeds the frontier.
+    let mut daemon = spawn_daemon(&dir, &["--workers", "1", "--checkpoint-every-ms", "40"]);
+    let mut recovered_line = String::new();
+    daemon
+        .stdout
+        .read_line(&mut recovered_line)
+        .expect("recovery line");
+    assert!(
+        recovered_line.contains("recovered 1 interrupted job"),
+        "unexpected recovery line: {recovered_line:?}"
+    );
+
+    let mut c = daemon.connect();
+    let doc = c.call(
+        "job.result",
+        Json::obj(vec![("job", Json::num(id)), ("wait", Json::Bool(true))]),
+    );
+    let r = result_of(&doc);
+    assert_eq!(
+        r.get("recovered").expect("recovered"),
+        &Json::Bool(true),
+        "job must be marked as journal-recovered: {r}"
+    );
+    let payload = r.get("result").expect("payload");
+    assert_eq!(
+        payload.get("resumed").expect("resumed"),
+        &Json::Bool(true),
+        "engine must resume the checkpointed frontier: {payload}"
+    );
+    // The checkpoint is consumed on completion.
+    assert!(!ckpt.exists(), "finished job must not leave its checkpoint");
+
+    c.call("server.shutdown", Json::obj(vec![]));
+    let _ = daemon.child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Leg 4: CLI flag, bind, and probe failures are structured exits.
+// ---------------------------------------------------------------------
+
+fn serve_exit(args: &[&str]) -> i32 {
+    Command::new(BIN)
+        .arg("serve")
+        .args(args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("binary runs")
+        .code()
+        .expect("exit code")
+}
+
+#[test]
+fn cli_flag_bind_and_probe_failures_use_the_exit_code_contract() {
+    // Usage errors: exit 2, before any socket or directory is touched.
+    assert_eq!(serve_exit(&["--port", "not-a-port"]), 2);
+    assert_eq!(serve_exit(&["--port", "70000"]), 2, "port out of range");
+    assert_eq!(serve_exit(&["--workers", "0"]), 2);
+    assert_eq!(serve_exit(&["--workers"]), 2, "missing flag value");
+    assert_eq!(serve_exit(&["--no-such-flag"]), 2);
+
+    // Bind failure: exit 10. Occupy a port with a live daemon first.
+    let dir_a = tmp_dir("bind-a");
+    let dir_b = tmp_dir("bind-b");
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let daemon = spawn_daemon(&dir_a, &[]);
+    let port = daemon
+        .addr
+        .rsplit(':')
+        .next()
+        .expect("port in addr")
+        .to_string();
+    let code = serve_exit(&[
+        "--port",
+        &port,
+        "--state-dir",
+        dir_b.to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(code, 10, "bind conflict on port {port}");
+
+    // Probe: exit 0 against the live daemon, 10 against a dead one.
+    assert_eq!(serve_exit(&["--probe", &daemon.addr]), 0);
+    let mut c = daemon.connect();
+    c.call("server.shutdown", Json::obj(vec![]));
+    let mut daemon = daemon;
+    let _ = daemon.child.wait();
+    assert_eq!(
+        serve_exit(&["--probe", &daemon.addr, "--timeout-ms", "500"]),
+        10,
+        "probing a dead daemon"
+    );
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
