@@ -17,6 +17,11 @@
 //! order is preserved on both ends: emitters write fields in a fixed
 //! order and preserving it keeps diffs and checksums stable.
 //!
+//! Because the parser also reads *hostile* bytes (the serve daemon
+//! hands it raw frames off a public socket), nesting is capped at
+//! [`MAX_DEPTH`]: a `[[[[…` bomb is a positioned parse error, never a
+//! recursion-driven stack overflow aborting the process.
+//!
 //! ```
 //! use seqwm_json::Json;
 //!
@@ -27,6 +32,12 @@
 //! ```
 
 use std::fmt;
+
+/// Maximum container nesting depth the parser accepts. Every document
+/// the workspace emits is a handful of levels deep; the cap exists so
+/// adversarial input cannot drive the recursive-descent parser into a
+/// stack overflow (which aborts, not unwinds).
+pub const MAX_DEPTH: usize = 128;
 
 /// A parsed or constructed JSON value. Object members keep their
 /// insertion order (objects are association lists, not maps — small
@@ -58,7 +69,7 @@ impl Json {
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0;
-        let v = parse_value(bytes, &mut pos)?;
+        let v = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing garbage at byte {pos}"));
@@ -279,7 +290,13 @@ fn peek(b: &[u8], pos: &mut usize) -> Option<u8> {
     b.get(*pos).copied()
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_DEPTH} levels at byte {}",
+            *pos
+        ));
+    }
     match peek(b, pos).ok_or("unexpected end of input")? {
         b'{' => {
             *pos += 1;
@@ -292,7 +309,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 skip_ws(b, pos);
                 let key = parse_string(b, pos)?;
                 expect(b, pos, b':')?;
-                let val = parse_value(b, pos)?;
+                let val = parse_value(b, pos, depth + 1)?;
                 members.push((key, val));
                 match peek(b, pos) {
                     Some(b',') => *pos += 1,
@@ -312,7 +329,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(b, pos)?);
+                items.push(parse_value(b, pos, depth + 1)?);
                 match peek(b, pos) {
                     Some(b',') => *pos += 1,
                     Some(b']') => {
@@ -477,6 +494,23 @@ mod tests {
         let s = "tabs\tnewlines\ncontrol\u{1}unicode→é";
         let doc = escape(s);
         assert_eq!(Json::parse(&doc).unwrap(), Json::Str(s.to_string()));
+    }
+
+    #[test]
+    fn nesting_bomb_is_an_error_not_a_stack_overflow() {
+        // Far past MAX_DEPTH: without the cap this recursion would
+        // blow the thread stack and abort the whole process.
+        let bomb = "[".repeat(100_000);
+        let err = Json::parse(&bomb).unwrap_err();
+        assert!(err.contains("nesting deeper"), "got: {err}");
+
+        // Mixed object/array nesting trips the same cap.
+        let mixed = "{\"a\":".repeat(MAX_DEPTH + 1) + "1" + &"}".repeat(MAX_DEPTH + 1);
+        assert!(Json::parse(&mixed).is_err(), "mixed bomb accepted");
+
+        // Reasonable depth still parses.
+        let fine = "[".repeat(64) + &"]".repeat(64);
+        assert!(Json::parse(&fine).is_ok(), "64 levels must be fine");
     }
 
     #[test]

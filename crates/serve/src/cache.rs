@@ -5,10 +5,12 @@
 //! by the 64-bit fingerprint of the canonical key. Each file records
 //! the full key text alongside the result, so a fingerprint collision
 //! degrades to a miss instead of serving the wrong verdict. Entries
-//! are written atomically (tmp + rename, like every other durable
-//! artifact in the workspace) and survive daemon restarts; an
-//! in-memory index fronts the directory, evicting least-recently-used
-//! entries (file included) beyond the configured capacity.
+//! are written atomically through [`crate::state`]'s CRC-checked
+//! envelope and survive daemon restarts; an entry that fails
+//! validation on open — torn, truncated, bit-flipped — is quarantined
+//! and counted, never trusted and never fatal. An in-memory index
+//! fronts the directory, evicting least-recently-used entries (file
+//! included) beyond the configured capacity.
 //!
 //! Hit/miss/eviction counts are kept both locally (for
 //! `server.stats`) and in the global perf counters
@@ -24,6 +26,8 @@ use std::sync::Mutex;
 use seqwm_explore::counters::{add, SERVE_CACHE_EVICTIONS, SERVE_CACHE_HITS, SERVE_CACHE_MISSES};
 use seqwm_explore::fp64;
 use seqwm_json::Json;
+
+use crate::state::{self, Quarantine};
 
 /// One cached verdict.
 struct Entry {
@@ -45,6 +49,7 @@ pub struct ResultCache {
     dir: PathBuf,
     capacity: usize,
     inner: Mutex<Inner>,
+    quarantine: Quarantine,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -59,20 +64,29 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted under capacity pressure.
     pub evictions: u64,
+    /// Corrupt entry files quarantined on open.
+    pub quarantined: u64,
     /// Entries currently held.
     pub entries: usize,
 }
 
 impl ResultCache {
     /// Opens (creating if needed) the cache directory and loads the
-    /// persisted index.
+    /// persisted index. Entry files that fail CRC-envelope validation
+    /// are moved to `quarantine_dir` and counted in
+    /// [`CacheStats::quarantined`].
     ///
     /// # Errors
     ///
     /// I/O problems creating or scanning the directory. Individual
-    /// unreadable entry files are skipped, not fatal.
-    pub fn open(dir: impl Into<PathBuf>, capacity: usize) -> Result<Self, String> {
+    /// corrupt entry files are quarantined, not fatal.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        capacity: usize,
+        quarantine_dir: impl Into<PathBuf>,
+    ) -> Result<Self, String> {
         let dir = dir.into();
+        let quarantine = Quarantine::new(quarantine_dir);
         fs::create_dir_all(&dir).map_err(|e| format!("cannot create cache dir: {e}"))?;
         let mut entries = HashMap::new();
         let listing = fs::read_dir(&dir).map_err(|e| format!("cannot scan cache dir: {e}"))?;
@@ -84,23 +98,29 @@ impl ResultCache {
             let Ok(fp) = u64::from_str_radix(stem, 16) else {
                 continue;
             };
-            let Ok(text) = fs::read_to_string(item.path()) else {
-                continue;
+            let payload = match state::read_record(&item.path()) {
+                Ok(p) => p,
+                Err(_) => {
+                    quarantine.take(&item.path());
+                    continue;
+                }
             };
-            let Ok(v) = Json::parse(&text) else {
-                continue;
+            let valid = match (payload.get("key"), payload.get("result")) {
+                (Some(key), Some(result)) => key
+                    .as_str("key")
+                    .ok()
+                    .map(|k| (k.to_string(), result.clone())),
+                _ => None,
             };
-            let (Some(key), Some(result)) = (v.get("key"), v.get("result")) else {
-                continue;
-            };
-            let Ok(key) = key.as_str("key") else {
+            let Some((key, result)) = valid else {
+                quarantine.take(&item.path());
                 continue;
             };
             entries.insert(
                 fp,
                 Entry {
-                    key: key.to_string(),
-                    result: result.clone(),
+                    key,
+                    result,
                     last_used: 0,
                 },
             );
@@ -109,6 +129,7 @@ impl ResultCache {
             dir,
             capacity: capacity.max(1),
             inner: Mutex::new(Inner { entries, clock: 0 }),
+            quarantine,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -168,18 +189,9 @@ impl ResultCache {
             ("key".to_string(), Json::str(key)),
             ("result".to_string(), result.clone()),
         ]);
-        let path = self.entry_path(fp);
-        let tmp = self
-            .dir
-            .join(format!(".{fp:016x}-{}.tmp", std::process::id()));
-        let persisted = fs::write(&tmp, doc.to_string())
-            .and_then(|()| fs::rename(&tmp, &path))
-            .is_ok();
-        if !persisted {
-            // Cache persistence is best-effort: losing an entry only
-            // costs a future re-execution.
-            let _ = fs::remove_file(&tmp);
-        }
+        // Cache persistence is best-effort: losing an entry only
+        // costs a future re-execution.
+        let _ = state::write_record(&self.entry_path(fp), &doc);
         let mut inner = self.lock();
         inner.clock += 1;
         let clock = inner.clock;
@@ -217,6 +229,7 @@ impl ResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            quarantined: self.quarantine.count(),
             entries: self.lock().entries.len(),
         }
     }
@@ -239,7 +252,7 @@ mod tests {
     fn hit_after_put_and_miss_before() {
         let dir = temp_dir("basic");
         let _ = fs::remove_dir_all(&dir);
-        let cache = ResultCache::open(&dir, 8).unwrap();
+        let cache = ResultCache::open(&dir, 8, dir.join("quarantine")).unwrap();
         assert_eq!(cache.get("k1"), None);
         cache.put("k1", &result(1));
         assert_eq!(cache.get("k1"), Some(result(1)));
@@ -253,10 +266,10 @@ mod tests {
         let dir = temp_dir("reopen");
         let _ = fs::remove_dir_all(&dir);
         {
-            let cache = ResultCache::open(&dir, 8).unwrap();
+            let cache = ResultCache::open(&dir, 8, dir.join("quarantine")).unwrap();
             cache.put("persist-me", &result(42));
         }
-        let cache = ResultCache::open(&dir, 8).unwrap();
+        let cache = ResultCache::open(&dir, 8, dir.join("quarantine")).unwrap();
         assert_eq!(cache.get("persist-me"), Some(result(42)));
         let _ = fs::remove_dir_all(&dir);
     }
@@ -265,7 +278,7 @@ mod tests {
     fn lru_eviction_removes_files_and_counts() {
         let dir = temp_dir("lru");
         let _ = fs::remove_dir_all(&dir);
-        let cache = ResultCache::open(&dir, 2).unwrap();
+        let cache = ResultCache::open(&dir, 2, dir.join("quarantine")).unwrap();
         cache.put("a", &result(1));
         cache.put("b", &result(2));
         assert!(cache.get("a").is_some()); // a is now fresher than b
@@ -291,13 +304,56 @@ mod tests {
         let dir = temp_dir("shrink");
         let _ = fs::remove_dir_all(&dir);
         {
-            let cache = ResultCache::open(&dir, 8).unwrap();
+            let cache = ResultCache::open(&dir, 8, dir.join("quarantine")).unwrap();
             for i in 0..6 {
                 cache.put(&format!("k{i}"), &result(i));
             }
         }
-        let cache = ResultCache::open(&dir, 3).unwrap();
+        let cache = ResultCache::open(&dir, 3, dir.join("quarantine")).unwrap();
         assert_eq!(cache.stats().entries, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_quarantine_on_open() {
+        let dir = temp_dir("corrupt");
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let cache = ResultCache::open(&dir, 8, dir.join("quarantine")).unwrap();
+            for i in 0..4 {
+                cache.put(&format!("k{i}"), &result(i));
+            }
+        }
+        // Corrupt three of the four entry files three different ways:
+        // truncation, a flipped payload byte, and full erasure.
+        let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|f| f.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect();
+        files.sort();
+        assert_eq!(files.len(), 4);
+        let text = fs::read_to_string(&files[0]).unwrap();
+        fs::write(&files[0], &text[..text.len() / 2]).unwrap();
+        let text = fs::read_to_string(&files[1]).unwrap();
+        fs::write(&files[1], text.replace("answer", "Answer")).unwrap();
+        fs::write(&files[2], "").unwrap();
+
+        let cache = ResultCache::open(&dir, 8, dir.join("quarantine")).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.quarantined, 3);
+        assert_eq!(s.entries, 1);
+        let kept = fs::read_dir(dir.join("quarantine"))
+            .unwrap()
+            .flatten()
+            .count();
+        assert_eq!(kept, 3, "corrupt files preserved for inspection");
+        // The survivor still answers; the daemon never crashed.
+        let answered = (0..4)
+            .filter(|i| cache.get(&format!("k{i}")).is_some())
+            .count();
+        assert_eq!(answered, 1);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,374 @@
+//! Deterministic chaos injection for the serve hardening tests
+//! (feature `chaos`).
+//!
+//! Mirrors the engine's [`seqwm_explore::FaultPlan`] discipline at
+//! the network and filesystem edge: a [`ChaosPlan`] decides, per
+//! `(connection index, frame index)`, whether a client→server frame
+//! is torn mid-write, the connection is dropped mid-frame, the bytes
+//! stall before delivery, or a line of garbage precedes the frame.
+//! Decisions are pure functions of `(seed, connection, frame)`
+//! derived with the in-tree SplitMix64 mixer — never a shared RNG
+//! stream — so a chaos run replays identically across machines and
+//! reruns, and a test can compute the exact expectation for every
+//! request it sends.
+//!
+//! [`ChaosProxy`] is the delivery vehicle: an in-process TCP proxy
+//! that forwards clients to a real daemon while applying the plan to
+//! the client→server direction (the server→client direction is
+//! pumped verbatim — the subject under test is the daemon's intake).
+//! [`FileChaos`] covers the durable-state axis: truncating, byte
+//! flipping, emptying, or garbage-filling the journal/cache files the
+//! daemon must quarantine on its next start.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use seqwm_explore::mix64;
+
+/// What the plan does to one client→server frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Forward the frame untouched.
+    Pass,
+    /// Write half the frame, flush, pause, then write the rest — a
+    /// torn write the server must reassemble under its deadline.
+    Tear,
+    /// Write half the frame, then sever both directions — a client
+    /// dying mid-request.
+    Disconnect,
+    /// Hold the complete frame for [`ChaosPlan::stall`] first — a
+    /// slow client grazing the read deadline.
+    Stall,
+    /// Send a line of non-JSON garbage before the real frame — the
+    /// server must answer `PARSE_ERROR` and keep the connection.
+    Garbage,
+}
+
+/// A deterministic chaos schedule, seeded by SplitMix64.
+///
+/// Rates are per-mille and checked in priority order
+/// disconnect > tear > garbage > stall, so at most one action applies
+/// to a frame and raising one rate never reshuffles another's
+/// decisions.
+#[derive(Clone, Debug)]
+pub struct ChaosPlan {
+    /// Seed; equal seeds misbehave identically.
+    pub seed: u64,
+    /// Per-mille probability of [`ChaosAction::Tear`].
+    pub tear_per_mille: u16,
+    /// Per-mille probability of [`ChaosAction::Disconnect`].
+    pub disconnect_per_mille: u16,
+    /// Per-mille probability of [`ChaosAction::Stall`].
+    pub stall_per_mille: u16,
+    /// How long stalled (and torn) frames pause.
+    pub stall: Duration,
+    /// Per-mille probability of [`ChaosAction::Garbage`].
+    pub garbage_per_mille: u16,
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        ChaosPlan {
+            seed: 0,
+            tear_per_mille: 0,
+            disconnect_per_mille: 0,
+            stall_per_mille: 0,
+            stall: Duration::from_millis(20),
+            garbage_per_mille: 0,
+        }
+    }
+}
+
+impl ChaosPlan {
+    fn roll(&self, conn: u64, frame: u64, salt: u64) -> u64 {
+        mix64(self.seed ^ mix64(conn ^ mix64(frame ^ mix64(salt)))) % 1000
+    }
+
+    /// The action for frame `frame` on connection `conn`. Pure: a
+    /// test can call this to predict exactly what the proxy will do.
+    pub fn action(&self, conn: u64, frame: u64) -> ChaosAction {
+        if self.roll(conn, frame, 0xC501) < u64::from(self.disconnect_per_mille) {
+            ChaosAction::Disconnect
+        } else if self.roll(conn, frame, 0xC502) < u64::from(self.tear_per_mille) {
+            ChaosAction::Tear
+        } else if self.roll(conn, frame, 0xC503) < u64::from(self.garbage_per_mille) {
+            ChaosAction::Garbage
+        } else if self.roll(conn, frame, 0xC504) < u64::from(self.stall_per_mille) {
+            ChaosAction::Stall
+        } else {
+            ChaosAction::Pass
+        }
+    }
+}
+
+/// An in-process fault proxy: clients connect to [`addr`](Self::addr),
+/// frames forward to the upstream daemon through the plan.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts the proxy on an ephemeral localhost port.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the listener cannot be bound.
+    pub fn start(upstream: SocketAddr, plan: ChaosPlan) -> Result<ChaosProxy, String> {
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| format!("chaos proxy cannot bind: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("chaos proxy address: {e}"))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let accept = std::thread::Builder::new()
+            .name("seqwm-chaos-accept".to_string())
+            .spawn(move || {
+                let mut conn_index = 0u64;
+                for client in listener.incoming() {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(client) = client else { continue };
+                    let plan = plan.clone();
+                    let index = conn_index;
+                    conn_index += 1;
+                    let _ = std::thread::Builder::new()
+                        .name("seqwm-chaos-conn".to_string())
+                        .spawn(move || pump_connection(client, upstream, &plan, index));
+                }
+            })
+            .map_err(|e| format!("chaos proxy accept thread: {e}"))?;
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address clients should connect to instead of the daemon.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept thread. Existing pumps
+    /// die with their sockets.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One proxied connection: the client→server direction is reframed
+/// and run through the plan; the server→client direction is a raw
+/// byte pump on its own thread.
+fn pump_connection(client: TcpStream, upstream: SocketAddr, plan: &ChaosPlan, conn: u64) {
+    let Ok(server) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let (Ok(server_read), Ok(client_write)) = (server.try_clone(), client.try_clone()) else {
+        return;
+    };
+    // Server→client: verbatim.
+    let down = std::thread::Builder::new()
+        .name("seqwm-chaos-down".to_string())
+        .spawn(move || pump_raw(server_read, client_write));
+    // Client→server: framed, through the plan.
+    pump_frames(client, server, plan, conn);
+    if let Ok(h) = down {
+        let _ = h.join();
+    }
+}
+
+fn pump_raw(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+                let _ = to.flush();
+            }
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+fn pump_frames(mut client: TcpStream, mut server: TcpStream, plan: &ChaosPlan, conn: u64) {
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut frame_index = 0u64;
+    'outer: loop {
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let frame: Vec<u8> = pending.drain(..=pos).collect();
+            let action = plan.action(conn, frame_index);
+            frame_index += 1;
+            if !deliver(&mut server, &frame, action, plan.stall) {
+                let _ = server.shutdown(Shutdown::Both);
+                let _ = client.shutdown(Shutdown::Both);
+                break 'outer;
+            }
+        }
+        match client.read(&mut chunk) {
+            Ok(0) | Err(_) => {
+                // Client went away; flush nothing, close the upstream
+                // write half so the daemon sees EOF.
+                let _ = server.shutdown(Shutdown::Write);
+                break;
+            }
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+        }
+    }
+}
+
+/// Applies one action to one frame. Returns false when the connection
+/// must be severed (the Disconnect action or a write failure).
+fn deliver(server: &mut TcpStream, frame: &[u8], action: ChaosAction, stall: Duration) -> bool {
+    let half = frame.len() / 2;
+    match action {
+        ChaosAction::Pass => server.write_all(frame).is_ok(),
+        ChaosAction::Stall => {
+            std::thread::sleep(stall);
+            server.write_all(frame).is_ok()
+        }
+        ChaosAction::Tear => {
+            if server.write_all(&frame[..half]).is_err() || server.flush().is_err() {
+                return false;
+            }
+            std::thread::sleep(stall);
+            server.write_all(&frame[half..]).is_ok()
+        }
+        ChaosAction::Disconnect => {
+            let _ = server.write_all(&frame[..half]);
+            let _ = server.flush();
+            false
+        }
+        ChaosAction::Garbage => {
+            server
+                .write_all(b"\x7b garbage not json \x00\xff\n")
+                .is_ok()
+                && server.write_all(frame).is_ok()
+        }
+    }
+}
+
+/// A way to corrupt one durable state file on disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileChaos {
+    /// Keep only the first half of the bytes (a torn write).
+    Truncate,
+    /// XOR the middle byte (silent media corruption).
+    FlipByte,
+    /// Replace the contents with nothing.
+    Empty,
+    /// Replace the contents with non-JSON garbage.
+    Garbage,
+}
+
+/// Applies a [`FileChaos`] mode to a file in place.
+///
+/// # Errors
+///
+/// The underlying I/O error message when the file cannot be read or
+/// rewritten.
+pub fn corrupt_file(path: &Path, mode: FileChaos) -> Result<(), String> {
+    let read = || fs::read(path).map_err(|e| format!("read {}: {e}", path.display()));
+    let bytes = match mode {
+        FileChaos::Truncate => {
+            let b = read()?;
+            b[..b.len() / 2].to_vec()
+        }
+        FileChaos::FlipByte => {
+            let mut b = read()?;
+            if b.is_empty() {
+                return Err(format!("cannot flip a byte of empty {}", path.display()));
+            }
+            let mid = b.len() / 2;
+            b[mid] ^= 0x20;
+            b
+        }
+        FileChaos::Empty => Vec::new(),
+        FileChaos::Garbage => b"\x00\xffnot json at all\x01garbage".to_vec(),
+    };
+    fs::write(path, bytes).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_are_deterministic_and_seed_dependent() {
+        let a = ChaosPlan {
+            seed: 1,
+            tear_per_mille: 150,
+            disconnect_per_mille: 150,
+            garbage_per_mille: 150,
+            stall_per_mille: 150,
+            ..ChaosPlan::default()
+        };
+        let b = ChaosPlan {
+            seed: 2,
+            ..a.clone()
+        };
+        let run = |p: &ChaosPlan| -> Vec<ChaosAction> {
+            (0..400).map(|f| p.action(f / 8, f % 8)).collect()
+        };
+        assert_eq!(run(&a), run(&a), "same seed, same chaos");
+        assert_ne!(run(&a), run(&b), "different seed, different chaos");
+        let hits = run(&a).iter().filter(|&&x| x != ChaosAction::Pass).count();
+        assert!((80..480).contains(&hits), "rate {hits} wildly off ~45%");
+    }
+
+    #[test]
+    fn zero_rates_always_pass() {
+        let plan = ChaosPlan::default();
+        for conn in 0..20 {
+            for frame in 0..20 {
+                assert_eq!(plan.action(conn, frame), ChaosAction::Pass);
+            }
+        }
+    }
+
+    #[test]
+    fn file_chaos_modes_change_the_bytes() {
+        let dir = std::env::temp_dir().join(format!("seqwm-chaos-file-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        for (i, mode) in [
+            FileChaos::Truncate,
+            FileChaos::FlipByte,
+            FileChaos::Empty,
+            FileChaos::Garbage,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let path = dir.join(format!("f{i}"));
+            fs::write(&path, r#"{"v":1,"crc":"abc","payload":{}}"#).unwrap();
+            corrupt_file(&path, mode).unwrap();
+            let after = fs::read(&path).unwrap();
+            assert_ne!(
+                after,
+                br#"{"v":1,"crc":"abc","payload":{}}"#.to_vec(),
+                "{mode:?} must alter the file"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -9,6 +9,10 @@
 //! was still queued or running; explore jobs additionally pick up the
 //! engine's periodic checkpoint (`job-<id>.ckpt`) and resume the
 //! interrupted frontier instead of starting over.
+//!
+//! Journal entries are written through [`crate::state`]'s CRC-checked
+//! envelope; a torn or corrupted entry is quarantined on load instead
+//! of crashing the daemon or silently resurrecting a mangled job.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -20,6 +24,7 @@ use seqwm_lang::parser::parse_program;
 use seqwm_lang::Program;
 
 use crate::proto::{codes, opt_bool, opt_u64, req_str, RpcError};
+use crate::state::{self, Quarantine};
 
 /// What kind of work a job performs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -294,22 +299,18 @@ pub fn checkpoint_path(jobs_dir: &Path, id: u64) -> PathBuf {
     jobs_dir.join(format!("job-{id}.ckpt"))
 }
 
-/// Atomically writes a job's journal document.
+/// Atomically writes a job's journal document (CRC-enveloped).
+/// Journal persistence is best-effort: a lost journal entry only
+/// costs restart recovery for that one job.
 pub fn persist(jobs_dir: &Path, rec: &JobRecord) {
-    let path = journal_path(jobs_dir, rec.id);
-    let tmp = jobs_dir.join(format!(".job-{}-{}.tmp", rec.id, std::process::id()));
-    // Journal persistence is best-effort: a lost journal entry only
-    // costs restart recovery for that one job.
-    let ok = fs::write(&tmp, rec.journal_json().to_string())
-        .and_then(|()| fs::rename(&tmp, &path))
-        .is_ok();
-    if !ok {
-        let _ = fs::remove_file(&tmp);
-    }
+    let _ = state::write_record(&journal_path(jobs_dir, rec.id), &rec.journal_json());
 }
 
 /// Loads every journaled job from a jobs directory, oldest id first.
-pub fn load_journal(jobs_dir: &Path) -> Vec<JobRecord> {
+/// Entries that fail envelope validation — torn writes, flipped
+/// bytes, empty files — or that validate but no longer decode as a
+/// job record are moved to `quarantine` and counted there.
+pub fn load_journal(jobs_dir: &Path, quarantine: &Quarantine) -> Vec<JobRecord> {
     let mut out = Vec::new();
     let Ok(listing) = fs::read_dir(jobs_dir) else {
         return out;
@@ -320,13 +321,15 @@ pub fn load_journal(jobs_dir: &Path) -> Vec<JobRecord> {
         if !n.starts_with("job-") || !n.ends_with(".json") {
             continue;
         }
-        let Ok(text) = fs::read_to_string(item.path()) else {
-            continue;
+        let payload = match state::read_record(&item.path()) {
+            Ok(p) => p,
+            Err(_) => {
+                quarantine.take(&item.path());
+                continue;
+            }
         };
-        let Some(rec) = Json::parse(&text)
-            .ok()
-            .and_then(|d| JobRecord::from_journal(&d))
-        else {
+        let Some(rec) = JobRecord::from_journal(&payload) else {
+            quarantine.take(&item.path());
             continue;
         };
         out.push(rec);
@@ -528,6 +531,34 @@ mod tests {
     fn fuzz_jobs_are_never_cached() {
         let key = cache_key(JobKind::Fuzz, &Json::obj(vec![("cases", Json::num(5))])).unwrap();
         assert!(key.is_none());
+    }
+
+    #[test]
+    fn load_journal_quarantines_corrupt_entries() {
+        let dir = std::env::temp_dir().join(format!("seqwm-serve-job-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // One good record…
+        persist(&dir, &JobRecord::new(1, JobKind::Refine, refine_params()));
+        // …one truncated, one empty, one with a flipped byte, and one
+        // whose envelope is valid but whose payload is not a job.
+        let good = fs::read_to_string(journal_path(&dir, 1)).unwrap();
+        fs::write(journal_path(&dir, 2), &good[..good.len() / 2]).unwrap();
+        fs::write(journal_path(&dir, 3), "").unwrap();
+        fs::write(journal_path(&dir, 4), good.replace("refine", "rEfine")).unwrap();
+        fs::write(
+            journal_path(&dir, 5),
+            state::wrap(&Json::obj(vec![("not", Json::str("a job"))])).to_string(),
+        )
+        .unwrap();
+        let q = Quarantine::new(dir.join("quarantine"));
+        let recs = load_journal(&dir, &q);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].id, 1);
+        assert_eq!(q.count(), 4);
+        let kept = fs::read_dir(q.dir()).unwrap().flatten().count();
+        assert_eq!(kept, 4, "corrupt files preserved for inspection");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

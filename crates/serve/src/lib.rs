@@ -27,15 +27,28 @@
 //! `BUDGET_EXHAUSTED` error on that job, a panicking check is a
 //! `JOB_FAILED` incident — the daemon itself never dies with a job.
 //! Everything runs on std only, like the rest of the workspace.
+//!
+//! The daemon also defends itself: per-connection frame deadlines and
+//! size caps, a connection cap, admission control with
+//! `retry_after_ms` backpressure, graceful drain shutdown, and
+//! CRC-checked durable state with quarantine recovery ([`state`]).
+//! The `chaos` feature adds a deterministic fault proxy ([`chaos`])
+//! for exercising all of it from the integration tests.
 
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod cache;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod job;
 pub mod proto;
 pub mod server;
+pub mod state;
 
 pub use cache::{CacheStats, ResultCache};
+#[cfg(feature = "chaos")]
+pub use chaos::{corrupt_file, ChaosAction, ChaosPlan, ChaosProxy, FileChaos};
 pub use job::{JobBudgets, JobKind, JobRecord, JobState};
 pub use server::{ServeConfig, Server};
+pub use state::{Quarantine, RecordError};

@@ -29,12 +29,27 @@ pub mod codes {
     /// A per-job budget (fuel, deadline, memory, states) was exhausted
     /// before the job could produce a definitive answer.
     pub const BUDGET_EXHAUSTED: i64 = -32001;
-    /// The bounded job queue is full; resubmit later.
-    pub const QUEUE_FULL: i64 = -32002;
+    /// The bounded job queue is saturated; the server is shedding
+    /// load. The error data carries a `retry_after_ms` hint computed
+    /// from queue depth and recent job latency.
+    pub const OVERLOADED: i64 = -32002;
     /// The referenced job id does not exist.
     pub const UNKNOWN_JOB: i64 = -32003;
     /// The job was canceled before completion.
     pub const CANCELED: i64 = -32004;
+    /// An inbound frame exceeded the configured `--max-frame-bytes`
+    /// limit; the connection is closed after this error.
+    pub const FRAME_TOO_LARGE: i64 = -32005;
+    /// The client failed to deliver a complete frame within the
+    /// configured `--read-timeout-ms` deadline (slow-loris defense);
+    /// the connection is closed after this error.
+    pub const SLOW_CLIENT: i64 = -32006;
+    /// The configured `--max-conns` cap is reached; the connection is
+    /// rejected immediately.
+    pub const TOO_MANY_CONNS: i64 = -32007;
+    /// The server is draining toward shutdown and rejects new
+    /// submissions; queued work is journaled for the next start.
+    pub const DRAINING: i64 = -32008;
 }
 
 /// A parsed JSON-RPC request line.

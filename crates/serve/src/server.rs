@@ -10,14 +10,26 @@
 //! restarted on the same state dir re-enqueues every journaled
 //! non-terminal job, and an explore job whose checkpoint survived
 //! resumes its frontier instead of starting over.
+//!
+//! Hostile-client model: the daemon defends itself at the socket
+//! edge. Every connection carries a per-frame read deadline (a
+//! slow-loris client that trickles bytes is evicted with
+//! `SLOW_CLIENT` and disconnected), a frame-size ceiling
+//! (`FRAME_TOO_LARGE`, then disconnect), and the accept loop enforces
+//! a connection cap (`TOO_MANY_CONNS`, rejected before a handler
+//! thread is spawned). Overload is shed at admission: a saturated
+//! queue answers `OVERLOADED` with a `retry_after_ms` hint derived
+//! from queue depth and recent job latency, and a draining daemon
+//! (`server.shutdown {"drain": true}`) answers `DRAINING` while it
+//! finishes running jobs and journals the queued remainder.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fs;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -39,9 +51,16 @@ use crate::proto::{
     codes, error_response, notification, opt_bool, opt_u64, parse_request, req_str, response,
     Request, RpcError,
 };
+use crate::state::Quarantine;
 
 /// How long blocked waits sleep between re-checking the stop flag.
 const WAIT_TICK: Duration = Duration::from_millis(100);
+
+/// How many recent job latencies feed the `retry_after_ms` estimate.
+const LATENCY_WINDOW: usize = 32;
+
+/// Assumed per-job latency before any job has completed.
+const DEFAULT_JOB_MS: u64 = 100;
 
 /// Daemon configuration (the `seqwm serve` CLI maps onto this).
 #[derive(Clone, Debug)]
@@ -52,7 +71,8 @@ pub struct ServeConfig {
     pub port: u16,
     /// Job worker threads.
     pub workers: usize,
-    /// Maximum queued (not yet running) jobs before `QUEUE_FULL`.
+    /// Maximum queued (not yet running) jobs before submissions shed
+    /// load with [`codes::OVERLOADED`] and a `retry_after_ms` hint.
     pub queue_depth: usize,
     /// State directory: job journal, engine checkpoints, result
     /// cache, fuzz corpora.
@@ -61,6 +81,20 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Engine checkpoint cadence for explore jobs.
     pub checkpoint_every: Duration,
+    /// Maximum simultaneously open client connections; excess
+    /// connections are rejected with [`codes::TOO_MANY_CONNS`].
+    pub max_conns: usize,
+    /// Maximum inbound frame (request line) size in bytes; larger
+    /// frames draw [`codes::FRAME_TOO_LARGE`] and a disconnect.
+    pub max_frame_bytes: usize,
+    /// Per-frame read deadline: a client that cannot deliver a
+    /// complete newline-terminated frame within this window is
+    /// evicted with [`codes::SLOW_CLIENT`]. Also used as the write
+    /// timeout so a non-reading client cannot wedge a handler.
+    pub read_timeout: Duration,
+    /// How long a drain shutdown waits for running jobs before
+    /// canceling the stragglers and stopping anyway.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +107,10 @@ impl Default for ServeConfig {
             state_dir: PathBuf::from(".seqwm-serve"),
             cache_capacity: 1024,
             checkpoint_every: Duration::from_millis(200),
+            max_conns: 64,
+            max_frame_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -98,6 +136,16 @@ struct Core {
     update_cv: Condvar,
     cache: ResultCache,
     stop: AtomicBool,
+    /// Set by `server.shutdown {"drain": true}`: reject new
+    /// submissions, finish running jobs, then stop.
+    draining: AtomicBool,
+    /// Currently open client connections (accept-loop bookkeeping).
+    conns: AtomicUsize,
+    /// Corrupt journal entries moved aside at startup.
+    journal_quarantine: Quarantine,
+    /// Wall-clock latencies of recently completed jobs, feeding the
+    /// `retry_after_ms` overload hint.
+    latencies: Mutex<VecDeque<u64>>,
     started: Instant,
     counters_base: CounterSnapshot,
 }
@@ -114,6 +162,10 @@ impl Core {
         self.stop.load(Ordering::Relaxed)
     }
 
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
     /// Flips the stop flag and wakes everything, including the accept
     /// loop (via a throwaway self-connection).
     fn begin_shutdown(&self) {
@@ -123,6 +175,37 @@ impl Core {
         self.update_cv.notify_all();
         drop(guard);
         let _ = TcpStream::connect(self.addr);
+    }
+
+    fn record_latency(&self, elapsed: Duration) {
+        let mut lats = match self.latencies.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        lats.push_back(elapsed.as_millis() as u64);
+        while lats.len() > LATENCY_WINDOW {
+            lats.pop_front();
+        }
+    }
+
+    /// How long a shed client should back off before resubmitting:
+    /// the queue's expected service time under the recent average job
+    /// latency, spread across the worker pool, clamped to a sane
+    /// range.
+    fn retry_after_ms(&self, queue_len: usize) -> u64 {
+        let avg = {
+            let lats = match self.latencies.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if lats.is_empty() {
+                DEFAULT_JOB_MS
+            } else {
+                lats.iter().sum::<u64>() / lats.len() as u64
+            }
+        };
+        let workers = self.cfg.workers.max(1) as u64;
+        ((queue_len as u64 + 1) * avg.max(1) / workers).clamp(10, 60_000)
     }
 }
 
@@ -148,7 +231,13 @@ impl Server {
             fs::create_dir_all(d)
                 .map_err(|e| format!("cannot create state dir {}: {e}", d.display()))?;
         }
-        let cache = ResultCache::open(cfg.state_dir.join("cache"), cfg.cache_capacity)?;
+        let quarantine_dir = cfg.state_dir.join("quarantine");
+        let cache = ResultCache::open(
+            cfg.state_dir.join("cache"),
+            cfg.cache_capacity,
+            &quarantine_dir,
+        )?;
+        let journal_quarantine = Quarantine::new(&quarantine_dir);
         let bind_to = (cfg.host.as_str(), cfg.port)
             .to_socket_addrs()
             .map_err(|e| format!("cannot resolve {}:{}: {e}", cfg.host, cfg.port))?
@@ -167,7 +256,7 @@ impl Server {
             records: BTreeMap::new(),
             queue: VecDeque::new(),
         };
-        for rec in load_journal(&jobs_dir) {
+        for rec in load_journal(&jobs_dir, &journal_quarantine) {
             table.next_id = table.next_id.max(rec.id + 1);
             if rec.state == JobState::Queued {
                 table.queue.push_back(rec.id);
@@ -187,6 +276,10 @@ impl Server {
             update_cv: Condvar::new(),
             cache,
             stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
+            journal_quarantine,
+            latencies: Mutex::new(VecDeque::new()),
             started: Instant::now(),
             counters_base: CounterSnapshot::capture(),
         });
@@ -250,16 +343,49 @@ impl Server {
 // Accept loop and connection handling
 // ---------------------------------------------------------------------
 
+/// Decrements the open-connection count when a handler exits, however
+/// it exits.
+struct ConnPermit<'a> {
+    core: &'a Core,
+}
+
+impl Drop for ConnPermit<'_> {
+    fn drop(&mut self) {
+        self.core.conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 fn accept_loop(core: &Arc<Core>, listener: &TcpListener) {
     for stream in listener.incoming() {
         if core.stopping() {
             break;
         }
-        let Ok(stream) = stream else { continue };
-        let core = Arc::clone(core);
-        let _ = std::thread::Builder::new()
+        let Ok(mut stream) = stream else { continue };
+        // Connection cap: reject at the door, before spending a
+        // thread. The rejected client gets a structured error line so
+        // it can tell "server full" from "server dead".
+        let open = core.conns.fetch_add(1, Ordering::Relaxed);
+        if open >= core.cfg.max_conns {
+            core.conns.fetch_sub(1, Ordering::Relaxed);
+            let _ = stream.set_write_timeout(Some(core.cfg.read_timeout));
+            let err = RpcError::new(
+                codes::TOO_MANY_CONNS,
+                format!("connection cap reached ({} open)", core.cfg.max_conns),
+            );
+            let _ = write_line(&mut stream, &error_response(&Json::Null, &err));
+            continue;
+        }
+        let conn_core = Arc::clone(core);
+        let spawned = std::thread::Builder::new()
             .name("seqwm-serve-conn".to_string())
-            .spawn(move || handle_conn(&core, stream));
+            .spawn(move || {
+                let permit = ConnPermit { core: &conn_core };
+                handle_conn(&conn_core, stream);
+                drop(permit);
+            });
+        if spawned.is_err() {
+            core.conns.fetch_sub(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -271,14 +397,137 @@ fn write_line(stream: &mut TcpStream, line: &str) -> bool {
         .is_ok()
 }
 
+/// One read-side outcome of [`FrameReader::next_frame`].
+enum Frame {
+    /// A complete newline-terminated request line.
+    Line(String),
+    /// Clean EOF or an unrecoverable socket error.
+    Closed,
+    /// The per-frame deadline expired before a full line arrived
+    /// (slow-loris, or an idle client holding a slot).
+    TimedOut,
+    /// The frame exceeded the configured size cap.
+    TooLarge,
+}
+
+/// Deadline- and size-bounded line framing over a raw socket.
+///
+/// `BufReader::lines` would block forever on a client that sends half
+/// a frame and stalls; this reader re-arms the socket read timeout
+/// with the *remaining* deadline budget on every chunk, so the clock
+/// covers the whole frame, not each byte.
+struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max_frame: usize,
+    deadline: Duration,
+}
+
+impl FrameReader {
+    fn new(stream: TcpStream, max_frame: usize, deadline: Duration) -> FrameReader {
+        FrameReader {
+            stream,
+            buf: Vec::new(),
+            max_frame,
+            deadline,
+        }
+    }
+
+    fn next_frame(&mut self) -> Frame {
+        let started = Instant::now();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                return Frame::Line(String::from_utf8_lossy(&line[..pos]).into_owned());
+            }
+            if self.buf.len() > self.max_frame {
+                return Frame::TooLarge;
+            }
+            let Some(remaining) = self.deadline.checked_sub(started.elapsed()) else {
+                return Frame::TimedOut;
+            };
+            if self
+                .stream
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+                .is_err()
+            {
+                return Frame::Closed;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Frame::Closed,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Frame::TimedOut;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return Frame::Closed,
+            }
+        }
+    }
+}
+
+/// Consumes (briefly, boundedly) whatever the evicted client already
+/// sent, so closing the socket sends a clean FIN instead of an RST
+/// that would destroy the structured error still in flight to them.
+fn drain_input(stream: &mut TcpStream) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let mut buf = [0u8; 4096];
+    let mut total = 0usize;
+    while total < (1 << 20) {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => total += n,
+        }
+    }
+}
+
 fn handle_conn(core: &Arc<Core>, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut writer = stream;
-    let reader = BufReader::new(read_half);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    // A client that stops reading cannot wedge this handler forever:
+    // writes share the read deadline.
+    let _ = writer.set_write_timeout(Some(core.cfg.read_timeout));
+    let mut reader = FrameReader::new(read_half, core.cfg.max_frame_bytes, core.cfg.read_timeout);
+    loop {
+        let line = match reader.next_frame() {
+            Frame::Line(line) => line,
+            Frame::Closed => break,
+            Frame::TimedOut => {
+                let err = RpcError::new(
+                    codes::SLOW_CLIENT,
+                    format!(
+                        "no complete frame within {}ms; closing connection",
+                        core.cfg.read_timeout.as_millis()
+                    ),
+                );
+                let _ = write_line(&mut writer, &error_response(&Json::Null, &err));
+                drain_input(&mut reader.stream);
+                break;
+            }
+            Frame::TooLarge => {
+                let err = RpcError::new(
+                    codes::FRAME_TOO_LARGE,
+                    format!(
+                        "frame exceeds {} bytes; closing connection",
+                        core.cfg.max_frame_bytes
+                    ),
+                );
+                let _ = write_line(&mut writer, &error_response(&Json::Null, &err));
+                drain_input(&mut reader.stream);
+                break;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -294,15 +543,30 @@ fn handle_conn(core: &Arc<Core>, stream: TcpStream) {
                 continue;
             }
         };
-        let shutdown_requested = req.method == "server.shutdown";
+        // A malformed `drain` param draws INVALID_PARAMS from dispatch
+        // and must NOT stop the daemon.
+        let shutdown = if req.method == "server.shutdown" {
+            opt_bool(&req.params, "drain")
+                .ok()
+                .map(|d| d.unwrap_or(false))
+        } else {
+            None
+        };
         let reply = match dispatch(core, &req, &mut writer) {
             Ok(result) => response(&req.id, result),
             Err(e) => error_response(&req.id, &e),
         };
         let wrote = write_line(&mut writer, &reply);
-        if shutdown_requested {
-            core.begin_shutdown();
-            break;
+        match shutdown {
+            Some(true) => {
+                begin_drain(core);
+                break;
+            }
+            Some(false) => {
+                core.begin_shutdown();
+                break;
+            }
+            None => {}
         }
         if !wrote {
             break;
@@ -354,12 +618,79 @@ fn dispatch(core: &Arc<Core>, req: &Request, writer: &mut TcpStream) -> Result<J
             stream_events(core, id, from, writer)
         }
         "server.stats" => Ok(stats_json(core)),
-        "server.shutdown" => Ok(Json::obj(vec![("ok", Json::Bool(true))])),
+        "server.shutdown" => {
+            let drain = opt_bool(&req.params, "drain")?.unwrap_or(false);
+            let (running, queued) = {
+                let table = core.lock_jobs();
+                let running = table
+                    .records
+                    .values()
+                    .filter(|r| r.state == JobState::Running)
+                    .count();
+                (running, table.queue.len())
+            };
+            Ok(Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("drain", Json::Bool(drain)),
+                ("running", Json::num(running as u64)),
+                ("queued", Json::num(queued as u64)),
+            ]))
+        }
         other => Err(RpcError::new(
             codes::METHOD_NOT_FOUND,
             format!("unknown method {other:?}"),
         )),
     }
+}
+
+/// Starts a graceful drain: new submissions are rejected with
+/// [`codes::DRAINING`], running jobs get up to `drain_timeout` to
+/// finish (then their cancel flags flip), queued jobs stay journaled
+/// as queued so the next start recovers them, and the daemon stops
+/// once the running set is empty.
+fn begin_drain(core: &Arc<Core>) {
+    if core.draining.swap(true, Ordering::Relaxed) {
+        return; // Already draining.
+    }
+    {
+        let _guard = core.lock_jobs();
+        core.queue_cv.notify_all();
+        core.update_cv.notify_all();
+    }
+    let core = Arc::clone(core);
+    let _ = std::thread::Builder::new()
+        .name("seqwm-serve-drain".to_string())
+        .spawn(move || {
+            let deadline = Instant::now() + core.cfg.drain_timeout;
+            loop {
+                let running: Vec<Arc<AtomicBool>> = {
+                    let table = core.lock_jobs();
+                    table
+                        .records
+                        .values()
+                        .filter(|r| r.state == JobState::Running)
+                        .map(|r| Arc::clone(&r.cancel))
+                        .collect()
+                };
+                if running.is_empty() {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    // Patience exhausted: cancel the stragglers.
+                    for flag in &running {
+                        flag.store(true, Ordering::Relaxed);
+                    }
+                }
+                if now >= deadline + Duration::from_secs(5) {
+                    // A job that ignores its cancel flag must not pin
+                    // the process open forever.
+                    break;
+                }
+                std::thread::sleep(WAIT_TICK);
+            }
+            core.begin_shutdown();
+        });
 }
 
 fn req_job(params: &Json) -> Result<u64, RpcError> {
@@ -374,25 +705,55 @@ fn unknown_job(id: u64) -> RpcError {
 // Submission, waiting, cancel
 // ---------------------------------------------------------------------
 
+/// A `job.event` lifecycle marker (`queued`, `running`, `done`,
+/// `failed`, `canceled`), pushed for every job kind.
+fn lifecycle_event(state: JobState) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("lifecycle")),
+        ("state", Json::str(state.as_str())),
+    ])
+}
+
 /// Validates, consults the result cache, and either completes the job
 /// instantly (hit) or enqueues it. Returns `(id, cached)`.
+///
+/// Admission control happens here: a draining daemon answers
+/// [`codes::DRAINING`], and a saturated queue answers
+/// [`codes::OVERLOADED`] with a `retry_after_ms` hint so well-behaved
+/// clients back off instead of hammering.
 fn submit(core: &Arc<Core>, kind: JobKind, params: Json) -> Result<(u64, bool), RpcError> {
+    if core.draining() || core.stopping() {
+        return Err(RpcError::new(
+            codes::DRAINING,
+            "server is draining; queued work is journaled for the next start",
+        ));
+    }
     let key = cache_key(kind, &params)?;
     let hit = key.as_deref().and_then(|k| core.cache.get(k));
     let mut table = core.lock_jobs();
     if hit.is_none() && table.queue.len() >= core.cfg.queue_depth {
+        let depth = table.queue.len();
+        drop(table);
+        let retry = core.retry_after_ms(depth);
         return Err(RpcError::new(
-            codes::QUEUE_FULL,
-            format!("queue full ({} jobs waiting)", table.queue.len()),
-        ));
+            codes::OVERLOADED,
+            format!("queue full ({depth} jobs waiting); retry in {retry}ms"),
+        )
+        .with_data(Json::obj(vec![
+            ("retry_after_ms", Json::num(retry)),
+            ("queue_depth", Json::num(depth as u64)),
+            ("queue_capacity", Json::num(core.cfg.queue_depth as u64)),
+        ])));
     }
     let id = table.next_id;
     table.next_id += 1;
     let mut rec = JobRecord::new(id, kind, params);
+    rec.events.push(lifecycle_event(JobState::Queued));
     let cached = if let Some(result) = hit {
         rec.state = JobState::Done;
         rec.result = Some(result);
         rec.cached = true;
+        rec.events.push(lifecycle_event(JobState::Done));
         true
     } else {
         false
@@ -404,6 +765,7 @@ fn submit(core: &Arc<Core>, kind: JobKind, params: Json) -> Result<(u64, bool), 
     } else {
         table.queue.push_back(id);
         core.queue_cv.notify_all();
+        core.update_cv.notify_all();
     }
     drop(table);
     Ok((id, cached))
@@ -473,6 +835,7 @@ fn cancel_job(core: &Arc<Core>, id: u64) -> Result<Json, RpcError> {
             rec.state = JobState::Canceled;
             rec.error = Some(canceled_error());
             rec.cancel.store(true, Ordering::Relaxed);
+            rec.events.push(lifecycle_event(JobState::Canceled));
             let snapshot = rec.status_json();
             persist(&core.jobs_dir, rec);
             if let Some(i) = pos {
@@ -607,6 +970,21 @@ fn stats_json(core: &Arc<Core>) -> Json {
                 ("entries", Json::num(cache.entries as u64)),
             ]),
         ),
+        (
+            "quarantine",
+            Json::obj(vec![
+                ("journal", Json::num(core.journal_quarantine.count())),
+                ("cache", Json::num(cache.quarantined)),
+            ]),
+        ),
+        (
+            "connections",
+            Json::obj(vec![
+                ("open", Json::num(core.conns.load(Ordering::Relaxed) as u64)),
+                ("max", Json::num(core.cfg.max_conns as u64)),
+            ]),
+        ),
+        ("draining", Json::Bool(core.draining())),
         ("counters", Json::Obj(counters)),
     ])
 }
@@ -623,8 +1001,12 @@ fn worker_loop(core: &Arc<Core>) {
                 if core.stopping() {
                     return;
                 }
-                if let Some(id) = table.queue.pop_front() {
-                    break id;
+                // A draining daemon finishes what is running but
+                // leaves the queue journaled for the next start.
+                if !core.draining() {
+                    if let Some(id) = table.queue.pop_front() {
+                        break id;
+                    }
                 }
                 table = match core.queue_cv.wait_timeout(table, WAIT_TICK) {
                     Ok((g, _)) => g,
@@ -639,15 +1021,22 @@ fn worker_loop(core: &Arc<Core>) {
 fn execute(core: &Arc<Core>, id: u64) {
     let Some((kind, params, cancel)) = ({
         let mut table = core.lock_jobs();
-        table.records.get_mut(&id).map(|rec| {
+        let picked = table.records.get_mut(&id).map(|rec| {
             rec.state = JobState::Running;
+            rec.events.push(lifecycle_event(JobState::Running));
             persist(&core.jobs_dir, rec);
             (rec.kind, rec.params.clone(), Arc::clone(&rec.cancel))
-        })
+        });
+        drop(table);
+        if picked.is_some() {
+            core.update_cv.notify_all();
+        }
+        picked
     }) else {
         return;
     };
 
+    let job_started = Instant::now();
     let outcome = if cancel.load(Ordering::Relaxed) {
         Err(canceled_error())
     } else {
@@ -672,6 +1061,8 @@ fn execute(core: &Arc<Core>, id: u64) {
         }
     }
 
+    core.record_latency(job_started.elapsed());
+
     let mut table = core.lock_jobs();
     if let Some(rec) = table.records.get_mut(&id) {
         match outcome {
@@ -688,6 +1079,7 @@ fn execute(core: &Arc<Core>, id: u64) {
                 rec.error = Some(e);
             }
         }
+        rec.events.push(lifecycle_event(rec.state));
         persist(&core.jobs_dir, rec);
     }
     drop(table);
@@ -954,6 +1346,7 @@ fn run_fuzz(
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+    use std::io::{BufRead, BufReader};
 
     /// A tiny blocking client for the tests: one connection, one
     /// request per call, skipping any interleaved notifications.
@@ -1029,14 +1422,19 @@ mod tests {
     }
 
     fn test_server(tag: &str) -> (Server, PathBuf) {
+        test_server_with(tag, |_| {})
+    }
+
+    fn test_server_with(tag: &str, tweak: impl FnOnce(&mut ServeConfig)) -> (Server, PathBuf) {
         let dir =
             std::env::temp_dir().join(format!("seqwm-serve-test-{}-{tag}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
-        let server = Server::start(ServeConfig {
+        let mut cfg = ServeConfig {
             state_dir: dir.clone(),
             ..ServeConfig::default()
-        })
-        .unwrap();
+        };
+        tweak(&mut cfg);
+        let server = Server::start(cfg).unwrap();
         (server, dir)
     }
 
@@ -1233,5 +1631,245 @@ mod tests {
         assert_eq!(result_of(&doc).get("ok").unwrap(), &Json::Bool(true));
         server.wait();
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slow_client_is_evicted_by_the_frame_deadline() {
+        let (server, dir) = test_server_with("slowloris", |cfg| {
+            cfg.read_timeout = Duration::from_millis(200);
+        });
+        let mut c = Client::connect(server.addr());
+        // Half a frame, then silence: the deadline must evict us with
+        // a structured error, not hang a handler thread forever.
+        c.writer
+            .write_all(br#"{"jsonrpc":"2.0","id":1,"met"#)
+            .unwrap();
+        c.writer.flush().unwrap();
+        let doc = c.read_doc();
+        assert_eq!(error_code(&doc), codes::SLOW_CLIENT);
+        // The connection is closed after the error.
+        let mut rest = String::new();
+        assert_eq!(c.reader.read_line(&mut rest).unwrap(), 0, "EOF expected");
+        // The daemon itself is healthy: a well-behaved client works.
+        let mut c2 = Client::connect(server.addr());
+        let doc = c2.call("server.stats", Json::obj(vec![]));
+        assert!(doc.get("result").is_some());
+        stop(server, &dir);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_with_a_structured_error() {
+        let (server, dir) = test_server_with("bigframe", |cfg| {
+            cfg.max_frame_bytes = 512;
+        });
+        let mut c = Client::connect(server.addr());
+        let huge = format!(
+            r#"{{"jsonrpc":"2.0","id":1,"method":"server.stats","params":{{"pad":"{}"}}}}"#,
+            "x".repeat(4096)
+        );
+        // The server may slam the door while we are still writing;
+        // EPIPE here is part of the expected behavior, not a failure.
+        let _ = c.writer.write_all(huge.as_bytes());
+        let _ = c.writer.write_all(b"\n");
+        let _ = c.writer.flush();
+        let doc = c.read_doc();
+        assert_eq!(error_code(&doc), codes::FRAME_TOO_LARGE);
+        let mut rest = String::new();
+        assert_eq!(c.reader.read_line(&mut rest).unwrap(), 0, "EOF expected");
+        stop(server, &dir);
+    }
+
+    #[test]
+    fn connection_cap_rejects_at_the_door() {
+        let (server, dir) = test_server_with("conncap", |cfg| {
+            cfg.max_conns = 1;
+        });
+        let mut c1 = Client::connect(server.addr());
+        // Round-trip to guarantee c1's handler holds the only slot.
+        let doc = c1.call("server.stats", Json::obj(vec![]));
+        let conns = result_of(&doc).get("connections").unwrap();
+        assert_eq!(conns.get("open").unwrap(), &Json::num(1));
+        assert_eq!(conns.get("max").unwrap(), &Json::num(1));
+
+        let mut c2 = Client::connect(server.addr());
+        let doc = c2.read_doc();
+        assert_eq!(error_code(&doc), codes::TOO_MANY_CONNS);
+
+        // The original connection is unaffected.
+        let doc = c1.call("server.stats", Json::obj(vec![]));
+        assert!(doc.get("result").is_some());
+        stop(server, &dir);
+    }
+
+    #[test]
+    fn saturated_queue_sheds_load_with_a_retry_hint() {
+        let (server, dir) = test_server_with("overload", |cfg| {
+            cfg.workers = 1;
+            cfg.queue_depth = 1;
+        });
+        let mut c = Client::connect(server.addr());
+        // Fill the single worker with a long campaign…
+        let doc = c.call(
+            "fuzz.campaign",
+            Json::obj(vec![("cases", Json::num(200_000)), ("seed", Json::num(1))]),
+        );
+        let a = result_of(&doc).get("job").unwrap().clone();
+        // …wait until it is actually running so the queue is empty…
+        loop {
+            let doc = c.call("job.status", Json::obj(vec![("job", a.clone())]));
+            if result_of(&doc).get("state").unwrap() == &Json::str("running") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // …then occupy the one queue slot…
+        let doc = c.call(
+            "fuzz.campaign",
+            Json::obj(vec![("cases", Json::num(200_000)), ("seed", Json::num(2))]),
+        );
+        let b = result_of(&doc).get("job").unwrap().clone();
+        // …and the next submission must be shed with a backoff hint.
+        let doc = c.call(
+            "fuzz.campaign",
+            Json::obj(vec![("cases", Json::num(10)), ("seed", Json::num(3))]),
+        );
+        assert_eq!(error_code(&doc), codes::OVERLOADED);
+        let data = doc.get("error").unwrap().get("data").unwrap();
+        let retry = data.get("retry_after_ms").unwrap().as_u64("r").unwrap();
+        assert!(retry >= 10, "retry_after_ms {retry} below clamp floor");
+        assert_eq!(data.get("queue_capacity").unwrap(), &Json::num(1));
+        for id in [a, b] {
+            c.call("job.cancel", Json::obj(vec![("job", id)]));
+        }
+        stop(server, &dir);
+    }
+
+    #[test]
+    fn lifecycle_events_stream_for_every_job_kind() {
+        let (server, dir) = test_server("lifecycle");
+        let mut c = Client::connect(server.addr());
+        let params = Json::obj(vec![
+            ("src", Json::str("return 2;")),
+            ("tgt", Json::str("return 2;")),
+        ]);
+        let doc = c.call("refine.check", params.clone());
+        let id = result_of(&doc).get("job").unwrap().clone();
+        let (_, notes) = c.call_collect("job.events", Json::obj(vec![("job", id)]));
+        let states: Vec<String> = notes
+            .iter()
+            .filter_map(|n| {
+                let ev = n.get("params")?.get("event")?;
+                if ev.get("type")? == &Json::str("lifecycle") {
+                    Some(ev.get("state")?.as_str("s").ok()?.to_string())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        assert_eq!(states, ["queued", "running", "done"]);
+
+        // A cache hit still narrates its (instant) lifecycle.
+        let doc = c.call("refine.check", params);
+        let id = result_of(&doc).get("job").unwrap().clone();
+        let (_, notes) = c.call_collect("job.events", Json::obj(vec![("job", id)]));
+        let states: Vec<String> = notes
+            .iter()
+            .filter_map(|n| {
+                let ev = n.get("params")?.get("event")?;
+                ev.get("state")
+                    .and_then(|s| s.as_str("s").ok())
+                    .map(str::to_string)
+            })
+            .collect();
+        assert_eq!(states, ["queued", "done"]);
+        stop(server, &dir);
+    }
+
+    #[test]
+    fn drain_cancels_stragglers_and_preserves_the_queue() {
+        let (server, dir) = test_server_with("drain", |cfg| {
+            cfg.workers = 1;
+            cfg.drain_timeout = Duration::from_millis(300);
+        });
+        let addr = server.addr();
+        let mut c = Client::connect(addr);
+        // A campaign far too long to finish inside the drain window…
+        let doc = c.call(
+            "fuzz.campaign",
+            Json::obj(vec![("cases", Json::num(500_000)), ("seed", Json::num(1))]),
+        );
+        let a = result_of(&doc).get("job").unwrap().clone();
+        loop {
+            let doc = c.call("job.status", Json::obj(vec![("job", a.clone())]));
+            if result_of(&doc).get("state").unwrap() == &Json::str("running") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // …plus one queued behind it.
+        let doc = c.call(
+            "fuzz.campaign",
+            Json::obj(vec![("cases", Json::num(500_000)), ("seed", Json::num(2))]),
+        );
+        let b = match result_of(&doc).get("job").unwrap() {
+            Json::Num(n) => *n as u64,
+            other => panic!("job id {other}"),
+        };
+
+        let doc = c.call(
+            "server.shutdown",
+            Json::obj(vec![("drain", Json::Bool(true))]),
+        );
+        let r = result_of(&doc);
+        assert_eq!(r.get("drain").unwrap(), &Json::Bool(true));
+        assert_eq!(r.get("running").unwrap(), &Json::num(1));
+        assert_eq!(r.get("queued").unwrap(), &Json::num(1));
+
+        // New submissions are refused while draining.
+        let mut c2 = Client::connect(addr);
+        let doc = c2.call(
+            "fuzz.campaign",
+            Json::obj(vec![("cases", Json::num(5)), ("seed", Json::num(9))]),
+        );
+        assert_eq!(error_code(&doc), codes::DRAINING);
+
+        server.wait();
+        // The straggler was canceled at the drain deadline; the
+        // queued job is journaled as queued for the next start.
+        let jobs_dir = dir.join("jobs");
+        let rec_a = crate::state::read_record(&crate::job::journal_path(&jobs_dir, 1)).unwrap();
+        assert_eq!(rec_a.get("state").unwrap(), &Json::str("canceled"));
+        let rec_b = crate::state::read_record(&crate::job::journal_path(&jobs_dir, b)).unwrap();
+        assert_eq!(rec_b.get("state").unwrap(), &Json::str("queued"));
+
+        // A restarted daemon recovers the queued job.
+        let server = Server::start(ServeConfig {
+            state_dir: dir.clone(),
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        assert_eq!(server.recovered_jobs(), 1);
+        let mut c = Client::connect(server.addr());
+        c.call("job.cancel", Json::obj(vec![("job", Json::num(b))]));
+        stop(server, &dir);
+    }
+
+    #[test]
+    fn deeply_nested_params_are_a_parse_error_not_a_crash() {
+        let (server, dir) = test_server("nesting");
+        let mut c = Client::connect(server.addr());
+        let bomb = format!(
+            r#"{{"jsonrpc":"2.0","id":1,"method":"server.stats","params":{{"a":{}1{}}}}}"#,
+            "[".repeat(400),
+            "]".repeat(400)
+        );
+        c.send_raw(&bomb);
+        let doc = c.read_doc();
+        assert_eq!(error_code(&doc), codes::PARSE_ERROR);
+        // Still serving.
+        let doc = c.call("server.stats", Json::obj(vec![]));
+        assert!(doc.get("result").is_some());
+        stop(server, &dir);
     }
 }

@@ -1,0 +1,281 @@
+//! CRC-wrapped durable records and the quarantine protocol.
+//!
+//! Every state file the daemon trusts on restart — job journal
+//! entries and result-cache entries — is written through this module
+//! as a versioned envelope:
+//!
+//! ```json
+//! {"v":1,"crc":"<fp64 of the payload's canonical rendering>","payload":{…}}
+//! ```
+//!
+//! On load, a record whose bytes are unreadable, unparseable,
+//! missing the envelope, version-mismatched, or checksum-mismatched
+//! is **quarantined**: moved to `<state-dir>/quarantine/` (keeping
+//! its name, with a numeric suffix on collision) and counted, never
+//! trusted and never fatal. A torn write, a flipped bit, or an
+//! operator's stray edit costs exactly one record — the daemon
+//! starts, reports the count in `server.stats`, and the evidence
+//! stays on disk for inspection.
+//!
+//! The checksum is recomputed from the *parsed* payload's rendering,
+//! which works because [`seqwm_json`]'s emitter is canonical: member
+//! order is preserved and `parse ∘ to_string` is the identity on
+//! everything the daemon writes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use seqwm_explore::fp64;
+use seqwm_json::Json;
+
+/// Envelope format version; bumped on incompatible layout changes.
+pub const STATE_VERSION: u64 = 1;
+
+/// Why a durable record was rejected (and quarantined).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecordError {
+    /// The file could not be read at all.
+    Unreadable(String),
+    /// The bytes were not a valid envelope (bad JSON, missing
+    /// fields, wrong version) — torn writes and truncation land here.
+    Malformed(String),
+    /// The envelope parsed but the payload does not hash to the
+    /// recorded checksum — in-place corruption lands here.
+    ChecksumMismatch {
+        /// The checksum the envelope claims.
+        recorded: String,
+        /// The checksum the payload actually has.
+        actual: String,
+    },
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Unreadable(m) => write!(f, "unreadable: {m}"),
+            RecordError::Malformed(m) => write!(f, "malformed envelope: {m}"),
+            RecordError::ChecksumMismatch { recorded, actual } => {
+                write!(f, "checksum mismatch: recorded {recorded}, actual {actual}")
+            }
+        }
+    }
+}
+
+fn payload_crc(payload: &Json) -> String {
+    format!("{:016x}", fp64(&payload.to_string()))
+}
+
+/// Wraps a payload in the versioned, checksummed envelope.
+pub fn wrap(payload: &Json) -> Json {
+    Json::obj(vec![
+        ("v", Json::num(STATE_VERSION)),
+        ("crc", Json::str(payload_crc(payload))),
+        ("payload", payload.clone()),
+    ])
+}
+
+/// Validates an envelope and returns its payload.
+///
+/// # Errors
+///
+/// A [`RecordError`] describing how the record failed validation.
+pub fn unwrap(text: &str) -> Result<Json, RecordError> {
+    let doc = Json::parse(text).map_err(RecordError::Malformed)?;
+    let v = doc
+        .get("v")
+        .and_then(|v| v.as_u64("v").ok())
+        .ok_or_else(|| RecordError::Malformed("missing version field".to_string()))?;
+    if v != STATE_VERSION {
+        return Err(RecordError::Malformed(format!(
+            "unsupported envelope version {v} (expected {STATE_VERSION})"
+        )));
+    }
+    let recorded = doc
+        .get("crc")
+        .and_then(|c| c.as_str("crc").ok())
+        .ok_or_else(|| RecordError::Malformed("missing crc field".to_string()))?
+        .to_string();
+    let payload = doc
+        .get("payload")
+        .ok_or_else(|| RecordError::Malformed("missing payload field".to_string()))?;
+    let actual = payload_crc(payload);
+    if actual != recorded {
+        return Err(RecordError::ChecksumMismatch { recorded, actual });
+    }
+    Ok(payload.clone())
+}
+
+/// Atomically writes `payload` (enveloped) to `path`, staging the
+/// temp file in `path`'s directory so the rename never crosses a
+/// filesystem. Best-effort: returns whether the write landed.
+pub fn write_record(path: &Path, payload: &Json) -> bool {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let stem = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("record");
+    let tmp = dir.join(format!(".{stem}-{}.tmp", std::process::id()));
+    let ok = fs::write(&tmp, wrap(payload).to_string())
+        .and_then(|()| fs::rename(&tmp, path))
+        .is_ok();
+    if !ok {
+        let _ = fs::remove_file(&tmp);
+    }
+    ok
+}
+
+/// Reads and validates the enveloped record at `path`.
+///
+/// # Errors
+///
+/// A [`RecordError`] when the file is missing, unreadable, or fails
+/// envelope validation.
+pub fn read_record(path: &Path) -> Result<Json, RecordError> {
+    let text = fs::read_to_string(path).map_err(|e| RecordError::Unreadable(e.to_string()))?;
+    unwrap(&text)
+}
+
+/// A quarantine destination: a directory files are moved into, plus a
+/// running count for `server.stats`.
+pub struct Quarantine {
+    dir: PathBuf,
+    count: AtomicU64,
+}
+
+impl Quarantine {
+    /// A quarantine rooted at `dir` (created lazily on first use).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Quarantine {
+            dir: dir.into(),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The quarantine directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Files quarantined so far (process lifetime).
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Moves a corrupt file into the quarantine directory, keeping
+    /// its name (suffixing `.1`, `.2`, … on collision). Counts the
+    /// file even if every move attempt fails — the record was
+    /// rejected either way — but falls back to deleting it so a
+    /// permanently corrupt record cannot be re-ingested forever.
+    pub fn take(&self, path: &Path) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if fs::create_dir_all(&self.dir).is_err() {
+            let _ = fs::remove_file(path);
+            return;
+        }
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("corrupt")
+            .to_string();
+        let mut dest = self.dir.join(&name);
+        let mut n = 0u32;
+        while dest.exists() && n < 32 {
+            n += 1;
+            dest = self.dir.join(format!("{name}.{n}"));
+        }
+        if fs::rename(path, &dest).is_err() {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("seqwm-serve-state-{}-{tag}", std::process::id()))
+    }
+
+    fn payload() -> Json {
+        Json::obj(vec![
+            ("id", Json::num(7)),
+            ("nested", Json::obj(vec![("ok", Json::Bool(true))])),
+        ])
+    }
+
+    #[test]
+    fn wrap_unwrap_round_trips() {
+        let text = wrap(&payload()).to_string();
+        assert_eq!(unwrap(&text).unwrap(), payload());
+    }
+
+    #[test]
+    fn corruption_classes_are_distinguished() {
+        let text = wrap(&payload()).to_string();
+
+        // Truncation: malformed.
+        let torn = &text[..text.len() / 2];
+        assert!(matches!(unwrap(torn), Err(RecordError::Malformed(_))));
+
+        // Empty file: malformed.
+        assert!(matches!(unwrap(""), Err(RecordError::Malformed(_))));
+
+        // A flipped payload byte: checksum mismatch.
+        let flipped = text.replace("true", "false");
+        assert!(matches!(
+            unwrap(&flipped),
+            Err(RecordError::ChecksumMismatch { .. })
+        ));
+
+        // A bare (pre-envelope) document: malformed, not trusted.
+        assert!(matches!(
+            unwrap(&payload().to_string()),
+            Err(RecordError::Malformed(_))
+        ));
+
+        // Wrong version: malformed.
+        let versioned = text.replace("\"v\":1", "\"v\":999");
+        assert!(matches!(unwrap(&versioned), Err(RecordError::Malformed(_))));
+    }
+
+    #[test]
+    fn write_read_round_trips_on_disk() {
+        let dir = temp_dir("rw");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rec.json");
+        assert!(write_record(&path, &payload()));
+        assert_eq!(read_record(&path).unwrap(), payload());
+        // No stray temp files left behind.
+        let leftovers = fs::read_dir(&dir).unwrap().flatten().count();
+        assert_eq!(leftovers, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_moves_and_counts() {
+        let dir = temp_dir("quarantine");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let q = Quarantine::new(dir.join("quarantine"));
+        for i in 0..2 {
+            // Same file name both times: the second move collides and
+            // must suffix, not clobber the first piece of evidence.
+            let victim = dir.join("job-9.json");
+            fs::write(&victim, format!("garbage {i}")).unwrap();
+            q.take(&victim);
+            assert!(!victim.exists(), "victim must be moved away");
+        }
+        assert_eq!(q.count(), 2);
+        let names: Vec<String> = fs::read_dir(q.dir())
+            .unwrap()
+            .flatten()
+            .filter_map(|f| f.file_name().to_str().map(str::to_string))
+            .collect();
+        assert_eq!(names.len(), 2, "both corrupt files kept: {names:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

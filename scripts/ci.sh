@@ -65,6 +65,17 @@ kill "$serve_pid" 2>/dev/null || true
 wait "$serve_pid" 2>/dev/null || true
 rm -rf "$serve_state"
 
+echo "==> seqwm serve-chaos (hostile clients, overload, drain, corrupt state)"
+# The chaos suite drives a fixed-seed fault proxy (torn frames,
+# disconnects, stalls, garbage) and FileChaos corruption at the real
+# daemon, plus the slow-loris / oversized-frame / overload / drain
+# legs. Deterministic seeds: a failure replays identically anywhere.
+timeout 300 cargo test -q --features chaos --test serve_chaos
+
+# Short soak, same fixed seed, gated on exactly one thing: the daemon
+# never crashes while concurrent clients misbehave.
+timeout 120 cargo test -q --features chaos --test serve_chaos -- --ignored
+
 echo "==> seqwm bench (quick suite + regression gate vs committed baseline)"
 # The threshold is deliberately generous: CI machines are noisy, and a
 # genuine hot-path regression shows up as a multiple, not a percentage.
@@ -79,6 +90,9 @@ if [ "${1:-full}" != "quick" ]; then
 
     echo "==> cargo clippy --all-targets --features fault-injection -- -D warnings"
     cargo clippy --all-targets --features fault-injection -- -D warnings
+
+    echo "==> cargo clippy --all-targets --features chaos -- -D warnings"
+    cargo clippy --all-targets --features chaos -- -D warnings
 
     echo "==> cargo fmt --check"
     cargo fmt --check

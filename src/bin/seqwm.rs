@@ -54,10 +54,18 @@
 //! bound address is printed to stdout), `--workers N` (≥ 1),
 //! `--queue-depth N`, `--state-dir <dir>` (job journal, checkpoints,
 //! result cache, fuzz corpora; default `.seqwm-serve`),
-//! `--cache-capacity N`, `--checkpoint-every-ms N`. `--probe
-//! <host:port>` (with `--timeout-ms N`) instead connects to a running
-//! daemon, issues `server.stats`, and exits 0 iff the round trip
-//! succeeds — the CI liveness check.
+//! `--cache-capacity N`, `--checkpoint-every-ms N`, plus the
+//! hostile-client knobs `--max-conns N` (connection cap; excess
+//! connections are rejected at the door with `-32007`),
+//! `--max-frame-bytes N` (request-line size cap, `-32005`),
+//! `--read-timeout-ms N` (per-frame deadline evicting slow-loris
+//! clients with `-32006`) and `--drain-timeout-ms N` (grace period
+//! for running jobs under `server.shutdown {"drain": true}`).
+//! `--probe <host:port>` (with `--timeout-ms N` and
+//! `--probe-attempts N`) instead connects to a running daemon, issues
+//! `server.stats`, and exits 0 iff a round trip succeeds within the
+//! attempt budget — failed attempts back off exponentially with
+//! deterministic jitter, making the probe a robust CI liveness check.
 //!
 //! Failures exit with a per-class code (see
 //! [`promising_seq::SeqwmError::exit_code`]): 2 usage, 3 parse,
@@ -795,6 +803,7 @@ fn run_serve(args: &[String]) -> Result<(), SeqwmError> {
     let mut cfg = ServeConfig::default();
     let mut probe: Option<String> = None;
     let mut timeout_ms: u64 = 5_000;
+    let mut probe_attempts: u32 = 3;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -828,17 +837,59 @@ fn run_serve(args: &[String]) -> Result<(), SeqwmError> {
                 let v = value(&mut it, a, "a period in ms")?;
                 cfg.checkpoint_every = Duration::from_millis(number(v, "checkpoint period")?);
             }
+            "--max-conns" => {
+                let v = value(&mut it, a, "a number")?;
+                let n: usize = number(v, "connection cap")?;
+                if n == 0 {
+                    return Err(usage_err(
+                        "--max-conns must be at least 1 (a daemon that accepts no connections serves no one)",
+                    ));
+                }
+                cfg.max_conns = n;
+            }
+            "--max-frame-bytes" => {
+                let v = value(&mut it, a, "a size in bytes")?;
+                let n: usize = number(v, "frame size cap")?;
+                if n < 256 {
+                    return Err(usage_err(
+                        "--max-frame-bytes must be at least 256 (smaller than any valid request line)",
+                    ));
+                }
+                cfg.max_frame_bytes = n;
+            }
+            "--read-timeout-ms" => {
+                let v = value(&mut it, a, "a duration in ms")?;
+                let ms: u64 = number(v, "read timeout")?;
+                if ms == 0 {
+                    return Err(usage_err(
+                        "--read-timeout-ms must be at least 1 (a zero deadline evicts every client instantly)",
+                    ));
+                }
+                cfg.read_timeout = Duration::from_millis(ms);
+            }
+            "--drain-timeout-ms" => {
+                let v = value(&mut it, a, "a duration in ms")?;
+                cfg.drain_timeout = Duration::from_millis(number(v, "drain timeout")?);
+            }
             "--probe" => probe = Some(value(&mut it, a, "host:port")?.clone()),
             "--timeout-ms" => {
                 let v = value(&mut it, a, "a duration in ms")?;
                 timeout_ms = number(v, "probe timeout")?;
+            }
+            "--probe-attempts" => {
+                let v = value(&mut it, a, "a count")?;
+                let n: u32 = number(v, "probe attempts")?;
+                if n == 0 {
+                    return Err(usage_err("--probe-attempts must be at least 1"));
+                }
+                probe_attempts = n;
             }
             other => return Err(usage_err(format!("unknown flag `{other}`"))),
         }
     }
 
     if let Some(addr) = probe {
-        return probe_server(&addr, Duration::from_millis(timeout_ms));
+        return probe_server(&addr, Duration::from_millis(timeout_ms), probe_attempts);
     }
 
     let server = Server::start(cfg).map_err(SeqwmError::Serve)?;
@@ -855,8 +906,37 @@ fn run_serve(args: &[String]) -> Result<(), SeqwmError> {
     Ok(())
 }
 
+/// A `server.stats` round trip against a running daemon, retried up
+/// to `attempts` times with exponential backoff plus deterministic
+/// SplitMix64 jitter — a daemon still binding its socket should cost
+/// a CI probe a few hundred milliseconds, not a failed pipeline.
+fn probe_server(addr: &str, timeout: Duration, attempts: u32) -> Result<(), SeqwmError> {
+    use promising_seq::explore::mix64;
+
+    let mut last = String::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            // 50ms, 100ms, 200ms, … capped at ~3.2s, each stretched
+            // by up to +50% jitter. The jitter is a pure function of
+            // (address, attempt) so probe timing is reproducible.
+            let base = 50u64 << (attempt - 1).min(6);
+            let addr_fp = addr.bytes().fold(0u64, |h, b| mix64(h ^ u64::from(b)));
+            let jitter = mix64(addr_fp ^ u64::from(attempt)) % (base / 2 + 1);
+            std::thread::sleep(Duration::from_millis(base + jitter));
+        }
+        match probe_once(addr, timeout) {
+            Ok(()) => return Ok(()),
+            Err(SeqwmError::Serve(m)) => last = m,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(SeqwmError::Serve(format!(
+        "probe failed after {attempts} attempt(s): {last}"
+    )))
+}
+
 /// One `server.stats` round trip against a running daemon.
-fn probe_server(addr: &str, timeout: Duration) -> Result<(), SeqwmError> {
+fn probe_once(addr: &str, timeout: Duration) -> Result<(), SeqwmError> {
     use std::io::{BufRead, BufReader, Write as _};
     use std::net::{TcpStream, ToSocketAddrs};
 

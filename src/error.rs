@@ -76,7 +76,9 @@ pub enum SeqwmError {
     /// be read/understood.
     Bench(String),
     /// The verification daemon could not start (bind failure, state
-    /// dir unusable) or a `--probe` round trip failed.
+    /// dir unusable) or a `--probe` round trip failed after its full
+    /// retry budget (`--probe-attempts`, exponential backoff with
+    /// deterministic jitter between attempts).
     Serve(String),
 }
 

@@ -1,0 +1,621 @@
+//! Chaos and hardening suite for the `seqwm serve` daemon (feature
+//! `chaos`): the real binary, real sockets, and a deterministic
+//! adversary.
+//!
+//! Seven legs:
+//!
+//! 1. **Slow loris** — a client that trickles a frame past
+//!    `--read-timeout-ms` is evicted with the structured
+//!    `SLOW_CLIENT` error, and the daemon keeps serving.
+//! 2. **Oversized frame** — a request line past `--max-frame-bytes`
+//!    draws `FRAME_TOO_LARGE`, not an OOM or a hang.
+//! 3. **Cap + overload** — connection `--max-conns` rejects at the
+//!    door with `TOO_MANY_CONNS`; a saturated queue sheds load with
+//!    `OVERLOADED` carrying a `retry_after_ms` hint.
+//! 4. **Drain** — `server.shutdown {"drain": true}` finishes the
+//!    books: new submissions draw `DRAINING`, the straggler is
+//!    canceled at `--drain-timeout-ms`, the queued job survives in
+//!    the journal and is recovered by the next daemon.
+//! 5. **Fault proxy** — a fixed-seed [`ChaosPlan`] tears, stalls,
+//!    garbles, and severs frames; every per-connection expectation is
+//!    computed from the plan, and the daemon survives all of it.
+//! 6. **Corrupt state** — journal and cache files damaged with every
+//!    [`FileChaos`] mode are quarantined on restart (visible in
+//!    `server.stats`), never a crash.
+//! 7. **Soak** (`--ignored`) — concurrent clients hammer the daemon
+//!    through the proxy; the gate is zero daemon crashes.
+//!
+//! Every schedule is a pure function of a fixed seed, so a failure
+//! here replays identically on any machine.
+
+#![cfg(feature = "chaos")]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use promising_seq::json::Json;
+use promising_seq::serve::{corrupt_file, ChaosAction, ChaosPlan, ChaosProxy, FileChaos};
+
+const BIN: &str = env!("CARGO_BIN_EXE_seqwm");
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("seqwm-serve-chaos-{tag}-{}", std::process::id()))
+}
+
+/// A daemon child process plus the address it reported on stdout.
+struct Daemon {
+    child: Child,
+    addr: String,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+fn spawn_daemon(state_dir: &PathBuf, extra: &[&str]) -> Daemon {
+    let mut child = Command::new(BIN)
+        .arg("serve")
+        .arg("--state-dir")
+        .arg(state_dir)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("startup line");
+    let addr = line
+        .trim()
+        .strip_prefix("seqwm-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+        .to_string();
+    Daemon {
+        child,
+        addr,
+        stdout,
+    }
+}
+
+impl Daemon {
+    fn connect(&self) -> Client {
+        Client::connect(&self.addr)
+    }
+
+    fn sock_addr(&self) -> SocketAddr {
+        self.addr.parse().expect("daemon address parses")
+    }
+
+    /// Asserts the daemon process is still alive (a crash shows up as
+    /// an early exit status here).
+    fn assert_alive(&mut self) {
+        assert!(
+            self.child.try_wait().expect("try_wait").is_none(),
+            "daemon crashed"
+        );
+    }
+}
+
+/// Minimal blocking JSON-RPC client over any addr (daemon or proxy).
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+            next_id: 1,
+        }
+    }
+
+    fn request_line(&mut self, method: &str, params: Json) -> String {
+        let id = self.next_id;
+        self.next_id += 1;
+        Json::obj(vec![
+            ("jsonrpc", Json::str("2.0")),
+            ("id", Json::num(id)),
+            ("method", Json::str(method)),
+            ("params", params),
+        ])
+        .to_string()
+    }
+
+    /// Sends one request; returns its response, skipping notifications
+    /// and null-id error lines (parse errors for injected garbage).
+    fn call(&mut self, method: &str, params: Json) -> Json {
+        let line = self.request_line(method, params);
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write newline");
+        self.writer.flush().expect("flush");
+        loop {
+            let mut reply = String::new();
+            self.reader.read_line(&mut reply).expect("read reply");
+            assert!(!reply.is_empty(), "daemon closed the connection");
+            let doc = Json::parse(reply.trim()).expect("reply parses");
+            match doc.get("id") {
+                Some(Json::Null) | None => {} // garbage's parse error / notification
+                Some(_) => return doc,
+            }
+        }
+    }
+
+    /// Like [`call`](Self::call) but tolerant of a severed connection:
+    /// returns `None` on any I/O failure or EOF instead of panicking.
+    fn try_call(&mut self, method: &str, params: Json) -> Option<Json> {
+        let line = self.request_line(method, params);
+        self.writer.write_all(line.as_bytes()).ok()?;
+        self.writer.write_all(b"\n").ok()?;
+        self.writer.flush().ok()?;
+        loop {
+            let mut reply = String::new();
+            self.reader.read_line(&mut reply).ok()?;
+            if reply.is_empty() {
+                return None;
+            }
+            let doc = Json::parse(reply.trim()).ok()?;
+            match doc.get("id") {
+                Some(Json::Null) | None => {}
+                Some(_) => return Some(doc),
+            }
+        }
+    }
+}
+
+fn result_of(doc: &Json) -> &Json {
+    doc.get("result")
+        .unwrap_or_else(|| panic!("expected result, got {doc}"))
+}
+
+fn error_code(doc: &Json) -> i64 {
+    let e = doc
+        .get("error")
+        .unwrap_or_else(|| panic!("expected error, got {doc}"));
+    match e.get("code").expect("error has code") {
+        Json::Num(n) => *n as i64,
+        other => panic!("non-numeric code {other}"),
+    }
+}
+
+fn refine_params(src: &str, tgt: &str) -> Json {
+    Json::obj(vec![("src", Json::str(src)), ("tgt", Json::str(tgt))])
+}
+
+/// A fuzz submission big enough to still be running when we act.
+fn long_fuzz(seed: u64) -> Json {
+    Json::obj(vec![
+        ("kind", Json::str("fuzz")),
+        ("cases", Json::num(2_000_000)),
+        ("seed", Json::num(seed)),
+    ])
+}
+
+fn job_id(doc: &Json) -> u64 {
+    result_of(doc)
+        .get("job")
+        .expect("job id")
+        .as_u64("job")
+        .expect("u64")
+}
+
+fn wait_for_running(c: &mut Client, id: u64) {
+    let t0 = Instant::now();
+    loop {
+        let doc = c.call("job.status", Json::obj(vec![("job", Json::num(id))]));
+        let state = result_of(&doc).get("state").expect("state");
+        if state == &Json::str("running") {
+            return;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "job {id} never started: {state}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Leg 1: slow loris.
+// ---------------------------------------------------------------------
+
+#[test]
+fn slow_loris_clients_are_evicted_with_a_structured_error() {
+    let dir = tmp_dir("loris");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut daemon = spawn_daemon(&dir, &["--read-timeout-ms", "250"]);
+
+    // Half a frame, then silence: the deadline must fire even though
+    // bytes did arrive (the clock covers the whole frame, not a gap).
+    let mut s = TcpStream::connect(&daemon.addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    s.write_all(br#"{"jsonrpc":"2.0","id":1,"met"#)
+        .expect("partial frame");
+    s.flush().expect("flush");
+    let mut reader = BufReader::new(s);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("error line");
+    let doc = Json::parse(line.trim()).expect("error line parses");
+    assert_eq!(error_code(&doc), -32006, "SLOW_CLIENT: {doc}");
+    // Then EOF: the connection is gone, not wedged.
+    line.clear();
+    reader.read_line(&mut line).expect("read after eviction");
+    assert!(line.is_empty(), "expected EOF after eviction, got {line:?}");
+
+    // The daemon is unharmed: a prompt client round-trips.
+    let mut c = daemon.connect();
+    let doc = c.call("refine.check", refine_params("return 1;", "return 1;"));
+    assert!(doc.get("result").is_some(), "healthy after eviction: {doc}");
+    daemon.assert_alive();
+
+    c.call("server.shutdown", Json::obj(vec![]));
+    let status = daemon.child.wait().expect("daemon exits");
+    assert!(status.success(), "clean exit, got {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Leg 2: oversized frame.
+// ---------------------------------------------------------------------
+
+#[test]
+fn oversized_frames_draw_frame_too_large_not_an_oom() {
+    let dir = tmp_dir("frame");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut daemon = spawn_daemon(&dir, &["--max-frame-bytes", "512"]);
+
+    let mut s = TcpStream::connect(&daemon.addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    // 4 KiB without a newline. The daemon may close mid-send, so the
+    // writes are tolerant (EPIPE here is the defense working).
+    let huge = format!(
+        r#"{{"jsonrpc":"2.0","id":1,"method":"server.stats","params":{{"pad":"{}"}}}}"#,
+        "x".repeat(4096)
+    );
+    let _ = s.write_all(huge.as_bytes());
+    let _ = s.write_all(b"\n");
+    let _ = s.flush();
+    let mut reader = BufReader::new(s);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("error line");
+    let doc = Json::parse(line.trim()).expect("error line parses");
+    assert_eq!(error_code(&doc), -32005, "FRAME_TOO_LARGE: {doc}");
+
+    let mut c = daemon.connect();
+    let doc = c.call("server.stats", Json::obj(vec![]));
+    assert!(doc.get("result").is_some(), "healthy after rejection");
+    daemon.assert_alive();
+
+    c.call("server.shutdown", Json::obj(vec![]));
+    let _ = daemon.child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Leg 3: connection cap + admission control.
+// ---------------------------------------------------------------------
+
+#[test]
+fn connection_cap_and_saturated_queue_shed_load_with_hints() {
+    let dir = tmp_dir("overload");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut daemon = spawn_daemon(
+        &dir,
+        &["--max-conns", "1", "--workers", "1", "--queue-depth", "1"],
+    );
+    let mut c1 = daemon.connect();
+
+    // The second connection is rejected at the door with a structured
+    // error, while the first is untouched.
+    let s2 = TcpStream::connect(&daemon.addr).expect("second connect");
+    s2.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut r2 = BufReader::new(s2);
+    let mut line = String::new();
+    r2.read_line(&mut line).expect("rejection line");
+    let doc = Json::parse(line.trim()).expect("rejection parses");
+    assert_eq!(error_code(&doc), -32007, "TOO_MANY_CONNS: {doc}");
+    drop(r2);
+
+    // Saturate: one running, one queued, the third is shed with a
+    // retry hint derived from queue depth and recent latency.
+    let a = job_id(&c1.call("job.submit", long_fuzz(11)));
+    wait_for_running(&mut c1, a);
+    let b = job_id(&c1.call("job.submit", long_fuzz(12)));
+    let doc = c1.call("job.submit", long_fuzz(13));
+    assert_eq!(error_code(&doc), -32002, "OVERLOADED: {doc}");
+    let data = doc
+        .get("error")
+        .expect("error")
+        .get("data")
+        .expect("structured data");
+    let retry = data
+        .get("retry_after_ms")
+        .expect("retry_after_ms")
+        .as_u64("retry_after_ms")
+        .expect("u64");
+    assert!(retry >= 10, "retry hint must be actionable, got {retry}");
+    assert_eq!(
+        data.get("queue_capacity").expect("capacity"),
+        &Json::num(1),
+        "hint carries the capacity: {data}"
+    );
+
+    for id in [a, b] {
+        c1.call("job.cancel", Json::obj(vec![("job", Json::num(id))]));
+    }
+    daemon.assert_alive();
+    c1.call("server.shutdown", Json::obj(vec![]));
+    let _ = daemon.child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Leg 4: graceful drain.
+// ---------------------------------------------------------------------
+
+/// Reads a CRC-enveloped journal record and returns its payload state.
+fn journal_state(dir: &std::path::Path, id: u64) -> String {
+    let path = dir.join("jobs").join(format!("job-{id}.json"));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let doc = Json::parse(text.trim()).expect("journal record parses");
+    doc.get("payload")
+        .expect("envelope payload")
+        .get("state")
+        .expect("job state")
+        .as_str("state")
+        .expect("string state")
+        .to_string()
+}
+
+#[test]
+fn drain_shutdown_journals_the_queue_and_cancels_stragglers() {
+    let dir = tmp_dir("drain");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut daemon = spawn_daemon(&dir, &["--workers", "1", "--drain-timeout-ms", "400"]);
+    let mut c = daemon.connect();
+
+    let a = job_id(&c.call("job.submit", long_fuzz(21)));
+    wait_for_running(&mut c, a);
+    let b = job_id(&c.call("job.submit", long_fuzz(22)));
+
+    // Drain: the reply reports the books as of the drain decision.
+    let doc = c.call(
+        "server.shutdown",
+        Json::obj(vec![("drain", Json::Bool(true))]),
+    );
+    let r = result_of(&doc);
+    assert_eq!(r.get("drain").expect("drain"), &Json::Bool(true));
+    assert_eq!(r.get("running").expect("running"), &Json::num(1));
+    assert_eq!(r.get("queued").expect("queued"), &Json::num(1));
+
+    // New work is refused while draining.
+    let mut c2 = daemon.connect();
+    let doc = c2.call("job.submit", long_fuzz(23));
+    assert_eq!(error_code(&doc), -32008, "DRAINING: {doc}");
+
+    // The straggler is canceled at the drain deadline and the daemon
+    // exits cleanly on its own.
+    let status = daemon.child.wait().expect("daemon exits after drain");
+    assert!(status.success(), "drain exit, got {status:?}");
+    assert_eq!(journal_state(&dir, a), "canceled", "straggler canceled");
+    assert_eq!(journal_state(&dir, b), "queued", "queued job preserved");
+
+    // The next daemon picks the queued job back up.
+    let mut daemon = spawn_daemon(&dir, &["--workers", "1"]);
+    let mut line = String::new();
+    daemon.stdout.read_line(&mut line).expect("recovery line");
+    assert!(
+        line.contains("recovered 1 interrupted job"),
+        "unexpected recovery line: {line:?}"
+    );
+    let mut c = daemon.connect();
+    c.call("job.cancel", Json::obj(vec![("job", Json::num(b))]));
+    c.call("server.shutdown", Json::obj(vec![]));
+    let _ = daemon.child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Leg 5: the deterministic fault proxy.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fault_proxy_gauntlet_matches_the_plan_and_never_kills_the_daemon() {
+    let dir = tmp_dir("proxy");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut daemon = spawn_daemon(&dir, &["--workers", "2"]);
+    let plan = ChaosPlan {
+        seed: 0xC0FFEE,
+        tear_per_mille: 200,
+        disconnect_per_mille: 150,
+        garbage_per_mille: 150,
+        stall_per_mille: 150,
+        stall: Duration::from_millis(10),
+    };
+    let proxy = ChaosProxy::start(daemon.sock_addr(), plan.clone()).expect("proxy starts");
+    let proxy_addr = proxy.addr().to_string();
+
+    // One request per connection, connections strictly sequential, so
+    // connection i sees exactly plan.action(i, 0) on its only frame —
+    // the expectation is computed, not guessed.
+    let mut seen = [0usize; 5];
+    for conn in 0..24u64 {
+        let action = plan.action(conn, 0);
+        seen[action as usize] += 1;
+        let mut c = Client::connect(&proxy_addr);
+        let params = refine_params(&format!("return {conn};"), &format!("return {conn};"));
+        match (action, c.try_call("refine.check", params)) {
+            (ChaosAction::Disconnect, reply) => {
+                assert!(
+                    reply.is_none(),
+                    "conn {conn}: a severed request must not produce a reply"
+                );
+            }
+            (_, Some(doc)) => {
+                let verdict = result_of(&doc)
+                    .get("result")
+                    .expect("payload")
+                    .get("verdict")
+                    .expect("verdict");
+                assert_eq!(verdict, &Json::str("holds"), "conn {conn} ({action:?})");
+            }
+            (_, None) => panic!("conn {conn}: {action:?} must still get an answer"),
+        }
+        // Drop the client before the next connection so proxy
+        // connection indices stay sequential.
+    }
+    // The fixed seed exercises every failure mode at least once.
+    for (i, label) in ["pass", "tear", "disconnect", "stall", "garbage"]
+        .iter()
+        .enumerate()
+    {
+        assert!(seen[i] > 0, "seed must exercise {label}: {seen:?}");
+    }
+
+    proxy.stop();
+    daemon.assert_alive();
+    let mut c = daemon.connect();
+    let doc = c.call("server.stats", Json::obj(vec![]));
+    assert!(doc.get("result").is_some(), "daemon healthy after gauntlet");
+    c.call("server.shutdown", Json::obj(vec![]));
+    let status = daemon.child.wait().expect("daemon exits");
+    assert!(
+        status.success(),
+        "clean exit after gauntlet, got {status:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Leg 6: corrupt durable state.
+// ---------------------------------------------------------------------
+
+#[test]
+fn corrupt_journal_and_cache_files_are_quarantined_on_restart() {
+    let dir = tmp_dir("corrupt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut daemon = spawn_daemon(&dir, &[]);
+    let mut c = daemon.connect();
+    for i in 0..3 {
+        let p = refine_params(&format!("r := {i}; return r;"), &format!("return {i};"));
+        let doc = c.call("refine.check", p);
+        assert!(doc.get("result").is_some(), "seed job {i}: {doc}");
+    }
+    c.call("server.shutdown", Json::obj(vec![]));
+    let _ = daemon.child.wait();
+
+    // Damage two journal records and two cache entries, one per
+    // corruption class.
+    corrupt_file(&dir.join("jobs").join("job-1.json"), FileChaos::Truncate)
+        .expect("truncate journal");
+    corrupt_file(&dir.join("jobs").join("job-2.json"), FileChaos::Empty).expect("empty journal");
+    let mut cache_files: Vec<PathBuf> = std::fs::read_dir(dir.join("cache"))
+        .expect("cache dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    cache_files.sort();
+    assert_eq!(cache_files.len(), 3, "three cached verdicts");
+    corrupt_file(&cache_files[0], FileChaos::FlipByte).expect("flip cache byte");
+    corrupt_file(&cache_files[1], FileChaos::Garbage).expect("garbage cache");
+
+    // Restart: every damaged record is quarantined, counted, and the
+    // daemon serves as if nothing happened.
+    let mut daemon = spawn_daemon(&dir, &[]);
+    let mut c = daemon.connect();
+    let stats = c.call("server.stats", Json::obj(vec![]));
+    let q = result_of(&stats).get("quarantine").expect("quarantine");
+    assert_eq!(q.get("journal").expect("journal"), &Json::num(2), "{q}");
+    assert_eq!(q.get("cache").expect("cache"), &Json::num(2), "{q}");
+    let entries = result_of(&stats)
+        .get("cache")
+        .expect("cache stats")
+        .get("entries")
+        .expect("entries");
+    assert_eq!(entries, &Json::num(1), "one cache survivor");
+    let kept = std::fs::read_dir(dir.join("quarantine"))
+        .expect("quarantine dir")
+        .count();
+    assert_eq!(kept, 4, "all four corpses kept for forensics");
+
+    // Still a working daemon: fresh jobs verify, old ones were not
+    // silently resurrected from corrupt records.
+    let doc = c.call("refine.check", refine_params("return 9;", "return 9;"));
+    assert!(doc.get("result").is_some(), "healthy after quarantine");
+    daemon.assert_alive();
+    c.call("server.shutdown", Json::obj(vec![]));
+    let status = daemon.child.wait().expect("daemon exits");
+    assert!(status.success(), "clean exit, got {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Leg 7: fixed-seed soak (opt-in via --ignored; CI runs it gated on
+// zero daemon crashes).
+// ---------------------------------------------------------------------
+
+#[test]
+#[ignore = "soak leg: run explicitly (cargo test --features chaos -- --ignored)"]
+fn chaos_soak_fixed_seed_never_crashes_the_daemon() {
+    let dir = tmp_dir("soak");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut daemon = spawn_daemon(&dir, &["--workers", "2"]);
+    let plan = ChaosPlan {
+        seed: 0x50AC,
+        tear_per_mille: 120,
+        disconnect_per_mille: 100,
+        garbage_per_mille: 100,
+        stall_per_mille: 100,
+        stall: Duration::from_millis(5),
+    };
+    let proxy = ChaosProxy::start(daemon.sock_addr(), plan).expect("proxy starts");
+    let proxy_addr = proxy.addr().to_string();
+
+    // Four clients, 25 requests each, every request a fresh proxied
+    // connection. Interleaving varies, but each connection's fate is
+    // still a pure function of (seed, its connection index).
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let addr = proxy_addr.clone();
+            std::thread::spawn(move || {
+                let mut ok = 0usize;
+                for i in 0..25 {
+                    let mut c = Client::connect(&addr);
+                    let p = refine_params(
+                        &format!("r := {t} + {i}; return r;"),
+                        &format!("return {t} + {i};"),
+                    );
+                    if let Some(doc) = c.try_call("refine.check", p) {
+                        if doc.get("result").is_some() {
+                            ok += 1;
+                        }
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+    let ok: usize = handles.into_iter().map(|h| h.join().expect("client")).sum();
+    assert!(ok > 0, "some requests must get through the chaos");
+
+    proxy.stop();
+    // The only gate that matters: the daemon survived everything.
+    daemon.assert_alive();
+    let mut c = daemon.connect();
+    let doc = c.call("server.stats", Json::obj(vec![]));
+    assert!(doc.get("result").is_some(), "daemon healthy after soak");
+    c.call("server.shutdown", Json::obj(vec![]));
+    let status = daemon.child.wait().expect("daemon exits");
+    assert!(status.success(), "zero-crash gate, got {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

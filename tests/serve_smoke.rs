@@ -349,6 +349,11 @@ fn cli_flag_bind_and_probe_failures_use_the_exit_code_contract() {
     assert_eq!(serve_exit(&["--workers", "0"]), 2);
     assert_eq!(serve_exit(&["--workers"]), 2, "missing flag value");
     assert_eq!(serve_exit(&["--no-such-flag"]), 2);
+    assert_eq!(serve_exit(&["--max-conns", "0"]), 2, "cap of zero");
+    assert_eq!(serve_exit(&["--max-frame-bytes", "16"]), 2, "frame < 256");
+    assert_eq!(serve_exit(&["--read-timeout-ms", "0"]), 2, "zero deadline");
+    assert_eq!(serve_exit(&["--drain-timeout-ms", "abc"]), 2);
+    assert_eq!(serve_exit(&["--probe-attempts", "0"]), 2, "zero attempts");
 
     // Bind failure: exit 10. Occupy a port with a live daemon first.
     let dir_a = tmp_dir("bind-a");
