@@ -21,7 +21,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use seqwm_explore::{CounterSnapshot, ExploreConfig};
+use seqwm_explore::{CounterSnapshot, ExploreConfig, SpillSpec};
 use seqwm_fuzz::{run_campaign, FuzzConfig};
 use seqwm_litmus::concurrent::find_concurrent;
 use seqwm_litmus::scaling::{mp_chain, na_disjoint, sb_ring};
@@ -224,6 +224,33 @@ fn bench_scaling(reg: &mut Registrar<'_>) {
                 ("n".into(), ring.n as u64),
                 ("workers".into(), 1),
                 ("states".into(), e.stats.states as u64),
+            ]
+        });
+    }
+
+    // sb-ring with the visited set forced out to disk (spill budget
+    // 0) against the in-RAM run above: the overhead price of
+    // out-of-core exploration on a pure-interleaving load. The `spill`
+    // counters in the result prove the disk path actually ran; states
+    // must match the in-RAM case exactly (spilling is lossless).
+    {
+        let ring = ring.clone();
+        let dir = std::env::temp_dir().join(format!("seqwm-bench-spill-{}", std::process::id()));
+        let ecfg = ExploreConfig {
+            spill: Some(SpillSpec::new(&dir).budget_bytes(0)),
+            ..engine_config(&ring.config())
+        };
+        let name = format!("{}/spill", ring.name);
+        reg.bench("scaling", &name, move || {
+            let e = ring.explore(&ecfg);
+            let _ = std::fs::remove_dir_all(&dir);
+            vec![
+                ("n".into(), ring.n as u64),
+                ("workers".into(), 1),
+                ("states".into(), e.stats.states as u64),
+                ("spill_shards".into(), e.stats.spill_shards),
+                ("spill_bytes".into(), e.stats.spill_bytes),
+                ("spill_probes".into(), e.stats.spill_probes),
             ]
         });
     }

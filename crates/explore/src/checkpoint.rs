@@ -23,7 +23,7 @@
 //!
 //! ```text
 //! magic   4  b"SQWM"
-//! version 1  = 1
+//! version 1  = 2
 //! level   1  visited representation: 1 = fp128, 2 = fp64
 //! digest  8  fp64 of the initial state (system identity check)
 //! states  8  cumulative distinct states expanded
@@ -32,6 +32,9 @@
 //! visited  8 + n×(8|16 + 8)   count, then fingerprint + sleep mask
 //! frontier 8 + Σ(1 + 8 + 4 + 4·len)  flags, sleep, path len, path
 //! behaviors 8 + Σ(1 + [4] + 4 + 4·len)  kind, [emit idx], path
+//! spill    4 + 8 + Σ(4 + name + 4 + 1 + 8 + 8)
+//!             shard count at save, manifest count, then per segment:
+//!             name len + name, shard, level, entries, checksum
 //! checksum 8  fp64 of every preceding byte
 //! ```
 //!
@@ -42,10 +45,13 @@ use std::path::Path;
 
 use crate::error::{CorruptReason, ExploreWarning};
 use crate::fingerprint::fp64;
+use crate::spill::{valid_segment_name, SpillSeg};
 
 const MAGIC: &[u8; 4] = b"SQWM";
-/// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u8 = 1;
+/// Current checkpoint format version. Version 2 added the spill
+/// manifest (the shard count at save time plus one record per
+/// disk-resident spill segment) after the behaviors section.
+pub const CHECKPOINT_VERSION: u8 = 2;
 
 /// Visited representation stored on disk: 128-bit fingerprints.
 pub(crate) const LEVEL_FP128: u8 = 1;
@@ -104,21 +110,28 @@ pub(crate) struct CheckpointData {
     pub visited128: Vec<(u128, u64)>,
     pub frontier: Vec<SavedJob>,
     pub behaviors: Vec<SavedBehavior>,
+    /// Visited shard count when the manifest was taken. Spill-segment
+    /// placement is `fp % shards`, so a resume with a different shard
+    /// count must ignore the manifest.
+    pub spill_shards: u32,
+    /// Disk-resident spill segments this checkpoint's frontier depends
+    /// on; a resume re-adopts (and re-validates) each one.
+    pub spill: Vec<SpillSeg>,
 }
 
 // ---------------------------------------------------------------------------
 // Encoding
 // ---------------------------------------------------------------------------
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_path(out: &mut Vec<u8>, path: &[u32]) {
+pub(crate) fn put_path(out: &mut Vec<u8>, path: &[u32]) {
     put_u32(out, path.len() as u32);
     for &idx in path {
         put_u32(out, idx);
@@ -185,6 +198,16 @@ pub(crate) fn encode(data: &CheckpointData) -> Vec<u8> {
         }
         put_path(&mut out, &b.path);
     }
+    put_u32(&mut out, data.spill_shards);
+    put_u64(&mut out, data.spill.len() as u64);
+    for seg in &data.spill {
+        put_u32(&mut out, seg.name.len() as u32);
+        out.extend_from_slice(seg.name.as_bytes());
+        put_u32(&mut out, seg.shard);
+        out.push(seg.level);
+        put_u64(&mut out, seg.entries);
+        put_u64(&mut out, seg.checksum);
+    }
     let sum = fp64(&out);
     put_u64(&mut out, sum);
     out
@@ -194,13 +217,13 @@ pub(crate) fn encode(data: &CheckpointData) -> Vec<u8> {
 // Decoding
 // ---------------------------------------------------------------------------
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CorruptReason> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], CorruptReason> {
         if self.pos + n > self.buf.len() {
             return Err(CorruptReason::TooShort);
         }
@@ -209,17 +232,17 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, CorruptReason> {
+    pub(crate) fn u8(&mut self) -> Result<u8, CorruptReason> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, CorruptReason> {
+    pub(crate) fn u32(&mut self) -> Result<u32, CorruptReason> {
         let mut w = [0u8; 4];
         w.copy_from_slice(self.take(4)?);
         Ok(u32::from_le_bytes(w))
     }
 
-    fn u64(&mut self) -> Result<u64, CorruptReason> {
+    pub(crate) fn u64(&mut self) -> Result<u64, CorruptReason> {
         let mut w = [0u8; 8];
         w.copy_from_slice(self.take(8)?);
         Ok(u64::from_le_bytes(w))
@@ -229,7 +252,11 @@ impl<'a> Reader<'a> {
     /// counted item occupies at least `min_item` bytes, so a count
     /// that implies more data than exists is malformed (and protects
     /// the decoder from absurd preallocations).
-    fn count(&mut self, min_item: usize, what: &'static str) -> Result<usize, CorruptReason> {
+    pub(crate) fn count(
+        &mut self,
+        min_item: usize,
+        what: &'static str,
+    ) -> Result<usize, CorruptReason> {
         let n = self.u64()? as usize;
         if n.saturating_mul(min_item.max(1)) > self.buf.len().saturating_sub(self.pos) {
             return Err(CorruptReason::Malformed(what));
@@ -237,7 +264,7 @@ impl<'a> Reader<'a> {
         Ok(n)
     }
 
-    fn path(&mut self) -> Result<Vec<u32>, CorruptReason> {
+    pub(crate) fn path(&mut self) -> Result<Vec<u32>, CorruptReason> {
         let len = self.u32()? as usize;
         if len.saturating_mul(4) > self.buf.len().saturating_sub(self.pos) {
             return Err(CorruptReason::Malformed("path length"));
@@ -340,6 +367,36 @@ pub(crate) fn decode(buf: &[u8]) -> Result<CheckpointData, CorruptReason> {
         let path = r.path()?;
         data.behaviors.push(SavedBehavior { emit, path });
     }
+    data.spill_shards = r.u32()?;
+    let n = r.count(25, "spill manifest count")?;
+    data.spill.reserve(n);
+    for _ in 0..n {
+        let name_len = r.u32()? as usize;
+        if name_len > 128 {
+            return Err(CorruptReason::Malformed("spill segment name length"));
+        }
+        let name = match std::str::from_utf8(r.take(name_len)?) {
+            Ok(s) => s.to_string(),
+            Err(_) => return Err(CorruptReason::Malformed("spill segment name")),
+        };
+        if !valid_segment_name(&name) {
+            return Err(CorruptReason::Malformed("spill segment name"));
+        }
+        let shard = r.u32()?;
+        let level = r.u8()?;
+        if level != LEVEL_FP128 && level != LEVEL_FP64 {
+            return Err(CorruptReason::Malformed("spill segment level"));
+        }
+        let entries = r.u64()?;
+        let checksum = r.u64()?;
+        data.spill.push(SpillSeg {
+            name,
+            shard,
+            level,
+            entries,
+            checksum,
+        });
+    }
     if r.pos != body.len() {
         return Err(CorruptReason::Malformed("trailing bytes"));
     }
@@ -414,6 +471,23 @@ mod tests {
                     path: vec![0, 0],
                 },
             ],
+            spill_shards: 16,
+            spill: vec![
+                SpillSeg {
+                    name: "seg-3-0.spill".to_string(),
+                    shard: 3,
+                    level: LEVEL_FP64,
+                    entries: 11,
+                    checksum: 0xFEED_BEEF,
+                },
+                SpillSeg {
+                    name: "seg-0-1.spill".to_string(),
+                    shard: 0,
+                    level: LEVEL_FP128,
+                    entries: 2,
+                    checksum: 1,
+                },
+            ],
         }
     }
 
@@ -486,6 +560,28 @@ mod tests {
             decode(&bytes),
             Err(CorruptReason::Malformed("visited count"))
         );
+    }
+
+    #[test]
+    fn hostile_spill_manifest_names_rejected() {
+        // encode() does not validate names (the engine only produces
+        // valid ones); decode() must, so a forged checkpoint cannot
+        // steer the resume at files outside the spill dir.
+        for bad in ["../escape.spill", ".hidden", "a/b.spill", ""] {
+            let mut data = sample();
+            data.spill = vec![SpillSeg {
+                name: bad.to_string(),
+                shard: 0,
+                level: LEVEL_FP64,
+                entries: 0,
+                checksum: 0,
+            }];
+            assert_eq!(
+                decode(&encode(&data)),
+                Err(CorruptReason::Malformed("spill segment name")),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]

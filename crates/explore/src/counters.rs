@@ -50,6 +50,15 @@ pub static SERVE_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 pub static SERVE_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 /// Serve-daemon result-cache evictions (LRU capacity pressure).
 pub static SERVE_CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+/// Visited-set shards spilled to disk under memory pressure.
+pub static SPILL_SHARDS: AtomicU64 = AtomicU64::new(0);
+/// Bytes of spill-segment data written to disk.
+pub static SPILL_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Membership probes that touched a spilled segment on disk (Bloom
+/// summary hits; summary misses cost no I/O and are not counted).
+pub static SPILL_PROBES: AtomicU64 = AtomicU64::new(0);
+/// Disk probes that found the fingerprint in a spilled segment.
+pub static SPILL_HITS: AtomicU64 = AtomicU64::new(0);
 
 /// Adds `n` to a counter (relaxed; counters are monotone and only
 /// read via before/after snapshots).
@@ -103,6 +112,14 @@ pub struct CounterSnapshot {
     pub serve_cache_misses: u64,
     /// [`SERVE_CACHE_EVICTIONS`] at capture time.
     pub serve_cache_evictions: u64,
+    /// [`SPILL_SHARDS`] at capture time.
+    pub spill_shards: u64,
+    /// [`SPILL_BYTES`] at capture time.
+    pub spill_bytes: u64,
+    /// [`SPILL_PROBES`] at capture time.
+    pub spill_probes: u64,
+    /// [`SPILL_HITS`] at capture time.
+    pub spill_hits: u64,
 }
 
 impl CounterSnapshot {
@@ -123,6 +140,10 @@ impl CounterSnapshot {
             serve_cache_hits: SERVE_CACHE_HITS.load(Ordering::Relaxed),
             serve_cache_misses: SERVE_CACHE_MISSES.load(Ordering::Relaxed),
             serve_cache_evictions: SERVE_CACHE_EVICTIONS.load(Ordering::Relaxed),
+            spill_shards: SPILL_SHARDS.load(Ordering::Relaxed),
+            spill_bytes: SPILL_BYTES.load(Ordering::Relaxed),
+            spill_probes: SPILL_PROBES.load(Ordering::Relaxed),
+            spill_hits: SPILL_HITS.load(Ordering::Relaxed),
         }
     }
 
@@ -156,11 +177,16 @@ impl CounterSnapshot {
             serve_cache_evictions: self
                 .serve_cache_evictions
                 .saturating_sub(earlier.serve_cache_evictions),
+            spill_shards: self.spill_shards.saturating_sub(earlier.spill_shards),
+            spill_bytes: self.spill_bytes.saturating_sub(earlier.spill_bytes),
+            spill_probes: self.spill_probes.saturating_sub(earlier.spill_probes),
+            spill_hits: self.spill_hits.saturating_sub(earlier.spill_hits),
         }
     }
 
-    /// `(name, value)` pairs in a fixed order, for serialization.
-    pub fn entries(&self) -> [(&'static str, u64); 14] {
+    /// `(name, value)` pairs in a fixed order, for serialization. New
+    /// counters are appended, never inserted, so indices are stable.
+    pub fn entries(&self) -> [(&'static str, u64); 18] {
         [
             ("states", self.states),
             ("transitions", self.transitions),
@@ -176,6 +202,10 @@ impl CounterSnapshot {
             ("serve_cache_hits", self.serve_cache_hits),
             ("serve_cache_misses", self.serve_cache_misses),
             ("serve_cache_evictions", self.serve_cache_evictions),
+            ("spill_shards", self.spill_shards),
+            ("spill_bytes", self.spill_bytes),
+            ("spill_probes", self.spill_probes),
+            ("spill_hits", self.spill_hits),
         ]
     }
 }
@@ -226,6 +256,8 @@ mod tests {
         assert_eq!(names[10], "refine_enumerations");
         assert_eq!(names[11], "serve_cache_hits");
         assert_eq!(names[13], "serve_cache_evictions");
-        assert_eq!(names.len(), 14);
+        assert_eq!(names[14], "spill_shards");
+        assert_eq!(names[17], "spill_hits");
+        assert_eq!(names.len(), 18);
     }
 }

@@ -69,6 +69,7 @@ use crate::error::{
 };
 use crate::fingerprint::{fp128, fp64};
 use crate::rng::{mix64, SplitMix64};
+use crate::spill::{FrontierLoad, SpillSeg, SpillSpec, SpillStore};
 use crate::stats::ExploreStats;
 use crate::system::{groups_independent, Target, TransitionSystem};
 
@@ -175,6 +176,12 @@ pub struct ExploreConfig {
     /// Resume from a previous checkpoint. An unreadable or corrupt
     /// file falls back to a fresh run with a warning.
     pub resume: Option<PathBuf>,
+    /// Spill cold visited-set shards (and single-worker DFS frontier
+    /// segments) to disk under memory pressure, *before* the lossy
+    /// exact → fp128 → fp64 ladder is consulted (DFS/BFS only). Disk
+    /// failures fall back to the in-RAM ladder; corrupt segments are
+    /// quarantined and read as unvisited.
+    pub spill: Option<SpillSpec>,
     /// Deterministic fault schedule for hardening tests.
     #[cfg(feature = "fault-injection")]
     pub fault: Option<crate::fault::FaultPlan>,
@@ -196,6 +203,7 @@ impl Default for ExploreConfig {
             max_retries: 1,
             checkpoint: None,
             resume: None,
+            spill: None,
             #[cfg(feature = "fault-injection")]
             fault: None,
         }
@@ -370,8 +378,12 @@ struct Visited<St> {
     /// Global ladder rung; shards at a lower (more precise) rung
     /// migrate lazily on their next insertion.
     level: AtomicU8,
-    /// Approximate entry count (drives the memory estimate).
+    /// Approximate entry count (drives the memory estimate; spilled
+    /// entries stop counting — they no longer occupy RAM).
     entries: AtomicUsize,
+    /// Disk spill store, when configured. Lock order: a shard's mutex
+    /// is always taken before the store's per-shard segment list.
+    spill: Option<SpillStore>,
 }
 
 impl<St: Clone + Eq + std::hash::Hash> Visited<St> {
@@ -389,6 +401,7 @@ impl<St: Clone + Eq + std::hash::Hash> Visited<St> {
                 .collect(),
             level: AtomicU8::new(level),
             entries: AtomicUsize::new(0),
+            spill: None,
         }
     }
 
@@ -401,23 +414,50 @@ impl<St: Clone + Eq + std::hash::Hash> Visited<St> {
             let old_len = g.len();
             let taken = std::mem::replace(g, ShardMap::Fp64(HashMap::new()));
             *g = taken.degrade_once();
+            // Degrading is a key projection: it can merge colliding
+            // pairs (mask intersection) but never invent entries.
+            debug_assert!(
+                g.len() <= old_len,
+                "degrade_once grew a shard: {} -> {}",
+                old_len,
+                g.len()
+            );
             self.entries.fetch_sub(old_len - g.len(), Ordering::Relaxed);
         }
     }
 
     /// Records a visit of `st` with sleep mask `mask`. Returns the
     /// mask to explore with, or `None` if a previous visit covers it.
+    ///
+    /// When the entry is RAM-vacant, any spilled segments of its shard
+    /// are probed first; a disk hit re-adopts the (tightest) disk mask
+    /// into RAM, so the decision is identical to the one an in-RAM run
+    /// would have made at that point. The re-adopted RAM mask is always
+    /// a subset of every on-disk mask for the same key, which keeps the
+    /// covering test sound across repeated spills.
     fn check_insert(&self, st: &St, mask: u64) -> Option<u64> {
         fn upd<K: Eq + std::hash::Hash>(
             map: &mut HashMap<K, u64>,
             k: K,
             mask: u64,
+            disk: Option<u64>,
         ) -> (Option<u64>, bool) {
             match map.entry(k) {
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    v.insert(mask);
-                    (Some(mask), true)
-                }
+                std::collections::hash_map::Entry::Vacant(v) => match disk {
+                    Some(old) if old & !mask == 0 => {
+                        v.insert(old);
+                        (None, true)
+                    }
+                    Some(old) => {
+                        let m = old & mask;
+                        v.insert(m);
+                        (Some(m), true)
+                    }
+                    None => {
+                        v.insert(mask);
+                        (Some(mask), true)
+                    }
+                },
                 std::collections::hash_map::Entry::Occupied(mut o) => {
                     let old = *o.get();
                     if old & !mask == 0 {
@@ -432,12 +472,35 @@ impl<St: Clone + Eq + std::hash::Hash> Visited<St> {
         }
         let f = fp64(st);
         let target = self.level.load(Ordering::Relaxed);
-        let mut g = relock(&self.shards[self.shard_of(f)]);
+        let shard = self.shard_of(f);
+        let mut g = relock(&self.shards[shard]);
         self.sync_shard(&mut g, target);
         let (result, inserted) = match &mut *g {
-            ShardMap::Exact(m) => upd(m, st.clone(), mask),
-            ShardMap::Fp128(m) => upd(m, fp128(st), mask),
-            ShardMap::Fp64(m) => upd(m, f, mask),
+            ShardMap::Exact(m) => {
+                let disk = if m.contains_key(st) {
+                    None
+                } else {
+                    self.spill_probe(shard, f, || fp128(st))
+                };
+                upd(m, st.clone(), mask, disk)
+            }
+            ShardMap::Fp128(m) => {
+                let k = fp128(st);
+                let disk = if m.contains_key(&k) {
+                    None
+                } else {
+                    self.spill_probe(shard, f, || k)
+                };
+                upd(m, k, mask, disk)
+            }
+            ShardMap::Fp64(m) => {
+                let disk = if m.contains_key(&f) {
+                    None
+                } else {
+                    self.spill_probe(shard, f, || fp128(st))
+                };
+                upd(m, f, mask, disk)
+            }
         };
         drop(g);
         if inserted {
@@ -446,17 +509,102 @@ impl<St: Clone + Eq + std::hash::Hash> Visited<St> {
         result
     }
 
+    /// Probes spilled segments of `shard` for `fp`. `None` when no
+    /// store is attached or the shard has no live segments.
+    fn spill_probe<F: FnOnce() -> u128>(&self, shard: usize, fp: u64, fp128_of: F) -> Option<u64> {
+        match &self.spill {
+            Some(s) if s.has_segments(shard) => s.probe(shard, fp, fp128_of),
+            _ => None,
+        }
+    }
+
     /// Has `st` been visited (with any sleep mask)? Used by the ample
     /// proviso; a false negative only costs reduction, a false
-    /// positive only costs exploration work.
+    /// positive only costs exploration work. Spilled segments are
+    /// consulted (the per-segment fingerprint summary is only a
+    /// gate — summary hits fall through to a real disk probe, so the
+    /// answer never depends on summary false positives).
     fn contains(&self, st: &St) -> bool {
         let f = fp64(st);
-        let g = relock(&self.shards[self.shard_of(f)]);
-        match &*g {
+        let shard = self.shard_of(f);
+        let g = relock(&self.shards[shard]);
+        let in_ram = match &*g {
             ShardMap::Exact(m) => m.contains_key(st),
             ShardMap::Fp128(m) => m.contains_key(&fp128(st)),
             ShardMap::Fp64(m) => m.contains_key(&f),
+        };
+        // Probe while holding the shard lock: the lock order (shard
+        // mutex, then segment list) matches the spill path.
+        in_ram || self.spill_probe(shard, f, || fp128(st)).is_some()
+    }
+
+    /// The spill trigger in bytes, when a store is attached and still
+    /// healthy. `None` sends the memory-budget path straight to the
+    /// in-RAM lossy ladder.
+    fn spill_trigger(&self) -> Option<usize> {
+        self.spill
+            .as_ref()
+            .filter(|s| s.enabled())
+            .map(|s| s.trigger())
+    }
+
+    /// Writes the largest RAM shard out as one spill segment and
+    /// clears it. Returns `false` when nothing worth spilling remains
+    /// (callers then fall back to the lossy ladder) or the write
+    /// failed (data stays in RAM — the write path never drops entries
+    /// it could not durably read back).
+    fn spill_coldest_shard(&self) -> bool {
+        let Some(store) = &self.spill else {
+            return false;
+        };
+        if !store.enabled() {
+            return false;
         }
+        let (mut best, mut best_len) = (0usize, 0usize);
+        for (i, s) in self.shards.iter().enumerate() {
+            let len = relock(s).len();
+            if len > best_len {
+                (best, best_len) = (i, len);
+            }
+        }
+        if best_len < 8 {
+            return false;
+        }
+        let mut g = relock(&self.shards[best]);
+        // Exact entries are fingerprinted on the way out (like the
+        // checkpoint codec): the disk image is fp128-precise.
+        let (level, v64, v128): VisitedSnapshot = match &*g {
+            ShardMap::Exact(m) => (
+                LEVEL_FP128,
+                Vec::new(),
+                m.iter().map(|(st, mask)| (fp128(st), *mask)).collect(),
+            ),
+            ShardMap::Fp128(m) => (
+                LEVEL_FP128,
+                Vec::new(),
+                m.iter().map(|(k, v)| (*k, *v)).collect(),
+            ),
+            ShardMap::Fp64(m) => (
+                LEVEL_FP64,
+                m.iter().map(|(k, v)| (*k, *v)).collect(),
+                Vec::new(),
+            ),
+        };
+        if v64.len() + v128.len() < 8 {
+            return false;
+        }
+        if !store.write_shard(best, level, &v64, &v128) {
+            return false;
+        }
+        let n = g.len();
+        *g = match &*g {
+            ShardMap::Exact(_) => ShardMap::Exact(HashMap::new()),
+            ShardMap::Fp128(_) => ShardMap::Fp128(HashMap::new()),
+            ShardMap::Fp64(_) => ShardMap::Fp64(HashMap::new()),
+        };
+        drop(g);
+        self.entries.fetch_sub(n, Ordering::Relaxed);
+        true
     }
 
     /// Rough bytes held: entries × per-entry cost at the current rung
@@ -722,6 +870,10 @@ struct Shared<'a, S: TransitionSystem> {
     digest: u64,
     /// Counters carried over from the resumed checkpoint.
     base: SavedCounters,
+    /// Frontier spilling is active (spill store configured,
+    /// single-worker DFS): jobs carry replay paths and cold frontier
+    /// halves move to disk when the local deque crosses the threshold.
+    frontier_spill: bool,
 }
 
 impl<S: TransitionSystem> Shared<'_, S> {
@@ -1075,6 +1227,13 @@ fn enforce_memory_budget<S: TransitionSystem>(
             downgrade(stats);
         }
     }
+    // Spill-first, lossy-last: while the spill store is healthy, push
+    // cold shards to disk before consulting the precision ladder. A
+    // dead store (ENOSPC, I/O errors) drops straight through.
+    if let Some(trigger) = sh.visited.spill_trigger() {
+        let size = std::mem::size_of::<S::State>();
+        while sh.visited.memory_estimate(size) > trigger && sh.visited.spill_coldest_shard() {}
+    }
     let Some(budget) = sh.cfg.max_memory else {
         return false;
     };
@@ -1314,7 +1473,7 @@ fn process<S: TransitionSystem>(
             sleep: child_sleep,
             attempt: 0,
             revisit: false,
-            path: if track {
+            path: if track || sh.frontier_spill {
                 Some(Arc::new(PathNode {
                     idx,
                     parent: path.clone(),
@@ -1384,11 +1543,19 @@ fn add_base(stats: &mut ExploreStats, base: &SavedCounters) {
 /// Captures the whole run: visited fingerprints, the global queue plus
 /// `extra` (the calling worker's private frontier), and the behavior
 /// log.
+/// `finalize` governs unreadable spilled-frontier segments: the final
+/// save quarantines them (their jobs are lost, reported separately),
+/// a periodic save leaves them on disk and reports how many jobs it
+/// could not fold in (the caller then skips the save). `with_manifest`
+/// records the live visited spill segments so a resume can re-adopt
+/// them; pass `false` when the segments are about to be deleted.
 fn snapshot<S: TransitionSystem>(
     sh: &Shared<S>,
     extra: &VecDeque<Job<S::State>>,
     counters: SavedCounters,
-) -> CheckpointData {
+    finalize: bool,
+    with_manifest: bool,
+) -> (CheckpointData, u64) {
     let (level, visited64, visited128) = sh.visited.snapshot();
     let saved_job = |j: &Job<S::State>| SavedJob {
         revisit: j.revisit,
@@ -1396,18 +1563,33 @@ fn snapshot<S: TransitionSystem>(
         path: path_vec(&j.path),
     };
     let q = relock(&sh.queue);
-    let frontier = q.iter().chain(extra.iter()).map(saved_job).collect();
+    let mut frontier: Vec<SavedJob> = q.iter().chain(extra.iter()).map(saved_job).collect();
     drop(q);
-    let behaviors = relock(&sh.behavior_log).clone();
-    CheckpointData {
-        level,
-        digest: sh.digest,
-        counters,
-        visited64,
-        visited128,
-        frontier,
-        behaviors,
+    let mut unreadable = 0u64;
+    let (mut spill_shards, mut spill) = (0u32, Vec::new());
+    if let Some(store) = &sh.visited.spill {
+        let (jobs, lost) = store.frontier_collect(finalize);
+        frontier.extend(jobs);
+        unreadable = lost;
+        if with_manifest {
+            (spill_shards, spill) = store.manifest();
+        }
     }
+    let behaviors = relock(&sh.behavior_log).clone();
+    (
+        CheckpointData {
+            level,
+            digest: sh.digest,
+            counters,
+            visited64,
+            visited128,
+            frontier,
+            behaviors,
+            spill_shards,
+            spill,
+        },
+        unreadable,
+    )
 }
 
 /// Periodic mid-run save: single-worker durable runs only (a parallel
@@ -1431,22 +1613,134 @@ fn maybe_save<S: TransitionSystem>(
         return;
     }
     *last = Instant::now();
-    let data = snapshot(sh, local, counters_from(&sh.base, stats));
+    let (data, unreadable) = snapshot(sh, local, counters_from(&sh.base, stats), false, true);
+    if unreadable > 0 {
+        // A spilled frontier segment would not read back: saving now
+        // would drop its jobs from the checkpoint. Keep the previous
+        // complete checkpoint and try again next period.
+        stats.warnings.push(ExploreWarning::CheckpointSaveFailed {
+            path: spec.path.clone(),
+            message: format!(
+                "{unreadable} spilled frontier job(s) unreadable; keeping previous checkpoint"
+            ),
+        });
+        return;
+    }
     match checkpoint::save(&spec.path, &data) {
         Ok(()) => stats.checkpoint_saves += 1,
         Err(w) => stats.warnings.push(w),
     }
 }
 
+/// Spills the cold (front) half of a single-worker DFS deque once it
+/// crosses the store's threshold. Spilled jobs stay counted in
+/// `pending`; a failed write pushes them straight back, in order.
+fn maybe_spill_frontier<S: TransitionSystem>(sh: &Shared<S>, local: &mut VecDeque<Job<S::State>>) {
+    if !sh.frontier_spill {
+        return;
+    }
+    let Some(store) = &sh.visited.spill else {
+        return;
+    };
+    if !store.enabled() || local.len() < store.frontier_threshold() {
+        return;
+    }
+    let take = local.len() / 2;
+    // Retry bookkeeping must stay in RAM, and every spilled job needs
+    // a replay path (only the depth-0 root legitimately has none).
+    if local
+        .iter()
+        .take(take)
+        .any(|j| j.attempt != 0 || (j.depth > 0 && j.path.is_none()))
+    {
+        return;
+    }
+    let drained: Vec<Job<S::State>> = local.drain(..take).collect();
+    let saved: Vec<SavedJob> = drained
+        .iter()
+        .map(|j| SavedJob {
+            revisit: j.revisit,
+            sleep: j.sleep,
+            path: path_vec(&j.path),
+        })
+        .collect();
+    if !store.write_frontier(&saved) {
+        for j in drained.into_iter().rev() {
+            local.push_front(j);
+        }
+    }
+}
+
+/// Refills an empty DFS deque from the newest spilled frontier
+/// segment (LIFO, preserving the no-spill pop order). A segment that
+/// fails validation or replay loses its jobs — reported and counted
+/// out of `pending` so the run still terminates.
+fn maybe_reload_frontier<S: TransitionSystem>(
+    sh: &Shared<S>,
+    local: &mut VecDeque<Job<S::State>>,
+    stats: &mut ExploreStats,
+) {
+    if !sh.frontier_spill {
+        return;
+    }
+    let Some(store) = &sh.visited.spill else {
+        return;
+    };
+    while local.is_empty() {
+        match store.pop_frontier() {
+            FrontierLoad::Empty => return,
+            FrontierLoad::Jobs(saved) => {
+                let mut lost = 0u64;
+                for sj in saved {
+                    match catch_unwind(AssertUnwindSafe(|| replay_state(sh.sys, &sj.path))) {
+                        Ok(Ok(st)) => local.push_back(Job {
+                            st,
+                            depth: sj.path.len(),
+                            sleep: sj.sleep,
+                            attempt: 0,
+                            revisit: sj.revisit,
+                            path: arc_path(&sj.path),
+                        }),
+                        _ => lost += 1,
+                    }
+                }
+                if lost > 0 {
+                    sh.pending.fetch_sub(lost as usize, Ordering::SeqCst);
+                    stats.truncated = true;
+                    stats
+                        .warnings
+                        .push(ExploreWarning::SpillFrontierLost { jobs: lost });
+                    sh.cv.notify_all();
+                }
+            }
+            FrontierLoad::Lost(n) => {
+                sh.pending.fetch_sub(n as usize, Ordering::SeqCst);
+                stats.truncated = true;
+                stats
+                    .warnings
+                    .push(ExploreWarning::SpillFrontierLost { jobs: n });
+                sh.cv.notify_all();
+            }
+        }
+    }
+}
+
 fn worker_loop<S: TransitionSystem>(sh: &Shared<S>, stats: &mut ExploreStats) {
     let mut local: VecDeque<Job<S::State>> = VecDeque::new();
     let mut last_save = sh.start;
-    while let Some(job) = next_job(sh, &mut local) {
+    loop {
+        if local.is_empty() {
+            maybe_reload_frontier(sh, &mut local, stats);
+        }
+        let Some(job) = next_job(sh, &mut local) else {
+            break;
+        };
         process(sh, job, &mut local, stats);
         if sh.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
             sh.cv.notify_all();
         }
         maybe_save(sh, &local, stats, &mut last_save);
+        maybe_spill_frontier(sh, &mut local);
     }
     // On a durable stop the private frontier must survive into the
     // final checkpoint.
@@ -1466,6 +1760,9 @@ struct RoundInit<S: TransitionSystem> {
     behavior_log: Vec<SavedBehavior>,
     base: SavedCounters,
     warnings: Vec<ExploreWarning>,
+    /// Spill manifest from the resumed checkpoint (shard count at save
+    /// time plus the segment list); empty for fresh runs.
+    spill_manifest: (u32, Vec<SpillSeg>),
 }
 
 fn fresh_init<S: TransitionSystem>(sys: &S, cfg: &ExploreConfig) -> RoundInit<S> {
@@ -1483,6 +1780,7 @@ fn fresh_init<S: TransitionSystem>(sys: &S, cfg: &ExploreConfig) -> RoundInit<S>
         behavior_log: Vec::new(),
         base: SavedCounters::default(),
         warnings: Vec::new(),
+        spill_manifest: (0, Vec::new()),
     }
 }
 
@@ -1518,6 +1816,7 @@ fn restore_init<S: TransitionSystem>(
         behavior_log: data.behaviors.clone(),
         base: data.counters,
         warnings: warn.into_iter().collect(),
+        spill_manifest: (data.spill_shards, data.spill.clone()),
     })
 }
 
@@ -1578,6 +1877,52 @@ fn build_init<S: TransitionSystem>(
 
 /// One exhaustive round (DFS/BFS/one deepening step) at a fixed depth
 /// limit, accumulating into `stats`.
+/// Opens the configured spill store and attaches it to the round's
+/// visited set. Resumed runs re-adopt the checkpoint's manifest
+/// (identity-checked segment by segment); fresh runs clear any stale
+/// segments left in the directory. Without a spill config, a non-empty
+/// manifest is reported and its segments treated as unvisited (sound:
+/// re-exploration only).
+fn attach_spill<S: TransitionSystem>(
+    sys: &S,
+    cfg: &ExploreConfig,
+    init: &mut RoundInit<S>,
+    stats: &mut ExploreStats,
+) {
+    let manifest = std::mem::take(&mut init.spill_manifest);
+    let Some(spec) = &cfg.spill else {
+        if !manifest.1.is_empty() {
+            stats.warnings.push(ExploreWarning::SpillIgnored {
+                segments: manifest.1.len(),
+            });
+        }
+        return;
+    };
+    let digest = fp64(&sys.initial_state());
+    let trigger = spec.budget.or(cfg.max_memory).unwrap_or(64 << 20);
+    let store = SpillStore::open(
+        spec,
+        cfg.shards.max(1),
+        digest,
+        trigger,
+        #[cfg(feature = "fault-injection")]
+        cfg.fault.clone(),
+    );
+    let store = match store {
+        Ok(s) => s,
+        Err(message) => {
+            stats.warnings.push(ExploreWarning::SpillFailed { message });
+            return;
+        }
+    };
+    if stats.resumed {
+        store.adopt(manifest.0, &manifest.1, &mut stats.warnings);
+    } else {
+        store.prune_except(&[]);
+    }
+    init.visited.spill = Some(store);
+}
+
 fn run_round<S: TransitionSystem>(
     sys: &S,
     cfg: &ExploreConfig,
@@ -1587,6 +1932,9 @@ fn run_round<S: TransitionSystem>(
     stats: &mut ExploreStats,
 ) -> (BTreeSet<S::Behavior>, bool) {
     let durable = cfg.checkpoint.is_some();
+    let frontier_spill = init.visited.spill.is_some()
+        && cfg.workers.max(1) == 1
+        && matches!(cfg.strategy, Strategy::Dfs);
     let base = init.base;
     let njobs = init.jobs.len();
     let sh = Shared {
@@ -1612,6 +1960,7 @@ fn run_round<S: TransitionSystem>(
             0
         },
         base,
+        frontier_spill,
     };
 
     let workers = cfg.workers.max(1);
@@ -1647,15 +1996,43 @@ fn run_round<S: TransitionSystem>(
     }
     add_base(stats, &base);
     let depth_hit = sh.depth_truncated.load(Ordering::SeqCst);
+    // An interrupted durable run keeps its visited spill segments on
+    // disk: the final checkpoint's manifest references them and a
+    // resume re-adopts them. Completed (or non-durable) runs delete
+    // everything live; quarantined files always stay for inspection.
+    let keep_spill = durable && reason != StopReason::Completed;
     if let Some(spec) = &cfg.checkpoint {
-        let data = snapshot(
+        let (data, _) = snapshot(
             &sh,
             &VecDeque::new(),
             counters_from(&SavedCounters::default(), stats),
+            true,
+            keep_spill,
         );
         match checkpoint::save(&spec.path, &data) {
             Ok(()) => stats.checkpoint_saves += 1,
             Err(w) => stats.warnings.push(w),
+        }
+    }
+    if let Some(store) = &sh.visited.spill {
+        let c = store.counters();
+        stats.spill_shards += c.shards;
+        stats.spill_bytes += c.bytes;
+        stats.spill_probes += c.probes;
+        stats.spill_hits += c.hits;
+        stats.spill_quarantined += c.quarantined;
+        crate::counters::add(&crate::counters::SPILL_SHARDS, c.shards);
+        crate::counters::add(&crate::counters::SPILL_BYTES, c.bytes);
+        crate::counters::add(&crate::counters::SPILL_PROBES, c.probes);
+        crate::counters::add(&crate::counters::SPILL_HITS, c.hits);
+        if c.frontier_lost > 0 {
+            stats.truncated = true;
+        }
+        stats.warnings.extend(store.drain_events());
+        if keep_spill {
+            store.drop_frontier();
+        } else {
+            store.cleanup();
         }
     }
     let behaviors = sh
@@ -1725,7 +2102,7 @@ fn run_random_walks<S: TransitionSystem>(
 }
 
 fn validate(cfg: &ExploreConfig) -> Result<(), ExploreError> {
-    if cfg.checkpoint.is_some() || cfg.resume.is_some() {
+    if cfg.checkpoint.is_some() || cfg.resume.is_some() || cfg.spill.is_some() {
         match cfg.strategy {
             Strategy::Dfs | Strategy::Bfs => {}
             _ => {
@@ -1742,6 +2119,13 @@ fn validate(cfg: &ExploreConfig) -> Result<(), ExploreError> {
             });
         }
     }
+    if let Some(spec) = &cfg.spill {
+        if spec.dir.as_os_str().is_empty() {
+            return Err(ExploreError::InvalidConfig {
+                message: "empty spill directory".into(),
+            });
+        }
+    }
     Ok(())
 }
 
@@ -1754,7 +2138,8 @@ fn run<S: TransitionSystem>(sys: &S, cfg: &ExploreConfig) -> ExploreResult<S::Be
                 workers: cfg.workers.max(1),
                 ..ExploreStats::default()
             };
-            let init = build_init(sys, cfg, &mut stats);
+            let mut init = build_init(sys, cfg, &mut stats);
+            attach_spill(sys, cfg, &mut init, &mut stats);
             let (behaviors, _) = run_round(sys, cfg, cfg.max_depth, start, init, &mut stats);
             stats.elapsed = start.elapsed();
             ExploreResult { behaviors, stats }
@@ -1806,6 +2191,7 @@ pub fn explore<S: TransitionSystem>(sys: &S, cfg: &ExploreConfig) -> ExploreResu
             let mut stripped = cfg.clone();
             stripped.checkpoint = None;
             stripped.resume = None;
+            stripped.spill = None;
             let mut r = run(sys, &stripped);
             r.stats.warnings.push(ExploreWarning::DurabilityIgnored {
                 message: e.to_string(),
@@ -2946,6 +3332,402 @@ mod tests {
             assert_eq!(r.stats.quarantined, 0, "seed={seed}");
             assert!(r.stats.incident_count > 0, "seed={seed}: rate 30% hit 0/64");
             assert_eq!(r.stats.retried, r.stats.incident_count, "seed={seed}");
+        }
+    }
+
+    // -- disk spill ---------------------------------------------------------
+
+    fn temp_spill_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("seqwm-engine-{}", std::process::id()))
+            .join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn live_segments(dir: &PathBuf) -> Vec<PathBuf> {
+        let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| p.extension().is_some_and(|e| e == "spill"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn spill_spills_before_downgrading() {
+        // Same memory pressure as memory_budget_downgrades_...: with a
+        // spill dir configured the engine must keep full precision by
+        // pushing shards to disk instead of taking lossy rungs.
+        let sys = Counters {
+            agents: 3,
+            limit: 3,
+        };
+        let want = explore(&sys, &cfg(1, false)).behaviors;
+        let dir = temp_spill_dir("spill-first");
+        let r = explore(
+            &sys,
+            &ExploreConfig {
+                visited: VisitedMode::Exact,
+                max_memory: Some(3500),
+                shards: 1,
+                spill: Some(SpillSpec::new(&dir)),
+                ..cfg(1, false)
+            },
+        );
+        assert_eq!(r.behaviors, want);
+        assert_eq!(r.stats.downgrades, 0, "spill-first: no lossy rung taken");
+        assert_eq!(r.stats.stop, StopReason::Completed);
+        assert!(!r.stats.truncated);
+        assert!(r.stats.spill_shards > 0);
+        assert!(r.stats.spill_bytes > 0);
+        assert!(
+            live_segments(&dir).is_empty(),
+            "completed runs delete their live segments"
+        );
+    }
+
+    #[test]
+    fn spill_results_match_in_ram() {
+        let sys = Counters {
+            agents: 4,
+            limit: 3,
+        };
+        let base = explore(&sys, &cfg(1, false));
+        let dir = temp_spill_dir("spill-equal");
+        let r = explore(
+            &sys,
+            &ExploreConfig {
+                shards: 2,
+                spill: Some(SpillSpec::new(&dir).budget_bytes(1)),
+                ..cfg(1, false)
+            },
+        );
+        assert_eq!(r.behaviors, base.behaviors);
+        assert_eq!(r.stats.states, base.stats.states, "bit-identical counts");
+        assert_eq!(r.stats.dedup_hits, base.stats.dedup_hits);
+        assert!(r.stats.spill_shards > 0);
+        assert!(r.stats.spill_probes > 0, "revisits must probe disk");
+        assert!(r.stats.spill_hits > 0);
+        assert_eq!(r.stats.spill_quarantined, 0);
+    }
+
+    #[test]
+    fn frontier_spill_preserves_dfs_results() {
+        let sys = Counters {
+            agents: 3,
+            limit: 3,
+        };
+        let base = explore(&sys, &cfg(1, false));
+        let dir = temp_spill_dir("frontier-spill");
+        let r = explore(
+            &sys,
+            &ExploreConfig {
+                shards: 1,
+                spill: Some(SpillSpec::new(&dir).frontier_threshold(2)),
+                ..cfg(1, false)
+            },
+        );
+        assert_eq!(r.behaviors, base.behaviors);
+        assert_eq!(r.stats.states, base.stats.states, "LIFO reload keeps order");
+        assert_eq!(r.stats.dedup_hits, base.stats.dedup_hits);
+        assert!(!r.stats.truncated);
+        assert!(r.stats.spill_bytes > 0, "frontier segments were written");
+    }
+
+    #[test]
+    fn corrupt_spill_segments_quarantine_on_resume() {
+        let sys = Counters {
+            agents: 3,
+            limit: 3,
+        };
+        let want = explore(&sys, &cfg(1, false)).behaviors;
+        let dir = temp_spill_dir("spill-corrupt");
+        let ckpt = temp_path("spill-corrupt.ckpt");
+        std::fs::remove_file(&ckpt).ok();
+        let r1 = explore(
+            &sys,
+            &ExploreConfig {
+                shards: 1,
+                max_states: 40,
+                checkpoint: Some(CheckpointSpec::new(&ckpt)),
+                spill: Some(SpillSpec::new(&dir).budget_bytes(1)),
+                ..cfg(1, false)
+            },
+        );
+        assert_eq!(r1.stats.stop, StopReason::StateBudget);
+        let segs = live_segments(&dir);
+        assert!(!segs.is_empty(), "interrupted durable run keeps segments");
+        let mut bytes = std::fs::read(&segs[0]).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&segs[0], &bytes).unwrap();
+        let r2 = explore(
+            &sys,
+            &ExploreConfig {
+                shards: 1,
+                resume: Some(ckpt.clone()),
+                spill: Some(SpillSpec::new(&dir).budget_bytes(1)),
+                ..cfg(1, false)
+            },
+        );
+        assert!(r2.stats.resumed);
+        assert_eq!(r2.behaviors, want, "verdict identical despite corruption");
+        assert!(r2.stats.spill_quarantined > 0);
+        assert!(r2
+            .stats
+            .warnings
+            .iter()
+            .any(|w| matches!(w, ExploreWarning::SpillQuarantined { .. })));
+        assert!(dir.join("quarantine").exists());
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn resume_without_spill_config_treats_segments_as_unvisited() {
+        let sys = Counters {
+            agents: 3,
+            limit: 3,
+        };
+        let want = explore(&sys, &cfg(1, false)).behaviors;
+        let dir = temp_spill_dir("spill-ignored");
+        let ckpt = temp_path("spill-ignored.ckpt");
+        std::fs::remove_file(&ckpt).ok();
+        explore(
+            &sys,
+            &ExploreConfig {
+                shards: 1,
+                max_states: 40,
+                checkpoint: Some(CheckpointSpec::new(&ckpt)),
+                spill: Some(SpillSpec::new(&dir).budget_bytes(1)),
+                ..cfg(1, false)
+            },
+        );
+        let r = explore(
+            &sys,
+            &ExploreConfig {
+                shards: 1,
+                resume: Some(ckpt.clone()),
+                ..cfg(1, false)
+            },
+        );
+        assert!(r.stats.resumed);
+        assert_eq!(r.behaviors, want, "sound: segments re-explored, not lost");
+        assert!(r
+            .stats
+            .warnings
+            .iter()
+            .any(|w| matches!(w, ExploreWarning::SpillIgnored { .. })));
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn fresh_runs_clear_stale_spill_segments() {
+        let dir = temp_spill_dir("spill-stale");
+        let stale = dir.join("seg-0-99.spill");
+        std::fs::write(&stale, b"junk from a previous run").unwrap();
+        let sys = Counters {
+            agents: 2,
+            limit: 2,
+        };
+        let r = explore(
+            &sys,
+            &ExploreConfig {
+                spill: Some(SpillSpec::new(&dir)),
+                ..cfg(1, false)
+            },
+        );
+        assert_eq!(r.stats.stop, StopReason::Completed);
+        assert!(!stale.exists(), "stale segment pruned before the run");
+    }
+
+    #[test]
+    fn spill_requires_a_frontier_strategy() {
+        let sys = Counters {
+            agents: 2,
+            limit: 2,
+        };
+        let bad = ExploreConfig {
+            strategy: Strategy::RandomWalk { walks: 2, seed: 1 },
+            spill: Some(SpillSpec::new(temp_spill_dir("spill-badstrat"))),
+            ..ExploreConfig::default()
+        };
+        assert!(matches!(
+            try_explore(&sys, &bad),
+            Err(ExploreError::UnsupportedStrategy { .. })
+        ));
+        let r = explore(&sys, &bad);
+        assert_eq!(r.stats.spill_shards, 0);
+        assert!(r
+            .stats
+            .warnings
+            .iter()
+            .any(|w| matches!(w, ExploreWarning::DurabilityIgnored { .. })));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn injected_disk_full_falls_back_to_lossy_ladder() {
+        use crate::fault::FaultPlan;
+        let sys = Counters {
+            agents: 3,
+            limit: 3,
+        };
+        let want = explore(&sys, &cfg(1, false)).behaviors;
+        let dir = temp_spill_dir("spill-enospc");
+        let r = explore(
+            &sys,
+            &ExploreConfig {
+                visited: VisitedMode::Exact,
+                max_memory: Some(3500),
+                shards: 1,
+                spill: Some(SpillSpec::new(&dir)),
+                fault: Some(FaultPlan {
+                    disk_full_after_writes: Some(0),
+                    ..FaultPlan::default()
+                }),
+                ..cfg(1, false)
+            },
+        );
+        assert_eq!(r.behaviors, want);
+        assert_eq!(r.stats.stop, StopReason::Completed);
+        assert_eq!(r.stats.downgrades, 2, "fell back to the in-RAM ladder");
+        assert_eq!(r.stats.spill_shards, 0);
+        assert!(r
+            .stats
+            .warnings
+            .iter()
+            .any(|w| matches!(w, ExploreWarning::SpillFailed { .. })));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn torn_spill_writes_are_lossless() {
+        use crate::fault::FaultPlan;
+        let sys = Counters {
+            agents: 4,
+            limit: 3,
+        };
+        let base = explore(&sys, &cfg(1, false));
+        let dir = temp_spill_dir("spill-torn");
+        let r = explore(
+            &sys,
+            &ExploreConfig {
+                shards: 2,
+                spill: Some(SpillSpec::new(&dir).budget_bytes(1)),
+                fault: Some(FaultPlan {
+                    seed: 11,
+                    disk_torn_write_per_mille: 500,
+                    ..FaultPlan::default()
+                }),
+                ..cfg(1, false)
+            },
+        );
+        assert_eq!(r.behaviors, base.behaviors);
+        assert_eq!(
+            r.stats.states, base.stats.states,
+            "torn writes lose nothing"
+        );
+        assert_eq!(r.stats.stop, StopReason::Completed);
+        assert!(r.stats.spill_quarantined > 0, "some writes were torn");
+        assert!(r.stats.spill_shards > 0, "some writes landed");
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn injected_read_errors_only_cost_re_exploration() {
+        use crate::fault::FaultPlan;
+        let sys = Counters {
+            agents: 4,
+            limit: 3,
+        };
+        let base = explore(&sys, &cfg(1, false));
+        let dir = temp_spill_dir("spill-read-err");
+        let r = explore(
+            &sys,
+            &ExploreConfig {
+                shards: 2,
+                spill: Some(SpillSpec::new(&dir).budget_bytes(1)),
+                fault: Some(FaultPlan {
+                    seed: 7,
+                    disk_read_error_per_mille: 400,
+                    ..FaultPlan::default()
+                }),
+                ..cfg(1, false)
+            },
+        );
+        assert_eq!(r.behaviors, base.behaviors, "verdict unchanged");
+        assert!(
+            r.stats.states >= base.stats.states,
+            "lost entries only re-explore: {} < {}",
+            r.stats.states,
+            base.stats.states
+        );
+        assert!(r.stats.spill_quarantined > 0);
+        assert_eq!(r.stats.stop, StopReason::Completed);
+    }
+
+    // -- visited-set ladder accounting --------------------------------------
+
+    #[test]
+    fn degrade_preserves_entry_accounting() {
+        let v: Visited<Vec<u8>> = Visited::new(VisitedMode::Exact, 4);
+        let states: Vec<Vec<u8>> = (0..100u8).map(|i| vec![i, i.wrapping_mul(3)]).collect();
+        for (i, st) in states.iter().enumerate() {
+            v.check_insert(st, (i as u64) & 0b111);
+        }
+        assert_eq!(v.entries.load(Ordering::Relaxed), states.len());
+        assert!(v.request_downgrade().is_some());
+        assert!(v.request_downgrade().is_some());
+        assert!(v.request_downgrade().is_none(), "fp64 is the last rung");
+        // Touch every state so each shard migrates to the new rung
+        // (the sync path carries the debug_assert on pair counts).
+        for st in &states {
+            assert!(v.contains(st), "entry lost across degradation");
+            v.check_insert(st, u64::MAX);
+        }
+        let total: usize = v.shards.iter().map(|s| relock(s).len()).sum();
+        assert_eq!(
+            v.entries.load(Ordering::Relaxed),
+            total,
+            "entry counter matches shard contents after exact→fp64"
+        );
+        assert_eq!(total, states.len(), "no collisions among 100 states");
+    }
+
+    #[test]
+    fn visited_snapshot_round_trips_at_every_level() {
+        for mode in [VisitedMode::Exact, VisitedMode::Fp128, VisitedMode::Fp64] {
+            let v: Visited<Vec<u8>> = Visited::new(mode, 3);
+            let states: Vec<Vec<u8>> = (0..50u8).map(|i| vec![i, 7, i ^ 0x55]).collect();
+            for st in &states {
+                v.check_insert(st, 0b101);
+            }
+            let (level, visited64, visited128) = v.snapshot();
+            assert_eq!(
+                visited64.len() + visited128.len(),
+                states.len(),
+                "{mode:?}: dump kept every pair"
+            );
+            let data = CheckpointData {
+                level,
+                visited64,
+                visited128,
+                ..CheckpointData::default()
+            };
+            let (r, _warn) = Visited::restore(mode, 3, &data);
+            assert_eq!(
+                r.entries.load(Ordering::Relaxed),
+                states.len(),
+                "{mode:?}: restore kept every pair"
+            );
+            for st in &states {
+                assert!(r.contains(st), "{mode:?}: entry lost in round trip");
+            }
         }
     }
 }

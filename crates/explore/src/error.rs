@@ -58,7 +58,7 @@ impl fmt::Display for ExploreError {
         match self {
             ExploreError::UnsupportedStrategy { strategy } => write!(
                 f,
-                "checkpoint/resume requires a DFS or BFS strategy, got {strategy}"
+                "checkpoint/resume and disk spill require a DFS or BFS strategy, got {strategy}"
             ),
             ExploreError::InvalidConfig { message } => {
                 write!(f, "invalid exploration config: {message}")
@@ -165,6 +165,36 @@ pub enum ExploreWarning {
         /// Why durability was dropped.
         message: String,
     },
+    /// The spill store could not be opened or suffered an unrecoverable
+    /// I/O failure (e.g. disk full); spilling stopped and the run fell
+    /// back to the in-RAM lossy degradation ladder.
+    SpillFailed {
+        /// What failed.
+        message: String,
+    },
+    /// A spill segment failed validation (torn write, flipped bits,
+    /// injected fault) and was moved to `<spill-dir>/quarantine/`. Its
+    /// fingerprints are conservatively treated as unvisited — sound,
+    /// just slower.
+    SpillQuarantined {
+        /// The segment file.
+        path: PathBuf,
+        /// What failed.
+        message: String,
+    },
+    /// A spilled frontier segment was lost to corruption; this many
+    /// pending jobs could not be reloaded and the run is truncated.
+    SpillFrontierLost {
+        /// Jobs that could not be reloaded.
+        jobs: u64,
+    },
+    /// A resume found spill segments it could not adopt (no spill dir
+    /// configured, or the shard count changed); their entries read as
+    /// unvisited, which is sound but repeats work.
+    SpillIgnored {
+        /// How many manifest segments were ignored.
+        segments: usize,
+    },
 }
 
 impl fmt::Display for ExploreWarning {
@@ -196,6 +226,24 @@ impl fmt::Display for ExploreWarning {
             ),
             ExploreWarning::DurabilityIgnored { message } => {
                 write!(f, "checkpoint/resume ignored: {message}")
+            }
+            ExploreWarning::SpillFailed { message } => {
+                write!(f, "disk spill disabled: {message}")
+            }
+            ExploreWarning::SpillQuarantined { path, message } => {
+                write!(f, "spill segment {} quarantined: {message}", path.display())
+            }
+            ExploreWarning::SpillFrontierLost { jobs } => {
+                write!(
+                    f,
+                    "spilled frontier segment lost: {jobs} pending jobs dropped"
+                )
+            }
+            ExploreWarning::SpillIgnored { segments } => {
+                write!(
+                    f,
+                    "{segments} spill segment(s) from the checkpoint ignored (treated as unvisited)"
+                )
             }
         }
     }

@@ -62,6 +62,19 @@ pub struct FaultPlan {
     /// state count crosses a multiple of this value (simulated memory
     /// exhaustion driving the exact → fp128 → fp64 ladder).
     pub downgrade_every_states: Option<usize>,
+    /// Per-mille probability that a spill-segment write is *torn*:
+    /// only half the image lands on disk. The spill store's
+    /// read-back-verify must catch it (quarantine, keep data in RAM).
+    /// Keyed by the store's monotonic write index, not a fingerprint.
+    pub disk_torn_write_per_mille: u16,
+    /// Per-mille probability that a spill-segment read fails, keyed by
+    /// the store's monotonic read index. The affected segment is
+    /// quarantined and its fingerprints read as unvisited.
+    pub disk_read_error_per_mille: u16,
+    /// Simulated ENOSPC: every spill write from the Nth onward fails
+    /// and disables the store (the engine falls back to the in-RAM
+    /// lossy ladder).
+    pub disk_full_after_writes: Option<u64>,
     /// Plant an *unsound* independence rule: same-location
     /// atomic-write pairs are mis-flagged as commuting, so the sleep
     /// sets prune interleavings whose behaviors genuinely differ.
@@ -105,6 +118,21 @@ impl FaultPlan {
     /// The delay (if any) to impose before expanding this state.
     pub fn injects_delay(&self, state_fp: u64) -> Option<Duration> {
         (self.roll(state_fp, 0xFA03) < u64::from(self.delay_per_mille)).then_some(self.delay)
+    }
+
+    /// Should the `write_idx`-th spill write be torn (half the bytes)?
+    pub fn injects_torn_write(&self, write_idx: u64) -> bool {
+        self.roll(write_idx, 0xFA04) < u64::from(self.disk_torn_write_per_mille)
+    }
+
+    /// Should the `read_idx`-th spill read fail?
+    pub fn injects_read_error(&self, read_idx: u64) -> bool {
+        self.roll(read_idx, 0xFA05) < u64::from(self.disk_read_error_per_mille)
+    }
+
+    /// Should the `write_idx`-th spill write hit simulated ENOSPC?
+    pub fn injects_disk_full(&self, write_idx: u64) -> bool {
+        self.disk_full_after_writes.is_some_and(|n| write_idx >= n)
     }
 }
 
@@ -154,6 +182,38 @@ mod tests {
                 assert!(plan.injects_panic(fp, attempt).unwrap().permanent);
             }
         }
+    }
+
+    #[test]
+    fn disk_faults_are_deterministic_and_independent() {
+        let plan = FaultPlan {
+            seed: 5,
+            disk_torn_write_per_mille: 300,
+            disk_read_error_per_mille: 300,
+            ..FaultPlan::default()
+        };
+        let torn: Vec<bool> = (0..500).map(|i| plan.injects_torn_write(i)).collect();
+        let torn2: Vec<bool> = (0..500).map(|i| plan.injects_torn_write(i)).collect();
+        let reads: Vec<bool> = (0..500).map(|i| plan.injects_read_error(i)).collect();
+        assert_eq!(torn, torn2, "same seed, same faults");
+        assert_ne!(torn, reads, "distinct salts, distinct schedules");
+        let rate = torn.iter().filter(|&&h| h).count();
+        assert!((75..450).contains(&rate), "rate {rate} wildly off 30%");
+        let quiet = FaultPlan::default();
+        assert!((0..500).all(|i| !quiet.injects_torn_write(i) && !quiet.injects_read_error(i)));
+    }
+
+    #[test]
+    fn disk_full_fires_at_the_threshold() {
+        let plan = FaultPlan {
+            disk_full_after_writes: Some(3),
+            ..FaultPlan::default()
+        };
+        assert!(!plan.injects_disk_full(0));
+        assert!(!plan.injects_disk_full(2));
+        assert!(plan.injects_disk_full(3));
+        assert!(plan.injects_disk_full(100));
+        assert!(!FaultPlan::default().injects_disk_full(100));
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod error;
 pub mod fault;
 pub mod fingerprint;
 pub mod rng;
+mod spill;
 pub mod stats;
 pub mod system;
 
@@ -63,6 +64,7 @@ pub use error::{
 pub use fault::{FaultPlan, InjectedFault};
 pub use fingerprint::{fp128, fp64, FxHasher};
 pub use rng::{mix64, SplitMix64};
+pub use spill::{SpillSpec, SPILL_VERSION};
 pub use stats::ExploreStats;
 pub use system::{
     groups_independent, AgentGroup, IndependenceRule, StepTags, Target, Transition,

@@ -71,6 +71,17 @@ pub struct ExploreStats {
     pub resumed: bool,
     /// Checkpoints written during and after the run.
     pub checkpoint_saves: usize,
+    /// Visited-set shards spilled to disk under memory pressure.
+    pub spill_shards: u64,
+    /// Bytes of spill-segment data written to disk.
+    pub spill_bytes: u64,
+    /// Membership probes that touched a spilled segment on disk.
+    pub spill_probes: u64,
+    /// Disk probes that found their fingerprint in a spilled segment.
+    pub spill_hits: u64,
+    /// Spill segments quarantined as corrupt (their fingerprints were
+    /// conservatively treated as unvisited).
+    pub spill_quarantined: u64,
 }
 
 impl ExploreStats {
@@ -123,6 +134,11 @@ impl ExploreStats {
         self.downgrades += other.downgrades;
         self.resumed |= other.resumed;
         self.checkpoint_saves += other.checkpoint_saves;
+        self.spill_shards += other.spill_shards;
+        self.spill_bytes += other.spill_bytes;
+        self.spill_probes += other.spill_probes;
+        self.spill_hits += other.spill_hits;
+        self.spill_quarantined += other.spill_quarantined;
     }
 }
 
@@ -161,6 +177,17 @@ impl fmt::Display for ExploreStats {
                 f,
                 "durability: resumed={}, {} checkpoint save(s)",
                 self.resumed, self.checkpoint_saves
+            )?;
+        }
+        if self.spill_shards > 0 || self.spill_probes > 0 || self.spill_quarantined > 0 {
+            writeln!(
+                f,
+                "spill: {} shard(s) / {} bytes to disk, {} probes ({} hits), {} quarantined",
+                self.spill_shards,
+                self.spill_bytes,
+                self.spill_probes,
+                self.spill_hits,
+                self.spill_quarantined
             )?;
         }
         for w in &self.warnings {

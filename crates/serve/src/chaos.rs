@@ -277,6 +277,10 @@ pub enum FileChaos {
     Empty,
     /// Replace the contents with non-JSON garbage.
     Garbage,
+    /// Replace the file with a same-named directory, so every later
+    /// write, rename, or re-create of the path fails persistently — a
+    /// sticky write error rather than one-shot corruption.
+    DenyWrites,
 }
 
 /// Applies a [`FileChaos`] mode to a file in place.
@@ -303,6 +307,11 @@ pub fn corrupt_file(path: &Path, mode: FileChaos) -> Result<(), String> {
         }
         FileChaos::Empty => Vec::new(),
         FileChaos::Garbage => b"\x00\xffnot json at all\x01garbage".to_vec(),
+        FileChaos::DenyWrites => {
+            let _ = fs::remove_file(path);
+            return fs::create_dir_all(path)
+                .map_err(|e| format!("deny-writes {}: {e}", path.display()));
+        }
     };
     fs::write(path, bytes).map_err(|e| format!("write {}: {e}", path.display()))
 }
@@ -369,6 +378,22 @@ mod tests {
                 "{mode:?} must alter the file"
             );
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deny_writes_makes_the_path_unwritable() {
+        let dir = std::env::temp_dir().join(format!("seqwm-chaos-deny-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.json");
+        fs::write(&path, b"payload").unwrap();
+        corrupt_file(&path, FileChaos::DenyWrites).unwrap();
+        assert!(path.is_dir(), "the path must now be a directory");
+        assert!(
+            fs::write(&path, b"retry").is_err(),
+            "writes onto the path must keep failing"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 }

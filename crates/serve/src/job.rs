@@ -116,6 +116,10 @@ pub struct JobBudgets {
     pub fuel: Option<u64>,
     /// State-count ceiling (explore jobs).
     pub max_states: Option<u64>,
+    /// In-RAM visited/frontier budget in MiB before the engine spills
+    /// cold shards to disk (explore jobs). Defaults to the memory
+    /// ceiling when absent.
+    pub spill_budget_mb: Option<u64>,
 }
 
 impl JobBudgets {
@@ -130,6 +134,7 @@ impl JobBudgets {
             max_memory_mb: opt_u64(params, "max_memory_mb")?,
             fuel: opt_u64(params, "fuel")?,
             max_states: opt_u64(params, "max_states")?,
+            spill_budget_mb: opt_u64(params, "spill_budget_mb")?,
         })
     }
 }

@@ -29,13 +29,13 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use seqwm_explore::counters::CounterSnapshot;
-use seqwm_explore::CheckpointSpec;
+use seqwm_explore::{CheckpointSpec, ExploreWarning, SpillSpec};
 use seqwm_fuzz::{run_campaign_with, CampaignEvent, FuzzConfig};
 use seqwm_json::Json;
 use seqwm_promising::search::{engine_config, try_explore_engine};
@@ -148,6 +148,9 @@ struct Core {
     latencies: Mutex<VecDeque<u64>>,
     started: Instant,
     counters_base: CounterSnapshot,
+    /// Lossy visited-set downgrades taken by explore jobs since start
+    /// (spilling is lossless and does not count).
+    degradations: AtomicU64,
 }
 
 impl Core {
@@ -282,6 +285,7 @@ impl Server {
             latencies: Mutex::new(VecDeque::new()),
             started: Instant::now(),
             counters_base: CounterSnapshot::capture(),
+            degradations: AtomicU64::new(0),
         });
 
         let worker_handles = (0..workers)
@@ -985,6 +989,10 @@ fn stats_json(core: &Arc<Core>) -> Json {
             ]),
         ),
         ("draining", Json::Bool(core.draining())),
+        (
+            "degradations",
+            Json::num(core.degradations.load(Ordering::Relaxed)),
+        ),
         ("counters", Json::Obj(counters)),
     ])
 }
@@ -1083,6 +1091,11 @@ fn execute(core: &Arc<Core>, id: u64) {
         persist(&core.jobs_dir, rec);
     }
     drop(table);
+    // Terminal explore jobs never resume, so their spill shards (and
+    // any quarantined segments) are dead weight on disk.
+    if kind == JobKind::Explore {
+        let _ = fs::remove_dir_all(spill_dir(core, id));
+    }
     core.update_cv.notify_all();
 }
 
@@ -1210,6 +1223,12 @@ fn run_refine(params: &Json, budgets: &JobBudgets) -> Result<Json, JobError> {
 // Job execution: explore
 // ---------------------------------------------------------------------
 
+/// Per-job spill directory: survives a daemon crash (so a resumed job
+/// re-adopts its shards) and is removed once the job is terminal.
+fn spill_dir(core: &Core, id: u64) -> PathBuf {
+    core.cfg.state_dir.join("spill").join(format!("job-{id}"))
+}
+
 fn run_explore(
     core: &Arc<Core>,
     id: u64,
@@ -1244,6 +1263,14 @@ fn run_explore(
     if let Some(s) = budgets.max_states {
         ecfg.max_states = s as usize;
     }
+    // Out-of-core: spill cold visited/frontier shards to disk before
+    // the engine takes a lossy visited-set downgrade. The budget
+    // defaults to the memory ceiling (or the engine's 64 MiB floor).
+    let mut spec = SpillSpec::new(spill_dir(core, id));
+    if let Some(mb) = budgets.spill_budget_mb {
+        spec = spec.budget_bytes((mb as usize).saturating_mul(1024 * 1024));
+    }
+    ecfg.spill = Some(spec);
     let ckpt = checkpoint_path(&core.jobs_dir, id);
     ecfg.checkpoint = Some(CheckpointSpec::new(ckpt.clone()).every(core.cfg.checkpoint_every));
     let resumed_from_disk = ckpt.exists();
@@ -1259,17 +1286,46 @@ fn run_explore(
     // does not resurrect a finished job's state.
     let _ = fs::remove_file(&ckpt);
     let s = &e.stats;
-    Ok(Json::obj(vec![
-        ("states", Json::num(s.states as u64)),
-        ("transitions", Json::num(s.transitions as u64)),
-        ("behaviors", Json::num(e.behaviors.len() as u64)),
-        ("truncated", Json::Bool(s.truncated)),
-        ("stop", Json::str(s.stop.to_string())),
-        ("resumed", Json::Bool(s.resumed)),
-        ("checkpoint_saves", Json::num(s.checkpoint_saves as u64)),
-        ("incidents", Json::num(s.incident_count as u64)),
-        ("elapsed_ms", Json::num(s.elapsed.as_millis() as u64)),
-    ]))
+    core.degradations
+        .fetch_add(s.downgrades as u64, Ordering::Relaxed);
+    // The last rung the visited set was forced down to, if any.
+    let degraded_to = s.warnings.iter().rev().find_map(|w| match w {
+        ExploreWarning::MemoryDowngrade { to, .. } => Some(*to),
+        _ => None,
+    });
+    let mut fields = vec![
+        ("states".to_string(), Json::num(s.states as u64)),
+        ("transitions".to_string(), Json::num(s.transitions as u64)),
+        ("behaviors".to_string(), Json::num(e.behaviors.len() as u64)),
+        ("truncated".to_string(), Json::Bool(s.truncated)),
+        ("stop".to_string(), Json::str(s.stop.to_string())),
+        ("resumed".to_string(), Json::Bool(s.resumed)),
+        (
+            "checkpoint_saves".to_string(),
+            Json::num(s.checkpoint_saves as u64),
+        ),
+        ("incidents".to_string(), Json::num(s.incident_count as u64)),
+        (
+            "elapsed_ms".to_string(),
+            Json::num(s.elapsed.as_millis() as u64),
+        ),
+        ("downgrades".to_string(), Json::num(s.downgrades as u64)),
+        ("warnings".to_string(), Json::num(s.warnings.len() as u64)),
+        (
+            "spill".to_string(),
+            Json::obj(vec![
+                ("shards", Json::num(s.spill_shards)),
+                ("bytes", Json::num(s.spill_bytes)),
+                ("probes", Json::num(s.spill_probes)),
+                ("hits", Json::num(s.spill_hits)),
+                ("quarantined", Json::num(s.spill_quarantined)),
+            ]),
+        ),
+    ];
+    if let Some(to) = degraded_to {
+        fields.push(("degraded_to".to_string(), Json::str(to)));
+    }
+    Ok(Json::Obj(fields))
 }
 
 // ---------------------------------------------------------------------
@@ -1570,6 +1626,66 @@ mod tests {
         assert_eq!(r.get("truncated").unwrap(), &Json::Bool(false));
         // Store buffering: both threads can read 0.
         assert!(matches!(r.get("behaviors").unwrap(), Json::Num(n) if *n >= 4.0));
+        stop(server, &dir);
+    }
+
+    #[test]
+    fn explore_jobs_spill_and_surface_degradation_stats() {
+        let (server, dir) = test_server("spill");
+        let mut c = Client::connect(server.addr());
+        let progs = Json::Arr(vec![
+            Json::str("store[rlx](x, 1); store[rlx](x, 2); a := load[rlx](y); return a;"),
+            Json::str("store[rlx](y, 1); store[rlx](y, 2); a := load[rlx](z); return a;"),
+            Json::str("store[rlx](z, 1); store[rlx](z, 2); a := load[rlx](x); return a;"),
+        ]);
+        // Baseline: default spill budget (64 MiB) never trips. The
+        // state budget keeps the runs short and (being truncated)
+        // uncacheable, so the second submission really re-runs.
+        let doc = c.call(
+            "explore.run",
+            Json::obj(vec![
+                ("programs", progs.clone()),
+                ("reduction", Json::Bool(false)),
+                ("max_states", Json::num(4000)),
+            ]),
+        );
+        let base = result_of(&doc).get("result").unwrap().clone();
+
+        // Zero budget: every eligible shard spills to disk; the run
+        // must stay lossless (identical state/behavior counts).
+        let doc = c.call(
+            "explore.run",
+            Json::obj(vec![
+                ("programs", progs),
+                ("reduction", Json::Bool(false)),
+                ("max_states", Json::num(4000)),
+                ("spill_budget_mb", Json::num(0)),
+            ]),
+        );
+        let id = result_of(&doc).get("job").unwrap().clone();
+        let r = result_of(&doc).get("result").unwrap();
+        assert_eq!(r.get("states").unwrap(), base.get("states").unwrap());
+        assert_eq!(r.get("behaviors").unwrap(), base.get("behaviors").unwrap());
+        assert_eq!(r.get("downgrades").unwrap(), &Json::num(0));
+        let spill = r.get("spill").unwrap();
+        assert!(
+            matches!(spill.get("shards").unwrap(), Json::Num(n) if *n > 0.0),
+            "zero budget must spill shards: {spill}"
+        );
+        assert_eq!(spill.get("quarantined").unwrap(), &Json::num(0));
+
+        // The per-job spill directory is gone once the job is terminal.
+        let job_id = match id {
+            Json::Num(n) => n as u64,
+            other => panic!("non-numeric job id {other}"),
+        };
+        assert!(!dir.join("spill").join(format!("job-{job_id}")).exists());
+
+        let stats = c.call("server.stats", Json::obj(vec![]));
+        assert!(
+            matches!(result_of(&stats).get("degradations"), Some(Json::Num(_))),
+            "stats must carry the degradations counter"
+        );
         stop(server, &dir);
     }
 

@@ -20,6 +20,36 @@ cargo test -q --features fault-injection --test fault_injection
 cargo test -q --features fault-injection --test fuzz_smoke
 cargo test -q -p seqwm-explore --features fault-injection
 
+echo "==> out-of-core spill (sb-ring-4: spilled run must match in-RAM bit-for-bit)"
+# The spilled run pushes every eligible visited shard to disk
+# (--spill-budget-mb 0) and must report the exact same states, dedup
+# hits, transitions, and behavior set as the in-RAM run — spilling is a
+# representation change, never a semantic one. The disk-fault rerun
+# (torn writes, read errors, ENOSPC at fixed seeds) lives in the
+# spill_differential suite below and is gated on zero crashes and
+# unchanged verdicts.
+spill_tmp="$(mktemp -d)"
+for i in 0 1 2 3; do
+    next=$(( (i + 1) % 4 ))
+    printf 'store[rlx](sr4_x%d, 1); a := load[rlx](sr4_x%d); return a;' "$i" "$next" \
+        > "$spill_tmp/t$i.lit"
+done
+run_sb4() {
+    # Everything but the timing line and the spill counters is
+    # schedule-independent and must be byte-identical.
+    target/release/seqwm explore "$spill_tmp"/t0.lit "$spill_tmp"/t1.lit \
+        "$spill_tmp"/t2.lit "$spill_tmp"/t3.lit --max-states 8000 --stats "$@" \
+        | grep -v '^workers:' | grep -v '^spill:'
+}
+run_sb4 > "$spill_tmp/base.out"
+run_sb4 --spill-dir "$spill_tmp/shards" --spill-budget-mb 0 > "$spill_tmp/spill.out"
+if ! diff -u "$spill_tmp/base.out" "$spill_tmp/spill.out"; then
+    echo "spilled sb-ring-4 run diverged from the in-RAM run"
+    exit 1
+fi
+rm -rf "$spill_tmp"
+cargo test -q --features fault-injection --test spill_differential
+
 echo "==> por-soundness (reduction on/off behavior equality + planted-bug detection)"
 # The battery runs every ReductionRules toggle (sleep/ample/na-write/
 # shared-read/atomic-write) individually and together, raw engine and

@@ -20,8 +20,10 @@
 //! set instead of 64-bit fingerprints), `--max-states N`, `--stats`
 //! (print engine statistics), plus the durability/robustness knobs
 //! `--checkpoint <file>`, `--resume <file>`,
-//! `--checkpoint-every-ms N`, `--deadline-ms N` and
-//! `--max-memory-mb N`.
+//! `--checkpoint-every-ms N`, `--deadline-ms N`, `--max-memory-mb N`,
+//! and the out-of-core knobs `--spill-dir <dir>` (spill cold
+//! visited/frontier shards to disk before any lossy downgrade) and
+//! `--spill-budget-mb N` (in-RAM trigger; requires `--spill-dir`).
 //!
 //! `fuzz` runs a differential campaign over the optimizer (see the
 //! `seqwm-fuzz` crate): `--cases N`, `--seed S`, `--workers N`,
@@ -82,7 +84,7 @@ use std::time::Duration;
 
 use promising_seq::bench::report::{compare, BenchReport, CompareConfig};
 use promising_seq::bench::suite::{list_suite, run_suite, SuiteConfig};
-use promising_seq::explore::{CheckpointSpec, ExploreConfig, Strategy, VisitedMode};
+use promising_seq::explore::{CheckpointSpec, ExploreConfig, SpillSpec, Strategy, VisitedMode};
 use promising_seq::fuzz::{run_campaign, CheckVerdict, Corpus, FuzzConfig, FuzzTarget};
 use promising_seq::json::Json;
 use promising_seq::lang::parser::parse_program;
@@ -138,6 +140,8 @@ struct EngineOpts {
     resume: Option<String>,
     deadline_ms: Option<u64>,
     max_memory_mb: Option<usize>,
+    spill_dir: Option<String>,
+    spill_budget_mb: Option<usize>,
 }
 
 impl EngineOpts {
@@ -173,13 +177,20 @@ impl EngineOpts {
         if let Some(path) = &self.resume {
             ecfg.resume = Some(path.into());
         }
+        if let Some(dir) = &self.spill_dir {
+            let mut spec = SpillSpec::new(dir);
+            if let Some(mb) = self.spill_budget_mb {
+                spec = spec.budget_bytes(mb.saturating_mul(1 << 20));
+            }
+            ecfg.spill = Some(spec);
+        }
         ecfg
     }
 
     /// Whether the user asked for durability explicitly — if so,
     /// misconfigurations are hard errors rather than warnings.
     fn durable(&self) -> bool {
-        self.checkpoint.is_some() || self.resume.is_some()
+        self.checkpoint.is_some() || self.resume.is_some() || self.spill_dir.is_some()
     }
 }
 
@@ -245,6 +256,14 @@ fn parse_engine_flags(args: &[String]) -> Result<(EngineOpts, Vec<String>), Seqw
                 let v = value(&mut it, a, "a size in MiB")?;
                 opts.max_memory_mb = Some(number(v, "memory budget")?);
             }
+            "--spill-dir" => {
+                let v = value(&mut it, a, "a directory path")?;
+                opts.spill_dir = Some(v.clone());
+            }
+            "--spill-budget-mb" => {
+                let v = value(&mut it, a, "a size in MiB")?;
+                opts.spill_budget_mb = Some(number(v, "spill budget")?);
+            }
             "--no-reduction" => opts.no_reduction = true,
             "--exact" => opts.exact = true,
             "--stats" => opts.stats = true,
@@ -253,6 +272,9 @@ fn parse_engine_flags(args: &[String]) -> Result<(EngineOpts, Vec<String>), Seqw
             }
             _ => files.push(a.clone()),
         }
+    }
+    if opts.spill_budget_mb.is_some() && opts.spill_dir.is_none() {
+        return Err(usage_err("--spill-budget-mb requires --spill-dir"));
     }
     Ok((opts, files))
 }

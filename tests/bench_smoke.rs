@@ -242,6 +242,7 @@ fn scaling_families_grow_with_n_and_appear_in_the_suite() {
         "scaling/mp-chain-3/w8",
         "scaling/mp-chain-4/w2",
         "scaling/sb-ring-3",
+        "scaling/sb-ring-3/spill",
         "scaling/na-disjoint-3/full",
         "scaling/na-disjoint-3/reduced",
     ] {

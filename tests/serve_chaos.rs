@@ -24,6 +24,11 @@
 //!    `server.stats`), never a crash.
 //! 7. **Soak** (`--ignored`) — concurrent clients hammer the daemon
 //!    through the proxy; the gate is zero daemon crashes.
+//! 8. **Write errors** — [`FileChaos::DenyWrites`] turns journal and
+//!    cache paths into directories so every later write or rename
+//!    fails persistently; the writers skip (journal/cache persistence
+//!    is best-effort) and the next start quarantines the unreadable
+//!    paths, never a crash.
 //!
 //! Every schedule is a pure function of a fixed seed, so a failure
 //! here replays identically on any machine.
@@ -556,6 +561,80 @@ fn corrupt_journal_and_cache_files_are_quarantined_on_restart() {
     c.call("server.shutdown", Json::obj(vec![]));
     let status = daemon.child.wait().expect("daemon exits");
     assert!(status.success(), "clean exit, got {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Leg 8: persistent write errors (DenyWrites).
+// ---------------------------------------------------------------------
+
+#[test]
+fn deny_writes_chaos_skips_journal_and_cache_writers() {
+    let dir = tmp_dir("deny");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut daemon = spawn_daemon(&dir, &["--workers", "1"]);
+    let mut c = daemon.connect();
+
+    // A running job whose journal path turns into a directory: every
+    // later persist (state transitions, finalize) fails persistently.
+    // Journal persistence is best-effort, so the daemon must skip the
+    // failed writes and keep the in-memory books correct.
+    let a = job_id(&c.call("job.submit", long_fuzz(31)));
+    wait_for_running(&mut c, a);
+    corrupt_file(
+        &dir.join("jobs").join(format!("job-{a}.json")),
+        FileChaos::DenyWrites,
+    )
+    .expect("deny journal writes");
+    c.call("job.cancel", Json::obj(vec![("job", Json::num(a))]));
+    let t0 = Instant::now();
+    loop {
+        let doc = c.call("job.status", Json::obj(vec![("job", Json::num(a))]));
+        if result_of(&doc).get("state").expect("state") == &Json::str("canceled") {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "job {a} never finalized under denied journal writes"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    daemon.assert_alive();
+
+    // A refine completes and caches even though its journal may race
+    // the same fate; its cache entry is the next victim.
+    let doc = c.call("refine.check", refine_params("return 3;", "return 3;"));
+    assert!(doc.get("result").is_some(), "refine under chaos: {doc}");
+    c.call("server.shutdown", Json::obj(vec![]));
+    let status = daemon.child.wait().expect("daemon exits");
+    assert!(status.success(), "clean exit, got {status:?}");
+
+    let cache_files: Vec<PathBuf> = std::fs::read_dir(dir.join("cache"))
+        .expect("cache dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    assert_eq!(cache_files.len(), 1, "one cached verdict");
+    corrupt_file(&cache_files[0], FileChaos::DenyWrites).expect("deny cache writes");
+
+    // Restart: the unreadable journal and cache paths (directories
+    // now) are quarantined or skipped, and the daemon serves normally.
+    let mut daemon = spawn_daemon(&dir, &[]);
+    let mut c = daemon.connect();
+    let stats = c.call("server.stats", Json::obj(vec![]));
+    let q = result_of(&stats).get("quarantine").expect("quarantine");
+    let journal_q = q.get("journal").expect("journal").as_u64("journal");
+    let cache_q = q.get("cache").expect("cache").as_u64("cache");
+    assert!(
+        journal_q.is_ok_and(|n| n >= 1) || cache_q.is_ok_and(|n| n >= 1),
+        "denied paths must be quarantined on restart: {q}"
+    );
+    let doc = c.call("refine.check", refine_params("return 4;", "return 4;"));
+    assert!(doc.get("result").is_some(), "healthy after deny-writes");
+    daemon.assert_alive();
+    c.call("server.shutdown", Json::obj(vec![]));
+    let status = daemon.child.wait().expect("daemon exits");
+    assert!(status.success(), "clean exit after deny-writes: {status:?}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

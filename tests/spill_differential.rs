@@ -1,0 +1,243 @@
+//! Differential out-of-core suite (feature `fault-injection`).
+//!
+//! Runs the PS^na engine over real litmus-corpus cases three ways —
+//! fully in RAM, spilling visited shards to disk under a starvation
+//! budget, and spilling under a deterministic disk-fault plan — and
+//! checks the acceptance bar for the spill subsystem:
+//!
+//! * **Losslessness**: spilling is a pure representation change. The
+//!   in-RAM and spilled runs must agree bit-for-bit on state counts,
+//!   dedup hits, and behavior sets.
+//! * **Write faults are invisible**: torn spill writes are caught by
+//!   read-back verification (the shard stays in RAM), so even a run
+//!   whose spill files are being shredded produces identical results.
+//! * **Read faults only cost re-exploration**: a quarantined segment
+//!   makes its fingerprints read as unvisited, so the run may expand
+//!   *more* states, but the behavior set — the verdict — never moves,
+//!   and every quarantine is visible in the stats.
+//!
+//! Every fault schedule is a pure function of a fixed seed and the
+//! store's monotonic write/read indices, so a failure replays
+//! identically on any machine.
+
+#![cfg(feature = "fault-injection")]
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use seqwm_explore::{ExploreConfig, FaultPlan, SpillSpec, StopReason, VisitedMode};
+use seqwm_litmus::concurrent::{concurrent_corpus, ConcurrentCase};
+use seqwm_promising::machine::PsBehavior;
+use seqwm_promising::search::{engine_config, explore_engine, EngineExploration};
+
+fn cheap_cases() -> Vec<ConcurrentCase> {
+    concurrent_corpus()
+        .into_iter()
+        .filter(|c| !c.promises)
+        .take(5)
+        .collect()
+}
+
+fn spill_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seqwm-spill-diff-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Single-worker engine config: the spill-vs-RAM comparison is only
+/// bit-exact when the expansion order is deterministic.
+fn base_config(case: &ConcurrentCase) -> ExploreConfig {
+    ExploreConfig {
+        workers: 1,
+        // A small shard count concentrates entries so the coldest
+        // shard crosses the spill eligibility floor even on the
+        // smaller corpus cases.
+        shards: 2,
+        visited: VisitedMode::Exact,
+        ..engine_config(&case.config())
+    }
+}
+
+fn run_in_ram(case: &ConcurrentCase) -> EngineExploration {
+    let e = explore_engine(&case.programs(), &case.config(), &base_config(case));
+    assert!(!e.stats.truncated, "{}: baseline truncated", case.name);
+    e
+}
+
+fn run_spilled(case: &ConcurrentCase, tag: &str, fault: Option<FaultPlan>) -> EngineExploration {
+    let dir = spill_dir(tag);
+    let e = explore_engine(
+        &case.programs(),
+        &case.config(),
+        &ExploreConfig {
+            // A 1-byte budget forces every eligible shard out to disk:
+            // the run exercises the spill path maximally.
+            spill: Some(SpillSpec::new(&dir).budget_bytes(1)),
+            fault,
+            ..base_config(case)
+        },
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    e
+}
+
+fn behaviors(e: &EngineExploration) -> &BTreeSet<PsBehavior> {
+    &e.behaviors
+}
+
+/// The core acceptance test: in-RAM, spilled, and spilled-with-torn-
+/// writes runs are bit-identical over the litmus corpus.
+#[test]
+fn spilled_runs_match_in_ram_bit_for_bit() {
+    let mut spilled_somewhere = false;
+    for case in cheap_cases() {
+        let base = run_in_ram(&case);
+        let spilled = run_spilled(&case, &format!("clean-{}", case.name), None);
+        assert_eq!(
+            spilled.stats.states, base.stats.states,
+            "{}: spilling changed the state count",
+            case.name
+        );
+        assert_eq!(
+            spilled.stats.dedup_hits, base.stats.dedup_hits,
+            "{}: spilling changed dedup behavior",
+            case.name
+        );
+        assert_eq!(
+            behaviors(&spilled),
+            behaviors(&base),
+            "{}: spilling changed the behavior set",
+            case.name
+        );
+        assert_eq!(spilled.stats.stop, StopReason::Completed, "{}", case.name);
+        assert_eq!(
+            spilled.stats.spill_quarantined, 0,
+            "{}: clean disk must not quarantine",
+            case.name
+        );
+        assert_eq!(
+            spilled.stats.downgrades, 0,
+            "{}: spill-first means no lossy rung under a healthy disk",
+            case.name
+        );
+        spilled_somewhere |= spilled.stats.spill_shards > 0;
+    }
+    assert!(
+        spilled_somewhere,
+        "the 1-byte budget never spilled a shard anywhere in the corpus"
+    );
+}
+
+/// Torn spill writes are caught by read-back verification before the
+/// segment is trusted, so the results stay bit-identical even while
+/// the disk is shredding every other write.
+#[test]
+fn torn_spill_writes_stay_bit_identical() {
+    let mut tore_somewhere = false;
+    for (i, case) in cheap_cases().into_iter().enumerate() {
+        let base = run_in_ram(&case);
+        let faulty = run_spilled(
+            &case,
+            &format!("torn-{}", case.name),
+            Some(FaultPlan {
+                seed: 11 + i as u64,
+                disk_torn_write_per_mille: 500,
+                ..FaultPlan::default()
+            }),
+        );
+        assert_eq!(
+            faulty.stats.states, base.stats.states,
+            "{}: torn writes changed the state count",
+            case.name
+        );
+        assert_eq!(
+            behaviors(&faulty),
+            behaviors(&base),
+            "{}: torn writes changed the behavior set",
+            case.name
+        );
+        tore_somewhere |= faulty.stats.spill_quarantined > 0;
+    }
+    assert!(
+        tore_somewhere,
+        "the torn-write plan never actually tore a segment"
+    );
+}
+
+/// A failed read quarantines the segment and conservatively treats its
+/// fingerprints as unvisited: sound (possible re-exploration, states
+/// may only grow) and visible (quarantine counts), never a panic or a
+/// changed verdict.
+#[test]
+fn read_errors_only_cost_re_exploration() {
+    let mut quarantined_somewhere = false;
+    for (i, case) in cheap_cases().into_iter().enumerate() {
+        let base = run_in_ram(&case);
+        let faulty = run_spilled(
+            &case,
+            &format!("read-{}", case.name),
+            Some(FaultPlan {
+                seed: 7 + i as u64,
+                disk_read_error_per_mille: 400,
+                ..FaultPlan::default()
+            }),
+        );
+        assert_eq!(
+            behaviors(&faulty),
+            behaviors(&base),
+            "{}: read errors changed the behavior set",
+            case.name
+        );
+        assert!(
+            faulty.stats.states >= base.stats.states,
+            "{}: losing spilled dedup state cannot shrink the search",
+            case.name
+        );
+        assert_eq!(faulty.stats.stop, StopReason::Completed, "{}", case.name);
+        quarantined_somewhere |= faulty.stats.spill_quarantined > 0;
+    }
+    assert!(
+        quarantined_somewhere,
+        "the read-error plan never quarantined a segment"
+    );
+}
+
+/// Simulated ENOSPC disables the store and the engine falls back to
+/// the in-RAM lossy ladder — the run still completes with the same
+/// behavior set (fp128/fp64 are collision-safe at corpus scale).
+#[test]
+fn disk_full_degrades_to_the_lossy_ladder() {
+    let case = &cheap_cases()[0];
+    let base = run_in_ram(case);
+    let dir = spill_dir("enospc");
+    let faulty = explore_engine(
+        &case.programs(),
+        &case.config(),
+        &ExploreConfig {
+            spill: Some(SpillSpec::new(&dir).budget_bytes(1)),
+            // The ladder only engages under an in-RAM budget. 52
+            // bytes/state sits between the fp64 (48) and fp128 (56)
+            // footprints: exact and fp128 overflow, fp64 fits, so the
+            // dead store forces the full ladder but still completes.
+            max_memory: Some(52 * base.stats.states),
+            fault: Some(FaultPlan {
+                seed: 3,
+                disk_full_after_writes: Some(0),
+                ..FaultPlan::default()
+            }),
+            ..base_config(case)
+        },
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        behaviors(&faulty),
+        behaviors(&base),
+        "ENOSPC changed the behavior set"
+    );
+    assert_eq!(faulty.stats.spill_shards, 0, "a dead store cannot spill");
+    assert!(
+        faulty.stats.downgrades > 0,
+        "a dead store under memory pressure must take the lossy ladder"
+    );
+    assert_eq!(faulty.stats.stop, StopReason::Completed);
+}
