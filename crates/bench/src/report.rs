@@ -32,6 +32,10 @@ pub struct EnvFingerprint {
     pub arch: String,
     /// Available parallelism at measurement time.
     pub cpus: usize,
+    /// The highest worker count the scaling group was allowed to
+    /// measure (`SuiteConfig::max_workers`, 0 when the report predates
+    /// this field or was not produced by the suite).
+    pub worker_cap: usize,
     /// Whether the harness itself was compiled with debug assertions.
     pub debug_assertions: bool,
     /// `CARGO_PKG_VERSION` of the bench crate.
@@ -45,6 +49,7 @@ impl EnvFingerprint {
             os: std::env::consts::OS.to_string(),
             arch: std::env::consts::ARCH.to_string(),
             cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            worker_cap: 0,
             debug_assertions: cfg!(debug_assertions),
             pkg_version: env!("CARGO_PKG_VERSION").to_string(),
         }
@@ -123,10 +128,11 @@ impl BenchReport {
         let mut out = String::from("{");
         out.push_str(&format!("\"schema\":{},", json_string(&self.schema)));
         out.push_str(&format!(
-            "\"env\":{{\"os\":{},\"arch\":{},\"cpus\":{},\"debug_assertions\":{},\"pkg_version\":{}}},",
+            "\"env\":{{\"os\":{},\"arch\":{},\"cpus\":{},\"worker_cap\":{},\"debug_assertions\":{},\"pkg_version\":{}}},",
             json_string(&self.env.os),
             json_string(&self.env.arch),
             self.env.cpus,
+            self.env.worker_cap,
             self.env.debug_assertions,
             json_string(&self.env.pkg_version),
         ));
@@ -186,6 +192,12 @@ impl BenchReport {
             os: get(envo, "os")?.as_str("env.os")?.to_string(),
             arch: get(envo, "arch")?.as_str("env.arch")?.to_string(),
             cpus: get(envo, "cpus")?.as_u64("env.cpus")? as usize,
+            // Optional: reports written before the field existed stay
+            // readable (schema unchanged), parsing as "not recorded".
+            worker_cap: match get(envo, "worker_cap") {
+                Ok(v) => v.as_u64("env.worker_cap")? as usize,
+                Err(_) => 0,
+            },
             debug_assertions: get(envo, "debug_assertions")?.as_bool("env.debug_assertions")?,
             pkg_version: get(envo, "pkg_version")?
                 .as_str("env.pkg_version")?
@@ -335,8 +347,19 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, cfg: &CompareConfi
     }
     if baseline.env.cpus != current.env.cpus {
         out.warnings.push(format!(
-            "cpu count differs (baseline {}, current {})",
+            "WARNING: logical core count differs (baseline {}, current {}): \
+             scaling and multi-worker benches are NOT comparable across core \
+             counts — regenerate the baseline on this machine before trusting \
+             the gate",
             baseline.env.cpus, current.env.cpus
+        ));
+    }
+    if baseline.env.worker_cap != current.env.worker_cap {
+        out.warnings.push(format!(
+            "WARNING: scaling worker cap differs (baseline {}, current {}; \
+             0 = not recorded): the scaling group measured different \
+             parallelism",
+            baseline.env.worker_cap, current.env.worker_cap
         ));
     }
     for b in &baseline.results {
@@ -425,6 +448,38 @@ mod tests {
         assert!(BenchReport::from_json("{").is_err());
         assert!(BenchReport::from_json("{\"schema\":\"seqwm-bench/1\"}").is_err());
         assert!(BenchReport::from_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn reports_without_worker_cap_still_parse() {
+        let mut r = report(vec![]);
+        r.env.worker_cap = 8;
+        let text = r.to_json().replace("\"worker_cap\":8,", "");
+        let parsed = BenchReport::from_json(&text).unwrap();
+        assert_eq!(
+            parsed.env.worker_cap, 0,
+            "absent field reads as not-recorded, same schema"
+        );
+    }
+
+    #[test]
+    fn core_count_and_worker_cap_mismatches_warn_loudly() {
+        let mut base = report(vec![]);
+        base.env.cpus = 1;
+        base.env.worker_cap = 1;
+        let mut cur = report(vec![]);
+        cur.env.cpus = 8;
+        cur.env.worker_cap = 8;
+        let cmp = compare(&base, &cur, &CompareConfig::default());
+        assert!(cmp.passed(), "environment mismatches warn, never fail");
+        let loud: Vec<_> = cmp
+            .warnings
+            .iter()
+            .filter(|w| w.starts_with("WARNING:"))
+            .collect();
+        assert_eq!(loud.len(), 2, "{:?}", cmp.warnings);
+        assert!(loud[0].contains("core count"));
+        assert!(loud[1].contains("worker cap"));
     }
 
     #[test]

@@ -26,6 +26,7 @@ use seqwm_fuzz::{run_campaign, FuzzConfig};
 use seqwm_litmus::concurrent::find_concurrent;
 use seqwm_litmus::scaling::{mp_chain, na_disjoint, sb_ring};
 use seqwm_litmus::transform::{transform_corpus, Expectation};
+use seqwm_models::{plan_explore, ModelChoice, ModelKind, ModelOpts};
 use seqwm_opt::pipeline::Pipeline;
 use seqwm_promising::search::engine_config;
 use seqwm_seq::advanced::refines_advanced;
@@ -71,12 +72,18 @@ impl SuiteConfig {
         }
     }
 
-    fn worker_counts(&self) -> Vec<usize> {
-        let cap = if self.quick {
+    /// The scaling group's effective worker cap (quick halves the
+    /// ladder), recorded in the report's environment fingerprint.
+    fn effective_worker_cap(&self) -> usize {
+        if self.quick {
             2
         } else {
             self.max_workers.max(1)
-        };
+        }
+    }
+
+    fn worker_counts(&self) -> Vec<usize> {
+        let cap = self.effective_worker_cap();
         [1usize, 2, 4, 8]
             .into_iter()
             .filter(|&w| w <= cap)
@@ -155,6 +162,7 @@ fn run_suite_inner(cfg: &SuiteConfig, ids: Option<&mut Vec<String>>) -> BenchRep
         report: BenchReport::new(),
         ids,
     };
+    reg.report.env.worker_cap = cfg.effective_worker_cap();
     bench_explore(&mut reg);
     bench_scaling(&mut reg);
     bench_refine(&mut reg);
@@ -306,6 +314,41 @@ fn bench_scaling(reg: &mut Registrar<'_>) {
                 ("states".into(), e.stats.states as u64),
                 ("transitions".into(), e.stats.transitions as u64),
                 ("na_commutes".into(), e.stats.na_commutes as u64),
+            ]
+        });
+    }
+
+    // DRF-gated planner vs full PS^na on the race-free na-disjoint
+    // family: the `--model auto` ladder proves LDRF-SC on the SC scan
+    // and keeps its enumeration (~1.3k states, complete), while full
+    // PS^na promise synthesis cannot even finish the family inside a
+    // 10k-state budget — the psna leg is state-capped so the pair stays
+    // benchable, and its `truncated` meta records that the cap was the
+    // stopping rule. The state counts in `meta` are the measured
+    // evidence for the EXPERIMENTS.md entry;
+    // `tests/model_differential.rs` asserts the strict inequality.
+    let gated = na_disjoint(4);
+    let gated_progs = gated.programs();
+    for (tag, choice, ps_cap) in [
+        ("psna", ModelChoice::Fixed(ModelKind::PsNa), Some(10_000)),
+        ("drf-gated", ModelChoice::Auto, None),
+    ] {
+        let progs = gated_progs.clone();
+        let name = format!("{}/{tag}", gated.name);
+        let mut opts = ModelOpts::default();
+        if let Some(cap) = ps_cap {
+            opts.ps.max_states = cap;
+        }
+        reg.bench("scaling", &name, move || {
+            let r = plan_explore(&progs, choice, &opts);
+            vec![
+                ("n".into(), 4),
+                ("workers".into(), 1),
+                ("states".into(), r.exploration.states as u64),
+                ("checker_states".into(), r.checker_states as u64),
+                ("total_states".into(), r.total_states() as u64),
+                ("behaviors".into(), r.exploration.behaviors.len() as u64),
+                ("truncated".into(), u64::from(r.exploration.truncated)),
             ]
         });
     }

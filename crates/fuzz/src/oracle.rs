@@ -14,6 +14,13 @@
 //!    this holds whenever the optimization is correct; a failure is
 //!    either an optimizer bug or an engine divergence — both worth
 //!    reporting).
+//! 4. **model-diff** — cross-model behavior-set equality: when the
+//!    LDRF-SC checker proves the optimized composition race-free,
+//!    every registered backend (SC, SC-fence, RA, the promise-free
+//!    machine) must enumerate the *same* behavior set — the paper's
+//!    DRF theorems collapse the model hierarchy on race-free
+//!    programs, so any divergence is a backend implementation bug.
+//!    Racy programs pass vacuously (models legitimately differ).
 //!
 //! Every exploration runs through the fault-tolerant engine with
 //! per-case deadline/memory budgets. Resource exhaustion, engine
@@ -27,6 +34,7 @@ use std::time::Duration;
 
 use seqwm_explore::ExploreConfig;
 use seqwm_lang::Program;
+use seqwm_models::{backend as model_backend, ldrf_sc, ModelKind, ModelOpts, RaceVerdict};
 use seqwm_promising::machine::ps_behaviors_refine;
 use seqwm_promising::sc::{explore_sc_engine, ScConfig};
 use seqwm_promising::search::{engine_config, try_explore_engine};
@@ -46,6 +54,8 @@ pub enum OracleKind {
     PsCtx,
     /// SC cross-validation against the PS^na source behaviors.
     Sc,
+    /// Cross-model behavior-set equality on LDRF-SC-race-free targets.
+    ModelDiff,
 }
 
 impl OracleKind {
@@ -55,6 +65,7 @@ impl OracleKind {
             "seq" => OracleKind::Seq,
             "ps-ctx" => OracleKind::PsCtx,
             "sc" => OracleKind::Sc,
+            "model-diff" => OracleKind::ModelDiff,
             _ => return None,
         })
     }
@@ -66,6 +77,7 @@ impl fmt::Display for OracleKind {
             OracleKind::Seq => write!(f, "seq"),
             OracleKind::PsCtx => write!(f, "ps-ctx"),
             OracleKind::Sc => write!(f, "sc"),
+            OracleKind::ModelDiff => write!(f, "model-diff"),
         }
     }
 }
@@ -215,22 +227,22 @@ impl CheckVerdict {
     }
 }
 
-/// Runs all three oracles on one case. `ctx` is the concurrent
-/// context composed with both source and target for the PS^na and SC
-/// oracles; `None` checks the program in isolation.
+/// Runs all four oracles on one case. `ctx` is the concurrent
+/// context composed with both source and target for the PS^na, SC and
+/// model-diff oracles; `None` checks the program in isolation.
 pub fn check_target(
     target: FuzzTarget,
     src: &Program,
     ctx: Option<&Program>,
     budgets: &OracleBudgets,
 ) -> CheckVerdict {
-    check_target_upto(target, src, ctx, budgets, OracleKind::Sc)
+    check_target_upto(target, src, ctx, budgets, OracleKind::ModelDiff)
 }
 
 /// [`check_target`], but stopping after `last` in the fixed oracle
-/// order SEQ → PS^na → SC. The shrinker uses this to avoid paying for
-/// exploration-based oracles while minimizing a case the cheap SEQ
-/// checker already refutes.
+/// order SEQ → PS^na → SC → model-diff. The shrinker uses this to
+/// avoid paying for exploration-based oracles while minimizing a case
+/// the cheap SEQ checker already refutes.
 pub fn check_target_upto(
     target: FuzzTarget,
     src: &Program,
@@ -348,6 +360,75 @@ pub fn check_target_upto(
             detail: format!("SC behavior unmatched by source PS^na: {unmatched}"),
         };
     }
+    if last == OracleKind::Sc {
+        return CheckVerdict::Passed { states };
+    }
+
+    // Oracle 4: cross-model differential. An unreduced LDRF-SC scan of
+    // the optimized composition; on a RaceFree verdict the DRF
+    // theorems force every backend to enumerate the SAME behavior set,
+    // so the SC scan, the SC-fence and RA backends, and the PS^na
+    // enumeration already in hand must all coincide exactly. A `Racy`
+    // verdict passes vacuously; truncation quarantines the case.
+    let mopts = ModelOpts {
+        ps: budgets.ps.clone(),
+        // The scan runs reduction-off: keep its state bound at the
+        // (tight) PS budget rather than the roomier SC default so
+        // pathological compositions quarantine instead of stalling.
+        sc: ScConfig {
+            max_states: budgets.sc.max_states.min(budgets.ps.max_states),
+            ..budgets.sc.clone()
+        },
+        workers: 0,
+        reduction: None,
+    };
+    let (ldrf, sc_scan) = ldrf_sc(&tgt_threads, &mopts);
+    states += sc_scan.states;
+    match ldrf.verdict {
+        RaceVerdict::Racy => {}
+        RaceVerdict::Inconclusive => {
+            return CheckVerdict::Incident {
+                oracle: OracleKind::ModelDiff,
+                cause: IncidentCause::Truncated,
+                message: "LDRF-SC scan truncated; cross-model equality unchecked".to_string(),
+            };
+        }
+        RaceVerdict::RaceFree => {
+            for kind in [ModelKind::ScFence, ModelKind::Ra] {
+                let e = model_backend(kind).explore(&tgt_threads, &mopts);
+                states += e.states;
+                if e.truncated {
+                    return CheckVerdict::Incident {
+                        oracle: OracleKind::ModelDiff,
+                        cause: IncidentCause::Truncated,
+                        message: format!("{kind} exploration truncated"),
+                    };
+                }
+                if e.behaviors != sc_scan.behaviors {
+                    return CheckVerdict::Violation {
+                        oracle: OracleKind::ModelDiff,
+                        detail: format!(
+                            "backend {kind} disagrees with SC on a race-free program \
+                             ({} vs {} behaviors): a memory-model backend is unsound",
+                            e.behaviors.len(),
+                            sc_scan.behaviors.len()
+                        ),
+                    };
+                }
+            }
+            if tgt_ps.behaviors != sc_scan.behaviors {
+                return CheckVerdict::Violation {
+                    oracle: OracleKind::ModelDiff,
+                    detail: format!(
+                        "PS^na disagrees with SC on a race-free program \
+                         ({} vs {} behaviors): DRF-SC guarantee violated",
+                        tgt_ps.behaviors.len(),
+                        sc_scan.behaviors.len()
+                    ),
+                };
+            }
+        }
+    }
 
     CheckVerdict::Passed { states }
 }
@@ -365,7 +446,12 @@ mod tests {
 
     #[test]
     fn oracle_tags_round_trip() {
-        for o in [OracleKind::Seq, OracleKind::PsCtx, OracleKind::Sc] {
+        for o in [
+            OracleKind::Seq,
+            OracleKind::PsCtx,
+            OracleKind::Sc,
+            OracleKind::ModelDiff,
+        ] {
             assert_eq!(OracleKind::parse(&o.to_string()), Some(o));
         }
         assert_eq!(OracleKind::parse("psx"), None);

@@ -1,0 +1,681 @@
+//! The [`ModelBackend`] trait and the registered executable backends.
+//!
+//! Every backend instantiates the `seqwm-explore`
+//! [`TransitionSystem`](seqwm_explore::TransitionSystem) abstraction and
+//! enumerates behaviors in the shared [`PsBehavior`] vocabulary, so
+//! behavior sets are directly comparable across models — the invariant
+//! the cross-model differential oracle and the DRF-gated planner both
+//! rely on.
+//!
+//! The five production backends, strongest first:
+//!
+//! | kind | machine |
+//! |---|---|
+//! | [`ModelKind::Sc`] | flat-memory interleaving ([`ScSystem`]) |
+//! | [`ModelKind::ScFence`] | PF machine over [`sc_fence_everywhere`] |
+//! | [`ModelKind::Ra`] | PF machine over [`ra_strengthen`] |
+//! | [`ModelKind::Pf`] | promise-free PS^na machine |
+//! | [`ModelKind::PsNa`] | full PS^na (promises seeded from constants) |
+//!
+//! Expected behavior-set inclusions on any program:
+//! `SC ⊑ SCF ⊑ PF ⊑ PS^na` and `SC ⊑ RA ⊑ PF` (each strengthening can
+//! only *remove* behaviors). On race-free programs the paper's DRF
+//! theorems collapse the chain to equalities — which is what
+//! [`crate::plan`] exploits and `tests/model_differential.rs` asserts.
+
+use std::collections::BTreeSet;
+
+use seqwm_explore::ExploreConfig;
+use seqwm_lang::{FenceMode, Program, ReadMode, RmwMode, Stmt, WriteMode};
+use seqwm_promising::machine::PsBehavior;
+use seqwm_promising::sc::{ScConfig, ScSystem};
+use seqwm_promising::search::{engine_config, PsSystem};
+use seqwm_promising::thread::PsConfig;
+
+use crate::monitor::{pending_accesses, ConflictLog, ConflictSummary, Monitored};
+
+// ---------------------------------------------------------------------------
+// Model kinds
+// ---------------------------------------------------------------------------
+
+/// The registered memory models, strongest-to-weakest exploration cost.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ModelKind {
+    /// Sequential consistency: one flat memory, plain interleaving.
+    Sc,
+    /// SC-fence discipline: an `fence[sc]` after every access, run on
+    /// the promise-free machine.
+    ScFence,
+    /// Release/acquire: every relaxed access strengthened to
+    /// acquire/release, run on the promise-free machine.
+    Ra,
+    /// The promise-free fragment of PS^na (promises disabled).
+    Pf,
+    /// Full PS^na with promise synthesis.
+    PsNa,
+    /// A deliberately broken backend (drops one behavior) proving the
+    /// differential oracle catches an unsound model implementation.
+    #[cfg(feature = "fault-injection")]
+    PlantedUnsound,
+}
+
+impl ModelKind {
+    /// Stable CLI / wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Sc => "sc",
+            ModelKind::ScFence => "scf",
+            ModelKind::Ra => "ra",
+            ModelKind::Pf => "pf",
+            ModelKind::PsNa => "psna",
+            #[cfg(feature = "fault-injection")]
+            ModelKind::PlantedUnsound => "planted-unsound",
+        }
+    }
+
+    /// Parses a stable name back to the kind.
+    pub fn parse(s: &str) -> Option<ModelKind> {
+        Some(match s {
+            "sc" => ModelKind::Sc,
+            "scf" => ModelKind::ScFence,
+            "ra" => ModelKind::Ra,
+            "pf" => ModelKind::Pf,
+            "psna" => ModelKind::PsNa,
+            #[cfg(feature = "fault-injection")]
+            "planted-unsound" => ModelKind::PlantedUnsound,
+            _ => return None,
+        })
+    }
+
+    /// All registered kinds, strongest first (production builds omit
+    /// the planted-unsound backend).
+    pub fn all() -> Vec<ModelKind> {
+        vec![
+            ModelKind::Sc,
+            ModelKind::ScFence,
+            ModelKind::Ra,
+            ModelKind::Pf,
+            ModelKind::PsNa,
+            #[cfg(feature = "fault-injection")]
+            ModelKind::PlantedUnsound,
+        ]
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Options and results
+// ---------------------------------------------------------------------------
+
+/// Budget and engine knobs shared by every backend.
+#[derive(Clone, Debug, Default)]
+pub struct ModelOpts {
+    /// Bounds for the PS-machine family (PS^na, PF, RA, SC-fence).
+    pub ps: PsConfig,
+    /// Bounds for the SC machine.
+    pub sc: ScConfig,
+    /// Worker threads (0 = engine default of 1).
+    pub workers: usize,
+    /// Interleaving-reduction override for *behavior exploration*
+    /// (`None` = engine default, on). Race scans always force it off —
+    /// see [`ModelBackend::race_scan`].
+    pub reduction: Option<bool>,
+}
+
+impl ModelOpts {
+    fn apply(&self, mut ecfg: ExploreConfig) -> ExploreConfig {
+        if self.workers > 0 {
+            ecfg.workers = self.workers;
+        }
+        if let Some(r) = self.reduction {
+            ecfg.reduction = r;
+        }
+        ecfg
+    }
+
+    fn ps_engine(&self) -> ExploreConfig {
+        self.apply(engine_config(&self.ps))
+    }
+
+    fn sc_engine(&self) -> ExploreConfig {
+        self.apply(ExploreConfig {
+            max_states: self.sc.max_states,
+            max_depth: self.sc.max_steps,
+            ..ExploreConfig::default()
+        })
+    }
+}
+
+/// A behavior enumeration under one model.
+#[derive(Clone, Debug)]
+pub struct ModelExploration {
+    /// Which model produced it.
+    pub model: ModelKind,
+    /// The behavior set, in the shared [`PsBehavior`] vocabulary.
+    pub behaviors: BTreeSet<PsBehavior>,
+    /// Distinct states expanded.
+    pub states: usize,
+    /// A bound was hit: behaviors may be missing.
+    pub truncated: bool,
+    /// The machine itself observed a racy-access step (PS-family
+    /// machines only; the SC machine has no such notion).
+    pub racy: bool,
+}
+
+/// A race scan: an unreduced exploration plus what the conflict
+/// monitor saw along the way.
+#[derive(Clone, Debug)]
+pub struct RaceScan {
+    /// The (reduction-off) exploration the scan rode on.
+    pub exploration: ModelExploration,
+    /// Conflicting concurrently-enabled pairs, per LDRF level.
+    pub conflicts: ConflictSummary,
+}
+
+// ---------------------------------------------------------------------------
+// The trait
+// ---------------------------------------------------------------------------
+
+/// An executable memory-model backend.
+pub trait ModelBackend: Sync {
+    /// The registered kind.
+    fn kind(&self) -> ModelKind;
+
+    /// Stable name (defaults to the kind's).
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Enumerates the behaviors of the parallel composition `progs`
+    /// under this model, within `opts` bounds.
+    fn explore(&self, progs: &[Program], opts: &ModelOpts) -> ModelExploration;
+
+    /// Explores with the conflict monitor attached and interleaving
+    /// reduction forced OFF, so every reachable state of the bounded
+    /// space is inspected for concurrently enabled conflicting pairs.
+    /// (Reduction prunes interleavings, not reachable states, but the
+    /// unreduced scan makes the co-enabledness check exact by
+    /// construction rather than by a commutativity argument.)
+    fn race_scan(&self, progs: &[Program], opts: &ModelOpts) -> RaceScan;
+
+    /// A canonical fingerprint of an exploration's behavior set —
+    /// stable across backends, engines and runs, used by the
+    /// differential oracle's reporting.
+    fn behavior_fingerprint(&self, e: &ModelExploration) -> u128 {
+        let rendered: Vec<String> = e.behaviors.iter().map(|b| b.to_string()).collect();
+        seqwm_explore::fp128(&rendered)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Program transforms
+// ---------------------------------------------------------------------------
+
+/// Strengthens every relaxed atomic access to acquire/release (RMWs to
+/// acq-rel). Non-atomics are left alone — under RA they are exactly
+/// the race detectors' concern, not the model's. Running the
+/// promise-free machine on the result is the RA baseline model.
+pub fn ra_strengthen(prog: &Program) -> Program {
+    Program::new(ra_stmt(&prog.body))
+}
+
+fn ra_stmt(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Load(r, x, ReadMode::Rlx) => Stmt::Load(*r, *x, ReadMode::Acq),
+        Stmt::Store(x, WriteMode::Rlx, e) => Stmt::Store(*x, WriteMode::Rel, e.clone()),
+        Stmt::Cas {
+            dst,
+            loc,
+            expected,
+            new,
+            ..
+        } => Stmt::Cas {
+            dst: *dst,
+            loc: *loc,
+            expected: expected.clone(),
+            new: new.clone(),
+            mode: RmwMode::AcqRel,
+        },
+        Stmt::Fadd {
+            dst, loc, operand, ..
+        } => Stmt::Fadd {
+            dst: *dst,
+            loc: *loc,
+            operand: operand.clone(),
+            mode: RmwMode::AcqRel,
+        },
+        Stmt::Seq(a, b) => Stmt::Seq(Box::new(ra_stmt(a)), Box::new(ra_stmt(b))),
+        Stmt::If(c, a, b) => Stmt::If(c.clone(), Box::new(ra_stmt(a)), Box::new(ra_stmt(b))),
+        Stmt::While(c, b) => Stmt::While(c.clone(), Box::new(ra_stmt(b))),
+        other => other.clone(),
+    }
+}
+
+/// Appends an `fence[sc]` after every memory access (and strengthens
+/// like [`ra_strengthen`] first, so no relaxed access escapes the
+/// discipline). Running the promise-free machine on the result is the
+/// SC-fence baseline model.
+pub fn sc_fence_everywhere(prog: &Program) -> Program {
+    Program::new(scf_stmt(&ra_stmt(&prog.body)))
+}
+
+fn scf_stmt(s: &Stmt) -> Stmt {
+    match s {
+        acc @ (Stmt::Load(..) | Stmt::Store(..) | Stmt::Cas { .. } | Stmt::Fadd { .. }) => {
+            Stmt::seq(acc.clone(), Stmt::Fence(FenceMode::Sc))
+        }
+        Stmt::Seq(a, b) => Stmt::seq(scf_stmt(a), scf_stmt(b)),
+        Stmt::If(c, a, b) => Stmt::If(c.clone(), Box::new(scf_stmt(a)), Box::new(scf_stmt(b))),
+        Stmt::While(c, b) => Stmt::While(c.clone(), Box::new(scf_stmt(b))),
+        other => other.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PS-machine family plumbing
+// ---------------------------------------------------------------------------
+
+/// The PS config for the full PS^na backend: if the caller's config
+/// already allows promises it is used as-is; otherwise promises are
+/// enabled with values seeded from the programs' constants (the
+/// [`PsConfig::with_promises`] rule) while every *bound* of the
+/// caller's config is preserved.
+fn psna_cfg(progs: &[Program], base: &PsConfig) -> PsConfig {
+    if base.allow_promises {
+        return base.clone();
+    }
+    let refs: Vec<&Program> = progs.iter().collect();
+    PsConfig {
+        allow_promises: true,
+        promise_values: PsConfig::with_promises(&refs).promise_values,
+        ..base.clone()
+    }
+}
+
+fn pf_cfg(base: &PsConfig) -> PsConfig {
+    PsConfig {
+        allow_promises: false,
+        ..base.clone()
+    }
+}
+
+/// Runs the PS machine over (possibly transformed) programs.
+fn ps_explore(
+    kind: ModelKind,
+    progs: &[Program],
+    cfg: &PsConfig,
+    ecfg: &ExploreConfig,
+) -> ModelExploration {
+    let sys = PsSystem::new(progs, cfg);
+    let r = seqwm_explore::explore(&sys, ecfg);
+    ModelExploration {
+        model: kind,
+        behaviors: r.behaviors,
+        states: r.stats.states,
+        truncated: r.stats.truncated,
+        racy: r.stats.racy_steps > 0,
+    }
+}
+
+/// Runs the PS machine with the conflict monitor, reduction off.
+fn ps_scan(kind: ModelKind, progs: &[Program], cfg: &PsConfig, ecfg: &ExploreConfig) -> RaceScan {
+    let ecfg = ExploreConfig {
+        reduction: false,
+        ..ecfg.clone()
+    };
+    let sys = PsSystem::new(progs, cfg);
+    let log = ConflictLog::default();
+    let mon = Monitored::new(
+        &sys,
+        |st: &seqwm_promising::machine::MachineState| {
+            pending_accesses(st.threads.iter().map(|t| &t.prog))
+        },
+        &log,
+    );
+    let r = seqwm_explore::explore(&mon, &ecfg);
+    RaceScan {
+        exploration: ModelExploration {
+            model: kind,
+            behaviors: r.behaviors,
+            states: r.stats.states,
+            truncated: r.stats.truncated,
+            racy: r.stats.racy_steps > 0,
+        },
+        conflicts: log.summary(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backends
+// ---------------------------------------------------------------------------
+
+struct PsNaBackend;
+
+impl ModelBackend for PsNaBackend {
+    fn kind(&self) -> ModelKind {
+        ModelKind::PsNa
+    }
+
+    fn explore(&self, progs: &[Program], opts: &ModelOpts) -> ModelExploration {
+        let cfg = psna_cfg(progs, &opts.ps);
+        ps_explore(self.kind(), progs, &cfg, &opts.apply(engine_config(&cfg)))
+    }
+
+    fn race_scan(&self, progs: &[Program], opts: &ModelOpts) -> RaceScan {
+        let cfg = psna_cfg(progs, &opts.ps);
+        ps_scan(self.kind(), progs, &cfg, &opts.apply(engine_config(&cfg)))
+    }
+}
+
+struct PfBackend;
+
+impl ModelBackend for PfBackend {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Pf
+    }
+
+    fn explore(&self, progs: &[Program], opts: &ModelOpts) -> ModelExploration {
+        ps_explore(self.kind(), progs, &pf_cfg(&opts.ps), &opts.ps_engine())
+    }
+
+    fn race_scan(&self, progs: &[Program], opts: &ModelOpts) -> RaceScan {
+        ps_scan(self.kind(), progs, &pf_cfg(&opts.ps), &opts.ps_engine())
+    }
+}
+
+struct RaBackend;
+
+impl ModelBackend for RaBackend {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Ra
+    }
+
+    fn explore(&self, progs: &[Program], opts: &ModelOpts) -> ModelExploration {
+        let strong: Vec<Program> = progs.iter().map(ra_strengthen).collect();
+        ps_explore(self.kind(), &strong, &pf_cfg(&opts.ps), &opts.ps_engine())
+    }
+
+    fn race_scan(&self, progs: &[Program], opts: &ModelOpts) -> RaceScan {
+        let strong: Vec<Program> = progs.iter().map(ra_strengthen).collect();
+        ps_scan(self.kind(), &strong, &pf_cfg(&opts.ps), &opts.ps_engine())
+    }
+}
+
+struct ScFenceBackend;
+
+impl ModelBackend for ScFenceBackend {
+    fn kind(&self) -> ModelKind {
+        ModelKind::ScFence
+    }
+
+    fn explore(&self, progs: &[Program], opts: &ModelOpts) -> ModelExploration {
+        let fenced: Vec<Program> = progs.iter().map(sc_fence_everywhere).collect();
+        ps_explore(self.kind(), &fenced, &pf_cfg(&opts.ps), &opts.ps_engine())
+    }
+
+    fn race_scan(&self, progs: &[Program], opts: &ModelOpts) -> RaceScan {
+        let fenced: Vec<Program> = progs.iter().map(sc_fence_everywhere).collect();
+        ps_scan(self.kind(), &fenced, &pf_cfg(&opts.ps), &opts.ps_engine())
+    }
+}
+
+struct ScBackend;
+
+impl ModelBackend for ScBackend {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Sc
+    }
+
+    fn explore(&self, progs: &[Program], opts: &ModelOpts) -> ModelExploration {
+        let sys = ScSystem::new(progs, &opts.sc);
+        let r = seqwm_explore::explore(&sys, &opts.sc_engine());
+        ModelExploration {
+            model: self.kind(),
+            behaviors: r.behaviors,
+            states: r.stats.states,
+            truncated: r.stats.truncated,
+            racy: false,
+        }
+    }
+
+    fn race_scan(&self, progs: &[Program], opts: &ModelOpts) -> RaceScan {
+        let ecfg = ExploreConfig {
+            reduction: false,
+            ..opts.sc_engine()
+        };
+        let sys = ScSystem::new(progs, &opts.sc);
+        let log = ConflictLog::default();
+        let mon = Monitored::new(
+            &sys,
+            |st: &seqwm_promising::sc::ScState| pending_accesses(st.thread_states()),
+            &log,
+        );
+        let r = seqwm_explore::explore(&mon, &ecfg);
+        RaceScan {
+            exploration: ModelExploration {
+                model: self.kind(),
+                behaviors: r.behaviors,
+                states: r.stats.states,
+                truncated: r.stats.truncated,
+                racy: false,
+            },
+            conflicts: log.summary(),
+        }
+    }
+}
+
+/// A deliberately unsound backend: the promise-free enumeration with
+/// the greatest behavior silently dropped. Any race-free program with
+/// ≥ 2 behaviors makes it diverge from every sound backend, which the
+/// cross-model differential oracle must detect.
+#[cfg(feature = "fault-injection")]
+struct PlantedUnsoundBackend;
+
+#[cfg(feature = "fault-injection")]
+impl ModelBackend for PlantedUnsoundBackend {
+    fn kind(&self) -> ModelKind {
+        ModelKind::PlantedUnsound
+    }
+
+    fn explore(&self, progs: &[Program], opts: &ModelOpts) -> ModelExploration {
+        let mut e = ps_explore(self.kind(), progs, &pf_cfg(&opts.ps), &opts.ps_engine());
+        e.behaviors.pop_last();
+        e
+    }
+
+    fn race_scan(&self, progs: &[Program], opts: &ModelOpts) -> RaceScan {
+        let mut s = ps_scan(self.kind(), progs, &pf_cfg(&opts.ps), &opts.ps_engine());
+        s.exploration.behaviors.pop_last();
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+static PSNA: PsNaBackend = PsNaBackend;
+static PF: PfBackend = PfBackend;
+static RA: RaBackend = RaBackend;
+static SCF: ScFenceBackend = ScFenceBackend;
+static SC: ScBackend = ScBackend;
+#[cfg(feature = "fault-injection")]
+static PLANTED: PlantedUnsoundBackend = PlantedUnsoundBackend;
+
+/// Every registered backend, strongest model first.
+pub fn registry() -> Vec<&'static dyn ModelBackend> {
+    vec![
+        &SC,
+        &SCF,
+        &RA,
+        &PF,
+        &PSNA,
+        #[cfg(feature = "fault-injection")]
+        &PLANTED,
+    ]
+}
+
+/// The backend registered for `kind`.
+pub fn backend(kind: ModelKind) -> &'static dyn ModelBackend {
+    match kind {
+        ModelKind::Sc => &SC,
+        ModelKind::ScFence => &SCF,
+        ModelKind::Ra => &RA,
+        ModelKind::Pf => &PF,
+        ModelKind::PsNa => &PSNA,
+        #[cfg(feature = "fault-injection")]
+        ModelKind::PlantedUnsound => &PLANTED,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+    use seqwm_promising::machine::ps_behaviors_refine;
+
+    fn progs(srcs: &[&str]) -> Vec<Program> {
+        srcs.iter().map(|s| parse_program(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for k in ModelKind::all() {
+            assert_eq!(ModelKind::parse(k.name()), Some(k), "{k}");
+            assert_eq!(backend(k).kind(), k);
+        }
+        assert_eq!(ModelKind::parse("tso"), None);
+    }
+
+    #[test]
+    fn ra_strengthen_leaves_no_relaxed_access() {
+        let p = parse_program(
+            "store[rlx](bk_x, 1); a := load[rlx](bk_y);
+             b := cas[rlx](bk_z, 0, 1); c := fadd[acq](bk_z, 1);
+             if (a == 1) { store[na](bk_w, 1); } while (a < 1) { a := a + 1; }",
+        )
+        .unwrap();
+        let q = ra_strengthen(&p);
+        let text = q.to_string();
+        assert!(!text.contains("rlx"), "no rlx remains: {text}");
+        assert!(text.contains("store[na]"), "na untouched: {text}");
+    }
+
+    #[test]
+    fn sc_fence_everywhere_fences_every_access() {
+        let p = parse_program("store[rlx](bf_x, 1); a := load[acq](bf_y); return a;").unwrap();
+        let q = sc_fence_everywhere(&p);
+        let text = q.to_string();
+        assert_eq!(text.matches("fence[sc]").count(), 2, "{text}");
+    }
+
+    #[test]
+    fn backends_refine_down_the_chain_on_sb() {
+        // SB with relaxed accesses: PS^na/PF/RA admit the weak outcome,
+        // SC-fence and SC forbid it; every strengthening only removes
+        // behaviors.
+        let ps = progs(&[
+            "store[rlx](bc_x, 1); a := load[rlx](bc_y); return a;",
+            "store[rlx](bc_y, 1); b := load[rlx](bc_x); return b;",
+        ]);
+        let opts = ModelOpts::default();
+        let by_kind: Vec<(ModelKind, BTreeSet<PsBehavior>)> = [
+            ModelKind::Sc,
+            ModelKind::ScFence,
+            ModelKind::Ra,
+            ModelKind::Pf,
+            ModelKind::PsNa,
+        ]
+        .into_iter()
+        .map(|k| (k, backend(k).explore(&ps, &opts).behaviors))
+        .collect();
+        for w in by_kind.windows(2) {
+            let (stronger, weaker) = (&w[0], &w[1]);
+            assert!(
+                ps_behaviors_refine(&stronger.1, &weaker.1).is_ok(),
+                "{} ⊑ {} failed",
+                stronger.0,
+                weaker.0
+            );
+        }
+        let weak = |bs: &BTreeSet<PsBehavior>| bs.iter().any(|b| b.to_string() == "(0 ∥ 0)");
+        assert!(weak(&by_kind[4].1), "PS^na shows the weak SB outcome");
+        assert!(!weak(&by_kind[0].1), "SC forbids the weak SB outcome");
+        assert!(!weak(&by_kind[1].1), "SC-fence forbids the weak SB outcome");
+    }
+
+    #[test]
+    fn race_scan_spots_the_na_race_everywhere() {
+        let ps = progs(&[
+            "store[na](br_x, 1); return 0;",
+            "store[na](br_x, 2); return 0;",
+        ]);
+        let opts = ModelOpts::default();
+        for k in ModelKind::all() {
+            #[cfg(feature = "fault-injection")]
+            if k == ModelKind::PlantedUnsound {
+                continue;
+            }
+            let s = backend(k).race_scan(&ps, &opts);
+            assert!(s.conflicts.sc_conflict, "{k} misses the WW conflict");
+            assert!(s.conflicts.pf_conflict, "{k} misses the na write pair");
+        }
+    }
+
+    #[test]
+    fn race_scan_is_clean_on_disjoint_threads() {
+        let ps = progs(&[
+            "store[na](bd_a, 1); return 0;",
+            "store[na](bd_b, 1); return 0;",
+        ]);
+        let opts = ModelOpts::default();
+        let s = backend(ModelKind::Sc).race_scan(&ps, &opts);
+        assert!(!s.conflicts.sc_conflict);
+        assert!(!s.exploration.truncated);
+    }
+
+    #[test]
+    fn fingerprints_agree_iff_behaviors_agree() {
+        let ps = progs(&[
+            "store[na](bg_d, 1); store[rel](bg_f, 1); return 0;",
+            "a := load[acq](bg_f); if (a == 1) { b := load[na](bg_d); } return a;",
+        ]);
+        let opts = ModelOpts::default();
+        let sc = backend(ModelKind::Sc).explore(&ps, &opts);
+        let pf = backend(ModelKind::Pf).explore(&ps, &opts);
+        let psna = backend(ModelKind::PsNa).explore(&ps, &opts);
+        assert_eq!(sc.behaviors, pf.behaviors, "MP is race-free: models agree");
+        assert_eq!(
+            backend(ModelKind::Sc).behavior_fingerprint(&sc),
+            backend(ModelKind::Pf).behavior_fingerprint(&pf),
+        );
+        assert_eq!(
+            backend(ModelKind::Pf).behavior_fingerprint(&pf),
+            backend(ModelKind::PsNa).behavior_fingerprint(&psna),
+        );
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn planted_unsound_backend_diverges() {
+        let ps = progs(&[
+            "store[rel](bp_f, 1); return 0;",
+            "a := load[acq](bp_f); return a;",
+        ]);
+        let opts = ModelOpts::default();
+        let honest = backend(ModelKind::Pf).explore(&ps, &opts);
+        let planted = backend(ModelKind::PlantedUnsound).explore(&ps, &opts);
+        assert!(honest.behaviors.len() >= 2);
+        assert_eq!(planted.behaviors.len(), honest.behaviors.len() - 1);
+        assert_ne!(
+            backend(ModelKind::Pf).behavior_fingerprint(&honest),
+            backend(ModelKind::PlantedUnsound).behavior_fingerprint(&planted),
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! The three local-DRF checkers as bounded runtime verdicts.
+//!
+//! The paper's Coq artifact proves three *local* data-race-freedom
+//! theorems: if a program's races are confined below a synchronization
+//! discipline, its PS^na behaviors coincide with a stronger model's —
+//!
+//! * **LDRF-PF**: races only through `⊒ rel` writes ⟹ PS^na = PF
+//!   (promises are never needed);
+//! * **LDRF-RA**: races only through `⊒ rel/acq` pairs ⟹ PS^na = RA;
+//! * **LDRF-SC**: no races at all ⟹ PS^na = SC.
+//!
+//! The checkers here decide *conservative executable* versions of
+//! those premises by exhaustively scanning a bounded state space for
+//! concurrently enabled conflicting pairs (see [`crate::monitor`]):
+//!
+//! * SC level trips on **any** conflicting pair;
+//! * RA level trips on a pair with a side weaker than rel/acq, or on a
+//!   machine-observed non-atomic racy step;
+//! * PF level trips on a pair whose write side is weaker than rel
+//!   (only such writes can be promised early), or on a racy step.
+//!
+//! Over-approximation is one-directional by design: a spurious `Racy`
+//! merely forfeits the speed win; `RaceFree` always licenses the
+//! downgrade. Fuel discipline mirrors `promising::drf`: a truncated
+//! scan that found no race is [`RaceVerdict::Inconclusive`], never
+//! `RaceFree`.
+
+use std::fmt;
+
+use seqwm_lang::Program;
+use seqwm_promising::drf::RaceVerdict;
+
+use crate::backend::{backend, ModelExploration, ModelKind, ModelOpts};
+
+/// Which local-DRF theorem a verdict speaks to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LdrfLevel {
+    /// LDRF-SC: race-free ⟹ SC suffices.
+    Sc,
+    /// LDRF-RA: rel/acq-disciplined ⟹ RA suffices.
+    Ra,
+    /// LDRF-PF: release-write-disciplined ⟹ promise-free suffices.
+    Pf,
+}
+
+impl LdrfLevel {
+    /// Stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LdrfLevel::Sc => "ldrf-sc",
+            LdrfLevel::Ra => "ldrf-ra",
+            LdrfLevel::Pf => "ldrf-pf",
+        }
+    }
+}
+
+impl fmt::Display for LdrfLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One checker's verdict, with fuel accounting.
+#[derive(Clone, Debug)]
+pub struct LdrfOutcome {
+    /// The theorem checked.
+    pub level: LdrfLevel,
+    /// Race-free / racy / inconclusive (truncated scan, no race found).
+    pub verdict: RaceVerdict,
+    /// States the scan expanded (the checker's fuel spend).
+    pub states: usize,
+    /// A rendered witness when `Racy`.
+    pub witness: Option<String>,
+}
+
+impl fmt::Display for LdrfOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ({} states",
+            self.level, self.verdict, self.states
+        )?;
+        match &self.witness {
+            Some(w) => write!(f, "; witness: {w})"),
+            None => write!(f, ")"),
+        }
+    }
+}
+
+fn verdict(racy: bool, truncated: bool) -> RaceVerdict {
+    if racy {
+        RaceVerdict::Racy
+    } else if truncated {
+        RaceVerdict::Inconclusive
+    } else {
+        RaceVerdict::RaceFree
+    }
+}
+
+/// Runs the LDRF-SC checker: an unreduced scan of the SC machine,
+/// racy iff *any* conflicting pair is ever concurrently enabled.
+/// Returns the outcome plus the scan's exploration (reusable as the
+/// final SC enumeration when the verdict is `RaceFree`).
+pub fn ldrf_sc(progs: &[Program], opts: &ModelOpts) -> (LdrfOutcome, ModelExploration) {
+    let scan = backend(ModelKind::Sc).race_scan(progs, opts);
+    let racy = scan.conflicts.sc_conflict;
+    let out = LdrfOutcome {
+        level: LdrfLevel::Sc,
+        verdict: verdict(racy, scan.exploration.truncated),
+        states: scan.exploration.states,
+        witness: scan.conflicts.sc_witness.clone(),
+    };
+    (out, scan.exploration)
+}
+
+/// Runs the LDRF-RA and LDRF-PF checkers in ONE unreduced scan of the
+/// promise-free machine over the *original* (untransformed) programs:
+/// the RA verdict trips on any weaker-than-rel/acq side, the PF
+/// verdict only on weaker-than-rel *writes*, and both trip on a
+/// machine-observed non-atomic racy step. Returns `(ra, pf, scan)`;
+/// the scan exploration is the promise-free enumeration, reusable as
+/// the final result when either verdict is `RaceFree`.
+pub fn ldrf_pf_ra(
+    progs: &[Program],
+    opts: &ModelOpts,
+) -> (LdrfOutcome, LdrfOutcome, ModelExploration) {
+    let scan = backend(ModelKind::Pf).race_scan(progs, opts);
+    let machine_racy = scan.exploration.racy;
+    let na_witness = || Some("machine-observed non-atomic racy step".to_string());
+    let ra_racy = machine_racy || scan.conflicts.ra_conflict;
+    let pf_racy = machine_racy || scan.conflicts.pf_conflict;
+    let ra = LdrfOutcome {
+        level: LdrfLevel::Ra,
+        verdict: verdict(ra_racy, scan.exploration.truncated),
+        states: scan.exploration.states,
+        witness: scan.conflicts.ra_witness.clone().or_else(|| {
+            if machine_racy {
+                na_witness()
+            } else {
+                None
+            }
+        }),
+    };
+    let pf = LdrfOutcome {
+        level: LdrfLevel::Pf,
+        verdict: verdict(pf_racy, scan.exploration.truncated),
+        states: scan.exploration.states,
+        witness: scan.conflicts.pf_witness.clone().or_else(|| {
+            if machine_racy {
+                na_witness()
+            } else {
+                None
+            }
+        }),
+    };
+    (ra, pf, scan.exploration)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn progs(srcs: &[&str]) -> Vec<Program> {
+        srcs.iter().map(|s| parse_program(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn disjoint_program_is_race_free_at_every_level() {
+        let ps = progs(&[
+            "store[na](ld_a, 1); return 0;",
+            "store[na](ld_b, 1); return 0;",
+        ]);
+        let opts = ModelOpts::default();
+        let (sc, _) = ldrf_sc(&ps, &opts);
+        assert_eq!(sc.verdict, RaceVerdict::RaceFree, "{sc}");
+        let (ra, pf, _) = ldrf_pf_ra(&ps, &opts);
+        assert_eq!(ra.verdict, RaceVerdict::RaceFree);
+        assert_eq!(pf.verdict, RaceVerdict::RaceFree);
+    }
+
+    #[test]
+    fn mp_is_sc_racy_but_pf_race_free() {
+        // Message passing through a release flag: the flag pair is a
+        // conflict (SC level trips, conservatively) but both sides are
+        // rel/acq and the na data accesses never co-enable, so RA and
+        // PF verdicts are race-free — LDRF-PF licenses the promise-free
+        // downgrade exactly as the paper's theorem predicts.
+        let ps = progs(&[
+            "store[na](lm_d, 1); store[rel](lm_f, 1); return 0;",
+            "a := load[acq](lm_f); if (a == 1) { b := load[na](lm_d); } return a;",
+        ]);
+        let opts = ModelOpts::default();
+        let (sc, _) = ldrf_sc(&ps, &opts);
+        assert_eq!(sc.verdict, RaceVerdict::Racy, "conservative: {sc}");
+        let (ra, pf, _) = ldrf_pf_ra(&ps, &opts);
+        assert_eq!(ra.verdict, RaceVerdict::RaceFree, "{ra}");
+        assert_eq!(pf.verdict, RaceVerdict::RaceFree, "{pf}");
+    }
+
+    #[test]
+    fn relaxed_sb_is_racy_at_pf_level() {
+        // SB with rlx accesses: rlx writes are promisable, so even the
+        // PF-level checker must refuse the downgrade (PS^na genuinely
+        // has behaviors PF lacks on LB-shaped programs; on SB the
+        // refusal is conservative but required by the discipline).
+        let ps = progs(&[
+            "store[rlx](ls_x, 1); a := load[rlx](ls_y); return a;",
+            "store[rlx](ls_y, 1); b := load[rlx](ls_x); return b;",
+        ]);
+        let opts = ModelOpts::default();
+        let (ra, pf, _) = ldrf_pf_ra(&ps, &opts);
+        assert_eq!(ra.verdict, RaceVerdict::Racy);
+        assert_eq!(pf.verdict, RaceVerdict::Racy);
+        assert!(pf.witness.unwrap().contains("ls_"));
+    }
+
+    #[test]
+    fn na_race_trips_every_checker() {
+        let ps = progs(&[
+            "store[na](ln_x, 1); return 0;",
+            "a := load[na](ln_x); return a;",
+        ]);
+        let opts = ModelOpts::default();
+        let (sc, _) = ldrf_sc(&ps, &opts);
+        let (ra, pf, _) = ldrf_pf_ra(&ps, &opts);
+        assert_eq!(sc.verdict, RaceVerdict::Racy);
+        assert_eq!(ra.verdict, RaceVerdict::Racy);
+        assert_eq!(pf.verdict, RaceVerdict::Racy);
+    }
+
+    #[test]
+    fn truncated_scan_is_inconclusive() {
+        let ps = progs(&[
+            "store[na](lt_a, 1); return 0;",
+            "store[na](lt_b, 1); return 0;",
+        ]);
+        let mut opts = ModelOpts::default();
+        opts.sc.max_states = 1;
+        opts.ps.max_states = 1;
+        let (sc, _) = ldrf_sc(&ps, &opts);
+        assert_eq!(sc.verdict, RaceVerdict::Inconclusive, "{sc}");
+        let (ra, pf, _) = ldrf_pf_ra(&ps, &opts);
+        assert_eq!(ra.verdict, RaceVerdict::Inconclusive);
+        assert_eq!(pf.verdict, RaceVerdict::Inconclusive);
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+//! # seqwm-models
+//!
+//! Pluggable memory-model backends with local-DRF-gated exploration.
+//!
+//! The paper's artifact carries three *local* data-race-freedom theorems
+//! (LDRF-PF, LDRF-RA, LDRF-SC, `src/ldrfpf/LocalDRFPF.v` and friends):
+//! a program whose races are confined to a given synchronization
+//! discipline behaves identically under PS^na and under a strictly
+//! stronger (and much cheaper to explore) model. This crate turns those
+//! theorem statements into a runtime speed lever:
+//!
+//! * [`backend`] — a [`ModelBackend`] trait instantiating the
+//!   `seqwm-explore` [`TransitionSystem`](seqwm_explore::TransitionSystem)
+//!   abstraction, with five registered executable backends: full
+//!   **PS^na** (promises on), the promise-free fragment **PF**, a
+//!   release/acquire **RA** model (access-mode strengthening under the
+//!   promise-free machine), an **SC-fence** model (an SC fence after
+//!   every access), and the flat-memory interleaving **SC** machine.
+//!   Each backend exposes behavior enumeration ([`ModelBackend::explore`]),
+//!   race detection ([`ModelBackend::race_scan`]) and a canonical
+//!   behavior-set fingerprint ([`ModelBackend::behavior_fingerprint`]).
+//! * [`ldrf`] — the three local-DRF checkers as bounded runtime
+//!   verdicts: [`RaceVerdict::RaceFree`] / [`RaceVerdict::Racy`] /
+//!   [`RaceVerdict::Inconclusive`], with fuel accounting (states the
+//!   scan spent). A truncated scan is *never* reported race-free.
+//! * [`plan`] — the DRF-gated exploration planner: run the cheapest
+//!   sound checker first, downgrade the exploration backend on a
+//!   `RaceFree` verdict, fall back to full PS^na otherwise.
+//!
+//! The checkers are deliberately conservative: the executable race
+//! notions over-approximate the paper's (any concurrently enabled
+//! conflicting pair counts at the SC level; weaker-than-rel/acq sides
+//! at the RA level; weaker-than-rel writes at the PF level), so a
+//! `RaceFree` verdict always licenses the downgrade while a spurious
+//! `Racy` merely costs speed, never soundness.
+
+pub mod backend;
+pub mod ldrf;
+pub mod monitor;
+pub mod plan;
+
+pub use backend::{
+    backend, ra_strengthen, registry, sc_fence_everywhere, ModelBackend, ModelExploration,
+    ModelKind, ModelOpts, RaceScan,
+};
+pub use ldrf::{ldrf_pf_ra, ldrf_sc, LdrfLevel, LdrfOutcome};
+pub use monitor::ConflictSummary;
+pub use plan::{plan_explore, ModelChoice, PlanReport};
+pub use seqwm_promising::drf::RaceVerdict;

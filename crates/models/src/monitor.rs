@@ -1,0 +1,328 @@
+//! Race-detection monitoring: a [`TransitionSystem`] wrapper that
+//! inspects every expanded state for concurrently enabled conflicting
+//! accesses, classified by the synchronization strength the LDRF
+//! theorems care about.
+//!
+//! The monitor never changes the wrapped system's transitions — it
+//! only *observes* states as the engine expands them. Scans run with
+//! partial-order reduction disabled (the planner's checkers force
+//! `reduction = false`), so every reachable state of the bounded state
+//! space is visited and "concurrently enabled in some execution" is
+//! decided exactly, not up to a reduction argument.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use seqwm_explore::{AgentGroup, TransitionSystem};
+use seqwm_lang::{Loc, ProgState, ReadMode, Step, WriteMode};
+
+/// One thread's pending memory access at a state, pre-classified by
+/// the strength lattice the LDRF race notions use.
+#[derive(Clone, Debug)]
+pub struct Access {
+    /// Thread index.
+    pub tid: usize,
+    /// Location accessed.
+    pub loc: Loc,
+    /// Has a write component (plain write or RMW).
+    pub is_write: bool,
+    /// Some component is weaker than release/acquire (a `na`/`rlx`
+    /// read or write side) — the RA-level race trigger.
+    pub weak_side: bool,
+    /// The write component (if any) is weaker than release (`na` or
+    /// `rlx`) — the PF-level race trigger (only such writes can be
+    /// promised early).
+    pub weak_write: bool,
+    /// Rendered access for witness messages.
+    pub describe: String,
+}
+
+/// Extracts the pending accesses of per-thread program states (both
+/// the PS^na machine and the SC machine expose one [`ProgState`] per
+/// thread).
+pub fn pending_accesses<'a, I>(threads: I) -> Vec<Access>
+where
+    I: IntoIterator<Item = &'a ProgState>,
+{
+    let mut out = Vec::new();
+    for (tid, t) in threads.into_iter().enumerate() {
+        match t.step() {
+            Step::Read { loc, mode } => out.push(Access {
+                tid,
+                loc,
+                is_write: false,
+                weak_side: mode != ReadMode::Acq,
+                weak_write: false,
+                describe: format!("t{tid}: R[{mode}]({loc})"),
+            }),
+            Step::Write { loc, mode, .. } => out.push(Access {
+                tid,
+                loc,
+                is_write: true,
+                weak_side: mode != WriteMode::Rel,
+                weak_write: mode != WriteMode::Rel,
+                describe: format!("t{tid}: W[{mode}]({loc})"),
+            }),
+            Step::Rmw { loc, mode } => out.push(Access {
+                tid,
+                loc,
+                is_write: true,
+                weak_side: mode.read_mode() != ReadMode::Acq || mode.write_mode() != WriteMode::Rel,
+                weak_write: mode.write_mode() != WriteMode::Rel,
+                describe: format!("t{tid}: U[{mode}]({loc})"),
+            }),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Thread-safe conflict cells filled in by a scan (the engine may
+/// expand states from several workers).
+#[derive(Debug, Default)]
+pub struct ConflictLog {
+    sc: AtomicBool,
+    ra: AtomicBool,
+    pf: AtomicBool,
+    witness: Mutex<Witnesses>,
+}
+
+#[derive(Debug, Default)]
+struct Witnesses {
+    sc: Option<String>,
+    ra: Option<String>,
+    pf: Option<String>,
+}
+
+impl ConflictLog {
+    /// Classifies every conflicting pair among `accesses` (same
+    /// location, distinct threads, at least one write component).
+    pub fn scan(&self, accesses: &[Access]) {
+        for (i, a) in accesses.iter().enumerate() {
+            for b in &accesses[i + 1..] {
+                if a.tid == b.tid || a.loc != b.loc || !(a.is_write || b.is_write) {
+                    continue;
+                }
+                // SC level: *any* concurrently enabled conflicting pair
+                // forfeits the DRF-SC guarantee (maximally conservative:
+                // only fully conflict-free programs downgrade to SC).
+                self.record(Level::Sc, a, b);
+                // RA level: a side weaker than rel/acq.
+                if a.weak_side || b.weak_side {
+                    self.record(Level::Ra, a, b);
+                }
+                // PF level: a promisable (weaker-than-rel) write side.
+                if a.weak_write || b.weak_write {
+                    self.record(Level::Pf, a, b);
+                }
+            }
+        }
+    }
+
+    fn record(&self, level: Level, a: &Access, b: &Access) {
+        let flag = match level {
+            Level::Sc => &self.sc,
+            Level::Ra => &self.ra,
+            Level::Pf => &self.pf,
+        };
+        if flag.swap(true, Ordering::Relaxed) {
+            return; // already witnessed — keep the first
+        }
+        let text = format!("{} ∥ {}", a.describe, b.describe);
+        if let Ok(mut w) = self.witness.lock() {
+            let slot = match level {
+                Level::Sc => &mut w.sc,
+                Level::Ra => &mut w.ra,
+                Level::Pf => &mut w.pf,
+            };
+            if slot.is_none() {
+                *slot = Some(text);
+            }
+        }
+    }
+
+    /// The immutable summary once a scan finished.
+    pub fn summary(&self) -> ConflictSummary {
+        let w = match self.witness.lock() {
+            Ok(g) => Witnesses {
+                sc: g.sc.clone(),
+                ra: g.ra.clone(),
+                pf: g.pf.clone(),
+            },
+            Err(_) => Witnesses::default(),
+        };
+        ConflictSummary {
+            sc_conflict: self.sc.load(Ordering::Relaxed),
+            ra_conflict: self.ra.load(Ordering::Relaxed),
+            pf_conflict: self.pf.load(Ordering::Relaxed),
+            sc_witness: w.sc,
+            ra_witness: w.ra,
+            pf_witness: w.pf,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Level {
+    Sc,
+    Ra,
+    Pf,
+}
+
+/// What a race scan found, per LDRF level. The levels are nested:
+/// `pf_conflict ⇒ ra_conflict ⇒ sc_conflict`.
+#[derive(Clone, Debug, Default)]
+pub struct ConflictSummary {
+    /// Any concurrently enabled conflicting pair at all.
+    pub sc_conflict: bool,
+    /// A conflicting pair with a side weaker than rel/acq.
+    pub ra_conflict: bool,
+    /// A conflicting pair with a promisable (weaker-than-rel) write.
+    pub pf_conflict: bool,
+    /// First SC-level witness, rendered.
+    pub sc_witness: Option<String>,
+    /// First RA-level witness, rendered.
+    pub ra_witness: Option<String>,
+    /// First PF-level witness, rendered.
+    pub pf_witness: Option<String>,
+}
+
+/// A [`TransitionSystem`] that forwards to `inner` while logging the
+/// conflicting concurrently-enabled access pairs of every expanded
+/// state into a [`ConflictLog`].
+pub struct Monitored<'a, S, F> {
+    inner: &'a S,
+    extract: F,
+    log: &'a ConflictLog,
+}
+
+impl<'a, S, F> Monitored<'a, S, F> {
+    /// Wraps `inner`, extracting per-state pending accesses with
+    /// `extract`.
+    pub fn new(inner: &'a S, extract: F, log: &'a ConflictLog) -> Self {
+        Monitored {
+            inner,
+            extract,
+            log,
+        }
+    }
+}
+
+impl<S, F> TransitionSystem for Monitored<'_, S, F>
+where
+    S: TransitionSystem,
+    F: Fn(&S::State) -> Vec<Access> + Sync,
+{
+    type State = S::State;
+    type Behavior = S::Behavior;
+
+    fn initial_state(&self) -> S::State {
+        self.inner.initial_state()
+    }
+
+    fn agent_groups(&self, st: &S::State) -> Vec<AgentGroup<S::State, S::Behavior>> {
+        self.log.scan(&(self.extract)(st));
+        self.inner.agent_groups(st)
+    }
+
+    fn terminal_behavior(&self, st: &S::State) -> Option<S::Behavior> {
+        self.inner.terminal_behavior(st)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    /// Parses `src` and silently steps to the first non-silent step,
+    /// so the pending access is actually pending (a fresh `ProgState`
+    /// sits at a `Seq` unfold).
+    fn at_access(src: &str) -> ProgState {
+        let p = parse_program(src).unwrap();
+        let mut t = ProgState::new(&p);
+        for _ in 0..32 {
+            match t.step() {
+                Step::Silent(next) => t = next,
+                _ => break,
+            }
+        }
+        t
+    }
+
+    fn pending(srcs: &[&str]) -> Vec<Access> {
+        let threads: Vec<ProgState> = srcs.iter().map(|s| at_access(s)).collect();
+        pending_accesses(&threads)
+    }
+
+    #[test]
+    fn disjoint_writers_have_no_conflict() {
+        let log = ConflictLog::default();
+        log.scan(&pending(&[
+            "store[na](mon_a, 1); return 0;",
+            "store[na](mon_b, 1); return 0;",
+        ]));
+        let s = log.summary();
+        assert!(!s.sc_conflict && !s.ra_conflict && !s.pf_conflict);
+    }
+
+    #[test]
+    fn na_write_pair_trips_every_level() {
+        let log = ConflictLog::default();
+        log.scan(&pending(&[
+            "store[na](mon_x, 1); return 0;",
+            "store[na](mon_x, 2); return 0;",
+        ]));
+        let s = log.summary();
+        assert!(s.sc_conflict && s.ra_conflict && s.pf_conflict);
+        assert!(s.pf_witness.unwrap().contains("mon_x"));
+    }
+
+    #[test]
+    fn rel_acq_pair_is_sc_level_only() {
+        let log = ConflictLog::default();
+        log.scan(&pending(&[
+            "store[rel](mon_f, 1); return 0;",
+            "a := load[acq](mon_f); return a;",
+        ]));
+        let s = log.summary();
+        assert!(s.sc_conflict, "conflicting pair forfeits DRF-SC");
+        assert!(!s.ra_conflict, "both sides are rel/acq");
+        assert!(!s.pf_conflict, "the write is a release");
+    }
+
+    #[test]
+    fn rlx_write_trips_pf_level() {
+        let log = ConflictLog::default();
+        log.scan(&pending(&[
+            "store[rlx](mon_y, 1); return 0;",
+            "a := load[acq](mon_y); return a;",
+        ]));
+        let s = log.summary();
+        assert!(s.ra_conflict, "a rlx side is weaker than rel/acq");
+        assert!(s.pf_conflict, "a rlx write is promisable");
+    }
+
+    #[test]
+    fn read_read_pairs_never_conflict() {
+        let log = ConflictLog::default();
+        log.scan(&pending(&[
+            "a := load[na](mon_r); return a;",
+            "b := load[na](mon_r); return b;",
+        ]));
+        assert!(!log.summary().sc_conflict);
+    }
+
+    #[test]
+    fn rmw_counts_as_write() {
+        let log = ConflictLog::default();
+        log.scan(&pending(&[
+            "a := fadd[acqrel](mon_c, 1); return a;",
+            "b := load[acq](mon_c); return b;",
+        ]));
+        let s = log.summary();
+        assert!(s.sc_conflict);
+        assert!(!s.ra_conflict, "acqrel RMW vs acq load is RA-synchronized");
+    }
+}

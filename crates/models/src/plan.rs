@@ -1,0 +1,273 @@
+//! The DRF-gated exploration planner.
+//!
+//! `--model auto` runs the checker ladder cheapest-first and downgrades
+//! the exploration backend as far as the verdicts allow:
+//!
+//! 1. **LDRF-SC scan** (unreduced SC exploration with the conflict
+//!    monitor). `RaceFree` ⟹ the SC behavior set *is* the PS^na
+//!    behavior set — the scan's enumeration is returned as-is, so the
+//!    whole pipeline cost one SC-sized exploration.
+//! 2. Otherwise, **LDRF-RA + LDRF-PF in one promise-free scan**.
+//!    Either verdict `RaceFree` ⟹ the promise-free enumeration is
+//!    complete (LDRF-RA implies LDRF-PF's premise under our
+//!    conservative predicates: an RA-disciplined program a fortiori
+//!    confines its sub-release writes), and the scan is reused.
+//! 3. Otherwise, **full PS^na** with promises, reduction on.
+//!
+//! Every checker verdict is reported in [`PlanReport::checks`] with its
+//! fuel spend, and [`PlanReport::total_states`] is the whole pipeline's
+//! state budget — the number the `drf-gated` bench pair and the
+//! acceptance test in `tests/model_differential.rs` compare against a
+//! straight `--model psna` run.
+
+use std::fmt;
+
+use seqwm_lang::Program;
+use seqwm_promising::drf::RaceVerdict;
+
+use crate::backend::{backend, ModelExploration, ModelKind, ModelOpts};
+use crate::ldrf::{ldrf_pf_ra, ldrf_sc, LdrfOutcome};
+
+/// What the user asked to explore under.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModelChoice {
+    /// Run the DRF-gated ladder.
+    Auto,
+    /// Use exactly this backend, no checking.
+    Fixed(ModelKind),
+}
+
+impl ModelChoice {
+    /// Parses `"auto"` or a backend name.
+    pub fn parse(s: &str) -> Option<ModelChoice> {
+        if s == "auto" {
+            return Some(ModelChoice::Auto);
+        }
+        ModelKind::parse(s).map(ModelChoice::Fixed)
+    }
+
+    /// Stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelChoice::Auto => "auto",
+            ModelChoice::Fixed(k) => k.name(),
+        }
+    }
+}
+
+impl fmt::Display for ModelChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The planner's full account of one gated exploration.
+#[derive(Clone, Debug)]
+pub struct PlanReport {
+    /// What was asked for.
+    pub requested: ModelChoice,
+    /// The backend that produced [`Self::exploration`].
+    pub chosen: ModelKind,
+    /// Every checker verdict taken along the ladder, in order.
+    pub checks: Vec<LdrfOutcome>,
+    /// The final behavior enumeration.
+    pub exploration: ModelExploration,
+    /// States spent by checker scans whose exploration was *not*
+    /// reused as the final enumeration.
+    pub checker_states: usize,
+    /// The final enumeration is a checker scan's (no extra exploration
+    /// was run).
+    pub reused_scan: bool,
+}
+
+impl PlanReport {
+    /// Total states the pipeline expanded: discarded checker scans
+    /// plus the final enumeration.
+    pub fn total_states(&self) -> usize {
+        self.checker_states + self.exploration.states
+    }
+
+    /// True when every scan and the final enumeration ran to
+    /// completion (behaviors cannot be missing).
+    pub fn complete(&self) -> bool {
+        !self.exploration.truncated
+            && self
+                .checks
+                .iter()
+                .all(|c| c.verdict != RaceVerdict::Inconclusive)
+    }
+}
+
+/// Explores `progs` under `choice`, running the DRF-gated ladder for
+/// [`ModelChoice::Auto`].
+pub fn plan_explore(progs: &[Program], choice: ModelChoice, opts: &ModelOpts) -> PlanReport {
+    let fixed = match choice {
+        ModelChoice::Fixed(k) => Some(k),
+        ModelChoice::Auto => None,
+    };
+    if let Some(k) = fixed {
+        return PlanReport {
+            requested: choice,
+            chosen: k,
+            checks: Vec::new(),
+            exploration: backend(k).explore(progs, opts),
+            checker_states: 0,
+            reused_scan: false,
+        };
+    }
+
+    // Rung 1: the SC scan. RaceFree ⟹ LDRF-SC applies and the scan's
+    // behavior set is already the PS^na behavior set.
+    let (sc_check, sc_expl) = ldrf_sc(progs, opts);
+    let mut checks = vec![sc_check];
+    if checks[0].verdict == RaceVerdict::RaceFree {
+        return PlanReport {
+            requested: choice,
+            chosen: ModelKind::Sc,
+            checks,
+            exploration: sc_expl,
+            checker_states: 0,
+            reused_scan: true,
+        };
+    }
+    let sc_states = sc_expl.states;
+
+    // Rung 2: one promise-free scan decides both LDRF-RA and LDRF-PF.
+    // Either RaceFree verdict licenses the promise-free enumeration
+    // (LDRF-RA's premise implies LDRF-PF's under the conservative
+    // predicates), and that enumeration is exactly the scan.
+    let (ra_check, pf_check, pf_expl) = ldrf_pf_ra(progs, opts);
+    let downgrade =
+        ra_check.verdict == RaceVerdict::RaceFree || pf_check.verdict == RaceVerdict::RaceFree;
+    checks.push(ra_check);
+    checks.push(pf_check);
+    if downgrade {
+        return PlanReport {
+            requested: choice,
+            chosen: ModelKind::Pf,
+            checks,
+            exploration: pf_expl,
+            checker_states: sc_states,
+            reused_scan: true,
+        };
+    }
+
+    // Rung 3: no discipline holds — full PS^na.
+    PlanReport {
+        requested: choice,
+        chosen: ModelKind::PsNa,
+        checks,
+        exploration: backend(ModelKind::PsNa).explore(progs, opts),
+        checker_states: sc_states + pf_expl.states,
+        reused_scan: false,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn progs(srcs: &[&str]) -> Vec<Program> {
+        srcs.iter().map(|s| parse_program(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn choice_parse_round_trips() {
+        assert_eq!(ModelChoice::parse("auto"), Some(ModelChoice::Auto));
+        assert_eq!(
+            ModelChoice::parse("psna"),
+            Some(ModelChoice::Fixed(ModelKind::PsNa))
+        );
+        assert_eq!(ModelChoice::parse("tso"), None);
+    }
+
+    #[test]
+    fn conflict_free_program_downgrades_to_sc_with_equal_behaviors() {
+        let ps = progs(&[
+            "store[na](pl_a, 1); store[na](pl_a, 2); return 0;",
+            "store[na](pl_b, 1); return 0;",
+        ]);
+        let opts = ModelOpts::default();
+        let auto = plan_explore(&ps, ModelChoice::Auto, &opts);
+        assert_eq!(auto.chosen, ModelKind::Sc);
+        assert!(auto.reused_scan);
+        assert!(auto.complete());
+        let psna = plan_explore(&ps, ModelChoice::Fixed(ModelKind::PsNa), &opts);
+        assert_eq!(auto.exploration.behaviors, psna.exploration.behaviors);
+        assert!(
+            auto.total_states() < psna.total_states(),
+            "gated {} vs psna {}",
+            auto.total_states(),
+            psna.total_states()
+        );
+    }
+
+    #[test]
+    fn mp_downgrades_to_promise_free() {
+        let ps = progs(&[
+            "store[na](pm_d, 1); store[rel](pm_f, 1); return 0;",
+            "a := load[acq](pm_f); if (a == 1) { b := load[na](pm_d); } return a;",
+        ]);
+        let opts = ModelOpts::default();
+        let auto = plan_explore(&ps, ModelChoice::Auto, &opts);
+        assert_eq!(auto.chosen, ModelKind::Pf, "checks: {:?}", auto.checks);
+        assert!(auto.reused_scan);
+        assert_eq!(auto.checks.len(), 3, "SC, RA and PF verdicts reported");
+        let psna = plan_explore(&ps, ModelChoice::Fixed(ModelKind::PsNa), &opts);
+        assert_eq!(auto.exploration.behaviors, psna.exploration.behaviors);
+    }
+
+    #[test]
+    fn relaxed_program_falls_back_to_full_psna() {
+        // LB with relaxed accesses: promises genuinely add behaviors,
+        // and no checker may license a downgrade.
+        let ps = progs(&[
+            "a := load[rlx](pf_x); store[rlx](pf_y, 1); return a;",
+            "b := load[rlx](pf_y); store[rlx](pf_x, 1); return b;",
+        ]);
+        let opts = ModelOpts::default();
+        let auto = plan_explore(&ps, ModelChoice::Auto, &opts);
+        assert_eq!(auto.chosen, ModelKind::PsNa);
+        assert!(!auto.reused_scan);
+        assert!(auto.checker_states > 0, "scan fuel is accounted");
+        let psna = plan_explore(&ps, ModelChoice::Fixed(ModelKind::PsNa), &opts);
+        assert_eq!(auto.exploration.behaviors, psna.exploration.behaviors);
+        // The weak LB outcome requires promises; the fallback keeps it.
+        assert!(auto
+            .exploration
+            .behaviors
+            .iter()
+            .any(|b| b.to_string() == "(1 ∥ 1)"));
+    }
+
+    #[test]
+    fn racy_program_fallback_preserves_ub() {
+        let ps = progs(&[
+            "store[na](pr_x, 1); return 0;",
+            "store[na](pr_x, 2); return 0;",
+        ]);
+        let opts = ModelOpts::default();
+        let auto = plan_explore(&ps, ModelChoice::Auto, &opts);
+        assert_eq!(auto.chosen, ModelKind::PsNa);
+        assert!(auto
+            .exploration
+            .behaviors
+            .iter()
+            .any(|b| b.to_string() == "⊥"));
+    }
+
+    #[test]
+    fn fixed_choice_skips_all_checks() {
+        let ps = progs(&["store[na](px_a, 1); return 0;"]);
+        let r = plan_explore(
+            &ps,
+            ModelChoice::Fixed(ModelKind::Sc),
+            &ModelOpts::default(),
+        );
+        assert!(r.checks.is_empty());
+        assert_eq!(r.checker_states, 0);
+        assert_eq!(r.chosen, ModelKind::Sc);
+    }
+}

@@ -11,14 +11,46 @@
 //!   and SC. The DRF guarantee predicts that for programs that are
 //!   race-free *and* whose atomics are acquire/release-synchronized, the
 //!   sets coincide (up to the exploration bounds).
+//!
+//! Every verdict here is **fuel-aware**: an enumeration cut short by a
+//! state/step bound surfaces as [`DrfEquality::Inconclusive`] (or
+//! [`RaceVerdict::Inconclusive`]), never as a coincidence or divergence
+//! verdict computed from incomplete behavior sets — the same discipline
+//! `RefineError::Truncated` enforces for the SEQ checker. A *found* race
+//! is definitive even under truncation (the witness is real); only the
+//! absence of races and the equality of behavior sets demand exhaustion.
 
 use std::collections::BTreeSet;
+use std::fmt;
 
 use seqwm_lang::Program;
 
 use crate::machine::{explore, PsBehavior};
 use crate::sc::{explore_sc, ScConfig};
 use crate::thread::PsConfig;
+
+/// The three-valued race verdict of a bounded enumeration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RaceVerdict {
+    /// The exhaustive enumeration reached no racy access.
+    RaceFree,
+    /// A racy access is reachable (definitive even if bounds were also
+    /// hit: the witness execution is real).
+    Racy,
+    /// No race found, but the enumeration was truncated — a race may
+    /// hide beyond the bound.
+    Inconclusive,
+}
+
+impl fmt::Display for RaceVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaceVerdict::RaceFree => write!(f, "race-free"),
+            RaceVerdict::Racy => write!(f, "racy"),
+            RaceVerdict::Inconclusive => write!(f, "inconclusive"),
+        }
+    }
+}
 
 /// The racy-ness verdict for a parallel program.
 #[derive(Clone, Debug)]
@@ -27,10 +59,25 @@ pub struct RaceReport {
     pub racy: bool,
     /// A racy *write* (UB) reachable?
     pub ub_reachable: bool,
-    /// States explored.
+    /// States explored (the fuel this check spent).
     pub states: usize,
     /// Whether bounds were hit.
     pub truncated: bool,
+}
+
+impl RaceReport {
+    /// The fuel-aware verdict: `racy` wins over truncation (a found
+    /// race is a real witness), but "no race found" under truncation is
+    /// [`RaceVerdict::Inconclusive`], not [`RaceVerdict::RaceFree`].
+    pub fn verdict(&self) -> RaceVerdict {
+        if self.racy {
+            RaceVerdict::Racy
+        } else if self.truncated {
+            RaceVerdict::Inconclusive
+        } else {
+            RaceVerdict::RaceFree
+        }
+    }
 }
 
 /// Explores the program under full PS^na and reports reachable races.
@@ -44,45 +91,137 @@ pub fn race_report(progs: &[Program], cfg: &PsConfig) -> RaceReport {
     }
 }
 
+/// A fuel-aware equality verdict between two behavior enumerations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DrfEquality {
+    /// Both enumerations exhausted their state spaces and the sets are
+    /// equal.
+    Equal,
+    /// Both enumerations exhausted their state spaces and the sets
+    /// differ.
+    Diverges,
+    /// At least one enumeration was truncated: the sets are not
+    /// comparable (missing elements could fabricate either verdict).
+    Inconclusive,
+}
+
+impl DrfEquality {
+    fn of(
+        a: &BTreeSet<PsBehavior>,
+        a_truncated: bool,
+        b: &BTreeSet<PsBehavior>,
+        b_truncated: bool,
+    ) -> DrfEquality {
+        if a_truncated || b_truncated {
+            DrfEquality::Inconclusive
+        } else if a == b {
+            DrfEquality::Equal
+        } else {
+            DrfEquality::Diverges
+        }
+    }
+
+    /// Did the guarantee definitively hold?
+    pub fn holds(self) -> bool {
+        self == DrfEquality::Equal
+    }
+}
+
+impl fmt::Display for DrfEquality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrfEquality::Equal => write!(f, "equal"),
+            DrfEquality::Diverges => write!(f, "diverges"),
+            DrfEquality::Inconclusive => write!(f, "INCONCLUSIVE (truncated)"),
+        }
+    }
+}
+
+/// Exploration budgets for [`drf_check_with`]: caps on the three
+/// enumerations so a pathological program degrades to
+/// [`DrfEquality::Inconclusive`] instead of running unbounded.
+#[derive(Clone, Debug, Default)]
+pub struct DrfBudget {
+    /// Bounds for the two PS^na-family runs (`max_states`,
+    /// `max_machine_steps`, `max_msgs_per_loc` are the effective caps).
+    pub ps: PsConfig,
+    /// Bounds for the SC run.
+    pub sc: ScConfig,
+}
+
 /// A three-way model comparison for the DRF guarantees.
 #[derive(Clone, Debug)]
 pub struct DrfReport {
     /// Racy under PS^na?
     pub racy: bool,
+    /// Was *any* of the three enumerations truncated?
+    pub truncated: bool,
     /// Behaviors under full PS^na (with promises).
     pub ps_behaviors: BTreeSet<PsBehavior>,
     /// Behaviors under the promise-free fragment (RA baseline).
     pub ra_behaviors: BTreeSet<PsBehavior>,
     /// Behaviors under SC.
     pub sc_behaviors: BTreeSet<PsBehavior>,
-    /// `ps == ra` (the promise-free DRF guarantee held on this program)?
-    pub ps_equals_ra: bool,
-    /// `ra == sc` (the DRF-SC guarantee held on this program)?
-    pub ra_equals_sc: bool,
+    /// `ps == ra` (the promise-free DRF guarantee), fuel-aware.
+    pub ps_vs_ra: DrfEquality,
+    /// `ra == sc` (the DRF-SC guarantee), fuel-aware.
+    pub ra_vs_sc: DrfEquality,
+    /// Total states across the three runs (fuel spent).
+    pub states: usize,
 }
 
-/// Runs the three machines and compares behavior sets.
+impl DrfReport {
+    /// Did the promise-free guarantee definitively hold?
+    pub fn ps_equals_ra(&self) -> bool {
+        self.ps_vs_ra.holds()
+    }
+
+    /// Did the DRF-SC guarantee definitively hold?
+    pub fn ra_equals_sc(&self) -> bool {
+        self.ra_vs_sc.holds()
+    }
+}
+
+/// Runs the three machines and compares behavior sets under the
+/// default budget.
 ///
 /// `promises` enables promise steps for the full-PS^na run (pass `false`
 /// for programs where promises cannot matter, to save exploration time).
 pub fn drf_check(progs: &[Program], promises: bool) -> DrfReport {
+    drf_check_with(progs, promises, &DrfBudget::default())
+}
+
+/// [`drf_check`] under explicit exploration budgets. Truncation in any
+/// run makes the affected equality verdicts
+/// [`DrfEquality::Inconclusive`] — never a coincidence or divergence
+/// computed from an incomplete set.
+pub fn drf_check_with(progs: &[Program], promises: bool, budget: &DrfBudget) -> DrfReport {
     let prog_refs: Vec<&Program> = progs.iter().collect();
     let ps_cfg = if promises {
-        PsConfig::with_promises(&prog_refs)
+        PsConfig {
+            allow_promises: true,
+            promise_values: PsConfig::with_promises(&prog_refs).promise_values,
+            ..budget.ps.clone()
+        }
     } else {
-        PsConfig::default()
+        PsConfig {
+            allow_promises: false,
+            ..budget.ps.clone()
+        }
     };
     let ra_cfg = PsConfig {
         allow_promises: false,
-        ..PsConfig::default()
+        ..budget.ps.clone()
     };
     let ps = explore(progs, &ps_cfg);
     let ra = explore(progs, &ra_cfg);
-    let sc = explore_sc(progs, &ScConfig::default());
+    let sc = explore_sc(progs, &budget.sc);
     DrfReport {
         racy: ps.racy,
-        ps_equals_ra: ps.behaviors == ra.behaviors,
-        ra_equals_sc: ra.behaviors == sc.behaviors,
+        truncated: ps.truncated || ra.truncated || sc.truncated,
+        ps_vs_ra: DrfEquality::of(&ps.behaviors, ps.truncated, &ra.behaviors, ra.truncated),
+        ra_vs_sc: DrfEquality::of(&ra.behaviors, ra.truncated, &sc.behaviors, sc.truncated),
+        states: ps.states + ra.states + sc.states,
         ps_behaviors: ps.behaviors,
         ra_behaviors: ra.behaviors,
         sc_behaviors: sc.behaviors,
@@ -106,7 +245,13 @@ mod tests {
         ]);
         let report = drf_check(&ps, true);
         assert!(!report.racy, "MP is race-free");
-        assert!(report.ps_equals_ra, "promises do not add behaviors to MP");
+        assert!(!report.truncated);
+        assert_eq!(
+            report.ps_vs_ra,
+            DrfEquality::Equal,
+            "promises do not add behaviors to MP"
+        );
+        assert!(report.ps_equals_ra());
     }
 
     #[test]
@@ -118,6 +263,7 @@ mod tests {
         let r = race_report(&ps, &PsConfig::default());
         assert!(r.racy);
         assert!(r.ub_reachable);
+        assert_eq!(r.verdict(), RaceVerdict::Racy);
     }
 
     #[test]
@@ -126,6 +272,7 @@ mod tests {
         let r = race_report(&ps, &PsConfig::default());
         assert!(!r.racy);
         assert!(!r.ub_reachable);
+        assert_eq!(r.verdict(), RaceVerdict::RaceFree);
     }
 
     #[test]
@@ -139,7 +286,11 @@ mod tests {
         ]);
         let report = drf_check(&ps, false);
         assert!(!report.racy);
-        assert!(!report.ra_equals_sc, "rlx SB is weaker than SC");
+        assert_eq!(
+            report.ra_vs_sc,
+            DrfEquality::Diverges,
+            "rlx SB is weaker than SC"
+        );
         assert!(
             report.sc_behaviors.is_subset(&report.ra_behaviors),
             "SC behaviors are contained in RA behaviors"
@@ -156,5 +307,50 @@ mod tests {
         let report = drf_check(&ps, true);
         assert!(report.sc_behaviors.is_subset(&report.ra_behaviors));
         assert!(report.ra_behaviors.is_subset(&report.ps_behaviors));
+    }
+
+    #[test]
+    fn truncated_enumeration_is_inconclusive_not_divergent() {
+        // A state budget of 1 truncates every run; the report must say
+        // Inconclusive — even though the (incomplete) sets would
+        // coincidentally compare equal or unequal.
+        let ps = progs(&[
+            "store[rel](drft_x, 1); a := load[acq](drft_y); return a;",
+            "store[rel](drft_y, 1); b := load[acq](drft_x); return b;",
+        ]);
+        let budget = DrfBudget {
+            ps: PsConfig {
+                max_states: 1,
+                ..PsConfig::default()
+            },
+            sc: ScConfig {
+                max_states: 1,
+                ..ScConfig::default()
+            },
+        };
+        let report = drf_check_with(&ps, false, &budget);
+        assert!(report.truncated);
+        assert_eq!(report.ps_vs_ra, DrfEquality::Inconclusive);
+        assert_eq!(report.ra_vs_sc, DrfEquality::Inconclusive);
+        assert!(!report.ps_equals_ra(), "inconclusive never claims equality");
+        assert!(!report.ra_equals_sc());
+    }
+
+    #[test]
+    fn truncated_race_scan_is_inconclusive() {
+        // No race found within one state ≠ race-free.
+        let ps = progs(&[
+            "store[na](drfi_x, 1); return 0;",
+            "store[na](drfi_x, 2); return 0;",
+        ]);
+        let r = race_report(
+            &ps,
+            &PsConfig {
+                max_states: 1,
+                ..PsConfig::default()
+            },
+        );
+        assert!(r.truncated);
+        assert_eq!(r.verdict(), RaceVerdict::Inconclusive);
     }
 }

@@ -65,12 +65,15 @@ pub mod view;
 pub use canon::{
     explore_engine_canonical, try_explore_engine_canonical, CanonPsSystem, CanonState,
 };
-pub use drf::{drf_check, race_report, DrfReport, RaceReport};
+pub use drf::{
+    drf_check, drf_check_with, race_report, DrfBudget, DrfEquality, DrfReport, RaceReport,
+    RaceVerdict,
+};
 pub use machine::{
     explore, explore_legacy, ps_behaviors_refine, Exploration, MachineState, PsBehavior,
 };
 pub use memory::{Message, MsgKey, PromiseSet, PsMemory, Slot};
-pub use sc::{explore_sc, explore_sc_engine, ScConfig, ScExploration};
+pub use sc::{explore_sc, explore_sc_engine, ScConfig, ScExploration, ScState, ScSystem};
 pub use search::{engine_config, explore_engine, EngineExploration, PsSystem};
 pub use strengthen::{strengthen_na, strengthening_sound};
 pub use thread::{certify, thread_steps, PsConfig, StepKind, ThreadState, ThreadStep};

@@ -34,14 +34,22 @@ impl Default for ScConfig {
     }
 }
 
+/// An SC machine state: one [`ProgState`] per thread over a single
+/// flat memory.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-struct ScState {
+pub struct ScState {
     threads: Vec<ProgState>,
     prints: Vec<Vec<Value>>,
     mem: BTreeMap<Loc, Value>,
 }
 
 impl ScState {
+    /// The per-thread program states (used by model-level monitors to
+    /// inspect each thread's pending access).
+    pub fn thread_states(&self) -> &[ProgState] {
+        &self.threads
+    }
+
     fn terminal(&self) -> Option<PsBehavior> {
         let mut returns = Vec::with_capacity(self.threads.len());
         for t in &self.threads {
@@ -66,9 +74,19 @@ pub struct ScExploration {
 }
 
 /// The SC interleaving machine as an engine-explorable system.
-struct ScSystem<'a> {
+///
+/// Public so model-level backends (`seqwm-models`) can wrap it with
+/// monitoring adapters; ordinary callers use [`explore_sc`].
+pub struct ScSystem<'a> {
     progs: &'a [Program],
     cfg: &'a ScConfig,
+}
+
+impl<'a> ScSystem<'a> {
+    /// A new SC system over `progs` with `cfg` bounds.
+    pub fn new(progs: &'a [Program], cfg: &'a ScConfig) -> Self {
+        ScSystem { progs, cfg }
+    }
 }
 
 impl TransitionSystem for ScSystem<'_> {

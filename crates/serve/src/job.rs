@@ -22,8 +22,9 @@ use std::sync::Arc;
 use seqwm_json::Json;
 use seqwm_lang::parser::parse_program;
 use seqwm_lang::Program;
+use seqwm_models::ModelChoice;
 
-use crate::proto::{codes, opt_bool, opt_u64, req_str, RpcError};
+use crate::proto::{codes, opt_bool, opt_str, opt_u64, req_str, RpcError};
 use crate::state::{self, Quarantine};
 
 /// What kind of work a job performs.
@@ -352,6 +353,19 @@ fn parse_named_program(params: &Json, key: &str) -> Result<Program, RpcError> {
     parse_program(&text).map_err(|e| RpcError::invalid_params(format!("{key}: parse error: {e}")))
 }
 
+/// Validates the optional `model` param (refine and explore jobs):
+/// `"auto"` or a registered backend name.
+pub fn model_choice(params: &Json) -> Result<Option<ModelChoice>, RpcError> {
+    match opt_str(params, "model")? {
+        None => Ok(None),
+        Some(s) => ModelChoice::parse(&s).map(Some).ok_or_else(|| {
+            RpcError::invalid_params(format!(
+                "model: unknown model {s:?} (expected auto|psna|pf|ra|scf|sc)"
+            ))
+        }),
+    }
+}
+
 /// Validates refine params and returns `(src, tgt)` parsed.
 pub fn refine_programs(params: &Json) -> Result<(Program, Program), RpcError> {
     Ok((
@@ -397,18 +411,21 @@ pub fn cache_key(kind: JobKind, params: &Json) -> Result<Option<String>, RpcErro
         JobKind::Refine => {
             let (src, tgt) = refine_programs(params)?;
             let max_steps = opt_u64(params, "max_steps")?;
+            let model = model_choice(params)?.map(ModelChoice::name);
             Ok(Some(format!(
-                "refine|max_steps={:?}|src={src}|tgt={tgt}",
-                max_steps
+                "refine|max_steps={:?}|model={:?}|src={src}|tgt={tgt}",
+                max_steps, model
             )))
         }
         JobKind::Explore => {
             let progs = explore_programs(params)?;
             let promises = opt_bool(params, "promises")?.unwrap_or(false);
             let reduction = opt_bool(params, "reduction")?.unwrap_or(true);
+            let model = model_choice(params)?.map(ModelChoice::name);
             let texts: Vec<String> = progs.iter().map(|p| p.to_string()).collect();
             Ok(Some(format!(
-                "explore|promises={promises}|reduction={reduction}|{}",
+                "explore|promises={promises}|reduction={reduction}|model={:?}|{}",
+                model,
                 texts.join("|")
             )))
         }
@@ -530,6 +547,24 @@ mod tests {
         .unwrap()
         .unwrap();
         assert_ne!(explore, explore_promises);
+    }
+
+    #[test]
+    fn model_param_validates_and_keys_separately() {
+        let base = Json::obj(vec![("programs", Json::Arr(vec![Json::str("return 1;")]))]);
+        let with_model = Json::obj(vec![
+            ("programs", Json::Arr(vec![Json::str("return 1;")])),
+            ("model", Json::str("auto")),
+        ]);
+        let a = cache_key(JobKind::Explore, &base).unwrap().unwrap();
+        let b = cache_key(JobKind::Explore, &with_model).unwrap().unwrap();
+        assert_ne!(a, b, "model choice must key its own cache entries");
+        let bad = Json::obj(vec![
+            ("programs", Json::Arr(vec![Json::str("return 1;")])),
+            ("model", Json::str("tso")),
+        ]);
+        let err = cache_key(JobKind::Explore, &bad).unwrap_err();
+        assert_eq!(err.code, codes::INVALID_PARAMS);
     }
 
     #[test]

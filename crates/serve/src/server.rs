@@ -38,14 +38,16 @@ use seqwm_explore::counters::CounterSnapshot;
 use seqwm_explore::{CheckpointSpec, ExploreWarning, SpillSpec};
 use seqwm_fuzz::{run_campaign_with, CampaignEvent, FuzzConfig};
 use seqwm_json::Json;
+use seqwm_models::{plan_explore, ModelOpts, PlanReport};
+use seqwm_promising::machine::ps_behaviors_refine;
 use seqwm_promising::search::{engine_config, try_explore_engine};
 use seqwm_promising::thread::PsConfig;
 use seqwm_seq::{refines_advanced, refines_simple, RefineConfig, RefineError};
 
 use crate::cache::ResultCache;
 use crate::job::{
-    cache_key, canceled_error, checkpoint_path, explore_programs, load_journal, persist,
-    refine_programs, JobBudgets, JobError, JobKind, JobRecord, JobState,
+    cache_key, canceled_error, checkpoint_path, explore_programs, load_journal, model_choice,
+    persist, refine_programs, JobBudgets, JobError, JobKind, JobRecord, JobState,
 };
 use crate::proto::{
     codes, error_response, notification, opt_bool, opt_u64, parse_request, req_str, response,
@@ -151,6 +153,9 @@ struct Core {
     /// Lossy visited-set downgrades taken by explore jobs since start
     /// (spilling is lossless and does not count).
     degradations: AtomicU64,
+    /// Jobs served per chosen model backend (model-routed refine and
+    /// explore jobs only), surfaced in `server.stats`.
+    model_counts: Mutex<BTreeMap<&'static str, u64>>,
 }
 
 impl Core {
@@ -189,6 +194,15 @@ impl Core {
         while lats.len() > LATENCY_WINDOW {
             lats.pop_front();
         }
+    }
+
+    /// Bumps the served-jobs counter for a chosen model backend.
+    fn record_model(&self, name: &'static str) {
+        let mut counts = match self.model_counts.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *counts.entry(name).or_insert(0) += 1;
     }
 
     /// How long a shed client should back off before resubmitting:
@@ -286,6 +300,7 @@ impl Server {
             started: Instant::now(),
             counters_base: CounterSnapshot::capture(),
             degradations: AtomicU64::new(0),
+            model_counts: Mutex::new(BTreeMap::new()),
         });
 
         let worker_handles = (0..workers)
@@ -934,6 +949,16 @@ fn stats_json(core: &Arc<Core>) -> Json {
     let total = table.records.len();
     drop(table);
     let cache = core.cache.stats();
+    let models: Vec<(String, Json)> = {
+        let counts = match core.model_counts.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        counts
+            .iter()
+            .map(|(name, n)| ((*name).to_string(), Json::num(*n)))
+            .collect()
+    };
     let delta = CounterSnapshot::capture().since(&core.counters_base);
     let counters = delta
         .entries()
@@ -993,6 +1018,7 @@ fn stats_json(core: &Arc<Core>) -> Json {
             "degradations",
             Json::num(core.degradations.load(Ordering::Relaxed)),
         ),
+        ("models", Json::Obj(models)),
         ("counters", Json::Obj(counters)),
     ])
 }
@@ -1131,10 +1157,71 @@ fn run_job(
 ) -> Result<Json, JobError> {
     let budgets = JobBudgets::from_params(params).map_err(JobError::from_rpc)?;
     match kind {
-        JobKind::Refine => run_refine(params, &budgets),
+        JobKind::Refine => run_refine(core, params, &budgets),
         JobKind::Explore => run_explore(core, id, params, &budgets),
         JobKind::Fuzz => run_fuzz(core, id, params, cancel),
     }
+}
+
+// ---------------------------------------------------------------------
+// Model-routed execution (the `model` param)
+// ---------------------------------------------------------------------
+
+/// Maps job budgets onto the model planner's bounds. Planner runs are
+/// in-memory only: checkpoint/spill durability does not apply to them
+/// (the checker scans are not resumable), and they run single-worker
+/// like every other job.
+fn model_opts(budgets: &JobBudgets) -> ModelOpts {
+    let mut opts = ModelOpts::default();
+    if let Some(s) = budgets.max_states {
+        opts.ps.max_states = s as usize;
+        opts.sc.max_states = s as usize;
+    }
+    opts
+}
+
+/// One LDRF checker verdict as a result-object entry.
+fn check_json(c: &seqwm_models::LdrfOutcome) -> Json {
+    let mut fields = vec![
+        ("level".to_string(), Json::str(c.level.name())),
+        ("verdict".to_string(), Json::str(c.verdict.to_string())),
+        ("states".to_string(), Json::num(c.states as u64)),
+    ];
+    if let Some(w) = &c.witness {
+        fields.push(("witness".to_string(), Json::str(w.clone())));
+    }
+    Json::Obj(fields)
+}
+
+/// The shared result fields of a planner run (explore jobs extend
+/// these with `stop`/`resumed` so the cacheability rule applies).
+fn plan_json(requested: seqwm_models::ModelChoice, report: &PlanReport) -> Vec<(String, Json)> {
+    vec![
+        ("model_requested".to_string(), Json::str(requested.name())),
+        ("model".to_string(), Json::str(report.chosen.name())),
+        (
+            "checks".to_string(),
+            Json::Arr(report.checks.iter().map(check_json).collect()),
+        ),
+        ("scan_reused".to_string(), Json::Bool(report.reused_scan)),
+        (
+            "states".to_string(),
+            Json::num(report.exploration.states as u64),
+        ),
+        (
+            "checker_states".to_string(),
+            Json::num(report.checker_states as u64),
+        ),
+        (
+            "total_states".to_string(),
+            Json::num(report.total_states() as u64),
+        ),
+        (
+            "behaviors".to_string(),
+            Json::num(report.exploration.behaviors.len() as u64),
+        ),
+        ("truncated".to_string(), Json::Bool(!report.complete())),
+    ]
 }
 
 // ---------------------------------------------------------------------
@@ -1178,8 +1265,9 @@ fn refine_result(
     Json::Obj(fields)
 }
 
-fn run_refine(params: &Json, budgets: &JobBudgets) -> Result<Json, JobError> {
+fn run_refine(core: &Arc<Core>, params: &Json, budgets: &JobBudgets) -> Result<Json, JobError> {
     let (src, tgt) = refine_programs(params).map_err(JobError::from_rpc)?;
+    let choice = model_choice(params).map_err(JobError::from_rpc)?;
     let mut cfg = RefineConfig {
         max_fuel: budgets.fuel,
         ..RefineConfig::default()
@@ -1188,35 +1276,54 @@ fn run_refine(params: &Json, budgets: &JobBudgets) -> Result<Json, JobError> {
         cfg.max_steps = ms as usize;
     }
     let simple = refines_simple(&src, &tgt, &cfg).map_err(|e| refine_error(&e))?;
-    if simple.holds {
-        return Ok(refine_result(
-            "holds",
-            "simple",
-            simple.configs,
-            simple.behaviors,
-            None,
-        ));
+    let mut result = if simple.holds {
+        refine_result("holds", "simple", simple.configs, simple.behaviors, None)
+    } else {
+        // The simple check over-refutes (it quantifies over too few
+        // environments); escalate to the oracle-quantified advanced
+        // check before trusting the counterexample.
+        let adv = refines_advanced(&src, &tgt, &cfg).map_err(|e| refine_error(&e))?;
+        if adv.holds {
+            refine_result("holds", "advanced", adv.configs, simple.behaviors, None)
+        } else {
+            refine_result(
+                "refuted",
+                "advanced",
+                adv.configs,
+                simple.behaviors,
+                simple.counterexample.map(|c| c.to_string()),
+            )
+        }
+    };
+    // Model-level behavioral cross-check: enumerate both programs
+    // under the requested backend (or the DRF-gated ladder) and check
+    // closed-program behavioral refinement tgt ⊑ src there. This is a
+    // second, independent verdict — it neither overrides nor gates
+    // the SEQ verdict above.
+    if let Some(choice) = choice {
+        let opts = model_opts(budgets);
+        let src_rep = plan_explore(std::slice::from_ref(&src), choice, &opts);
+        let tgt_rep = plan_explore(std::slice::from_ref(&tgt), choice, &opts);
+        core.record_model(tgt_rep.chosen.name());
+        let verdict = if !src_rep.complete() || !tgt_rep.complete() {
+            "inconclusive"
+        } else if ps_behaviors_refine(
+            &tgt_rep.exploration.behaviors,
+            &src_rep.exploration.behaviors,
+        )
+        .is_ok()
+        {
+            "holds"
+        } else {
+            "refuted"
+        };
+        if let Json::Obj(fields) = &mut result {
+            fields.push(("model_requested".to_string(), Json::str(choice.name())));
+            fields.push(("model".to_string(), Json::str(tgt_rep.chosen.name())));
+            fields.push(("model_verdict".to_string(), Json::str(verdict)));
+        }
     }
-    // The simple check over-refutes (it quantifies over too few
-    // environments); escalate to the oracle-quantified advanced check
-    // before trusting the counterexample.
-    let adv = refines_advanced(&src, &tgt, &cfg).map_err(|e| refine_error(&e))?;
-    if adv.holds {
-        return Ok(refine_result(
-            "holds",
-            "advanced",
-            adv.configs,
-            simple.behaviors,
-            None,
-        ));
-    }
-    Ok(refine_result(
-        "refuted",
-        "advanced",
-        adv.configs,
-        simple.behaviors,
-        simple.counterexample.map(|c| c.to_string()),
-    ))
+    Ok(result)
 }
 
 // ---------------------------------------------------------------------
@@ -1236,6 +1343,25 @@ fn run_explore(
     budgets: &JobBudgets,
 ) -> Result<Json, JobError> {
     let progs = explore_programs(params).map_err(JobError::from_rpc)?;
+    // Model-routed explore: the DRF-gated planner (or a fixed backend)
+    // replaces the durable engine path. Planner runs are bounded and
+    // in-memory — no checkpoint, no spill, no resume — so the result
+    // carries `stop`/`resumed` to keep the cacheability rule uniform.
+    if let Some(choice) = model_choice(params).map_err(JobError::from_rpc)? {
+        let report = plan_explore(&progs, choice, &model_opts(budgets));
+        core.record_model(report.chosen.name());
+        let mut fields = plan_json(choice, &report);
+        fields.push((
+            "stop".to_string(),
+            Json::str(if report.complete() {
+                "completed"
+            } else {
+                "truncated"
+            }),
+        ));
+        fields.push(("resumed".to_string(), Json::Bool(false)));
+        return Ok(Json::Obj(fields));
+    }
     let promises = opt_bool(params, "promises")
         .map_err(JobError::from_rpc)?
         .unwrap_or(false);
@@ -1686,6 +1812,75 @@ mod tests {
             matches!(result_of(&stats).get("degradations"), Some(Json::Num(_))),
             "stats must carry the degradations counter"
         );
+        stop(server, &dir);
+    }
+
+    #[test]
+    fn model_routed_explore_downgrades_and_counts_backends() {
+        let (server, dir) = test_server("model");
+        let mut c = Client::connect(server.addr());
+        // Race-free MP: the auto ladder downgrades to the promise-free
+        // backend and reuses its scan as the final enumeration.
+        let params = Json::obj(vec![
+            (
+                "programs",
+                Json::Arr(vec![
+                    Json::str("store[na](d, 1); store[rel](f, 1); return 0;"),
+                    Json::str("a := load[acq](f); if (a == 1) { b := load[na](d); } return a;"),
+                ]),
+            ),
+            ("model", Json::str("auto")),
+        ]);
+        let doc = c.call("explore.run", params.clone());
+        let r = result_of(&doc).get("result").unwrap();
+        assert_eq!(r.get("model_requested").unwrap(), &Json::str("auto"));
+        assert_eq!(r.get("model").unwrap(), &Json::str("pf"));
+        assert_eq!(r.get("scan_reused").unwrap(), &Json::Bool(true));
+        assert_eq!(r.get("stop").unwrap(), &Json::str("completed"));
+        assert!(
+            matches!(r.get("checks").unwrap(), Json::Arr(cs) if cs.len() == 3),
+            "SC, RA and PF verdicts reported: {r}"
+        );
+
+        // A complete model-routed run is cacheable.
+        let doc = c.call("explore.run", params);
+        assert_eq!(result_of(&doc).get("cached").unwrap(), &Json::Bool(true));
+
+        // Per-backend counters (the cache hit must not double-count).
+        let stats = c.call("server.stats", Json::obj(vec![]));
+        let models = result_of(&stats).get("models").unwrap();
+        assert_eq!(models.get("pf").unwrap(), &Json::num(1));
+
+        // Unknown model names are rejected at validation time.
+        let doc = c.call(
+            "explore.run",
+            Json::obj(vec![
+                ("programs", Json::Arr(vec![Json::str("return 0;")])),
+                ("model", Json::str("tso")),
+            ]),
+        );
+        assert_eq!(error_code(&doc), codes::INVALID_PARAMS);
+        stop(server, &dir);
+    }
+
+    #[test]
+    fn refine_with_model_adds_cross_model_verdict() {
+        let (server, dir) = test_server("model-refine");
+        let mut c = Client::connect(server.addr());
+        let doc = c.call(
+            "refine.check",
+            Json::obj(vec![
+                ("src", Json::str("a := load[rlx](x); return a;")),
+                ("tgt", Json::str("a := load[rlx](x); return a;")),
+                ("model", Json::str("auto")),
+            ]),
+        );
+        let r = result_of(&doc).get("result").unwrap();
+        assert_eq!(r.get("verdict").unwrap(), &Json::str("holds"));
+        // Single-threaded closed programs are conflict-free, so the
+        // ladder lands on the SC backend for the cross-check.
+        assert_eq!(r.get("model").unwrap(), &Json::str("sc"));
+        assert_eq!(r.get("model_verdict").unwrap(), &Json::str("holds"));
         stop(server, &dir);
     }
 

@@ -80,7 +80,7 @@ fn main() {
         );
         worst = worst.max(match f.oracle {
             OracleKind::Seq => 2,
-            OracleKind::PsCtx | OracleKind::Sc => 3,
+            OracleKind::PsCtx | OracleKind::Sc | OracleKind::ModelDiff => 3,
         });
     }
     std::process::exit(worst.max(2));

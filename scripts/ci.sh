@@ -59,6 +59,15 @@ echo "==> por-soundness (reduction on/off behavior equality + planted-bug detect
 cargo test -q --test por_soundness
 cargo test -q --features fault-injection --test validation_catches_bugs planted_por_bug
 
+echo "==> model-differential (cross-backend behavior equality under LDRF gates)"
+# Release profile: the corpus leg runs unreduced LDRF scans plus a full
+# PS^na enumeration per gated case, which is 5x slower in debug. The
+# fault-injection variant adds the planted-unsound backend leg: a
+# deliberately behavior-dropping backend must diverge from every sound
+# one, proving the differential methodology has teeth.
+cargo test -q --release --test model_differential
+cargo test -q --release --features fault-injection --test model_differential
+
 echo "==> seqwm fuzz (fixed-seed differential campaign over the real passes)"
 # Time-boxed by deterministic budgets (SEQ fuel + engine deadline), not
 # wall-clock: pathological cases quarantine as incidents, which exit 0.

@@ -15,7 +15,11 @@
 //! seqwm serve [flags]                 long-lived verification daemon
 //! ```
 //!
-//! `explore` accepts engine flags: `--workers N`, `--strategy
+//! `explore` accepts `--model <auto|psna|pf|ra|scf|sc>` to pick a
+//! memory-model backend (`auto` runs the DRF-gated planner: LDRF-SC →
+//! LDRF-RA/PF checker ladder, downgrading the exploration model as far
+//! as the race verdicts allow, falling back to full PS^na), plus the
+//! engine flags: `--workers N`, `--strategy
 //! dfs|bfs|iddfs|random`, `--no-reduction`, `--exact` (exact visited
 //! set instead of 64-bit fingerprints), `--max-states N`, `--stats`
 //! (print engine statistics), plus the durability/robustness knobs
@@ -91,6 +95,7 @@ use promising_seq::lang::parser::parse_program;
 use promising_seq::lang::Program;
 use promising_seq::litmus::concurrent::concurrent_corpus;
 use promising_seq::litmus::transform::transform_corpus;
+use promising_seq::models::{plan_explore, ModelChoice, ModelKind, ModelOpts};
 use promising_seq::opt::pipeline::{Pipeline, PipelineConfig};
 use promising_seq::opt::validate::optimize_validated;
 use promising_seq::promising::drf::drf_check;
@@ -129,6 +134,7 @@ fn usage_err(msg: impl Into<String>) -> SeqwmError {
 /// Engine knobs accepted by `seqwm explore`.
 #[derive(Default)]
 struct EngineOpts {
+    model: Option<String>,
     workers: Option<usize>,
     strategy: Option<Strategy>,
     no_reduction: bool,
@@ -212,6 +218,10 @@ fn parse_engine_flags(args: &[String]) -> Result<(EngineOpts, Vec<String>), Seqw
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--model" => {
+                let v = value(&mut it, a, "a model name")?;
+                opts.model = Some(v.clone());
+            }
             "--workers" => {
                 let v = value(&mut it, a, "a number")?;
                 opts.workers = Some(number(v, "worker count")?);
@@ -277,6 +287,65 @@ fn parse_engine_flags(args: &[String]) -> Result<(EngineOpts, Vec<String>), Seqw
         return Err(usage_err("--spill-budget-mb requires --spill-dir"));
     }
     Ok((opts, files))
+}
+
+/// `seqwm explore --model <name>`: route through the DRF-gated planner
+/// (`seqwm-models`) instead of the raw PS^na engine path. Durability
+/// and strategy knobs belong to the raw path only.
+fn explore_with_model(opts: &EngineOpts, progs: &[Program]) -> Result<(), SeqwmError> {
+    let Some(name) = &opts.model else {
+        return Err(usage_err("--model missing"));
+    };
+    if opts.durable() {
+        return Err(usage_err(
+            "--model is incompatible with --checkpoint/--resume/--spill-dir",
+        ));
+    }
+    if opts.strategy.is_some() || opts.exact {
+        return Err(usage_err("--model is incompatible with --strategy/--exact"));
+    }
+    let choice = ModelChoice::parse(name).ok_or_else(|| {
+        let known: Vec<&str> = ModelKind::all().iter().map(|k| k.name()).collect();
+        usage_err(format!(
+            "unknown model `{name}` (expected auto or one of: {})",
+            known.join(", ")
+        ))
+    })?;
+    let mut mopts = ModelOpts::default();
+    if let Some(w) = opts.workers {
+        mopts.workers = w.max(1);
+    }
+    if let Some(n) = opts.max_states {
+        mopts.ps.max_states = n;
+        mopts.sc.max_states = n;
+    }
+    if opts.no_reduction {
+        mopts.reduction = Some(false);
+    }
+    if let Some(ms) = opts.deadline_ms {
+        eprintln!("seqwm: warning: --deadline-ms {ms} is ignored under --model");
+    }
+    if let Some(mb) = opts.max_memory_mb {
+        eprintln!("seqwm: warning: --max-memory-mb {mb} is ignored under --model");
+    }
+    let r = plan_explore(progs, choice, &mopts);
+    println!("model: requested {} → chosen {}", r.requested, r.chosen);
+    for c in &r.checks {
+        println!("  {c}");
+    }
+    println!(
+        "{}: {} states ({} incl. checker scans{}){}{}",
+        r.chosen,
+        r.exploration.states,
+        r.total_states(),
+        if r.reused_scan { ", scan reused" } else { "" },
+        if r.exploration.racy { ", racy" } else { "" },
+        if r.complete() { "" } else { ", TRUNCATED" },
+    );
+    for b in &r.exploration.behaviors {
+        println!("  {b}");
+    }
+    Ok(())
 }
 
 fn usage() -> SeqwmError {
@@ -365,6 +434,9 @@ fn run() -> Result<(), SeqwmError> {
         "explore" => {
             let (opts, files) = parse_engine_flags(rest)?;
             let progs = load_all(&files)?;
+            if opts.model.is_some() {
+                return explore_with_model(&opts, &progs);
+            }
             let refs: Vec<&Program> = progs.iter().collect();
             let cfg = PsConfig::with_promises(&refs);
             let ecfg = opts.apply(engine_config(&cfg));
@@ -410,8 +482,11 @@ fn run() -> Result<(), SeqwmError> {
             let progs = load_all(rest)?;
             let report = drf_check(&progs, true);
             println!("racy:          {}", report.racy);
-            println!("PS^na == RA:   {}", report.ps_equals_ra);
-            println!("RA == SC:      {}", report.ra_equals_sc);
+            if report.truncated {
+                println!("truncated:     true (equalities may be inconclusive)");
+            }
+            println!("PS^na vs RA:   {}", report.ps_vs_ra);
+            println!("RA vs SC:      {}", report.ra_vs_sc);
             println!("PS^na behaviors:");
             for b in &report.ps_behaviors {
                 println!("  {b}");

@@ -21,6 +21,11 @@
 //! * [`explore`] — the generic state-space exploration engine (parallel
 //!   workers, fingerprint dedup, interleaving reduction, strategies and
 //!   budgets) driving the PS^na, SC and SEQ explorers.
+//! * [`models`] — pluggable memory-model backends (PS^na, promise-free,
+//!   release/acquire, SC-fence, SC) over the exploration engine, the
+//!   three local-DRF checkers (LDRF-PF/RA/SC) as bounded runtime
+//!   verdicts, and the DRF-gated exploration planner behind
+//!   `seqwm explore --model auto`.
 //! * [`fuzz`] — crash-resilient differential fuzzing of the optimizer:
 //!   campaign driver, SEQ/PS^na/SC oracles, AST-level shrinking, and a
 //!   persistent fingerprint-deduplicated failure corpus.
@@ -64,6 +69,7 @@ pub use seqwm_fuzz as fuzz;
 pub use seqwm_json as json;
 pub use seqwm_lang as lang;
 pub use seqwm_litmus as litmus;
+pub use seqwm_models as models;
 pub use seqwm_opt as opt;
 pub use seqwm_promising as promising;
 pub use seqwm_seq as seq;

@@ -1,0 +1,233 @@
+//! Cross-backend differential equality: the DRF theorems say that on
+//! race-free programs every registered memory model enumerates the
+//! same behavior set, so the backends can be differentially tested
+//! against each other with the LDRF checkers as the gate.
+//!
+//! Three legs:
+//!
+//! 1. **Corpus × backends.** Every concurrent litmus case is gated by
+//!    the runtime checkers: LDRF-SC race-free cases must agree across
+//!    *all five* backends; cases that only pass LDRF-RA/PF must agree
+//!    between the promise-free and full PS^na backends.
+//! 2. **Planted-racy.** On a racy program the gate refuses every
+//!    downgrade and PS^na is *strictly* weaker (it reaches ⊥ where SC
+//!    cannot) — the equality above is not vacuous.
+//! 3. **Acceptance.** `--model auto` on the race-free
+//!    `litmus::scaling` na-disjoint-4 family completes in strictly
+//!    fewer states than `--model psna` spends before its budget stops
+//!    it, with identical behavior sets — the committed
+//!    `scaling/na-disjoint-4/{psna,drf-gated}` bench pair measures the
+//!    same two runs.
+//!
+//! With `--features fault-injection` a fourth leg proves the
+//! methodology detects an unsound backend: the planted backend (drops
+//! one behavior) must diverge from every sound backend on a race-free
+//! program, which is exactly the signal the fuzz `model-diff` oracle
+//! reports as a violation.
+
+use seqwm_litmus::concurrent::concurrent_corpus;
+use seqwm_litmus::scaling::na_disjoint;
+use seqwm_models::{
+    backend, ldrf_pf_ra, ldrf_sc, plan_explore, ModelChoice, ModelKind, ModelOpts, RaceVerdict,
+};
+use seqwm_promising::machine::{ps_behaviors_refine, PsBehavior};
+
+/// Per-case model options: the case's own PS bounds (promises,
+/// multi-message NA, state budgets) drive every PS-family backend.
+fn case_opts(ps: seqwm_promising::thread::PsConfig) -> ModelOpts {
+    ModelOpts {
+        ps,
+        ..ModelOpts::default()
+    }
+}
+
+/// Runs the rung-1 leg on one composition: LDRF-SC race-free must
+/// make all five backends enumerate the same behavior set.
+fn assert_all_backends_agree(name: &str, progs: &[seqwm_lang::Program], opts: &ModelOpts) {
+    let (sc_check, sc_expl) = ldrf_sc(progs, opts);
+    assert_eq!(sc_check.verdict, RaceVerdict::RaceFree, "{name}");
+    for kind in [
+        ModelKind::Sc,
+        ModelKind::ScFence,
+        ModelKind::Ra,
+        ModelKind::Pf,
+        ModelKind::PsNa,
+    ] {
+        let e = backend(kind).explore(progs, opts);
+        assert!(!e.truncated, "{name}: {kind} truncated");
+        assert_eq!(
+            e.behaviors, sc_expl.behaviors,
+            "{name}: {kind} diverges from SC on an LDRF-SC race-free case"
+        );
+    }
+}
+
+#[test]
+fn corpus_race_free_cases_agree_across_backends() {
+    let mut sc_gated = 0usize;
+    let mut pf_gated = 0usize;
+    for case in concurrent_corpus() {
+        let progs = case.programs();
+        let opts = case_opts(case.config());
+
+        // Rung 1: LDRF-SC race-free ⟹ all five backends agree. The
+        // corpus is adversarial (its whole point is conflicting
+        // accesses), so this rung rarely fires here — the scaling
+        // family below exercises it unconditionally.
+        let (sc_check, sc_expl) = ldrf_sc(&progs, &opts);
+        if sc_check.verdict == RaceVerdict::RaceFree {
+            sc_gated += 1;
+            for kind in [
+                ModelKind::Sc,
+                ModelKind::ScFence,
+                ModelKind::Ra,
+                ModelKind::Pf,
+                ModelKind::PsNa,
+            ] {
+                let e = backend(kind).explore(&progs, &opts);
+                assert!(!e.truncated, "{}: {kind} truncated", case.name);
+                assert_eq!(
+                    e.behaviors, sc_expl.behaviors,
+                    "{}: {kind} diverges from SC on an LDRF-SC race-free case",
+                    case.name
+                );
+            }
+            continue;
+        }
+
+        // Rung 2: LDRF-RA or LDRF-PF race-free ⟹ the promise-free
+        // enumeration is already the full PS^na one.
+        let (ra_check, pf_check, pf_expl) = ldrf_pf_ra(&progs, &opts);
+        if ra_check.verdict == RaceVerdict::RaceFree || pf_check.verdict == RaceVerdict::RaceFree {
+            pf_gated += 1;
+            let psna = backend(ModelKind::PsNa).explore(&progs, &opts);
+            if psna.truncated || pf_expl.truncated {
+                continue; // incomparable under this case's budget
+            }
+            assert_eq!(
+                pf_expl.behaviors, psna.behaviors,
+                "{}: promises add behaviors despite an LDRF-PF/RA race-free verdict",
+                case.name
+            );
+        }
+    }
+    // The PF gate must actually fire on the corpus (the rel/acq
+    // message-passing cases), or the equality above is vacuous.
+    assert!(
+        pf_gated >= 3,
+        "only {pf_gated} corpus cases were PF-gated ({sc_gated} SC-gated)"
+    );
+
+    // Rung 1 unconditionally, on a composition that is SC-conflict-free
+    // by construction (disjoint locations per thread). A minimal pair
+    // rather than the scaling family: full PS^na promise synthesis
+    // truncates its default state budget already at na-disjoint-2, and
+    // the point here is agreement, not scale — the acceptance test
+    // below covers the blowup.
+    let disjoint: Vec<seqwm_lang::Program> = [
+        "store[na](md_a, 1); a := load[na](md_a); return a;",
+        "store[na](md_b, 2); b := load[na](md_b); return b;",
+    ]
+    .iter()
+    .map(|s| seqwm_lang::parser::parse_program(s).expect("parses"))
+    .collect();
+    assert_all_backends_agree("na-disjoint-min", &disjoint, &ModelOpts::default());
+}
+
+#[test]
+fn planted_racy_program_keeps_psna_strictly_weaker() {
+    let progs: Vec<seqwm_lang::Program> = [
+        "store[na](md_race, 1); return 0;",
+        "store[na](md_race, 2); return 0;",
+    ]
+    .iter()
+    .map(|s| seqwm_lang::parser::parse_program(s).expect("parses"))
+    .collect();
+    let opts = ModelOpts::default();
+
+    // Every checker refuses the downgrade…
+    let (sc_check, _) = ldrf_sc(&progs, &opts);
+    let (ra_check, pf_check, _) = ldrf_pf_ra(&progs, &opts);
+    for c in [&sc_check, &ra_check, &pf_check] {
+        assert_eq!(c.verdict, RaceVerdict::Racy, "{}", c.level.name());
+    }
+
+    // …and rightly so: PS^na reaches ⊥ where SC cannot. A 5k state
+    // cap suffices: both PS^na behaviors (⊥ and 0∥0) surface inside
+    // the first thousand states of the promise-synthesis frontier.
+    let mut capped = opts.clone();
+    capped.ps.max_states = 5_000;
+    let sc = backend(ModelKind::Sc).explore(&progs, &opts);
+    let psna = backend(ModelKind::PsNa).explore(&progs, &capped);
+    assert!(psna.behaviors.contains(&PsBehavior::Ub));
+    assert!(!sc.behaviors.contains(&PsBehavior::Ub));
+    assert!(
+        ps_behaviors_refine(&sc.behaviors, &psna.behaviors).is_ok(),
+        "SC still refines PS^na"
+    );
+    assert_ne!(sc.behaviors, psna.behaviors, "strictly weaker, not equal");
+}
+
+#[test]
+fn drf_gated_na_disjoint_4_beats_full_psna() {
+    let progs = na_disjoint(4).programs();
+
+    // The gated run completes the whole family.
+    let auto = plan_explore(&progs, ModelChoice::Auto, &ModelOpts::default());
+    assert_eq!(auto.chosen, ModelKind::Sc, "checks: {:?}", auto.checks);
+    assert!(auto.reused_scan);
+    assert!(auto.complete(), "gated run must finish the family");
+
+    // Full PS^na cannot even finish inside a budget larger than the
+    // gated run's entire spend (promise synthesis explodes on 8 NA
+    // writes); it stops at the cap having found the same behaviors.
+    let mut capped = ModelOpts::default();
+    capped.ps.max_states = 2_000;
+    let psna = plan_explore(&progs, ModelChoice::Fixed(ModelKind::PsNa), &capped);
+    assert!(psna.exploration.truncated, "2k states must not suffice");
+    assert!(
+        auto.total_states() < psna.total_states(),
+        "gated {} (complete) vs psna {} (truncated at its cap)",
+        auto.total_states(),
+        psna.total_states()
+    );
+    assert_eq!(
+        auto.exploration.behaviors, psna.exploration.behaviors,
+        "identical behavior sets"
+    );
+}
+
+#[cfg(feature = "fault-injection")]
+#[test]
+fn planted_unsound_backend_is_detected_differentially() {
+    // Race-free rel/acq flag: ≥ 2 behaviors, so dropping the greatest
+    // one is observable.
+    let progs: Vec<seqwm_lang::Program> = [
+        "store[rel](md_flag, 1); return 0;",
+        "a := load[acq](md_flag); return a;",
+    ]
+    .iter()
+    .map(|s| seqwm_lang::parser::parse_program(s).expect("parses"))
+    .collect();
+    let opts = ModelOpts::default();
+    let (_, pf_check, _) = ldrf_pf_ra(&progs, &opts);
+    assert_eq!(pf_check.verdict, RaceVerdict::RaceFree);
+
+    let planted = backend(ModelKind::PlantedUnsound).explore(&progs, &opts);
+    for kind in [
+        ModelKind::Sc,
+        ModelKind::ScFence,
+        ModelKind::Ra,
+        ModelKind::Pf,
+    ] {
+        let honest = backend(kind).explore(&progs, &opts);
+        assert_ne!(
+            honest.behaviors, planted.behaviors,
+            "{kind} must expose the planted backend"
+        );
+        assert_ne!(
+            backend(kind).behavior_fingerprint(&honest),
+            backend(ModelKind::PlantedUnsound).behavior_fingerprint(&planted),
+        );
+    }
+}
