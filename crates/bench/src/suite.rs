@@ -12,6 +12,9 @@
 //!   the paper's transformation corpus.
 //! * `optimize` — the optimizer pipeline on synthetic straight-line
 //!   and loop-heavy programs.
+//! * `opt` — the *validated* batch optimizer (programs/sec through the
+//!   extended pipeline with per-stage translation validation), cold
+//!   versus warm memo cache.
 //! * `fuzz` — a small deterministic fuzz-campaign slice (fixed seed,
 //!   one worker, throwaway corpus directory).
 //!
@@ -22,7 +25,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use seqwm_explore::{CounterSnapshot, ExploreConfig, SpillSpec};
-use seqwm_fuzz::{run_campaign, FuzzConfig};
+use seqwm_fuzz::{run_batch, run_campaign, BatchConfig, FuzzConfig};
 use seqwm_litmus::concurrent::find_concurrent;
 use seqwm_litmus::scaling::{mp_chain, na_disjoint, sb_ring};
 use seqwm_litmus::transform::{transform_corpus, Expectation};
@@ -167,6 +170,7 @@ fn run_suite_inner(cfg: &SuiteConfig, ids: Option<&mut Vec<String>>) -> BenchRep
     bench_scaling(&mut reg);
     bench_refine(&mut reg);
     bench_optimize(&mut reg);
+    bench_opt_batch(&mut reg);
     bench_fuzz(&mut reg);
     reg.report
 }
@@ -423,6 +427,97 @@ fn bench_optimize(reg: &mut Registrar<'_>) {
     );
 }
 
+// --- group: opt ---
+
+/// Distinguishes throwaway memo-cache dirs across benches and runs in
+/// the same process.
+static OPT_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn opt_cache_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "seqwm-bench-opt-{}-{}",
+        std::process::id(),
+        OPT_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Validated batch-optimizer throughput (programs/sec): the full
+/// extended pipeline plus per-stage translation validation over a
+/// fixed-seed generated corpus, cold (every iteration discharges each
+/// obligation fresh) versus warm (every iteration answers from a memo
+/// store the previous one filled). The programs/sec figure is the
+/// `programs` meta over the timing sample.
+fn bench_opt_batch(reg: &mut Registrar<'_>) {
+    let programs = if reg.cfg.quick { 3 } else { 6 };
+    let batch = |cache_dir: Option<std::path::PathBuf>| BatchConfig {
+        programs,
+        seed: 21,
+        cache_dir,
+        ..BatchConfig::default()
+    };
+
+    let cold = batch(None);
+    reg.bench(
+        "opt",
+        &format!("batch-validated-cold-{programs}"),
+        move || {
+            // A fresh throwaway store each iteration: every stage verdict
+            // is discharged from scratch (the dir is created and torn down
+            // inside the timed region, a fixed small cost).
+            let dir = opt_cache_dir();
+            let cfg = BatchConfig {
+                cache_dir: Some(dir.clone()),
+                ..cold.clone()
+            };
+            let sum = run_batch(&cfg).expect("cold batch runs");
+            let _ = std::fs::remove_dir_all(&dir);
+            assert!(
+                sum.clean(),
+                "bench corpus must validate: {:?}",
+                sum.failures
+            );
+            vec![
+                ("programs".into(), sum.programs as u64),
+                ("stages_validated".into(), sum.stages_validated as u64),
+                ("stages_cached".into(), sum.stages_cached as u64),
+                ("rewrites".into(), sum.rewrites as u64),
+            ]
+        },
+    );
+
+    let warm_dir = opt_cache_dir();
+    let warm = batch(Some(warm_dir.clone()));
+    let warm_name = format!("batch-validated-warm-{programs}");
+    // Fill the store before timing starts — the warm bench must measure
+    // cache replay even under `--warmup 0`. Skipped when the bench
+    // itself won't run (`--list`, or a filter that excludes it).
+    if reg.ids.is_none() && reg.cfg.matches("opt", &warm_name) {
+        let prefill = run_batch(&warm).expect("warm prefill runs");
+        assert!(
+            prefill.clean(),
+            "bench corpus must validate: {:?}",
+            prefill.failures
+        );
+    }
+    reg.bench("opt", &warm_name, move || {
+        // Every iteration replays the identical corpus out of the
+        // pre-filled store.
+        let sum = run_batch(&warm).expect("warm batch runs");
+        assert!(
+            sum.clean(),
+            "bench corpus must validate: {:?}",
+            sum.failures
+        );
+        vec![
+            ("programs".into(), sum.programs as u64),
+            ("stages_validated".into(), sum.stages_validated as u64),
+            ("stages_cached".into(), sum.stages_cached as u64),
+            ("rewrites".into(), sum.rewrites as u64),
+        ]
+    });
+    let _ = std::fs::remove_dir_all(&warm_dir);
+}
+
 // --- group: fuzz ---
 
 /// Distinguishes throwaway fuzz corpus dirs across benches and runs in
@@ -461,7 +556,14 @@ mod tests {
     #[test]
     fn list_covers_every_group_without_running() {
         let ids = list_suite(&SuiteConfig::default());
-        for group in ["explore/", "scaling/", "refine/", "optimize/", "fuzz/"] {
+        for group in [
+            "explore/",
+            "scaling/",
+            "refine/",
+            "optimize/",
+            "opt/",
+            "fuzz/",
+        ] {
             assert!(
                 ids.iter().any(|id| id.starts_with(group)),
                 "no {group} benches in {ids:?}"

@@ -60,6 +60,13 @@ pub static SPILL_PROBES: AtomicU64 = AtomicU64::new(0);
 /// Disk probes that found the fingerprint in a spilled segment.
 pub static SPILL_HITS: AtomicU64 = AtomicU64::new(0);
 
+/// Optimizer validation obligations answered from the memo cache.
+pub static OPT_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+/// Optimizer validation obligations that had to be discharged fresh.
+pub static OPT_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+/// Programs pushed through the validated optimizer pipeline.
+pub static OPT_PROGRAMS: AtomicU64 = AtomicU64::new(0);
+
 /// Adds `n` to a counter (relaxed; counters are monotone and only
 /// read via before/after snapshots).
 pub fn add(counter: &AtomicU64, n: u64) {
@@ -120,6 +127,12 @@ pub struct CounterSnapshot {
     pub spill_probes: u64,
     /// [`SPILL_HITS`] at capture time.
     pub spill_hits: u64,
+    /// [`OPT_CACHE_HITS`] at capture time.
+    pub opt_cache_hits: u64,
+    /// [`OPT_CACHE_MISSES`] at capture time.
+    pub opt_cache_misses: u64,
+    /// [`OPT_PROGRAMS`] at capture time.
+    pub opt_programs: u64,
 }
 
 impl CounterSnapshot {
@@ -144,6 +157,9 @@ impl CounterSnapshot {
             spill_bytes: SPILL_BYTES.load(Ordering::Relaxed),
             spill_probes: SPILL_PROBES.load(Ordering::Relaxed),
             spill_hits: SPILL_HITS.load(Ordering::Relaxed),
+            opt_cache_hits: OPT_CACHE_HITS.load(Ordering::Relaxed),
+            opt_cache_misses: OPT_CACHE_MISSES.load(Ordering::Relaxed),
+            opt_programs: OPT_PROGRAMS.load(Ordering::Relaxed),
         }
     }
 
@@ -181,12 +197,17 @@ impl CounterSnapshot {
             spill_bytes: self.spill_bytes.saturating_sub(earlier.spill_bytes),
             spill_probes: self.spill_probes.saturating_sub(earlier.spill_probes),
             spill_hits: self.spill_hits.saturating_sub(earlier.spill_hits),
+            opt_cache_hits: self.opt_cache_hits.saturating_sub(earlier.opt_cache_hits),
+            opt_cache_misses: self
+                .opt_cache_misses
+                .saturating_sub(earlier.opt_cache_misses),
+            opt_programs: self.opt_programs.saturating_sub(earlier.opt_programs),
         }
     }
 
     /// `(name, value)` pairs in a fixed order, for serialization. New
     /// counters are appended, never inserted, so indices are stable.
-    pub fn entries(&self) -> [(&'static str, u64); 18] {
+    pub fn entries(&self) -> [(&'static str, u64); 21] {
         [
             ("states", self.states),
             ("transitions", self.transitions),
@@ -206,6 +227,9 @@ impl CounterSnapshot {
             ("spill_bytes", self.spill_bytes),
             ("spill_probes", self.spill_probes),
             ("spill_hits", self.spill_hits),
+            ("opt_cache_hits", self.opt_cache_hits),
+            ("opt_cache_misses", self.opt_cache_misses),
+            ("opt_programs", self.opt_programs),
         ]
     }
 }

@@ -1,0 +1,270 @@
+//! Batch-mode corpus optimization: the throughput face of the fuzz
+//! driver.
+//!
+//! Where [`crate::campaign`] hunts for optimizer bugs, the batch driver
+//! measures the optimizer *as a production tool*: generate a
+//! deterministic corpus ([`seqwm_litmus::gen`], case `i` seeded with
+//! `mix64(seed ^ i)` exactly like the campaign), push every program
+//! through the fully validated pipeline
+//! ([`seqwm_opt::optimize_validated_with`]), and share one
+//! fingerprint-keyed memo cache across the whole corpus so repeated
+//! source/target pairs — which small generator pools produce constantly
+//! — are disk-backed cache hits instead of fresh refinement checks.
+//!
+//! The [`BatchSummary`] records programs/sec and the cache hit/miss
+//! split; the `opt/` bench group and `seqwm optimize --batch` both sit
+//! on top of [`run_batch`].
+
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use seqwm_explore::counters::OPT_PROGRAMS;
+use seqwm_explore::{mix64, SplitMix64};
+use seqwm_json::escape as json_string;
+use seqwm_litmus::gen::{random_program, GenConfig};
+use seqwm_opt::{
+    optimize_validated_with, CacheStats, PassKind, PipelineConfig, ValidationCache,
+    ValidationConfig,
+};
+
+/// Configuration for a batch optimization run.
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// Number of programs to generate and optimize.
+    pub programs: usize,
+    /// Corpus seed (case `i` is generated from `mix64(seed ^ i)`).
+    pub seed: u64,
+    /// Program generator configuration.
+    pub gen: GenConfig,
+    /// The pipeline to run over every program.
+    pub pipeline: PipelineConfig,
+    /// Validation budgets and contexts applied to every stage.
+    pub validate: ValidationConfig,
+    /// Memo-cache directory; `None` runs cacheless (every stage fresh).
+    pub cache_dir: Option<PathBuf>,
+    /// Memo-cache capacity (entries) when `cache_dir` is set.
+    pub cache_capacity: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            programs: 32,
+            seed: 0xBA7C_4022,
+            gen: GenConfig::fuzzing(),
+            pipeline: PipelineConfig {
+                passes: PassKind::extended(),
+                rounds: 1,
+            },
+            validate: ValidationConfig::default(),
+            cache_dir: None,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// One program whose validated optimization failed: the validator
+/// refuted (or could not conclusively discharge) a stage obligation.
+#[derive(Clone, Debug)]
+pub struct BatchFailure {
+    /// Corpus index of the program.
+    pub index: usize,
+    /// The pass whose obligation failed.
+    pub pass: String,
+    /// Validator diagnostic.
+    pub detail: String,
+    /// The generated source program (canonical text).
+    pub program: String,
+}
+
+/// Machine-readable batch outcome.
+#[derive(Clone, Debug, Default)]
+pub struct BatchSummary {
+    /// Corpus seed.
+    pub seed: u64,
+    /// Programs generated and pushed through the pipeline.
+    pub programs: usize,
+    /// Programs the pipeline actually changed.
+    pub optimized: usize,
+    /// Total rewrites across the corpus.
+    pub rewrites: usize,
+    /// Stage validations discharged (fresh or cached).
+    pub stages_validated: usize,
+    /// Stage validations answered from the memo cache.
+    pub stages_cached: usize,
+    /// Programs whose validation failed.
+    pub failures: Vec<BatchFailure>,
+    /// Final cache statistics (when a cache directory was configured).
+    pub cache: Option<CacheStats>,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl BatchSummary {
+    /// True iff every stage obligation across the corpus was discharged.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Optimizer throughput in programs per second.
+    pub fn programs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.programs as f64 / secs
+        }
+    }
+
+    /// Renders the summary as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"seed\":{},", self.seed));
+        out.push_str(&format!("\"programs\":{},", self.programs));
+        out.push_str(&format!("\"optimized\":{},", self.optimized));
+        out.push_str(&format!("\"rewrites\":{},", self.rewrites));
+        out.push_str(&format!("\"stages_validated\":{},", self.stages_validated));
+        out.push_str(&format!("\"stages_cached\":{},", self.stages_cached));
+        out.push_str(&format!("\"elapsed_ms\":{},", self.elapsed.as_millis()));
+        out.push_str(&format!(
+            "\"programs_per_sec\":{:.2},",
+            self.programs_per_sec()
+        ));
+        match &self.cache {
+            Some(c) => out.push_str(&format!(
+                "\"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{},\
+                 \"evictions\":{},\"quarantined\":{}}},",
+                c.entries, c.hits, c.misses, c.evictions, c.quarantined
+            )),
+            None => out.push_str("\"cache\":null,"),
+        }
+        out.push_str("\"failures\":[");
+        for (i, f) in self.failures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"index\":{},\"pass\":{},\"detail\":{},\"program\":{}}}",
+                f.index,
+                json_string(&f.pass),
+                json_string(&f.detail),
+                json_string(&f.program)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Generates `cfg.programs` programs and runs each through the
+/// validated pipeline, sharing one memo cache.
+///
+/// Validation failures do not abort the batch — they are recorded in
+/// [`BatchSummary::failures`] and the corpus continues, mirroring how a
+/// production compiler would fall back to the unoptimized program for
+/// that translation unit.
+///
+/// # Errors
+///
+/// Returns an error only if the memo cache directory cannot be opened.
+pub fn run_batch(cfg: &BatchConfig) -> std::io::Result<BatchSummary> {
+    let cache = match &cfg.cache_dir {
+        Some(dir) => Some(ValidationCache::open(dir, cfg.cache_capacity)?),
+        None => None,
+    };
+    let mut sum = BatchSummary {
+        seed: cfg.seed,
+        ..BatchSummary::default()
+    };
+    let start = Instant::now();
+    for i in 0..cfg.programs {
+        let mut rng = SplitMix64::new(mix64(cfg.seed ^ i as u64));
+        let prog = random_program(&mut rng, &cfg.gen);
+        OPT_PROGRAMS.fetch_add(1, Ordering::Relaxed);
+        sum.programs += 1;
+        match optimize_validated_with(&prog, cfg.pipeline.clone(), &cfg.validate, cache.as_ref()) {
+            Ok(v) => {
+                if v.result.program.to_string() != prog.to_string() {
+                    sum.optimized += 1;
+                }
+                sum.rewrites += v.result.total_rewrites();
+                sum.stages_validated += v.validations.len();
+                sum.stages_cached += v.cached_stages();
+            }
+            Err(fail) => sum.failures.push(BatchFailure {
+                index: i,
+                pass: fail.pass.to_string(),
+                detail: fail.detail.clone(),
+                program: prog.to_string(),
+            }),
+        }
+    }
+    sum.elapsed = start.elapsed();
+    sum.cache = cache.as_ref().map(|c| c.stats());
+    Ok(sum)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn small(programs: usize, cache_dir: Option<PathBuf>) -> BatchConfig {
+        // Seed chosen so the 3-program corpus actually rewrites (and
+        // therefore caches) something: profitability guards can turn a
+        // tiny corpus into all-no-op stages, which never touch the
+        // memo store.
+        BatchConfig {
+            programs,
+            seed: 21,
+            cache_dir,
+            ..BatchConfig::default()
+        }
+    }
+
+    #[test]
+    fn batch_is_deterministic_and_clean() {
+        let a = run_batch(&small(4, None)).unwrap();
+        let b = run_batch(&small(4, None)).unwrap();
+        assert!(a.clean(), "failures: {:?}", a.failures);
+        assert_eq!(a.programs, 4);
+        assert_eq!(a.rewrites, b.rewrites);
+        assert_eq!(a.optimized, b.optimized);
+        assert_eq!(a.stages_validated, b.stages_validated);
+        assert!(a.stages_validated >= 4 * PassKind::extended().len());
+    }
+
+    #[test]
+    fn warm_cache_answers_repeat_corpus_from_disk() {
+        let dir = tempdir("seqwm-batch-warm");
+        let cold = run_batch(&small(3, Some(dir.clone()))).unwrap();
+        let warm = run_batch(&small(3, Some(dir.clone()))).unwrap();
+        assert!(cold.clean() && warm.clean());
+        // Identical corpus, identical pipeline: every non-no-op stage of
+        // the warm run is a cache hit.
+        assert!(warm.stages_cached > 0, "{}", warm.to_json());
+        assert_eq!(
+            warm.stages_cached,
+            warm.cache.as_ref().unwrap().hits as usize
+        );
+        assert_eq!(warm.rewrites, cold.rewrites);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summary_json_is_well_formed() {
+        let s = run_batch(&small(2, None)).unwrap();
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"programs\":2"), "{j}");
+        assert!(j.contains("\"programs_per_sec\""), "{j}");
+        assert!(j.contains("\"cache\":null"), "{j}");
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+}

@@ -27,16 +27,22 @@
 //!   corpus.
 //! * [`campaign`] — the parallel campaign driver, checkpointing, and
 //!   the machine-readable summary.
+//! * [`batch`] — batch-mode corpus optimization through the validated
+//!   pipeline with a shared memo cache: the optimizer-throughput
+//!   (programs/sec) instrument behind `seqwm optimize --batch` and the
+//!   `opt/` bench group.
 
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod batch;
 pub mod campaign;
 pub mod corpus;
 pub mod oracle;
 pub mod shrink;
 pub mod target;
 
+pub use batch::{run_batch, BatchConfig, BatchFailure, BatchSummary};
 pub use campaign::{
     replay, run_campaign, run_campaign_with, CampaignEvent, CampaignSummary, CaseIncident,
     FailureSummary, FuzzConfig,

@@ -250,34 +250,46 @@ pub fn check_target_upto(
     budgets: &OracleBudgets,
     last: OracleKind,
 ) -> CheckVerdict {
-    let tgt = target.apply(src);
+    let gate_model = ModelOpts {
+        ps: budgets.ps.clone(),
+        workers: 0,
+        reduction: None,
+        ..ModelOpts::default()
+    };
+    let tgt = target.apply_in(src, ctx, &gate_model);
     // Structural equality misses no-op rewrites that only reassociate
     // the `Seq` spine; the rendered text is the canonical form.
     if tgt == *src || tgt.to_string() == src.to_string() {
         return CheckVerdict::Unoptimized;
     }
 
-    // Oracle 1: SEQ refinement. Only a `Refuted` outcome is a
+    // Oracle 1: SEQ refinement — only for targets carrying the SEQ
+    // obligation. The atomics/promotion families change the atomic
+    // event trace, which pointwise trace matching refutes even for
+    // sound rewrites; their obligation is discharged by the PS^na
+    // differential oracle below instead. Only a `Refuted` outcome is a
     // violation; inconclusive checks (mixed atomicity, exhausted fuel)
     // are quarantined like any other budget trip.
-    match refines_advanced_or_simple_outcome(src, &tgt, &budgets.refine) {
-        Ok(_) => {}
-        Err(RefineCheckError::Refuted(detail)) => {
-            return CheckVerdict::Violation {
-                oracle: OracleKind::Seq,
-                detail,
-            };
-        }
-        Err(RefineCheckError::Inconclusive(e)) => {
-            let cause = match e {
-                RefineError::MixedAtomicity(_) => IncidentCause::OracleError,
-                RefineError::Truncated { .. } => IncidentCause::Truncated,
-            };
-            return CheckVerdict::Incident {
-                oracle: OracleKind::Seq,
-                cause,
-                message: e.to_string(),
-            };
+    if target.seq_obligation() {
+        match refines_advanced_or_simple_outcome(src, &tgt, &budgets.refine) {
+            Ok(_) => {}
+            Err(RefineCheckError::Refuted(detail)) => {
+                return CheckVerdict::Violation {
+                    oracle: OracleKind::Seq,
+                    detail,
+                };
+            }
+            Err(RefineCheckError::Inconclusive(e)) => {
+                let cause = match e {
+                    RefineError::MixedAtomicity(_) => IncidentCause::OracleError,
+                    RefineError::Truncated { .. } => IncidentCause::Truncated,
+                };
+                return CheckVerdict::Incident {
+                    oracle: OracleKind::Seq,
+                    cause,
+                    message: e.to_string(),
+                };
+            }
         }
     }
     if last == OracleKind::Seq {

@@ -7,7 +7,10 @@
 use std::fmt;
 
 use seqwm_lang::{Expr, Loc, Program, ReadMode, Stmt, Value, WriteMode};
+use seqwm_models::ModelOpts;
 use seqwm_opt::pipeline::{PassKind, Pipeline, PipelineConfig};
+use seqwm_opt::validate::Obligation;
+use seqwm_opt::{PromoteConfig, RegisterPromotion};
 
 /// A program transformation under differential test.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -22,19 +25,11 @@ pub enum FuzzTarget {
 
 impl FuzzTarget {
     /// The default healthy target set: the pipeline plus every
-    /// individual pass.
+    /// individual pass (the paper's passes and the atomics/promotion
+    /// families alike).
     pub fn default_targets() -> Vec<FuzzTarget> {
         let mut out = vec![FuzzTarget::Pipeline];
-        out.extend(
-            [
-                PassKind::Slf,
-                PassKind::Llf,
-                PassKind::Dse,
-                PassKind::Licm,
-                PassKind::ConstProp,
-            ]
-            .map(FuzzTarget::Pass),
-        );
+        out.extend(PassKind::extended().into_iter().map(FuzzTarget::Pass));
         out
     }
 
@@ -42,21 +37,50 @@ impl FuzzTarget {
     pub fn parse(name: &str) -> Option<FuzzTarget> {
         Some(match name {
             "pipeline" => FuzzTarget::Pipeline,
-            "slf" => FuzzTarget::Pass(PassKind::Slf),
-            "llf" => FuzzTarget::Pass(PassKind::Llf),
-            "dse" => FuzzTarget::Pass(PassKind::Dse),
-            "licm" => FuzzTarget::Pass(PassKind::Licm),
-            "constprop" => FuzzTarget::Pass(PassKind::ConstProp),
-            other => FuzzTarget::Buggy(BuggyPass::parse(other)?),
+            other => match PassKind::parse(other) {
+                Some(k) => FuzzTarget::Pass(k),
+                None => FuzzTarget::Buggy(BuggyPass::parse(other)?),
+            },
         })
     }
 
-    /// Applies the transformation.
+    /// Applies the transformation with no declared context (promotion
+    /// uses its closed-program gate).
     pub fn apply(&self, p: &Program) -> Program {
+        self.apply_in(p, None, &ModelOpts::default())
+    }
+
+    /// Applies the transformation as the production optimizer would:
+    /// register promotion is told about the concurrent context the
+    /// oracles will compose with, so its LDRF gate judges the actual
+    /// composition rather than the closed program. Every other target
+    /// ignores `ctx` and `model`.
+    pub fn apply_in(&self, p: &Program, ctx: Option<&Program>, model: &ModelOpts) -> Program {
         match self {
             FuzzTarget::Pipeline => Pipeline::new(PipelineConfig::default()).optimize(p).program,
+            FuzzTarget::Pass(PassKind::Promote) if ctx.is_some() => {
+                let cfg = PromoteConfig {
+                    context: ctx.cloned().into_iter().collect(),
+                    model: model.clone(),
+                };
+                RegisterPromotion::run_gated(p, &cfg).0
+            }
             FuzzTarget::Pass(k) => k.run(p).0,
             FuzzTarget::Buggy(b) => b.apply(p),
+        }
+    }
+
+    /// True when this target's translation-validation obligation is SEQ
+    /// refinement. The atomics/promotion pass families change the
+    /// atomic event trace, which SEQ's pointwise trace matching refutes
+    /// *by construction* even for sound rewrites — their obligation is
+    /// the PS^na differential check instead, so the SEQ oracle must
+    /// not judge them.
+    pub fn seq_obligation(&self) -> bool {
+        match self {
+            FuzzTarget::Pipeline => true,
+            FuzzTarget::Pass(k) => k.obligation() == Obligation::Seq,
+            FuzzTarget::Buggy(_) => true,
         }
     }
 }

@@ -243,6 +243,26 @@ impl Stmt {
         n
     }
 
+    /// The canonical right-nested form of this statement — structurally
+    /// identical to what the parser produces when it re-reads the
+    /// statement's own rendering. Optimizer passes that splice a block
+    /// into the middle of an existing `Seq` spine (hoisting a preheader,
+    /// inserting a write-back before a `return`) use this to restore the
+    /// invariant, so canonical-text fingerprints and structural equality
+    /// agree across a parse–print–parse round trip.
+    pub fn normalized(&self) -> Stmt {
+        match self {
+            Stmt::Seq(a, b) => Stmt::block([a.normalized(), b.normalized()]),
+            Stmt::If(c, a, b) => Stmt::If(
+                c.clone(),
+                Box::new(a.normalized()),
+                Box::new(b.normalized()),
+            ),
+            Stmt::While(c, b) => Stmt::While(c.clone(), Box::new(b.normalized())),
+            leaf => leaf.clone(),
+        }
+    }
+
     /// Does this statement (recursively) contain a loop?
     pub fn has_loop(&self) -> bool {
         let mut found = false;

@@ -1,0 +1,273 @@
+//! Fence elimination and merging.
+//!
+//! Two rewrites on memory fences, both conservative:
+//!
+//! * **Merging**: adjacent fences collapse into one fence of joined
+//!   polarity (`rel` + `acq` → `acqrel`; `sc` absorbs everything,
+//!   since an SC fence already acquires and releases).
+//! * **Elimination**: a fence with nothing to order is dropped — an
+//!   acquire fence upgrades *prior* relaxed reads, so with no atomic
+//!   read on any path before it there is nothing to upgrade; a release
+//!   fence orders prior accesses before *later* atomic writes, so with
+//!   no atomic write on any path after it there is nothing to order.
+//!   An `acqrel` fence with only one vacuous side is downgraded to the
+//!   useful side. SC fences are never eliminated or downgraded: they
+//!   participate in the global SC order independently of surrounding
+//!   accesses.
+//!
+//! Loops are handled via their back edge: a read (write) anywhere in a
+//! loop body counts as *before* (*after*) every statement of the body,
+//! because a later iteration re-executes it.
+//!
+//! Both rewrites change the SEQ trace shape (a fence is a SEQ
+//! transition label), so SEQ refinement refutes them by construction;
+//! their translation-validation obligation is the PS^na differential
+//! one ([`crate::validate::Obligation::PsNa`]).
+
+use seqwm_lang::{FenceMode, Program, Stmt};
+
+use crate::pipeline::PassStats;
+
+/// Does any atomic read (relaxed/acquire load, or an RMW, which always
+/// reads) occur anywhere in this statement?
+pub(crate) fn has_atomic_read(s: &Stmt) -> bool {
+    let mut found = false;
+    s.visit(&mut |n| {
+        if matches!(
+            n,
+            Stmt::Load(_, _, m) if m.is_atomic()
+        ) || matches!(n, Stmt::Cas { .. } | Stmt::Fadd { .. })
+        {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Does any atomic write (relaxed/release store, or an RMW, which may
+/// write) occur anywhere in this statement?
+pub(crate) fn has_atomic_write(s: &Stmt) -> bool {
+    let mut found = false;
+    s.visit(&mut |n| {
+        if matches!(
+            n,
+            Stmt::Store(_, m, _) if m.is_atomic()
+        ) || matches!(n, Stmt::Cas { .. } | Stmt::Fadd { .. })
+        {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Flattens a `Seq` spine into a statement list.
+pub(crate) fn spine(s: &Stmt) -> Vec<Stmt> {
+    fn go(s: &Stmt, out: &mut Vec<Stmt>) {
+        if let Stmt::Seq(a, b) = s {
+            go(a, out);
+            go(b, out);
+        } else {
+            out.push(s.clone());
+        }
+    }
+    let mut out = Vec::new();
+    go(s, &mut out);
+    out
+}
+
+/// The join of two adjacent fences: SC absorbs, otherwise polarities
+/// union.
+fn join(a: FenceMode, b: FenceMode) -> FenceMode {
+    if a == FenceMode::Sc || b == FenceMode::Sc {
+        return FenceMode::Sc;
+    }
+    match (
+        a.is_acquire() || b.is_acquire(),
+        a.is_release() || b.is_release(),
+    ) {
+        (true, true) => FenceMode::AcqRel,
+        (true, false) => FenceMode::Acq,
+        (false, true) => FenceMode::Rel,
+        // Unreachable: every FenceMode acquires or releases.
+        (false, false) => a,
+    }
+}
+
+/// The fence elimination/merging pass.
+pub struct FenceOpt;
+
+impl FenceOpt {
+    /// Runs the pass on a whole program.
+    pub fn run(prog: &Program) -> (Program, PassStats) {
+        let mut stats = PassStats::new("fence");
+        let body = rewrite_block(&spine(&prog.body), false, false, &mut stats);
+        stats.note_iterations(1);
+        (Program::new(body), stats)
+    }
+}
+
+/// Rewrites one block. `read_before`: may an atomic read have executed
+/// on some path before this block? `write_after`: may an atomic write
+/// execute on some path after it?
+fn rewrite_block(
+    stmts: &[Stmt],
+    read_before: bool,
+    write_after: bool,
+    stats: &mut PassStats,
+) -> Stmt {
+    // Phase 1: merge adjacent fences.
+    let mut merged: Vec<Stmt> = Vec::with_capacity(stmts.len());
+    for st in stmts {
+        match (merged.last(), st) {
+            (Some(Stmt::Fence(a)), Stmt::Fence(b)) => {
+                let j = join(*a, *b);
+                stats.rewrites += 1;
+                let last = merged.len() - 1;
+                merged[last] = Stmt::Fence(j);
+            }
+            _ => merged.push(st.clone()),
+        }
+    }
+
+    // Phase 2: eliminate/downgrade vacuous fences, recursing into
+    // control flow with path-sensitive before/after flags.
+    let mut out: Vec<Stmt> = Vec::with_capacity(merged.len());
+    let mut rb = read_before;
+    for (i, st) in merged.iter().enumerate() {
+        let wa = write_after || merged[i + 1..].iter().any(has_atomic_write);
+        match st {
+            Stmt::Fence(m) if *m != FenceMode::Sc => {
+                let acq_useful = m.is_acquire() && rb;
+                let rel_useful = m.is_release() && wa;
+                match (acq_useful, rel_useful) {
+                    (false, false) => stats.rewrites += 1, // dropped
+                    (true, false) if *m == FenceMode::AcqRel => {
+                        stats.rewrites += 1;
+                        out.push(Stmt::Fence(FenceMode::Acq));
+                    }
+                    (false, true) if *m == FenceMode::AcqRel => {
+                        stats.rewrites += 1;
+                        out.push(Stmt::Fence(FenceMode::Rel));
+                    }
+                    _ => out.push(st.clone()),
+                }
+            }
+            Stmt::If(e, a, b) => {
+                let a2 = rewrite_block(&spine(a), rb, wa, stats);
+                let b2 = rewrite_block(&spine(b), rb, wa, stats);
+                rb = rb || has_atomic_read(a) || has_atomic_read(b);
+                out.push(Stmt::If(e.clone(), Box::new(a2), Box::new(b2)));
+            }
+            Stmt::While(e, body) => {
+                // Back edge: anything in the body runs both before and
+                // after everything else in the body.
+                let body_rb = rb || has_atomic_read(body);
+                let body_wa = wa || has_atomic_write(body);
+                let b2 = rewrite_block(&spine(body), body_rb, body_wa, stats);
+                rb = rb || has_atomic_read(body);
+                out.push(Stmt::While(e.clone(), Box::new(b2)));
+            }
+            other => {
+                rb = rb || has_atomic_read(other);
+                out.push(other.clone());
+            }
+        }
+    }
+    Stmt::block(out)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn run(src: &str) -> (String, usize) {
+        let p = parse_program(src).unwrap();
+        let (q, s) = FenceOpt::run(&p);
+        // Canonical-text round trip: pass output must reparse.
+        assert_eq!(parse_program(&q.to_string()).unwrap(), q, "{q}");
+        (q.to_string(), s.rewrites)
+    }
+
+    #[test]
+    fn adjacent_fences_merge() {
+        let (out, n) = run("a := load[rlx](ff_x); fence[acq]; fence[rel]; store[rlx](ff_y, 1);");
+        assert!(out.contains("fence[acqrel];"), "{out}");
+        assert!(!out.contains("fence[acq];"), "{out}");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn sc_absorbs_neighbors() {
+        let (out, _) = run("a := load[rlx](fs_x); fence[sc]; fence[acq]; store[rlx](fs_y, 1);");
+        assert!(out.contains("fence[sc];"), "{out}");
+        assert!(!out.contains("fence[acq];"), "{out}");
+    }
+
+    #[test]
+    fn leading_acquire_fence_is_vacuous() {
+        let (out, n) = run("fence[acq]; a := load[rlx](fl_x); return a;");
+        assert!(!out.contains("fence"), "{out}");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn trailing_release_fence_is_vacuous() {
+        let (out, _) = run("store[rlx](ft_x, 1); fence[rel]; a := load[na](ft_d); return a;");
+        assert!(!out.contains("fence"), "{out}");
+    }
+
+    #[test]
+    fn useful_fences_survive() {
+        let (out, n) =
+            run("a := load[rlx](fu_x); fence[acq]; fence[rel]; store[rlx](fu_y, 1); return a;");
+        // The merge still fires, but the joined fence is useful on both
+        // sides and stays.
+        assert!(out.contains("fence[acqrel];"), "{out}");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn acqrel_downgrades_when_one_side_is_vacuous() {
+        let (out, _) = run("a := load[rlx](fd_x); fence[acqrel]; return a;");
+        assert!(out.contains("fence[acq];"), "{out}");
+        assert!(!out.contains("acqrel"), "{out}");
+    }
+
+    #[test]
+    fn sc_fence_is_never_touched() {
+        let (out, n) = run("fence[sc]; return 0;");
+        assert!(out.contains("fence[sc];"), "{out}");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn loop_back_edge_keeps_fences() {
+        // The body's read is "before" the fence via the back edge and
+        // its write is "after" it, so the fence must stay.
+        let (out, n) = run(
+            "while (i < 2) { a := load[rlx](fb_x); fence[acqrel]; store[rlx](fb_y, 1); \
+             i := i + 1; } return 0;",
+        );
+        assert!(out.contains("fence[acqrel];"), "{out}");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn branch_reads_count_for_later_fences() {
+        let (out, _) = run(
+            "if (c == 0) { a := load[rlx](fc_x); } else { skip; } fence[acq]; \
+             b := load[na](fc_d); return b;",
+        );
+        assert!(out.contains("fence[acq];"), "{out}");
+    }
+
+    #[test]
+    fn identity_without_fences() {
+        let p = parse_program("store[na](fi_x, 1); a := load[na](fi_x); return a;").unwrap();
+        let (q, s) = FenceOpt::run(&p);
+        assert_eq!(p, q);
+        assert_eq!(s.rewrites, 0);
+    }
+}

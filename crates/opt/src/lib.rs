@@ -3,10 +3,12 @@
 //! # seqwm-opt
 //!
 //! The optimizer of §4 of *Sequential Reasoning for Optimizing Compilers
-//! under Weak Memory Concurrency* (PLDI 2022): four thread-local passes
-//! over the `WHILE` language, each driven by a fixpoint abstract
-//! interpretation, composed into a pipeline and validated against the
-//! sequential model SEQ only.
+//! under Weak Memory Concurrency* (PLDI 2022): thread-local passes over
+//! the `WHILE` language, composed into a pipeline and validated by
+//! per-pass translation-validation obligations.
+//!
+//! The paper's four passes plus constant propagation are justified by
+//! SEQ alone:
 //!
 //! * [`slf`] — store-to-load forwarding (Fig. 3, worked example Fig. 4).
 //! * [`llf`] — load-to-load forwarding (Fig. 8a).
@@ -16,9 +18,31 @@
 //!   load introduction* followed by LLF — the transformation that
 //!   catch-fire models cannot support (Example 1.3).
 //! * [`constprop`] — register constant propagation (extension pass).
+//!
+//! The artifact's remaining pass families change the atomic event trace
+//! and therefore carry a **PS^na differential** obligation instead of a
+//! SEQ one (see [`validate::Obligation`]):
+//!
+//! * [`modes`] — access-mode strengthening (fence absorption) and dead
+//!   relaxed-load elimination.
+//! * [`fence`] — fence merging and vacuous-fence elimination.
+//! * [`rmw`] — redundant read-modify-write simplification.
+//! * [`promote`] — non-atomic register promotion, gated on the
+//!   `seqwm-models` LDRF race verdicts (§5: `RaceFree` licenses the
+//!   rewrite; `Racy`/`Inconclusive` block it).
+//!
+//! Infrastructure:
+//!
 //! * [`pipeline`] — the pass manager with per-pass statistics.
-//! * [`validate`] — SEQ-only translation validation (the substitute for
-//!   the paper's Coq certification; see DESIGN.md).
+//! * [`validate`] — per-stage translation validation (the substitute
+//!   for the paper's Coq certification; see DESIGN.md §3.16), with
+//!   synthesized prober contexts for the PS^na obligations.
+//! * [`memo`] — the fingerprint-keyed, CRC-enveloped validation memo
+//!   cache: revalidating an already-proven source/target pair is a
+//!   disk-backed cache hit.
+//! * [`planted`] (feature `fault-injection`) — known-unsound variants
+//!   of each new pass family, which the conformance battery asserts
+//!   the validator refutes.
 //!
 //! ## Example (the paper's Fig. 4)
 //!
@@ -41,16 +65,33 @@
 
 pub mod constprop;
 pub mod dse;
+pub mod fence;
 pub mod licm;
 pub mod llf;
+pub mod memo;
+pub mod modes;
 pub mod pipeline;
+#[cfg(feature = "fault-injection")]
+pub mod planted;
+pub mod promote;
+pub mod rmw;
 pub mod slf;
 pub mod validate;
 
 pub use constprop::ConstProp;
 pub use dse::DeadStoreElimination;
+pub use fence::FenceOpt;
 pub use licm::LoopInvariantCodeMotion;
 pub use llf::LoadToLoadForwarding;
+pub use memo::{CacheStats, CachedVerdict, ValidationCache};
+pub use modes::AccessModeOpt;
 pub use pipeline::{OptResult, PassKind, PassStats, Pipeline, PipelineConfig};
+#[cfg(feature = "fault-injection")]
+pub use planted::PlantedOptBug;
+pub use promote::{PromoteConfig, PromotionRecord, RegisterPromotion};
+pub use rmw::RmwOpt;
 pub use slf::StoreToLoadForwarding;
-pub use validate::{optimize_validated, ValidatedBy, ValidatedResult, ValidationFailure};
+pub use validate::{
+    optimize_validated, optimize_validated_with, probe_contexts, validate_rewrite, Obligation,
+    StageValidation, ValidatedBy, ValidatedResult, ValidationConfig, ValidationFailure,
+};

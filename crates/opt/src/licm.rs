@@ -11,6 +11,12 @@
 //!    paper's model validates.
 //! 2. **Forwarding**: run load-to-load forwarding, which replaces the
 //!    in-body loads by the hoisted register.
+//! 3. **Dead-hoist pruning**: a hoisted register the forwarding stage
+//!    never managed to route a read through is useless — drop its
+//!    defining statement again. Without this the pass re-hoists the
+//!    same location every run (the dangling `licm_k := …` grows the
+//!    program unboundedly); with it the pass is idempotent, and
+//!    `rewrites` counts only hoists that actually stuck.
 //!
 //! Stage 1's candidate analysis affects only *profitability*, never
 //! soundness.
@@ -21,22 +27,70 @@ use seqwm_lang::{Loc, Program, ReadMode, Reg, Stmt, WriteMode};
 
 use crate::llf::LoadToLoadForwarding;
 use crate::pipeline::PassStats;
+use crate::rmw::map_leaves;
 use crate::slf::is_acquire;
 
 /// The LICM pass.
 pub struct LoopInvariantCodeMotion;
 
 impl LoopInvariantCodeMotion {
-    /// Runs the pass (hoisting + LLF) on a whole program.
+    /// Runs the pass (hoisting + LLF + pruning) on a whole program.
     pub fn run(prog: &Program) -> (Program, PassStats) {
         let mut stats = PassStats::new("licm");
+        let used: BTreeSet<String> = prog.body.regs().iter().map(|r| r.name()).collect();
         let mut fresh = 0usize;
-        let hoisted = hoist(&prog.body, &mut fresh, &mut stats);
+        let mut hoisted_regs = Vec::new();
+        let hoisted = hoist(&prog.body, &mut fresh, &used, &mut hoisted_regs);
         // Stage 2: forward the hoisted loads into the loop bodies.
         let (forwarded, llf_stats) = LoadToLoadForwarding::run(&Program::new(hoisted));
         stats.note_iterations(llf_stats.max_fixpoint_iterations);
-        (forwarded, stats)
+        // Stage 3: drop hoists nothing reads. One removal can orphan
+        // another (an inner hoist read only by a dead outer one), so
+        // iterate to a fixpoint.
+        let mut body = forwarded.body;
+        let mut live: Vec<Reg> = hoisted_regs;
+        loop {
+            let reads = read_regs(&body);
+            let (kept, dead): (Vec<Reg>, Vec<Reg>) =
+                live.into_iter().partition(|r| reads.contains(r));
+            if dead.is_empty() {
+                live = kept;
+                break;
+            }
+            let dead: BTreeSet<Reg> = dead.into_iter().collect();
+            body = map_leaves(&body, &mut |s| match s {
+                Stmt::Load(r, _, _) | Stmt::Assign(r, _) if dead.contains(r) => Some(Stmt::Skip),
+                _ => None,
+            });
+            live = kept;
+        }
+        stats.rewrites = live.len();
+        // Hoisting splices blocks into the middle of `Seq` spines;
+        // restore the parser's canonical right-nesting.
+        (Program::new(body.normalized()), stats)
     }
+}
+
+/// Registers *read* anywhere in `s` — i.e. occurring in an expression
+/// (as opposed to being a load/assign destination).
+fn read_regs(s: &Stmt) -> BTreeSet<Reg> {
+    let mut out = BTreeSet::new();
+    s.visit(&mut |n| match n {
+        Stmt::Assign(_, e)
+        | Stmt::Store(_, _, e)
+        | Stmt::Freeze(_, e)
+        | Stmt::Print(e)
+        | Stmt::Return(e)
+        | Stmt::If(e, _, _)
+        | Stmt::While(e, _) => out.extend(e.regs()),
+        Stmt::Cas { expected, new, .. } => {
+            out.extend(expected.regs());
+            out.extend(new.regs());
+        }
+        Stmt::Fadd { operand, .. } => out.extend(operand.regs()),
+        _ => {}
+    });
+    out
 }
 
 /// Locations loaded non-atomically anywhere in `s`.
@@ -76,17 +130,17 @@ fn contains_acquire(s: &Stmt) -> bool {
     found
 }
 
-fn hoist(s: &Stmt, fresh: &mut usize, stats: &mut PassStats) -> Stmt {
+fn hoist(s: &Stmt, fresh: &mut usize, used: &BTreeSet<String>, regs: &mut Vec<Reg>) -> Stmt {
     match s {
-        Stmt::Seq(a, b) => Stmt::seq(hoist(a, fresh, stats), hoist(b, fresh, stats)),
+        Stmt::Seq(a, b) => Stmt::seq(hoist(a, fresh, used, regs), hoist(b, fresh, used, regs)),
         Stmt::If(c, a, b) => Stmt::If(
             c.clone(),
-            Box::new(hoist(a, fresh, stats)),
-            Box::new(hoist(b, fresh, stats)),
+            Box::new(hoist(a, fresh, used, regs)),
+            Box::new(hoist(b, fresh, used, regs)),
         ),
         Stmt::While(c, body) => {
             // Inner loops first.
-            let body = hoist(body, fresh, stats);
+            let body = hoist(body, fresh, used, regs);
             let candidates: Vec<Loc> = if contains_acquire(&body) {
                 Vec::new()
             } else {
@@ -98,9 +152,14 @@ fn hoist(s: &Stmt, fresh: &mut usize, stats: &mut PassStats) -> Stmt {
             };
             let mut prefix = Vec::new();
             for x in candidates {
-                let r = Reg::new(&format!("licm_{}", *fresh));
+                let mut name = format!("licm_{}", *fresh);
                 *fresh += 1;
-                stats.rewrites += 1;
+                while used.contains(&name) {
+                    name = format!("licm_{}", *fresh);
+                    *fresh += 1;
+                }
+                let r = Reg::new(&name);
+                regs.push(r);
                 prefix.push(Stmt::Load(r, x, ReadMode::Na));
             }
             prefix.push(Stmt::While(c.clone(), Box::new(body)));

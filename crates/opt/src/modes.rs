@@ -1,0 +1,227 @@
+//! Access-mode strengthening and elimination.
+//!
+//! Three rewrites on atomic access modes, all conservative:
+//!
+//! * **Fence absorption (read side)**: `r := load[rlx](x); fence[acq]`
+//!   becomes `r := load[acq](x)` when the load is the only atomic read
+//!   that can precede the fence on any path — the fence's sole job was
+//!   upgrading that one load, so the strengthened load carries exactly
+//!   the same synchronization.
+//! * **Fence absorption (write side)**: `fence[rel]; store[rlx](x, e)`
+//!   becomes `store[rel](x, e)` when the store is the only atomic write
+//!   that can follow the fence on any path.
+//! * **Dead relaxed-load elimination**: `r := load[rlx](x)` is dropped
+//!   when `r` is never mentioned again on any path. Acquire loads are
+//!   never dropped (their synchronization is observable even when the
+//!   value is dead), and non-atomic loads are left alone (their race-UB
+//!   is [`crate::dse`]-family territory).
+//!
+//! Loop back edges are treated as in [`crate::fence`]: an atomic access
+//! anywhere in a loop body counts as both before and after every
+//! statement of that body, and a register mentioned anywhere in the
+//! body counts as live throughout it.
+//!
+//! All three rewrites change the SEQ trace shape, so their validation
+//! obligation is PS^na differential ([`crate::validate::Obligation::PsNa`]).
+
+use std::collections::BTreeSet;
+
+use seqwm_lang::{FenceMode, Program, ReadMode, Reg, Stmt, WriteMode};
+
+use crate::fence::{has_atomic_read, has_atomic_write, spine};
+use crate::pipeline::PassStats;
+
+/// The access-mode strengthening/elimination pass.
+pub struct AccessModeOpt;
+
+impl AccessModeOpt {
+    /// Runs the pass on a whole program.
+    pub fn run(prog: &Program) -> (Program, PassStats) {
+        let mut stats = PassStats::new("modes");
+        let absorbed = absorb_block(&spine(&prog.body), false, false, &mut stats);
+        let pruned = dead_loads_block(&spine(&absorbed), &BTreeSet::new(), &mut stats);
+        stats.note_iterations(1);
+        (Program::new(pruned), stats)
+    }
+}
+
+/// Fence-absorption walk. Flags as in `fence::rewrite_block`.
+fn absorb_block(
+    stmts: &[Stmt],
+    read_before: bool,
+    write_after: bool,
+    stats: &mut PassStats,
+) -> Stmt {
+    let mut out: Vec<Stmt> = Vec::with_capacity(stmts.len());
+    let mut rb = read_before;
+    let mut i = 0;
+    while i < stmts.len() {
+        match (&stmts[i], stmts.get(i + 1)) {
+            // r := load[rlx](x); fence[acq]  ~~>  r := load[acq](x)
+            // (only when no other atomic read can precede the fence)
+            (Stmt::Load(r, x, ReadMode::Rlx), Some(Stmt::Fence(FenceMode::Acq))) if !rb => {
+                out.push(Stmt::Load(*r, *x, ReadMode::Acq));
+                stats.rewrites += 1;
+                rb = true;
+                i += 2;
+            }
+            // fence[rel]; store[rlx](x, e)  ~~>  store[rel](x, e)
+            // (only when no other atomic write can follow the fence)
+            (Stmt::Fence(FenceMode::Rel), Some(Stmt::Store(x, WriteMode::Rlx, e)))
+                if !write_after && !stmts[i + 2..].iter().any(has_atomic_write) =>
+            {
+                out.push(Stmt::Store(*x, WriteMode::Rel, e.clone()));
+                stats.rewrites += 1;
+                i += 2;
+            }
+            (Stmt::If(e, a, b), _) => {
+                let wa = write_after || stmts[i + 1..].iter().any(has_atomic_write);
+                let a2 = absorb_block(&spine(a), rb, wa, stats);
+                let b2 = absorb_block(&spine(b), rb, wa, stats);
+                rb = rb || has_atomic_read(a) || has_atomic_read(b);
+                out.push(Stmt::If(e.clone(), Box::new(a2), Box::new(b2)));
+                i += 1;
+            }
+            (Stmt::While(e, body), _) => {
+                let wa = write_after || stmts[i + 1..].iter().any(has_atomic_write);
+                let body_rb = rb || has_atomic_read(body);
+                let body_wa = wa || has_atomic_write(body);
+                let b2 = absorb_block(&spine(body), body_rb, body_wa, stats);
+                rb = rb || has_atomic_read(body);
+                out.push(Stmt::While(e.clone(), Box::new(b2)));
+                i += 1;
+            }
+            (other, _) => {
+                rb = rb || has_atomic_read(other);
+                out.push(other.clone());
+                i += 1;
+            }
+        }
+    }
+    Stmt::block(out)
+}
+
+/// Dead relaxed-load elimination. `cont` holds every register mentioned
+/// on any path after this block.
+fn dead_loads_block(stmts: &[Stmt], cont: &BTreeSet<Reg>, stats: &mut PassStats) -> Stmt {
+    // suffix[i] = registers mentioned by stmts[i..] ∪ cont.
+    let mut suffix: Vec<BTreeSet<Reg>> = vec![cont.clone(); stmts.len() + 1];
+    for i in (0..stmts.len()).rev() {
+        let mut s = suffix[i + 1].clone();
+        s.extend(stmts[i].regs());
+        suffix[i] = s;
+    }
+
+    let mut out: Vec<Stmt> = Vec::with_capacity(stmts.len());
+    for (i, st) in stmts.iter().enumerate() {
+        let cont_i = &suffix[i + 1];
+        match st {
+            Stmt::Load(r, _, ReadMode::Rlx) if !cont_i.contains(r) => {
+                stats.rewrites += 1; // dropped
+            }
+            Stmt::If(e, a, b) => {
+                let a2 = dead_loads_block(&spine(a), cont_i, stats);
+                let b2 = dead_loads_block(&spine(b), cont_i, stats);
+                out.push(Stmt::If(e.clone(), Box::new(a2), Box::new(b2)));
+            }
+            Stmt::While(e, body) => {
+                // Back edge: the body (and the condition) re-run, so
+                // everything they mention stays live inside the body.
+                let mut body_cont = cont_i.clone();
+                body_cont.extend(body.regs());
+                body_cont.extend(e.regs());
+                let b2 = dead_loads_block(&spine(body), &body_cont, stats);
+                out.push(Stmt::While(e.clone(), Box::new(b2)));
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    Stmt::block(out)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn run(src: &str) -> (String, usize) {
+        let p = parse_program(src).unwrap();
+        let (q, s) = AccessModeOpt::run(&p);
+        assert_eq!(parse_program(&q.to_string()).unwrap(), q, "{q}");
+        (q.to_string(), s.rewrites)
+    }
+
+    #[test]
+    fn acquire_fence_absorbed_into_load() {
+        let (out, n) = run("a := load[rlx](mo_f); fence[acq]; b := load[na](mo_d); return b;");
+        assert!(out.contains("load[acq](mo_f)"), "{out}");
+        assert!(!out.contains("fence"), "{out}");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn absorption_blocked_by_earlier_atomic_read() {
+        let (out, _) = run(
+            "c := load[rlx](mb_g); a := load[rlx](mb_f); fence[acq]; print(a); print(c); \
+             return 0;",
+        );
+        // Another relaxed read precedes the fence, so it must keep
+        // upgrading both and cannot be folded into one load.
+        assert!(out.contains("fence[acq];"), "{out}");
+        assert!(out.contains("load[rlx](mb_f)"), "{out}");
+    }
+
+    #[test]
+    fn release_fence_absorbed_into_store() {
+        let (out, n) = run("store[na](mw_d, 1); fence[rel]; store[rlx](mw_f, 1); return 0;");
+        assert!(out.contains("store[rel](mw_f, 1)"), "{out}");
+        assert!(!out.contains("fence"), "{out}");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn absorption_blocked_by_later_atomic_write() {
+        let (out, _) = run("fence[rel]; store[rlx](ma_f, 1); store[rlx](ma_g, 1); return 0;");
+        assert!(out.contains("fence[rel];"), "{out}");
+        assert!(out.contains("store[rlx](ma_f, 1)"), "{out}");
+    }
+
+    #[test]
+    fn dead_relaxed_load_is_dropped() {
+        let (out, n) = run("a := load[rlx](md_x); return 0;");
+        assert!(!out.contains("load"), "{out}");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn live_relaxed_load_stays() {
+        let (out, n) = run("a := load[rlx](ml_x); return a;");
+        assert!(out.contains("load[rlx](ml_x)"), "{out}");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn dead_acquire_load_stays() {
+        // Acquire synchronization is observable even if the value dies.
+        let (out, n) = run("a := load[acq](mq_x); return 0;");
+        assert!(out.contains("load[acq](mq_x)"), "{out}");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn loop_keeps_body_registers_live() {
+        let (out, n) = run("while (i < 2) { a := load[rlx](mk_x); i := i + a; } return 0;");
+        assert!(out.contains("load[rlx](mk_x)"), "{out}");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn no_absorption_inside_loop() {
+        // The load's own back edge makes it "an earlier atomic read",
+        // so the conservative analysis leaves the loop alone.
+        let (out, _) =
+            run("while (i < 2) { a := load[rlx](mx_f); fence[acq]; i := i + a; } return 0;");
+        assert!(out.contains("fence[acq];"), "{out}");
+    }
+}

@@ -1,5 +1,5 @@
-//! The optimization pipeline: the four passes of §4, composable and
-//! instrumented.
+//! The optimization pipeline: the four passes of §4 plus the atomics
+//! and promotion pass families, composable and instrumented.
 
 use std::fmt;
 
@@ -7,11 +7,15 @@ use seqwm_lang::Program;
 
 use crate::constprop::ConstProp;
 use crate::dse::DeadStoreElimination;
+use crate::fence::FenceOpt;
 use crate::licm::LoopInvariantCodeMotion;
 use crate::llf::LoadToLoadForwarding;
+use crate::modes::AccessModeOpt;
+use crate::promote::RegisterPromotion;
+use crate::rmw::RmwOpt;
 use crate::slf::StoreToLoadForwarding;
 
-/// One of the four optimization passes.
+/// One of the optimization passes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum PassKind {
     /// Store-to-load forwarding (§4, Fig. 3).
@@ -25,6 +29,15 @@ pub enum PassKind {
     /// Register constant propagation (extension pass; enables SLF on
     /// stores of registers).
     ConstProp,
+    /// Access-mode strengthening/elimination ([`crate::modes`]).
+    Modes,
+    /// Fence elimination and merging ([`crate::fence`]).
+    Fence,
+    /// Redundant-RMW simplification ([`crate::rmw`]).
+    Rmw,
+    /// LDRF-gated non-atomic register promotion ([`crate::promote`]);
+    /// run through [`PassKind::run`] it uses the closed-program gate.
+    Promote,
 }
 
 impl PassKind {
@@ -36,12 +49,40 @@ impl PassKind {
             PassKind::Dse => DeadStoreElimination::run(prog),
             PassKind::Licm => LoopInvariantCodeMotion::run(prog),
             PassKind::ConstProp => ConstProp::run(prog),
+            PassKind::Modes => AccessModeOpt::run(prog),
+            PassKind::Fence => FenceOpt::run(prog),
+            PassKind::Rmw => RmwOpt::run(prog),
+            PassKind::Promote => RegisterPromotion::run(prog),
         }
     }
 
-    /// All four passes in the paper's order.
+    /// The four passes of §4 in the paper's order — the default
+    /// pipeline.
     pub fn all() -> [PassKind; 4] {
         [PassKind::Slf, PassKind::Llf, PassKind::Dse, PassKind::Licm]
+    }
+
+    /// Every pass, paper passes first, then the atomics/promotion
+    /// families.
+    pub fn extended() -> Vec<PassKind> {
+        vec![
+            PassKind::Slf,
+            PassKind::Llf,
+            PassKind::Dse,
+            PassKind::Licm,
+            PassKind::ConstProp,
+            PassKind::Modes,
+            PassKind::Fence,
+            PassKind::Rmw,
+            PassKind::Promote,
+        ]
+    }
+
+    /// Parses a pass name as printed by `Display`.
+    pub fn parse(name: &str) -> Option<PassKind> {
+        PassKind::extended()
+            .into_iter()
+            .find(|p| p.to_string() == name)
     }
 }
 
@@ -53,6 +94,10 @@ impl fmt::Display for PassKind {
             PassKind::Dse => write!(f, "dse"),
             PassKind::Licm => write!(f, "licm"),
             PassKind::ConstProp => write!(f, "constprop"),
+            PassKind::Modes => write!(f, "modes"),
+            PassKind::Fence => write!(f, "fence"),
+            PassKind::Rmw => write!(f, "rmw"),
+            PassKind::Promote => write!(f, "promote"),
         }
     }
 }
@@ -225,5 +270,19 @@ mod tests {
         assert_eq!(PassKind::Licm.to_string(), "licm");
         let s = PassStats::new("slf");
         assert!(s.to_string().contains("slf"));
+    }
+
+    #[test]
+    fn pass_names_round_trip() {
+        for p in PassKind::extended() {
+            assert_eq!(PassKind::parse(&p.to_string()), Some(p), "{p}");
+        }
+        assert_eq!(PassKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn default_pipeline_is_the_papers_four() {
+        assert_eq!(PassKind::all().to_vec(), PassKind::extended()[..4].to_vec());
+        assert_eq!(PassKind::extended().len(), 9);
     }
 }

@@ -1,0 +1,173 @@
+//! Planted-unsound pass variants, one per new pass family.
+//!
+//! Compiled only under `--features fault-injection`. Each variant is a
+//! *plausible-looking* but known-unsound sibling of a real pass; the
+//! conformance battery (`tests/opt_validation.rs`) runs every one
+//! through the translation validator and asserts it is refuted. If a
+//! planted bug ever validates, the validator — not the pass — is what
+//! broke.
+//!
+//! The four plants:
+//!
+//! * [`PlantedOptBug::PromoteUngated`] — register promotion that skips
+//!   both the context-sharing check and the LDRF gate, promoting every
+//!   non-atomic location as if the program were closed. Racy contexts
+//!   then observe the hoisted prologue load / write-back.
+//! * [`PlantedOptBug::FenceElimAcrossAcquire`] — fence elimination that
+//!   deletes *every* acquire-side fence, vacuous or not, destroying the
+//!   reader side of message passing.
+//! * [`PlantedOptBug::ModeWeakensAcquire`] — access-"mode optimization"
+//!   that rewrites `load[acq]` to `load[rlx]`, the strengthening
+//!   rewrite run backwards.
+//! * [`PlantedOptBug::RmwDropsWrite`] — RMW simplification that turns
+//!   *any* RMW into a plain load of its read-side mode, discarding the
+//!   write (and its atomicity) entirely.
+
+use std::fmt;
+
+use seqwm_lang::{Program, Stmt};
+
+use crate::pipeline::PassStats;
+use crate::promote::promote_unchecked;
+use crate::rmw::map_leaves;
+
+/// A deliberately unsound variant of one of the new pass families.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlantedOptBug {
+    /// Promotion without the DRF gate (ignores context and LDRF).
+    PromoteUngated,
+    /// Deletes every acquire-side fence.
+    FenceElimAcrossAcquire,
+    /// Weakens `load[acq]` to `load[rlx]`.
+    ModeWeakensAcquire,
+    /// Replaces any RMW by a load, dropping the write.
+    RmwDropsWrite,
+}
+
+impl PlantedOptBug {
+    /// Every planted variant.
+    pub fn all() -> [PlantedOptBug; 4] {
+        [
+            PlantedOptBug::PromoteUngated,
+            PlantedOptBug::FenceElimAcrossAcquire,
+            PlantedOptBug::ModeWeakensAcquire,
+            PlantedOptBug::RmwDropsWrite,
+        ]
+    }
+
+    /// Stable name, usable from CLI/battery output.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlantedOptBug::PromoteUngated => "promote-ungated",
+            PlantedOptBug::FenceElimAcrossAcquire => "fence-elim-across-acquire",
+            PlantedOptBug::ModeWeakensAcquire => "mode-weakens-acquire",
+            PlantedOptBug::RmwDropsWrite => "rmw-drops-write",
+        }
+    }
+
+    /// Parses a planted-bug name.
+    pub fn parse(name: &str) -> Option<PlantedOptBug> {
+        PlantedOptBug::all().into_iter().find(|b| b.name() == name)
+    }
+
+    /// Runs the unsound rewrite.
+    pub fn run(self, prog: &Program) -> (Program, PassStats) {
+        let mut stats = PassStats::new(self.name());
+        stats.note_iterations(1);
+        let out = match self {
+            PlantedOptBug::PromoteUngated => {
+                let na = prog.body.na_locs();
+                let atomic = prog.body.atomic_locs();
+                let candidates: Vec<_> = na.difference(&atomic).copied().collect();
+                let (out, n) = promote_unchecked(prog, &candidates);
+                stats.rewrites = n;
+                out
+            }
+            PlantedOptBug::FenceElimAcrossAcquire => {
+                let body = map_leaves(&prog.body, &mut |s| match s {
+                    Stmt::Fence(m) if m.is_acquire() => {
+                        stats.rewrites += 1;
+                        Some(Stmt::Skip)
+                    }
+                    _ => None,
+                });
+                Program::new(body)
+            }
+            PlantedOptBug::ModeWeakensAcquire => {
+                let body = map_leaves(&prog.body, &mut |s| match s {
+                    Stmt::Load(r, x, seqwm_lang::ReadMode::Acq) => {
+                        stats.rewrites += 1;
+                        Some(Stmt::Load(*r, *x, seqwm_lang::ReadMode::Rlx))
+                    }
+                    _ => None,
+                });
+                Program::new(body)
+            }
+            PlantedOptBug::RmwDropsWrite => {
+                let body = map_leaves(&prog.body, &mut |s| match s {
+                    Stmt::Cas { dst, loc, mode, .. } => {
+                        stats.rewrites += 1;
+                        Some(Stmt::Load(*dst, *loc, mode.read_mode()))
+                    }
+                    Stmt::Fadd { dst, loc, mode, .. } => {
+                        stats.rewrites += 1;
+                        Some(Stmt::Load(*dst, *loc, mode.read_mode()))
+                    }
+                    _ => None,
+                });
+                Program::new(body)
+            }
+        };
+        (out, stats)
+    }
+}
+
+impl fmt::Display for PlantedOptBug {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    #[test]
+    fn names_round_trip() {
+        for b in PlantedOptBug::all() {
+            assert_eq!(PlantedOptBug::parse(b.name()), Some(b));
+        }
+        assert_eq!(PlantedOptBug::parse("nope"), None);
+    }
+
+    #[test]
+    fn each_plant_rewrites_its_trigger_shape() {
+        let cases = [
+            (
+                PlantedOptBug::PromoteUngated,
+                "a := load[na](pb_d); return a;",
+            ),
+            (
+                PlantedOptBug::FenceElimAcrossAcquire,
+                "a := load[rlx](pb_f); fence[acq]; return a;",
+            ),
+            (
+                PlantedOptBug::ModeWeakensAcquire,
+                "a := load[acq](pb_f); return a;",
+            ),
+            (
+                PlantedOptBug::RmwDropsWrite,
+                "a := fadd[rlx](pb_x, 1); return a;",
+            ),
+        ];
+        for (bug, src) in cases {
+            let p = parse_program(src).unwrap();
+            let (q, stats) = bug.run(&p);
+            assert!(stats.rewrites > 0, "{bug} did not fire on {src}");
+            assert_ne!(q, p, "{bug}");
+            assert_eq!(parse_program(&q.to_string()).unwrap(), q, "{bug}: {q}");
+        }
+    }
+}

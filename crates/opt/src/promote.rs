@@ -1,0 +1,384 @@
+//! Non-atomic register promotion, gated on an LDRF verdict.
+//!
+//! A non-atomic location that no other declared thread touches is a
+//! register in disguise: promote it by loading it once into a fresh
+//! register up front, routing every `load[na]`/`store[na]` through the
+//! register, and writing the register back before every exit (when the
+//! program stores the location at all).
+//!
+//! Sequential reasoning licenses this only on race-free programs —
+//! promotion *introduces* accesses (the up-front load, the write-backs)
+//! at points the original program had none, which is exactly the
+//! transformation the paper's LDRF theorems exist to justify. The gate
+//! here is the `crates/models` **LDRF-RA** checker over the program
+//! composed with its declared context: `RaceFree` always licenses the
+//! promotion; `Racy` and `Inconclusive` (truncated scan) both refuse
+//! it. Candidates a context thread touches at all are refused earlier,
+//! without spending model-checker fuel.
+//!
+//! A candidate must also be *profitable*: promotion replaces the
+//! location's accesses with one prologue load plus (when the location
+//! is ever stored) one write-back per exit site, so it only fires when
+//! the static access count strictly exceeds that. Besides being what a
+//! production compiler would do, the strict inequality makes the pass
+//! idempotent — its own output has exactly the promoted-form access
+//! count and is left alone. (Counts are static: a load inside a loop
+//! counts once. Hoisting loop-invariant loads is LICM's job.)
+//!
+//! The rewrite changes the SEQ behavior footprint (the promoted
+//! location leaves the written set), so its validation obligation is
+//! PS^na differential ([`crate::validate::Obligation::PsNa`]).
+
+use std::collections::BTreeSet;
+
+use seqwm_lang::expr::Expr;
+use seqwm_lang::{Loc, Program, ReadMode, Reg, Stmt, WriteMode};
+use seqwm_models::{ldrf_pf_ra, ModelOpts, RaceVerdict};
+
+use crate::fence::spine;
+use crate::pipeline::PassStats;
+use crate::rmw::map_leaves;
+
+/// Configuration for gated promotion.
+#[derive(Clone, Debug, Default)]
+pub struct PromoteConfig {
+    /// The declared context threads the program will run alongside.
+    /// Empty means the program is closed.
+    pub context: Vec<Program>,
+    /// Model-checker budgets for the LDRF gate.
+    pub model: ModelOpts,
+}
+
+/// What happened to one promotion candidate.
+#[derive(Clone, Debug)]
+pub struct PromotionRecord {
+    /// The candidate location.
+    pub loc: Loc,
+    /// Whether it was promoted.
+    pub promoted: bool,
+    /// `"promoted"`, `"context-shared"`, `"unprofitable"`, or the
+    /// refusing LDRF verdict (e.g. `"ldrf-ra: racy"`).
+    pub reason: String,
+}
+
+/// The register-promotion pass.
+pub struct RegisterPromotion;
+
+impl RegisterPromotion {
+    /// Runs the pass against an empty (closed-program) context with
+    /// default model budgets.
+    pub fn run(prog: &Program) -> (Program, PassStats) {
+        let (out, stats, _) = Self::run_gated(prog, &PromoteConfig::default());
+        (out, stats)
+    }
+
+    /// Runs the pass against a declared context, returning a record per
+    /// candidate alongside the usual pass output.
+    pub fn run_gated(
+        prog: &Program,
+        cfg: &PromoteConfig,
+    ) -> (Program, PassStats, Vec<PromotionRecord>) {
+        let mut stats = PassStats::new("promote");
+        stats.note_iterations(1);
+        let mut records = Vec::new();
+
+        let na = prog.body.na_locs();
+        let atomic = prog.body.atomic_locs();
+        let mut candidates: Vec<Loc> = na.difference(&atomic).copied().collect();
+        if candidates.is_empty() {
+            return (prog.clone(), stats, records);
+        }
+
+        let ctx_locs: BTreeSet<Loc> = cfg.context.iter().flat_map(|p| p.body.locs()).collect();
+        candidates.retain(|x| {
+            if ctx_locs.contains(x) {
+                records.push(PromotionRecord {
+                    loc: *x,
+                    promoted: false,
+                    reason: "context-shared".to_string(),
+                });
+                false
+            } else {
+                true
+            }
+        });
+        candidates.retain(|x| {
+            if promotion_profitable(&prog.body, *x) {
+                true
+            } else {
+                records.push(PromotionRecord {
+                    loc: *x,
+                    promoted: false,
+                    reason: "unprofitable".to_string(),
+                });
+                false
+            }
+        });
+        if candidates.is_empty() {
+            return (prog.clone(), stats, records);
+        }
+
+        // The LDRF-RA gate over the whole declared composition.
+        // RaceFree always licenses the promotion; anything else —
+        // including a truncated, inconclusive scan — refuses it.
+        let mut threads = vec![prog.clone()];
+        threads.extend(cfg.context.iter().cloned());
+        let (ra, _pf, _scan) = ldrf_pf_ra(&threads, &cfg.model);
+        if ra.verdict != RaceVerdict::RaceFree {
+            let reason = format!("{}: {}", ra.level.name(), ra.verdict);
+            for x in candidates {
+                records.push(PromotionRecord {
+                    loc: x,
+                    promoted: false,
+                    reason: reason.clone(),
+                });
+            }
+            return (prog.clone(), stats, records);
+        }
+
+        let (out, rewrites) = promote_unchecked(prog, &candidates);
+        stats.rewrites = rewrites;
+        for x in candidates {
+            records.push(PromotionRecord {
+                loc: x,
+                promoted: true,
+                reason: "promoted".to_string(),
+            });
+        }
+        (out, stats, records)
+    }
+}
+
+/// Whether promoting `x` strictly reduces the static count of memory
+/// accesses. The promoted form costs one prologue load, plus — when the
+/// location is ever stored — one write-back per exit site (every
+/// `return`, plus the fall-through end of the spine if the program has
+/// one). The inequality is strict so the pass is idempotent: its own
+/// output sits exactly at the promoted-form cost and is skipped.
+fn promotion_profitable(body: &Stmt, x: Loc) -> bool {
+    let mut loads = 0usize;
+    let mut stores = 0usize;
+    let mut returns = 0usize;
+    body.visit(&mut |s| match s {
+        Stmt::Load(_, y, ReadMode::Na) if *y == x => loads += 1,
+        Stmt::Store(y, WriteMode::Na, _) if *y == x => stores += 1,
+        Stmt::Return(_) => returns += 1,
+        _ => {}
+    });
+    let cost = if stores > 0 {
+        let tail = spine(body);
+        let falls_through = !matches!(tail.last(), Some(Stmt::Return(_)) | Some(Stmt::Abort));
+        1 + returns + usize::from(falls_through)
+    } else {
+        1
+    };
+    loads + stores > cost
+}
+
+/// The promotion rewrite itself, with no soundness gate. Shared with
+/// the planted-bug battery, whose "promotion without the DRF gate"
+/// variant calls this directly.
+pub(crate) fn promote_unchecked(prog: &Program, candidates: &[Loc]) -> (Program, usize) {
+    let mut used: BTreeSet<String> = prog.body.regs().iter().map(|r| r.name()).collect();
+    let mut body = prog.body.clone();
+    let mut prologue: Vec<Stmt> = Vec::new();
+    let mut rewrites = 0usize;
+
+    for &x in candidates {
+        let mut name = format!("p_{}", x.name());
+        let mut k = 0;
+        while used.contains(&name) {
+            k += 1;
+            name = format!("p_{}_{k}", x.name());
+        }
+        used.insert(name.clone());
+        let px = Reg::new(&name);
+
+        let mut stored = false;
+        body = map_leaves(&body, &mut |s| match s {
+            Stmt::Load(r, y, ReadMode::Na) if *y == x => {
+                rewrites += 1;
+                Some(Stmt::Assign(*r, Expr::Reg(px)))
+            }
+            Stmt::Store(y, WriteMode::Na, e) if *y == x => {
+                rewrites += 1;
+                stored = true;
+                Some(Stmt::Assign(px, e.clone()))
+            }
+            _ => None,
+        });
+
+        prologue.push(Stmt::Load(px, x, ReadMode::Na));
+        if stored {
+            let wb = Stmt::Store(x, WriteMode::Na, Expr::Reg(px));
+            // Write back before every return...
+            body = map_leaves(&body, &mut |s| match s {
+                Stmt::Return(e) => Some(Stmt::block([wb.clone(), Stmt::Return(e.clone())])),
+                _ => None,
+            });
+            // ...and at the fall-through end, if the program has one.
+            let tail = spine(&body);
+            if !matches!(tail.last(), Some(Stmt::Return(_)) | Some(Stmt::Abort)) {
+                body = Stmt::block([body, wb]);
+            }
+        }
+    }
+
+    prologue.push(body);
+    // Write-back insertion splices blocks at `return` leaves; restore
+    // the parser's canonical right-nesting.
+    (Program::new(Stmt::block(prologue).normalized()), rewrites)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn parse(src: &str) -> Program {
+        parse_program(src).unwrap()
+    }
+
+    #[test]
+    fn closed_program_promotes_private_na_loc() {
+        let p =
+            parse("store[na](pp_x, 1); a := load[na](pp_x); b := load[na](pp_x); return a + b;");
+        let (q, stats, records) = RegisterPromotion::run_gated(&p, &PromoteConfig::default());
+        let out = q.to_string();
+        assert_eq!(parse_program(&out).unwrap(), q, "{out}");
+        assert!(records.iter().all(|r| r.promoted), "{records:?}");
+        assert_eq!(stats.rewrites, 3);
+        // The interior accesses are gone; only the prologue load and the
+        // pre-return write-back remain.
+        assert!(out.contains("p_pp_x := load[na](pp_x)"), "{out}");
+        assert!(out.contains("store[na](pp_x, p_pp_x)"), "{out}");
+        assert!(out.contains("p_pp_x := 1"), "{out}");
+    }
+
+    #[test]
+    fn context_shared_location_is_refused() {
+        let p = parse("store[na](pc_d, 1); store[rel](pc_f, 1); return 0;");
+        let cfg = PromoteConfig {
+            context: vec![parse(
+                "a := load[acq](pc_f); if (a == 1) { b := load[na](pc_d); print(b); } return 0;",
+            )],
+            ..PromoteConfig::default()
+        };
+        let (q, _, records) = RegisterPromotion::run_gated(&p, &cfg);
+        assert_eq!(q, p, "shared location must not be promoted");
+        assert_eq!(records.len(), 1);
+        assert!(!records[0].promoted);
+        assert_eq!(records[0].reason, "context-shared");
+    }
+
+    #[test]
+    fn racy_composition_is_refused_by_the_gate() {
+        // pr_y is private to the program (and profitable), but the
+        // composition races on pr_x, so the LDRF gate refuses it.
+        let p = parse(
+            "store[na](pr_y, 1); a := load[na](pr_y); b := load[na](pr_y); \
+             store[na](pr_x, 1); return a + b;",
+        );
+        let cfg = PromoteConfig {
+            context: vec![parse("a := load[na](pr_x); return a;")],
+            ..PromoteConfig::default()
+        };
+        let (q, _, records) = RegisterPromotion::run_gated(&p, &cfg);
+        assert_eq!(q, p);
+        let yrec = records.iter().find(|r| r.loc == Loc::new("pr_y")).unwrap();
+        assert!(!yrec.promoted);
+        assert!(yrec.reason.contains("racy"), "{}", yrec.reason);
+    }
+
+    #[test]
+    fn inconclusive_scan_is_refused() {
+        let p =
+            parse("store[na](pi_y, 1); a := load[na](pi_y); b := load[na](pi_y); return a + b;");
+        let mut model = ModelOpts::default();
+        model.ps.max_states = 1; // force truncation
+        let cfg = PromoteConfig {
+            context: vec![parse("store[rlx](pi_f, 1); return 0;")],
+            model,
+        };
+        let (q, _, records) = RegisterPromotion::run_gated(&p, &cfg);
+        assert_eq!(q, p);
+        assert!(records[0].reason.contains("inconclusive"), "{records:?}");
+    }
+
+    #[test]
+    fn rel_acq_context_still_licenses_private_promotion() {
+        // Message passing on a rel/acq flag is LDRF-RA race-free, so a
+        // location the context never touches still promotes.
+        let p = parse(
+            "store[na](pm_y, 1); a := load[na](pm_y); b := load[na](pm_y); \
+             store[rel](pm_f, a + b); return 0;",
+        );
+        let cfg = PromoteConfig {
+            context: vec![parse("b := load[acq](pm_f); return b;")],
+            ..PromoteConfig::default()
+        };
+        let (q, stats, records) = RegisterPromotion::run_gated(&p, &cfg);
+        assert_ne!(q, p);
+        assert!(records.iter().all(|r| r.promoted), "{records:?}");
+        assert_eq!(stats.rewrites, 3);
+    }
+
+    #[test]
+    fn atomic_locations_are_never_candidates() {
+        let p = parse("store[rlx](pa_x, 1); a := load[rlx](pa_x); return a;");
+        let (q, stats, records) = RegisterPromotion::run_gated(&p, &PromoteConfig::default());
+        assert_eq!(q, p);
+        assert!(records.is_empty());
+        assert_eq!(stats.rewrites, 0);
+    }
+
+    #[test]
+    fn load_only_location_gets_no_writeback() {
+        let p = parse("a := load[na](pl_x); b := load[na](pl_x); return a + b;");
+        let (q, _, _) = RegisterPromotion::run_gated(&p, &PromoteConfig::default());
+        let out = q.to_string();
+        assert!(out.contains("p_pl_x := load[na](pl_x)"), "{out}");
+        assert!(!out.contains("store"), "read-only: {out}");
+    }
+
+    #[test]
+    fn fresh_register_avoids_collisions() {
+        let p = parse(
+            "p_pf_x := 7; store[na](pf_x, p_pf_x); a := load[na](pf_x); \
+             b := load[na](pf_x); return a + b;",
+        );
+        let (q, _, _) = RegisterPromotion::run_gated(&p, &PromoteConfig::default());
+        let out = q.to_string();
+        assert!(out.contains("p_pf_x_1 := load[na](pf_x)"), "{out}");
+    }
+
+    #[test]
+    fn unprofitable_candidate_is_skipped() {
+        // One store and one load: the promoted form (prologue load +
+        // one write-back) would be no smaller, so nothing happens.
+        let p = parse("store[na](pu_x, 1); a := load[na](pu_x); return a;");
+        let (q, stats, records) = RegisterPromotion::run_gated(&p, &PromoteConfig::default());
+        assert_eq!(q, p);
+        assert_eq!(stats.rewrites, 0);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].reason, "unprofitable");
+    }
+
+    #[test]
+    fn promotion_is_idempotent() {
+        let p = parse(
+            "store[na](pq_x, 1); a := load[na](pq_x); b := load[na](pq_x); \
+             store[na](pq_x, a + b); return a + b;",
+        );
+        let (q1, stats1, _) = RegisterPromotion::run_gated(&p, &PromoteConfig::default());
+        assert!(stats1.rewrites > 0, "first run should promote");
+        let (q2, stats2, records2) = RegisterPromotion::run_gated(&q1, &PromoteConfig::default());
+        assert_eq!(q2, q1, "second run must be the identity");
+        assert_eq!(stats2.rewrites, 0);
+        assert!(
+            records2.iter().all(|r| r.reason == "unprofitable"),
+            "{records2:?}"
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Redundant read-modify-write simplification.
+//!
+//! An RMW that provably writes back the value it read is a read in
+//! disguise:
+//!
+//! * `r := fadd[o](x, 0)` — fetch-and-add of a literal zero — becomes
+//!   `r := load[o_R](x)` with the RMW's read-side mode.
+//! * `r := cas[o](x, c, c)` — compare-and-swap whose expected and new
+//!   operands are the same integer literal — likewise becomes a load:
+//!   on mismatch it never wrote, and on match it wrote back exactly the
+//!   value read.
+//!
+//! Both rewrites are restricted to RMWs whose write side is relaxed
+//! (`o ∈ {rlx, acq}`): a release-side RMW publishes the thread's view
+//! even when the written value is unchanged, and dropping that
+//! synchronization is observable. The rewrite drops a SEQ `Rmw` label,
+//! so its obligation is PS^na differential
+//! ([`crate::validate::Obligation::PsNa`]) — which also adjudicates the
+//! subtler PS-level differences (an RMW's read must sit adjacent to its
+//! write) that sequential reasoning glosses over.
+
+use seqwm_lang::expr::Expr;
+use seqwm_lang::{Program, Stmt, Value, WriteMode};
+
+use crate::pipeline::PassStats;
+
+/// Rewrites every non-control leaf of `s` with `f`, preserving the
+/// control structure. `f` returning `None` keeps the leaf as is;
+/// returning `Stmt::Skip` deletes it (the `Seq` smart constructor
+/// flattens skips).
+pub(crate) fn map_leaves<F: FnMut(&Stmt) -> Option<Stmt>>(s: &Stmt, f: &mut F) -> Stmt {
+    match s {
+        Stmt::Seq(a, b) => Stmt::seq(map_leaves(a, f), map_leaves(b, f)),
+        Stmt::If(e, a, b) => Stmt::If(
+            e.clone(),
+            Box::new(map_leaves(a, f)),
+            Box::new(map_leaves(b, f)),
+        ),
+        Stmt::While(e, body) => Stmt::While(e.clone(), Box::new(map_leaves(body, f))),
+        leaf => f(leaf).unwrap_or_else(|| leaf.clone()),
+    }
+}
+
+/// Is this expression a defined integer literal?
+fn int_literal(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Const(Value::Int(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+/// The redundant-RMW simplification pass.
+pub struct RmwOpt;
+
+impl RmwOpt {
+    /// Runs the pass on a whole program.
+    pub fn run(prog: &Program) -> (Program, PassStats) {
+        let mut stats = PassStats::new("rmw");
+        let body = map_leaves(&prog.body, &mut |s| match s {
+            Stmt::Fadd {
+                dst,
+                loc,
+                operand,
+                mode,
+            } if int_literal(operand) == Some(0) && mode.write_mode() != WriteMode::Rel => {
+                stats.rewrites += 1;
+                Some(Stmt::Load(*dst, *loc, mode.read_mode()))
+            }
+            Stmt::Cas {
+                dst,
+                loc,
+                expected,
+                new,
+                mode,
+            } if int_literal(expected).is_some()
+                && expected == new
+                && mode.write_mode() != WriteMode::Rel =>
+            {
+                stats.rewrites += 1;
+                Some(Stmt::Load(*dst, *loc, mode.read_mode()))
+            }
+            _ => None,
+        });
+        stats.note_iterations(1);
+        (Program::new(body), stats)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use seqwm_lang::parser::parse_program;
+
+    fn run(src: &str) -> (String, usize) {
+        let p = parse_program(src).unwrap();
+        let (q, s) = RmwOpt::run(&p);
+        assert_eq!(parse_program(&q.to_string()).unwrap(), q, "{q}");
+        (q.to_string(), s.rewrites)
+    }
+
+    #[test]
+    fn fadd_zero_becomes_load() {
+        let (out, n) = run("r := fadd[rlx](rz_x, 0); return r;");
+        assert!(out.contains("load[rlx](rz_x)"), "{out}");
+        assert!(!out.contains("fadd"), "{out}");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn fadd_zero_acquire_keeps_read_mode() {
+        let (out, _) = run("r := fadd[acq](ra_x, 0); return r;");
+        assert!(out.contains("load[acq](ra_x)"), "{out}");
+    }
+
+    #[test]
+    fn fadd_nonzero_untouched() {
+        let (out, n) = run("r := fadd[rlx](rn_x, 1); return r;");
+        assert!(out.contains("fadd"), "{out}");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn release_side_rmw_untouched() {
+        // A release write publishes the thread view even when the value
+        // is unchanged; both rel and acqrel must survive.
+        let (out, n) = run("r := fadd[rel](rr_x, 0); s := fadd[acqrel](rr_x, 0); return r + s;");
+        assert_eq!(n, 0);
+        assert!(out.contains("fadd[rel]"), "{out}");
+        assert!(out.contains("fadd[acqrel]"), "{out}");
+    }
+
+    #[test]
+    fn trivial_cas_becomes_load() {
+        let (out, n) = run("r := cas[rlx](rc_x, 3, 3); return r;");
+        assert!(out.contains("load[rlx](rc_x)"), "{out}");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn cas_with_distinct_operands_untouched() {
+        let (out, n) = run("r := cas[rlx](rd_x, 0, 1); return r;");
+        assert!(out.contains("cas"), "{out}");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn cas_on_register_operands_untouched() {
+        // Syntactically equal register operands are not simplified: the
+        // register could hold undef, and comparing undef is UB the load
+        // would not have.
+        let (out, n) = run("a := 1; r := cas[rlx](re_x, a, a); return r;");
+        assert!(out.contains("cas"), "{out}");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn rewrites_inside_control_flow() {
+        let (out, n) = run(
+            "if (c == 0) { r := fadd[rlx](rf_x, 0); } else { r := cas[acq](rf_x, 2, 2); } \
+             return r;",
+        );
+        assert!(out.contains("load[rlx](rf_x)"), "{out}");
+        assert!(out.contains("load[acq](rf_x)"), "{out}");
+        assert_eq!(n, 2);
+    }
+}

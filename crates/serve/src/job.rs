@@ -23,6 +23,7 @@ use seqwm_json::Json;
 use seqwm_lang::parser::parse_program;
 use seqwm_lang::Program;
 use seqwm_models::ModelChoice;
+use seqwm_opt::PassKind;
 
 use crate::proto::{codes, opt_bool, opt_str, opt_u64, req_str, RpcError};
 use crate::state::{self, Quarantine};
@@ -36,6 +37,8 @@ pub enum JobKind {
     Explore,
     /// A differential fuzzing campaign.
     Fuzz,
+    /// A validated optimizer run over one program.
+    Optimize,
 }
 
 impl JobKind {
@@ -45,6 +48,7 @@ impl JobKind {
             JobKind::Refine => "refine",
             JobKind::Explore => "explore",
             JobKind::Fuzz => "fuzz",
+            JobKind::Optimize => "optimize",
         }
     }
 
@@ -54,6 +58,7 @@ impl JobKind {
             "refine" => Some(JobKind::Refine),
             "explore" => Some(JobKind::Explore),
             "fuzz" => Some(JobKind::Fuzz),
+            "optimize" => Some(JobKind::Optimize),
             _ => None,
         }
     }
@@ -397,6 +402,70 @@ pub fn explore_programs(params: &Json) -> Result<Vec<Program>, RpcError> {
         .collect()
 }
 
+/// Validated optimize params: the program, resolved pass list, round
+/// count, whether stages are validated, and any declared contexts.
+pub struct OptimizeParams {
+    /// The program to optimize.
+    pub program: Program,
+    /// The passes to run, in order.
+    pub passes: Vec<PassKind>,
+    /// Pipeline repetitions.
+    pub rounds: u64,
+    /// Discharge each stage's translation-validation obligation?
+    pub validate: bool,
+    /// Declared context threads for the PS^na obligations.
+    pub contexts: Vec<Program>,
+}
+
+/// Parses and validates `optimize.run` params.
+pub fn optimize_params(params: &Json) -> Result<OptimizeParams, RpcError> {
+    let program = parse_named_program(params, "program")?;
+    let passes = match opt_str(params, "passes")? {
+        None => PassKind::all().to_vec(),
+        Some(s) if s == "all" => PassKind::extended(),
+        Some(s) => s
+            .split(',')
+            .map(|name| {
+                PassKind::parse(name.trim()).ok_or_else(|| {
+                    RpcError::invalid_params(format!("passes: unknown pass {name:?}"))
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    if passes.is_empty() {
+        return Err(RpcError::invalid_params("passes: must name at least one"));
+    }
+    let rounds = opt_u64(params, "rounds")?.unwrap_or(1).max(1);
+    let validate = opt_bool(params, "validate")?.unwrap_or(true);
+    let contexts = match params.get("contexts") {
+        None => Vec::new(),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let text = p
+                    .as_str(&format!("contexts[{i}]"))
+                    .map_err(RpcError::invalid_params)?;
+                parse_program(text).map_err(|e| {
+                    RpcError::invalid_params(format!("contexts[{i}]: parse error: {e}"))
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => {
+            return Err(RpcError::invalid_params(
+                "contexts: expected array of program texts",
+            ))
+        }
+    };
+    Ok(OptimizeParams {
+        program,
+        passes,
+        rounds,
+        validate,
+        contexts,
+    })
+}
+
 /// Canonical cache key for a job, or `None` for uncacheable kinds.
 ///
 /// The key is built from the *canonical* (re-rendered) program texts
@@ -435,6 +504,19 @@ pub fn cache_key(kind: JobKind, params: &Json) -> Result<Option<String>, RpcErro
             opt_u64(params, "seed")?;
             opt_u64(params, "max_failures")?;
             Ok(None)
+        }
+        JobKind::Optimize => {
+            let p = optimize_params(params)?;
+            let passes: Vec<String> = p.passes.iter().map(|k| k.to_string()).collect();
+            let ctxs: Vec<String> = p.contexts.iter().map(|c| c.to_string()).collect();
+            Ok(Some(format!(
+                "optimize|passes={}|rounds={}|validate={}|program={}|contexts={}",
+                passes.join(","),
+                p.rounds,
+                p.validate,
+                p.program,
+                ctxs.join("|")
+            )))
         }
     }
 }

@@ -13,6 +13,7 @@
 //! |------------------|------------------------------------------------|
 //! | `refine.check`   | SEQ refinement of a program pair (synchronous) |
 //! | `explore.run`    | promising-semantics exploration (synchronous)  |
+//! | `optimize.run`   | validated optimizer run over one program (sync)|
 //! | `fuzz.campaign`  | start a fuzzing campaign, returns a job id     |
 //! | `job.submit`     | generic async submit (`kind` selects the work) |
 //! | `job.status`     | lifecycle snapshot of one job                  |

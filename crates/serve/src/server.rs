@@ -39,6 +39,8 @@ use seqwm_explore::{CheckpointSpec, ExploreWarning, SpillSpec};
 use seqwm_fuzz::{run_campaign_with, CampaignEvent, FuzzConfig};
 use seqwm_json::Json;
 use seqwm_models::{plan_explore, ModelOpts, PlanReport};
+use seqwm_opt::pipeline::{Pipeline as OptPipeline, PipelineConfig as OptPipelineConfig};
+use seqwm_opt::{optimize_validated_with, ValidationCache, ValidationConfig};
 use seqwm_promising::machine::ps_behaviors_refine;
 use seqwm_promising::search::{engine_config, try_explore_engine};
 use seqwm_promising::thread::PsConfig;
@@ -47,7 +49,7 @@ use seqwm_seq::{refines_advanced, refines_simple, RefineConfig, RefineError};
 use crate::cache::ResultCache;
 use crate::job::{
     cache_key, canceled_error, checkpoint_path, explore_programs, load_journal, model_choice,
-    persist, refine_programs, JobBudgets, JobError, JobKind, JobRecord, JobState,
+    optimize_params, persist, refine_programs, JobBudgets, JobError, JobKind, JobRecord, JobState,
 };
 use crate::proto::{
     codes, error_response, notification, opt_bool, opt_u64, parse_request, req_str, response,
@@ -597,6 +599,7 @@ fn dispatch(core: &Arc<Core>, req: &Request, writer: &mut TcpStream) -> Result<J
     match req.method.as_str() {
         "refine.check" => run_sync(core, JobKind::Refine, req.params.clone()),
         "explore.run" => run_sync(core, JobKind::Explore, req.params.clone()),
+        "optimize.run" => run_sync(core, JobKind::Optimize, req.params.clone()),
         "fuzz.campaign" => {
             let (id, cached) = submit(core, JobKind::Fuzz, req.params.clone())?;
             Ok(Json::obj(vec![
@@ -608,7 +611,7 @@ fn dispatch(core: &Arc<Core>, req: &Request, writer: &mut TcpStream) -> Result<J
             let kind = req_str(&req.params, "kind")?;
             let kind = JobKind::parse(&kind).ok_or_else(|| {
                 RpcError::invalid_params(format!(
-                    "kind: expected refine|explore|fuzz, got {kind:?}"
+                    "kind: expected refine|explore|fuzz|optimize, got {kind:?}"
                 ))
             })?;
             let (id, cached) = submit(core, kind, req.params.clone())?;
@@ -1145,6 +1148,12 @@ fn cacheable(kind: JobKind, result: &Json) -> bool {
                 && matches!(result.get("resumed"), Some(Json::Bool(false)))
         }
         JobKind::Fuzz => false,
+        // A "validated" verdict is budget-independent (a bigger budget
+        // cannot un-discharge an obligation); refuted/inconclusive
+        // verdicts surface as job errors and are never stored.
+        JobKind::Optimize => {
+            matches!(result.get("verdict"), Some(Json::Str(s)) if s == "validated")
+        }
     }
 }
 
@@ -1160,6 +1169,7 @@ fn run_job(
         JobKind::Refine => run_refine(core, params, &budgets),
         JobKind::Explore => run_explore(core, id, params, &budgets),
         JobKind::Fuzz => run_fuzz(core, id, params, cancel),
+        JobKind::Optimize => run_optimize(core, params, &budgets),
     }
 }
 
@@ -1324,6 +1334,77 @@ fn run_refine(core: &Arc<Core>, params: &Json, budgets: &JobBudgets) -> Result<J
         }
     }
     Ok(result)
+}
+
+// ---------------------------------------------------------------------
+// Job execution: optimize
+// ---------------------------------------------------------------------
+
+fn run_optimize(core: &Arc<Core>, params: &Json, budgets: &JobBudgets) -> Result<Json, JobError> {
+    let p = optimize_params(params).map_err(JobError::from_rpc)?;
+    let pipeline = OptPipelineConfig {
+        passes: p.passes.clone(),
+        rounds: p.rounds as usize,
+    };
+    if !p.validate {
+        let out = OptPipeline::new(pipeline).optimize(&p.program);
+        return Ok(Json::obj(vec![
+            ("verdict", Json::str("optimized")),
+            ("program", Json::str(out.program.to_string())),
+            ("rewrites", Json::num(out.total_rewrites() as u64)),
+        ]));
+    }
+    let mut vcfg = ValidationConfig {
+        contexts: p.contexts.clone(),
+        ..ValidationConfig::default()
+    };
+    if let Some(s) = budgets.max_states {
+        vcfg.ps.max_states = s as usize;
+    }
+    if let Some(ms) = budgets.deadline_ms {
+        vcfg.deadline = Some(Duration::from_millis(ms));
+    }
+    // The daemon-wide validation memo cache lives beside the result
+    // cache. Each job opens its own handle; entries are
+    // content-addressed, so a lost race between concurrent jobs costs
+    // one redundant check, never a wrong verdict. An unusable dir just
+    // means validating uncached.
+    let memo = ValidationCache::open(core.cfg.state_dir.join("opt-memo"), 4096).ok();
+    match optimize_validated_with(&p.program, pipeline, &vcfg, memo.as_ref()) {
+        Ok(v) => {
+            let stages: Vec<Json> = v
+                .validations
+                .iter()
+                .map(|s| {
+                    Json::obj(vec![
+                        ("pass", Json::str(s.pass.to_string())),
+                        ("by", Json::str(s.by.name())),
+                        ("cached", Json::Bool(s.cached)),
+                    ])
+                })
+                .collect();
+            Ok(Json::obj(vec![
+                ("verdict", Json::str("validated")),
+                ("program", Json::str(v.result.program.to_string())),
+                ("rewrites", Json::num(v.result.total_rewrites() as u64)),
+                ("cached_stages", Json::num(v.cached_stages() as u64)),
+                ("stages", Json::Arr(stages)),
+            ]))
+        }
+        Err(fail) => Err(JobError {
+            code: codes::JOB_FAILED,
+            message: format!(
+                "pass {} failed {} validation: {}",
+                fail.pass,
+                fail.pass.obligation(),
+                fail.detail
+            ),
+            data: Some(Json::obj(vec![
+                ("pass", Json::str(fail.pass.to_string())),
+                ("detail", Json::str(fail.detail.clone())),
+            ])),
+        }),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1730,6 +1811,48 @@ mod tests {
         let doc = c.read_doc();
         assert_eq!(error_code(&doc), codes::INVALID_REQUEST);
         assert_eq!(doc.get("id").unwrap(), &Json::num(5));
+        stop(server, &dir);
+    }
+
+    #[test]
+    fn optimize_run_validates_caches_and_rejects_bad_passes() {
+        let (server, dir) = test_server("optimize");
+        let mut c = Client::connect(server.addr());
+        let params = Json::obj(vec![
+            (
+                "program",
+                Json::str(
+                    "store[na](ov_x, 42); a := load[na](ov_x); \
+                     fence[acq]; fence[acq]; return a;",
+                ),
+            ),
+            ("passes", Json::str("all")),
+        ]);
+        let doc = c.call("optimize.run", params.clone());
+        let outer = result_of(&doc);
+        assert_eq!(outer.get("cached").unwrap(), &Json::Bool(false));
+        let r = outer.get("result").unwrap();
+        assert_eq!(r.get("verdict").unwrap(), &Json::str("validated"));
+        let text = match r.get("program").unwrap() {
+            Json::Str(s) => s.clone(),
+            other => panic!("program: {other}"),
+        };
+        assert!(text.contains("a := 42;"), "{text}");
+        assert!(!text.contains("fence"), "{text}");
+        assert!(matches!(r.get("stages").unwrap(), Json::Arr(s) if s.len() == 9));
+
+        // Identical resubmission is a result-cache hit.
+        let doc = c.call("optimize.run", params);
+        assert_eq!(result_of(&doc).get("cached").unwrap(), &Json::Bool(true));
+
+        let doc = c.call(
+            "optimize.run",
+            Json::obj(vec![
+                ("program", Json::str("return 0;")),
+                ("passes", Json::str("nope")),
+            ]),
+        );
+        assert_eq!(error_code(&doc), codes::INVALID_PARAMS);
         stop(server, &dir);
     }
 

@@ -76,6 +76,10 @@ fn pass_name(p: PassKind) -> &'static str {
         PassKind::Dse => "dead store elimination (Fig. 8b)",
         PassKind::Licm => "loop-invariant code motion (App. D)",
         PassKind::ConstProp => "constant propagation (extension)",
+        PassKind::Modes => "access-mode strengthening/elimination",
+        PassKind::Fence => "fence elimination and merging",
+        PassKind::Rmw => "redundant-RMW simplification",
+        PassKind::Promote => "LDRF-gated register promotion",
     }
 }
 

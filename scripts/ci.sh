@@ -68,6 +68,20 @@ echo "==> model-differential (cross-backend behavior equality under LDRF gates)"
 cargo test -q --release --test model_differential
 cargo test -q --release --features fault-injection --test model_differential
 
+echo "==> optimizer conformance battery (validated passes + planted refutations)"
+# Every pass over the litmus corpus and generated programs, each rewrite
+# pushed through its translation-validation obligation, plus end-to-end
+# memo-cache determinism (cached and fresh verdicts must agree). The
+# fault-injection variant adds the planted-unsound leg: one deliberately
+# broken sibling per new pass family, every one of which the validator
+# must refute. Release profile: the PS^na differential obligations run
+# a bounded exploration per changed stage.
+cargo test -q --release --test opt_validation
+cargo test -q --release --features fault-injection --test opt_validation
+cargo test -q --release --features chaos --test opt_validation cache_chaos
+cargo test -q --release -p seqwm-opt --features fault-injection
+cargo test -q --release -p seqwm-opt --test pass_props
+
 echo "==> seqwm fuzz (fixed-seed differential campaign over the real passes)"
 # Time-boxed by deterministic budgets (SEQ fuel + engine deadline), not
 # wall-clock: pathological cases quarantine as incidents, which exit 0.

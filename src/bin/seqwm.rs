@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! seqwm parse <file>                  parse + pretty-print a program
-//! seqwm optimize <file>               run the 4-pass optimizer (§4)
+//! seqwm optimize [flags] <file>       run the optimizer (§4 + atomics/promotion)
+//! seqwm optimize --batch N [flags]    validated batch-corpus optimization
 //! seqwm validate <file>               optimize + SEQ-only validation
 //! seqwm refine <src> <tgt>            check both refinement notions (§2/§3)
 //! seqwm explore [flags] <file>...     PS^na behaviors of a parallel program
@@ -29,9 +30,25 @@
 //! visited/frontier shards to disk before any lossy downgrade) and
 //! `--spill-budget-mb N` (in-RAM trigger; requires `--spill-dir`).
 //!
+//! `optimize` accepts `--passes <p1,p2,…|all>` (pass names as printed
+//! by the pipeline: `slf`, `llf`, `dse`, `licm`, `constprop`, `modes`,
+//! `fence`, `rmw`, `promote`; default is the paper's four, `all` is the
+//! extended nine), `--rounds N`, `--validate` (discharge every stage's
+//! translation-validation obligation — SEQ refinement for the paper's
+//! passes, the PS^na differential check with synthesized prober
+//! contexts for the atomics/promotion families), `--ctx <file>`
+//! (declare a context thread for the PS^na obligations; repeatable;
+//! implies `--validate`), `--cache-dir <dir>` + `--cache-capacity N`
+//! (fingerprint-keyed validation memo cache; implies `--validate`),
+//! and batch mode `--batch N --seed S [--json]`, which generates a
+//! deterministic corpus and reports throughput (programs/sec) plus the
+//! cache hit/miss split. A refuted or inconclusive obligation exits 11
+//! (`SeqwmError::Validate`): the optimized output must not be used.
+//!
 //! `fuzz` runs a differential campaign over the optimizer (see the
 //! `seqwm-fuzz` crate): `--cases N`, `--seed S`, `--workers N`,
-//! `--target <pipeline|slf|llf|dse|licm|constprop>` (repeatable),
+//! `--target <pipeline|slf|llf|dse|licm|constprop|modes|fence|rmw|promote>`
+//! (repeatable),
 //! `--inject-bug <name>` (planted-bug targets, for exercising the
 //! fuzzer), `--corpus <dir>`, `--resume`, `--checkpoint-every N`,
 //! `--max-failures N`, `--max-stmts N`, `--ctx-percent P`,
@@ -77,7 +94,7 @@
 //! [`promising_seq::SeqwmError::exit_code`]): 2 usage, 3 parse,
 //! 4 I/O, 5 engine configuration, 6 corpus, 7 refinement, 8 fuzz
 //! violation found, 9 bench regression, 10 serve (bind or probe
-//! failure). Engine
+//! failure), 11 validation refuted an optimizer rewrite. Engine
 //! warnings (corrupt resume file, visited-set downgrade, …) are
 //! printed to stderr but never change the exit code: a degraded run
 //! that completes is still a successful run.
@@ -89,15 +106,18 @@ use std::time::Duration;
 use promising_seq::bench::report::{compare, BenchReport, CompareConfig};
 use promising_seq::bench::suite::{list_suite, run_suite, SuiteConfig};
 use promising_seq::explore::{CheckpointSpec, ExploreConfig, SpillSpec, Strategy, VisitedMode};
-use promising_seq::fuzz::{run_campaign, CheckVerdict, Corpus, FuzzConfig, FuzzTarget};
+use promising_seq::fuzz::{
+    run_batch, run_campaign, BatchConfig, CheckVerdict, Corpus, FuzzConfig, FuzzTarget,
+};
 use promising_seq::json::Json;
 use promising_seq::lang::parser::parse_program;
 use promising_seq::lang::Program;
 use promising_seq::litmus::concurrent::concurrent_corpus;
 use promising_seq::litmus::transform::transform_corpus;
 use promising_seq::models::{plan_explore, ModelChoice, ModelKind, ModelOpts};
-use promising_seq::opt::pipeline::{Pipeline, PipelineConfig};
-use promising_seq::opt::validate::optimize_validated;
+use promising_seq::opt::pipeline::{PassKind, Pipeline, PipelineConfig};
+use promising_seq::opt::validate::{optimize_validated, optimize_validated_with, ValidationConfig};
+use promising_seq::opt::ValidationCache;
 use promising_seq::promising::drf::drf_check;
 use promising_seq::promising::sc::{explore_sc, ScConfig};
 use promising_seq::promising::search::{engine_config, explore_engine, try_explore_engine};
@@ -376,18 +396,7 @@ fn run() -> Result<(), SeqwmError> {
             print!("{}", load(path)?);
             Ok(())
         }
-        "optimize" => {
-            let [path] = rest else {
-                return Err(usage_err("usage: seqwm optimize <file>"));
-            };
-            let p = load(path)?;
-            let out = Pipeline::new(PipelineConfig::default()).optimize(&p);
-            print!("{}", out.program);
-            for s in &out.stats {
-                eprintln!("// {s}");
-            }
-            Ok(())
-        }
+        "optimize" => run_optimize(rest),
         "validate" => {
             let [path] = rest else {
                 return Err(usage_err("usage: seqwm validate <file>"));
@@ -552,6 +561,186 @@ fn run() -> Result<(), SeqwmError> {
         "serve" => run_serve(rest),
         _ => Err(usage()),
     }
+}
+
+/// The `seqwm optimize` subcommand: single-file or batch-corpus
+/// optimization, optionally validated with a shared memo cache.
+fn run_optimize(args: &[String]) -> Result<(), SeqwmError> {
+    fn value<'a>(
+        it: &mut std::slice::Iter<'a, String>,
+        flag: &str,
+        what: &str,
+    ) -> Result<&'a String, SeqwmError> {
+        it.next()
+            .ok_or_else(|| usage_err(format!("{flag} needs {what}")))
+    }
+    fn number<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, SeqwmError> {
+        v.parse()
+            .map_err(|_| usage_err(format!("bad {what} `{v}`")))
+    }
+    let mut passes: Option<Vec<PassKind>> = None;
+    let mut rounds = 1usize;
+    let mut validate = false;
+    let mut cache_dir: Option<String> = None;
+    let mut cache_capacity = 4096usize;
+    let mut ctx_files: Vec<String> = Vec::new();
+    let mut batch: Option<usize> = None;
+    let mut seed = 0xBA7C_4022u64;
+    let mut json = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--passes" => {
+                let v = value(&mut it, a, "a comma-separated pass list")?;
+                let list = if v == "all" {
+                    PassKind::extended()
+                } else {
+                    v.split(',')
+                        .map(|name| {
+                            PassKind::parse(name.trim())
+                                .ok_or_else(|| usage_err(format!("unknown pass `{name}`")))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?
+                };
+                if list.is_empty() {
+                    return Err(usage_err("--passes needs at least one pass"));
+                }
+                passes = Some(list);
+            }
+            "--rounds" => rounds = number(value(&mut it, a, "a round count")?, "round count")?,
+            "--validate" => validate = true,
+            "--cache-dir" => cache_dir = Some(value(&mut it, a, "a directory")?.clone()),
+            "--cache-capacity" => {
+                cache_capacity = number(value(&mut it, a, "an entry count")?, "cache capacity")?
+            }
+            "--ctx" => ctx_files.push(value(&mut it, a, "a context program file")?.clone()),
+            "--batch" => batch = Some(number(value(&mut it, a, "a program count")?, "batch size")?),
+            "--seed" => seed = number(value(&mut it, a, "a number")?, "seed")?,
+            "--json" => json = true,
+            flag if flag.starts_with("--") => {
+                return Err(usage_err(format!("unknown flag `{flag}`")))
+            }
+            path => files.push(path.to_owned()),
+        }
+    }
+    // Declared contexts and a memo cache only make sense when the
+    // rewrites are actually being validated.
+    validate = validate || !ctx_files.is_empty() || cache_dir.is_some();
+    let pipeline = PipelineConfig {
+        passes: passes.unwrap_or_else(|| PassKind::all().to_vec()),
+        rounds: rounds.max(1),
+    };
+    let vcfg = ValidationConfig {
+        contexts: load_all_optional(&ctx_files)?,
+        ..ValidationConfig::default()
+    };
+    let cache = match &cache_dir {
+        Some(dir) => {
+            Some(
+                ValidationCache::open(dir, cache_capacity).map_err(|e| SeqwmError::Io {
+                    path: dir.clone(),
+                    message: e.to_string(),
+                })?,
+            )
+        }
+        None => None,
+    };
+
+    if let Some(programs) = batch {
+        if !files.is_empty() {
+            return Err(usage_err(
+                "--batch generates its corpus; drop the file operand",
+            ));
+        }
+        let cfg = BatchConfig {
+            programs,
+            seed,
+            pipeline,
+            validate: vcfg,
+            cache_dir: cache_dir.map(Into::into),
+            cache_capacity,
+            ..BatchConfig::default()
+        };
+        drop(cache); // run_batch opens its own handle on the same dir
+        let sum = run_batch(&cfg).map_err(|e| SeqwmError::Io {
+            path: cfg
+                .cache_dir
+                .as_ref()
+                .map(|d| d.display().to_string())
+                .unwrap_or_default(),
+            message: e.to_string(),
+        })?;
+        if json {
+            println!("{}", sum.to_json());
+        } else {
+            println!(
+                "optimize: {} program(s), {} optimized, {} rewrite(s), \
+                 {} stage(s) validated ({} cached), {:.1} programs/sec",
+                sum.programs,
+                sum.optimized,
+                sum.rewrites,
+                sum.stages_validated,
+                sum.stages_cached,
+                sum.programs_per_sec()
+            );
+            if let Some(c) = &sum.cache {
+                println!(
+                    "cache: {} entries, {} hit(s), {} miss(es), {} evicted, {} quarantined",
+                    c.entries, c.hits, c.misses, c.evictions, c.quarantined
+                );
+            }
+            for f in sum.failures.iter().take(8) {
+                eprintln!("  ✗ case {} pass {}: {}", f.index, f.pass, f.detail);
+            }
+        }
+        return if sum.failures.is_empty() {
+            Ok(())
+        } else {
+            Err(SeqwmError::Validate {
+                failures: sum.failures.len(),
+                detail: sum.failures[0].detail.clone(),
+            })
+        };
+    }
+
+    let [path] = &files[..] else {
+        return Err(usage_err(
+            "usage: seqwm optimize [--passes p1,p2|all] [--rounds N] [--validate] \
+             [--cache-dir D] [--cache-capacity N] [--ctx <file>]… \
+             (<file> | --batch N [--seed S] [--json])",
+        ));
+    };
+    let p = load(path)?;
+    if validate {
+        let v = optimize_validated_with(&p, pipeline, &vcfg, cache.as_ref()).map_err(|e| {
+            SeqwmError::Validate {
+                failures: 1,
+                detail: e.to_string(),
+            }
+        })?;
+        print!("{}", v.result.program);
+        for stage in &v.validations {
+            eprintln!(
+                "// {} validated via {:?}{}",
+                stage.pass,
+                stage.by,
+                if stage.cached { " (cached)" } else { "" }
+            );
+        }
+    } else {
+        let out = Pipeline::new(pipeline).optimize(&p);
+        print!("{}", out.program);
+        for s in &out.stats {
+            eprintln!("// {s}");
+        }
+    }
+    Ok(())
+}
+
+/// Like [`load_all`] but an empty list is fine (no declared contexts).
+fn load_all_optional(paths: &[String]) -> Result<Vec<Program>, SeqwmError> {
+    paths.iter().map(|p| load(p)).collect()
 }
 
 /// The `seqwm fuzz` subcommand: campaign driver or failure replay.

@@ -26,6 +26,7 @@ use seqwm_explore::ExploreError;
 /// | [`Fuzz`]         | 8         |
 /// | [`Bench`]        | 9         |
 /// | [`Serve`]        | 10        |
+/// | [`Validate`]     | 11        |
 ///
 /// [`Usage`]: SeqwmError::Usage
 /// [`Parse`]: SeqwmError::Parse
@@ -36,6 +37,7 @@ use seqwm_explore::ExploreError;
 /// [`Fuzz`]: SeqwmError::Fuzz
 /// [`Bench`]: SeqwmError::Bench
 /// [`Serve`]: SeqwmError::Serve
+/// [`Validate`]: SeqwmError::Validate
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SeqwmError {
     /// Bad command line: unknown command, missing operand, or an
@@ -80,6 +82,18 @@ pub enum SeqwmError {
     /// retry budget (`--probe-attempts`, exponential backoff with
     /// deterministic jitter between attempts).
     Serve(String),
+    /// Translation validation refuted (or could not conclusively
+    /// discharge) an optimizer stage obligation: the optimized output
+    /// must not be used. Distinct from [`Refine`](SeqwmError::Refine) —
+    /// which reports a *check between two given programs* failing to
+    /// run — so scripts can tell "the optimizer produced something
+    /// unjustified" apart from "the comparison itself broke".
+    Validate {
+        /// How many programs (batch mode) or stages failed validation.
+        failures: usize,
+        /// First diagnostic, for the error message.
+        detail: String,
+    },
 }
 
 impl SeqwmError {
@@ -95,6 +109,7 @@ impl SeqwmError {
             SeqwmError::Fuzz { .. } => 8,
             SeqwmError::Bench(_) => 9,
             SeqwmError::Serve(_) => 10,
+            SeqwmError::Validate { .. } => 11,
         }
     }
 }
@@ -113,6 +128,9 @@ impl fmt::Display for SeqwmError {
             }
             SeqwmError::Bench(msg) => write!(f, "bench: {msg}"),
             SeqwmError::Serve(msg) => write!(f, "serve: {msg}"),
+            SeqwmError::Validate { failures, detail } => {
+                write!(f, "validation refuted {failures} rewrite(s): {detail}")
+            }
         }
     }
 }
@@ -156,6 +174,10 @@ mod tests {
             SeqwmError::Fuzz { failures: 1 },
             SeqwmError::Bench("m".into()),
             SeqwmError::Serve("m".into()),
+            SeqwmError::Validate {
+                failures: 1,
+                detail: "m".into(),
+            },
         ];
         let mut seen = std::collections::BTreeSet::new();
         for e in &all {

@@ -1,0 +1,290 @@
+//! The optimizer conformance battery: every pass over the litmus
+//! transformation corpus and generated programs, with each rewrite
+//! pushed through its translation-validation obligation; the
+//! validation memo cache checked for end-to-end determinism (a cached
+//! verdict must agree with a fresh one); and — under
+//! `--features fault-injection` — one planted known-unsound variant
+//! per new pass family, each of which the validator must refute.
+//!
+//! The battery's contract: a rewrite ships only if its obligation
+//! (SEQ behavioral refinement for the paper passes, PS^na differential
+//! against declared plus synthesized prober contexts for the atomics
+//! and promotion families) was actually discharged.
+
+use seqwm_explore::SplitMix64;
+use seqwm_lang::parser::parse_program;
+use seqwm_lang::Program;
+use seqwm_litmus::gen::{random_program, GenConfig};
+use seqwm_litmus::transform_corpus;
+use seqwm_opt::pipeline::{PassKind, PipelineConfig};
+use seqwm_opt::validate::{optimize_validated_with, validate_rewrite, ValidationConfig};
+
+fn parse(src: &str) -> Program {
+    parse_program(src).expect("battery program parses")
+}
+
+fn extended_pipeline() -> PipelineConfig {
+    PipelineConfig {
+        passes: PassKind::extended(),
+        rounds: 1,
+    }
+}
+
+/// Every pass, run alone over every litmus transformation-corpus source
+/// program, produces a rewrite the validator accepts. The corpus spans
+/// the paper's §1–§4 shapes plus the appendix patterns, so this is the
+/// closest thing to "the optimizer on the paper's own examples".
+#[test]
+fn every_pass_validates_over_the_litmus_corpus() {
+    let vcfg = ValidationConfig::default();
+    for case in transform_corpus() {
+        let src = case.src_program();
+        for pass in PassKind::extended() {
+            let (out, _) = pass.run(&src);
+            let v = validate_rewrite(pass, &src, &out, &vcfg, None)
+                .unwrap_or_else(|e| panic!("{pass} refuted on corpus case {}: {e}", case.name));
+            assert_eq!(v.pass, pass);
+        }
+    }
+}
+
+/// The full extended pipeline over generated programs: every stage
+/// discharges its obligation, so the validated output refines the input
+/// under PS^na (stage-wise — refinement composes transitively), and the
+/// final program survives a parse–print round trip.
+#[test]
+fn validated_pipeline_refines_generated_programs_under_ps_na() {
+    let gen = GenConfig::fuzzing();
+    let vcfg = ValidationConfig::default();
+    let mut master = SplitMix64::new(0x0ba7_7e21);
+    for i in 0..8u64 {
+        let mut rng = SplitMix64::new(master.next_u64());
+        let p = random_program(&mut rng, &gen);
+        let v = optimize_validated_with(&p, extended_pipeline(), &vcfg, None)
+            .unwrap_or_else(|e| panic!("program {i} refuted:\n{p}\nfailure: {e}"));
+        assert_eq!(v.validations.len(), PassKind::extended().len());
+        let out = &v.result.program;
+        assert_eq!(parse_program(&out.to_string()).expect("reparse"), *out);
+    }
+}
+
+/// End-to-end cache determinism: the same corpus optimized fresh, cold
+/// (empty cache), and warm (pre-filled cache) produces identical
+/// programs and identical per-stage verdicts, and the warm run actually
+/// answers from the store.
+#[test]
+fn cached_and_fresh_verdicts_agree_end_to_end() {
+    use seqwm_opt::ValidationCache;
+
+    let dir = std::env::temp_dir().join(format!("seqwm-opt-battery-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Fig. 4 guarantees rewriting (and therefore cacheable) stages even
+    // if the generated tail of the corpus happens to be all no-ops.
+    let mut corpus = vec![parse(
+        "store[na](x, 42); l := load[acq](y); if (l == 0) { a := load[na](x); } \
+         store[rel](y, 1); b := load[na](x); return b;",
+    )];
+    let gen = GenConfig::fuzzing();
+    let mut master = SplitMix64::new(21);
+    for _ in 0..3 {
+        let mut rng = SplitMix64::new(master.next_u64());
+        corpus.push(random_program(&mut rng, &gen));
+    }
+
+    let vcfg = ValidationConfig::default();
+    let run = |cache: Option<&ValidationCache>| -> Vec<(String, Vec<&'static str>, usize)> {
+        corpus
+            .iter()
+            .map(|p| {
+                let v = optimize_validated_with(p, extended_pipeline(), &vcfg, cache)
+                    .unwrap_or_else(|e| panic!("battery corpus refuted: {e}"));
+                (
+                    v.result.program.to_string(),
+                    v.validations.iter().map(|s| s.by.name()).collect(),
+                    v.cached_stages(),
+                )
+            })
+            .collect()
+    };
+
+    let fresh = run(None);
+    let cold_cache = ValidationCache::open(&dir, 4096).expect("open cache");
+    let cold = run(Some(&cold_cache));
+    let cached_after_cold = cold_cache.stats();
+    drop(cold_cache);
+    let warm_cache = ValidationCache::open(&dir, 4096).expect("reopen cache");
+    let warm = run(Some(&warm_cache));
+
+    for ((f, c), w) in fresh.iter().zip(&cold).zip(&warm) {
+        assert_eq!(f.0, c.0, "cold cache changed the optimized program");
+        assert_eq!(f.0, w.0, "warm cache changed the optimized program");
+        assert_eq!(f.1, c.1, "cold cache changed a stage verdict");
+        assert_eq!(f.1, w.1, "warm cache changed a stage verdict");
+        assert_eq!(f.2, 0, "fresh run cannot be cached");
+    }
+    assert!(
+        cached_after_cold.entries > 0,
+        "cold run stored nothing: {cached_after_cold:?}"
+    );
+    let warm_hits: usize = warm.iter().map(|w| w.2).sum();
+    assert!(warm_hits > 0, "warm run answered nothing from the store");
+    assert_eq!(warm_hits, warm_cache.stats().hits as usize);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The planted-bug leg: each deliberately unsound sibling of a new pass
+/// family, on a trigger where the honest pass is sound, must be refuted
+/// by the same validator that accepts the honest rewrite.
+#[cfg(feature = "fault-injection")]
+mod planted {
+    use super::*;
+    use seqwm_opt::PlantedOptBug;
+
+    /// Per-plant trigger: the program, the declared context threads,
+    /// and the honest pass whose obligation judges the rewrite.
+    fn trigger(bug: PlantedOptBug) -> (Program, Vec<Program>, PassKind) {
+        match bug {
+            // The program publishes a non-atomic payload under a
+            // release flag; ungated promotion hoists the payload into a
+            // register and writes it back *after* the release, so the
+            // declared reader can acquire the flag yet observe the
+            // stale payload.
+            PlantedOptBug::PromoteUngated => (
+                parse("store[na](bp_d, 5); store[rel](bp_f, 1); return 0;"),
+                vec![parse(
+                    "f1 := load[acq](bp_f); if (f1 == 1) { a := load[na](bp_d); print(a); } \
+                     return 0;",
+                )],
+                PassKind::Promote,
+            ),
+            // A relaxed load plus an acquire fence is the reader side
+            // of message passing; deleting the fence makes the (1, 0)
+            // print reachable.
+            PlantedOptBug::FenceElimAcrossAcquire => (
+                parse(
+                    "f1 := load[rlx](bf_f); fence[acq]; d1 := load[rlx](bf_d); \
+                     print(f1); print(d1); return 0;",
+                ),
+                vec![parse("store[rlx](bf_d, 1); store[rel](bf_f, 1); return 0;")],
+                PassKind::Fence,
+            ),
+            // Weakening the acquire load breaks the synchronization the
+            // same way.
+            PlantedOptBug::ModeWeakensAcquire => (
+                parse(
+                    "f1 := load[acq](bm_f); d1 := load[rlx](bm_d); \
+                     print(f1); print(d1); return 0;",
+                ),
+                vec![parse("store[rlx](bm_d, 1); store[rel](bm_f, 1); return 0;")],
+                PassKind::Modes,
+            ),
+            // Dropping the RMW's write is visible in the closed program
+            // already: the second load can no longer see the increment.
+            PlantedOptBug::RmwDropsWrite => (
+                parse(
+                    "r := fadd[rlx](br_x, 1); s := load[rlx](br_x); \
+                     print(r); print(s); return 0;",
+                ),
+                Vec::new(),
+                PassKind::Rmw,
+            ),
+        }
+    }
+
+    #[test]
+    fn every_planted_variant_is_refuted() {
+        for bug in PlantedOptBug::all() {
+            let (p, contexts, pass) = trigger(bug);
+            let (out, stats) = bug.run(&p);
+            assert!(stats.rewrites > 0, "{bug} did not fire on its trigger");
+            assert_ne!(out, p, "{bug} trigger produced no rewrite");
+            let vcfg = ValidationConfig {
+                contexts: contexts.clone(),
+                ..ValidationConfig::default()
+            };
+            let err = validate_rewrite(pass, &p, &out, &vcfg, None);
+            assert!(
+                err.is_err(),
+                "{bug} VALIDATED — the validator is broken:\nsrc:\n{p}\ntgt:\n{out}"
+            );
+        }
+    }
+
+    #[test]
+    fn honest_counterparts_validate_on_the_same_triggers() {
+        for bug in PlantedOptBug::all() {
+            let (p, contexts, pass) = trigger(bug);
+            let vcfg = ValidationConfig {
+                contexts,
+                ..ValidationConfig::default()
+            };
+            let (out, _) = pass.run(&p);
+            validate_rewrite(pass, &p, &out, &vcfg, None)
+                .unwrap_or_else(|e| panic!("honest {pass} refuted on {bug}'s trigger: {e}"));
+        }
+    }
+}
+
+/// Satellite of the cache story: record files damaged on disk are
+/// quarantined at reopen — never trusted, never a crash — and the
+/// post-corruption run still agrees with a fresh one.
+#[cfg(feature = "chaos")]
+mod cache_chaos {
+    use super::*;
+    use seqwm_opt::ValidationCache;
+    use seqwm_serve::chaos::{corrupt_file, FileChaos};
+
+    #[test]
+    fn corrupt_cache_records_quarantine_and_verdicts_still_agree() {
+        let dir =
+            std::env::temp_dir().join(format!("seqwm-opt-cache-chaos-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let p = parse(
+            "store[na](x, 42); l := load[acq](y); if (l == 0) { a := load[na](x); } \
+             store[rel](y, 1); b := load[na](x); return b;",
+        );
+        let vcfg = ValidationConfig::default();
+        let fresh = optimize_validated_with(&p, extended_pipeline(), &vcfg, None)
+            .expect("fresh run validates");
+
+        let cache = ValidationCache::open(&dir, 4096).expect("open");
+        optimize_validated_with(&p, extended_pipeline(), &vcfg, Some(&cache))
+            .expect("cold run validates");
+        drop(cache);
+
+        // Damage every record file with a rotating chaos mode.
+        let modes = [
+            FileChaos::Truncate,
+            FileChaos::FlipByte,
+            FileChaos::Empty,
+            FileChaos::Garbage,
+        ];
+        let mut damaged = 0usize;
+        for (i, entry) in std::fs::read_dir(&dir).expect("read cache dir").enumerate() {
+            let path = entry.expect("dir entry").path();
+            if path.is_file() {
+                corrupt_file(&path, modes[i % modes.len()]).expect("corrupt record");
+                damaged += 1;
+            }
+        }
+        assert!(damaged > 0, "cold run left no record files to damage");
+
+        let cache = ValidationCache::open(&dir, 4096).expect("reopen survives corruption");
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0, "corrupt records must not be trusted");
+        assert_eq!(stats.quarantined as usize, damaged, "{stats:?}");
+
+        let after = optimize_validated_with(&p, extended_pipeline(), &vcfg, Some(&cache))
+            .expect("post-corruption run validates");
+        assert_eq!(after.result.program, fresh.result.program);
+        assert_eq!(after.cached_stages(), 0, "nothing valid left to hit");
+        let by_fresh: Vec<_> = fresh.validations.iter().map(|s| s.by.name()).collect();
+        let by_after: Vec<_> = after.validations.iter().map(|s| s.by.name()).collect();
+        assert_eq!(by_fresh, by_after);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
